@@ -1,0 +1,285 @@
+// Benchmarks: one target per experiment table (E1-E9, DESIGN.md §4) plus
+// micro-benchmarks of the core operations (Check, IPG, EPG,
+// canonicalization, closure, fixing, plan execution). Run with
+//
+//	go test -bench=. -benchmem
+package csqp_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/genmodular"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+	"repro/internal/workload"
+)
+
+// ---- experiment benchmarks (one per table) ----
+
+func BenchmarkE1Bookstore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.E1Bookstore(20000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScenario(b, tab)
+	}
+}
+
+func BenchmarkE2CarSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.E2CarSearch(5000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScenario(b, tab)
+	}
+}
+
+func BenchmarkE3PlanQuality(b *testing.B) {
+	cfg := bench.QualityConfig{Seed: 1, Queries: 5, AtomCounts: []int{3, 5}, Rows: 500}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E3PlanQuality(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4PlanningCost(b *testing.B) {
+	cfg := bench.CostConfig{Seed: 2, Queries: 3, Sizes: []int{3, 5}}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E4PlanningCost(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5PruningAblation(b *testing.B) {
+	cfg := bench.CostConfig{Seed: 3, Queries: 3, Sizes: []int{3, 5}}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E5PruningAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Feasibility(b *testing.B) {
+	cfg := bench.QualityConfig{Seed: 4, Queries: 5, AtomCounts: []int{3, 5}, Rows: 300}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E6Feasibility(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7CheckLinear(b *testing.B) {
+	cfg := bench.CheckConfig{Sizes: []int{8, 64, 256}, Repeats: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E7CheckLinear(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8Crossover(b *testing.B) {
+	cfg := bench.CrossoverConfig{Size: 5000, K1Values: []float64{0, 10, 1000}}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E8Crossover(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func reportScenario(b *testing.B, tab *bench.Table) {
+	b.Helper()
+	if len(tab.Rows) == 0 || tab.Rows[0][1] != "yes" {
+		b.Fatalf("GenCompact infeasible in %s", tab.ID)
+	}
+}
+
+// ---- micro-benchmarks ----
+
+var microGrammar = ssdl.MustParse(`
+source R
+attrs make, model, year, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, year, color}
+attributes :: s2 : {make, model, year}
+`)
+
+func microContext(b *testing.B) *planner.Context {
+	b.Helper()
+	return &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(microGrammar, 0)),
+		Model:   cost.Model{K1: 10, K2: 1, Est: cost.FixedEstimator(25)},
+	}
+}
+
+var microCond = condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
+
+func BenchmarkCheckSupported(b *testing.B) {
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh checker each time: measure parsing, not the memo.
+		c := ssdl.NewChecker(microGrammar)
+		if c.Check(cond).Empty() {
+			b.Fatal("should be supported")
+		}
+	}
+}
+
+func BenchmarkCheckMemoized(b *testing.B) {
+	c := ssdl.NewChecker(microGrammar)
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	c.Check(cond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Check(cond)
+	}
+}
+
+func BenchmarkCheckLongChain(b *testing.B) {
+	g := ssdl.MustParse(`
+source chain
+attrs a
+chain -> a = $v:int | a = $v:int ^ chain
+attributes :: chain : {a}
+`)
+	kids := make([]condition.Node, 128)
+	for i := range kids {
+		kids[i] = condition.NewAtomic("a", condition.OpEq, condition.Int(int64(i)))
+	}
+	cond := &condition.And{Kids: kids}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := ssdl.NewChecker(g)
+		if c.Check(cond).Empty() {
+			b.Fatal("chain should be supported")
+		}
+	}
+}
+
+func BenchmarkIPGSection4(b *testing.B) {
+	ctx := microContext(b)
+	gc := core.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gc.Plan(ctx, microCond, []string{"model", "year"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEPGSection4(b *testing.B) {
+	ctx := microContext(b)
+	gm := &genmodular.Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 500, MaxAtoms: 8}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gm.Plan(ctx, microCond, []string{"model", "year"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	n := condition.MustParse(`a = 1 ^ (b = 2 ^ (c = 3 ^ (d = 4 _ (e = 5 _ f = 6))))`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		condition.Canonicalize(n)
+	}
+}
+
+func BenchmarkDistributiveClosure(b *testing.B) {
+	n := condition.MustParse(workload.Example12Condition)
+	cfg := rewrite.Config{Rules: rewrite.DistributiveOnly, MaxCTs: 128, MaxAtoms: 24}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rewrite.Closure(n, cfg)
+	}
+}
+
+func BenchmarkCommutativeClosure(b *testing.B) {
+	g := ssdl.MustParse(workload.CarsGrammar)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ssdl.CommutativeClosure(g, 0)
+	}
+}
+
+func BenchmarkFixReorder(b *testing.B) {
+	orig := ssdl.NewChecker(microGrammar)
+	cond := condition.MustParse(`color = "red" ^ make = "BMW"`)
+	attrs := strset.New("model", "year")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ssdl.Fix(orig, cond, attrs, 0); !ok {
+			b.Fatal("fix failed")
+		}
+	}
+}
+
+func BenchmarkPlanExecution(b *testing.B) {
+	rel, g := workload.Cars(5000, 1)
+	src, err := source.NewLocal("", rel, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &plan.Union{Inputs: []plan.Plan{
+		plan.NewSourceQuery("autos", condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (size = "compact" _ size = "midsize")`), []string{"make", "model", "price"}),
+		plan.NewSourceQuery("autos", condition.MustParse(`style = "sedan" ^ make = "BMW" ^ price <= 40000 ^ (size = "compact" _ size = "midsize")`), []string{"make", "model", "price"}),
+	}}
+	srcs := plan.SourceMap{"autos": src}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(p, srcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	rel, _ := workload.Cars(20000, 1)
+	cond := condition.MustParse(`make = "Toyota" ^ price <= 20000`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.Count(cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleEstimator(b *testing.B) {
+	rel, _ := workload.Cars(20000, 1)
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"autos": rel})
+	cond := condition.MustParse(`make = "Toyota" ^ price <= 20000`)
+	est.ResultSize("autos", cond) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.ResultSize("autos", cond)
+	}
+}
+
+func BenchmarkE9Joins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E9Joins(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

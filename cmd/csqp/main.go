@@ -1,0 +1,206 @@
+// Command csqp is the mediator CLI: it answers capability-sensitive
+// select-project queries against a demo source or a user-supplied
+// (TSV data + SSDL description) source, and can compare the plans every
+// strategy would generate.
+//
+// Usage:
+//
+//	csqp -demo bookstore -query '(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"' -attrs title,isbn
+//	csqp -data cars.tsv -ssdl cars.ssdl -query 'make = "BMW" ^ price < 40000' -attrs model -strategy CNF
+//	csqp -demo cars -query '...' -attrs make,model -compare
+//	csqp -demo bookstore -serve :8080        # serve the demo source over HTTP
+//	csqp -demo bookstore -repl               # interactive shell
+//
+// Supported strategies: GenCompact (default), GenModular, CNF, DNF,
+// DISCO, Naive.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "csqp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	demo := flag.String("demo", "", "built-in demo source: bookstore or cars")
+	dataPath := flag.String("data", "", "TSV relation file (typed header)")
+	ssdlPath := flag.String("ssdl", "", "SSDL description file")
+	query := flag.String("query", "", "target-query condition")
+	attrsFlag := flag.String("attrs", "", "comma-separated requested attributes")
+	strategyName := flag.String("strategy", "GenCompact", "planning strategy")
+	compare := flag.Bool("compare", false, "compare all strategies")
+	explain := flag.Bool("explain", false, "print the plan without executing")
+	serve := flag.String("serve", "", "serve the source over HTTP at this address instead of querying")
+	interactive := flag.Bool("repl", false, "start an interactive shell over the loaded source")
+	size := flag.Int("size", 0, "demo dataset size (0 = default)")
+	flag.Parse()
+
+	rel, grammar, err := loadSource(*demo, *dataPath, *ssdlPath, *size)
+	if err != nil {
+		return err
+	}
+
+	if *serve != "" {
+		src, err := source.NewLocal("", rel, grammar)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving source %q (%d tuples) at %s\n", src.Name(), rel.Len(), *serve)
+		fmt.Printf("endpoints: GET /describe, GET /stats, POST /query\n")
+		return http.ListenAndServe(*serve, source.NewHandler(src))
+	}
+
+	if *interactive {
+		sys := csqp.NewSystem()
+		sys.EnableCache()
+		if err := sys.AddSourceGrammar(rel, grammar); err != nil {
+			return err
+		}
+		return runREPL(sys, os.Stdin, os.Stdout)
+	}
+
+	if *query == "" {
+		return errors.New("missing -query (or -serve / -repl)")
+	}
+	attrs := splitList(*attrsFlag)
+	if len(attrs) == 0 {
+		return errors.New("missing -attrs")
+	}
+
+	sys := csqp.NewSystem()
+	if err := sys.AddSourceGrammar(rel, grammar); err != nil {
+		return err
+	}
+	srcName := grammar.Source
+
+	if *compare {
+		return compareAll(sys, srcName, *query, attrs)
+	}
+
+	strategy, err := parseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		p, metrics, err := sys.Explain(strategy, srcName, *query, attrs...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("strategy: %s\nplan cost: %.2f\nplanning: %v (%d CTs, %d Check calls)\n\n%s",
+			strategy, sys.Cost(p), metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls, sys.AnnotatePlan(p))
+		return nil
+	}
+	res, err := sys.QueryWith(strategy, srcName, *query, attrs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy: %s\nsource queries: %d\nplan cost: %.2f\n\n%s\n",
+		strategy, len(res.SourceQueries), res.Cost, csqp.FormatPlan(res.Plan))
+	res.Answer.Sort()
+	if err := relation.WriteTSV(os.Stdout, res.Answer); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d rows\n", res.Answer.Len())
+	return nil
+}
+
+func loadSource(demo, dataPath, ssdlPath string, size int) (*relation.Relation, *ssdl.Grammar, error) {
+	switch {
+	case demo == "bookstore":
+		if size == 0 {
+			size = workload.DefaultBookstoreSize
+		}
+		rel, g := workload.Bookstore(size, 1)
+		return rel, g, nil
+	case demo == "cars":
+		if size == 0 {
+			size = workload.DefaultCarsSize
+		}
+		rel, g := workload.Cars(size, 1)
+		return rel, g, nil
+	case demo != "":
+		return nil, nil, fmt.Errorf("unknown demo %q (want bookstore or cars)", demo)
+	case dataPath != "" && ssdlPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		rel, err := relation.ReadTSV(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		text, err := os.ReadFile(ssdlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := ssdl.Parse(string(text))
+		if err != nil {
+			return nil, nil, err
+		}
+		return rel, g, nil
+	default:
+		return nil, nil, errors.New("need -demo, or -data together with -ssdl")
+	}
+}
+
+func compareAll(sys *csqp.System, src, query string, attrs []string) error {
+	fmt.Printf("%-12s %-9s %-14s %-12s %-10s\n", "strategy", "feasible", "source queries", "plan cost", "answer")
+	for _, s := range []csqp.Strategy{csqp.GenCompact, csqp.GenModular, csqp.CNF, csqp.DNF, csqp.Disco, csqp.Naive} {
+		res, err := sys.QueryWith(s, src, query, attrs...)
+		if err != nil {
+			if errors.Is(err, csqp.ErrInfeasible) {
+				fmt.Printf("%-12s %-9s\n", s, "no")
+				continue
+			}
+			return fmt.Errorf("%s: %w", s, err)
+		}
+		fmt.Printf("%-12s %-9s %-14d %-12.2f %-10d\n", s, "yes", len(res.SourceQueries), res.Cost, res.Answer.Len())
+	}
+	return nil
+}
+
+func parseStrategy(name string) (csqp.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "gencompact":
+		return csqp.GenCompact, nil
+	case "genmodular":
+		return csqp.GenModular, nil
+	case "cnf":
+		return csqp.CNF, nil
+	case "dnf":
+		return csqp.DNF, nil
+	case "disco":
+		return csqp.Disco, nil
+	case "naive":
+		return csqp.Naive, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

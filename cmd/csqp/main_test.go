@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestParseStrategy(t *testing.T) {
+	tests := map[string]csqp.Strategy{
+		"GenCompact": csqp.GenCompact,
+		"gencompact": csqp.GenCompact,
+		"GENMODULAR": csqp.GenModular,
+		"cnf":        csqp.CNF,
+		"dnf":        csqp.DNF,
+		"disco":      csqp.Disco,
+		"Naive":      csqp.Naive,
+	}
+	for name, want := range tests {
+		got, err := parseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseStrategy("quantum"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, b ,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList empty = %v", got)
+	}
+}
+
+func TestLoadSourceDemos(t *testing.T) {
+	rel, g, err := loadSource("bookstore", "", "", 500)
+	if err != nil || rel.Len() != 500 || g.Source != "books" {
+		t.Errorf("bookstore demo: %v, %d, %q", err, rel.Len(), g.Source)
+	}
+	rel, g, err = loadSource("cars", "", "", 300)
+	if err != nil || rel.Len() != 300 || g.Source != "autos" {
+		t.Errorf("cars demo: %v", err)
+	}
+	if _, _, err := loadSource("pets", "", "", 0); err == nil {
+		t.Error("unknown demo should fail")
+	}
+	if _, _, err := loadSource("", "", "", 0); err == nil {
+		t.Error("no inputs should fail")
+	}
+}
+
+func TestLoadSourceFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r.tsv")
+	desc := filepath.Join(dir, "r.ssdl")
+	if err := os.WriteFile(data, []byte("a:int\tb:string\n1\tx\n2\ty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(desc, []byte("source R\nattrs a, b\ns1 -> a = $v:int\nattributes :: s1 : {a, b}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, g, err := loadSource("", data, desc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || g.Source != "R" {
+		t.Errorf("loaded %d rows from %q", rel.Len(), g.Source)
+	}
+	// Bad files fail cleanly.
+	if _, _, err := loadSource("", filepath.Join(dir, "missing.tsv"), desc, 0); err == nil {
+		t.Error("missing data file should fail")
+	}
+	if _, _, err := loadSource("", data, filepath.Join(dir, "missing.ssdl"), 0); err == nil {
+		t.Error("missing ssdl file should fail")
+	}
+}
+
+func TestCompareAllRuns(t *testing.T) {
+	rel, g, err := loadSource("bookstore", "", "", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := csqp.NewSystem()
+	if err := sys.AddSourceGrammar(rel, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareAll(sys, "books",
+		`(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`,
+		[]string{"isbn"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	rel, g, err := loadSource("bookstore", "", "", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := csqp.NewSystem()
+	sys.EnableCache()
+	if err := sys.AddSourceGrammar(rel, g); err != nil {
+		t.Fatal(err)
+	}
+	session := `
+\sources
+\strategy
+\strategy cnf
+\strategy gencompact
+SELECT isbn FROM books WHERE author = "Carl Jung" ^ title contains "dreams"
+\explain SELECT isbn FROM books WHERE author = "Carl Jung"
+\compare SELECT isbn FROM books WHERE (author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"
+\cache
+\badcmd
+SELECT nonsense
+\q
+`
+	var out strings.Builder
+	if err := runREPL(sys, strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"books",                // \sources
+		"strategy: GenCompact", // \strategy
+		"strategy set to CNF",  // \strategy cnf
+		"source queries, cost", // query footer
+		"SourceQuery[books]",   // \explain
+		"infeasible",           // \compare shows DISCO/Naive failing
+		"plan cache:",          // \cache
+		"unknown command",      // \badcmd
+		"error:",               // bad SELECT
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+}

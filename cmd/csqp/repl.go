@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro"
+)
+
+// repl drives the interactive shell: SELECT statements run against the
+// loaded sources, backslash commands inspect and configure the session.
+type repl struct {
+	sys      *csqp.System
+	strategy csqp.Strategy
+	out      io.Writer
+	maxRows  int
+}
+
+func runREPL(sys *csqp.System, in io.Reader, out io.Writer) error {
+	r := &repl{sys: sys, strategy: csqp.GenCompact, out: out, maxRows: 25}
+	fmt.Fprintln(out, `csqp interactive shell — \help for commands, \q to quit`)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	r.prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == `\quit`:
+			return nil
+		case strings.HasPrefix(line, `\`):
+			r.command(line)
+		default:
+			r.query(line)
+		}
+		r.prompt()
+	}
+	return sc.Err()
+}
+
+func (r *repl) prompt() { fmt.Fprint(r.out, "csqp> ") }
+
+func (r *repl) command(line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\help`, `\h`:
+		fmt.Fprint(r.out, `commands:
+  SELECT a, b FROM src WHERE <cond>   run a target query
+  \sources                            list registered sources
+  \strategy [name]                    show or set the planning strategy
+  \explain <select statement>         show the plan without executing
+  \compare <select statement>         run every strategy and compare
+  \cache                              show plan-cache statistics
+  \help                               this text
+  \q                                  quit
+`)
+	case `\sources`:
+		for _, s := range r.sys.Sources() {
+			fmt.Fprintln(r.out, " ", s)
+		}
+	case `\strategy`:
+		if len(fields) == 1 {
+			fmt.Fprintln(r.out, "strategy:", r.strategy)
+			return
+		}
+		s, err := parseStrategy(fields[1])
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			return
+		}
+		r.strategy = s
+		fmt.Fprintln(r.out, "strategy set to", s)
+	case `\explain`:
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		sel, err := csqp.ParseSelect(rest)
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			return
+		}
+		p, metrics, err := r.sys.Explain(r.strategy, sel.Source, sel.Cond.Key(), sel.Attrs...)
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(r.out, "planning: %v, %d CTs, %d Check calls\n",
+			metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls)
+		fmt.Fprint(r.out, r.sys.AnnotatePlan(p))
+	case `\compare`:
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		sel, err := csqp.ParseSelect(rest)
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			return
+		}
+		for _, s := range []csqp.Strategy{csqp.GenCompact, csqp.GenModular, csqp.CNF, csqp.DNF, csqp.Disco, csqp.Naive} {
+			res, err := r.sys.QueryCond(s, sel.Source, sel.Cond, sel.Attrs)
+			if err != nil {
+				if errors.Is(err, csqp.ErrInfeasible) {
+					fmt.Fprintf(r.out, "  %-11s infeasible\n", s)
+					continue
+				}
+				fmt.Fprintf(r.out, "  %-11s error: %v\n", s, err)
+				continue
+			}
+			fmt.Fprintf(r.out, "  %-11s %d queries, cost %.2f, %d rows\n",
+				s, len(res.SourceQueries), res.Cost, res.Answer.Len())
+		}
+	case `\cache`:
+		hits, misses := r.sys.CacheStats()
+		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses\n", hits, misses)
+	default:
+		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
+	}
+}
+
+func (r *repl) query(stmt string) {
+	sel, err := csqp.ParseSelect(stmt)
+	if err != nil {
+		fmt.Fprintln(r.out, "error:", err)
+		return
+	}
+	var res *csqp.Result
+	if len(sel.Attrs) == 1 && sel.Attrs[0] == "*" {
+		res, err = r.sys.QuerySQL(stmt)
+	} else {
+		res, err = r.sys.QueryCond(r.strategy, sel.Source, sel.Cond, sel.Attrs)
+	}
+	if err != nil {
+		fmt.Fprintln(r.out, "error:", err)
+		return
+	}
+	res.Answer.Sort()
+	names := res.Answer.Schema().Names()
+	fmt.Fprintln(r.out, strings.Join(names, "\t"))
+	for i, t := range res.Answer.Tuples() {
+		if i == r.maxRows {
+			fmt.Fprintf(r.out, "... (%d more rows)\n", res.Answer.Len()-r.maxRows)
+			break
+		}
+		cells := make([]string, len(names))
+		for j, n := range names {
+			v, _ := t.Lookup(n)
+			cells[j] = v.Text()
+		}
+		fmt.Fprintln(r.out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(r.out, "(%d rows, %d source queries, cost %.2f)\n",
+		res.Answer.Len(), len(res.SourceQueries), res.Cost)
+}

@@ -1,0 +1,89 @@
+// Command experiments regenerates every table of the reproduction's
+// evaluation (E1-E9, see DESIGN.md §4) and prints them, in the same spirit
+// as the experimental study the paper defers to its extended version.
+//
+// Usage:
+//
+//	experiments [-quick] [-markdown] [-only E1,E4] [-seed N]
+//
+// -quick shrinks workload sizes for a fast smoke run; -markdown emits
+// GitHub-flavored tables (the format EXPERIMENTS.md embeds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+
+	type experiment struct {
+		id string
+		fn func() (*bench.Table, error)
+	}
+	bookSize, carSize := 100000, 20000
+	qcfg := bench.QualityConfig{Seed: *seed}
+	ccfg := bench.CostConfig{Seed: *seed}
+	checkCfg := bench.CheckConfig{}
+	crossCfg := bench.CrossoverConfig{Seed: *seed}
+	if *quick {
+		bookSize, carSize = 20000, 5000
+		qcfg.Queries, qcfg.AtomCounts, qcfg.Rows = 5, []int{3, 5}, 500
+		ccfg.Queries, ccfg.Sizes = 3, []int{2, 4, 6}
+		checkCfg.Sizes, checkCfg.Repeats = []int{8, 32, 128}, 10
+		crossCfg.Size = 5000
+	}
+
+	experiments := []experiment{
+		{"E1", func() (*bench.Table, error) { return bench.E1Bookstore(bookSize, *seed) }},
+		{"E2", func() (*bench.Table, error) { return bench.E2CarSearch(carSize, *seed) }},
+		{"E3", func() (*bench.Table, error) { return bench.E3PlanQuality(qcfg) }},
+		{"E4", func() (*bench.Table, error) { return bench.E4PlanningCost(ccfg) }},
+		{"E5", func() (*bench.Table, error) { return bench.E5PruningAblation(ccfg) }},
+		{"E6", func() (*bench.Table, error) { return bench.E6Feasibility(qcfg) }},
+		{"E7", func() (*bench.Table, error) { return bench.E7CheckLinear(checkCfg) }},
+		{"E8", func() (*bench.Table, error) { return bench.E8Crossover(crossCfg) }},
+		{"E9", func() (*bench.Table, error) { return bench.E9Joins(*seed) }},
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if !run(e.id) {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(tab.Render())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

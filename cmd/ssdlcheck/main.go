@@ -1,0 +1,124 @@
+// Command ssdlcheck validates an SSDL source description and runs the
+// paper's Check function against it: given a condition expression it
+// reports whether the source supports the query and which attributes it
+// would export.
+//
+// Usage:
+//
+//	ssdlcheck -ssdl cars.ssdl                                   # validate + lint + summarize
+//	ssdlcheck -ssdl cars.ssdl -query 'make = "BMW" ^ price < 40000' -attrs model,year
+//	ssdlcheck -ssdl cars.ssdl -closure -query '...'             # check against the commutative closure
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/condition"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdlcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	path := flag.String("ssdl", "", "SSDL description file (- for stdin)")
+	query := flag.String("query", "", "condition expression to check")
+	attrsFlag := flag.String("attrs", "", "comma-separated requested attributes")
+	closure := flag.Bool("closure", false, "check against the commutative closure (§6.1)")
+	flag.Parse()
+
+	if *path == "" {
+		return errors.New("missing -ssdl")
+	}
+	var text []byte
+	var err error
+	if *path == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(*path)
+	}
+	if err != nil {
+		return err
+	}
+	g, err := ssdl.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source: %s\n", orDash(g.Source))
+	fmt.Printf("schema: %v\n", g.Schema)
+	fmt.Printf("key: %s\n", orDash(g.Key))
+	fmt.Printf("rules: %d, condition nonterminals: %v\n", len(g.Rules), g.CondNTs())
+	for _, w := range ssdl.Lint(g) {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	if *closure {
+		before, after := ssdl.ClosureInflation(g, 0)
+		fmt.Printf("commutative closure: %d -> %d rules\n", before, after)
+		g = ssdl.CommutativeClosure(g, 0)
+	}
+	if *query == "" {
+		return nil
+	}
+	cond, err := condition.Parse(*query)
+	if err != nil {
+		return fmt.Errorf("bad query: %w", err)
+	}
+	checker := ssdl.NewChecker(g)
+	exported := checker.Check(cond)
+	fmt.Printf("\nquery: %s\n", cond.Key())
+	if exported.Empty() {
+		fmt.Println("supported: no (Check returned the empty set)")
+		return nil
+	}
+	fmt.Printf("supported: yes\nexported attributes: %s\n", exported)
+	if *attrsFlag != "" {
+		want := strset.New()
+		for _, a := range splitList(*attrsFlag) {
+			want.Add(a)
+		}
+		if want.SubsetOf(exported) {
+			fmt.Printf("SP(C, %s, R): supported\n", want)
+		} else {
+			fmt.Printf("SP(C, %s, R): NOT supported (missing %s)\n", want, want.Minus(exported))
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := s[start:i]
+			for len(part) > 0 && part[0] == ' ' {
+				part = part[1:]
+			}
+			for len(part) > 0 && part[len(part)-1] == ' ' {
+				part = part[:len(part)-1]
+			}
+			if part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	if got := splitList("a, b , c"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList('') = %v", got)
+	}
+	if got := splitList(" ,, "); got != nil {
+		t.Errorf("splitList(blank) = %v", got)
+	}
+}
+
+func TestOrDash(t *testing.T) {
+	if orDash("") != "-" || orDash("x") != "x" {
+		t.Error("orDash wrong")
+	}
+}

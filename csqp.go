@@ -1,0 +1,385 @@
+// Package csqp is the public API of this reproduction of
+// "Capability-Sensitive Query Processing on Internet Sources"
+// (Garcia-Molina, Labio, Yerneni; ICDE 1999).
+//
+// A System is a mediator over capability-limited sources. Each source is a
+// relation guarded by an SSDL description — a context-free grammar stating
+// exactly which condition expressions the source evaluates and which
+// attributes each query shape exports. Target queries are select-project
+// queries whose conditions may be arbitrary and/or trees; the mediator
+// generates a capability-sensitive plan (GenCompact by default), fixes its
+// source queries to an order the source's grammar accepts, executes it,
+// and post-processes the results.
+//
+// Quick start:
+//
+//	sys := csqp.NewSystem()
+//	_ = sys.AddSource(rel, grammarText)      // an in-memory source
+//	res, _ := sys.Query("books",
+//	    `(author = "Freud" or author = "Jung") and title contains "dreams"`,
+//	    "title", "isbn")
+//	fmt.Println(res.Answer.Len(), "rows via", len(res.SourceQueries), "source queries")
+package csqp
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/genmodular"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// Re-exported substrate types, so callers can build relations and inspect
+// plans without importing internal packages.
+type (
+	// Relation is an in-memory relation (schema + tuples).
+	Relation = relation.Relation
+	// Schema describes a relation's typed attributes.
+	Schema = relation.Schema
+	// Column is one attribute of a Schema.
+	Column = relation.Column
+	// Tuple is one row of a Relation.
+	Tuple = relation.Tuple
+	// Value is a typed constant (string, int, float, bool).
+	Value = condition.Value
+	// Condition is a condition tree over source attributes.
+	Condition = condition.Node
+	// Grammar is a parsed SSDL source description.
+	Grammar = ssdl.Grammar
+	// Plan is a mediator query plan.
+	Plan = plan.Plan
+	// Metrics reports what a planning run did.
+	Metrics = planner.Metrics
+)
+
+// Value constructors.
+var (
+	// String builds a string Value.
+	String = condition.String
+	// Int builds an integer Value.
+	Int = condition.Int
+	// Float builds a float Value.
+	Float = condition.Float
+	// Bool builds a boolean Value.
+	Bool = condition.Bool
+)
+
+// NewSchema builds a relation schema.
+func NewSchema(cols ...Column) (*Schema, error) { return relation.NewSchema(cols...) }
+
+// NewRelation builds an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return relation.New(s) }
+
+// ParseCondition parses a condition expression. Both the paper's notation
+// (`^`, `_`) and conventional syntax (`and`, `or`, `&&`, `||`) are
+// accepted.
+func ParseCondition(src string) (Condition, error) { return condition.Parse(src) }
+
+// ParseSSDL parses an SSDL source description.
+func ParseSSDL(src string) (*Grammar, error) { return ssdl.Parse(src) }
+
+// FormatPlan renders a plan as an indented tree.
+func FormatPlan(p Plan) string { return plan.Format(p) }
+
+// Strategy selects a plan-generation scheme.
+type Strategy int
+
+const (
+	// GenCompact is the paper's efficient planner (§6), the default.
+	GenCompact Strategy = iota
+	// GenModular is the exhaustive reference planner (§5); exponential,
+	// use only on small queries.
+	GenModular
+	// CNF is Garlic's clause-pushdown strategy.
+	CNF
+	// DNF is the term-per-query strategy.
+	DNF
+	// Disco is DISCO's all-or-nothing strategy.
+	Disco
+	// Naive pushes the whole query or fails.
+	Naive
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case GenCompact:
+		return "GenCompact"
+	case GenModular:
+		return "GenModular"
+	case CNF:
+		return "CNF"
+	case DNF:
+		return "DNF"
+	case Disco:
+		return "DISCO"
+	case Naive:
+		return "Naive"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+func (s Strategy) planner() (planner.Planner, error) {
+	switch s {
+	case GenCompact:
+		return core.New(), nil
+	case GenModular:
+		return &genmodular.Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 2000, MaxAtoms: 12}}, nil
+	case CNF:
+		return baseline.CNF{}, nil
+	case DNF:
+		return baseline.DNF{}, nil
+	case Disco:
+		return baseline.Disco{}, nil
+	case Naive:
+		return baseline.Naive{}, nil
+	default:
+		return nil, fmt.Errorf("csqp: unknown strategy %v", s)
+	}
+}
+
+// ErrInfeasible is returned when no feasible plan exists for a query under
+// the chosen strategy.
+var ErrInfeasible = planner.ErrInfeasible
+
+// Options configure a System.
+type Options struct {
+	// K1 is the per-source-query cost (default 10).
+	K1 float64
+	// K2 is the per-result-tuple cost (default 1).
+	K2 float64
+	// Strategy is the default planner (default GenCompact).
+	Strategy Strategy
+	// Workers bounds concurrent source queries during plan execution
+	// (default 1 = sequential).
+	Workers int
+}
+
+// System is a mediator with its sources, estimator and cost model.
+// Cardinality estimation is per source: local sources use exact counts,
+// HTTP sources use the statistics they publish, and sources with neither
+// fall back to textbook heuristics.
+type System struct {
+	med      *mediator.Mediator
+	rels     map[string]*relation.Relation
+	est      *cost.Registry
+	strategy Strategy
+}
+
+// NewSystem builds an empty system. With no Options it uses the paper's
+// linear cost model with k1=10, k2=1 and GenCompact planning.
+func NewSystem(opts ...Options) *System {
+	o := Options{K1: 10, K2: 1, Strategy: GenCompact}
+	if len(opts) > 0 {
+		if opts[0].K1 != 0 {
+			o.K1 = opts[0].K1
+		}
+		if opts[0].K2 != 0 {
+			o.K2 = opts[0].K2
+		}
+		o.Strategy = opts[0].Strategy
+		o.Workers = opts[0].Workers
+	}
+	rels := make(map[string]*relation.Relation)
+	est := cost.NewRegistry()
+	med := mediator.New(cost.Model{K1: o.K1, K2: o.K2, PerSource: make(map[string]cost.Coef), Est: est})
+	med.Workers = o.Workers
+	return &System{
+		med:      med,
+		rels:     rels,
+		est:      est,
+		strategy: o.Strategy,
+	}
+}
+
+// SetSourceCost overrides the cost constants for one source (the paper's
+// k1 and k2 "depend on the source"): k1 is the per-query overhead, k2 the
+// per-result-tuple cost.
+func (s *System) SetSourceCost(source string, k1, k2 float64) {
+	s.med.Model().PerSource[source] = cost.Coef{K1: k1, K2: k2}
+}
+
+// AddSource registers an in-memory source whose capabilities are described
+// by the SSDL text. The source name comes from the description's `source`
+// header.
+func (s *System) AddSource(rel *Relation, ssdlText string) error {
+	g, err := ssdl.Parse(ssdlText)
+	if err != nil {
+		return err
+	}
+	return s.AddSourceGrammar(rel, g)
+}
+
+// AddSourceGrammar registers an in-memory source with a parsed grammar.
+func (s *System) AddSourceGrammar(rel *Relation, g *Grammar) error {
+	src, err := source.NewLocal("", rel, g)
+	if err != nil {
+		return err
+	}
+	if err := s.med.Register(src.Name(), src, g); err != nil {
+		return err
+	}
+	s.rels[src.Name()] = rel
+	s.est.Set(src.Name(), cost.NewOracleEstimator(map[string]*relation.Relation{src.Name(): rel}))
+	return nil
+}
+
+// AddHTTPSource registers a source served at the base URL by a
+// source.Handler (or any server speaking the same protocol); the SSDL
+// description is fetched from the source itself.
+func (s *System) AddHTTPSource(baseURL string) (name string, err error) {
+	client := source.NewClient(baseURL, nil)
+	g, err := client.Describe()
+	if err != nil {
+		return "", err
+	}
+	if err := s.med.Register(g.Source, client, g); err != nil {
+		return "", err
+	}
+	// Use the source's published statistics for cost estimation; fall
+	// back silently to heuristics if the source does not publish any.
+	if st, err := client.Stats(); err == nil {
+		s.est.Set(g.Source, cost.NewStatsEstimator(map[string]*relation.Stats{g.Source: st}))
+	}
+	return g.Source, nil
+}
+
+// Sources lists the registered source names.
+func (s *System) Sources() []string { return s.med.SourceNames() }
+
+// Result is a completed query.
+type Result struct {
+	// Answer is the target query's result.
+	Answer *Relation
+	// Plan is the executed (fixed) plan.
+	Plan Plan
+	// SourceQueries are the plan's source queries.
+	SourceQueries []*plan.SourceQuery
+	// Cost is the plan's model cost.
+	Cost float64
+	// EstimatedTransfer is the estimated total tuples the plan's source
+	// queries extract.
+	EstimatedTransfer float64
+	// Metrics reports planner effort.
+	Metrics *Metrics
+}
+
+// Query plans (with the system's default strategy) and executes the target
+// query SP(cond, attrs, source), where cond is a condition expression in
+// the surface syntax.
+func (s *System) Query(src, cond string, attrs ...string) (*Result, error) {
+	return s.QueryWith(s.strategy, src, cond, attrs...)
+}
+
+// QueryWith is Query with an explicit strategy.
+func (s *System) QueryWith(strategy Strategy, src, cond string, attrs ...string) (*Result, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryCond(strategy, src, c, attrs)
+}
+
+// QueryCond is QueryWith over a pre-parsed condition.
+func (s *System) QueryCond(strategy Strategy, src string, cond Condition, attrs []string) (*Result, error) {
+	p, err := strategy.planner()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.med.Answer(p, src, cond, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapResult(res), nil
+}
+
+// Explain plans the query without executing it and returns the fixed plan.
+func (s *System) Explain(strategy Strategy, src, cond string, attrs ...string) (Plan, *Metrics, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := strategy.planner()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.med.Plan(p, src, c, attrs)
+}
+
+// Cost prices an arbitrary plan under the system's model.
+func (s *System) Cost(p Plan) float64 { return s.med.Model().PlanCost(p) }
+
+// AnnotatePlan renders the plan with per-node cost and cardinality
+// annotations from the system's model.
+func (s *System) AnnotatePlan(p Plan) string { return cost.Explain(p, s.med.Model()) }
+
+// EnableCache turns on mediator plan caching: semantically equal repeated
+// queries (including commutative/associative variants) reuse their plans.
+func (s *System) EnableCache() { s.med.EnableCache() }
+
+// CacheStats reports plan-cache hits and misses (zeros when disabled).
+func (s *System) CacheStats() (hits, misses int) { return s.med.CacheStats() }
+
+// QueryUnion answers the query over the union of the named partitioned
+// sources (all must share the queried attributes, and all must be able to
+// answer).
+func (s *System) QueryUnion(sources []string, cond string, attrs ...string) (*Result, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.strategy.planner()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.med.AnswerUnion(p, sources, c, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapResult(res), nil
+}
+
+// QueryCheapest answers the query from whichever of the named replicated
+// sources has the cheapest feasible plan, returning the chosen name.
+func (s *System) QueryCheapest(sources []string, cond string, attrs ...string) (*Result, string, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := s.strategy.planner()
+	if err != nil {
+		return nil, "", err
+	}
+	res, chosen, err := s.med.AnswerCheapest(p, sources, c, attrs)
+	if err != nil {
+		return nil, "", err
+	}
+	return s.wrapResult(res), chosen, nil
+}
+
+// wrapResult converts a mediator result to the facade form.
+func (s *System) wrapResult(res *mediator.Result) *Result {
+	qs := plan.SourceQueries(res.Plan)
+	transfer := 0.0
+	for _, q := range qs {
+		transfer += s.est.ResultSize(q.Source, q.Cond)
+	}
+	return &Result{
+		Answer:            res.Relation,
+		Plan:              res.Plan,
+		SourceQueries:     qs,
+		Cost:              s.med.Model().PlanCost(res.Plan),
+		EstimatedTransfer: transfer,
+		Metrics:           res.Metrics,
+	}
+}

@@ -1,0 +1,238 @@
+package csqp
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/workload"
+)
+
+func demoSystem(t *testing.T) *System {
+	t.Helper()
+	rel, g := workload.Bookstore(5000, 1)
+	sys := NewSystem()
+	if err := sys.AddSourceGrammar(rel, g); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemQueryEndToEnd(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query("books",
+		`(author = "Sigmund Freud" or author = "Carl Jung") and title contains "dreams"`,
+		"title", "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() != 11 {
+		t.Errorf("answer = %d rows, want 11", res.Answer.Len())
+	}
+	if len(res.SourceQueries) != 2 {
+		t.Errorf("source queries = %d, want 2", len(res.SourceQueries))
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.Metrics == nil || res.Metrics.CheckCalls == 0 {
+		t.Error("metrics missing")
+	}
+}
+
+func TestSystemStrategies(t *testing.T) {
+	sys := demoSystem(t)
+	cond := `(author = "Sigmund Freud" or author = "Carl Jung") and title contains "dreams"`
+	// CNF is feasible but coarse; DISCO and Naive are infeasible.
+	if _, err := sys.QueryWith(CNF, "books", cond, "isbn"); err != nil {
+		t.Errorf("CNF: %v", err)
+	}
+	if _, err := sys.QueryWith(Disco, "books", cond, "isbn"); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("DISCO err = %v, want ErrInfeasible", err)
+	}
+	if _, err := sys.QueryWith(Naive, "books", cond, "isbn"); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Naive err = %v, want ErrInfeasible", err)
+	}
+	if _, err := sys.QueryWith(GenModular, "books", cond, "isbn"); err != nil {
+		t.Errorf("GenModular: %v", err)
+	}
+	if _, err := sys.QueryWith(DNF, "books", cond, "isbn"); err != nil {
+		t.Errorf("DNF: %v", err)
+	}
+}
+
+func TestSystemExplain(t *testing.T) {
+	sys := demoSystem(t)
+	p, m, err := sys.Explain(GenCompact, "books", `author = "Carl Jung"`, "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Error("metrics missing")
+	}
+	out := FormatPlan(p)
+	if !strings.Contains(out, "SourceQuery[books]") {
+		t.Errorf("plan:\n%s", out)
+	}
+	if sys.Cost(p) <= 0 {
+		t.Error("cost should be positive")
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.Query("ghost", `a = 1`, "x"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := sys.Query("books", `a = `, "x"); err == nil {
+		t.Error("bad condition should fail")
+	}
+	if err := sys.AddSource(NewRelation(mustSchema(t)), "junk"); err == nil {
+		t.Error("bad SSDL should fail")
+	}
+	if _, _, err := sys.Explain(Strategy(99), "books", `a = 1`, "x"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func mustSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(Column{Name: "a", Kind: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemHTTPSource(t *testing.T) {
+	rel, g := workload.Cars(2000, 1)
+	local, err := source.NewLocal("", rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(source.NewHandler(local))
+	defer server.Close()
+
+	sys := NewSystem()
+	name, err := sys.AddHTTPSource(server.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "autos" {
+		t.Errorf("name = %q", name)
+	}
+	res, err := sys.Query("autos", workload.Example12Condition, "make", "model", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() == 0 {
+		t.Error("empty answer over HTTP")
+	}
+	if len(res.SourceQueries) != 2 {
+		t.Errorf("source queries = %d, want 2", len(res.SourceQueries))
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		GenCompact: "GenCompact", GenModular: "GenModular",
+		CNF: "CNF", DNF: "DNF", Disco: "DISCO", Naive: "Naive",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestOptionsApplied(t *testing.T) {
+	sys := NewSystem(Options{K1: 1000, K2: 1, Strategy: DNF})
+	rel, g := workload.Bookstore(2000, 2)
+	if err := sys.AddSourceGrammar(rel, g); err != nil {
+		t.Fatal(err)
+	}
+	if sys.strategy != DNF {
+		t.Error("strategy option ignored")
+	}
+	res, err := sys.Query("books", `author = "Carl Jung"`, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < 1000 {
+		t.Errorf("cost %v should include k1=1000", res.Cost)
+	}
+}
+
+func TestSetSourceCostInfluencesPlans(t *testing.T) {
+	sys := demoSystem(t)
+	cond := `(author = "Sigmund Freud" or author = "Carl Jung") and title contains "dreams"`
+	cheapQueries, err := sys.Query("books", cond, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cheapQueries.SourceQueries) != 2 {
+		t.Fatalf("baseline should split into 2 queries, got %d", len(cheapQueries.SourceQueries))
+	}
+	// Astronomical per-query overhead pushes the planner to the single
+	// coarse title query.
+	sys.SetSourceCost("books", 1e7, 1)
+	oneQuery, err := sys.Query("books", cond, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneQuery.SourceQueries) != 1 {
+		t.Errorf("huge k1 should collapse to 1 query, got %d:\n%s",
+			len(oneQuery.SourceQueries), FormatPlan(oneQuery.Plan))
+	}
+}
+
+func TestQueryUnionAndCheapestFacade(t *testing.T) {
+	sys := NewSystem()
+	for _, name := range []string{"p1", "p2"} {
+		rel, g := workload.Bookstore(1000, int64(len(name)))
+		g.Source = name
+		if err := sys.AddSourceGrammar(rel, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sys.QueryUnion([]string{"p1", "p2"}, `author = "Carl Jung"`, "isbn", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() == 0 {
+		t.Error("union answer empty")
+	}
+	res2, chosen, err := sys.QueryCheapest([]string{"p1", "p2"}, `author = "Carl Jung"`, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != "p1" && chosen != "p2" {
+		t.Errorf("chosen = %q", chosen)
+	}
+	if res2.Answer.Len() == 0 {
+		t.Error("cheapest answer empty")
+	}
+	if _, err := sys.QueryUnion([]string{"p1"}, `bad =`, "isbn"); err == nil {
+		t.Error("bad condition should fail")
+	}
+	if _, _, err := sys.QueryCheapest([]string{"p1"}, `bad =`, "isbn"); err == nil {
+		t.Error("bad condition should fail")
+	}
+}
+
+func TestFacadeCache(t *testing.T) {
+	sys := demoSystem(t)
+	sys.EnableCache()
+	q := `author = "Carl Jung" and title contains "dreams"`
+	if _, err := sys.Query("books", q, "isbn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query("books", q, "isbn"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := sys.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d/%d, want 1/1", hits, misses)
+	}
+}

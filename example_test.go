@@ -1,0 +1,114 @@
+package csqp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/condition"
+)
+
+// Example reproduces the paper's Example 4.1 source and §4 target query:
+// the form supports (make, max price) and (make, color) only, yet the
+// mediator answers a query with a color disjunction by widening the
+// supported source query and filtering locally.
+func Example() {
+	schema, err := csqp.NewSchema(
+		csqp.Column{Name: "make", Kind: condition.KindString},
+		csqp.Column{Name: "model", Kind: condition.KindString},
+		csqp.Column{Name: "color", Kind: condition.KindString},
+		csqp.Column{Name: "price", Kind: condition.KindInt},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := csqp.NewRelation(schema)
+	rows := []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"BMW", "528i", "black", 45000},
+		{"BMW", "318i", "blue", 29000},
+	}
+	for _, r := range rows {
+		if err := rel.AppendValues(
+			csqp.String(r.make), csqp.String(r.model),
+			csqp.String(r.color), csqp.Int(r.price)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sys := csqp.NewSystem()
+	err = sys.AddSource(rel, `
+source R
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, color}
+attributes :: s2 : {make, model}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Query("R",
+		`make = "BMW" ^ price < 40000 ^ (color = "red" _ color = "black")`,
+		"model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Answer.Sort()
+	for _, t := range res.Answer.Tuples() {
+		v, _ := t.Lookup("model")
+		fmt.Println(v.S)
+	}
+	fmt.Println("source queries:", len(res.SourceQueries))
+	// Output:
+	// 328i
+	// source queries: 1
+}
+
+// ExampleSystem_QueryWith contrasts strategies on the bookstore query of
+// Example 1.1: DISCO cannot answer it at all, while GenCompact splits it
+// into two supported queries.
+func ExampleSystem_QueryWith() {
+	schema, _ := csqp.NewSchema(
+		csqp.Column{Name: "author", Kind: condition.KindString},
+		csqp.Column{Name: "title", Kind: condition.KindString},
+	)
+	rel := csqp.NewRelation(schema)
+	for _, r := range [][2]string{
+		{"Sigmund Freud", "The Interpretation of Dreams"},
+		{"Carl Jung", "Memories, Dreams, Reflections"},
+		{"Someone Else", "A Book of Dreams"},
+	} {
+		if err := rel.AppendValues(csqp.String(r[0]), csqp.String(r[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys := csqp.NewSystem()
+	if err := sys.AddSource(rel, `
+source books
+attrs author, title
+s1 -> author = $a:string ^ title contains $t:string
+attributes :: s1 : {author, title}
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	query := `(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`
+	res, err := sys.QueryWith(csqp.GenCompact, "books", query, "title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GenCompact queries:", len(res.SourceQueries), "rows:", res.Answer.Len())
+
+	if _, err := sys.QueryWith(csqp.Disco, "books", query, "title"); err != nil {
+		fmt.Println("DISCO:", err)
+	}
+	// Output:
+	// GenCompact queries: 2 rows: 2
+	// DISCO: planner: no feasible plan
+}

@@ -1,0 +1,117 @@
+// Dealersearch demonstrates multi-source mediation: a two-source
+// equi-join composed from capability-sensitive selection plans. The paper
+// notes that selection queries "form the building blocks of more complex
+// queries"; this example joins a dealer directory (searchable by city)
+// with the car-listing source (searchable by make and price) — the
+// mediator probes the listing source once per brand sold in the city
+// (a semijoin pushdown), each probe being a grammar-checked form
+// submission.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/condition"
+)
+
+func main() {
+	sys := csqp.NewSystem()
+
+	// Source 1: a dealer directory, searchable only by city.
+	dealerSchema, err := csqp.NewSchema(
+		csqp.Column{Name: "dealer", Kind: condition.KindString},
+		csqp.Column{Name: "city", Kind: condition.KindString},
+		csqp.Column{Name: "brand", Kind: condition.KindString},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dealers := csqp.NewRelation(dealerSchema)
+	for _, row := range [][3]string{
+		{"Peninsula Motors", "Palo Alto", "BMW"},
+		{"Bayshore Auto", "Palo Alto", "Toyota"},
+		{"Camino Cars", "Palo Alto", "Honda"},
+		{"South Bay Motors", "San Jose", "BMW"},
+		{"Almaden Auto", "San Jose", "Ford"},
+	} {
+		if err := dealers.AppendValues(csqp.String(row[0]), csqp.String(row[1]), csqp.String(row[2])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.AddSource(dealers, `
+source dealers
+attrs dealer, city, brand
+key dealer
+s1 -> city = $c:string
+s2 -> brand = $b:string
+attributes :: s1 : {dealer, city, brand}
+attributes :: s2 : {dealer, city, brand}
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Source 2: listings, searchable by make (optionally with a price
+	// bound) — the web form from the paper's Example 4.1.
+	carSchema, err := csqp.NewSchema(
+		csqp.Column{Name: "make", Kind: condition.KindString},
+		csqp.Column{Name: "model", Kind: condition.KindString},
+		csqp.Column{Name: "price", Kind: condition.KindInt},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cars := csqp.NewRelation(carSchema)
+	for _, row := range []struct {
+		mk, model string
+		price     int64
+	}{
+		{"BMW", "328i", 35000},
+		{"BMW", "M5", 70000},
+		{"Toyota", "Camry", 19000},
+		{"Toyota", "Corolla", 14000},
+		{"Honda", "Accord", 18000},
+		{"Ford", "Focus", 15000},
+	} {
+		if err := cars.AppendValues(csqp.String(row.mk), csqp.String(row.model), csqp.Int(row.price)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.AddSource(cars, `
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> make = $m:string ^ price < $p:int
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// "Which cars under $40k can I buy from a Palo Alto dealer, and
+	// from whom?"
+	res, err := sys.QueryJoin(csqp.Join{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  `city = "Palo Alto"`,
+		RightCond: `price < 40000`,
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy: %s (%d capability-checked probes of the listing source)\n\n",
+		res.Strategy, res.Probes)
+	res.Answer.Sort("price")
+	for _, t := range res.Answer.Tuples() {
+		dealer, _ := t.Lookup("dealer")
+		model, _ := t.Lookup("model")
+		price, _ := t.Lookup("price")
+		fmt.Printf("  %-18s %-10s $%d\n", dealer.S, model.S, price.I)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: describe a capability-limited source in SSDL, load a few
+// rows, and let the mediator plan and answer a query the source could
+// never evaluate directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/condition"
+)
+
+// The source is Example 4.1 from the paper: a used-car site whose form
+// accepts (make, max price) or (make, color) — nothing else.
+const description = `
+source R
+attrs make, model, year, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, year, color}
+attributes :: s2 : {make, model, year}
+`
+
+func main() {
+	schema, err := csqp.NewSchema(
+		csqp.Column{Name: "make", Kind: condition.KindString},
+		csqp.Column{Name: "model", Kind: condition.KindString},
+		csqp.Column{Name: "year", Kind: condition.KindInt},
+		csqp.Column{Name: "color", Kind: condition.KindString},
+		csqp.Column{Name: "price", Kind: condition.KindInt},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := csqp.NewRelation(schema)
+	rows := []struct {
+		make, model string
+		year        int64
+		color       string
+		price       int64
+	}{
+		{"BMW", "328i", 1998, "red", 35000},
+		{"BMW", "528i", 1997, "black", 45000},
+		{"BMW", "318i", 1996, "blue", 29000},
+		{"Toyota", "Camry", 1998, "red", 19000},
+	}
+	for _, r := range rows {
+		if err := rel.AppendValues(
+			csqp.String(r.make), csqp.String(r.model), csqp.Int(r.year),
+			csqp.String(r.color), csqp.Int(r.price)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sys := csqp.NewSystem()
+	if err := sys.AddSource(rel, description); err != nil {
+		log.Fatal(err)
+	}
+
+	// The target query conjoins a supported shape with a color
+	// disjunction the form cannot express. The planner evaluates the
+	// supported part at the source (widened to export color) and the
+	// rest at the mediator.
+	query := `make = "BMW" ^ price < 40000 ^ (color = "red" _ color = "black")`
+	res, err := sys.Query("R", query, "model", "year")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("target query:", query)
+	fmt.Println("\nplan:")
+	fmt.Print(csqp.FormatPlan(res.Plan))
+	fmt.Printf("\nsource queries: %d, plan cost: %.0f\n", len(res.SourceQueries), res.Cost)
+	fmt.Println("\nanswer:")
+	for _, t := range res.Answer.Tuples() {
+		model, _ := t.Lookup("model")
+		year, _ := t.Lookup("year")
+		fmt.Printf("  %s (%d)\n", model.S, year.I)
+	}
+}

@@ -1,0 +1,197 @@
+// Package baseline implements the comparator strategies the paper
+// discusses: the naive full-pushdown of conventional optimizers, DISCO's
+// all-or-nothing rule, Garlic's CNF clause pushdown, and the DNF
+// term-per-query strategy (§1, §2). Each is faithful to the paper's
+// characterization; where the original system's behaviour is under-
+// specified for capability-limited sources, the adaptation is noted on the
+// type.
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/strset"
+)
+
+// Naive sends the entire target query to the source, as systems assuming
+// full relational capabilities do; it fails whenever the source cannot
+// evaluate the whole condition.
+type Naive struct{}
+
+// Name implements planner.Planner.
+func (Naive) Name() string { return "Naive" }
+
+// Plan implements planner.Planner.
+func (Naive) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{CTs: 1, PlansConsidered: 1}
+	defer func() { m.Duration = time.Since(start) }()
+	c0, _, _ := ctx.Checker.Stats()
+	defer func() { c1, h1, _ := ctx.Checker.Stats(); m.CheckCalls = c1 - c0; m.CheckMisses = c1 - c0 - h1 }()
+	if ctx.Checker.Supports(cond, strset.New(attrs...)) {
+		return plan.NewSourceQuery(ctx.Source, cond, attrs), m, nil
+	}
+	return nil, m, planner.ErrInfeasible
+}
+
+// Disco models DISCO's strategy: either the source processes the entire
+// condition expression, or none of it (a full download with mediator
+// evaluation). It never splits the condition (§2).
+type Disco struct{}
+
+// Name implements planner.Planner.
+func (Disco) Name() string { return "DISCO" }
+
+// Plan implements planner.Planner.
+func (Disco) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{CTs: 1}
+	defer func() { m.Duration = time.Since(start) }()
+	a := strset.New(attrs...)
+	m.PlansConsidered++
+	if ctx.Checker.Supports(cond, a) {
+		return plan.NewSourceQuery(ctx.Source, cond, attrs), m, nil
+	}
+	// The no-part option: download and evaluate everything locally.
+	m.PlansConsidered++
+	need := a.Union(condition.AttrSet(cond))
+	if need.SubsetOf(ctx.Checker.Downloadable()) {
+		dl := plan.NewSourceQuery(ctx.Source, condition.True(), need.Sorted())
+		return plan.NewSP(cond, attrs, dl), m, nil
+	}
+	return nil, m, planner.ErrInfeasible
+}
+
+// CNF models Garlic's strategy (§2): transform the condition to
+// conjunctive normal form, push the clauses the source can evaluate, and
+// apply the rest at the mediator. Garlic's capability model is per-clause;
+// against an SSDL source the pushable clause set must itself form a
+// supported conjunction, so the adaptation greedily grows the pushdown set
+// in clause order, keeping each extension only if the combined conjunction
+// stays supported. When no clause can be pushed it attempts a full
+// download, as Garlic does.
+type CNF struct {
+	// Limit caps the CNF clause count (0 = condition.DefaultNormalFormLimit).
+	Limit int
+}
+
+// Name implements planner.Planner.
+func (CNF) Name() string { return "CNF" }
+
+// Plan implements planner.Planner.
+func (b CNF) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{CTs: 1}
+	defer func() { m.Duration = time.Since(start) }()
+	clauses, err := condition.CNFClauses(cond, b.Limit)
+	if err != nil {
+		return nil, m, planner.ErrInfeasible
+	}
+	a := strset.New(attrs...)
+
+	clauseNodes := make([]condition.Node, len(clauses))
+	for i, cl := range clauses {
+		if len(cl) == 1 {
+			clauseNodes[i] = cl[0]
+		} else {
+			clauseNodes[i] = &condition.Or{Kids: cl}
+		}
+	}
+
+	// Greedily grow the pushed conjunction.
+	var pushed []condition.Node
+	var local []condition.Node
+	for _, cl := range clauseNodes {
+		trial := append(append([]condition.Node(nil), pushed...), cl)
+		m.PlansConsidered++
+		if !ctx.Checker.Check(conj(trial)).Empty() {
+			pushed = trial
+		} else {
+			local = append(local, cl)
+		}
+	}
+	if len(pushed) == 0 {
+		// Garlic attempts to download the entire source.
+		need := a.Union(condition.AttrSet(cond))
+		m.PlansConsidered++
+		if need.SubsetOf(ctx.Checker.Downloadable()) {
+			dl := plan.NewSourceQuery(ctx.Source, condition.True(), need.Sorted())
+			return plan.NewSP(cond, attrs, dl), m, nil
+		}
+		return nil, m, planner.ErrInfeasible
+	}
+	// The source query must export A plus whatever the local clauses
+	// need.
+	need := a.Clone()
+	for _, cl := range local {
+		need = need.Union(condition.AttrSet(cl))
+	}
+	pushCond := conj(pushed)
+	if !need.SubsetOf(ctx.Checker.Check(pushCond)) {
+		return nil, m, planner.ErrInfeasible
+	}
+	sq := plan.NewSourceQuery(ctx.Source, pushCond, need.Sorted())
+	if len(local) == 0 {
+		return plan.NewSP(condition.True(), attrs, sq), m, nil
+	}
+	return plan.NewSP(conj(local), attrs, sq), m, nil
+}
+
+// DNF models a DNF-based strategy (§1): transform the condition to
+// disjunctive normal form and send one source query per term, unioning the
+// results. Every term must be supported with the requested attributes;
+// otherwise it falls back to a full download like the CNF system.
+type DNF struct {
+	// Limit caps the DNF term count (0 = condition.DefaultNormalFormLimit).
+	Limit int
+}
+
+// Name implements planner.Planner.
+func (DNF) Name() string { return "DNF" }
+
+// Plan implements planner.Planner.
+func (b DNF) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{CTs: 1}
+	defer func() { m.Duration = time.Since(start) }()
+	terms, err := condition.DNFTerms(cond, b.Limit)
+	if err != nil {
+		return nil, m, planner.ErrInfeasible
+	}
+	a := strset.New(attrs...)
+	branches := make([]plan.Plan, 0, len(terms))
+	for _, term := range terms {
+		tn := conj(term)
+		m.PlansConsidered++
+		if !ctx.Checker.Supports(tn, a) {
+			need := a.Union(condition.AttrSet(cond))
+			m.PlansConsidered++
+			if need.SubsetOf(ctx.Checker.Downloadable()) {
+				dl := plan.NewSourceQuery(ctx.Source, condition.True(), need.Sorted())
+				return plan.NewSP(cond, attrs, dl), m, nil
+			}
+			return nil, m, planner.ErrInfeasible
+		}
+		branches = append(branches, plan.NewSourceQuery(ctx.Source, tn, attrs))
+	}
+	if len(branches) == 1 {
+		return branches[0], m, nil
+	}
+	return &plan.Union{Inputs: branches}, m, nil
+}
+
+// conj builds the conjunction of nodes (a single node stands alone),
+// cloning inputs so callers can keep mutating their slices.
+func conj(nodes []condition.Node) condition.Node {
+	if len(nodes) == 1 {
+		return nodes[0].Clone()
+	}
+	kids := make([]condition.Node, len(nodes))
+	for i, n := range nodes {
+		kids[i] = n.Clone()
+	}
+	return &condition.And{Kids: kids}
+}

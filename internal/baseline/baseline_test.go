@@ -1,0 +1,281 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// bookstore builds Example 1.1's source: author search, title-keyword
+// search, or both — but no author disjunctions.
+func bookstore(t *testing.T) (*planner.Context, *relation.Relation) {
+	t.Helper()
+	g := ssdl.MustParse(`
+source books
+attrs author, title, isbn
+key isbn
+s1 -> author = $a:string
+s2 -> title contains $t:string
+s3 -> author = $a:string ^ title contains $t:string
+attributes :: s1 : {author, title, isbn}
+attributes :: s2 : {author, title, isbn}
+attributes :: s3 : {author, title, isbn}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "author", Kind: condition.KindString},
+		relation.Column{Name: "title", Kind: condition.KindString},
+		relation.Column{Name: "isbn", Kind: condition.KindString},
+	)
+	r := relation.New(s)
+	add := func(author, title, isbn string) {
+		if err := r.AppendValues(condition.String(author), condition.String(title), condition.String(isbn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Sigmund Freud", "The Interpretation of Dreams", "i1")
+	add("Carl Jung", "Memories, Dreams, Reflections", "i2")
+	for i := 0; i < 30; i++ {
+		add("Someone Else", "A Book of Dreams", string(rune('a'+i%26))+string(rune('0'+i/26)))
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"books": r})
+	ctx := &planner.Context{
+		Source:  "books",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(g, 0)),
+		Model:   cost.Model{K1: 1, K2: 1, Est: est},
+	}
+	return ctx, r
+}
+
+var example11Cond = `(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`
+
+func TestNaive(t *testing.T) {
+	ctx, _ := bookstore(t)
+	// The full disjunctive query is unsupported: naive fails (§1: "would
+	// try sending the full unsupported query").
+	_, _, err := Naive{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// A directly supported query is passed through whole.
+	p, _, err := Naive{}.Plan(ctx, condition.MustParse(`author = "Carl Jung"`), []string{"isbn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.SourceQueries(p)) != 1 {
+		t.Error("naive should produce exactly one source query")
+	}
+}
+
+func TestDiscoFailsExample11(t *testing.T) {
+	ctx, _ := bookstore(t)
+	// §2: "DISCO fails to generate feasible plans for both the example
+	// queries of Section 1" (no download rule here).
+	_, _, err := Disco{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDiscoDownloadsWhenAllowed(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs a, b
+s1 -> a = $v:int
+dl -> true
+attributes :: s1 : {a, b}
+attributes :: dl : {a, b}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "a", Kind: condition.KindInt},
+		relation.Column{Name: "b", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	for i := 0; i < 4; i++ {
+		if err := r.AppendValues(condition.Int(int64(i%2)), condition.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(g),
+		Model:   cost.Model{K1: 1, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})},
+	}
+	// a=1 _ b=2 is not supported whole; DISCO downloads.
+	p, _, err := Disco{}.Plan(ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 || !condition.IsTrue(qs[0].Cond) {
+		t.Errorf("DISCO should download:\n%s", plan.Format(p))
+	}
+}
+
+func TestCNFPushesSupportedClause(t *testing.T) {
+	ctx, r := bookstore(t)
+	p, _, err := CNF{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 {
+		t.Fatalf("CNF should send one source query, got %d", len(qs))
+	}
+	// The pushed clause is the title clause; the author disjunction is
+	// applied at the mediator, so the source query must export author.
+	if condition.Size(qs[0].Cond) != 1 {
+		t.Errorf("pushed condition should be the single title clause: %s", qs[0].Cond.Key())
+	}
+	if !qs[0].OutAttrs().Has("author") {
+		t.Errorf("source query must export author for mediator filtering: %v", qs[0].Attrs)
+	}
+	// The Garlic plan extracts every book matching "dreams" — far more
+	// than the 2-query plan's 2 tuples.
+	n := int(ctx.Model.Est.ResultSize("books", qs[0].Cond))
+	if n != 32 {
+		t.Errorf("CNF plan extracts %d tuples, want all 32 dreams books", n)
+	}
+	_ = r
+}
+
+func TestDNFSplitsExample11(t *testing.T) {
+	ctx, _ := bookstore(t)
+	p, _, err := DNF{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 2 {
+		t.Fatalf("DNF should send 2 source queries, got %d", len(qs))
+	}
+	for _, q := range qs {
+		if condition.Size(q.Cond) != 2 {
+			t.Errorf("each DNF term should be author ∧ title: %s", q.Cond.Key())
+		}
+	}
+}
+
+func TestCNFFallsBackToDownload(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs a, b
+dl -> true
+s1 -> a = $v:int ^ b = $v:int
+attributes :: dl : {a, b}
+attributes :: s1 : {a, b}
+`)
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(g),
+		Model:   cost.Model{K1: 1, K2: 1, Est: cost.FixedEstimator(1)},
+	}
+	// No single CNF clause is supported (only the 2-conjunct whole is),
+	// so Garlic downloads.
+	p, _, err := CNF{}.Plan(ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 || !condition.IsTrue(qs[0].Cond) {
+		t.Errorf("CNF should download:\n%s", plan.Format(p))
+	}
+}
+
+func TestCNFInfeasibleWithoutDownload(t *testing.T) {
+	ctx, _ := bookstore(t)
+	// No clause of (isbn = "x") is supported and no download rule.
+	_, _, err := CNF{}.Plan(ctx, condition.MustParse(`isbn = "x"`), []string{"isbn"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDNFInfeasibleTerm(t *testing.T) {
+	ctx, _ := bookstore(t)
+	// One term is fine (author), the other (isbn) is not supported; no
+	// download: infeasible.
+	_, _, err := DNF{}.Plan(ctx, condition.MustParse(`author = "Carl Jung" _ isbn = "i1"`), []string{"isbn"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDNFSingleTermCollapses(t *testing.T) {
+	ctx, _ := bookstore(t)
+	p, _, err := DNF{}.Plan(ctx, condition.MustParse(`author = "Carl Jung" ^ title contains "dreams"`), []string{"isbn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*plan.SourceQuery); !ok {
+		t.Errorf("single-term DNF should be a bare source query, got %T", p)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    planner.Planner
+		want string
+	}{
+		{Naive{}, "Naive"},
+		{Disco{}, "DISCO"},
+		{CNF{}, "CNF"},
+		{DNF{}, "DNF"},
+	} {
+		if tc.p.Name() != tc.want {
+			t.Errorf("name = %q, want %q", tc.p.Name(), tc.want)
+		}
+	}
+}
+
+// All baselines' plans, when feasible, compute the correct answer.
+func TestBaselinePlansExecuteCorrectly(t *testing.T) {
+	ctx, r := bookstore(t)
+	srcs := plan.SourceMap{"books": &oracleSource{rel: r, chk: ctx.Checker}}
+	cond := condition.MustParse(example11Cond)
+	want, err := r.Select(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, err := want.Project([]string{"isbn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []planner.Planner{CNF{}, DNF{}} {
+		pl, _, err := p.Plan(ctx, cond, []string{"isbn"})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		got, err := plan.Execute(pl, srcs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !got.Equal(wantP) {
+			t.Errorf("%s: wrong answer (%d tuples, want %d)", p.Name(), got.Len(), wantP.Len())
+		}
+	}
+}
+
+// oracleSource enforces the planning (closure) checker, standing in for a
+// mediator-fixed execution path.
+type oracleSource struct {
+	rel *relation.Relation
+	chk *ssdl.Checker
+}
+
+func (s *oracleSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	sel := s.rel
+	if !condition.IsTrue(cond) {
+		var err error
+		sel, err = s.rel.Select(cond)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sel.Project(attrs)
+}

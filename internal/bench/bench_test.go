@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Small configurations keep the unit tests fast; the full-size runs live
+// in cmd/experiments and the root bench_test.go.
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	tab, err := E1Bookstore(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowMap(tab)
+	if rows["GenCompact"][1] != "yes" || rows["GenCompact"][2] != "2" {
+		t.Errorf("GenCompact row = %v", rows["GenCompact"])
+	}
+	if rows["DISCO"][1] != "no" || rows["Naive"][1] != "no" {
+		t.Error("DISCO and Naive must be infeasible")
+	}
+	gcTuples := atoiOr(rows["GenCompact"][3], -1)
+	cnfTuples := atoiOr(rows["CNF"][3], -1)
+	if gcTuples <= 0 || cnfTuples <= 0 || cnfTuples < 10*gcTuples {
+		t.Errorf("CNF should transfer ≫ GenCompact: %d vs %d", cnfTuples, gcTuples)
+	}
+	for name, row := range rows {
+		if row[1] == "yes" && row[5] != "yes" {
+			t.Errorf("%s produced an incorrect answer", name)
+		}
+	}
+}
+
+func TestE2ShapeMatchesPaper(t *testing.T) {
+	tab, err := E2CarSearch(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowMap(tab)
+	if rows["GenCompact"][2] != "2" {
+		t.Errorf("GenCompact should send 2 queries, row = %v", rows["GenCompact"])
+	}
+	if rows["DNF"][2] != "4" {
+		t.Errorf("DNF should send 4 queries, row = %v", rows["DNF"])
+	}
+	if rows["GenCompact"][3] != rows["DNF"][3] {
+		t.Errorf("GenCompact and DNF should transfer the same data: %s vs %s",
+			rows["GenCompact"][3], rows["DNF"][3])
+	}
+	if atoiOr(rows["CNF"][3], 0) <= atoiOr(rows["GenCompact"][3], 0) {
+		t.Error("CNF should transfer more entries than GenCompact")
+	}
+}
+
+func TestE3RunsAndOrdersStrategies(t *testing.T) {
+	tab, err := E3PlanQuality(QualityConfig{Seed: 1, Queries: 4, AtomCounts: []int{3, 4}, Rows: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowMap(tab)
+	if rows["GenCompact"][2] != "1.00" {
+		t.Errorf("GenCompact must be the 1.00 reference, got %v", rows["GenCompact"][2])
+	}
+	// Feasibility: GenCompact ≥ every baseline.
+	gcFeasible := atoiOr(rows["GenCompact"][1], 0)
+	for name, row := range rows {
+		if atoiOr(row[1], 0) > gcFeasible {
+			t.Errorf("%s reports more feasible plans (%s) than GenCompact (%d)", name, row[1], gcFeasible)
+		}
+	}
+}
+
+func TestE4GenCompactFaster(t *testing.T) {
+	tab, err := E4PlanningCost(CostConfig{Seed: 2, Queries: 3, Sizes: []int{3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		mCTs, cCTs := atoiOr(row[2], 0), atoiOr(row[5], 0)
+		if cCTs >= mCTs {
+			t.Errorf("atoms=%s: GenCompact CTs (%d) should be fewer than GenModular's (%d)", row[0], cCTs, mCTs)
+		}
+	}
+}
+
+func TestE5PruningPreservesOptimum(t *testing.T) {
+	tab, err := E5PruningAblation(CostConfig{Seed: 3, Queries: 3, Sizes: []int{3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All variants report identical summed best-plan cost.
+	ref := tab.Rows[0][5]
+	for _, row := range tab.Rows[1:] {
+		if row[5] != ref {
+			t.Errorf("%s changed the optimum: %s vs %s", row[0], row[5], ref)
+		}
+	}
+	// And "no pruning" does at least as much work.
+	if atoiOr(tab.Rows[len(tab.Rows)-1][1], 0) < atoiOr(tab.Rows[0][1], 0) {
+		t.Error("unpruned variant should consider at least as many plans")
+	}
+}
+
+func TestE6FeasibilityDominance(t *testing.T) {
+	tab, err := E6Feasibility(QualityConfig{Seed: 4, Queries: 5, AtomCounts: []int{3, 5}, Rows: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 2 is GenCompact; it must dominate every other strategy in
+	// every class row.
+	for _, row := range tab.Rows {
+		gc := row[2]
+		for i := 3; i < len(row); i++ {
+			if strings.Compare(pad(row[i]), pad(gc)) > 0 {
+				t.Errorf("class %s: %s=%s exceeds GenCompact=%s", row[0], tab.Columns[i], row[i], gc)
+			}
+		}
+	}
+}
+
+func TestE7Linearity(t *testing.T) {
+	tab, err := E7CheckLinear(CheckConfig{Sizes: []int{8, 64, 256}, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µs/atom must not explode: allow a generous 10x drift between the
+	// smallest and largest size (a quadratic matcher would drift ~32x).
+	first := atofOr(tab.Rows[0][2])
+	last := atofOr(tab.Rows[len(tab.Rows)-1][2])
+	if first <= 0 || last <= 0 {
+		t.Fatalf("bad per-atom timings: %v %v", first, last)
+	}
+	if last > 10*first {
+		t.Errorf("per-atom Check time drifts superlinearly: %.3f -> %.3f µs/atom", first, last)
+	}
+}
+
+func TestE8CrossoverMonotone(t *testing.T) {
+	tab, err := E8Crossover(CrossoverConfig{Size: 5000, K1Values: []float64{0, 10, 100000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query count must not increase as k1 grows.
+	prev := 1 << 30
+	for _, row := range tab.Rows {
+		q := atoiOr(row[1], 0)
+		if q > prev {
+			t.Errorf("query count increased with k1: %v", tab.Rows)
+		}
+		prev = q
+	}
+	// At the extreme a single coarse query wins (it still beats a full
+	// download, which moves the whole catalog).
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	if lastRow[1] != "1" {
+		t.Errorf("huge k1 should collapse to a single source query: %v", lastRow)
+	}
+	// At k1=0, many narrow queries win.
+	if atoiOr(tab.Rows[0][1], 0) < 3 {
+		t.Errorf("k1=0 should pick several narrow queries: %v", tab.Rows[0])
+	}
+}
+
+func TestVerifyStrategyCorrectness(t *testing.T) {
+	checked, err := VerifyStrategyCorrectness(QualityConfig{
+		Seed: 5, Queries: 4, AtomCounts: []int{3, 5}, Rows: 300,
+		Classes: []workload.ProfileClass{workload.ProfileAtomic, workload.ProfileConjTemplates, workload.ProfileWithDownload},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 10 {
+		t.Errorf("only %d plans verified; workload too infeasible to be meaningful", checked)
+	}
+}
+
+func TestReferenceOptimalityCheck(t *testing.T) {
+	n, err := ReferenceOptimalityCheck(QualityConfig{
+		Seed: 6, Queries: 3, AtomCounts: []int{3}, Rows: 200,
+		Classes: []workload.ProfileClass{workload.ProfileAtomic, workload.ProfileConjTemplates},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no optimality agreements checked")
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	txt := tab.Render()
+	if !strings.Contains(txt, "EX — demo") || !strings.Contains(txt, "bb") {
+		t.Errorf("Render:\n%s", txt)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "*Note:* n") {
+		t.Errorf("Markdown:\n%s", md)
+	}
+}
+
+// --- helpers ---
+
+func rowMap(t *Table) map[string][]string {
+	m := make(map[string][]string, len(t.Rows))
+	for _, r := range t.Rows {
+		m[r[0]] = r
+	}
+	return m
+}
+
+func atoiOr(s string, def int) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	if s == "" {
+		return def
+	}
+	return n
+}
+
+func atofOr(s string) float64 {
+	var v float64
+	var frac float64 = -1
+	for _, c := range s {
+		if c == '.' {
+			frac = 0.1
+			continue
+		}
+		if c < '0' || c > '9' {
+			return -1
+		}
+		if frac < 0 {
+			v = v*10 + float64(c-'0')
+		} else {
+			v += float64(c-'0') * frac
+			frac /= 10
+		}
+	}
+	return v
+}
+
+// pad makes "9.00" < "10.00" compare correctly as strings.
+func pad(s string) string {
+	if i := strings.IndexByte(s, '.'); i >= 0 && i < 3 {
+		return strings.Repeat("0", 3-i) + s
+	}
+	return s
+}
+
+func TestE9JoinStrategiesAdapt(t *testing.T) {
+	tab, err := E9Joins(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowMap(tab)
+	vl := rows["value-list form"]
+	if vl[1] != "semijoin" || vl[2] != "1" {
+		t.Errorf("value-list profile should batch into 1 query: %v", vl)
+	}
+	sv := rows["single-value form"]
+	if sv[1] != "semijoin" || atoiOr(sv[2], 0) < 2 {
+		t.Errorf("single-value profile should split per binding: %v", sv)
+	}
+	dl := rows["download-only"]
+	if dl[2] != "1" {
+		t.Errorf("download-only profile should issue one download: %v", dl)
+	}
+	// All three compute the same join.
+	if vl[4] != sv[4] || sv[4] != dl[4] {
+		t.Errorf("join answers differ across profiles: %v %v %v", vl[4], sv[4], dl[4])
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/ssdl"
+)
+
+// CheckConfig parameterizes experiment E7.
+type CheckConfig struct {
+	// Sizes are the condition sizes (atom counts) to sweep (default
+	// 4..512 doubling).
+	Sizes []int
+	// Repeats per size (default 50).
+	Repeats int
+}
+
+func (c *CheckConfig) defaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 50
+	}
+}
+
+// chainGrammarSrc supports arbitrarily long conjunctions over one
+// attribute via a recursive rule — the worst case for a naive matcher, a
+// linear case for the parser.
+const chainGrammarSrc = `
+source chain
+attrs a, b
+chain -> a = $v:int | a = $v:int ^ chain
+attributes :: chain : {a, b}
+`
+
+// E7CheckLinear measures Check latency versus condition size and versus
+// grammar size (commutative-closure inflation), reproducing §6.1's claim.
+func E7CheckLinear(cfg CheckConfig) (*Table, error) {
+	cfg.defaults()
+	g, err := ssdl.Parse(chainGrammarSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "E7",
+		Title:   "Check runs in time linear in the condition size",
+		Claim:   "\"the parser still runs in time linear in the size of the condition expression, irrespective of the number of CFG rules\"",
+		Columns: []string{"atoms", "Check µs", "µs per atom"},
+		Notes:   []string{"fresh checker per measurement (no memo hits); recursive chain grammar"},
+	}
+	for _, size := range cfg.Sizes {
+		cond := chainCondition(size)
+		var total time.Duration
+		for i := 0; i < cfg.Repeats; i++ {
+			checker := ssdl.NewChecker(g)
+			start := time.Now()
+			if checker.Check(cond).Empty() {
+				return nil, fmt.Errorf("chain condition of %d atoms should be supported", size)
+			}
+			total += time.Since(start)
+		}
+		per := total / time.Duration(cfg.Repeats)
+		t.Rows = append(t.Rows, []string{
+			itoa(size),
+			f2(float64(per.Nanoseconds()) / 1000),
+			f2(float64(per.Nanoseconds()) / 1000 / float64(size)),
+		})
+	}
+
+	// Second half: grammar-size sweep at fixed condition size.
+	inflated, err := ruleCountSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, inflated...)
+	return t, nil
+}
+
+// ruleCountSweep measures Check latency at a fixed condition size while
+// the rule count grows through commutative closure of wider templates.
+func ruleCountSweep(cfg CheckConfig) ([]string, error) {
+	var notes []string
+	for _, segs := range []int{2, 4, 6} {
+		var body []string
+		var condParts []string
+		for i := 0; i < segs; i++ {
+			body = append(body, fmt.Sprintf("f%d = $v:int", i))
+			condParts = append(condParts, fmt.Sprintf("f%d = 1", i))
+		}
+		var attrs []string
+		for i := 0; i < segs; i++ {
+			attrs = append(attrs, fmt.Sprintf("f%d", i))
+		}
+		src := fmt.Sprintf("source w\nattrs %s\ns1 -> %s\nattributes :: s1 : {%s}\n",
+			strings.Join(attrs, ", "), strings.Join(body, " ^ "), strings.Join(attrs, ", "))
+		g, err := ssdl.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		closed := ssdl.CommutativeClosure(g, 0)
+		cond := condition.MustParse(strings.Join(condParts, " ^ "))
+		var total time.Duration
+		for i := 0; i < cfg.Repeats; i++ {
+			checker := ssdl.NewChecker(closed)
+			start := time.Now()
+			checker.Check(cond)
+			total += time.Since(start)
+		}
+		per := total / time.Duration(cfg.Repeats)
+		notes = append(notes, fmt.Sprintf("rule-count sweep: %d rules (closure of %d-conjunct template) -> Check %.2fµs",
+			len(closed.Rules), segs, float64(per.Nanoseconds())/1000))
+	}
+	return notes, nil
+}
+
+// chainCondition builds a = 0 ^ a = 1 ^ ... with n atoms (values differ so
+// memo keys do not collapse).
+func chainCondition(n int) condition.Node {
+	kids := make([]condition.Node, n)
+	for i := range kids {
+		kids[i] = condition.NewAtomic("a", condition.OpEq, condition.Int(int64(i)))
+	}
+	if n == 1 {
+		return kids[0]
+	}
+	return &condition.And{Kids: kids}
+}

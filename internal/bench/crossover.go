@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+	"repro/internal/workload"
+)
+
+// CrossoverConfig parameterizes experiment E8.
+type CrossoverConfig struct {
+	// K1Values are the per-query overhead values to sweep with K2 fixed
+	// at 1 (default 0, 1, 10, 100, 1000, 10000).
+	K1Values []float64
+	// Size is the bookstore catalog size (default 20000).
+	Size int
+	Seed int64
+}
+
+func (c *CrossoverConfig) defaults() {
+	if len(c.K1Values) == 0 {
+		c.K1Values = []float64{0, 1, 10, 100, 1000, 10000}
+	}
+	if c.Size == 0 {
+		c.Size = 20000
+	}
+}
+
+// downloadableBookstoreGrammar extends the bookstore description with a
+// download rule so that the k1 sweep has a one-query endpoint to cross to.
+const downloadableBookstoreGrammar = `
+source books
+attrs author, title, isbn, price
+key isbn
+s1 -> author = $a:string
+s2 -> title contains $t:string
+s3 -> author = $a:string ^ title contains $t:string
+dl -> true
+attributes :: s1 : {author, title, isbn, price}
+attributes :: s2 : {author, title, isbn, price}
+attributes :: s3 : {author, title, isbn, price}
+attributes :: dl : {author, title, isbn, price}
+`
+
+// E8Crossover sweeps the cost model's k1 (per-query overhead) with k2=1
+// and reports the plan GenCompact picks for a many-author query: with
+// cheap queries it issues one narrow query per author; as k1 grows it
+// collapses to fewer, coarser queries and finally to a single download.
+func E8Crossover(cfg CrossoverConfig) (*Table, error) {
+	cfg.defaults()
+	rel, _ := workload.Bookstore(cfg.Size, cfg.Seed)
+	g, err := ssdl.Parse(downloadableBookstoreGrammar)
+	if err != nil {
+		return nil, err
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"books": rel})
+	checker := ssdl.NewChecker(ssdl.CommutativeClosure(g, 0))
+
+	// Five-author disjunction conjoined with a title keyword: many
+	// narrow queries vs one broad keyword query vs full download.
+	cond := condition.MustParse(`(author = "Sigmund Freud" _ author = "Carl Jung" _ author = "Author 1" _ author = "Author 2" _ author = "Author 3") ^ title contains "dreams"`)
+	attrs := []string{"isbn", "title"}
+
+	t := &Table{
+		ID:      "E8",
+		Title:   "Cost-model crossover (k1 sweep, k2 = 1)",
+		Claim:   "GenCompact \"can be easily adapted to\" different cost models: the chosen plan shifts from many narrow queries to few coarse ones as per-query overhead grows",
+		Columns: []string{"k1", "source queries", "downloads", "est. tuples moved", "plan cost"},
+		Notes: []string{
+			fmt.Sprintf("%d-book catalog; query: 5-author disjunction ∧ title keyword; download permitted", cfg.Size),
+		},
+	}
+	for _, k1 := range cfg.K1Values {
+		ctx := &planner.Context{
+			Source:  "books",
+			Checker: checker,
+			Model:   cost.Model{K1: k1, K2: 1, Est: est},
+		}
+		pl, _, err := core.New().Plan(ctx, cond, attrs)
+		if err != nil {
+			return nil, err
+		}
+		qs := plan.SourceQueries(pl)
+		downloads := 0
+		moved := 0.0
+		for _, q := range qs {
+			if condition.IsTrue(q.Cond) {
+				downloads++
+			}
+			moved += est.ResultSize("books", q.Cond)
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(k1), itoa(len(qs)), itoa(downloads), f2(moved), f2(ctx.Model.PlanCost(pl)),
+		})
+	}
+	return t, nil
+}

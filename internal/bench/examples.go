@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/genmodular"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+	"repro/internal/workload"
+)
+
+// Strategies returns the standard strategy line-up compared throughout the
+// evaluation. GenModular runs with bounded rewrite caps so it terminates;
+// the caps are generous enough to find the optimum for the paper's
+// examples.
+func Strategies() []planner.Planner {
+	return []planner.Planner{
+		core.New(),
+		&genmodular.Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 2000, MaxAtoms: 10}},
+		baseline.CNF{},
+		baseline.DNF{},
+		baseline.Disco{},
+		baseline.Naive{},
+	}
+}
+
+// FastStrategies omits GenModular, whose rewrite closure dominates runtime
+// on larger query suites.
+func FastStrategies() []planner.Planner {
+	return []planner.Planner{core.New(), baseline.CNF{}, baseline.DNF{}, baseline.Disco{}, baseline.Naive{}}
+}
+
+// scenarioRow runs one strategy against a prepared source and reports
+// feasibility, query count, tuples transferred and answer correctness.
+func scenarioRow(med *mediator.Mediator, src *source.Local, p planner.Planner,
+	cond condition.Node, attrs []string) ([]string, error) {
+	src.ResetAccounting()
+	res, err := med.Answer(p, src.Name(), cond, attrs)
+	if err != nil {
+		if errors.Is(err, planner.ErrInfeasible) {
+			return []string{p.Name(), "no", "-", "-", "-", "-"}, nil
+		}
+		return nil, fmt.Errorf("%s: %w", p.Name(), err)
+	}
+	acc := src.Accounting()
+	direct, err := src.Relation().Select(cond)
+	if err != nil {
+		return nil, err
+	}
+	want, err := direct.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	// Plans project attributes in sorted order; align columns before
+	// comparing.
+	got, err := res.Relation.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	correct := "yes"
+	if !got.Equal(want) {
+		correct = "NO"
+	}
+	return []string{
+		p.Name(), "yes",
+		itoa(len(plan.SourceQueries(res.Plan))),
+		itoa(acc.Tuples),
+		itoa(res.Relation.Len()),
+		correct,
+	}, nil
+}
+
+var scenarioColumns = []string{"strategy", "feasible", "source queries", "tuples transferred", "answer size", "correct"}
+
+// E1Bookstore reproduces Example 1.1 end to end on the calibrated catalog.
+func E1Bookstore(size int, seed int64) (*Table, error) {
+	if size <= 0 {
+		size = workload.DefaultBookstoreSize
+	}
+	rel, g := workload.Bookstore(size, seed)
+	return exampleScenario(
+		"E1", "Bookstore (Example 1.1)",
+		"Garlic's CNF plan extracts over 2,000 entries; the two-query plan fewer than 20; DISCO and naive full-pushdown are infeasible",
+		rel, g,
+		condition.MustParse(workload.Example11Condition), workload.Example11Attrs,
+		fmt.Sprintf("catalog of %d books, seed %d", size, seed),
+	)
+}
+
+// E2CarSearch reproduces Example 1.2 end to end.
+func E2CarSearch(size int, seed int64) (*Table, error) {
+	if size <= 0 {
+		size = workload.DefaultCarsSize
+	}
+	rel, g := workload.Cars(size, seed)
+	return exampleScenario(
+		"E2", "Car shopping guide (Example 1.2)",
+		"GenCompact sends 2 source queries; DNF sends 4 for the same data; CNF transfers many more entries; DISCO is infeasible",
+		rel, g,
+		condition.MustParse(workload.Example12Condition), workload.Example12Attrs,
+		fmt.Sprintf("%d listings, seed %d", size, seed),
+	)
+}
+
+func exampleScenario(id, title, claim string, rel *relation.Relation, g *ssdl.Grammar,
+	cond condition.Node, attrs []string, note string) (*Table, error) {
+	src, err := source.NewLocal("", rel, g)
+	if err != nil {
+		return nil, err
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{src.Name(): rel})
+	med := mediator.New(cost.Model{K1: 10, K2: 1, Est: est})
+	if err := med.Register("", src, g); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: id, Title: title, Claim: claim,
+		Columns: scenarioColumns,
+		Notes:   []string{note, "cost model k1=10, k2=1 with exact (oracle) cardinalities"},
+	}
+	for _, p := range Strategies() {
+		row, err := scenarioRow(med, src, p, cond, attrs)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+	"repro/internal/workload"
+)
+
+// QualityConfig parameterizes the random-workload experiments E3 and E6.
+type QualityConfig struct {
+	Seed       int64
+	Attrs      int // domain width (default 6)
+	Rows       int // relation size (default 2000)
+	Queries    int // queries per (class, size) cell (default 30)
+	AtomCounts []int
+	Classes    []workload.ProfileClass
+	K1, K2     float64
+}
+
+func (c *QualityConfig) defaults() {
+	if c.Attrs == 0 {
+		c.Attrs = 6
+	}
+	if c.Rows == 0 {
+		c.Rows = 2000
+	}
+	if c.Queries == 0 {
+		c.Queries = 30
+	}
+	if len(c.AtomCounts) == 0 {
+		c.AtomCounts = []int{3, 5, 8}
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = workload.AllProfileClasses
+	}
+	if c.K1 == 0 {
+		c.K1 = 10
+	}
+	if c.K2 == 0 {
+		c.K2 = 1
+	}
+}
+
+// E3PlanQuality compares plan cost across strategies on random workloads,
+// normalized to GenCompact (the paper's optimum under the cost model).
+// Ratios above 1.0 mean the baseline transfers more data or issues more
+// queries than necessary.
+func E3PlanQuality(cfg QualityConfig) (*Table, error) {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	strategies := FastStrategies()
+
+	type agg struct {
+		feasible    int
+		ratioSum    float64
+		ratioN      int
+		queriesSum  int
+		transferSum float64
+	}
+	stats := make([]agg, len(strategies))
+	total := 0
+
+	err := forEachRandomQuery(cfg, r, func(ctx *planner.Context, cond condQuery) error {
+		gc, _, errGC := strategies[0].Plan(ctx, cond.node, cond.attrs)
+		if errGC != nil {
+			if errors.Is(errGC, planner.ErrInfeasible) {
+				return nil // skip queries with no feasible plan at all
+			}
+			return errGC
+		}
+		total++
+		base := ctx.Model.PlanCost(gc)
+		record := func(i int, pl plan.Plan) {
+			stats[i].feasible++
+			qs := plan.SourceQueries(pl)
+			stats[i].queriesSum += len(qs)
+			for _, q := range qs {
+				stats[i].transferSum += ctx.Model.Est.ResultSize(q.Source, q.Cond)
+			}
+			if base > 0 {
+				stats[i].ratioSum += ctx.Model.PlanCost(pl) / base
+				stats[i].ratioN++
+			}
+		}
+		record(0, gc)
+		for i, p := range strategies[1:] {
+			pl, _, err := p.Plan(ctx, cond.node, cond.attrs)
+			if err != nil {
+				if errors.Is(err, planner.ErrInfeasible) {
+					continue
+				}
+				return err
+			}
+			record(i+1, pl)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "E3",
+		Title: "Plan quality on random workloads",
+		Claim: "GenCompact finds efficient feasible plans; CNF/DNF strategies are worse when feasible, DISCO/naive often infeasible",
+		Columns: []string{
+			"strategy", "feasible (of " + itoa(total) + ")", "mean cost ratio vs GenCompact",
+			"mean source queries", "mean est. transfer",
+		},
+		Notes: []string{
+			fmt.Sprintf("random domains (%d attrs), %d-row relations, %d queries per class/size cell, profile classes %v, atom counts %v",
+				cfg.Attrs, cfg.Rows, cfg.Queries, cfg.Classes, cfg.AtomCounts),
+			"only queries where GenCompact found a feasible plan are counted; ratios averaged over each strategy's feasible subset",
+		},
+	}
+	for i, p := range strategies {
+		ratio, meanQ, meanT := "-", "-", "-"
+		if stats[i].ratioN > 0 {
+			ratio = f2(stats[i].ratioSum / float64(stats[i].ratioN))
+		}
+		if stats[i].feasible > 0 {
+			meanQ = f2(float64(stats[i].queriesSum) / float64(stats[i].feasible))
+			meanT = f2(stats[i].transferSum / float64(stats[i].feasible))
+		}
+		t.Rows = append(t.Rows, []string{p.Name(), itoa(stats[i].feasible), ratio, meanQ, meanT})
+	}
+	return t, nil
+}
+
+// E6Feasibility measures the fraction of random queries each strategy can
+// answer at all, per capability-profile class.
+func E6Feasibility(cfg QualityConfig) (*Table, error) {
+	cfg.defaults()
+	strategies := FastStrategies()
+	t := &Table{
+		ID:    "E6",
+		Title: "Feasibility coverage by capability class",
+		Claim: "GenCompact guarantees plans whenever any feasible plan exists; DISCO fails whenever splitting is required (it fails both §1 examples)",
+		Columns: append([]string{"class", "queries"}, func() []string {
+			names := make([]string, len(strategies))
+			for i, p := range strategies {
+				names[i] = p.Name() + " %"
+			}
+			return names
+		}()...),
+		Notes: []string{"percentages are of all generated queries (including ones no strategy can answer)"},
+	}
+
+	for _, class := range cfg.Classes {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		counts := make([]int, len(strategies))
+		total := 0
+		one := cfg
+		one.Classes = []workload.ProfileClass{class}
+		err := forEachRandomQuery(one, r, func(ctx *planner.Context, cond condQuery) error {
+			total++
+			for i, p := range strategies {
+				if _, _, err := p.Plan(ctx, cond.node, cond.attrs); err == nil {
+					counts[i]++
+				} else if !errors.Is(err, planner.ErrInfeasible) {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{class.String(), itoa(total)}
+		for _, c := range counts {
+			row = append(row, f2(100*float64(c)/float64(total)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// condQuery is one generated target query.
+type condQuery struct {
+	node  condition.Node
+	attrs []string
+}
+
+// forEachRandomQuery generates the cross product of profile classes and
+// atom counts, building a fresh source per class and invoking fn per
+// query. The planning context uses the commutative-closure checker and an
+// oracle estimator, as the mediator would.
+func forEachRandomQuery(cfg QualityConfig, r *rand.Rand, fn func(*planner.Context, condQuery) error) error {
+	dom := workload.RandomDomain(r, cfg.Attrs)
+	rel := dom.GenRelation(r, cfg.Rows)
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{dom.Name: rel})
+	model := cost.Model{K1: cfg.K1, K2: cfg.K2, Est: est}
+	for _, class := range cfg.Classes {
+		g := workload.RandomGrammar(dom, r, class)
+		checker := ssdl.NewChecker(ssdl.CommutativeClosure(g, 0))
+		ctx := &planner.Context{Source: dom.Name, Checker: checker, Model: model}
+		for _, natoms := range cfg.AtomCounts {
+			for q := 0; q < cfg.Queries; q++ {
+				// Mostly structured (form-shaped) queries, with some
+				// uniformly random trees for coverage.
+				var cond condition.Node
+				if q%4 == 3 {
+					cond = dom.RandomQuery(r, natoms)
+				} else {
+					cond = dom.RandomStructuredQuery(r, natoms)
+				}
+				attrs := []string{dom.KeyAttr()}
+				if err := fn(ctx, condQuery{node: cond, attrs: attrs}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyStrategyCorrectness executes every feasible plan each strategy
+// produces on random workloads and compares the answer with direct
+// evaluation; it returns the number of (strategy, query) pairs checked and
+// the first mismatch found, if any. Experiments call it as a soundness
+// gate; it also backs the cross-planner property test.
+func VerifyStrategyCorrectness(cfg QualityConfig) (int, error) {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dom := workload.RandomDomain(r, cfg.Attrs)
+	rel := dom.GenRelation(r, cfg.Rows)
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{dom.Name: rel})
+	model := cost.Model{K1: cfg.K1, K2: cfg.K2, Est: est}
+	checked := 0
+	for _, class := range cfg.Classes {
+		g := workload.RandomGrammar(dom, r, class)
+		src, err := source.NewLocal("", rel, g)
+		if err != nil {
+			return checked, err
+		}
+		med := mediator.New(model)
+		if err := med.Register("", src, g); err != nil {
+			return checked, err
+		}
+		for _, natoms := range cfg.AtomCounts {
+			for q := 0; q < cfg.Queries; q++ {
+				var cond condition.Node
+				if q%4 == 3 {
+					cond = dom.RandomQuery(r, natoms)
+				} else {
+					cond = dom.RandomStructuredQuery(r, natoms)
+				}
+				attrs := []string{dom.KeyAttr()}
+				direct, err := rel.Select(cond)
+				if err != nil {
+					return checked, err
+				}
+				want, err := direct.Project(attrs)
+				if err != nil {
+					return checked, err
+				}
+				for _, p := range FastStrategies() {
+					res, err := med.Answer(p, dom.Name, cond, attrs)
+					if errors.Is(err, planner.ErrInfeasible) {
+						continue
+					}
+					if err != nil {
+						return checked, fmt.Errorf("%s on %s: %w", p.Name(), cond.Key(), err)
+					}
+					got, err := res.Relation.Project(attrs)
+					if err != nil {
+						return checked, err
+					}
+					if !got.Equal(want) {
+						return checked, fmt.Errorf("%s answered %d tuples, want %d, for %s (class %v)",
+							p.Name(), got.Len(), want.Len(), cond.Key(), class)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	return checked, nil
+}
+
+// ReferenceOptimalityCheck compares GenCompact with bounded exhaustive
+// GenModular on small queries, returning the number of agreements and any
+// mismatch. It backs the E3 claim that normalizing to GenCompact measures
+// distance from the optimum.
+func ReferenceOptimalityCheck(cfg QualityConfig, maxAtoms int) (int, error) {
+	cfg.defaults()
+	if maxAtoms == 0 {
+		maxAtoms = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	gm := Strategies()[1] // bounded GenModular
+	gc := core.New()
+	agreements := 0
+	small := cfg
+	small.AtomCounts = nil
+	for _, n := range cfg.AtomCounts {
+		if n <= maxAtoms {
+			small.AtomCounts = append(small.AtomCounts, n)
+		}
+	}
+	if len(small.AtomCounts) == 0 {
+		small.AtomCounts = []int{3}
+	}
+	err := forEachRandomQuery(small, r, func(ctx *planner.Context, cond condQuery) error {
+		pc, _, errC := gc.Plan(ctx, cond.node, cond.attrs)
+		pm, _, errM := gm.Plan(ctx, cond.node, cond.attrs)
+		if (errC == nil) != (errM == nil) {
+			// GenModular's bounded rewrite may miss plans GenCompact
+			// finds; the reverse would be a bug.
+			if errC != nil && errM == nil {
+				return fmt.Errorf("GenModular found a plan GenCompact missed for %s", cond.node.Key())
+			}
+			return nil
+		}
+		if errC != nil {
+			return nil
+		}
+		cc, cm := ctx.Model.PlanCost(pc), ctx.Model.PlanCost(pm)
+		if cc > cm+1e-9 {
+			return fmt.Errorf("GenCompact cost %v exceeds GenModular optimum %v for %s", cc, cm, cond.node.Key())
+		}
+		agreements++
+		return nil
+	})
+	return agreements, err
+}

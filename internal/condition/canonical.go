@@ -1,0 +1,138 @@
+package condition
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonicalize converts a CT into the canonical form of §6.4: the children
+// of every AND node are leaves or OR nodes, and the children of every OR
+// node are leaves or AND nodes. Same-connector nesting is flattened and
+// single-child connectors are collapsed. The input is not modified; the
+// returned tree shares no structure with it. The conversion is linear in
+// the size of the input CT, as the paper requires.
+func Canonicalize(n Node) Node {
+	switch t := n.(type) {
+	case *And:
+		var kids []Node
+		for _, k := range t.Kids {
+			ck := Canonicalize(k)
+			if inner, ok := ck.(*And); ok {
+				kids = append(kids, inner.Kids...)
+			} else {
+				kids = append(kids, ck)
+			}
+		}
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return &And{Kids: kids}
+	case *Or:
+		var kids []Node
+		for _, k := range t.Kids {
+			ck := Canonicalize(k)
+			if inner, ok := ck.(*Or); ok {
+				kids = append(kids, inner.Kids...)
+			} else {
+				kids = append(kids, ck)
+			}
+		}
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return &Or{Kids: kids}
+	default:
+		return n.Clone()
+	}
+}
+
+// IsCanonical reports whether the CT is already in canonical form.
+func IsCanonical(n Node) bool {
+	switch t := n.(type) {
+	case *And:
+		if len(t.Kids) < 2 {
+			return false
+		}
+		for _, k := range t.Kids {
+			if _, bad := k.(*And); bad {
+				return false
+			}
+			if !IsCanonical(k) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		if len(t.Kids) < 2 {
+			return false
+		}
+		for _, k := range t.Kids {
+			if _, bad := k.(*Or); bad {
+				return false
+			}
+			if !IsCanonical(k) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// NormKey returns an order-insensitive semantic key: the canonical form
+// with children sorted recursively. Two CTs related only by commutativity
+// and associativity share a NormKey; CTs related by the distributive or
+// copy rules generally do not.
+func NormKey(n Node) string {
+	return normKey(Canonicalize(n))
+}
+
+func normKey(n Node) string {
+	switch t := n.(type) {
+	case *And:
+		return sortedConnectorKey("&", t.Kids)
+	case *Or:
+		return sortedConnectorKey("|", t.Kids)
+	default:
+		return n.Key()
+	}
+}
+
+func sortedConnectorKey(op string, kids []Node) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		p := normKey(k)
+		switch k.(type) {
+		case *And, *Or:
+			p = "(" + p + ")"
+		}
+		parts[i] = p
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " "+op+" ")
+}
+
+// SortChildren returns a copy of the CT with children of every connector
+// sorted by NormKey; the result is a deterministic representative of the
+// commutative equivalence class.
+func SortChildren(n Node) Node {
+	switch t := n.(type) {
+	case *And:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = SortChildren(k)
+		}
+		sort.SliceStable(kids, func(i, j int) bool { return normKey(kids[i]) < normKey(kids[j]) })
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = SortChildren(k)
+		}
+		sort.SliceStable(kids, func(i, j int) bool { return normKey(kids[i]) < normKey(kids[j]) })
+		return &Or{Kids: kids}
+	default:
+		return n.Clone()
+	}
+}

@@ -1,0 +1,163 @@
+package condition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalizeFlattens(t *testing.T) {
+	// The paper's §6.4 example: (price < 40000 ^ (color = "red" ^
+	// make = "BMW")) is not canonical; flattening yields a 3-kid AND.
+	n := MustParse(`price < 40000 ^ (color = "red" ^ make = "BMW")`)
+	if IsCanonical(n) {
+		t.Fatal("nested same-connector tree should not be canonical")
+	}
+	c := Canonicalize(n)
+	and, ok := c.(*And)
+	if !ok || len(and.Kids) != 3 {
+		t.Fatalf("canonical form = %v, want 3-kid AND", c)
+	}
+	if !IsCanonical(c) {
+		t.Error("Canonicalize result not canonical")
+	}
+}
+
+func TestCanonicalizeCollapsesSingleChild(t *testing.T) {
+	n := &And{Kids: []Node{NewAtomic("a", OpEq, Int(1))}}
+	c := Canonicalize(n)
+	if _, ok := c.(*Atomic); !ok {
+		t.Errorf("single-child AND should collapse to leaf, got %T", c)
+	}
+}
+
+func TestCanonicalizeAlternation(t *testing.T) {
+	// AND over OR over AND is already canonical.
+	n := MustParse(`a = 1 ^ (b = 2 _ (c = 3 ^ d = 4))`)
+	if !IsCanonical(n) {
+		t.Error("alternating tree should be canonical")
+	}
+	c := Canonicalize(n)
+	if !Equal(n, c) {
+		t.Errorf("canonicalizing a canonical tree changed it: %v -> %v", n, c)
+	}
+}
+
+func TestCanonicalizeDoesNotMutateInput(t *testing.T) {
+	n := MustParse(`a = 1 ^ (b = 2 ^ c = 3)`)
+	before := n.Key()
+	Canonicalize(n)
+	if n.Key() != before {
+		t.Error("Canonicalize mutated its input")
+	}
+}
+
+// randomTree builds a random CT over a small attribute vocabulary.
+func randomTree(r *rand.Rand, depth int) Node {
+	attrs := []string{"a", "b", "c", "d"}
+	if depth <= 0 || r.Intn(3) == 0 {
+		attr := attrs[r.Intn(len(attrs))]
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return NewAtomic(attr, ops[r.Intn(len(ops))], Int(int64(r.Intn(5))))
+	}
+	nkids := 2 + r.Intn(2)
+	kids := make([]Node, nkids)
+	for i := range kids {
+		kids[i] = randomTree(r, depth-1)
+	}
+	if r.Intn(2) == 0 {
+		return &And{Kids: kids}
+	}
+	return &Or{Kids: kids}
+}
+
+func randomBinding(r *rand.Rand) MapBinder {
+	b := MapBinder{}
+	for _, a := range []string{"a", "b", "c", "d"} {
+		b[a] = Int(int64(r.Intn(5)))
+	}
+	return b
+}
+
+// Property: canonicalization preserves semantics.
+func TestCanonicalizePreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := randomTree(r, 3)
+		c := Canonicalize(n)
+		if !IsCanonical(c) {
+			t.Fatalf("not canonical: %v", c)
+		}
+		for j := 0; j < 8; j++ {
+			b := randomBinding(r)
+			want, err1 := n.Eval(b)
+			got, err2 := c.Eval(b)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval error: %v %v", err1, err2)
+			}
+			if got != want {
+				t.Fatalf("semantics changed: %v vs %v on %v", n, c, b)
+			}
+		}
+	}
+}
+
+// Property: NormKey is invariant under child reordering.
+func TestNormKeyOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 3)
+		shuffled := shuffleTree(r, n)
+		return NormKey(n) == NormKey(shuffled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func shuffleTree(r *rand.Rand, n Node) Node {
+	switch t := n.(type) {
+	case *And:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = shuffleTree(r, k)
+		}
+		r.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = shuffleTree(r, k)
+		}
+		r.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		return &Or{Kids: kids}
+	default:
+		return n.Clone()
+	}
+}
+
+func TestSortChildrenDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		n := randomTree(r, 3)
+		s1 := SortChildren(n)
+		s2 := SortChildren(shuffleTree(r, n))
+		if s1.Key() != s2.Key() {
+			t.Fatalf("SortChildren not canonical: %q vs %q", s1.Key(), s2.Key())
+		}
+	}
+}
+
+func TestSortChildrenPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := randomTree(r, 3)
+		s := SortChildren(n)
+		b := randomBinding(r)
+		want, _ := n.Eval(b)
+		got, _ := s.Eval(b)
+		if got != want {
+			t.Fatalf("SortChildren changed semantics: %v vs %v", n, s)
+		}
+	}
+}

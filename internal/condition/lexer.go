@@ -1,0 +1,222 @@
+package condition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // comparison operator
+	tokAnd    // and / ^ / &&
+	tokOr     // or / | / || / v
+	tokLParen // (
+	tokRParen // )
+	tokTrue   // true literal
+	tokNot    // not / !
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return strconv.Quote(t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits the source into tokens. The connectors accepted are
+// and/AND/^/&& for conjunction and or/OR/|/||/v/_ for disjunction,
+// covering both the paper's notation (^, _) and conventional syntax.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '(':
+			l.pos++
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.pos++
+			l.emit(tokRParen, ")")
+		case c == '^':
+			l.pos++
+			l.emit(tokAnd, "^")
+		case c == '&':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '&' {
+				l.pos++
+			}
+			l.emit(tokAnd, "&&")
+		case c == '|':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '|' {
+				l.pos++
+			}
+			l.emit(tokOr, "||")
+		case c == '"' || c == '\'':
+			s, err := l.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := l.lexOperator()
+			if op == "!" {
+				// `!contains` or a bare negation `!`.
+				if strings.HasPrefix(l.src[l.pos:], "contains") {
+					l.pos += len("contains")
+					l.toks = append(l.toks, token{kind: tokOp, text: "!contains", pos: start})
+					continue
+				}
+				l.toks = append(l.toks, token{kind: tokNot, text: "!", pos: start})
+				continue
+			}
+			if _, ok := ParseOp(op); !ok {
+				return nil, fmt.Errorf("condition: invalid operator %q at %d", op, start)
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+			num, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: num, pos: start})
+		case isIdentStart(c):
+			word := l.lexIdent()
+			switch strings.ToLower(word) {
+			case "and":
+				l.toks = append(l.toks, token{kind: tokAnd, text: word, pos: start})
+			case "or":
+				l.toks = append(l.toks, token{kind: tokOr, text: word, pos: start})
+			case "contains":
+				l.toks = append(l.toks, token{kind: tokOp, text: "contains", pos: start})
+			case "true":
+				l.toks = append(l.toks, token{kind: tokTrue, text: word, pos: start})
+			case "not":
+				l.toks = append(l.toks, token{kind: tokNot, text: word, pos: start})
+			case "_":
+				// A bare underscore is the paper's disjunction symbol.
+				l.toks = append(l.toks, token{kind: tokOr, text: word, pos: start})
+			default:
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			return nil, fmt.Errorf("condition: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos - len(text)})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return sb.String(), nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("condition: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexOperator() string {
+	start := l.pos
+	for l.pos < len(l.src) && strings.IndexByte("=!<>", l.src[l.pos]) >= 0 {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexNumber() (string, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	digits := false
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		if l.src[l.pos] != '.' {
+			digits = true
+		}
+		l.pos++
+	}
+	if !digits {
+		return "", fmt.Errorf("condition: malformed number at %d", start)
+	}
+	// Exponent notation: 1e9, 2.5E-3, 1e+19.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		expDigits := false
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			expDigits = true
+			l.pos++
+		}
+		if !expDigits {
+			// Not an exponent after all (e.g. `1 each`); back off.
+			l.pos = save
+		}
+	}
+	return l.src[start:l.pos], nil
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9') || c == '.'
+}

@@ -1,0 +1,272 @@
+package condition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Binder supplies attribute values during evaluation. relation.Tuple
+// implements it; tests may use map-backed binders.
+type Binder interface {
+	// Lookup returns the value bound to the attribute and whether the
+	// attribute exists.
+	Lookup(attr string) (Value, bool)
+}
+
+// MapBinder is a convenience Binder backed by a map.
+type MapBinder map[string]Value
+
+// Lookup implements Binder.
+func (m MapBinder) Lookup(attr string) (Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+// Node is a node of a condition tree (CT). The three implementations are
+// *Atomic (leaf comparisons), *And and *Or (Boolean connectors), plus the
+// trivially-true condition *Truth used for download queries.
+type Node interface {
+	// Eval evaluates the condition against a binder.
+	Eval(b Binder) (bool, error)
+	// Clone returns a deep copy.
+	Clone() Node
+	// Key returns an exact structural rendering. Two nodes with equal
+	// Keys are structurally identical, including child order.
+	Key() string
+	// appendAttrs accumulates attribute names into the set.
+	appendAttrs(set map[string]bool)
+}
+
+// Atomic is a leaf comparison `Attr Op Val`.
+type Atomic struct {
+	Attr string
+	Op   Op
+	Val  Value
+}
+
+// NewAtomic builds an atomic condition.
+func NewAtomic(attr string, op Op, val Value) *Atomic {
+	return &Atomic{Attr: attr, Op: op, Val: val}
+}
+
+// Eval implements Node.
+func (a *Atomic) Eval(b Binder) (bool, error) {
+	v, ok := b.Lookup(a.Attr)
+	if !ok {
+		return false, fmt.Errorf("condition: attribute %q not bound", a.Attr)
+	}
+	return a.Op.Apply(v, a.Val)
+}
+
+// Clone implements Node.
+func (a *Atomic) Clone() Node { c := *a; return &c }
+
+// Key implements Node.
+func (a *Atomic) Key() string {
+	return a.Attr + " " + a.Op.String() + " " + a.Val.String()
+}
+
+// String renders the atomic condition.
+func (a *Atomic) String() string { return a.Key() }
+
+func (a *Atomic) appendAttrs(set map[string]bool) { set[a.Attr] = true }
+
+// And is a conjunction of two or more children (a single child is legal
+// during construction and removed by Canonicalize).
+type And struct {
+	Kids []Node
+}
+
+// NewAnd builds a conjunction.
+func NewAnd(kids ...Node) *And { return &And{Kids: kids} }
+
+// Eval implements Node.
+func (n *And) Eval(b Binder) (bool, error) {
+	for _, k := range n.Kids {
+		ok, err := k.Eval(b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Clone implements Node.
+func (n *And) Clone() Node {
+	kids := make([]Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = k.Clone()
+	}
+	return &And{Kids: kids}
+}
+
+// Key implements Node.
+func (n *And) Key() string { return connectorKey("&", n.Kids) }
+
+// String renders the conjunction with explicit grouping.
+func (n *And) String() string { return n.Key() }
+
+func (n *And) appendAttrs(set map[string]bool) {
+	for _, k := range n.Kids {
+		k.appendAttrs(set)
+	}
+}
+
+// Or is a disjunction of two or more children.
+type Or struct {
+	Kids []Node
+}
+
+// NewOr builds a disjunction.
+func NewOr(kids ...Node) *Or { return &Or{Kids: kids} }
+
+// Eval implements Node.
+func (n *Or) Eval(b Binder) (bool, error) {
+	for _, k := range n.Kids {
+		ok, err := k.Eval(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Clone implements Node.
+func (n *Or) Clone() Node {
+	kids := make([]Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = k.Clone()
+	}
+	return &Or{Kids: kids}
+}
+
+// Key implements Node.
+func (n *Or) Key() string { return connectorKey("|", n.Kids) }
+
+// String renders the disjunction with explicit grouping.
+func (n *Or) String() string { return n.Key() }
+
+func (n *Or) appendAttrs(set map[string]bool) {
+	for _, k := range n.Kids {
+		k.appendAttrs(set)
+	}
+}
+
+// Truth is the trivially-true condition, used for "download the source"
+// queries SP(true, A, R).
+type Truth struct{}
+
+// True returns the trivially-true condition.
+func True() *Truth { return &Truth{} }
+
+// Eval implements Node.
+func (*Truth) Eval(Binder) (bool, error) { return true, nil }
+
+// Clone implements Node.
+func (*Truth) Clone() Node { return &Truth{} }
+
+// Key implements Node.
+func (*Truth) Key() string { return "true" }
+
+// String renders the condition.
+func (*Truth) String() string { return "true" }
+
+func (*Truth) appendAttrs(map[string]bool) {}
+
+// IsTrue reports whether n is the trivially-true condition.
+func IsTrue(n Node) bool {
+	_, ok := n.(*Truth)
+	return ok
+}
+
+func connectorKey(op string, kids []Node) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		switch k.(type) {
+		case *And, *Or:
+			parts[i] = "(" + k.Key() + ")"
+		default:
+			parts[i] = k.Key()
+		}
+	}
+	return strings.Join(parts, " "+op+" ")
+}
+
+// Attrs returns the sorted set of attribute names appearing in the
+// condition (Attr(C) in the paper).
+func Attrs(n Node) []string {
+	set := make(map[string]bool)
+	n.appendAttrs(set)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrSet returns the attribute names appearing in the condition as a set.
+func AttrSet(n Node) map[string]bool {
+	set := make(map[string]bool)
+	n.appendAttrs(set)
+	return set
+}
+
+// Equal reports structural equality, including child order.
+func Equal(a, b Node) bool { return a.Key() == b.Key() }
+
+// Atoms returns the leaf atomic conditions in left-to-right order.
+func Atoms(n Node) []*Atomic {
+	var out []*Atomic
+	var walk func(Node)
+	walk = func(m Node) {
+		switch t := m.(type) {
+		case *Atomic:
+			out = append(out, t)
+		case *And:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Or:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Size returns the number of atomic conditions in the tree.
+func Size(n Node) int { return len(Atoms(n)) }
+
+// Depth returns the height of the tree; a leaf has depth 1.
+func Depth(n Node) int {
+	switch t := n.(type) {
+	case *And:
+		d := 0
+		for _, k := range t.Kids {
+			if kd := Depth(k); kd > d {
+				d = kd
+			}
+		}
+		return d + 1
+	case *Or:
+		d := 0
+		for _, k := range t.Kids {
+			if kd := Depth(k); kd > d {
+				d = kd
+			}
+		}
+		return d + 1
+	default:
+		return 1
+	}
+}

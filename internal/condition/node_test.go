@@ -1,0 +1,156 @@
+package condition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figure1 builds the paper's Figure 1 CT:
+// (c1 ^ c2) ^ (c3 _ c4) with the BMW bindings of §4.
+func figure1() Node {
+	c1 := NewAtomic("make", OpEq, String("BMW"))
+	c2 := NewAtomic("price", OpLt, Int(40000))
+	c3 := NewAtomic("color", OpEq, String("red"))
+	c4 := NewAtomic("color", OpEq, String("black"))
+	return NewAnd(NewAnd(c1, c2), NewOr(c3, c4))
+}
+
+func TestEvalFigure1(t *testing.T) {
+	ct := figure1()
+	tests := []struct {
+		b    MapBinder
+		want bool
+	}{
+		{MapBinder{"make": String("BMW"), "price": Int(30000), "color": String("red")}, true},
+		{MapBinder{"make": String("BMW"), "price": Int(30000), "color": String("black")}, true},
+		{MapBinder{"make": String("BMW"), "price": Int(30000), "color": String("blue")}, false},
+		{MapBinder{"make": String("BMW"), "price": Int(50000), "color": String("red")}, false},
+		{MapBinder{"make": String("Audi"), "price": Int(30000), "color": String("red")}, false},
+	}
+	for i, tc := range tests {
+		got, err := ct.Eval(tc.b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != tc.want {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestEvalMissingAttribute(t *testing.T) {
+	ct := MustParse(`make = "BMW"`)
+	if _, err := ct.Eval(MapBinder{}); err == nil {
+		t.Error("expected error for unbound attribute")
+	}
+}
+
+func TestEvalShortCircuitOr(t *testing.T) {
+	// The first disjunct binds; the second refers to a missing attribute.
+	// OR must short-circuit like the mediator's evaluator would.
+	ct := MustParse(`a = 1 or missing = 2`)
+	got, err := ct.Eval(MapBinder{"a": Int(1)})
+	if err != nil || !got {
+		t.Errorf("short-circuit OR: got %v, %v", got, err)
+	}
+}
+
+func TestEvalShortCircuitAnd(t *testing.T) {
+	ct := MustParse(`a = 1 and missing = 2`)
+	got, err := ct.Eval(MapBinder{"a": Int(2)})
+	if err != nil || got {
+		t.Errorf("short-circuit AND: got %v, %v", got, err)
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	ct := figure1()
+	want := []string{"color", "make", "price"}
+	if got := Attrs(ct); !reflect.DeepEqual(got, want) {
+		t.Errorf("Attrs = %v, want %v", got, want)
+	}
+}
+
+func TestAtomsOrderAndSize(t *testing.T) {
+	ct := figure1()
+	atoms := Atoms(ct)
+	if len(atoms) != 4 {
+		t.Fatalf("len(Atoms) = %d, want 4", len(atoms))
+	}
+	if atoms[0].Attr != "make" || atoms[1].Attr != "price" || atoms[2].Attr != "color" || atoms[3].Attr != "color" {
+		t.Errorf("atoms out of order: %v", atoms)
+	}
+	if Size(ct) != 4 {
+		t.Errorf("Size = %d, want 4", Size(ct))
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := Depth(figure1()); d != 3 {
+		t.Errorf("Depth(figure1) = %d, want 3", d)
+	}
+	if d := Depth(NewAtomic("a", OpEq, Int(1))); d != 1 {
+		t.Errorf("Depth(leaf) = %d, want 1", d)
+	}
+	if d := Depth(True()); d != 1 {
+		t.Errorf("Depth(true) = %d, want 1", d)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ct := figure1().(*And)
+	cp := ct.Clone().(*And)
+	if !Equal(ct, cp) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutate the clone's first atom; original must be unaffected.
+	cp.Kids[0].(*And).Kids[0].(*Atomic).Attr = "mutated"
+	if Equal(ct, cp) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestKeyDistinguishesStructure(t *testing.T) {
+	flat := MustParse(`a = 1 ^ b = 2 ^ c = 3`)
+	nested := MustParse(`a = 1 ^ (b = 2 ^ c = 3)`)
+	if flat.Key() == nested.Key() {
+		t.Error("Key must distinguish associativity variants")
+	}
+	if NormKey(flat) != NormKey(nested) {
+		t.Error("NormKey must conflate associativity variants")
+	}
+}
+
+func TestKeyDistinguishesOrder(t *testing.T) {
+	ab := MustParse(`a = 1 ^ b = 2`)
+	ba := MustParse(`b = 2 ^ a = 1`)
+	if ab.Key() == ba.Key() {
+		t.Error("Key must distinguish commutativity variants")
+	}
+	if NormKey(ab) != NormKey(ba) {
+		t.Error("NormKey must conflate commutativity variants")
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if !IsTrue(True()) {
+		t.Error("IsTrue(True()) = false")
+	}
+	if IsTrue(MustParse(`a = 1`)) {
+		t.Error("IsTrue(atom) = true")
+	}
+	ok, err := True().Eval(MapBinder{})
+	if err != nil || !ok {
+		t.Errorf("True().Eval = %v, %v", ok, err)
+	}
+	if True().Key() != "true" {
+		t.Errorf("True().Key() = %q", True().Key())
+	}
+}
+
+func TestAttrSet(t *testing.T) {
+	set := AttrSet(figure1())
+	if len(set) != 3 || !set["make"] || !set["price"] || !set["color"] {
+		t.Errorf("AttrSet = %v", set)
+	}
+}

@@ -1,0 +1,174 @@
+package condition
+
+import "fmt"
+
+// DefaultNormalFormLimit bounds the number of clauses/terms a normal-form
+// conversion may produce before it is abandoned. Normal forms can be
+// exponentially larger than the input; the baseline strategies that use
+// them must cope with that.
+const DefaultNormalFormLimit = 4096
+
+// ErrNormalFormTooLarge is returned when a CNF/DNF conversion exceeds its
+// clause limit.
+var ErrNormalFormTooLarge = fmt.Errorf("condition: normal form exceeds clause limit")
+
+// CNF converts the condition to conjunctive normal form: an AND of clauses,
+// each clause an OR of atomics (degenerate levels are collapsed, so the
+// result may be a single clause or a single atom). limit caps the number of
+// clauses; pass 0 for DefaultNormalFormLimit.
+func CNF(n Node, limit int) (Node, error) {
+	if limit <= 0 {
+		limit = DefaultNormalFormLimit
+	}
+	clauses, err := cnfClauses(n, limit)
+	if err != nil {
+		return nil, err
+	}
+	return rebuild(clauses, true), nil
+}
+
+// DNF converts the condition to disjunctive normal form: an OR of terms,
+// each term an AND of atomics. limit caps the number of terms; pass 0 for
+// DefaultNormalFormLimit.
+func DNF(n Node, limit int) (Node, error) {
+	if limit <= 0 {
+		limit = DefaultNormalFormLimit
+	}
+	terms, err := dnfTerms(n, limit)
+	if err != nil {
+		return nil, err
+	}
+	return rebuild(terms, false), nil
+}
+
+// CNFClauses returns the clauses of the CNF of n, each clause a slice of
+// leaf nodes understood disjunctively.
+func CNFClauses(n Node, limit int) ([][]Node, error) {
+	if limit <= 0 {
+		limit = DefaultNormalFormLimit
+	}
+	return cnfClauses(n, limit)
+}
+
+// DNFTerms returns the terms of the DNF of n, each term a slice of leaf
+// nodes understood conjunctively.
+func DNFTerms(n Node, limit int) ([][]Node, error) {
+	if limit <= 0 {
+		limit = DefaultNormalFormLimit
+	}
+	return dnfTerms(n, limit)
+}
+
+// cnfClauses returns CNF as a list of clauses, each clause a list of leaf
+// nodes (atomics or Truth).
+func cnfClauses(n Node, limit int) ([][]Node, error) {
+	switch t := n.(type) {
+	case *And:
+		var out [][]Node
+		for _, k := range t.Kids {
+			sub, err := cnfClauses(k, limit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if len(out) > limit {
+				return nil, ErrNormalFormTooLarge
+			}
+		}
+		return out, nil
+	case *Or:
+		// Cross-product of the children's clause sets.
+		acc := [][]Node{nil}
+		for _, k := range t.Kids {
+			sub, err := cnfClauses(k, limit)
+			if err != nil {
+				return nil, err
+			}
+			var next [][]Node
+			for _, a := range acc {
+				for _, s := range sub {
+					clause := make([]Node, 0, len(a)+len(s))
+					clause = append(clause, a...)
+					clause = append(clause, s...)
+					next = append(next, clause)
+					if len(next) > limit {
+						return nil, ErrNormalFormTooLarge
+					}
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	default:
+		return [][]Node{{n.Clone()}}, nil
+	}
+}
+
+func dnfTerms(n Node, limit int) ([][]Node, error) {
+	switch t := n.(type) {
+	case *Or:
+		var out [][]Node
+		for _, k := range t.Kids {
+			sub, err := dnfTerms(k, limit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if len(out) > limit {
+				return nil, ErrNormalFormTooLarge
+			}
+		}
+		return out, nil
+	case *And:
+		acc := [][]Node{nil}
+		for _, k := range t.Kids {
+			sub, err := dnfTerms(k, limit)
+			if err != nil {
+				return nil, err
+			}
+			var next [][]Node
+			for _, a := range acc {
+				for _, s := range sub {
+					term := make([]Node, 0, len(a)+len(s))
+					term = append(term, a...)
+					term = append(term, s...)
+					next = append(next, term)
+					if len(next) > limit {
+						return nil, ErrNormalFormTooLarge
+					}
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	default:
+		return [][]Node{{n.Clone()}}, nil
+	}
+}
+
+// rebuild assembles groups into a two-level tree. When cnf is true the
+// outer connector is AND and groups are OR-clauses; otherwise the outer
+// connector is OR and groups are AND-terms.
+func rebuild(groups [][]Node, cnf bool) Node {
+	inner := make([]Node, len(groups))
+	for i, g := range groups {
+		if len(g) == 1 {
+			inner[i] = g[0]
+			continue
+		}
+		kids := make([]Node, len(g))
+		copy(kids, g)
+		if cnf {
+			inner[i] = &Or{Kids: kids}
+		} else {
+			inner[i] = &And{Kids: kids}
+		}
+	}
+	if len(inner) == 1 {
+		return inner[0]
+	}
+	if cnf {
+		return &And{Kids: inner}
+	}
+	return &Or{Kids: inner}
+}

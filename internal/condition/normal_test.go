@@ -1,0 +1,160 @@
+package condition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCNFExample11(t *testing.T) {
+	// Example 1.1: ((author=Freud _ author=Jung) ^ title contains dreams)
+	// is already in CNF with two clauses.
+	n := MustParse(`(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`)
+	cnf, err := CNF(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := cnf.(*And)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("CNF = %v, want 2-clause AND", cnf)
+	}
+}
+
+func TestDNFExample11(t *testing.T) {
+	// DNF of Example 1.1 is the paper's preferred two-term split.
+	n := MustParse(`(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`)
+	dnf, err := DNF(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := dnf.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("DNF = %v, want 2-term OR", dnf)
+	}
+	for _, k := range or.Kids {
+		and, ok := k.(*And)
+		if !ok || len(and.Kids) != 2 {
+			t.Errorf("term %v should be a 2-atom AND", k)
+		}
+	}
+}
+
+func TestDNFExample12HasFourTerms(t *testing.T) {
+	// §1: "In a DNF system, the user query is transformed into one with
+	// four terms."
+	n := MustParse(`style = "sedan" ^ (size = "compact" _ size = "midsize") ^ ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))`)
+	terms, err := DNFTerms(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 4 {
+		t.Errorf("DNF of Example 1.2 has %d terms, paper says 4", len(terms))
+	}
+}
+
+func TestCNFExample12HasSixClauses(t *testing.T) {
+	// §1: "A CNF system converts the query to one with six clauses".
+	n := MustParse(`style = "sedan" ^ (size = "compact" _ size = "midsize") ^ ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))`)
+	clauses, err := CNFClauses(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 6 {
+		t.Errorf("CNF of Example 1.2 has %d clauses, paper says 6", len(clauses))
+	}
+}
+
+func TestNormalFormLimit(t *testing.T) {
+	// (a1|b1)^(a2|b2)^...: CNF is linear but DNF doubles per conjunct.
+	kids := make([]Node, 12)
+	for i := range kids {
+		kids[i] = NewOr(
+			NewAtomic("a", OpEq, Int(int64(i))),
+			NewAtomic("b", OpEq, Int(int64(i))),
+		)
+	}
+	n := &And{Kids: kids}
+	if _, err := DNF(n, 100); !errors.Is(err, ErrNormalFormTooLarge) {
+		t.Errorf("DNF should exceed limit, got %v", err)
+	}
+	if _, err := CNF(n, 100); err != nil {
+		t.Errorf("CNF should be linear here, got %v", err)
+	}
+}
+
+func TestCNFPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		n := randomTree(r, 3)
+		cnf, err := CNF(n, 0)
+		if err != nil {
+			continue // oversize conversions are allowed to bail
+		}
+		for j := 0; j < 6; j++ {
+			b := randomBinding(r)
+			want, _ := n.Eval(b)
+			got, _ := cnf.Eval(b)
+			if got != want {
+				t.Fatalf("CNF changed semantics: %v vs %v on %v", n, cnf, b)
+			}
+		}
+	}
+}
+
+func TestDNFPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		n := randomTree(r, 3)
+		dnf, err := DNF(n, 0)
+		if err != nil {
+			continue
+		}
+		for j := 0; j < 6; j++ {
+			b := randomBinding(r)
+			want, _ := n.Eval(b)
+			got, _ := dnf.Eval(b)
+			if got != want {
+				t.Fatalf("DNF changed semantics: %v vs %v on %v", n, dnf, b)
+			}
+		}
+	}
+}
+
+func TestCNFShapeInvariant(t *testing.T) {
+	// Every clause of a CNF must be atoms only (the rebuild is 2-level).
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		n := randomTree(r, 3)
+		clauses, err := CNFClauses(n, 0)
+		if err != nil {
+			continue
+		}
+		for _, cl := range clauses {
+			for _, lit := range cl {
+				if _, ok := lit.(*Atomic); !ok {
+					if _, ok := lit.(*Truth); !ok {
+						t.Fatalf("clause literal %T is not a leaf", lit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNormalFormOfLeaf(t *testing.T) {
+	n := MustParse(`a = 1`)
+	cnf, err := CNF(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, cnf) {
+		t.Errorf("CNF of leaf = %v", cnf)
+	}
+	dnf, err := DNF(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, dnf) {
+		t.Errorf("DNF of leaf = %v", dnf)
+	}
+}

@@ -1,0 +1,165 @@
+package condition
+
+import "fmt"
+
+// Op is a comparison operator usable in an atomic condition.
+type Op int
+
+const (
+	// OpEq is equality (=).
+	OpEq Op = iota
+	// OpNe is inequality (!=).
+	OpNe
+	// OpLt is strict less-than (<).
+	OpLt
+	// OpLe is less-or-equal (<=).
+	OpLe
+	// OpGt is strict greater-than (>).
+	OpGt
+	// OpGe is greater-or-equal (>=).
+	OpGe
+	// OpContains is substring containment on strings, as in
+	// `title contains "dreams"`.
+	OpContains
+	// OpNotContains is the complement of OpContains; it exists so that
+	// negations can be compiled down to atomic conditions.
+	OpNotContains
+)
+
+var opNames = map[Op]string{
+	OpEq:          "=",
+	OpNe:          "!=",
+	OpLt:          "<",
+	OpLe:          "<=",
+	OpGt:          ">",
+	OpGe:          ">=",
+	OpContains:    "contains",
+	OpNotContains: "!contains",
+}
+
+var opByName = map[string]Op{
+	"=":         OpEq,
+	"==":        OpEq,
+	"!=":        OpNe,
+	"<>":        OpNe,
+	"<":         OpLt,
+	"<=":        OpLe,
+	">":         OpGt,
+	">=":        OpGe,
+	"contains":  OpContains,
+	"!contains": OpNotContains,
+}
+
+// Complement returns the operator computing the negation of o, and
+// whether one exists (every operator here has one).
+func (o Op) Complement() (Op, bool) {
+	switch o {
+	case OpEq:
+		return OpNe, true
+	case OpNe:
+		return OpEq, true
+	case OpLt:
+		return OpGe, true
+	case OpLe:
+		return OpGt, true
+	case OpGt:
+		return OpLe, true
+	case OpGe:
+		return OpLt, true
+	case OpContains:
+		return OpNotContains, true
+	case OpNotContains:
+		return OpContains, true
+	default:
+		return o, false
+	}
+}
+
+// String returns the operator's surface syntax.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp resolves an operator token; it accepts the aliases == and <>.
+func ParseOp(s string) (Op, bool) {
+	o, ok := opByName[s]
+	return o, ok
+}
+
+// Apply evaluates `left o right`. The boolean result is accompanied by an
+// error when the two values cannot be compared under this operator (for
+// example ordering a string against a number, or `contains` on non-string
+// operands).
+func (o Op) Apply(left, right Value) (bool, error) {
+	if o == OpContains || o == OpNotContains {
+		if left.Kind != KindString || right.Kind != KindString {
+			return false, fmt.Errorf("condition: contains requires string operands, got %s and %s", left.Kind, right.Kind)
+		}
+		got := containsFold(left.S, right.S)
+		if o == OpNotContains {
+			got = !got
+		}
+		return got, nil
+	}
+	c, ok := left.Compare(right)
+	if !ok {
+		// = and != have a sensible answer across kinds: values of
+		// incomparable kinds are simply not equal.
+		switch o {
+		case OpEq:
+			return false, nil
+		case OpNe:
+			return true, nil
+		}
+		return false, fmt.Errorf("condition: cannot compare %s value with %s value", left.Kind, right.Kind)
+	}
+	switch o {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("condition: unknown operator %v", o)
+	}
+}
+
+// containsFold reports whether sub occurs in s under ASCII case folding,
+// matching how web-form keyword search behaves.
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	if len(sub) > len(s) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			if lower(s[i+j]) != lower(sub[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package condition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a condition expression in the surface syntax
+//
+//	expr   := term  ( OR  term  )*
+//	term   := factor ( AND factor )*
+//	factor := NOT factor | '(' expr ')' | 'true' | atomic
+//	atomic := attr op value
+//
+// where AND is `and`/`^`/`&&`, OR is `or`/`_`/`|`/`||`, NOT is
+// `not`/`!`, op is one of = != < <= > >= contains !contains, and value is
+// a number, a quoted string, or a bare word (taken as a string). The
+// structure of the returned CT mirrors the parenthesization: `a=1 ^ (b=2 ^
+// c=3)` yields an AND whose second child is an AND, exactly as the paper's
+// CTs do. Negation is compiled away at parse time by De Morgan's laws and
+// operator complementation — the paper's condition trees (and every
+// planner here) only know AND, OR and atoms.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("condition: trailing input at %s", p.peek())
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// package-level literals.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseExpr() (Node, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		k, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &Or{Kids: kids}, nil
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		k, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &And{Kids: kids}, nil
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	switch t := p.peek(); t.kind {
+	case tokNot:
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Negate(inner)
+	case tokLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("condition: expected ) at %s", p.peek())
+		}
+		p.next()
+		return n, nil
+	case tokTrue:
+		p.next()
+		return True(), nil
+	case tokIdent:
+		return p.parseAtomic()
+	default:
+		return nil, fmt.Errorf("condition: expected condition, got %s", t)
+	}
+}
+
+func (p *parser) parseAtomic() (Node, error) {
+	attr := p.next()
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("condition: expected operator after %q, got %s", attr.text, opTok)
+	}
+	op, _ := ParseOp(opTok.text)
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return &Atomic{Attr: attr.text, Op: op, Val: val}, nil
+}
+
+func (p *parser) parseValue() (Value, error) {
+	switch t := p.next(); t.kind {
+	case tokNumber:
+		return ParseNumber(t.text)
+	case tokString:
+		return String(t.text), nil
+	case tokIdent:
+		// Bare words are string constants, as web forms supply them.
+		return String(t.text), nil
+	case tokTrue:
+		return Bool(true), nil
+	default:
+		return Value{}, fmt.Errorf("condition: expected value, got %s", t)
+	}
+}
+
+// Negate returns the negation of the condition, pushed down to the atoms
+// by De Morgan's laws with each atomic operator replaced by its
+// complement. The trivially-true condition cannot be negated (the algebra
+// has no empty-result literal).
+func Negate(n Node) (Node, error) {
+	switch t := n.(type) {
+	case *Atomic:
+		comp, ok := t.Op.Complement()
+		if !ok {
+			return nil, fmt.Errorf("condition: operator %v has no complement", t.Op)
+		}
+		return &Atomic{Attr: t.Attr, Op: comp, Val: t.Val}, nil
+	case *And:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			nk, err := Negate(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = nk
+		}
+		return &Or{Kids: kids}, nil
+	case *Or:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			nk, err := Negate(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = nk
+		}
+		return &And{Kids: kids}, nil
+	case *Truth:
+		return nil, fmt.Errorf("condition: cannot negate the trivially-true condition")
+	default:
+		return nil, fmt.Errorf("condition: cannot negate %T", n)
+	}
+}
+
+// ParseNumber converts a numeric literal to an Int or Float value.
+func ParseNumber(text string) (Value, error) {
+	if !strings.ContainsAny(text, ".eE") {
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return Int(i), nil
+		}
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("condition: malformed number %q", text)
+	}
+	return Float(f), nil
+}

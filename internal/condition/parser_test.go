@@ -1,0 +1,263 @@
+package condition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseAtomic(t *testing.T) {
+	n, err := Parse(`make = "BMW"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := n.(*Atomic)
+	if !ok {
+		t.Fatalf("got %T, want *Atomic", n)
+	}
+	if a.Attr != "make" || a.Op != OpEq || !a.Val.Equal(String("BMW")) {
+		t.Errorf("parsed %+v", a)
+	}
+}
+
+func TestParsePaperNotation(t *testing.T) {
+	// The exact notation of Example 1.2, with ^ and _.
+	src := `style = "sedan" ^ (size = "compact" _ size = "midsize") ^ ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := n.(*And)
+	if !ok || len(and.Kids) != 3 {
+		t.Fatalf("want 3-kid AND, got %v", n)
+	}
+	if _, ok := and.Kids[1].(*Or); !ok {
+		t.Errorf("second kid should be OR, got %T", and.Kids[1])
+	}
+	if _, ok := and.Kids[2].(*Or); !ok {
+		t.Errorf("third kid should be OR, got %T", and.Kids[2])
+	}
+}
+
+func TestParseWordConnectors(t *testing.T) {
+	n, err := Parse(`a = 1 and b = 2 or c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OR binds looser than AND.
+	or, ok := n.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("want top-level OR with 2 kids, got %v", n)
+	}
+	if _, ok := or.Kids[0].(*And); !ok {
+		t.Errorf("first kid should be AND, got %T", or.Kids[0])
+	}
+}
+
+func TestParseSymbolConnectors(t *testing.T) {
+	for _, src := range []string{
+		`a = 1 && b = 2`,
+		`a = 1 & b = 2`,
+		`a = 1 ^ b = 2`,
+	} {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if _, ok := n.(*And); !ok {
+			t.Errorf("%s: got %T, want *And", src, n)
+		}
+	}
+	for _, src := range []string{
+		`a = 1 || b = 2`,
+		`a = 1 | b = 2`,
+		`a = 1 or b = 2`,
+		`a = 1 _ b = 2`,
+	} {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if _, ok := n.(*Or); !ok {
+			t.Errorf("%s: got %T, want *Or", src, n)
+		}
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	tests := []struct {
+		src  string
+		want Value
+	}{
+		{`price < 40000`, Int(40000)},
+		{`price < 40000.5`, Float(40000.5)},
+		{`price > -3`, Int(-3)},
+		{`color = red`, String("red")},   // bare word
+		{`color = 'red'`, String("red")}, // single quotes
+		{`title contains "dreams"`, String("dreams")},
+	}
+	for _, tc := range tests {
+		n, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		a := n.(*Atomic)
+		if !a.Val.Equal(tc.want) || a.Val.Kind != tc.want.Kind {
+			t.Errorf("%s: value %v (kind %v), want %v (kind %v)", tc.src, a.Val, a.Val.Kind, tc.want, tc.want.Kind)
+		}
+	}
+}
+
+func TestParseTrue(t *testing.T) {
+	n, err := Parse(`true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTrue(n) {
+		t.Errorf("got %T, want *Truth", n)
+	}
+}
+
+func TestParseNestedStructurePreserved(t *testing.T) {
+	n := MustParse(`a = 1 ^ (b = 2 ^ c = 3)`)
+	and := n.(*And)
+	if len(and.Kids) != 2 {
+		t.Fatalf("want 2 kids, got %d", len(and.Kids))
+	}
+	if _, ok := and.Kids[1].(*And); !ok {
+		t.Errorf("nested AND must be preserved, got %T", and.Kids[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`a =`,
+		`a 1`,
+		`(a = 1`,
+		`a = 1)`,
+		`a = 1 ^`,
+		`a ~ 1`,
+		`a = "unterminated`,
+		`= 1`,
+		`a = 1 b = 2`,
+		`a < .`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`make = "BMW"`,
+		`(make = "BMW" & price < 40000) | (make = "Toyota" & price < 20000)`,
+		`a = 1 & (b = 2 | c = 3) & d >= 4`,
+		`title contains "dreams" & (author = "Sigmund Freud" | author = "Carl Jung")`,
+	}
+	for _, src := range srcs {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		rt, err := Parse(n.Key())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", n.Key(), err)
+		}
+		if !Equal(n, rt) {
+			t.Errorf("round trip changed tree: %q -> %q", n.Key(), rt.Key())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(`a =`)
+}
+
+func TestParseEscapedString(t *testing.T) {
+	n := MustParse(`title = "he said \"hi\""`)
+	a := n.(*Atomic)
+	if a.Val.S != `he said "hi"` {
+		t.Errorf("escaped string = %q", a.Val.S)
+	}
+}
+
+func TestParseIdentWithUnderscoreAndDot(t *testing.T) {
+	n := MustParse(`list_price.usd <= 10`)
+	a := n.(*Atomic)
+	if a.Attr != "list_price.usd" {
+		t.Errorf("attr = %q", a.Attr)
+	}
+	if !strings.Contains(n.Key(), "list_price.usd") {
+		t.Errorf("key = %q", n.Key())
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	// NOT compiles away: ¬(a = 1) becomes a != 1.
+	n := MustParse(`not a = 1`)
+	a, ok := n.(*Atomic)
+	if !ok || a.Op != OpNe {
+		t.Fatalf("not a=1 parsed to %s", n.Key())
+	}
+	// De Morgan: ¬(a = 1 ^ b < 2) becomes a != 1 _ b >= 2.
+	n = MustParse(`!(a = 1 ^ b < 2)`)
+	want := MustParse(`a != 1 _ b >= 2`)
+	if n.Key() != want.Key() {
+		t.Errorf("negated conjunction = %s, want %s", n.Key(), want.Key())
+	}
+	// Double negation cancels.
+	n = MustParse(`not not a = 1`)
+	if n.Key() != MustParse(`a = 1`).Key() {
+		t.Errorf("double negation = %s", n.Key())
+	}
+	// !contains operator and negated contains agree.
+	n1 := MustParse(`title !contains "x"`)
+	n2 := MustParse(`not title contains "x"`)
+	if n1.Key() != n2.Key() {
+		t.Errorf("%s vs %s", n1.Key(), n2.Key())
+	}
+	// Negating true is an error.
+	if _, err := Parse(`not true`); err == nil {
+		t.Error("negating true should fail")
+	}
+}
+
+func TestNegationSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 300; i++ {
+		n := randomTree(r, 3)
+		neg, err := Negate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randomBinding(r)
+		orig, err1 := n.Eval(b)
+		flipped, err2 := neg.Eval(b)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval: %v %v", err1, err2)
+		}
+		if orig == flipped {
+			t.Fatalf("negation did not flip %s on %v", n.Key(), b)
+		}
+	}
+}
+
+func TestNotContainsEval(t *testing.T) {
+	n := MustParse(`title !contains "dream"`)
+	got, err := n.Eval(MapBinder{"title": String("Nightmares")})
+	if err != nil || !got {
+		t.Errorf("got %v, %v", got, err)
+	}
+	got, err = n.Eval(MapBinder{"title": String("Dreams")})
+	if err != nil || got {
+		t.Errorf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,89 @@
+package condition
+
+// Simplify returns an equivalent, usually smaller condition:
+//
+//   - duplicate children of a connector are merged (C ^ C ≡ C — the copy
+//     rule read right-to-left);
+//   - contradictory equality conjunctions (a = 1 ^ a = 2) collapse to a
+//     canonical always-false atom set, surfaced to the caller via the
+//     second return value;
+//   - single-child connectors collapse;
+//   - nested same-connector children are flattened (canonical form).
+//
+// The boolean result reports whether the condition is unsatisfiable
+// (guaranteed empty result). Simplify never returns nil: an unsatisfiable
+// condition is returned as-is (still evaluable), letting callers decide
+// whether to skip the source round-trip.
+func Simplify(n Node) (Node, bool) {
+	s := simplify(Canonicalize(n))
+	return s.node, s.unsat
+}
+
+type simplified struct {
+	node  Node
+	unsat bool
+}
+
+func simplify(n Node) simplified {
+	switch t := n.(type) {
+	case *And:
+		var kids []Node
+		seen := map[string]bool{}
+		unsat := false
+		// Track one equality binding per attribute to spot
+		// contradictions like a = 1 ^ a = 2.
+		eq := map[string]Value{}
+		for _, k := range t.Kids {
+			sk := simplify(k)
+			if sk.unsat {
+				unsat = true
+			}
+			key := sk.node.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if a, ok := sk.node.(*Atomic); ok && a.Op == OpEq {
+				if prev, bound := eq[a.Attr]; bound && !prev.Equal(a.Val) {
+					unsat = true
+				}
+				eq[a.Attr] = a.Val
+			}
+			kids = append(kids, sk.node)
+		}
+		if len(kids) == 1 {
+			return simplified{node: kids[0], unsat: unsat}
+		}
+		return simplified{node: &And{Kids: kids}, unsat: unsat}
+	case *Or:
+		var kids []Node
+		seen := map[string]bool{}
+		allUnsat := true
+		for _, k := range t.Kids {
+			sk := simplify(k)
+			if sk.unsat {
+				// An unsatisfiable disjunct contributes nothing, but
+				// keep at least one child so the tree stays non-empty.
+				continue
+			}
+			allUnsat = false
+			key := sk.node.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kids = append(kids, sk.node)
+		}
+		if allUnsat {
+			// Every disjunct is unsatisfiable: keep the original
+			// (evaluable) shape and report unsat.
+			return simplified{node: t.Clone(), unsat: true}
+		}
+		if len(kids) == 1 {
+			return simplified{node: kids[0]}
+		}
+		return simplified{node: &Or{Kids: kids}}
+	default:
+		return simplified{node: n.Clone()}
+	}
+}

@@ -1,0 +1,119 @@
+package condition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyDedupsConjuncts(t *testing.T) {
+	n := MustParse(`a = 1 ^ a = 1 ^ b = 2`)
+	s, unsat := Simplify(n)
+	if unsat {
+		t.Fatal("satisfiable condition reported unsat")
+	}
+	if Size(s) != 2 {
+		t.Errorf("simplified to %s, want 2 atoms", s.Key())
+	}
+}
+
+func TestSimplifyDedupsDisjuncts(t *testing.T) {
+	n := MustParse(`a = 1 _ a = 1 _ b = 2`)
+	s, _ := Simplify(n)
+	if Size(s) != 2 {
+		t.Errorf("simplified to %s, want 2 atoms", s.Key())
+	}
+}
+
+func TestSimplifyDetectsContradiction(t *testing.T) {
+	n := MustParse(`a = 1 ^ a = 2`)
+	_, unsat := Simplify(n)
+	if !unsat {
+		t.Error("a = 1 ^ a = 2 should be unsatisfiable")
+	}
+	// Nested: the contradiction propagates through AND.
+	n2 := MustParse(`b = 3 ^ (a = 1 ^ a = 2)`)
+	_, unsat = Simplify(n2)
+	if !unsat {
+		t.Error("nested contradiction should propagate")
+	}
+}
+
+func TestSimplifyContradictionInOneDisjunctOnly(t *testing.T) {
+	n := MustParse(`(a = 1 ^ a = 2) _ b = 3`)
+	s, unsat := Simplify(n)
+	if unsat {
+		t.Error("one live disjunct keeps the condition satisfiable")
+	}
+	// The dead disjunct is dropped.
+	if s.Key() != MustParse(`b = 3`).Key() {
+		t.Errorf("simplified to %s, want b = 3", s.Key())
+	}
+}
+
+func TestSimplifyAllDisjunctsDead(t *testing.T) {
+	n := MustParse(`(a = 1 ^ a = 2) _ (b = 1 ^ b = 2)`)
+	s, unsat := Simplify(n)
+	if !unsat {
+		t.Error("all-dead disjunction should be unsat")
+	}
+	if s == nil {
+		t.Error("Simplify must never return nil")
+	}
+	// Still evaluable.
+	if _, err := s.Eval(MapBinder{"a": Int(1), "b": Int(1)}); err != nil {
+		t.Errorf("unsat result not evaluable: %v", err)
+	}
+}
+
+func TestSimplifyRangeConjunctionNotFlagged(t *testing.T) {
+	// Only equality contradictions are detected; ranges pass through.
+	n := MustParse(`a < 1 ^ a > 5`)
+	_, unsat := Simplify(n)
+	if unsat {
+		t.Error("range contradiction detection is out of scope; must not flag")
+	}
+}
+
+func TestSimplifySameAttrDifferentOps(t *testing.T) {
+	n := MustParse(`a = 1 ^ a <= 5`)
+	_, unsat := Simplify(n)
+	if unsat {
+		t.Error("compatible constraints must not be flagged")
+	}
+}
+
+// Property: Simplify preserves semantics on random trees (when not
+// reported unsat), and unsat conditions really evaluate to false.
+func TestSimplifyPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 400; i++ {
+		n := randomTree(r, 3)
+		s, unsat := Simplify(n)
+		for j := 0; j < 8; j++ {
+			b := randomBinding(r)
+			want, err1 := n.Eval(b)
+			got, err2 := s.Eval(b)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval error: %v %v", err1, err2)
+			}
+			if got != want {
+				t.Fatalf("Simplify changed semantics:\nin:  %s\nout: %s\nbind: %v", n.Key(), s.Key(), b)
+			}
+			if unsat && want {
+				t.Fatalf("condition flagged unsat but evaluated true: %s on %v", n.Key(), b)
+			}
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 200; i++ {
+		n := randomTree(r, 3)
+		s1, _ := Simplify(n)
+		s2, _ := Simplify(s1)
+		if s1.Key() != s2.Key() {
+			t.Fatalf("not idempotent: %s -> %s", s1.Key(), s2.Key())
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package condition implements the condition-expression model of the
+// GenCompact paper: condition trees (CTs) whose leaves are atomic
+// comparisons over source attributes and whose internal nodes are the
+// Boolean connectors AND and OR. It provides parsing, evaluation,
+// canonicalization and the normal-form rewritings (CNF/DNF) that the
+// baseline strategies rely on.
+package condition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+const (
+	// KindString is a text value.
+	KindString Kind = iota
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindFloat is a 64-bit floating-point value.
+	KindFloat
+	// KindBool is a Boolean value.
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is a typed constant appearing in an atomic condition or in a tuple
+// field. The zero value is the empty string.
+type Value struct {
+	Kind Kind
+	S    string
+	I    int64
+	F    float64
+	B    bool
+}
+
+// String builds a string Value.
+func String(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Int builds an integer Value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float builds a floating-point Value. Negative zero is normalized to
+// positive zero so that values round-trip through their text rendering.
+func Float(f float64) Value {
+	if f == 0 {
+		f = 0 // collapse -0 to +0
+	}
+	return Value{Kind: KindFloat, F: f}
+}
+
+// Bool builds a Boolean Value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat returns the numeric value as a float64. It is only meaningful
+// when IsNumeric reports true.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Text returns the value rendered without quoting, as a form field would
+// carry it.
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindString:
+		return v.S
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	default:
+		return ""
+	}
+}
+
+// String renders the value as it appears in condition syntax: strings are
+// double-quoted with backslash-escaping of the quote and backslash
+// characters only (all other bytes pass through raw, matching what the
+// condition and SSDL lexers un-escape), numbers and booleans are bare.
+func (v Value) String() string {
+	if v.Kind == KindString {
+		return QuoteString(v.S)
+	}
+	return v.Text()
+}
+
+// QuoteString renders a string constant in condition syntax.
+func QuoteString(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// Equal reports whether two values are equal, coercing between numeric
+// kinds.
+func (v Value) Equal(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values. It returns -1, 0 or +1 and true when the
+// values are comparable (same kind, or both numeric), and false otherwise.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind != o.Kind {
+		return 0, false
+	}
+	switch v.Kind {
+	case KindString:
+		return strings.Compare(v.S, o.S), true
+	case KindBool:
+		switch {
+		case v.B == o.B:
+			return 0, true
+		case !v.B:
+			return -1, true
+		default:
+			return 1, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Less orders values for deterministic sorting; incomparable kinds order by
+// kind id. It is a total order suitable for sort keys, not a semantic
+// comparison.
+func (v Value) Less(o Value) bool {
+	if v.Kind != o.Kind && !(v.IsNumeric() && o.IsNumeric()) {
+		return v.Kind < o.Kind
+	}
+	c, _ := v.Compare(o)
+	return c < 0
+}

@@ -1,0 +1,162 @@
+package condition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompareNumericCoercion(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(3), Int(3), 0, true},
+		{Int(3), Int(4), -1, true},
+		{Int(5), Int(4), 1, true},
+		{Int(3), Float(3.0), 0, true},
+		{Float(2.5), Int(3), -1, true},
+		{Float(3.5), Int(3), 1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{String("c"), String("b"), 1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{String("3"), Int(3), 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Compare(tc.b)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Compare(%v, %v) = %d,%v want %d,%v", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(7).Equal(Float(7)) {
+		t.Error("Int(7) should equal Float(7)")
+	}
+	if String("x").Equal(Int(0)) {
+		t.Error("string and int must not be equal")
+	}
+	if !String("q").Equal(String("q")) {
+		t.Error("identical strings must be equal")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{String("BMW"), `"BMW"`},
+		{Int(40000), "40000"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestValueTextRendering(t *testing.T) {
+	if got := String("red").Text(); got != "red" {
+		t.Errorf("Text() = %q, want red", got)
+	}
+	if got := Int(-3).Text(); got != "-3" {
+		t.Errorf("Text() = %q, want -3", got)
+	}
+}
+
+// Property: Compare is antisymmetric on ints.
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, okx := Int(a).Compare(Int(b))
+		y, oky := Int(b).Compare(Int(a))
+		return okx && oky && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Less is a strict weak ordering representative — irreflexive.
+func TestValueLessIrreflexive(t *testing.T) {
+	f := func(a int64, s string) bool {
+		return !Int(a).Less(Int(a)) && !String(s).Less(String(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	tests := []struct {
+		l    Value
+		op   Op
+		r    Value
+		want bool
+	}{
+		{Int(3), OpLt, Int(4), true},
+		{Int(4), OpLt, Int(4), false},
+		{Int(4), OpLe, Int(4), true},
+		{Int(5), OpGt, Int(4), true},
+		{Int(4), OpGe, Int(4), true},
+		{Int(4), OpNe, Int(4), false},
+		{Int(4), OpNe, Int(5), true},
+		{String("Toyota"), OpEq, String("Toyota"), true},
+		{String("Interpretation of Dreams"), OpContains, String("dreams"), true},
+		{String("Interpretation of Dreams"), OpContains, String("nightmare"), false},
+		{String(""), OpContains, String(""), true},
+		{String("abc"), OpContains, String(""), true},
+	}
+	for _, tc := range tests {
+		got, err := tc.op.Apply(tc.l, tc.r)
+		if err != nil {
+			t.Errorf("%v %v %v: unexpected error %v", tc.l, tc.op, tc.r, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%v %v %v = %v, want %v", tc.l, tc.op, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestOpApplyKindMismatch(t *testing.T) {
+	// = and != degrade gracefully across kinds.
+	if got, err := OpEq.Apply(String("3"), Int(3)); err != nil || got {
+		t.Errorf("string = int should be false,nil; got %v,%v", got, err)
+	}
+	if got, err := OpNe.Apply(String("3"), Int(3)); err != nil || !got {
+		t.Errorf("string != int should be true,nil; got %v,%v", got, err)
+	}
+	// Ordering across kinds is an error.
+	if _, err := OpLt.Apply(String("3"), Int(3)); err == nil {
+		t.Error("string < int should error")
+	}
+	// contains on numbers is an error.
+	if _, err := OpContains.Apply(Int(1), Int(2)); err == nil {
+		t.Error("contains on ints should error")
+	}
+}
+
+func TestParseOpAliases(t *testing.T) {
+	for _, alias := range []string{"=", "==", "!=", "<>", "<", "<=", ">", ">=", "contains"} {
+		if _, ok := ParseOp(alias); !ok {
+			t.Errorf("ParseOp(%q) failed", alias)
+		}
+	}
+	if _, ok := ParseOp("~"); ok {
+		t.Error("ParseOp(~) should fail")
+	}
+}
+
+func TestContainsFoldCaseInsensitive(t *testing.T) {
+	ok, err := OpContains.Apply(String("The Interpretation Of DREAMS"), String("dreams"))
+	if err != nil || !ok {
+		t.Errorf("case-folded contains failed: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package core implements GenCompact (§6), the paper's primary
+// contribution: an efficient capability-sensitive plan generator. The
+// rewrite module fires only the distributive rule (§6.1 — commutativity is
+// folded into the source description, associativity and copy are subsumed
+// by IPG), every CT is converted to canonical form, and the Integrated
+// Plan Generator (Algorithm 6.1 with the OR-node processing of Figure 5
+// and the AND-node processing of Figure 6) produces the single best plan
+// per CT under the linear cost model, using pruning rules PR1-PR3 and an
+// exhaustive branch-and-bound Minimum-Cost Set Cover over the pruned
+// sub-plan array.
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/rewrite"
+	"repro/internal/strset"
+)
+
+// Planner is the GenCompact scheme.
+type Planner struct {
+	// Rewrite configures the rewrite module; the zero value fires the
+	// distributive rule with MaxCTs=DefaultMaxCTs and a 4× atom cap.
+	Rewrite rewrite.Config
+	// DisablePR1 keeps exploring impure plans even when a feasible pure
+	// plan exists (ablation of pruning rule PR1).
+	DisablePR1 bool
+	// DisablePR2 keeps every sub-plan per child subset instead of only
+	// the cheapest (ablation of PR2).
+	DisablePR2 bool
+	// DisablePR3 skips dominated-sub-plan elimination before set cover
+	// (ablation of PR3).
+	DisablePR3 bool
+	// MaxChildren bounds the connector fan-out for which subsets are
+	// enumerated (default 16; wider nodes fall back to whole-node plans
+	// and per-child recursion only).
+	MaxChildren int
+}
+
+// DefaultMaxCTs bounds the distributive closure GenCompact explores.
+const DefaultMaxCTs = 48
+
+// New returns a GenCompact planner with the paper's configuration.
+func New() *Planner { return &Planner{} }
+
+// Name implements planner.Planner.
+func (p *Planner) Name() string {
+	switch {
+	case p.DisablePR1 || p.DisablePR2 || p.DisablePR3:
+		return "GenCompact(ablated)"
+	default:
+		return "GenCompact"
+	}
+}
+
+// Plan implements planner.Planner.
+func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{}
+	defer func() { m.Duration = time.Since(start) }()
+	c0, h0, _ := ctx.Checker.Stats()
+	defer func() {
+		c1, h1, _ := ctx.Checker.Stats()
+		m.CheckCalls = c1 - c0
+		m.CheckMisses = (c1 - c0) - (h1 - h0)
+	}()
+
+	cfg := p.Rewrite
+	if cfg.Rules == (rewrite.Rules{}) {
+		cfg.Rules = rewrite.DistributiveOnly
+	}
+	if cfg.MaxCTs == 0 {
+		cfg.MaxCTs = DefaultMaxCTs
+	}
+	if cfg.MaxAtoms == 0 {
+		cfg.MaxAtoms = 4 * condition.Size(cond)
+	}
+	maxKids := p.MaxChildren
+	if maxKids <= 0 {
+		maxKids = 16
+	}
+
+	gen := &ipg{
+		ctx:     ctx,
+		metrics: m,
+		memo:    make(map[string]*planner.Candidate),
+		pr1:     !p.DisablePR1,
+		pr2:     !p.DisablePR2,
+		pr3:     !p.DisablePR3,
+		maxKids: maxKids,
+	}
+
+	var best *planner.Candidate
+	seen := make(map[string]bool)
+	for _, ct := range rewrite.Closure(cond, cfg) {
+		canon := condition.Canonicalize(ct)
+		k := canon.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		m.CTs++
+		if cand := gen.run(canon, strset.New(attrs...)); cand.Better(best) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, m, planner.ErrInfeasible
+	}
+	return best.Plan, m, nil
+}
+
+// ipg is one Integrated Plan Generator run; results are memoized on
+// (condition, attribute set) because the same sub-queries recur across the
+// closure's CTs and within subset enumeration.
+type ipg struct {
+	ctx           *planner.Context
+	metrics       *planner.Metrics
+	memo          map[string]*planner.Candidate
+	pr1, pr2, pr3 bool
+	maxKids       int
+}
+
+func (g *ipg) candidate(p plan.Plan) *planner.Candidate {
+	g.metrics.PlansConsidered++
+	return planner.NewCandidate(p, g.ctx.Model)
+}
+
+// run is Algorithm 6.1: the best plan for SP(n, A, R), or nil when
+// infeasible.
+func (g *ipg) run(n condition.Node, attrs strset.Set) *planner.Candidate {
+	key := n.Key() + "\x00" + attrs.Key()
+	if got, ok := g.memo[key]; ok {
+		return got
+	}
+	g.metrics.GeneratorCalls++
+	out := g.generate(n, attrs)
+	g.memo[key] = out
+	return out
+}
+
+func (g *ipg) generate(n condition.Node, attrs strset.Set) *planner.Candidate {
+	attrList := attrs.Sorted()
+
+	// The pure plan; with PR1 it short-circuits all further search.
+	var best *planner.Candidate
+	if attrs.SubsetOf(g.ctx.Checker.Check(n)) {
+		best = g.candidate(plan.NewSourceQuery(g.ctx.Source, n, attrList))
+		if g.pr1 {
+			return best
+		}
+	}
+
+	// plan_impure: download the relevant portion of the source.
+	if need := attrs.Union(condition.AttrSet(n)); need.SubsetOf(g.ctx.Checker.Downloadable()) {
+		dl := plan.NewSourceQuery(g.ctx.Source, condition.True(), need.Sorted())
+		if cand := g.candidate(plan.NewSP(n, attrList, dl)); cand.Better(best) {
+			best = cand
+		}
+	}
+
+	switch t := n.(type) {
+	case *condition.Or:
+		if cand := g.orNode(t, attrs, attrList, best); cand.Better(best) {
+			best = cand
+		}
+	case *condition.And:
+		if cand := g.andNode(t, attrs, attrList, best); cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// subPlans is the sub-plan array P of Figures 5 and 6, indexed by child
+// bitmask. With PR2 each mask keeps only its cheapest plan; the PR2
+// ablation keeps them all.
+type subPlans struct {
+	byMask map[int][]*planner.Candidate
+	pure   map[int]bool // masks whose entry includes a pure source query
+	pr2    bool
+}
+
+func newSubPlans(pr2 bool) *subPlans {
+	return &subPlans{byMask: make(map[int][]*planner.Candidate), pure: make(map[int]bool), pr2: pr2}
+}
+
+// add records a candidate for the child set mask. markPure tags masks
+// whose plan evaluates AND/OR of the set in one supported source query
+// (line 12 of Figure 6 needs this distinction).
+func (s *subPlans) add(mask int, cand *planner.Candidate, markPure bool) {
+	if cand == nil {
+		return
+	}
+	if markPure {
+		s.pure[mask] = true
+	}
+	cur := s.byMask[mask]
+	if s.pr2 {
+		if len(cur) == 0 {
+			s.byMask[mask] = []*planner.Candidate{cand}
+		} else if cand.Cost < cur[0].Cost {
+			cur[0] = cand
+		}
+		return
+	}
+	s.byMask[mask] = append(cur, cand)
+}
+
+func (s *subPlans) get(mask int) *planner.Candidate {
+	cur := s.byMask[mask]
+	if len(cur) == 0 {
+		return nil
+	}
+	best := cur[0]
+	for _, c := range cur[1:] {
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	return best
+}
+
+// hasPureSuperset reports whether some recorded pure entry covers a
+// superset of mask (PR1 when equal, PR3 when strict — line 12, Figure 6).
+func (s *subPlans) hasPureSuperset(mask int) bool {
+	for m := range s.pure {
+		if m&mask == mask {
+			return true
+		}
+	}
+	return false
+}
+
+// entry is one MCSC input: a child set and a priced plan covering it.
+type entry struct {
+	mask int
+	cand *planner.Candidate
+}
+
+// entries flattens the array, applying PR3 domination pruning when
+// enabled: an entry is dropped when another covers a superset of its
+// children at no greater cost.
+func (s *subPlans) entries(pr3 bool) []entry {
+	var out []entry
+	for mask, cands := range s.byMask {
+		for _, c := range cands {
+			out = append(out, entry{mask: mask, cand: c})
+		}
+	}
+	if !pr3 {
+		return out
+	}
+	kept := out[:0]
+	for i, e := range out {
+		dominated := false
+		for j, o := range out {
+			if i == j {
+				continue
+			}
+			strictlyBigger := o.mask&e.mask == e.mask && o.mask != e.mask
+			cheaperSame := o.mask == e.mask && (o.cand.Cost < e.cand.Cost || (o.cand.Cost == e.cand.Cost && j < i))
+			if (strictlyBigger && o.cand.Cost <= e.cand.Cost) || cheaperSame {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+// orNode is Figure 5: find sub-plans for subsets of the OR node's
+// children, then choose the cheapest set cover, combining by union.
+func (g *ipg) orNode(n *condition.Or, attrs strset.Set, attrList []string, bound *planner.Candidate) *planner.Candidate {
+	kids := n.Kids
+	if len(kids) > g.maxKids {
+		return nil
+	}
+	P := newSubPlans(g.pr2)
+	full := 1<<len(kids) - 1
+
+	// Step 1, lines 3-5: pure sub-plans for every nonempty subset.
+	for mask := 1; mask <= full; mask++ {
+		orCond := buildConn(false, kids, mask)
+		if attrs.SubsetOf(g.ctx.Checker.Check(orCond)) {
+			P.add(mask, g.candidate(plan.NewSourceQuery(g.ctx.Source, orCond, attrList)), true)
+		}
+	}
+	// Lines 6-7: impure sub-plans for single children lacking a pure one
+	// (PR1 skips the recursion otherwise).
+	for i, kid := range kids {
+		mask := 1 << i
+		if P.get(mask) != nil && g.pr1 {
+			continue
+		}
+		if cand := g.run(kid, attrs); cand != nil {
+			P.add(mask, cand, false)
+		}
+	}
+
+	// Step 2, lines 8-14: prune dominated sub-plans and solve MCSC.
+	entries := P.entries(g.pr3)
+	if len(entries) > g.metrics.MaxSubPlans {
+		g.metrics.MaxSubPlans = len(entries)
+	}
+	boundCost := planCostOrInf(bound)
+	plans, cost := g.mcsc(entries, full, boundCost)
+	if plans == nil {
+		return nil
+	}
+	if len(plans) == 1 {
+		return &planner.Candidate{Plan: plans[0], Cost: cost}
+	}
+	return &planner.Candidate{Plan: &plan.Union{Inputs: plans}, Cost: cost}
+}
+
+// andNode is Figure 6: find sub-plans for subsets of the AND node's
+// children — including nested plans that evaluate extra children at the
+// mediator on a source query's result — then choose the cheapest set
+// cover, combining by intersection.
+func (g *ipg) andNode(n *condition.And, attrs strset.Set, attrList []string, bound *planner.Candidate) *planner.Candidate {
+	kids := n.Kids
+	if len(kids) > g.maxKids {
+		return nil
+	}
+	P := newSubPlans(g.pr2)
+	full := 1<<len(kids) - 1
+
+	// Step 1, lines 3-9: supported conjunction subsets and their
+	// mediator extensions.
+	for mask := 1; mask <= full; mask++ {
+		andCond := buildConn(true, kids, mask)
+		exported := g.ctx.Checker.Check(andCond)
+		if !attrs.SubsetOf(exported) {
+			continue
+		}
+		P.add(mask, g.candidate(plan.NewSourceQuery(g.ctx.Source, andCond, attrList)), true)
+		// N_add = MaxEval(A_N, n) − N: children evaluable at the
+		// mediator from the attributes this source query can export.
+		naddMask := 0
+		for i, kid := range kids {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if strset.Set(condition.AttrSet(kid)).SubsetOf(exported) {
+				naddMask |= 1 << i
+			}
+		}
+		// Lines 8-9: every nonempty M ⊆ N_add, evaluated locally on the
+		// widened source query.
+		for m := naddMask; m != 0; m = (m - 1) & naddMask {
+			mCond := buildConn(true, kids, m)
+			need := attrs.Union(condition.AttrSet(mCond))
+			inner := plan.NewSourceQuery(g.ctx.Source, andCond, need.Sorted())
+			P.add(mask|m, g.candidate(plan.NewSP(mCond, attrList, inner)), false)
+		}
+	}
+
+	// Lines 10-13: recursive sub-plans — evaluate one child via IPG,
+	// remaining chosen siblings locally on its result.
+	for i, kid := range kids {
+		for mask := 1; mask <= full; mask++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if (g.pr1 || g.pr3) && P.hasPureSuperset(mask) {
+				continue // line 12: PR1 (N''=N') / PR3 (N''⊃N')
+			}
+			rest := mask &^ (1 << i)
+			var restCond condition.Node = condition.True()
+			if rest != 0 {
+				restCond = buildConn(true, kids, rest)
+			}
+			need := attrs.Union(condition.AttrSet(restCond))
+			sub := g.run(kid, need)
+			if sub == nil {
+				continue
+			}
+			P.add(mask, g.candidate(plan.NewSP(restCond, attrList, sub.Plan)), false)
+		}
+	}
+
+	// Step 2, lines 14-20: prune and solve MCSC, combining by
+	// intersection.
+	entries := P.entries(g.pr3)
+	if len(entries) > g.metrics.MaxSubPlans {
+		g.metrics.MaxSubPlans = len(entries)
+	}
+	boundCost := planCostOrInf(bound)
+	plans, cost := g.mcsc(entries, full, boundCost)
+	if plans == nil {
+		return nil
+	}
+	if len(plans) == 1 {
+		return &planner.Candidate{Plan: plans[0], Cost: cost}
+	}
+	return &planner.Candidate{Plan: &plan.Intersect{Inputs: plans}, Cost: cost}
+}
+
+// mcsc solves Minimum-Cost Set Cover exhaustively over the entries with
+// branch-and-bound, as §6.4.2 prescribes (O(2^Q) with Q kept small by the
+// pruning rules). It returns the chosen plans and their total cost, or
+// (nil, +Inf) when no cover beats the bound.
+func (g *ipg) mcsc(entries []entry, full int, bound float64) ([]plan.Plan, float64) {
+	// Cheapest-first ordering tightens the bound early.
+	sortEntriesByCost(entries)
+	// Suffix coverage masks let the search stop when completion is
+	// impossible.
+	suffix := make([]int, len(entries)+1)
+	for i := len(entries) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] | entries[i].mask
+	}
+	bestCost := bound
+	var bestPick []int
+	var pick []int
+	var dfs func(idx, covered int, cost float64)
+	dfs = func(idx, covered int, cost float64) {
+		if covered == full {
+			if cost < bestCost {
+				bestCost = cost
+				bestPick = append(bestPick[:0], pick...)
+			}
+			return
+		}
+		if idx == len(entries) || cost >= bestCost || covered|suffix[idx] != full {
+			return
+		}
+		g.metrics.MCSCCombos++
+		e := entries[idx]
+		// Include idx only if it adds coverage.
+		if e.mask&^covered != 0 {
+			pick = append(pick, idx)
+			dfs(idx+1, covered|e.mask, cost+e.cand.Cost)
+			pick = pick[:len(pick)-1]
+		}
+		dfs(idx+1, covered, cost)
+	}
+	dfs(0, 0, 0)
+	if bestPick == nil {
+		return nil, bound
+	}
+	plans := make([]plan.Plan, len(bestPick))
+	for i, idx := range bestPick {
+		plans[i] = entries[idx].cand.Plan
+	}
+	return plans, bestCost
+}
+
+func sortEntriesByCost(entries []entry) {
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].cand.Cost < entries[j-1].cand.Cost; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// buildConn assembles the AND/OR of the masked children, preserving child
+// order; a single child stands alone.
+func buildConn(isAnd bool, kids []condition.Node, mask int) condition.Node {
+	var sel []condition.Node
+	for i, k := range kids {
+		if mask&(1<<i) != 0 {
+			sel = append(sel, k.Clone())
+		}
+	}
+	if len(sel) == 1 {
+		return sel[0]
+	}
+	if isAnd {
+		return &condition.And{Kids: sel}
+	}
+	return &condition.Or{Kids: sel}
+}
+
+func planCostOrInf(c *planner.Candidate) float64 {
+	if c == nil {
+		return math.Inf(1)
+	}
+	return c.Cost
+}

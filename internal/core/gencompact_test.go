@@ -1,0 +1,497 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// cars41 is Example 4.1's source with a small inventory.
+func cars41(t *testing.T) (*source.Local, *planner.Context) {
+	t.Helper()
+	g := ssdl.MustParse(`
+source R
+attrs make, model, year, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, year, color}
+attributes :: s2 : {make, model, year}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "year", Kind: condition.KindInt},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model string
+		year        int64
+		color       string
+		price       int64
+	}{
+		{"BMW", "328i", 1998, "red", 35000},
+		{"BMW", "528i", 1997, "black", 45000},
+		{"BMW", "318i", 1996, "blue", 29000},
+		{"Toyota", "Camry", 1998, "red", 19000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model), condition.Int(row.year),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(g, 0)),
+		Model:   cost.Model{K1: 10, K2: 1, Est: est},
+	}
+	return src, ctx
+}
+
+// TestSection4Plan reproduces §4's analysis: for the Figure 1 query with
+// A = {model, year}, the intersection plan is infeasible but the nested
+// plan SP(n2, A, SP(n1, A ∪ Attr(n2), R)) is feasible; GenCompact must
+// find it.
+func TestSection4Plan(t *testing.T) {
+	src, ctx := cars41(t)
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
+	attrs := []string{"model", "year"}
+
+	p, metrics, err := New().Plan(ctx, cond, attrs)
+	if err != nil {
+		t.Fatalf("Plan: %v\nmetrics: %+v", err, metrics)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 {
+		t.Fatalf("want 1 source query, got %d:\n%s", len(qs), plan.Format(p))
+	}
+	// The one source query is n1 widened by color.
+	if !qs[0].OutAttrs().Has("color") {
+		t.Errorf("source query must export color for mediator evaluation: %s", qs[0].Key())
+	}
+	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 { // only the 328i: BMW, <40000, red
+		t.Errorf("result len = %d, want 1:\n%v", res.Len(), res.Tuples())
+	}
+	if v, _ := res.Tuples()[0].Lookup("model"); v.S != "328i" {
+		t.Errorf("model = %v", v)
+	}
+}
+
+// TestExample61 reproduces Example 6.1: a 3-conjunct query with no pure
+// plan, where the best impure plan combines a pure sub-plan for c1 with a
+// nested sub-plan for {c2, c3}.
+func TestExample61(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs a, b, c, x
+key x
+s1 -> a = $v:int
+s2 -> b = $v:int
+s3 -> c = $v:int
+attributes :: s1 : {a, x}
+attributes :: s2 : {b, c, x}
+attributes :: s3 : {b, c, x}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "a", Kind: condition.KindInt},
+		relation.Column{Name: "b", Kind: condition.KindInt},
+		relation.Column{Name: "c", Kind: condition.KindInt},
+		relation.Column{Name: "x", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	// c2 (b=1) is much more selective than c3 (c=1).
+	for i := 0; i < 100; i++ {
+		b := int64(0)
+		if i < 5 {
+			b = 1
+		}
+		c := int64(0)
+		if i < 60 {
+			c = 1
+		}
+		a := int64(0)
+		if i%2 == 0 {
+			a = 1
+		}
+		if err := r.AppendValues(condition.Int(a), condition.Int(b), condition.Int(c), condition.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(g),
+		Model:   cost.Model{K1: 50, K2: 1, Est: est}, // high k1: fewer queries win
+	}
+	cond := condition.MustParse(`a = 1 ^ b = 1 ^ c = 1`)
+	p, _, err := New().Plan(ctx, cond, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	// Plan (3) of Example 6.1: two source queries (c1, and c2 widened to
+	// export c's attrs), not three.
+	if len(qs) != 2 {
+		t.Fatalf("want 2 source queries, got %d:\n%s", len(qs), plan.Format(p))
+	}
+	conds := map[string]bool{}
+	for _, q := range qs {
+		conds[q.Cond.Key()] = true
+	}
+	if !conds[`a = 1`] {
+		t.Errorf("expected a pure sub-plan for c1, got %v", conds)
+	}
+	if !conds[`b = 1`] {
+		t.Errorf("expected the nested sub-plan to query c2 (the selective one), got %v", conds)
+	}
+
+	// Execution is correct.
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := r.Select(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Project([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(want) {
+		t.Errorf("plan result differs from direct evaluation: %d vs %d tuples", res.Len(), want.Len())
+	}
+}
+
+// TestExample11Bookstore reproduces Example 1.1's structure: GenCompact
+// splits the two-author disjunction into two source queries.
+func TestExample11Bookstore(t *testing.T) {
+	g := ssdl.MustParse(`
+source books
+attrs author, title, isbn, price
+key isbn
+s1 -> author = $a:string
+s2 -> title contains $t:string
+s3 -> author = $a:string ^ title contains $t:string
+attributes :: s1 : {author, title, isbn, price}
+attributes :: s2 : {author, title, isbn, price}
+attributes :: s3 : {author, title, isbn, price}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "author", Kind: condition.KindString},
+		relation.Column{Name: "title", Kind: condition.KindString},
+		relation.Column{Name: "isbn", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	add := func(author, title, isbn string) {
+		if err := r.AppendValues(condition.String(author), condition.String(title), condition.String(isbn), condition.Int(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Sigmund Freud", "The Interpretation of Dreams", "i1")
+	add("Sigmund Freud", "The Ego and the Id", "i2")
+	add("Carl Jung", "Memories, Dreams, Reflections", "i3")
+	add("Carl Jung", "Man and His Symbols", "i4")
+	for i := 0; i < 50; i++ {
+		add("Other Author", "Dreams and More Dreams", "x"+string(rune('0'+i%10))+string(rune('a'+i/10)))
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"books": r})
+	ctx := &planner.Context{
+		Source:  "books",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(g, 0)),
+		Model:   cost.Model{K1: 1, K2: 1, Est: est},
+	}
+	cond := condition.MustParse(`(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`)
+	attrs := []string{"title", "isbn"}
+	p, _, err := New().Plan(ctx, cond, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 2 {
+		t.Fatalf("want the paper's 2-query plan, got %d queries:\n%s", len(qs), plan.Format(p))
+	}
+	for _, q := range qs {
+		// Each query must be author ∧ title (the narrow s3 shape), not a
+		// bare author or title query.
+		if condition.Size(q.Cond) != 2 {
+			t.Errorf("source query should conjoin author with title: %s", q.Cond.Key())
+		}
+	}
+	// Execution goes through the mediator, which fixes source-query
+	// conjunct order back to what the original grammar accepts (§6.1).
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := mediator.New(ctx.Model)
+	if err := med.Register("books", src, g); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := med.FixPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute(fixed, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // Freud's Interpretation + Jung's Memories
+		t.Errorf("result len = %d, want 2", res.Len())
+	}
+	if acc := src.Accounting(); acc.Tuples != 2 {
+		t.Errorf("transferred %d tuples, want 2 (capability-sensitive plan is narrow)", acc.Tuples)
+	}
+}
+
+func TestInfeasibleQuery(t *testing.T) {
+	_, ctx := cars41(t)
+	// year is not constrainable and download is not allowed.
+	_, _, err := New().Plan(ctx, condition.MustParse(`year = 1998`), []string{"model"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPurePlanShortCircuit(t *testing.T) {
+	_, ctx := cars41(t)
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	p, metrics, err := New().Plan(ctx, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 || !condition.Equal(qs[0].Cond, cond) {
+		t.Errorf("pure plan expected:\n%s", plan.Format(p))
+	}
+	if metrics.MaxSubPlans != 0 {
+		t.Errorf("PR1 should have skipped sub-plan search, MaxSubPlans = %d", metrics.MaxSubPlans)
+	}
+}
+
+func TestDownloadFallback(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs a, b
+s1 -> a = $v:int
+dl -> true
+attributes :: s1 : {a}
+attributes :: dl : {a, b}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "a", Kind: condition.KindInt},
+		relation.Column{Name: "b", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	for i := 0; i < 10; i++ {
+		if err := r.AppendValues(condition.Int(int64(i%3)), condition.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(g),
+		Model:   cost.Model{K1: 1, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})},
+	}
+	// b = 5 is only answerable by downloading.
+	p, _, err := New().Plan(ctx, condition.MustParse(`b = 5`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := plan.SourceQueries(p)
+	if len(qs) != 1 || !condition.IsTrue(qs[0].Cond) {
+		t.Fatalf("want download plan, got:\n%s", plan.Format(p))
+	}
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("len = %d, want 1", res.Len())
+	}
+}
+
+// TestPruningAblationsAgreeOnCost checks PR1/PR2/PR3 never prune the
+// optimum: ablated planners must find plans of the same cost.
+func TestPruningAblationsAgreeOnCost(t *testing.T) {
+	_, ctx := cars41(t)
+	conds := []string{
+		`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`,
+		`make = "BMW" ^ price < 40000 ^ color = "red"`,
+		`(make = "BMW" ^ color = "red") _ (make = "Toyota" ^ color = "red")`,
+		`make = "BMW" ^ (color = "red" _ color = "blue")`,
+	}
+	for _, cs := range conds {
+		cond := condition.MustParse(cs)
+		attrs := []string{"model"}
+		base, _, err := New().Plan(ctx, cond, attrs)
+		if err != nil {
+			if errors.Is(err, planner.ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		baseCost := ctx.Model.PlanCost(base)
+		for _, abl := range []*Planner{
+			{DisablePR1: true},
+			{DisablePR2: true},
+			{DisablePR3: true},
+			{DisablePR1: true, DisablePR2: true, DisablePR3: true},
+		} {
+			p, _, err := abl.Plan(ctx, cond, attrs)
+			if err != nil {
+				t.Fatalf("%s ablated: %v", cs, err)
+			}
+			if got := ctx.Model.PlanCost(p); got != baseCost {
+				t.Errorf("%s: ablated cost %v != pruned cost %v\npruned:\n%s\nablated:\n%s",
+					cs, got, baseCost, plan.Format(base), plan.Format(p))
+			}
+		}
+	}
+}
+
+// TestAblationIncreasesWork verifies the pruning rules actually save work.
+func TestAblationIncreasesWork(t *testing.T) {
+	_, ctx := cars41(t)
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
+	_, pruned, err := New().Plan(ctx, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ablated, err := (&Planner{DisablePR1: true, DisablePR3: true}).Plan(ctx, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.PlansConsidered <= pruned.PlansConsidered {
+		t.Errorf("ablation should consider more plans: pruned=%d ablated=%d",
+			pruned.PlansConsidered, ablated.PlansConsidered)
+	}
+}
+
+func TestPlannerName(t *testing.T) {
+	if New().Name() != "GenCompact" {
+		t.Error("name")
+	}
+	if (&Planner{DisablePR2: true}).Name() != "GenCompact(ablated)" {
+		t.Error("ablated name")
+	}
+}
+
+func TestFeasiblePlansValidate(t *testing.T) {
+	src, ctx := cars41(t)
+	conds := []string{
+		`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`,
+		`make = "BMW" ^ color = "red"`,
+		`(make = "BMW" ^ color = "red") _ (make = "Toyota" ^ price < 20000)`,
+	}
+	for _, cs := range conds {
+		p, _, err := New().Plan(ctx, condition.MustParse(cs), []string{"model"})
+		if err != nil {
+			continue
+		}
+		rep, err := plan.Validate(p, plan.CheckerMap{"R": ctx.Checker})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Feasible {
+			t.Errorf("%s: generated infeasible plan:\n%s", cs, plan.Format(p))
+		}
+		_ = src
+	}
+}
+
+// TestSection4BankPIN reproduces §4's bank example: "a bank may allow the
+// retrieval of some attributes of an account given its account number, but
+// may refuse to give the account balance unless a PIN number is specified
+// in the query condition." Attribute-dependent projection is exactly what
+// per-rule export sets express.
+func TestSection4BankPIN(t *testing.T) {
+	g := ssdl.MustParse(`
+source bank
+attrs acct, owner, balance, pin
+key acct
+s1 -> acct = $a:string
+s2 -> acct = $a:string ^ pin = $p:string
+attributes :: s1 : {acct, owner}
+attributes :: s2 : {acct, owner, balance}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "acct", Kind: condition.KindString},
+		relation.Column{Name: "owner", Kind: condition.KindString},
+		relation.Column{Name: "balance", Kind: condition.KindInt},
+		relation.Column{Name: "pin", Kind: condition.KindString},
+	)
+	r := relation.New(s)
+	if err := r.AppendValues(
+		condition.String("A-1"), condition.String("W. Labio"),
+		condition.Int(1234), condition.String("0042")); err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &planner.Context{
+		Source:  "bank",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(g, 0)),
+		Model:   cost.Model{K1: 1, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"bank": r})},
+	}
+
+	// Owner lookup without a PIN: fine.
+	p, _, err := New().Plan(ctx, condition.MustParse(`acct = "A-1"`), []string{"owner"})
+	if err != nil {
+		t.Fatalf("owner lookup: %v", err)
+	}
+	if res, err := plan.Execute(p, plan.SourceMap{"bank": src}); err != nil || res.Len() != 1 {
+		t.Fatalf("owner lookup execution: %v", err)
+	}
+
+	// Balance without a PIN: no plan exists — splitting cannot conjure
+	// authorization.
+	if _, _, err := New().Plan(ctx, condition.MustParse(`acct = "A-1"`), []string{"balance"}); !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("balance without PIN: err = %v, want ErrInfeasible", err)
+	}
+
+	// Balance with the PIN in the condition: allowed.
+	p, _, err = New().Plan(ctx, condition.MustParse(`acct = "A-1" ^ pin = "0042"`), []string{"balance"})
+	if err != nil {
+		t.Fatalf("balance with PIN: %v", err)
+	}
+	res, err := plan.Execute(p, plan.SourceMap{"bank": src})
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("balance execution: %v", err)
+	}
+	if v, _ := res.Tuples()[0].Lookup("balance"); v.I != 1234 {
+		t.Errorf("balance = %v", v)
+	}
+}

@@ -1,0 +1,234 @@
+// Package cost implements the paper's cost model (§6.2): the cost of a
+// plan is Σ over its source queries of k1 + k2·|result(sq)|, a linear
+// model of per-query overhead (connection and form submission) plus
+// per-tuple transfer and post-processing. It also provides the cardinality
+// estimators the model needs and the Choice resolution that GenModular's
+// cost module performs.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Estimator predicts the result cardinality of a source query.
+type Estimator interface {
+	// ResultSize estimates |σ_cond(R)| for the named source.
+	ResultSize(source string, cond condition.Node) float64
+}
+
+// Coef holds one source's cost constants.
+type Coef struct {
+	// K1 is the fixed per-source-query cost.
+	K1 float64
+	// K2 is the per-result-tuple cost.
+	K2 float64
+}
+
+// Model is the linear cost model with an estimator bound in. K1/K2 are
+// the default constants; PerSource overrides them for individual sources,
+// per the paper's "k1 and k2 are constants that depend on the source".
+type Model struct {
+	// K1 is the default fixed per-source-query cost.
+	K1 float64
+	// K2 is the default per-result-tuple cost.
+	K2 float64
+	// PerSource overrides the constants for specific sources. The map
+	// may be shared and extended after the model is copied.
+	PerSource map[string]Coef
+	// Est supplies result-size estimates.
+	Est Estimator
+}
+
+// Coef returns the constants effective for the source.
+func (m Model) Coef(source string) Coef {
+	if c, ok := m.PerSource[source]; ok {
+		return c
+	}
+	return Coef{K1: m.K1, K2: m.K2}
+}
+
+// Infeasible is the cost of an infeasible plan; any feasible plan costs
+// less.
+var Infeasible = math.Inf(1)
+
+// PlanCost returns the model cost of the plan. Choice nodes cost the
+// minimum over their alternatives, so costing an unresolved GenModular
+// Choice tree yields the cost of its best resolution.
+func (m Model) PlanCost(p plan.Plan) float64 {
+	switch t := p.(type) {
+	case *plan.SourceQuery:
+		c := m.Coef(t.Source)
+		return c.K1 + c.K2*m.Est.ResultSize(t.Source, t.Cond)
+	case *plan.Select:
+		return m.PlanCost(t.Input)
+	case *plan.Project:
+		return m.PlanCost(t.Input)
+	case *plan.Union:
+		sum := 0.0
+		for _, k := range t.Inputs {
+			sum += m.PlanCost(k)
+		}
+		return sum
+	case *plan.Intersect:
+		sum := 0.0
+		for _, k := range t.Inputs {
+			sum += m.PlanCost(k)
+		}
+		return sum
+	case *plan.Choice:
+		best := Infeasible
+		for _, k := range t.Alternatives {
+			if c := m.PlanCost(k); c < best {
+				best = c
+			}
+		}
+		return best
+	default:
+		return Infeasible
+	}
+}
+
+// SourceQueryCost returns the model cost of one source query.
+func (m Model) SourceQueryCost(source string, cond condition.Node) float64 {
+	c := m.Coef(source)
+	return c.K1 + c.K2*m.Est.ResultSize(source, cond)
+}
+
+// Resolve replaces every Choice node with its cheapest alternative,
+// returning the single concrete plan GenModular's cost module would pick.
+// Resolving an empty Choice is an error.
+func (m Model) Resolve(p plan.Plan) (plan.Plan, error) {
+	switch t := p.(type) {
+	case *plan.SourceQuery:
+		return t, nil
+	case *plan.Select:
+		in, err := m.Resolve(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Select{Cond: t.Cond, Input: in}, nil
+	case *plan.Project:
+		in, err := m.Resolve(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Project{Attrs: t.Attrs, Input: in}, nil
+	case *plan.Union:
+		ins, err := m.resolveAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Union{Inputs: ins}, nil
+	case *plan.Intersect:
+		ins, err := m.resolveAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Intersect{Inputs: ins}, nil
+	case *plan.Choice:
+		if len(t.Alternatives) == 0 {
+			return nil, fmt.Errorf("cost: cannot resolve empty Choice")
+		}
+		var best plan.Plan
+		bestCost := Infeasible
+		for _, alt := range t.Alternatives {
+			r, err := m.Resolve(alt)
+			if err != nil {
+				return nil, err
+			}
+			if c := m.PlanCost(r); c < bestCost {
+				bestCost = c
+				best = r
+			}
+		}
+		return best, nil
+	default:
+		return nil, fmt.Errorf("cost: unknown plan node %T", p)
+	}
+}
+
+func (m Model) resolveAll(ps []plan.Plan) ([]plan.Plan, error) {
+	out := make([]plan.Plan, len(ps))
+	for i, p := range ps {
+		r, err := m.Resolve(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// StatsEstimator estimates result sizes from per-source relation
+// statistics under attribute independence.
+type StatsEstimator struct {
+	stats map[string]*relation.Stats
+}
+
+// NewStatsEstimator builds an estimator over per-source statistics.
+func NewStatsEstimator(stats map[string]*relation.Stats) *StatsEstimator {
+	return &StatsEstimator{stats: stats}
+}
+
+// ResultSize implements Estimator.
+func (e *StatsEstimator) ResultSize(source string, cond condition.Node) float64 {
+	st, ok := e.stats[source]
+	if !ok {
+		return 0
+	}
+	return st.EstimateCount(cond)
+}
+
+// OracleEstimator returns exact cardinalities by counting against the live
+// relations; experiments use it so plan-quality comparisons measure the
+// algorithms rather than estimation error. Counts are memoized; the
+// estimator is safe for concurrent use.
+type OracleEstimator struct {
+	rels map[string]*relation.Relation
+
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewOracleEstimator builds an exact estimator over the relations.
+func NewOracleEstimator(rels map[string]*relation.Relation) *OracleEstimator {
+	return &OracleEstimator{rels: rels, cache: make(map[string]float64)}
+}
+
+// ResultSize implements Estimator.
+func (e *OracleEstimator) ResultSize(source string, cond condition.Node) float64 {
+	key := source + "\x00" + cond.Key()
+	e.mu.Lock()
+	if v, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+	r, ok := e.rels[source]
+	if !ok {
+		return 0
+	}
+	n, err := r.Count(cond)
+	if err != nil {
+		// Conditions referencing unknown attributes match nothing.
+		n = 0
+	}
+	v := float64(n)
+	e.mu.Lock()
+	e.cache[key] = v
+	e.mu.Unlock()
+	return v
+}
+
+// FixedEstimator returns a constant size for every query; useful in unit
+// tests that need deterministic, shape-independent costs.
+type FixedEstimator float64
+
+// ResultSize implements Estimator.
+func (f FixedEstimator) ResultSize(string, condition.Node) float64 { return float64(f) }

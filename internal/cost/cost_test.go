@@ -1,0 +1,182 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+func smallRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	for i, m := range []string{"BMW", "BMW", "Toyota", "Honda"} {
+		if err := r.AppendValues(condition.String(m), condition.Int(int64(10000*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestSourceQueryCostLinear(t *testing.T) {
+	m := Model{K1: 10, K2: 2, Est: FixedEstimator(5)}
+	q := plan.NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	if got := m.PlanCost(q); got != 20 {
+		t.Errorf("cost = %v, want 10 + 2*5 = 20", got)
+	}
+}
+
+func TestPlanCostSumsSourceQueries(t *testing.T) {
+	m := Model{K1: 10, K2: 1, Est: FixedEstimator(3)}
+	q1 := plan.NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	q2 := plan.NewSourceQuery("R", condition.MustParse(`b = 2`), []string{"x"})
+	u := &plan.Union{Inputs: []plan.Plan{q1, q2}}
+	if got := m.PlanCost(u); got != 26 {
+		t.Errorf("union cost = %v, want 26", got)
+	}
+	x := &plan.Intersect{Inputs: []plan.Plan{q1, q2}}
+	if got := m.PlanCost(x); got != 26 {
+		t.Errorf("intersect cost = %v, want 26", got)
+	}
+	// Mediator-side select/project are free in the paper's model.
+	sel := plan.NewSP(condition.MustParse(`c = 3`), []string{"x"}, q1)
+	if got := m.PlanCost(sel); got != 13 {
+		t.Errorf("wrapped cost = %v, want 13", got)
+	}
+}
+
+func TestChoiceCostIsMin(t *testing.T) {
+	est := NewOracleEstimator(map[string]*relation.Relation{"R": smallRelation(t)})
+	m := Model{K1: 1, K2: 1, Est: est}
+	cheap := plan.NewSourceQuery("R", condition.MustParse(`make = "Honda"`), []string{"make"})
+	costly := plan.NewSourceQuery("R", condition.True(), []string{"make"})
+	ch := &plan.Choice{Alternatives: []plan.Plan{costly, cheap}}
+	if got := m.PlanCost(ch); got != 2 { // 1 + 1*1
+		t.Errorf("choice cost = %v, want 2", got)
+	}
+	resolved, err := m.Resolve(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Key() != cheap.Key() {
+		t.Errorf("resolved = %s, want the cheap alternative", resolved.Key())
+	}
+}
+
+func TestResolveRecursesAndFailsOnEmptyChoice(t *testing.T) {
+	m := Model{K1: 1, K2: 1, Est: FixedEstimator(1)}
+	q := plan.NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	nested := &plan.Union{Inputs: []plan.Plan{
+		&plan.Choice{Alternatives: []plan.Plan{q}},
+		plan.NewSP(condition.MustParse(`b = 1`), []string{"x"}, &plan.Choice{Alternatives: []plan.Plan{q}}),
+	}}
+	r, err := m.Resolve(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CountChoices(r) != 0 {
+		t.Error("Resolve left Choice nodes behind")
+	}
+	if _, err := m.Resolve(&plan.Choice{}); err == nil {
+		t.Error("empty choice should fail to resolve")
+	}
+}
+
+func TestOracleEstimatorExactAndMemoized(t *testing.T) {
+	est := NewOracleEstimator(map[string]*relation.Relation{"R": smallRelation(t)})
+	c := condition.MustParse(`make = "BMW"`)
+	if got := est.ResultSize("R", c); got != 2 {
+		t.Errorf("oracle = %v, want 2", got)
+	}
+	if got := est.ResultSize("R", c); got != 2 {
+		t.Errorf("memoized oracle = %v, want 2", got)
+	}
+	if got := est.ResultSize("ghost", c); got != 0 {
+		t.Errorf("unknown source = %v, want 0", got)
+	}
+	if got := est.ResultSize("R", condition.MustParse(`nosuch = 1`)); got != 0 {
+		t.Errorf("bad attr = %v, want 0", got)
+	}
+	if got := est.ResultSize("R", condition.True()); got != 4 {
+		t.Errorf("true = %v, want 4", got)
+	}
+}
+
+func TestStatsEstimatorTracksOracleDirection(t *testing.T) {
+	rel := smallRelation(t)
+	st := relation.CollectStats(rel)
+	est := NewStatsEstimator(map[string]*relation.Stats{"R": st})
+	bmw := est.ResultSize("R", condition.MustParse(`make = "BMW"`))
+	honda := est.ResultSize("R", condition.MustParse(`make = "Honda"`))
+	if bmw <= honda {
+		t.Errorf("stats estimator ordering wrong: bmw=%v honda=%v", bmw, honda)
+	}
+	if est.ResultSize("ghost", condition.True()) != 0 {
+		t.Error("unknown source should estimate 0")
+	}
+}
+
+func TestInfeasibleSentinel(t *testing.T) {
+	if !math.IsInf(Infeasible, 1) {
+		t.Error("Infeasible must be +Inf")
+	}
+	m := Model{K1: 1, K2: 1, Est: FixedEstimator(0)}
+	if got := m.PlanCost(&plan.Choice{}); !math.IsInf(got, 1) {
+		t.Errorf("empty choice cost = %v, want +Inf", got)
+	}
+}
+
+func TestPerSourceCoefficients(t *testing.T) {
+	m := Model{
+		K1: 10, K2: 1,
+		PerSource: map[string]Coef{"slow": {K1: 1000, K2: 5}},
+		Est:       FixedEstimator(10),
+	}
+	fast := plan.NewSourceQuery("fast", condition.MustParse(`a = 1`), []string{"x"})
+	slow := plan.NewSourceQuery("slow", condition.MustParse(`a = 1`), []string{"x"})
+	if got := m.PlanCost(fast); got != 20 {
+		t.Errorf("default coef cost = %v, want 20", got)
+	}
+	if got := m.PlanCost(slow); got != 1050 {
+		t.Errorf("override coef cost = %v, want 1050", got)
+	}
+	if got := m.SourceQueryCost("slow", condition.True()); got != 1050 {
+		t.Errorf("SourceQueryCost override = %v, want 1050", got)
+	}
+	if c := m.Coef("fast"); c.K1 != 10 || c.K2 != 1 {
+		t.Errorf("Coef fallback = %+v", c)
+	}
+}
+
+func TestExplainAnnotations(t *testing.T) {
+	est := NewOracleEstimator(map[string]*relation.Relation{"R": smallRelation(t)})
+	m := Model{K1: 10, K2: 2, Est: est}
+	q1 := plan.NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"make"})
+	q2 := plan.NewSourceQuery("R", condition.MustParse(`make = "Honda"`), []string{"make"})
+	p := &plan.Union{Inputs: []plan.Plan{
+		q1,
+		plan.NewSP(condition.MustParse(`price < 99999`), []string{"make"},
+			plan.NewSourceQuery("R", condition.MustParse(`make = "Honda"`), []string{"make", "price"})),
+	}}
+	out := Explain(p, m)
+	for _, want := range []string{
+		"Union  [cost",
+		"~2 tuples, cost 14.00 = 10.00 + 2.00×2",
+		"Select cond=price < 99999  [mediator]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	ch := Explain(&plan.Choice{Alternatives: []plan.Plan{q1, q2}}, m)
+	if !strings.Contains(ch, "Choice (2 alternatives)") {
+		t.Errorf("choice explain:\n%s", ch)
+	}
+}

@@ -1,0 +1,55 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+)
+
+// Explain renders the plan as an indented tree annotated with the model's
+// per-node costs and per-source-query cardinality estimates — the output
+// `cmd/csqp -explain` shows.
+func Explain(p plan.Plan, m Model) string {
+	var sb strings.Builder
+	explain(&sb, p, m, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, p plan.Plan, m Model, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch t := p.(type) {
+	case *plan.SourceQuery:
+		est := m.Est.ResultSize(t.Source, t.Cond)
+		c := m.Coef(t.Source)
+		fmt.Fprintf(sb, "%sSourceQuery[%s] cond=%s attrs=(%s)  [~%.0f tuples, cost %.2f = %.2f + %.2f×%.0f]\n",
+			indent, t.Source, condKey(t.Cond), strings.Join(t.Attrs, ","),
+			est, m.PlanCost(t), c.K1, c.K2, est)
+	case *plan.Select:
+		fmt.Fprintf(sb, "%sSelect cond=%s  [mediator]\n", indent, condKey(t.Cond))
+		explain(sb, t.Input, m, depth+1)
+	case *plan.Project:
+		fmt.Fprintf(sb, "%sProject attrs=(%s)  [mediator]\n", indent, strings.Join(t.Attrs, ","))
+		explain(sb, t.Input, m, depth+1)
+	case *plan.Union:
+		fmt.Fprintf(sb, "%sUnion  [cost %.2f]\n", indent, m.PlanCost(t))
+		for _, k := range t.Inputs {
+			explain(sb, k, m, depth+1)
+		}
+	case *plan.Intersect:
+		fmt.Fprintf(sb, "%sIntersect  [cost %.2f]\n", indent, m.PlanCost(t))
+		for _, k := range t.Inputs {
+			explain(sb, k, m, depth+1)
+		}
+	case *plan.Choice:
+		fmt.Fprintf(sb, "%sChoice (%d alternatives)  [best %.2f]\n", indent, len(t.Alternatives), m.PlanCost(t))
+		for _, k := range t.Alternatives {
+			explain(sb, k, m, depth+1)
+		}
+	default:
+		fmt.Fprintf(sb, "%s%T\n", indent, p)
+	}
+}
+
+func condKey(c condition.Node) string { return c.Key() }

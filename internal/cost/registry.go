@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/condition"
+)
+
+// HeuristicEstimator estimates result sizes with textbook constants when
+// no statistics are available for a source: equality selects 5%, ranges a
+// third, substring matches 10%, with independence for AND/OR. It is the
+// registry fallback for freshly discovered remote sources.
+type HeuristicEstimator struct {
+	// Rows is the assumed source cardinality (default 10000).
+	Rows float64
+}
+
+// ResultSize implements Estimator.
+func (h HeuristicEstimator) ResultSize(_ string, cond condition.Node) float64 {
+	rows := h.Rows
+	if rows <= 0 {
+		rows = 10000
+	}
+	return rows * heuristicFraction(cond)
+}
+
+func heuristicFraction(n condition.Node) float64 {
+	switch t := n.(type) {
+	case *condition.Truth:
+		return 1
+	case *condition.Atomic:
+		switch t.Op {
+		case condition.OpEq:
+			return 0.05
+		case condition.OpNe:
+			return 0.95
+		case condition.OpContains:
+			return 0.1
+		case condition.OpNotContains:
+			return 0.9
+		default:
+			return 1.0 / 3
+		}
+	case *condition.And:
+		f := 1.0
+		for _, k := range t.Kids {
+			f *= heuristicFraction(k)
+		}
+		return f
+	case *condition.Or:
+		f := 0.0
+		for _, k := range t.Kids {
+			kf := heuristicFraction(k)
+			f = f + kf - f*kf
+		}
+		return f
+	default:
+		return 0.5
+	}
+}
+
+// Registry routes estimation to a per-source estimator, falling back to a
+// heuristic for unknown sources. It is safe for concurrent use.
+type Registry struct {
+	// Fallback serves sources without a registered estimator; nil means
+	// HeuristicEstimator{}.
+	Fallback Estimator
+
+	mu sync.RWMutex
+	m  map[string]Estimator
+}
+
+// NewRegistry builds an empty registry with the default fallback.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Set registers the estimator for a source.
+func (r *Registry) Set(source string, e Estimator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]Estimator)
+	}
+	r.m[source] = e
+}
+
+// ResultSize implements Estimator.
+func (r *Registry) ResultSize(source string, cond condition.Node) float64 {
+	r.mu.RLock()
+	e := r.m[source]
+	r.mu.RUnlock()
+	if e == nil {
+		e = r.Fallback
+	}
+	if e == nil {
+		e = HeuristicEstimator{}
+	}
+	v := e.ResultSize(source, cond)
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,63 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+func TestHeuristicEstimator(t *testing.T) {
+	h := HeuristicEstimator{Rows: 1000}
+	if got := h.ResultSize("x", condition.True()); got != 1000 {
+		t.Errorf("true = %v", got)
+	}
+	eq := h.ResultSize("x", condition.MustParse(`a = 1`))
+	if eq != 50 {
+		t.Errorf("eq = %v, want 50", eq)
+	}
+	and := h.ResultSize("x", condition.MustParse(`a = 1 ^ b = 2`))
+	if and >= eq {
+		t.Errorf("AND (%v) should be more selective than one atom (%v)", and, eq)
+	}
+	or := h.ResultSize("x", condition.MustParse(`a = 1 _ b = 2`))
+	if or <= eq {
+		t.Errorf("OR (%v) should be less selective than one atom (%v)", or, eq)
+	}
+	// Zero Rows defaults to 10000.
+	if got := (HeuristicEstimator{}).ResultSize("x", condition.True()); got != 10000 {
+		t.Errorf("default rows = %v", got)
+	}
+	ne := h.ResultSize("x", condition.MustParse(`a != 1`))
+	ct := h.ResultSize("x", condition.MustParse(`a contains "z"`))
+	rg := h.ResultSize("x", condition.MustParse(`a < 5`))
+	if ne <= rg || ct <= 0 {
+		t.Errorf("op selectivities out of order: ne=%v contains=%v range=%v", ne, ct, rg)
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	r := NewRegistry()
+	rel := smallRelation(t)
+	r.Set("known", NewOracleEstimator(map[string]*relation.Relation{"known": rel}))
+	if got := r.ResultSize("known", condition.True()); got != 4 {
+		t.Errorf("known = %v, want exact 4", got)
+	}
+	// Unknown sources use the heuristic fallback.
+	if got := r.ResultSize("unknown", condition.True()); got != 10000 {
+		t.Errorf("unknown = %v, want heuristic 10000", got)
+	}
+	// Custom fallback.
+	r2 := &Registry{Fallback: FixedEstimator(7)}
+	if got := r2.ResultSize("x", condition.True()); got != 7 {
+		t.Errorf("fallback = %v, want 7", got)
+	}
+}
+
+func TestRegistryClampsBadValues(t *testing.T) {
+	r := NewRegistry()
+	r.Set("neg", FixedEstimator(-5))
+	if got := r.ResultSize("neg", condition.True()); got != 0 {
+		t.Errorf("negative estimate should clamp to 0, got %v", got)
+	}
+}

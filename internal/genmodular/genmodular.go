@@ -1,0 +1,221 @@
+// Package genmodular implements GenModular (§5), the paper's naive,
+// exhaustive plan-generation scheme: a rewrite module enumerates
+// equivalent condition trees, a mark module annotates every CT node with
+// its export set via Check, the EPG generator (Algorithm 5.1) produces the
+// full set of feasible plans as a Choice tree, and the cost module picks
+// the cheapest. It exists as the optimality reference and the
+// planning-cost foil for GenCompact (experiments E3/E4).
+package genmodular
+
+import (
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/rewrite"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// Planner is the GenModular scheme.
+type Planner struct {
+	// Rewrite configures the rewrite module. The zero value uses all
+	// four rule families with the package defaults.
+	Rewrite rewrite.Config
+}
+
+// New returns a GenModular planner with the paper's rule set and bounded
+// closure caps suitable for small queries.
+func New() *Planner {
+	return &Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules}}
+}
+
+// Name implements planner.Planner.
+func (*Planner) Name() string { return "GenModular" }
+
+// Plan implements planner.Planner: rewrite → mark → generate → cost.
+func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{}
+	defer func() { m.Duration = time.Since(start) }()
+	c0, h0, _ := ctx.Checker.Stats()
+	defer func() {
+		c1, h1, _ := ctx.Checker.Stats()
+		m.CheckCalls = c1 - c0
+		m.CheckMisses = (c1 - c0) - (h1 - h0)
+	}()
+
+	cfg := p.Rewrite
+	if cfg.Rules == (rewrite.Rules{}) {
+		cfg.Rules = rewrite.AllRules
+	}
+	cts := rewrite.Closure(cond, cfg)
+	m.CTs = len(cts)
+
+	gen := &epg{ctx: ctx, metrics: m, memo: make(map[string]plan.Plan)}
+	var alternatives []plan.Plan
+	for _, ct := range cts {
+		if alt := gen.run(ct, strset.New(attrs...), attrs); alt != nil {
+			alternatives = append(alternatives, alt)
+		}
+	}
+	if len(alternatives) == 0 {
+		return nil, m, planner.ErrInfeasible
+	}
+	best, err := ctx.Model.Resolve(&plan.Choice{Alternatives: alternatives})
+	if err != nil {
+		return nil, m, err
+	}
+	return best, m, nil
+}
+
+// epg carries the state of one generate-module run. EPG results are
+// memoized on (condition, attrs): identical sub-conditions recur across
+// the rewrite module's CTs and within a CT's subset enumeration.
+type epg struct {
+	ctx     *planner.Context
+	metrics *planner.Metrics
+	memo    map[string]plan.Plan
+}
+
+// run is Algorithm 5.1. It returns the Choice plan over all feasible plans
+// for SP(n, A, R), or nil (the paper's ε) when none exists. attrList is
+// the sorted slice form of attrs, kept to avoid resorting.
+func (g *epg) run(n condition.Node, attrs strset.Set, attrList []string) plan.Plan {
+	key := n.Key() + "\x00" + attrs.Key()
+	if got, ok := g.memo[key]; ok {
+		return got
+	}
+	g.metrics.GeneratorCalls++
+	var plans []plan.Plan
+
+	// Lines 2-3: the pure plan.
+	if attrs.SubsetOf(g.ctx.Checker.Check(n)) {
+		plans = append(plans, plan.NewSourceQuery(g.ctx.Source, n, attrList))
+	}
+
+	switch t := n.(type) {
+	case *condition.And:
+		// Line 5: combine plans for all children by intersection.
+		if all := g.kidPlans(t.Kids, attrs, attrList); all != nil {
+			plans = append(plans, &plan.Intersect{Inputs: all})
+		}
+		// Lines 6-8: evaluate a proper subset X of children remotely and
+		// the complement Local at the mediator on their results.
+		forEachProperSubset(len(t.Kids), func(inX []bool) {
+			var local []condition.Node
+			var x []condition.Node
+			for i, kid := range t.Kids {
+				if inX[i] {
+					x = append(x, kid)
+				} else {
+					local = append(local, kid)
+				}
+			}
+			localCond := conj(local)
+			need := attrs.Union(condition.AttrSet(localCond))
+			needList := need.Sorted()
+			sub := g.kidPlans(x, need, needList)
+			if sub == nil {
+				return
+			}
+			var inner plan.Plan
+			if len(sub) == 1 {
+				inner = sub[0]
+			} else {
+				inner = &plan.Intersect{Inputs: sub}
+			}
+			plans = append(plans, plan.NewSP(localCond, attrList, inner))
+		})
+	case *condition.Or:
+		// Line 10: combine plans for all children by union.
+		if all := g.kidPlans(t.Kids, attrs, attrList); all != nil {
+			plans = append(plans, &plan.Union{Inputs: all})
+		}
+	}
+
+	// Lines 11-12: download the relevant portion of the source.
+	if !condition.IsTrue(n) {
+		need := attrs.Union(condition.AttrSet(n))
+		if need.SubsetOf(g.ctx.Checker.Downloadable()) {
+			dl := plan.NewSourceQuery(g.ctx.Source, condition.True(), need.Sorted())
+			plans = append(plans, plan.NewSP(n, attrList, dl))
+		}
+	}
+
+	g.metrics.PlansConsidered += len(plans)
+	var out plan.Plan
+	if len(plans) > 0 {
+		out = &plan.Choice{Alternatives: plans}
+	}
+	g.memo[key] = out
+	return out
+}
+
+// kidPlans returns one plan per child, or nil if any child has none (a
+// combination using ε is eliminated, per §5.3).
+func (g *epg) kidPlans(kids []condition.Node, attrs strset.Set, attrList []string) []plan.Plan {
+	out := make([]plan.Plan, 0, len(kids))
+	for _, k := range kids {
+		kp := g.run(k, attrs, attrList)
+		if kp == nil {
+			return nil
+		}
+		out = append(out, kp)
+	}
+	return out
+}
+
+// forEachProperSubset enumerates the nonempty proper subsets X of
+// {0..n-1}, passing membership flags. The full set is excluded (line 5
+// covers it); beyond 20 children the enumeration is skipped entirely —
+// such CTs only arise from adversarial inputs.
+func forEachProperSubset(n int, visit func(inX []bool)) {
+	if n > 20 {
+		return
+	}
+	inX := make([]bool, n)
+	full := 1<<n - 1
+	for mask := 1; mask < full; mask++ {
+		for i := 0; i < n; i++ {
+			inX[i] = mask&(1<<i) != 0
+		}
+		visit(inX)
+	}
+}
+
+func conj(nodes []condition.Node) condition.Node {
+	if len(nodes) == 1 {
+		return nodes[0].Clone()
+	}
+	kids := make([]condition.Node, len(nodes))
+	for i, n := range nodes {
+		kids[i] = n.Clone()
+	}
+	return &condition.And{Kids: kids}
+}
+
+// Mark exposes the mark module (§5.2) on its own: it computes the export
+// field for every node of the CT. The integrated planner does this lazily
+// through the memoizing checker, but experiments and tests use Mark to
+// observe the module boundary.
+func Mark(ct condition.Node, checker *ssdl.Checker) map[string]strset.Set {
+	exports := make(map[string]strset.Set)
+	var walk func(n condition.Node)
+	walk = func(n condition.Node) {
+		exports[n.Key()] = checker.Check(n)
+		switch t := n.(type) {
+		case *condition.And:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *condition.Or:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(ct)
+	return exports
+}

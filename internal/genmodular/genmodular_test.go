@@ -1,0 +1,204 @@
+package genmodular
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// fixture is the Example 4.1 source with closure checker and oracle costs.
+func fixture(t *testing.T) (*planner.Context, *relation.Relation, *ssdl.Grammar) {
+	t.Helper()
+	g := ssdl.MustParse(`
+source R
+attrs make, model, year, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, year, color}
+attributes :: s2 : {make, model, year}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "year", Kind: condition.KindInt},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model string
+		year        int64
+		color       string
+		price       int64
+	}{
+		{"BMW", "328i", 1998, "red", 35000},
+		{"BMW", "528i", 1997, "black", 45000},
+		{"Toyota", "Camry", 1998, "red", 19000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model), condition.Int(row.year),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})
+	ctx := &planner.Context{
+		Source:  "R",
+		Checker: ssdl.NewChecker(ssdl.CommutativeClosure(g, 0)),
+		Model:   cost.Model{K1: 10, K2: 1, Est: est},
+	}
+	return ctx, r, g
+}
+
+func TestMarkModule(t *testing.T) {
+	ctx, _, _ := fixture(t)
+	// Example 5.1: mark t1 = ((make ^ price) ^ (make ^ color)).
+	t1 := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (make = "BMW" ^ color = "red")`)
+	exports := Mark(t1, ctx.Checker)
+	root := t1.Key()
+	if !exports[root].Empty() {
+		t.Errorf("root export should be empty, got %v", exports[root])
+	}
+	n1 := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	if !exports[n1.Key()].Equal(strset.New("make", "model", "year", "color")) {
+		t.Errorf("n1 export = %v", exports[n1.Key()])
+	}
+	n2 := condition.MustParse(`make = "BMW" ^ color = "red"`)
+	if !exports[n2.Key()].Equal(strset.New("make", "model", "year")) {
+		t.Errorf("n2 export = %v", exports[n2.Key()])
+	}
+	// Every node is marked, including leaves (which export nothing
+	// by themselves in this grammar).
+	leaf := condition.MustParse(`price < 40000`)
+	got, ok := exports[leaf.Key()]
+	if !ok || !got.Empty() {
+		t.Errorf("leaf export = %v, %v", got, ok)
+	}
+}
+
+func TestEPGFindsSection4Plan(t *testing.T) {
+	ctx, r, _ := fixture(t)
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
+	p, metrics, err := New().Plan(ctx, cond, []string{"model", "year"})
+	if err != nil {
+		t.Fatalf("%v (metrics %+v)", err, metrics)
+	}
+	if cnt := len(plan.SourceQueries(p)); cnt != 1 {
+		t.Errorf("want the 1-query nested plan, got %d queries:\n%s", cnt, plan.Format(p))
+	}
+	_ = r
+}
+
+// TestGenModularMatchesGenCompact is the paper's equivalence claim:
+// GenCompact generates "the same plans in a much more efficient manner".
+// Both must find plans of equal cost (GenModular restricted to caps that
+// keep it tractable).
+func TestGenModularMatchesGenCompact(t *testing.T) {
+	ctx, _, _ := fixture(t)
+	conds := []string{
+		`make = "BMW" ^ price < 40000`,
+		`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`,
+		`make = "BMW" ^ (color = "red" _ color = "black")`,
+		`(make = "BMW" ^ color = "red") _ (make = "Toyota" ^ color = "red")`,
+	}
+	gm := &Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 3000, MaxAtoms: 8}}
+	gc := core.New()
+	for _, cs := range conds {
+		cond := condition.MustParse(cs)
+		pm, _, errM := gm.Plan(ctx, cond, []string{"model"})
+		pc, _, errC := gc.Plan(ctx, cond, []string{"model"})
+		if (errM == nil) != (errC == nil) {
+			t.Errorf("%s: feasibility disagreement: modular=%v compact=%v", cs, errM, errC)
+			continue
+		}
+		if errM != nil {
+			continue
+		}
+		cm := ctx.Model.PlanCost(pm)
+		cc := ctx.Model.PlanCost(pc)
+		if cm != cc {
+			t.Errorf("%s: GenModular cost %v != GenCompact cost %v\nmodular:\n%s\ncompact:\n%s",
+				cs, cm, cc, plan.Format(pm), plan.Format(pc))
+		}
+	}
+}
+
+// TestGenCompactCheaperToRun verifies the efficiency claim: GenCompact
+// processes far fewer CTs than GenModular for the same result.
+func TestGenCompactCheaperToRun(t *testing.T) {
+	ctx, _, _ := fixture(t)
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
+	gm := &Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 2000, MaxAtoms: 8}}
+	_, mm, err := gm.Plan(ctx, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mc, err := core.New().Plan(ctx, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.CTs >= mm.CTs {
+		t.Errorf("GenCompact CTs (%d) should be far fewer than GenModular's (%d)", mc.CTs, mm.CTs)
+	}
+}
+
+func TestEPGInfeasible(t *testing.T) {
+	ctx, _, _ := fixture(t)
+	_, _, err := New().Plan(ctx, condition.MustParse(`year = 1998`), []string{"model"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEPGChoiceTreeShape(t *testing.T) {
+	// Drive EPG directly to observe the Choice output of the generate
+	// module before cost resolution.
+	ctx, _, _ := fixture(t)
+	g := &epg{ctx: ctx, metrics: &planner.Metrics{}, memo: make(map[string]plan.Plan)}
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	out := g.run(cond, strset.New("model"), []string{"model"})
+	if out == nil {
+		t.Fatal("EPG returned ε for a supported query")
+	}
+	ch, ok := out.(*plan.Choice)
+	if !ok {
+		t.Fatalf("EPG output should be a Choice, got %T", out)
+	}
+	if len(ch.Alternatives) == 0 {
+		t.Error("Choice with no alternatives")
+	}
+	// The pure plan must be among the alternatives.
+	foundPure := false
+	for _, alt := range ch.Alternatives {
+		if q, ok := alt.(*plan.SourceQuery); ok && condition.Equal(q.Cond, cond) {
+			foundPure = true
+		}
+	}
+	if !foundPure {
+		t.Error("pure plan missing from EPG alternatives")
+	}
+}
+
+func TestEPGMemoization(t *testing.T) {
+	ctx, _, _ := fixture(t)
+	g := &epg{ctx: ctx, metrics: &planner.Metrics{}, memo: make(map[string]plan.Plan)}
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	a := strset.New("model")
+	g.run(cond, a, []string{"model"})
+	calls := g.metrics.GeneratorCalls
+	g.run(cond, a, []string{"model"})
+	if g.metrics.GeneratorCalls != calls {
+		t.Error("memoized EPG call should not recurse again")
+	}
+}

@@ -1,0 +1,53 @@
+package mediator
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+)
+
+// planCache memoizes fixed plans per (planner, source, semantic condition,
+// attributes). The key uses the condition's order-insensitive NormKey: a
+// plan is valid for every condition in the same equivalence class — its
+// source queries are already supported and its result is determined by the
+// condition's semantics — so commutative/associative variants of a query
+// hit the same entry.
+type planCache struct {
+	mu     sync.Mutex
+	m      map[string]plan.Plan
+	hits   int
+	misses int
+}
+
+func newPlanCache() *planCache { return &planCache{m: make(map[string]plan.Plan)} }
+
+func cacheKey(plannerName, source string, cond condition.Node, attrs []string) string {
+	return plannerName + "\x00" + source + "\x00" + condition.NormKey(cond) + "\x00" + strings.Join(attrs, ",")
+}
+
+func (c *planCache) get(key string) (plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+func (c *planCache) put(key string, p plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = p
+}
+
+// stats returns hit/miss counters.
+func (c *planCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

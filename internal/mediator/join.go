@@ -1,0 +1,279 @@
+package mediator
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/strset"
+)
+
+// The paper's §1 notes that selection queries "form the building blocks of
+// more complex queries" and defers join processing to its extended
+// version. This file provides that building-block composition for
+// two-source equi-joins. The right side runs as a SEMIJOIN PUSHDOWN: the
+// distinct left-side join values become one disjunctive target query
+//
+//	RightCond ∧ (RightAttr = v1 ∨ RightAttr = v2 ∨ ...)
+//
+// planned capability-sensitively like any other target query — so a
+// source whose form accepts value lists gets a single batched submission,
+// a source that accepts only one value per query gets one query per
+// binding, and a source that supports neither but allows downloads gets a
+// download; GenCompact chooses. A WHOLE-SIDE fetch (plan RightCond alone)
+// is priced as the alternative, and the cheaper feasible strategy runs.
+// The mediator then hash-joins the two sides.
+
+// JoinSpec describes a two-source equi-join target query:
+//
+//	π_Attrs σ_LeftCond(Left) ⋈_{LeftAttr = RightAttr} σ_RightCond(Right)
+//
+// Attribute names must be unambiguous: every requested attribute must
+// belong to exactly one side (the join attributes may be requested from
+// either).
+type JoinSpec struct {
+	Left, Right         string
+	LeftCond, RightCond condition.Node
+	LeftAttr, RightAttr string
+	Attrs               []string
+	// MaxBindings caps the number of distinct left values pushed into
+	// the semijoin disjunction (default 64); beyond it the whole-side
+	// strategy is used regardless of cost.
+	MaxBindings int
+}
+
+// JoinResult reports a completed join.
+type JoinResult struct {
+	// Relation is the join answer.
+	Relation *relation.Relation
+	// Strategy is "semijoin" or "whole-side".
+	Strategy string
+	// LeftPlan and RightPlan are the executed side plans.
+	LeftPlan, RightPlan plan.Plan
+	// Probes is the number of right-side source queries issued.
+	Probes int
+}
+
+// AnswerJoin plans and executes the join. Both sides' conditions may be
+// arbitrary and/or trees; infeasibility of every strategy returns
+// planner.ErrInfeasible (wrapped).
+func (m *Mediator) AnswerJoin(p planner.Planner, spec JoinSpec) (*JoinResult, error) {
+	if spec.MaxBindings <= 0 {
+		spec.MaxBindings = 64
+	}
+	leftReg, ok := m.sources[spec.Left]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown source %q", spec.Left)
+	}
+	rightReg, ok := m.sources[spec.Right]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown source %q", spec.Right)
+	}
+	leftAttrs, rightAttrs, err := splitJoinAttrs(spec,
+		strset.New(leftReg.orig.Grammar().Schema...),
+		strset.New(rightReg.orig.Grammar().Schema...))
+	if err != nil {
+		return nil, err
+	}
+
+	// Left side: one capability-sensitive selection query.
+	leftRes, err := m.Answer(p, spec.Left, spec.LeftCond, leftAttrs.Sorted())
+	if err != nil {
+		return nil, fmt.Errorf("mediator: join left side: %w", err)
+	}
+	left := leftRes.Relation
+
+	values, err := distinctValues(left, spec.LeftAttr)
+	if err != nil {
+		return nil, err
+	}
+	rightList := rightAttrs.Sorted()
+
+	// Degenerate case: no bindings means an empty join, no right-side
+	// work at all.
+	if len(values) == 0 {
+		empty, err := emptyJoinResult(left, rightList, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinResult{Relation: empty, Strategy: "semijoin", LeftPlan: leftRes.Plan}, nil
+	}
+
+	// Candidate 1: semijoin pushdown.
+	var semiPlan plan.Plan
+	semiCost := 0.0
+	semiOK := len(values) <= spec.MaxBindings
+	if semiOK {
+		semiPlan, _, err = m.Plan(p, spec.Right, semijoinCond(spec, values), rightList)
+		if err != nil {
+			semiOK = false
+		} else {
+			semiCost = m.model.PlanCost(semiPlan)
+		}
+	}
+	// Candidate 2: whole-side fetch.
+	wholePlan, _, wholeErr := m.Plan(p, spec.Right, spec.RightCond, rightList)
+	wholeOK := wholeErr == nil
+	wholeCost := 0.0
+	if wholeOK {
+		wholeCost = m.model.PlanCost(wholePlan)
+	}
+
+	var rightPlan plan.Plan
+	strategy := ""
+	switch {
+	case !semiOK && !wholeOK:
+		return nil, fmt.Errorf("mediator: join right side: %w", planner.ErrInfeasible)
+	case semiOK && (!wholeOK || semiCost <= wholeCost):
+		rightPlan, strategy = semiPlan, "semijoin"
+	default:
+		rightPlan, strategy = wholePlan, "whole-side"
+	}
+
+	right, err := plan.ExecuteParallel(rightPlan, m, m.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: join right side: %w", err)
+	}
+	joined, err := hashJoin(left, right, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResult{
+		Relation:  joined,
+		Strategy:  strategy,
+		LeftPlan:  leftRes.Plan,
+		RightPlan: rightPlan,
+		Probes:    len(plan.SourceQueries(rightPlan)),
+	}, nil
+}
+
+// semijoinCond builds RightCond ∧ (RightAttr = v1 ∨ ... ∨ RightAttr = vn).
+func semijoinCond(spec JoinSpec, values []condition.Value) condition.Node {
+	var bind condition.Node
+	if len(values) == 1 {
+		bind = condition.NewAtomic(spec.RightAttr, condition.OpEq, values[0])
+	} else {
+		kids := make([]condition.Node, len(values))
+		for i, v := range values {
+			kids[i] = condition.NewAtomic(spec.RightAttr, condition.OpEq, v)
+		}
+		bind = &condition.Or{Kids: kids}
+	}
+	if condition.IsTrue(spec.RightCond) {
+		return bind
+	}
+	return &condition.And{Kids: []condition.Node{spec.RightCond.Clone(), bind}}
+}
+
+// splitJoinAttrs resolves which requested attributes come from which side
+// and adds the join attributes to both fetch lists.
+func splitJoinAttrs(spec JoinSpec, leftSchema, rightSchema strset.Set) (left, right strset.Set, err error) {
+	left = strset.New(spec.LeftAttr)
+	right = strset.New(spec.RightAttr)
+	for _, a := range spec.Attrs {
+		inL, inR := leftSchema.Has(a), rightSchema.Has(a)
+		switch {
+		case inL && inR && a != spec.LeftAttr && a != spec.RightAttr:
+			return nil, nil, fmt.Errorf("mediator: attribute %q is ambiguous between %v and %v", a, leftSchema, rightSchema)
+		case inL:
+			left.Add(a)
+		case inR:
+			right.Add(a)
+		default:
+			return nil, nil, fmt.Errorf("mediator: attribute %q belongs to neither join side", a)
+		}
+	}
+	return left, right, nil
+}
+
+func distinctValues(rel *relation.Relation, attr string) ([]condition.Value, error) {
+	proj, err := rel.Project([]string{attr})
+	if err != nil {
+		return nil, err
+	}
+	proj.Sort()
+	out := make([]condition.Value, 0, proj.Len())
+	for _, t := range proj.Tuples() {
+		v, _ := t.Lookup(attr)
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// emptyJoinResult produces the empty relation with the join's output
+// schema.
+func emptyJoinResult(left *relation.Relation, rightAttrs []string, spec JoinSpec) (*relation.Relation, error) {
+	right := relation.New(schemaFromNames(rightAttrs))
+	return hashJoin(left, right, spec)
+}
+
+func schemaFromNames(attrs []string) *relation.Schema {
+	cols := make([]relation.Column, len(attrs))
+	for i, a := range attrs {
+		cols[i] = relation.Column{Name: a}
+	}
+	return relation.MustSchema(cols...)
+}
+
+// hashJoin joins the two sides on the join attributes and projects the
+// requested output attributes.
+func hashJoin(left, right *relation.Relation, spec JoinSpec) (*relation.Relation, error) {
+	rightIdx := make(map[string][]relation.Tuple)
+	for _, t := range right.Tuples() {
+		v, ok := t.Lookup(spec.RightAttr)
+		if !ok {
+			return nil, fmt.Errorf("mediator: join attribute %q missing from right result", spec.RightAttr)
+		}
+		key := valueKey(v)
+		rightIdx[key] = append(rightIdx[key], t)
+	}
+
+	// Output schema: left columns, then right columns not already named.
+	var cols []relation.Column
+	seen := strset.New()
+	for _, c := range left.Schema().Columns() {
+		cols = append(cols, c)
+		seen.Add(c.Name)
+	}
+	for _, c := range right.Schema().Columns() {
+		if !seen.Has(c.Name) {
+			cols = append(cols, c)
+			seen.Add(c.Name)
+		}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	for _, lt := range left.Tuples() {
+		lv, ok := lt.Lookup(spec.LeftAttr)
+		if !ok {
+			return nil, fmt.Errorf("mediator: join attribute %q missing from left result", spec.LeftAttr)
+		}
+		for _, rt := range rightIdx[valueKey(lv)] {
+			vals := make([]condition.Value, 0, schema.Len())
+			for _, c := range schema.Columns() {
+				if v, ok := lt.Lookup(c.Name); ok {
+					vals = append(vals, v)
+					continue
+				}
+				v, _ := rt.Lookup(c.Name)
+				vals = append(vals, v)
+			}
+			if err := out.AppendValues(vals...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(spec.Attrs) == 0 {
+		return out.Distinct(), nil
+	}
+	return out.Project(spec.Attrs)
+}
+
+func valueKey(v condition.Value) string {
+	return fmt.Sprintf("%d:%s", int(v.Kind), v.Text())
+}

@@ -1,0 +1,355 @@
+package mediator
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// joinFixture builds a two-source mediator: a dealer directory (probeable
+// by city) and the car listing source (probeable by make+price or
+// make+color).
+func joinFixture(t *testing.T) (*Mediator, *source.Local, *source.Local) {
+	t.Helper()
+	// Source 1: dealers(dealer, city, brand).
+	dg := ssdl.MustParse(`
+source dealers
+attrs dealer, city, brand
+key dealer
+s1 -> city = $c:string
+s2 -> brand = $b:string
+s3 -> city = $c:string ^ brand = $b:string
+attributes :: s1 : {dealer, city, brand}
+attributes :: s2 : {dealer, city, brand}
+attributes :: s3 : {dealer, city, brand}
+`)
+	ds := relation.MustSchema(
+		relation.Column{Name: "dealer", Kind: condition.KindString},
+		relation.Column{Name: "city", Kind: condition.KindString},
+		relation.Column{Name: "brand", Kind: condition.KindString},
+	)
+	dr := relation.New(ds)
+	for _, row := range [][3]string{
+		{"D1", "Palo Alto", "BMW"},
+		{"D2", "Palo Alto", "Toyota"},
+		{"D3", "San Jose", "BMW"},
+		{"D4", "San Jose", "Honda"},
+	} {
+		if err := dr.AppendValues(condition.String(row[0]), condition.String(row[1]), condition.String(row[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dealers, err := source.NewLocal("", dr, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Source 2: cars(make, model, price) probeable by make.
+	cg := ssdl.MustParse(`
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> make = $m:string ^ price < $p:int
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`)
+	cs := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	cr := relation.New(cs)
+	for _, row := range []struct {
+		make, model string
+		price       int64
+	}{
+		{"BMW", "328i", 35000},
+		{"BMW", "M5", 70000},
+		{"Toyota", "Camry", 19000},
+		{"Honda", "Accord", 18000},
+		{"Ford", "Focus", 15000},
+	} {
+		if err := cr.AppendValues(condition.String(row.make), condition.String(row.model), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cars, err := source.NewLocal("", cr, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"dealers": dr, "cars": cr})
+	med := New(cost.Model{K1: 5, K2: 1, Est: est})
+	if err := med.Register("", dealers, dg); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Register("", cars, cg); err != nil {
+		t.Fatal(err)
+	}
+	return med, dealers, cars
+}
+
+func TestSemijoinEndToEnd(t *testing.T) {
+	med, _, cars := joinFixture(t)
+	// Cars under $40k sold by Palo Alto dealers' brands.
+	res, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  condition.MustParse(`city = "Palo Alto"`),
+		RightCond: condition.MustParse(`price < 40000`),
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "semijoin" {
+		t.Errorf("strategy = %s, want semijoin (selective left side)", res.Strategy)
+	}
+	if res.Probes != 2 { // BMW and Toyota
+		t.Errorf("probes = %d, want 2", res.Probes)
+	}
+	// D1×328i, D2×Camry (M5 filtered by price).
+	if res.Relation.Len() != 2 {
+		t.Fatalf("join result = %d rows: %v", res.Relation.Len(), res.Relation.Tuples())
+	}
+	if acc := cars.Accounting(); acc.Rejected != 0 {
+		t.Errorf("probes were rejected: %+v", acc)
+	}
+}
+
+func TestJoinWholeSideWhenProbesExpensive(t *testing.T) {
+	med, _, _ := joinFixture(t)
+	// The right condition already pins the make, so per-binding probes
+	// (make = "BMW" ^ make = v) are unsupported conjunctions; the
+	// whole-side strategy must be chosen. MaxProbes additionally caps
+	// the bind path.
+	res, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:        "dealers",
+		Right:       "cars",
+		LeftCond:    condition.MustParse(`city = "Palo Alto" _ city = "San Jose"`),
+		RightCond:   condition.MustParse(`make = "BMW"`),
+		LeftAttr:    "brand",
+		RightAttr:   "make",
+		Attrs:       []string{"dealer", "model"},
+		MaxBindings: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "whole-side" {
+		t.Errorf("strategy = %s, want whole-side", res.Strategy)
+	}
+	// BMW dealers: D1, D3 × {328i, M5} = 4 rows.
+	if res.Relation.Len() != 4 {
+		t.Errorf("rows = %d, want 4", res.Relation.Len())
+	}
+}
+
+func TestJoinLeftTrueConditionNeedsDownloadOrFails(t *testing.T) {
+	med, _, _ := joinFixture(t)
+	// dealers grammar has no download rule; a true left condition is
+	// unplannable.
+	_, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:      "cars",
+		Right:     "dealers",
+		LeftCond:  condition.True(),
+		RightCond: condition.True(),
+		LeftAttr:  "make",
+		RightAttr: "brand",
+		Attrs:     []string{"model", "dealer"},
+	})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestJoinAttributeResolution(t *testing.T) {
+	med, _, _ := joinFixture(t)
+	// Unknown attribute.
+	_, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left: "dealers", Right: "cars",
+		LeftCond: condition.MustParse(`city = "Palo Alto"`), RightCond: condition.True(),
+		LeftAttr: "brand", RightAttr: "make",
+		Attrs: []string{"ghost"},
+	})
+	if err == nil {
+		t.Error("unknown output attribute should fail")
+	}
+	// Unknown source.
+	_, err = med.AnswerJoin(core.New(), JoinSpec{Left: "nope", Right: "cars", LeftAttr: "x", RightAttr: "y",
+		LeftCond: condition.True(), RightCond: condition.True()})
+	if err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestJoinEmptyLeftSide(t *testing.T) {
+	med, _, cars := joinFixture(t)
+	res, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  condition.MustParse(`city = "Nowhere"`),
+		RightCond: condition.MustParse(`price < 40000`),
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 0 {
+		t.Errorf("rows = %d, want 0", res.Relation.Len())
+	}
+	if res.Probes != 0 {
+		t.Errorf("probes = %d, want 0 (no bindings)", res.Probes)
+	}
+	if acc := cars.Accounting(); acc.Queries != 0 {
+		t.Errorf("right source should not have been queried: %+v", acc)
+	}
+}
+
+func TestJoinMatchesDirectEvaluation(t *testing.T) {
+	med, dealers, cars := joinFixture(t)
+	res, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  condition.MustParse(`city = "San Jose"`),
+		RightCond: condition.MustParse(`price < 40000`),
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual nested-loop reference join.
+	want := 0
+	for _, dt := range dealers.Relation().Tuples() {
+		city, _ := dt.Lookup("city")
+		if city.S != "San Jose" {
+			continue
+		}
+		brand, _ := dt.Lookup("brand")
+		for _, ct := range cars.Relation().Tuples() {
+			mk, _ := ct.Lookup("make")
+			price, _ := ct.Lookup("price")
+			if mk.S == brand.S && price.I < 40000 {
+				want++
+			}
+		}
+	}
+	if res.Relation.Len() != want {
+		t.Errorf("join rows = %d, reference = %d", res.Relation.Len(), want)
+	}
+}
+
+// When the right source's form accepts a value list, the semijoin pushes
+// all bindings in ONE batched query instead of one query per binding —
+// the capability-aware batching the disjunctive formulation buys for free.
+func TestSemijoinBatchesIntoValueList(t *testing.T) {
+	dg := ssdl.MustParse(`
+source dealers
+attrs dealer, city, brand
+key dealer
+s1 -> city = $c:string
+attributes :: s1 : {dealer, city, brand}
+`)
+	dr := relation.New(relation.MustSchema(
+		relation.Column{Name: "dealer", Kind: condition.KindString},
+		relation.Column{Name: "city", Kind: condition.KindString},
+		relation.Column{Name: "brand", Kind: condition.KindString},
+	))
+	for _, row := range [][3]string{
+		{"D1", "Palo Alto", "BMW"},
+		{"D2", "Palo Alto", "Toyota"},
+		{"D3", "Palo Alto", "Honda"},
+	} {
+		if err := dr.AppendValues(condition.String(row[0]), condition.String(row[1]), condition.String(row[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dealers, err := source.NewLocal("", dr, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The listing form accepts a LIST of makes in one submission.
+	cg := ssdl.MustParse(`
+source cars
+attrs make, model, price
+key model
+mlist -> make = $m:string _ mlist | make = $m:string _ make = $m:string
+s1 -> make = $m:string
+s2 -> mlist
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`)
+	cr := relation.New(relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	))
+	for _, row := range []struct {
+		mk, model string
+		price     int64
+	}{
+		{"BMW", "328i", 35000},
+		{"Toyota", "Camry", 19000},
+		{"Honda", "Accord", 18000},
+		{"Ford", "Focus", 15000},
+	} {
+		if err := cr.AppendValues(condition.String(row.mk), condition.String(row.model), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cars, err := source.NewLocal("", cr, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"dealers": dr, "cars": cr})
+	med := New(cost.Model{K1: 5, K2: 1, Est: est})
+	if err := med.Register("", dealers, dg); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Register("", cars, cg); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := med.AnswerJoin(core.New(), JoinSpec{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  condition.MustParse(`city = "Palo Alto"`),
+		RightCond: condition.True(),
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "semijoin" {
+		t.Fatalf("strategy = %s", res.Strategy)
+	}
+	// Three bindings, ONE batched form submission.
+	if res.Probes != 1 {
+		t.Errorf("probes = %d, want 1 (batched value list):\n%s", res.Probes, plan.Format(res.RightPlan))
+	}
+	if res.Relation.Len() != 3 {
+		t.Errorf("rows = %d, want 3", res.Relation.Len())
+	}
+	if acc := cars.Accounting(); acc.Queries != 1 || acc.Rejected != 0 {
+		t.Errorf("accounting = %+v, want exactly one accepted submission", acc)
+	}
+}

@@ -1,0 +1,246 @@
+// Package mediator ties the system together (§3, §6.1): it keeps a
+// registry of capability-described sources, generates plans with a
+// pluggable strategy against the commutative-closure descriptions, fixes
+// the chosen plan's source queries back to an order the original grammar
+// accepts, and executes the plan, post-processing results into the
+// target-query answer.
+package mediator
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// registered bundles everything the mediator holds per source.
+type registered struct {
+	querier plan.Querier
+	orig    *ssdl.Checker // the source's own description
+	closed  *ssdl.Checker // commutative closure, used for planning
+}
+
+// Mediator answers target queries over registered sources.
+type Mediator struct {
+	sources map[string]*registered
+	model   cost.Model
+	cache   *planCache
+	// ClosureLimit caps commutative-closure expansion at registration
+	// (0 = ssdl.DefaultClosureLimit).
+	ClosureLimit int
+	// FixBudget caps the execution-time query fixer's search
+	// (0 = ssdl.DefaultFixBudget).
+	FixBudget int
+	// Workers bounds concurrent source queries during execution; values
+	// above 1 fetch independent plan branches in parallel.
+	Workers int
+}
+
+// New builds a mediator with the given cost model.
+func New(model cost.Model) *Mediator {
+	return &Mediator{sources: make(map[string]*registered), model: model}
+}
+
+// Register adds a source: its querier and SSDL description. The
+// description is rewritten to its commutative closure once, here, per
+// §6.1 — not on every target query.
+func (m *Mediator) Register(name string, q plan.Querier, g *ssdl.Grammar) error {
+	if name == "" {
+		name = g.Source
+	}
+	if name == "" {
+		return fmt.Errorf("mediator: source has no name")
+	}
+	if _, dup := m.sources[name]; dup {
+		return fmt.Errorf("mediator: source %q already registered", name)
+	}
+	m.sources[name] = &registered{
+		querier: q,
+		orig:    ssdl.NewChecker(g),
+		closed:  ssdl.NewChecker(ssdl.CommutativeClosure(g, m.ClosureLimit)),
+	}
+	return nil
+}
+
+// SourceNames returns the registered source names.
+func (m *Mediator) SourceNames() []string {
+	s := strset.New()
+	for n := range m.sources {
+		s.Add(n)
+	}
+	return s.Sorted()
+}
+
+// Context returns the planning context for the named source (the closure
+// checker plus the mediator's cost model).
+func (m *Mediator) Context(source string) (*planner.Context, error) {
+	reg, ok := m.sources[source]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown source %q", source)
+	}
+	return &planner.Context{Source: source, Checker: reg.closed, Model: m.model}, nil
+}
+
+// Model returns the mediator's cost model.
+func (m *Mediator) Model() cost.Model { return m.model }
+
+// EnableCache turns on plan caching: subsequent Plan calls memoize their
+// fixed plans per (strategy, source, semantic condition, attributes),
+// with commutative/associative variants of a condition sharing an entry.
+func (m *Mediator) EnableCache() { m.cache = newPlanCache() }
+
+// CacheStats reports the plan cache's hit and miss counts (zeros when the
+// cache is disabled).
+func (m *Mediator) CacheStats() (hits, misses int) {
+	if m.cache == nil {
+		return 0, 0
+	}
+	return m.cache.stats()
+}
+
+// Plan generates the best feasible plan for the target query
+// SP(cond, attrs, source) with the given strategy, fixed for execution
+// against the original source description. With the cache enabled,
+// repeated (semantically equal) queries return the memoized plan and a
+// zero Metrics.
+func (m *Mediator) Plan(p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	var key string
+	if m.cache != nil {
+		key = cacheKey(p.Name(), source, cond, attrs)
+		if cached, ok := m.cache.get(key); ok {
+			return cached, &planner.Metrics{}, nil
+		}
+	}
+	ctx, err := m.Context(source)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, metrics, err := p.Plan(ctx, cond, attrs)
+	if err != nil {
+		return nil, metrics, err
+	}
+	fixed, err := m.FixPlan(pl)
+	if err != nil {
+		return nil, metrics, err
+	}
+	if m.cache != nil {
+		m.cache.put(key, fixed)
+	}
+	return fixed, metrics, nil
+}
+
+// Answer plans and executes the target query in one step.
+func (m *Mediator) Answer(p planner.Planner, source string, cond condition.Node, attrs []string) (*Result, error) {
+	fixed, metrics, err := m.Plan(p, source, cond, attrs)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := plan.ExecuteParallel(fixed, m, m.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: fixed, Metrics: metrics, Relation: rel}, nil
+}
+
+// Result is a completed target query.
+type Result struct {
+	// Plan is the fixed plan that was executed.
+	Plan plan.Plan
+	// Metrics reports what the planner did.
+	Metrics *planner.Metrics
+	// Relation is the answer.
+	Relation *relation.Relation
+}
+
+// Lookup implements plan.Sources for execution.
+func (m *Mediator) Lookup(name string) (plan.Querier, bool) {
+	reg, ok := m.sources[name]
+	if !ok {
+		return nil, false
+	}
+	return reg.querier, true
+}
+
+// Checker implements plan.Checkers against the original (order-sensitive)
+// descriptions, the ones execution must satisfy.
+func (m *Mediator) Checker(name string) (*ssdl.Checker, bool) {
+	reg, ok := m.sources[name]
+	if !ok {
+		return nil, false
+	}
+	return reg.orig, true
+}
+
+// FixPlan rewrites each source query of the plan into an ordering the
+// source's original grammar accepts (§6.1). Only the one plan chosen for
+// execution is fixed, so the overhead is low. It fails when some source
+// query cannot be fixed within budget — which, for plans generated against
+// the closure description, indicates a closure/description mismatch.
+func (m *Mediator) FixPlan(p plan.Plan) (plan.Plan, error) {
+	switch t := p.(type) {
+	case *plan.SourceQuery:
+		reg, ok := m.sources[t.Source]
+		if !ok {
+			return nil, fmt.Errorf("mediator: unknown source %q", t.Source)
+		}
+		attrs := strset.New(t.Attrs...)
+		if reg.orig.Supports(t.Cond, attrs) {
+			return t, nil
+		}
+		fixedCond, ok2 := ssdl.Fix(reg.orig, t.Cond, attrs, m.FixBudget)
+		if !ok2 {
+			return nil, fmt.Errorf("mediator: cannot fix source query %s for %s", t.Cond.Key(), t.Source)
+		}
+		return plan.NewSourceQuery(t.Source, fixedCond, t.Attrs), nil
+	case *plan.Select:
+		in, err := m.FixPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Select{Cond: t.Cond, Input: in}, nil
+	case *plan.Project:
+		in, err := m.FixPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Project{Attrs: t.Attrs, Input: in}, nil
+	case *plan.Union:
+		ins, err := m.fixAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Union{Inputs: ins}, nil
+	case *plan.Intersect:
+		ins, err := m.fixAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Intersect{Inputs: ins}, nil
+	case *plan.Choice:
+		// Choices should be resolved before fixing; fix the first
+		// alternative to stay executable.
+		if len(t.Alternatives) == 0 {
+			return nil, fmt.Errorf("mediator: empty Choice")
+		}
+		return m.FixPlan(t.Alternatives[0])
+	default:
+		return nil, fmt.Errorf("mediator: unknown plan node %T", p)
+	}
+}
+
+func (m *Mediator) fixAll(ps []plan.Plan) ([]plan.Plan, error) {
+	out := make([]plan.Plan, len(ps))
+	for i, p := range ps {
+		f, err := m.FixPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+const carsGrammar = `
+source cars
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, color, price}
+attributes :: s2 : {make, model, color}
+`
+
+func carsFixture(t *testing.T) (*Mediator, *source.Local) {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"BMW", "M5", "black", 70000},
+		{"Toyota", "Camry", "red", 19000},
+		{"Toyota", "Corolla", "blue", 14000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := ssdl.MustParse(carsGrammar)
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"cars": r})})
+	if err := med.Register("", src, g); err != nil {
+		t.Fatal(err)
+	}
+	return med, src
+}
+
+func TestRegisterErrors(t *testing.T) {
+	med, _ := carsFixture(t)
+	g := ssdl.MustParse(carsGrammar)
+	if err := med.Register("cars", nil, g); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	gNoName := ssdl.MustParse(`
+attrs a
+s1 -> a = $v
+attributes :: s1 : {a}
+`)
+	if err := med.Register("", nil, gNoName); err == nil {
+		t.Error("unnamed source should fail")
+	}
+	if names := med.SourceNames(); len(names) != 1 || names[0] != "cars" {
+		t.Errorf("SourceNames = %v", names)
+	}
+}
+
+func TestContextUsesClosureChecker(t *testing.T) {
+	med, _ := carsFixture(t)
+	ctx, err := med.Context("cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closure checker accepts the reversed conjunct order.
+	rev := condition.MustParse(`price < 40000 ^ make = "BMW"`)
+	if ctx.Checker.Check(rev).Empty() {
+		t.Error("planning checker should be the commutative closure")
+	}
+	// The execution checker (original) rejects it.
+	orig, ok := med.Checker("cars")
+	if !ok || !orig.Check(rev).Empty() {
+		t.Error("execution checker should be the original grammar")
+	}
+	if _, err := med.Context("ghost"); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestAnswerEndToEnd(t *testing.T) {
+	med, src := carsFixture(t)
+	cond := condition.MustParse(`(make = "BMW" _ make = "Toyota") ^ color = "red"`)
+	res, err := med.Answer(core.New(), "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 { // 328i, Camry
+		t.Errorf("answer len = %d, want 2", res.Relation.Len())
+	}
+	// All executed source queries were accepted by the real source (no
+	// rejections), proving the fixer worked.
+	if acc := src.Accounting(); acc.Rejected != 0 || acc.Queries == 0 {
+		t.Errorf("accounting = %+v", acc)
+	}
+	// The answer matches direct evaluation.
+	direct, err := src.Relation().Select(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Project([]string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.Equal(want) {
+		t.Error("mediator answer differs from direct evaluation")
+	}
+}
+
+func TestFixPlanReordersSourceQueries(t *testing.T) {
+	med, _ := carsFixture(t)
+	// A plan whose source query is in closure order (price before make).
+	q := plan.NewSourceQuery("cars", condition.MustParse(`price < 40000 ^ make = "BMW"`), []string{"model"})
+	fixed, err := med.FixPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := plan.SourceQueries(fixed)[0]
+	want := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	if fq.Cond.Key() != want.Key() {
+		t.Errorf("fixed cond = %s, want %s", fq.Cond.Key(), want.Key())
+	}
+}
+
+func TestFixPlanRecursesAllNodeTypes(t *testing.T) {
+	med, _ := carsFixture(t)
+	rev := condition.MustParse(`price < 40000 ^ make = "BMW"`)
+	q := func() *plan.SourceQuery { return plan.NewSourceQuery("cars", rev, []string{"model"}) }
+	p := &plan.Union{Inputs: []plan.Plan{
+		plan.NewSP(condition.MustParse(`color = "red"`), []string{"model"},
+			plan.NewSourceQuery("cars", rev, []string{"color", "model"})),
+		&plan.Intersect{Inputs: []plan.Plan{q(), q()}},
+		&plan.Choice{Alternatives: []plan.Plan{q()}},
+	}}
+	fixed, err := med.FixPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sq := range plan.SourceQueries(fixed) {
+		orig, _ := med.Checker("cars")
+		if orig.Check(sq.Cond).Empty() {
+			t.Errorf("unfixed source query survived: %s", sq.Cond.Key())
+		}
+	}
+}
+
+func TestFixPlanFailsForUnfixable(t *testing.T) {
+	med, _ := carsFixture(t)
+	q := plan.NewSourceQuery("cars", condition.MustParse(`color = "red"`), []string{"model"})
+	if _, err := med.FixPlan(q); err == nil {
+		t.Error("unfixable source query should fail")
+	}
+	ghost := plan.NewSourceQuery("ghost", condition.True(), nil)
+	if _, err := med.FixPlan(ghost); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestAnswerOverHTTPSources(t *testing.T) {
+	// Full network path: mediator -> HTTP client -> HTTP server -> local
+	// source, with the description fetched over the wire.
+	_, src := carsFixture(t)
+	handler := source.NewHandler(src)
+	server := newTestServer(t, handler)
+	defer server.close()
+
+	client := source.NewClient(server.url, nil)
+	g, err := client.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"cars": src.Relation()})})
+	if err := med.Register("", client, g); err != nil {
+		t.Fatal(err)
+	}
+	cond := condition.MustParse(`(make = "BMW" _ make = "Toyota") ^ color = "red"`)
+	res, err := med.Answer(core.New(), "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 {
+		t.Errorf("HTTP answer len = %d, want 2", res.Relation.Len())
+	}
+}
+
+func TestBaselineThroughMediator(t *testing.T) {
+	med, _ := carsFixture(t)
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	res, err := med.Answer(baseline.Naive{}, "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 1 {
+		t.Errorf("len = %d, want 1", res.Relation.Len())
+	}
+	if !strings.Contains(plan.Format(res.Plan), "SourceQuery") {
+		t.Error("plan should contain a source query")
+	}
+}

@@ -1,0 +1,87 @@
+package mediator
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/planner"
+)
+
+// Multi-source answering: the paper models each Internet source as one
+// relation (§3, footnote 1) and leaves multi-source composition to the
+// surrounding mediator system. Two standard compositions are provided
+// here: a PARTITIONED union (the logical relation is split across
+// sources — airline seats per carrier, listings per region — and every
+// partition must contribute) and a REPLICATED choice (several mirrors
+// serve the same data with different capabilities and prices; the
+// cheapest feasible one answers).
+
+// AnswerUnion answers the target query over the union of the named
+// sources, which must share the queried attributes. Each source gets its
+// own capability-sensitive plan; results are unioned. Every partition
+// must be feasible — a partition that cannot answer makes the whole query
+// infeasible, because missing rows would silently corrupt the answer.
+func (m *Mediator) AnswerUnion(p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("mediator: no sources given")
+	}
+	plans := make([]plan.Plan, len(sources))
+	var metrics planner.Metrics
+	for i, src := range sources {
+		pl, met, err := m.Plan(p, src, cond, attrs)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: partition %s: %w", src, err)
+		}
+		plans[i] = pl
+		if met != nil {
+			metrics.CTs += met.CTs
+			metrics.PlansConsidered += met.PlansConsidered
+			metrics.CheckCalls += met.CheckCalls
+			metrics.Duration += met.Duration
+		}
+	}
+	var combined plan.Plan
+	if len(plans) == 1 {
+		combined = plans[0]
+	} else {
+		combined = &plan.Union{Inputs: plans}
+	}
+	rel, err := plan.ExecuteParallel(combined, m, m.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: combined, Metrics: &metrics, Relation: rel}, nil
+}
+
+// AnswerCheapest answers the target query from whichever of the named
+// (replicated) sources has the cheapest feasible plan, returning the
+// chosen source name. Sources that cannot answer are skipped; if none
+// can, the error wraps planner.ErrInfeasible.
+func (m *Mediator) AnswerCheapest(p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, string, error) {
+	if len(sources) == 0 {
+		return nil, "", fmt.Errorf("mediator: no sources given")
+	}
+	var bestPlan plan.Plan
+	var bestMetrics *planner.Metrics
+	bestSource := ""
+	bestCost := 0.0
+	for _, src := range sources {
+		pl, met, err := m.Plan(p, src, cond, attrs)
+		if err != nil {
+			continue
+		}
+		c := m.model.PlanCost(pl)
+		if bestPlan == nil || c < bestCost {
+			bestPlan, bestMetrics, bestSource, bestCost = pl, met, src, c
+		}
+	}
+	if bestPlan == nil {
+		return nil, "", fmt.Errorf("mediator: no replica can answer: %w", planner.ErrInfeasible)
+	}
+	rel, err := plan.ExecuteParallel(bestPlan, m, m.Workers)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Result{Plan: bestPlan, Metrics: bestMetrics, Relation: rel}, bestSource, nil
+}

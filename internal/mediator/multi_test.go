@@ -1,0 +1,286 @@
+package mediator
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// partitionedFixture builds two listing partitions with *different*
+// capability descriptions over the same schema, plus a replicated pair of
+// mirrors where one is cheaper.
+func partitionedFixture(t *testing.T) (*Mediator, map[string]*source.Local) {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	build := func(rows []struct {
+		mk, model string
+		price     int64
+	}) *relation.Relation {
+		r := relation.New(schema)
+		for _, row := range rows {
+			if err := r.AppendValues(condition.String(row.mk), condition.String(row.model), condition.Int(row.price)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	west := build([]struct {
+		mk, model string
+		price     int64
+	}{
+		{"BMW", "328i-w", 35000},
+		{"Toyota", "Camry-w", 19000},
+	})
+	east := build([]struct {
+		mk, model string
+		price     int64
+	}{
+		{"BMW", "M5-e", 70000},
+		{"BMW", "318i-e", 29000},
+		{"Toyota", "Corolla-e", 14000},
+	})
+
+	// West supports make-only queries; east supports make with an
+	// optional price bound: same logical relation, different forms.
+	westG := ssdl.MustParse(`
+source west
+attrs make, model, price
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model, price}
+`)
+	eastG := ssdl.MustParse(`
+source east
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> make = $m:string ^ price < $p:int
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`)
+	// Mirrors of the east data: one slow (high k1), one fast.
+	slowG := ssdl.MustParse(`
+source slow_mirror
+attrs make, model, price
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model, price}
+`)
+	fastG := ssdl.MustParse(`
+source fast_mirror
+attrs make, model, price
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model, price}
+`)
+
+	srcs := map[string]*source.Local{}
+	rels := map[string]*relation.Relation{"west": west, "east": east, "slow_mirror": east, "fast_mirror": east}
+	med := New(cost.Model{
+		K1: 10, K2: 1,
+		PerSource: map[string]cost.Coef{
+			"slow_mirror": {K1: 500, K2: 2},
+			"fast_mirror": {K1: 5, K2: 1},
+		},
+		Est: cost.NewOracleEstimator(rels),
+	})
+	for name, g := range map[string]*ssdl.Grammar{"west": westG, "east": eastG, "slow_mirror": slowG, "fast_mirror": fastG} {
+		src, err := source.NewLocal("", rels[name], g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[name] = src
+		if err := med.Register(name, src, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return med, srcs
+}
+
+func TestAnswerUnionPartitioned(t *testing.T) {
+	med, srcs := partitionedFixture(t)
+	// BMWs under $40k across both partitions. West cannot push the price
+	// bound (it filters at the mediator); east can.
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	res, err := med.AnswerUnion(core.New(), []string{"west", "east"}, cond, []string{"model", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 { // 328i-w, 318i-e
+		t.Errorf("rows = %d, want 2: %v", res.Relation.Len(), res.Relation.Tuples())
+	}
+	// Both partitions were queried.
+	if srcs["west"].Accounting().Queries == 0 || srcs["east"].Accounting().Queries == 0 {
+		t.Error("both partitions must be queried")
+	}
+}
+
+func TestAnswerUnionFailsWhenPartitionInfeasible(t *testing.T) {
+	med, _ := partitionedFixture(t)
+	// Price-only queries are infeasible on west (and east): missing rows
+	// must not be silently dropped.
+	cond := condition.MustParse(`price < 20000`)
+	_, err := med.AnswerUnion(core.New(), []string{"west", "east"}, cond, []string{"model"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := med.AnswerUnion(core.New(), nil, cond, []string{"model"}); err == nil {
+		t.Error("no sources should fail")
+	}
+}
+
+func TestAnswerCheapestPicksFastMirror(t *testing.T) {
+	med, srcs := partitionedFixture(t)
+	cond := condition.MustParse(`make = "Toyota"`)
+	res, chosen, err := med.AnswerCheapest(core.New(), []string{"slow_mirror", "fast_mirror"}, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != "fast_mirror" {
+		t.Errorf("chosen = %s, want fast_mirror (k1 5 vs 500)", chosen)
+	}
+	if res.Relation.Len() != 1 { // Corolla-e
+		t.Errorf("rows = %d, want 1", res.Relation.Len())
+	}
+	if srcs["slow_mirror"].Accounting().Queries != 0 {
+		t.Error("the slow mirror must not be queried")
+	}
+}
+
+func TestAnswerCheapestPrefersCapableMirror(t *testing.T) {
+	med, _ := partitionedFixture(t)
+	// slow_mirror and east serve the same data; only east's form can
+	// push the price bound, and slow_mirror's per-query overhead is
+	// huge, so east must win.
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	res, chosen, err := med.AnswerCheapest(core.New(), []string{"slow_mirror", "east"}, cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != "east" {
+		t.Errorf("chosen = %s, want east", chosen)
+	}
+	if res.Relation.Len() != 1 { // 318i-e
+		t.Errorf("rows = %d, want 1", res.Relation.Len())
+	}
+	// All-infeasible case.
+	_, _, err = med.AnswerCheapest(core.New(), []string{"west"}, condition.MustParse(`price < 1`), []string{"model"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanCache(t *testing.T) {
+	med, _ := carsFixture2(t)
+	med.EnableCache()
+	gc := core.New()
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	p1, m1, err := med.Plan(gc, "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CheckCalls == 0 {
+		t.Error("first plan should have done real work")
+	}
+	// Same query: hit.
+	p2, m2, err := med.Plan(gc, "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Key() != p1.Key() {
+		t.Error("cached plan differs")
+	}
+	if m2.CheckCalls != 0 {
+		t.Error("cache hit should do no planning work")
+	}
+	// Commutative variant: same entry (NormKey).
+	rev := condition.MustParse(`price < 40000 ^ make = "BMW"`)
+	p3, _, err := med.Plan(gc, "cars", rev, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Key() != p1.Key() {
+		t.Error("commutative variant should hit the same entry")
+	}
+	hits, misses := med.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("cache stats = %d/%d, want 2 hits, 1 miss", hits, misses)
+	}
+	// Different attrs: miss.
+	if _, _, err := med.Plan(gc, "cars", cond, []string{"model", "color"}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := med.CacheStats(); h != 2 || m != 2 {
+		t.Errorf("cache stats = %d/%d, want 2/2", h, m)
+	}
+	// Executing a cached plan still answers correctly.
+	res, err := med.Answer(gc, "cars", rev, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 1 {
+		t.Errorf("rows = %d, want 1", res.Relation.Len())
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	med, _ := carsFixture2(t)
+	if h, m := med.CacheStats(); h != 0 || m != 0 {
+		t.Error("stats should be zero without cache")
+	}
+	gc := core.New()
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	if _, _, err := med.Plan(gc, "cars", cond, []string{"model"}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := med.CacheStats(); h != 0 || m != 0 {
+		t.Error("disabled cache must not count")
+	}
+}
+
+// carsFixture2 is a small single-source mediator for the cache tests.
+func carsFixture2(t *testing.T) (*Mediator, *source.Local) {
+	t.Helper()
+	g := ssdl.MustParse(`
+source cars
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, color, price}
+attributes :: s2 : {make, model, color}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	if err := r.AppendValues(condition.String("BMW"), condition.String("328i"), condition.String("red"), condition.Int(35000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendValues(condition.String("BMW"), condition.String("M5"), condition.String("black"), condition.Int(70000)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"cars": r})})
+	if err := med.Register("", src, g); err != nil {
+		t.Fatal(err)
+	}
+	return med, src
+}

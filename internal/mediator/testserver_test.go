@@ -1,0 +1,21 @@
+package mediator
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// testServer wraps httptest.Server to keep the main test file focused.
+type testServer struct {
+	srv *httptest.Server
+	url string
+}
+
+func newTestServer(t *testing.T, h http.Handler) *testServer {
+	t.Helper()
+	s := httptest.NewServer(h)
+	return &testServer{srv: s, url: s.URL}
+}
+
+func (s *testServer) close() { s.srv.Close() }

@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// Querier executes supported source queries; internal/source provides
+// local and HTTP-backed implementations.
+type Querier interface {
+	// Query runs SP(cond, attrs, R) at the source and returns its result.
+	// It fails when the source does not support the query.
+	Query(cond condition.Node, attrs []string) (*relation.Relation, error)
+}
+
+// Sources resolves source names to queriers during execution.
+type Sources interface {
+	// Lookup returns the querier for the named source.
+	Lookup(name string) (Querier, bool)
+}
+
+// SourceMap is a map-backed Sources.
+type SourceMap map[string]Querier
+
+// Lookup implements Sources.
+func (m SourceMap) Lookup(name string) (Querier, bool) {
+	q, ok := m[name]
+	return q, ok
+}
+
+// Execute runs the plan against the sources and returns its result
+// relation. Choice nodes execute their first alternative (resolve choices
+// with a cost model first for meaningful plans).
+func Execute(p Plan, srcs Sources) (*relation.Relation, error) {
+	switch t := p.(type) {
+	case *SourceQuery:
+		q, ok := srcs.Lookup(t.Source)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
+		}
+		res, err := q.Query(t.Cond, t.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
+		}
+		return res, nil
+	case *Select:
+		in, err := Execute(t.Input, srcs)
+		if err != nil {
+			return nil, err
+		}
+		out, err := in.Select(t.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("plan: mediator select: %w", err)
+		}
+		return out, nil
+	case *Project:
+		in, err := Execute(t.Input, srcs)
+		if err != nil {
+			return nil, err
+		}
+		out, err := in.Project(t.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("plan: mediator project: %w", err)
+		}
+		return out, nil
+	case *Union:
+		return executeNary(t.Inputs, srcs, (*relation.Relation).Union)
+	case *Intersect:
+		return executeNary(t.Inputs, srcs, (*relation.Relation).Intersect)
+	case *Choice:
+		if len(t.Alternatives) == 0 {
+			return nil, fmt.Errorf("plan: empty Choice")
+		}
+		return Execute(t.Alternatives[0], srcs)
+	default:
+		return nil, fmt.Errorf("plan: unknown node %T", p)
+	}
+}
+
+func executeNary(inputs []Plan, srcs Sources, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("plan: empty n-ary node")
+	}
+	acc, err := Execute(inputs[0], srcs)
+	if err != nil {
+		return nil, err
+	}
+	// Align column order across branches: project each branch onto the
+	// first branch's column order before combining.
+	order := acc.Schema().Names()
+	for _, in := range inputs[1:] {
+		next, err := Execute(in, srcs)
+		if err != nil {
+			return nil, err
+		}
+		if !next.Schema().Equal(acc.Schema()) {
+			next, err = next.Project(order)
+			if err != nil {
+				return nil, fmt.Errorf("plan: aligning branch schemas: %w", err)
+			}
+		}
+		acc, err = combine(acc, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Distinct(), nil
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// ExecuteParallel runs the plan like Execute, but evaluates the branches
+// of Union and Intersect nodes concurrently — the mediator's source
+// queries are network round-trips to independent endpoints, so a
+// multi-query plan's latency is dominated by its slowest branch rather
+// than the sum. workers bounds the number of in-flight source queries
+// across the whole plan (≤1 degenerates to sequential execution).
+func ExecuteParallel(p Plan, srcs Sources, workers int) (*relation.Relation, error) {
+	if workers <= 1 {
+		return Execute(p, srcs)
+	}
+	ex := &parallelExec{srcs: srcs, sem: make(chan struct{}, workers)}
+	return ex.run(p)
+}
+
+type parallelExec struct {
+	srcs Sources
+	sem  chan struct{}
+}
+
+func (e *parallelExec) run(p Plan) (*relation.Relation, error) {
+	switch t := p.(type) {
+	case *SourceQuery:
+		q, ok := e.srcs.Lookup(t.Source)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
+		}
+		e.sem <- struct{}{}
+		res, err := q.Query(t.Cond, t.Attrs)
+		<-e.sem
+		if err != nil {
+			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
+		}
+		return res, nil
+	case *Select:
+		in, err := e.run(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := in.Select(t.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("plan: mediator select: %w", err)
+		}
+		return out, nil
+	case *Project:
+		in, err := e.run(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := in.Project(t.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("plan: mediator project: %w", err)
+		}
+		return out, nil
+	case *Union:
+		return e.runNary(t.Inputs, (*relation.Relation).Union)
+	case *Intersect:
+		return e.runNary(t.Inputs, (*relation.Relation).Intersect)
+	case *Choice:
+		if len(t.Alternatives) == 0 {
+			return nil, fmt.Errorf("plan: empty Choice")
+		}
+		return e.run(t.Alternatives[0])
+	default:
+		return nil, fmt.Errorf("plan: unknown node %T", p)
+	}
+}
+
+func (e *parallelExec) runNary(inputs []Plan, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("plan: empty n-ary node")
+	}
+	results := make([]*relation.Relation, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in Plan) {
+			defer wg.Done()
+			results[i], errs[i] = e.run(in)
+		}(i, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := results[0]
+	order := acc.Schema().Names()
+	for _, next := range results[1:] {
+		var err error
+		if !next.Schema().Equal(acc.Schema()) {
+			next, err = next.Project(order)
+			if err != nil {
+				return nil, fmt.Errorf("plan: aligning branch schemas: %w", err)
+			}
+		}
+		acc, err = combine(acc, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Distinct(), nil
+}

@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// countingSource tracks concurrent in-flight queries.
+type countingSource struct {
+	inner    Querier
+	delay    time.Duration
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	mu       sync.Mutex
+}
+
+func (s *countingSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	cur := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		p := s.peak.Load()
+		if cur <= p || s.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.inner.Query(cond, attrs)
+}
+
+func parallelFixture(t *testing.T, delay time.Duration) (*countingSource, Plan, *relation.Relation) {
+	t.Helper()
+	rel := carsRelation(t)
+	src := &countingSource{inner: &testSource{rel: rel}, delay: delay}
+	var branches []Plan
+	for _, mk := range []string{"BMW", "Toyota"} {
+		for _, col := range []string{"red", "black", "blue"} {
+			branches = append(branches, NewSourceQuery("R",
+				condition.NewAnd(
+					condition.NewAtomic("make", condition.OpEq, condition.String(mk)),
+					condition.NewAtomic("color", condition.OpEq, condition.String(col)),
+				), []string{"model"}))
+		}
+	}
+	return src, &Union{Inputs: branches}, rel
+}
+
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	src, p, _ := parallelFixture(t, 0)
+	srcs := SourceMap{"R": src}
+	seq, err := Execute(p, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExecuteParallel(p, srcs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(par) {
+		t.Errorf("parallel result differs: %d vs %d rows", par.Len(), seq.Len())
+	}
+}
+
+func TestExecuteParallelActuallyOverlaps(t *testing.T) {
+	src, p, _ := parallelFixture(t, 5*time.Millisecond)
+	if _, err := ExecuteParallel(p, SourceMap{"R": src}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if peak := src.peak.Load(); peak < 2 {
+		t.Errorf("peak concurrency = %d, want ≥ 2", peak)
+	}
+}
+
+func TestExecuteParallelRespectsWorkerBound(t *testing.T) {
+	src, p, _ := parallelFixture(t, 2*time.Millisecond)
+	if _, err := ExecuteParallel(p, SourceMap{"R": src}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if peak := src.peak.Load(); peak > 2 {
+		t.Errorf("peak concurrency = %d exceeds bound 2", peak)
+	}
+}
+
+func TestExecuteParallelDegeneratesToSequential(t *testing.T) {
+	src, p, _ := parallelFixture(t, 0)
+	res, err := ExecuteParallel(p, SourceMap{"R": src}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("sequential fallback broken")
+	}
+	if peak := src.peak.Load(); peak != 1 {
+		t.Errorf("workers=1 should be sequential, peak = %d", peak)
+	}
+}
+
+func TestExecuteParallelPropagatesErrors(t *testing.T) {
+	rel := carsRelation(t)
+	good := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
+	bad := NewSourceQuery("R", condition.MustParse(`nosuch = 1`), []string{"model"})
+	p := &Union{Inputs: []Plan{good, bad, good}}
+	_, err := ExecuteParallel(p, SourceMap{"R": &testSource{rel: rel}}, 4)
+	if err == nil {
+		t.Error("branch error must propagate")
+	}
+	if _, err := ExecuteParallel(&Union{}, SourceMap{}, 4); err == nil {
+		t.Error("empty union must fail")
+	}
+	if _, err := ExecuteParallel(&Choice{}, SourceMap{}, 4); err == nil {
+		t.Error("empty choice must fail")
+	}
+}
+
+func TestExecuteParallelNestedStructures(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{"R": &testSource{rel: rel}}
+	inner := &Intersect{Inputs: []Plan{
+		NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("R", condition.MustParse(`price < 40000`), []string{"model"}),
+	}}
+	p := &Union{Inputs: []Plan{
+		inner,
+		NewSP(condition.MustParse(`color = "red"`), []string{"model"},
+			NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"color", "model"})),
+	}}
+	seq, err := Execute(p, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExecuteParallel(p, srcs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(par) {
+		t.Error("nested parallel execution differs from sequential")
+	}
+}
+
+func TestExecuteParallelRace(t *testing.T) {
+	// Exercised under -race in CI: many branches, small relation.
+	rel := carsRelation(t)
+	src := &countingSource{inner: &testSource{rel: rel}}
+	var branches []Plan
+	for i := 0; i < 40; i++ {
+		branches = append(branches, NewSourceQuery("R",
+			condition.NewAtomic("price", condition.OpGt, condition.Int(int64(i*1000))),
+			[]string{"model"}))
+	}
+	if _, err := ExecuteParallel(&Union{Inputs: branches}, SourceMap{"R": src}, 8); err != nil {
+		t.Fatal(err)
+	}
+	_ = fmt.Sprintf("%d", src.peak.Load())
+}

@@ -1,0 +1,243 @@
+// Package plan defines the mediator query-plan algebra of §3: source
+// queries SP(C, A, R) sent to a capability-limited source, mediator
+// post-processing (selection, projection, union, intersection), and the
+// Choice operator GenModular uses to represent alternative plans. It also
+// provides the plan executor and feasibility validation.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+// Plan is a node of a mediator query plan.
+type Plan interface {
+	// OutAttrs returns the attributes the plan produces.
+	OutAttrs() strset.Set
+	// Key returns a canonical rendering; equal keys mean identical plans.
+	Key() string
+	// kids returns the child plans, for walking.
+	kids() []Plan
+}
+
+// SourceQuery is SP(Cond, Attrs, Source): evaluated entirely at the
+// source, which applies the condition and projects the attributes.
+type SourceQuery struct {
+	Source string
+	Cond   condition.Node
+	Attrs  []string // sorted
+}
+
+// NewSourceQuery builds a source query; attrs are copied and sorted.
+func NewSourceQuery(source string, cond condition.Node, attrs []string) *SourceQuery {
+	a := append([]string(nil), attrs...)
+	sort.Strings(a)
+	return &SourceQuery{Source: source, Cond: cond, Attrs: a}
+}
+
+// OutAttrs implements Plan.
+func (q *SourceQuery) OutAttrs() strset.Set { return strset.New(q.Attrs...) }
+
+// Key implements Plan.
+func (q *SourceQuery) Key() string {
+	return fmt.Sprintf("SP[%s](%s; %s)", q.Source, q.Cond.Key(), strings.Join(q.Attrs, ","))
+}
+
+func (q *SourceQuery) kids() []Plan { return nil }
+
+// Select is a mediator-side selection over the child plan's result.
+type Select struct {
+	Cond  condition.Node
+	Input Plan
+}
+
+// OutAttrs implements Plan.
+func (s *Select) OutAttrs() strset.Set { return s.Input.OutAttrs() }
+
+// Key implements Plan.
+func (s *Select) Key() string {
+	return fmt.Sprintf("select(%s; %s)", s.Cond.Key(), s.Input.Key())
+}
+
+func (s *Select) kids() []Plan { return []Plan{s.Input} }
+
+// Project is a mediator-side projection onto Attrs.
+type Project struct {
+	Attrs []string // sorted
+	Input Plan
+}
+
+// NewProject builds a projection; attrs are copied and sorted.
+func NewProject(attrs []string, input Plan) *Project {
+	a := append([]string(nil), attrs...)
+	sort.Strings(a)
+	return &Project{Attrs: a, Input: input}
+}
+
+// OutAttrs implements Plan.
+func (p *Project) OutAttrs() strset.Set { return strset.New(p.Attrs...) }
+
+// Key implements Plan.
+func (p *Project) Key() string {
+	return fmt.Sprintf("project(%s; %s)", strings.Join(p.Attrs, ","), p.Input.Key())
+}
+
+func (p *Project) kids() []Plan { return []Plan{p.Input} }
+
+// Union is the mediator-side set union of its inputs (OR combination).
+type Union struct {
+	Inputs []Plan
+}
+
+// OutAttrs implements Plan.
+func (u *Union) OutAttrs() strset.Set {
+	if len(u.Inputs) == 0 {
+		return strset.New()
+	}
+	return u.Inputs[0].OutAttrs()
+}
+
+// Key implements Plan.
+func (u *Union) Key() string { return naryKey("union", u.Inputs) }
+
+func (u *Union) kids() []Plan { return u.Inputs }
+
+// Intersect is the mediator-side set intersection of its inputs (AND
+// combination). When the intersected attribute set does not contain a key
+// of the source, the intersection of projections may admit false positives
+// (a limitation inherited from the paper's algebra); validation reports it
+// via ApproxIntersection.
+type Intersect struct {
+	Inputs []Plan
+}
+
+// OutAttrs implements Plan.
+func (x *Intersect) OutAttrs() strset.Set {
+	if len(x.Inputs) == 0 {
+		return strset.New()
+	}
+	return x.Inputs[0].OutAttrs()
+}
+
+// Key implements Plan.
+func (x *Intersect) Key() string { return naryKey("intersect", x.Inputs) }
+
+func (x *Intersect) kids() []Plan { return x.Inputs }
+
+// Choice represents a set of alternative plans for the same query
+// (GenModular's generate module output); the cost module resolves it to
+// the cheapest alternative. Executing an unresolved Choice executes its
+// first alternative.
+type Choice struct {
+	Alternatives []Plan
+}
+
+// OutAttrs implements Plan.
+func (c *Choice) OutAttrs() strset.Set {
+	if len(c.Alternatives) == 0 {
+		return strset.New()
+	}
+	return c.Alternatives[0].OutAttrs()
+}
+
+// Key implements Plan.
+func (c *Choice) Key() string { return naryKey("choice", c.Alternatives) }
+
+func (c *Choice) kids() []Plan { return c.Alternatives }
+
+func naryKey(op string, ps []Plan) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Key()
+	}
+	return op + "(" + strings.Join(parts, "; ") + ")"
+}
+
+// NewSP builds the mediator-evaluated query SP(cond, attrs, input): a
+// selection on cond followed by a projection onto attrs, the composite the
+// paper writes as SP(n, A, P). A trivially-true condition omits the
+// selection; a projection matching the input's attributes is omitted too.
+func NewSP(cond condition.Node, attrs []string, input Plan) Plan {
+	out := input
+	if !condition.IsTrue(cond) {
+		out = &Select{Cond: cond, Input: out}
+	}
+	want := strset.New(attrs...)
+	if !want.Equal(out.OutAttrs()) {
+		out = NewProject(attrs, out)
+	}
+	return out
+}
+
+// SourceQueries returns every SourceQuery node in the plan, in pre-order.
+// Choice nodes contribute the queries of all alternatives.
+func SourceQueries(p Plan) []*SourceQuery {
+	var out []*SourceQuery
+	Walk(p, func(n Plan) {
+		if q, ok := n.(*SourceQuery); ok {
+			out = append(out, q)
+		}
+	})
+	return out
+}
+
+// Walk visits every node in pre-order.
+func Walk(p Plan, visit func(Plan)) {
+	visit(p)
+	for _, k := range p.kids() {
+		Walk(k, visit)
+	}
+}
+
+// CountChoices returns the number of Choice nodes in the plan.
+func CountChoices(p Plan) int {
+	n := 0
+	Walk(p, func(q Plan) {
+		if _, ok := q.(*Choice); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// Format renders the plan as an indented tree for humans.
+func Format(p Plan) string {
+	var sb strings.Builder
+	format(&sb, p, 0)
+	return sb.String()
+}
+
+func format(sb *strings.Builder, p Plan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch t := p.(type) {
+	case *SourceQuery:
+		fmt.Fprintf(sb, "%sSourceQuery[%s] cond=%s attrs=(%s)\n", indent, t.Source, t.Cond.Key(), strings.Join(t.Attrs, ","))
+	case *Select:
+		fmt.Fprintf(sb, "%sSelect cond=%s\n", indent, t.Cond.Key())
+		format(sb, t.Input, depth+1)
+	case *Project:
+		fmt.Fprintf(sb, "%sProject attrs=(%s)\n", indent, strings.Join(t.Attrs, ","))
+		format(sb, t.Input, depth+1)
+	case *Union:
+		fmt.Fprintf(sb, "%sUnion\n", indent)
+		for _, k := range t.Inputs {
+			format(sb, k, depth+1)
+		}
+	case *Intersect:
+		fmt.Fprintf(sb, "%sIntersect\n", indent)
+		for _, k := range t.Inputs {
+			format(sb, k, depth+1)
+		}
+	case *Choice:
+		fmt.Fprintf(sb, "%sChoice (%d alternatives)\n", indent, len(t.Alternatives))
+		for _, k := range t.Alternatives {
+			format(sb, k, depth+1)
+		}
+	default:
+		fmt.Fprintf(sb, "%s%T\n", indent, p)
+	}
+}

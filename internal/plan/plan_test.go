@@ -1,0 +1,321 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// testSource is a permissive in-package querier for executor tests (the
+// real capability-enforcing source lives in internal/source).
+type testSource struct {
+	rel *relation.Relation
+}
+
+func (s *testSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	sel := s.rel
+	if !condition.IsTrue(cond) {
+		var err error
+		sel, err = s.rel.Select(cond)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sel.Project(attrs)
+}
+
+func carsRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"BMW", "M5", "black", 70000},
+		{"BMW", "318i", "blue", 30000},
+		{"Toyota", "Camry", "red", 19000},
+		{"Toyota", "Corolla", "black", 14000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func testSources(t *testing.T) Sources {
+	return SourceMap{"R": &testSource{rel: carsRelation(t)}}
+}
+
+func TestExecuteSourceQuery(t *testing.T) {
+	p := NewSourceQuery("R", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	res, err := Execute(p, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("len = %d, want 2", res.Len())
+	}
+}
+
+func TestExecuteNestedSP(t *testing.T) {
+	// SP(n2, A, SP(n1, A ∪ Attr(n2), R)) from Example 3.1.
+	n1 := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	n2 := condition.MustParse(`color = "red" _ color = "black"`)
+	inner := NewSourceQuery("R", n1, []string{"model", "color"})
+	p := NewSP(n2, []string{"model"}, inner)
+	res, err := Execute(p, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 { // only the 328i is a red/black BMW under 40k
+		t.Errorf("len = %d, want 1: %v", res.Len(), res.Tuples())
+	}
+	if got := res.Schema().Names(); len(got) != 1 || got[0] != "model" {
+		t.Errorf("schema = %v", got)
+	}
+}
+
+func TestExecuteUnionPlan(t *testing.T) {
+	// Example 1.1's shape: union of two source queries.
+	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	q2 := NewSourceQuery("R", condition.MustParse(`make = "Toyota" ^ price < 20000`), []string{"model"})
+	res, err := Execute(&Union{Inputs: []Plan{q1, q2}}, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("len = %d, want 4", res.Len())
+	}
+}
+
+func TestExecuteIntersectPlan(t *testing.T) {
+	// SP(n1, A, R) ∩ SP(n2, A, R) with a key attribute in A.
+	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
+	q2 := NewSourceQuery("R", condition.MustParse(`color = "red"`), []string{"model"})
+	res, err := Execute(&Intersect{Inputs: []Plan{q1, q2}}, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("len = %d, want 1", res.Len())
+	}
+}
+
+func TestExecuteAlignsBranchSchemas(t *testing.T) {
+	// Branches projecting the same attrs in different orders must still
+	// combine.
+	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model", "color"})
+	q2 := &SourceQuery{Source: "R", Cond: condition.MustParse(`color = "red"`), Attrs: []string{"model", "color"}}
+	res, err := Execute(&Union{Inputs: []Plan{q1, q2}}, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("len = %d, want 4", res.Len())
+	}
+}
+
+func TestExecuteChoiceTakesFirst(t *testing.T) {
+	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
+	q2 := NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"model"})
+	res, err := Execute(&Choice{Alternatives: []Plan{q1, q2}}, testSources(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("len = %d, want 3 (first alternative)", res.Len())
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if _, err := Execute(NewSourceQuery("ghost", condition.True(), []string{"x"}), testSources(t)); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := Execute(&Union{}, testSources(t)); err == nil {
+		t.Error("empty union should fail")
+	}
+	if _, err := Execute(&Choice{}, testSources(t)); err == nil {
+		t.Error("empty choice should fail")
+	}
+	bad := &Select{Cond: condition.MustParse(`ghost = 1`), Input: NewSourceQuery("R", condition.True(), []string{"model"})}
+	if _, err := Execute(bad, testSources(t)); err == nil {
+		t.Error("mediator select on missing attr should fail")
+	}
+}
+
+func TestNewSPOmitsNoOps(t *testing.T) {
+	q := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
+	// True condition and matching attrs: plan unchanged.
+	p := NewSP(condition.True(), []string{"model"}, q)
+	if p != Plan(q) {
+		t.Errorf("NewSP added spurious nodes: %s", p.Key())
+	}
+	// Narrowing attrs adds a projection.
+	q2 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model", "color"})
+	p2 := NewSP(condition.True(), []string{"model"}, q2)
+	if _, ok := p2.(*Project); !ok {
+		t.Errorf("want Project, got %T", p2)
+	}
+}
+
+func TestOutAttrs(t *testing.T) {
+	q := NewSourceQuery("R", condition.True(), []string{"b", "a"})
+	if !q.OutAttrs().Equal(strset.New("a", "b")) {
+		t.Errorf("OutAttrs = %v", q.OutAttrs())
+	}
+	sel := &Select{Cond: condition.MustParse(`a = 1`), Input: q}
+	if !sel.OutAttrs().Equal(strset.New("a", "b")) {
+		t.Error("Select must not change attrs")
+	}
+	proj := NewProject([]string{"a"}, q)
+	if !proj.OutAttrs().Equal(strset.New("a")) {
+		t.Error("Project must narrow attrs")
+	}
+}
+
+func TestSourceQueriesAndWalk(t *testing.T) {
+	q1 := NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	q2 := NewSourceQuery("R", condition.MustParse(`b = 2`), []string{"x"})
+	p := &Union{Inputs: []Plan{q1, &Select{Cond: condition.MustParse(`c = 3`), Input: q2}}}
+	qs := SourceQueries(p)
+	if len(qs) != 2 {
+		t.Errorf("SourceQueries = %d, want 2", len(qs))
+	}
+	if CountChoices(p) != 0 {
+		t.Error("CountChoices should be 0")
+	}
+	ch := &Choice{Alternatives: []Plan{q1, q2}}
+	if CountChoices(ch) != 1 {
+		t.Error("CountChoices should be 1")
+	}
+}
+
+func TestKeysDistinguishPlans(t *testing.T) {
+	q1 := NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	q2 := NewSourceQuery("R", condition.MustParse(`a = 2`), []string{"x"})
+	if q1.Key() == q2.Key() {
+		t.Error("different conditions share a key")
+	}
+	u := &Union{Inputs: []Plan{q1, q2}}
+	x := &Intersect{Inputs: []Plan{q1, q2}}
+	if u.Key() == x.Key() {
+		t.Error("union and intersect share a key")
+	}
+}
+
+func TestFormatRendersTree(t *testing.T) {
+	q := NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"})
+	p := &Union{Inputs: []Plan{q, NewSP(condition.MustParse(`b = 2`), []string{"x"}, q)}}
+	out := Format(p)
+	for _, want := range []string{"Union", "SourceQuery[R]", "Select", "a = 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	ch := Format(&Choice{Alternatives: []Plan{q}})
+	if !strings.Contains(ch, "Choice (1 alternatives)") {
+		t.Errorf("choice format: %s", ch)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+attributes :: s1 : {make, model, color, price}
+`)
+	cs := CheckerMap{"R": ssdl.NewChecker(g)}
+	good := NewSourceQuery("R", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	rep, err := Validate(good, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.SourceQueryCount != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	bad := NewSourceQuery("R", condition.MustParse(`color = "red"`), []string{"model"})
+	rep, err = Validate(&Union{Inputs: []Plan{good, bad}}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || len(rep.Unsupported) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	if _, err := Validate(NewSourceQuery("ghost", condition.True(), nil), cs); err == nil {
+		t.Error("unknown source should error")
+	}
+}
+
+func TestValidateApproxIntersection(t *testing.T) {
+	g := ssdl.MustParse(`
+source R
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> price < $p:int
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`)
+	cs := CheckerMap{"R": ssdl.NewChecker(g)}
+	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"make"})
+	q2 := NewSourceQuery("R", condition.MustParse(`price < 40000`), []string{"make"})
+	rep, err := Validate(&Intersect{Inputs: []Plan{q1, q2}}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ApproxIntersections != 1 {
+		t.Errorf("ApproxIntersections = %d, want 1 (key not in attrs)", rep.ApproxIntersections)
+	}
+	// With the key included, the intersection is exact.
+	q1k := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"make", "model"})
+	q2k := NewSourceQuery("R", condition.MustParse(`price < 40000`), []string{"make", "model"})
+	rep, err = Validate(&Intersect{Inputs: []Plan{q1k, q2k}}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ApproxIntersections != 0 {
+		t.Errorf("ApproxIntersections = %d, want 0", rep.ApproxIntersections)
+	}
+}
+
+func TestNodeKeysAndAttrsCoverage(t *testing.T) {
+	q := NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x", "y"})
+	sel := &Select{Cond: condition.MustParse(`b = 2`), Input: q}
+	proj := NewProject([]string{"x"}, sel)
+	u := &Union{Inputs: []Plan{proj, proj}}
+	x := &Intersect{Inputs: []Plan{q, q}}
+	ch := &Choice{Alternatives: []Plan{q, u}}
+	for _, p := range []Plan{q, sel, proj, u, x, ch} {
+		if p.Key() == "" {
+			t.Errorf("%T has empty key", p)
+		}
+		if p.OutAttrs().Len() == 0 {
+			t.Errorf("%T has empty OutAttrs", p)
+		}
+	}
+	if (&Union{}).OutAttrs().Len() != 0 || (&Intersect{}).OutAttrs().Len() != 0 || (&Choice{}).OutAttrs().Len() != 0 {
+		t.Error("empty n-ary nodes should have empty attrs")
+	}
+	if !strings.Contains(Format(ch), "Choice") || !strings.Contains(Format(x), "Intersect") {
+		t.Error("format coverage")
+	}
+}

@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// Checkers resolves source names to their SSDL checkers for validation.
+type Checkers interface {
+	// Checker returns the SSDL checker for the named source.
+	Checker(name string) (*ssdl.Checker, bool)
+}
+
+// CheckerMap is a map-backed Checkers.
+type CheckerMap map[string]*ssdl.Checker
+
+// Checker implements Checkers.
+func (m CheckerMap) Checker(name string) (*ssdl.Checker, bool) {
+	c, ok := m[name]
+	return c, ok
+}
+
+// Report is the result of validating a plan.
+type Report struct {
+	// Feasible is true when every source query in the plan is supported
+	// by its source's SSDL description (§4's definition of feasibility).
+	Feasible bool
+	// Unsupported lists the source queries that failed the Check test.
+	Unsupported []*SourceQuery
+	// ApproxIntersections counts Intersect nodes whose branch attribute
+	// sets do not include the source key, so intersecting projections
+	// may admit false positives.
+	ApproxIntersections int
+	// SourceQueryCount is the number of source queries the plan issues
+	// (Choice alternatives all counted).
+	SourceQueryCount int
+}
+
+// Validate checks feasibility of every source query in the plan against
+// the SSDL descriptions, and flags approximate intersections.
+func Validate(p Plan, cs Checkers) (*Report, error) {
+	rep := &Report{Feasible: true}
+	var err error
+	Walk(p, func(n Plan) {
+		if err != nil {
+			return
+		}
+		switch t := n.(type) {
+		case *SourceQuery:
+			rep.SourceQueryCount++
+			c, ok := cs.Checker(t.Source)
+			if !ok {
+				err = fmt.Errorf("plan: no SSDL description for source %q", t.Source)
+				return
+			}
+			if !c.Supports(t.Cond, strset.New(t.Attrs...)) {
+				rep.Feasible = false
+				rep.Unsupported = append(rep.Unsupported, t)
+			}
+		case *Intersect:
+			if approxIntersection(t, cs) {
+				rep.ApproxIntersections++
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// approxIntersection reports whether the intersection's attribute set
+// misses the key of any source referenced below it.
+func approxIntersection(x *Intersect, cs Checkers) bool {
+	attrs := x.OutAttrs()
+	approx := false
+	Walk(x, func(n Plan) {
+		q, ok := n.(*SourceQuery)
+		if !ok || approx {
+			return
+		}
+		c, ok := cs.Checker(q.Source)
+		if !ok {
+			return
+		}
+		key := c.Grammar().Key
+		if key == "" || !attrs.Has(key) {
+			approx = true
+		}
+	})
+	return approx
+}

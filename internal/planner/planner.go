@@ -1,0 +1,87 @@
+// Package planner defines the interface shared by all plan-generation
+// strategies in this repository: the paper's GenModular (internal/
+// genmodular) and GenCompact (internal/core), and the contemporary-system
+// baselines it compares against (internal/baseline).
+package planner
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/ssdl"
+)
+
+// ErrInfeasible is returned when a strategy cannot produce any feasible
+// plan for the target query.
+var ErrInfeasible = errors.New("planner: no feasible plan")
+
+// Context carries the per-source information a planner needs.
+type Context struct {
+	// Source is the name used in generated SourceQuery nodes.
+	Source string
+	// Checker is the capability description to plan against. GenCompact
+	// expects the commutative-closure description (§6.1); the execution-
+	// time fixer maps the chosen plan back to the original grammar.
+	Checker *ssdl.Checker
+	// Model prices candidate plans.
+	Model cost.Model
+}
+
+// Metrics reports what a planning run did; the experiment harness
+// aggregates these across workloads.
+type Metrics struct {
+	// CTs is the number of condition trees processed.
+	CTs int
+	// PlansConsidered counts candidate plans (or plan alternatives)
+	// enumerated.
+	PlansConsidered int
+	// GeneratorCalls counts EPG/IPG invocations (cache misses only).
+	GeneratorCalls int
+	// CheckCalls and CheckMisses are the checker-call deltas for the run
+	// (misses exclude the checker's memo hits).
+	CheckCalls  int
+	CheckMisses int
+	// MaxSubPlans is the largest MCSC input Q observed (GenCompact only;
+	// the paper's pruning rules exist to keep this small).
+	MaxSubPlans int
+	// MCSCCombos counts set-cover combinations examined.
+	MCSCCombos int
+	// Duration is the wall-clock planning time.
+	Duration time.Duration
+}
+
+// Planner is a plan-generation strategy.
+type Planner interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Plan generates the best feasible plan for the target query
+	// SP(cond, attrs, ctx.Source), or ErrInfeasible.
+	Plan(ctx *Context, cond condition.Node, attrs []string) (plan.Plan, *Metrics, error)
+}
+
+// Candidate couples a plan with its model cost so search code compares
+// without re-walking plans.
+type Candidate struct {
+	Plan plan.Plan
+	Cost float64
+}
+
+// Better reports whether c is a strict improvement over other (nil other
+// counts as infeasible).
+func (c *Candidate) Better(other *Candidate) bool {
+	if c == nil {
+		return false
+	}
+	return other == nil || c.Cost < other.Cost
+}
+
+// NewCandidate prices a plan under the model.
+func NewCandidate(p plan.Plan, m cost.Model) *Candidate {
+	if p == nil {
+		return nil
+	}
+	return &Candidate{Plan: p, Cost: m.PlanCost(p)}
+}

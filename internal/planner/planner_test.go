@@ -1,0 +1,43 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+func TestCandidateBetter(t *testing.T) {
+	m := cost.Model{K1: 1, K2: 1, Est: cost.FixedEstimator(1)}
+	cheap := NewCandidate(plan.NewSourceQuery("R", condition.MustParse(`a = 1`), []string{"x"}), m)
+	pair := &plan.Union{Inputs: []plan.Plan{cheap.Plan, cheap.Plan}}
+	costly := NewCandidate(pair, m)
+
+	if !cheap.Better(costly) {
+		t.Error("cheaper candidate should be better")
+	}
+	if costly.Better(cheap) {
+		t.Error("costlier candidate should not be better")
+	}
+	if !cheap.Better(nil) {
+		t.Error("any candidate beats nil")
+	}
+	var none *Candidate
+	if none.Better(cheap) {
+		t.Error("nil candidate is never better")
+	}
+}
+
+func TestNewCandidateNil(t *testing.T) {
+	m := cost.Model{K1: 1, K2: 1, Est: cost.FixedEstimator(1)}
+	if NewCandidate(nil, m) != nil {
+		t.Error("NewCandidate(nil) should be nil")
+	}
+}
+
+func TestErrInfeasibleIsSentinel(t *testing.T) {
+	if ErrInfeasible == nil || ErrInfeasible.Error() == "" {
+		t.Error("sentinel missing")
+	}
+}

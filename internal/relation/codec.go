@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// WriteTSV serializes the relation as tab-separated text with a typed
+// header line of the form `name:kind` per column.
+func WriteTSV(w io.Writer, r *Relation) error {
+	bw := bufio.NewWriter(w)
+	header := make([]string, r.Schema().Len())
+	for i, c := range r.Schema().Columns() {
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if _, err := bw.WriteString(strings.Join(header, "\t") + "\n"); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		fields := make([]string, len(t.Values()))
+		for i, v := range t.Values() {
+			fields[i] = escapeField(v.Text())
+		}
+		if _, err := bw.WriteString(strings.Join(fields, "\t") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a relation written by WriteTSV.
+func ReadTSV(r io.Reader) (*Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("relation: empty input")
+	}
+	headers := strings.Split(sc.Text(), "\t")
+	cols := make([]Column, len(headers))
+	for i, h := range headers {
+		name, kindName, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("relation: header %q missing kind", h)
+		}
+		kind, err := parseKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Name: name, Kind: kind}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != len(cols) {
+			return nil, fmt.Errorf("relation: line %d has %d fields, want %d", line, len(fields), len(cols))
+		}
+		vals := make([]condition.Value, len(fields))
+		for i, f := range fields {
+			v, err := parseField(unescapeField(f), cols[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d column %s: %w", line, cols[i].Name, err)
+			}
+			vals[i] = v
+		}
+		if err := rel.AppendValues(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func parseKind(name string) (condition.Kind, error) {
+	switch name {
+	case "string":
+		return condition.KindString, nil
+	case "int":
+		return condition.KindInt, nil
+	case "float":
+		return condition.KindFloat, nil
+	case "bool":
+		return condition.KindBool, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown kind %q", name)
+	}
+}
+
+func parseField(text string, kind condition.Kind) (condition.Value, error) {
+	switch kind {
+	case condition.KindString:
+		return condition.String(text), nil
+	case condition.KindInt:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return condition.Value{}, fmt.Errorf("bad int %q", text)
+		}
+		return condition.Int(i), nil
+	case condition.KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return condition.Value{}, fmt.Errorf("bad float %q", text)
+		}
+		return condition.Float(f), nil
+	case condition.KindBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return condition.Value{}, fmt.Errorf("bad bool %q", text)
+		}
+		return condition.Bool(b), nil
+	default:
+		return condition.Value{}, fmt.Errorf("unknown kind %v", kind)
+	}
+}
+
+func escapeField(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}

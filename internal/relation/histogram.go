@@ -1,0 +1,110 @@
+package relation
+
+import "sort"
+
+// Histogram is an equi-depth histogram over a numeric column: Bounds[i]
+// is the inclusive upper bound of bucket i, each bucket holding roughly
+// Total/len(Bounds) values. Equi-depth bounds adapt to skew (clustered
+// prices, long-tailed years) far better than the min/max interpolation
+// used without one. The fields are exported so source statistics serialize
+// over the HTTP /stats endpoint.
+type Histogram struct {
+	// Bounds are ascending inclusive bucket upper bounds.
+	Bounds []float64
+	// Counts are per-bucket value counts.
+	Counts []int
+	// Total is the number of values summarized.
+	Total int
+	// MinVal is the smallest value (lower bound of bucket 0).
+	MinVal float64
+}
+
+// defaultHistogramBuckets is the bucket count used by CollectStats.
+const defaultHistogramBuckets = 32
+
+// buildHistogram constructs an equi-depth histogram from the values.
+func buildHistogram(values []float64, buckets int) *Histogram {
+	if len(values) == 0 {
+		return nil
+	}
+	if buckets <= 0 {
+		buckets = defaultHistogramBuckets
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	h := &Histogram{Total: len(sorted), MinVal: sorted[0]}
+	per := len(sorted) / buckets
+	rem := len(sorted) % buckets
+	idx := 0
+	for b := 0; b < buckets; b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		idx += n
+		bound := sorted[idx-1]
+		// Merge buckets sharing an upper bound (heavy duplicates).
+		if len(h.Bounds) > 0 && h.Bounds[len(h.Bounds)-1] == bound {
+			h.Counts[len(h.Counts)-1] += n
+			continue
+		}
+		h.Bounds = append(h.Bounds, bound)
+		h.Counts = append(h.Counts, n)
+	}
+	return h
+}
+
+// FractionBelow estimates the fraction of values ≤ x (inclusive), with
+// linear interpolation inside the containing bucket.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h == nil || h.Total == 0 {
+		return 0
+	}
+	if x < h.MinVal {
+		return 0
+	}
+	acc := 0
+	lower := h.MinVal
+	for i, bound := range h.Bounds {
+		if x >= bound {
+			acc += h.Counts[i]
+			lower = bound
+			continue
+		}
+		// x falls inside bucket i: interpolate.
+		width := bound - lower
+		frac := 1.0
+		if width > 0 {
+			frac = (x - lower) / width
+		}
+		return (float64(acc) + frac*float64(h.Counts[i])) / float64(h.Total)
+	}
+	return 1
+}
+
+// FractionStrictlyBelow estimates the fraction of values < x. The
+// distinction matters at heavy duplicate values (price points, years).
+func (h *Histogram) FractionStrictlyBelow(x float64) float64 {
+	if h == nil || h.Total == 0 {
+		return 0
+	}
+	// Approximate P(v < x) as P(v ≤ x) minus the estimated mass exactly
+	// at x when x coincides with a bucket bound.
+	below := h.FractionBelow(x)
+	for i, bound := range h.Bounds {
+		if bound == x {
+			// Assume the bound value holds a share of its bucket
+			// proportional to 1/bucket-width worth of mass; without
+			// per-value counts, half the bucket is a robust middle
+			// ground for duplicated bounds.
+			return below - 0.5*float64(h.Counts[i])/float64(h.Total)
+		}
+	}
+	return below
+}

@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func TestBuildHistogramBasics(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := buildHistogram(vals, 10)
+	if h.Total != 100 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	if len(h.Bounds) != 10 || len(h.Counts) != 10 {
+		t.Fatalf("buckets = %d/%d", len(h.Bounds), len(h.Counts))
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 100 {
+		t.Errorf("counts sum = %d", sum)
+	}
+	// Uniform data: FractionBelow tracks the CDF.
+	if f := h.FractionBelow(49); math.Abs(f-0.5) > 0.05 {
+		t.Errorf("FractionBelow(49) = %v, want ≈0.5", f)
+	}
+	if f := h.FractionBelow(-1); f != 0 {
+		t.Errorf("below min = %v", f)
+	}
+	if f := h.FractionBelow(1000); f != 1 {
+		t.Errorf("above max = %v", f)
+	}
+}
+
+func TestBuildHistogramEmptyAndTiny(t *testing.T) {
+	if h := buildHistogram(nil, 8); h != nil {
+		t.Error("empty input should yield nil")
+	}
+	h := buildHistogram([]float64{5}, 8)
+	if h == nil || h.Total != 1 {
+		t.Fatalf("singleton histogram = %+v", h)
+	}
+	if f := h.FractionBelow(5); f != 1 {
+		t.Errorf("FractionBelow(5) = %v", f)
+	}
+	var nilH *Histogram
+	if nilH.FractionBelow(1) != 0 || nilH.FractionStrictlyBelow(1) != 0 {
+		t.Error("nil histogram should report 0")
+	}
+}
+
+func TestHistogramDuplicateHeavyValues(t *testing.T) {
+	// 90% of the data is the single value 100.
+	vals := make([]float64, 1000)
+	for i := range vals {
+		if i < 900 {
+			vals[i] = 100
+		} else {
+			vals[i] = float64(i)
+		}
+	}
+	h := buildHistogram(vals, 16)
+	// Buckets sharing the bound 100 merge; bounds stay ascending/unique.
+	for i := 1; i < len(h.Bounds); i++ {
+		if h.Bounds[i] <= h.Bounds[i-1] {
+			t.Fatalf("bounds not strictly ascending: %v", h.Bounds)
+		}
+	}
+	if f := h.FractionBelow(100); f < 0.85 {
+		t.Errorf("FractionBelow(100) = %v, want ≥ 0.85", f)
+	}
+	if f := h.FractionStrictlyBelow(100); f >= h.FractionBelow(100) {
+		t.Errorf("strict below (%v) should be < inclusive (%v)", f, h.FractionBelow(100))
+	}
+}
+
+// Histograms beat min/max interpolation on skewed data.
+func TestHistogramSelectivityOnSkewedData(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	s := MustSchema(Column{Name: "price", Kind: condition.KindInt})
+	rel := New(s)
+	// Log-ish skew: mostly cheap, rare expensive outliers up to 10^6.
+	for i := 0; i < 5000; i++ {
+		v := int64(1000 + r.Intn(20000))
+		if r.Intn(100) == 0 {
+			v = int64(100000 + r.Intn(900000))
+		}
+		if err := rel.AppendValues(condition.Int(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := CollectStats(rel)
+	atom := &condition.Atomic{Attr: "price", Op: condition.OpLe, Val: condition.Int(21000)}
+	exact, err := rel.Count(atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFrac := float64(exact) / float64(rel.Len())
+	histFrac := st.Selectivity(atom)
+	if math.Abs(histFrac-exactFrac) > 0.05 {
+		t.Errorf("histogram estimate %v too far from exact %v", histFrac, exactFrac)
+	}
+	// The uniform min/max interpolation would be wildly off (≈2%
+	// instead of ≈99%); assert the histogram is much closer.
+	cs := st.Columns["price"]
+	uniform := (21000 - cs.Min) / (cs.Max - cs.Min)
+	if math.Abs(uniform-exactFrac) < math.Abs(histFrac-exactFrac) {
+		t.Errorf("uniform (%v) should not beat histogram (%v) on skew (exact %v)", uniform, histFrac, exactFrac)
+	}
+}
+
+func TestHistogramOperatorsConsistent(t *testing.T) {
+	vals := []float64{1, 2, 2, 2, 3, 4, 5, 6, 7, 8}
+	h := buildHistogram(vals, 5)
+	for _, x := range []float64{0, 1, 2, 4.5, 8, 9} {
+		le := h.FractionBelow(x)
+		lt := h.FractionStrictlyBelow(x)
+		if lt > le {
+			t.Errorf("x=%v: strict (%v) > inclusive (%v)", x, lt, le)
+		}
+		if le < 0 || le > 1 || lt < 0 {
+			t.Errorf("x=%v: fractions out of range: %v %v", x, lt, le)
+		}
+	}
+}
+
+func TestStatsSerializeWithHistogram(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Kind: condition.KindInt},
+		Column{Name: "s", Kind: condition.KindString},
+	)
+	rel := New(s)
+	for i := 0; i < 50; i++ {
+		if err := rel.AppendValues(condition.Int(int64(i)), condition.String("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := CollectStats(rel)
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("stats with histogram must serialize: %v", err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Columns["n"].Hist == nil {
+		t.Error("histogram lost in serialization")
+	}
+	if back.Columns["s"].Hist != nil {
+		t.Error("string column should have no histogram")
+	}
+	// Selectivity works identically after the round trip.
+	atom := &condition.Atomic{Attr: "n", Op: condition.OpLt, Val: condition.Int(25)}
+	if a, b := st.Selectivity(atom), back.Selectivity(atom); math.Abs(a-b) > 1e-9 {
+		t.Errorf("selectivity changed across serialization: %v vs %v", a, b)
+	}
+}

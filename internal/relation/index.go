@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+)
+
+// Hash indexes accelerate the equality probes that dominate this system's
+// workloads: every capability-sensitive plan bottoms out in source queries
+// like (make = "BMW" ^ ...), and simulated sources evaluate them against
+// in-memory relations. An index maps a column's value keys to tuple
+// positions; Select uses one when the condition is — or conjunctively
+// contains — an equality on an indexed column, then evaluates the full
+// condition only on the candidate rows.
+
+// index maps value keys to tuple positions for one column.
+type index struct {
+	col   int
+	byVal map[string][]int
+}
+
+// BuildIndex builds (or rebuilds) a hash index on the named column. The
+// index is maintained by Append/AppendValues and dropped by Sort (which
+// permutes positions) and Clone (which must not share position lists with
+// a divergent copy).
+func (r *Relation) BuildIndex(attr string) error {
+	col, ok := r.schema.Index(attr)
+	if !ok {
+		return fmt.Errorf("relation: cannot index unknown column %q", attr)
+	}
+	idx := &index{col: col, byVal: make(map[string][]int, len(r.tuples))}
+	for i, t := range r.tuples {
+		k := valueIndexKey(t.vals[col])
+		idx.byVal[k] = append(idx.byVal[k], i)
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]*index)
+	}
+	r.indexes[attr] = idx
+	return nil
+}
+
+// Indexed reports whether the named column has a hash index.
+func (r *Relation) Indexed(attr string) bool {
+	_, ok := r.indexes[attr]
+	return ok
+}
+
+// dropIndexes discards all indexes (used by operations that permute or
+// fork tuple storage).
+func (r *Relation) dropIndexes() { r.indexes = nil }
+
+// indexInsert maintains indexes for one appended tuple at position i.
+func (r *Relation) indexInsert(i int) {
+	for _, idx := range r.indexes {
+		k := valueIndexKey(r.tuples[i].vals[idx.col])
+		idx.byVal[k] = append(idx.byVal[k], i)
+	}
+}
+
+func valueIndexKey(v condition.Value) string {
+	return fmt.Sprintf("%d\x00%s", int(v.Kind), v.Text())
+}
+
+// indexProbe finds an equality atom over an indexed column in the
+// condition (the condition itself, or a direct conjunct of a top-level
+// AND) and returns the candidate tuple positions. The caller still
+// evaluates the full condition on the candidates. ok is false when no
+// index applies.
+func (r *Relation) indexProbe(cond condition.Node) (candidates []int, ok bool) {
+	if len(r.indexes) == 0 {
+		return nil, false
+	}
+	try := func(n condition.Node) ([]int, bool) {
+		a, isAtom := n.(*condition.Atomic)
+		if !isAtom || a.Op != condition.OpEq {
+			return nil, false
+		}
+		idx, has := r.indexes[a.Attr]
+		if !has {
+			return nil, false
+		}
+		return idx.byVal[valueIndexKey(a.Val)], true
+	}
+	if c, hit := try(cond); hit {
+		return c, true
+	}
+	if and, isAnd := cond.(*condition.And); isAnd {
+		// Use the most selective applicable conjunct.
+		best := -1
+		var bestList []int
+		for _, k := range and.Kids {
+			if c, hit := try(k); hit {
+				if best < 0 || len(c) < best {
+					best = len(c)
+					bestList = c
+				}
+			}
+		}
+		if best >= 0 {
+			return bestList, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func indexedFixture(t *testing.T, rows int) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Column{Name: "id", Kind: condition.KindInt},
+		Column{Name: "grp", Kind: condition.KindString},
+		Column{Name: "val", Kind: condition.KindInt},
+	)
+	r := New(s)
+	for i := 0; i < rows; i++ {
+		if err := r.AppendValues(
+			condition.Int(int64(i)),
+			condition.String(fmt.Sprintf("g%d", i%17)),
+			condition.Int(int64(i%100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.BuildIndex("grp"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIndexedSelectMatchesScan(t *testing.T) {
+	r := indexedFixture(t, 5000)
+	conds := []string{
+		`grp = "g3"`,
+		`grp = "g3" ^ val < 50`,
+		`grp = "nope"`,
+		`val < 10`,                // no applicable index: falls back to scan
+		`grp = "g1" _ grp = "g2"`, // OR: no index path
+	}
+	for _, cs := range conds {
+		cond := condition.MustParse(cs)
+		got, err := r.Select(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: a clone without indexes.
+		ref := r.Clone()
+		want, err := ref.Select(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: indexed select %d rows, scan %d rows", cs, got.Len(), want.Len())
+		}
+		n, err := r.Count(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want.Len() {
+			t.Errorf("%s: indexed count %d, want %d", cs, n, want.Len())
+		}
+	}
+}
+
+func TestIndexMaintainedOnAppend(t *testing.T) {
+	r := indexedFixture(t, 100)
+	if err := r.AppendValues(condition.Int(9999), condition.String("g3"), condition.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Count(condition.MustParse(`grp = "g3" ^ id = 9999`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("appended row invisible through index: %d", got)
+	}
+}
+
+func TestIndexDroppedOnSort(t *testing.T) {
+	r := indexedFixture(t, 100)
+	if !r.Indexed("grp") {
+		t.Fatal("index missing")
+	}
+	r.Sort("val")
+	if r.Indexed("grp") {
+		t.Error("Sort must drop positional indexes")
+	}
+	// Queries still work (scan path).
+	n, err := r.Count(condition.MustParse(`grp = "g3"`))
+	if err != nil || n == 0 {
+		t.Errorf("post-sort scan: %d, %v", n, err)
+	}
+}
+
+func TestIndexCloneIndependence(t *testing.T) {
+	r := indexedFixture(t, 100)
+	c := r.Clone()
+	if c.Indexed("grp") {
+		t.Error("clone must not inherit indexes")
+	}
+	if err := c.AppendValues(condition.Int(1000), condition.String("g3"), condition.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Original is unaffected.
+	n, _ := r.Count(condition.MustParse(`id = 1000`))
+	if n != 0 {
+		t.Error("clone append leaked into original")
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	r := indexedFixture(t, 10)
+	if err := r.BuildIndex("ghost"); err == nil {
+		t.Error("indexing unknown column should fail")
+	}
+}
+
+func TestIndexPicksMostSelectiveConjunct(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "a", Kind: condition.KindString},
+		Column{Name: "b", Kind: condition.KindString},
+	)
+	r := New(s)
+	for i := 0; i < 1000; i++ {
+		bv := "common"
+		if i == 500 {
+			bv = "rare"
+		}
+		if err := r.AppendValues(condition.String(fmt.Sprintf("a%d", i%2)), condition.String(bv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.BuildIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex("b"); err != nil {
+		t.Fatal(err)
+	}
+	cands, ok := r.indexProbe(condition.MustParse(`a = "a0" ^ b = "rare"`))
+	if !ok {
+		t.Fatal("probe should apply")
+	}
+	if len(cands) != 1 {
+		t.Errorf("probe should pick the rare index list, got %d candidates", len(cands))
+	}
+}
+
+// Property: for random conditions, indexed and non-indexed relations give
+// identical results.
+func TestIndexEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	indexed := indexedFixture(t, 800)
+	plain := indexed.Clone() // no indexes
+	groups := []string{"g0", "g1", "g2", "g3", "nope"}
+	for trial := 0; trial < 100; trial++ {
+		g1, g2 := groups[r.Intn(len(groups))], groups[r.Intn(len(groups))]
+		v := r.Intn(120)
+		cond := condition.MustParse(fmt.Sprintf(
+			`(grp = "%s" ^ val < %d) _ (grp = "%s" ^ val >= %d)`, g1, v, g2, v))
+		a, err := indexed.Select(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.Select(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("divergence on %s: %d vs %d", cond.Key(), a.Len(), b.Len())
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/condition"
+)
+
+// Relation is an in-memory relation: a schema plus a sequence of tuples.
+// Relations are treated with multiset semantics until Distinct is applied;
+// mediator post-processing (union, intersect) uses set semantics, matching
+// the paper's footnote that the mediator performs duplicate elimination as
+// needed.
+type Relation struct {
+	schema  *Schema
+	tuples  []Tuple
+	indexes map[string]*index
+}
+
+// New builds an empty relation over the schema.
+func New(s *Schema) *Relation { return &Relation{schema: s} }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice. It must not be modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds tuples to the relation. Each tuple must be bound to the
+// relation's schema.
+func (r *Relation) Append(ts ...Tuple) error {
+	for _, t := range ts {
+		if t.schema != r.schema && !t.schema.Equal(r.schema) {
+			return fmt.Errorf("relation: tuple schema %v does not match relation schema %v", t.schema, r.schema)
+		}
+		r.tuples = append(r.tuples, t)
+		r.indexInsert(len(r.tuples) - 1)
+	}
+	return nil
+}
+
+// AppendValues adds one row given as raw values.
+func (r *Relation) AppendValues(vals ...condition.Value) error {
+	t, err := NewTuple(r.schema, vals...)
+	if err != nil {
+		return err
+	}
+	r.tuples = append(r.tuples, t)
+	r.indexInsert(len(r.tuples) - 1)
+	return nil
+}
+
+// Select returns the tuples satisfying the condition. Evaluation errors
+// (unknown attributes, type mismatches) abort the scan.
+func (r *Relation) Select(cond condition.Node) (*Relation, error) {
+	out := New(r.schema)
+	if candidates, hit := r.indexProbe(cond); hit {
+		for _, i := range candidates {
+			t := r.tuples[i]
+			ok, err := cond.Eval(t)
+			if err != nil {
+				return nil, fmt.Errorf("relation: select: %w", err)
+			}
+			if ok {
+				out.tuples = append(out.tuples, t)
+			}
+		}
+		return out, nil
+	}
+	for _, t := range r.tuples {
+		ok, err := cond.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("relation: select: %w", err)
+		}
+		if ok {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of tuples satisfying the condition, without
+// materializing them.
+func (r *Relation) Count(cond condition.Node) (int, error) {
+	n := 0
+	if candidates, hit := r.indexProbe(cond); hit {
+		for _, i := range candidates {
+			ok, err := cond.Eval(r.tuples[i])
+			if err != nil {
+				return 0, fmt.Errorf("relation: count: %w", err)
+			}
+			if ok {
+				n++
+			}
+		}
+		return n, nil
+	}
+	for _, t := range r.tuples {
+		ok, err := cond.Eval(t)
+		if err != nil {
+			return 0, fmt.Errorf("relation: count: %w", err)
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Project returns the relation restricted to the named attributes, in the
+// given order, with duplicates removed (projection in the paper's SP
+// queries is set-valued).
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	ps, err := r.schema.Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("relation: project: %w", err)
+	}
+	out := New(ps)
+	seen := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		pt := t.project(ps)
+		k := pt.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.tuples = append(out.tuples, pt)
+	}
+	return out, nil
+}
+
+// Distinct returns the relation with duplicate tuples removed.
+func (r *Relation) Distinct() *Relation {
+	out := New(r.schema)
+	seen := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.tuples = append(out.tuples, t)
+	}
+	return out
+}
+
+// Union returns the set union of r and o; schemas must match by column
+// name and kind.
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	if !r.schema.Equal(o.schema) {
+		return nil, fmt.Errorf("relation: union schema mismatch: %v vs %v", r.schema, o.schema)
+	}
+	out := New(r.schema)
+	seen := make(map[string]bool, len(r.tuples)+len(o.tuples))
+	for _, src := range []*Relation{r, o} {
+		for _, t := range src.tuples {
+			rt := t
+			if src.schema != r.schema {
+				rt = Tuple{schema: r.schema, vals: t.vals}
+			}
+			k := rt.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.tuples = append(out.tuples, rt)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns the set intersection of r and o; schemas must match.
+func (r *Relation) Intersect(o *Relation) (*Relation, error) {
+	if !r.schema.Equal(o.schema) {
+		return nil, fmt.Errorf("relation: intersect schema mismatch: %v vs %v", r.schema, o.schema)
+	}
+	right := make(map[string]bool, len(o.tuples))
+	for _, t := range o.tuples {
+		right[t.Key()] = true
+	}
+	out := New(r.schema)
+	seen := make(map[string]bool)
+	for _, t := range r.tuples {
+		k := t.Key()
+		if right[k] && !seen[k] {
+			seen[k] = true
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Sort orders tuples lexicographically by the named attributes (all
+// attributes when none are given); it returns the relation for chaining.
+func (r *Relation) Sort(attrs ...string) *Relation {
+	idx := make([]int, 0, len(attrs))
+	if len(attrs) == 0 {
+		for i := 0; i < r.schema.Len(); i++ {
+			idx = append(idx, i)
+		}
+	} else {
+		for _, a := range attrs {
+			if i, ok := r.schema.Index(a); ok {
+				idx = append(idx, i)
+			}
+		}
+	}
+	r.dropIndexes() // positions change
+	sort.SliceStable(r.tuples, func(i, j int) bool {
+		ti, tj := r.tuples[i], r.tuples[j]
+		for _, k := range idx {
+			if ti.vals[k].Less(tj.vals[k]) {
+				return true
+			}
+			if tj.vals[k].Less(ti.vals[k]) {
+				return false
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// Equal reports whether two relations contain the same tuple set
+// (duplicates and order ignored).
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) {
+		return false
+	}
+	a := make(map[string]bool)
+	for _, t := range r.tuples {
+		a[t.Key()] = true
+	}
+	b := make(map[string]bool)
+	for _, t := range o.tuples {
+		b[t.Key()] = true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a shallow copy of the relation (tuples are immutable, so
+// sharing them is safe). Indexes are not carried over — the copy may
+// diverge; rebuild with BuildIndex as needed.
+func (r *Relation) Clone() *Relation {
+	return &Relation{schema: r.schema, tuples: append([]Tuple(nil), r.tuples...)}
+}

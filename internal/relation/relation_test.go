@@ -1,0 +1,300 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func carSchema() *Schema {
+	return MustSchema(
+		Column{"make", condition.KindString},
+		Column{"model", condition.KindString},
+		Column{"year", condition.KindInt},
+		Column{"color", condition.KindString},
+		Column{"price", condition.KindInt},
+	)
+}
+
+func carRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New(carSchema())
+	rows := [][]condition.Value{
+		{condition.String("BMW"), condition.String("328i"), condition.Int(1998), condition.String("red"), condition.Int(35000)},
+		{condition.String("BMW"), condition.String("528i"), condition.Int(1997), condition.String("black"), condition.Int(45000)},
+		{condition.String("Toyota"), condition.String("Camry"), condition.Int(1998), condition.String("red"), condition.Int(19000)},
+		{condition.String("Toyota"), condition.String("Corolla"), condition.Int(1996), condition.String("blue"), condition.Int(14000)},
+		{condition.String("Honda"), condition.String("Accord"), condition.Int(1998), condition.String("black"), condition.Int(18000)},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := carSchema()
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("price"); !ok || i != 4 {
+		t.Errorf("Index(price) = %d,%v", i, ok)
+	}
+	if s.Has("vin") {
+		t.Error("Has(vin) should be false")
+	}
+	if !s.HasAll([]string{"make", "model"}) {
+		t.Error("HasAll(make,model) should be true")
+	}
+	if s.HasAll([]string{"make", "vin"}) {
+		t.Error("HasAll with unknown column should be false")
+	}
+}
+
+func TestSchemaDuplicateRejected(t *testing.T) {
+	_, err := NewSchema(Column{"a", condition.KindInt}, Column{"a", condition.KindString})
+	if err == nil {
+		t.Error("duplicate column should fail")
+	}
+	_, err = NewSchema(Column{"", condition.KindInt})
+	if err == nil {
+		t.Error("empty column name should fail")
+	}
+}
+
+func TestSchemaProjectOrder(t *testing.T) {
+	s := carSchema()
+	p, err := s.Project([]string{"price", "make"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Names(); got[0] != "price" || got[1] != "make" {
+		t.Errorf("projected names = %v", got)
+	}
+	if _, err := s.Project([]string{"vin"}); err == nil {
+		t.Error("projecting unknown column should fail")
+	}
+}
+
+func TestTupleLookup(t *testing.T) {
+	r := carRelation(t)
+	tup := r.Tuples()[0]
+	v, ok := tup.Lookup("make")
+	if !ok || v.S != "BMW" {
+		t.Errorf("Lookup(make) = %v,%v", v, ok)
+	}
+	if _, ok := tup.Lookup("vin"); ok {
+		t.Error("Lookup(vin) should be false")
+	}
+}
+
+func TestTupleArityChecked(t *testing.T) {
+	if _, err := NewTuple(carSchema(), condition.Int(1)); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := carRelation(t)
+	out, err := r.Select(condition.MustParse(`make = "BMW" ^ price < 40000`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", out.Len())
+	}
+	if v, _ := out.Tuples()[0].Lookup("model"); v.S != "328i" {
+		t.Errorf("model = %v", v)
+	}
+}
+
+func TestSelectError(t *testing.T) {
+	r := carRelation(t)
+	if _, err := r.Select(condition.MustParse(`vin = 1`)); err == nil {
+		t.Error("select on unknown attribute should fail")
+	}
+}
+
+func TestCountMatchesSelect(t *testing.T) {
+	r := carRelation(t)
+	cond := condition.MustParse(`year = 1998`)
+	sel, err := r.Select(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Count(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sel.Len() || n != 3 {
+		t.Errorf("Count = %d, Select len = %d, want 3", n, sel.Len())
+	}
+}
+
+func TestProjectDedups(t *testing.T) {
+	r := carRelation(t)
+	out, err := r.Project([]string{"make"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("distinct makes = %d, want 3", out.Len())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := carRelation(t)
+	dup := r.Tuples()[0]
+	if err := r.Append(dup); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if d := r.Distinct(); d.Len() != 5 {
+		t.Errorf("Distinct len = %d, want 5", d.Len())
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	r := carRelation(t)
+	bmw, _ := r.Select(condition.MustParse(`make = "BMW"`))
+	y98, _ := r.Select(condition.MustParse(`year = 1998`))
+
+	u, err := bmw.Union(y98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 { // 2 BMWs + Camry + Accord (328i is in both)
+		t.Errorf("union len = %d, want 4", u.Len())
+	}
+
+	i, err := bmw.Intersect(y98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Len() != 1 {
+		t.Errorf("intersect len = %d, want 1", i.Len())
+	}
+	if v, _ := i.Tuples()[0].Lookup("model"); v.S != "328i" {
+		t.Errorf("intersect model = %v", v)
+	}
+}
+
+func TestUnionSchemaMismatch(t *testing.T) {
+	r := carRelation(t)
+	p, _ := r.Project([]string{"make"})
+	if _, err := r.Union(p); err == nil {
+		t.Error("union with mismatched schema should fail")
+	}
+	if _, err := r.Intersect(p); err == nil {
+		t.Error("intersect with mismatched schema should fail")
+	}
+}
+
+// Set-algebra identity: select(C1) ∩ select(C2) == select(C1 ^ C2) over
+// full tuples (the identity the paper's intersect plans rely on).
+func TestIntersectEqualsConjunction(t *testing.T) {
+	r := carRelation(t)
+	c1 := condition.MustParse(`year = 1998`)
+	c2 := condition.MustParse(`color = "red"`)
+	s1, _ := r.Select(c1)
+	s2, _ := r.Select(c2)
+	both, err := s1.Intersect(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := r.Select(condition.NewAnd(c1, c2))
+	if !both.Equal(direct) {
+		t.Error("intersection does not match conjunction on full tuples")
+	}
+}
+
+// And the union identity for disjunction.
+func TestUnionEqualsDisjunction(t *testing.T) {
+	r := carRelation(t)
+	c1 := condition.MustParse(`make = "BMW"`)
+	c2 := condition.MustParse(`make = "Toyota"`)
+	s1, _ := r.Select(c1)
+	s2, _ := r.Select(c2)
+	u, err := s1.Union(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := r.Select(condition.NewOr(c1, c2))
+	if !u.Equal(direct) {
+		t.Error("union does not match disjunction")
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	r := carRelation(t)
+	r.Sort("price")
+	prices := make([]int64, 0, r.Len())
+	for _, tup := range r.Tuples() {
+		v, _ := tup.Lookup("price")
+		prices = append(prices, v.I)
+	}
+	for i := 1; i < len(prices); i++ {
+		if prices[i-1] > prices[i] {
+			t.Fatalf("not sorted: %v", prices)
+		}
+	}
+}
+
+func TestEqualIgnoresOrderAndDuplicates(t *testing.T) {
+	a := carRelation(t)
+	b := carRelation(t)
+	b.Sort("price")
+	if err := b.Append(b.Tuples()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("Equal should ignore order and duplicates")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := carRelation(t)
+	b := a.Clone()
+	if err := b.AppendValues(
+		condition.String("Audi"), condition.String("A4"), condition.Int(1999),
+		condition.String("silver"), condition.Int(30000)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == b.Len() {
+		t.Error("clone shares tuple storage growth")
+	}
+}
+
+func TestAppendSchemaChecked(t *testing.T) {
+	r := carRelation(t)
+	other := New(MustSchema(Column{"x", condition.KindInt}))
+	if err := other.AppendValues(condition.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(other.Tuples()[0]); err == nil {
+		t.Error("appending tuple with foreign schema should fail")
+	}
+}
+
+func TestLargeScanPerformanceShape(t *testing.T) {
+	// Smoke test: 10k tuples select should be well under a second.
+	s := MustSchema(Column{"id", condition.KindInt}, Column{"grp", condition.KindString})
+	r := New(s)
+	for i := 0; i < 10000; i++ {
+		if err := r.AppendValues(condition.Int(int64(i)), condition.String(fmt.Sprintf("g%d", i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := r.Select(condition.MustParse(`grp = "g3" ^ id < 100`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 14 { // ids 3, 10, ..., 94
+		t.Errorf("len = %d, want 14", out.Len())
+	}
+}

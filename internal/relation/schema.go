@@ -1,0 +1,196 @@
+// Package relation provides the in-memory relational substrate that
+// simulated Internet sources and the mediator's post-processing operate on:
+// typed schemas, tuples, relations and the select / project / union /
+// intersect operators mediators apply to source-query results.
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind condition.Kind
+}
+
+// Schema is an ordered list of named, typed attributes.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate names are an error.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: empty column name at position %d", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// HasAll reports whether the schema contains every one of the names.
+func (s *Schema) HasAll(names []string) bool {
+	for _, n := range names {
+		if !s.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a schema restricted to the given names, in the given
+// order.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("relation: unknown column %q", n)
+		}
+		cols = append(cols, s.cols[i])
+	}
+	return NewSchema(cols...)
+}
+
+// Equal reports whether two schemas have the same columns in the same
+// order with the same kinds.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as name:kind pairs.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is a row whose values are positionally aligned with a schema.
+type Tuple struct {
+	schema *Schema
+	vals   []condition.Value
+}
+
+// NewTuple builds a tuple over the schema. The value count must match the
+// schema width.
+func NewTuple(s *Schema, vals ...condition.Value) (Tuple, error) {
+	if len(vals) != s.Len() {
+		return Tuple{}, fmt.Errorf("relation: tuple has %d values, schema has %d columns", len(vals), s.Len())
+	}
+	return Tuple{schema: s, vals: append([]condition.Value(nil), vals...)}, nil
+}
+
+// MustTuple is NewTuple that panics on error.
+func MustTuple(s *Schema, vals ...condition.Value) Tuple {
+	t, err := NewTuple(s, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the tuple's schema.
+func (t Tuple) Schema() *Schema { return t.schema }
+
+// Values returns the tuple's values in schema order. The slice must not be
+// modified.
+func (t Tuple) Values() []condition.Value { return t.vals }
+
+// Lookup implements condition.Binder.
+func (t Tuple) Lookup(attr string) (condition.Value, bool) {
+	i, ok := t.schema.Index(attr)
+	if !ok {
+		return condition.Value{}, false
+	}
+	return t.vals[i], true
+}
+
+// Key returns a canonical encoding of the tuple's values, suitable for set
+// semantics (two tuples over the same schema with equal values share a
+// key).
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	for i, v := range t.vals {
+		if i > 0 {
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteString(fmt.Sprintf("%d:%s", int(v.Kind), v.Text()))
+	}
+	return sb.String()
+}
+
+// String renders the tuple.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.vals))
+	for i, v := range t.vals {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// project returns a new tuple with only the named columns, bound to the
+// provided projected schema.
+func (t Tuple) project(ps *Schema) Tuple {
+	vals := make([]condition.Value, ps.Len())
+	for i, c := range ps.cols {
+		j, _ := t.schema.Index(c.Name)
+		vals[i] = t.vals[j]
+	}
+	return Tuple{schema: ps, vals: vals}
+}

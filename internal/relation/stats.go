@@ -1,0 +1,200 @@
+package relation
+
+import (
+	"math"
+
+	"repro/internal/condition"
+)
+
+// ColumnStats summarizes one attribute's value distribution, enough for
+// the independence-based selectivity estimates the cost model uses.
+type ColumnStats struct {
+	Name     string
+	Kind     condition.Kind
+	Count    int     // non-missing values (== tuple count here)
+	Distinct int     // number of distinct values
+	Min, Max float64 // numeric columns only
+	Numeric  bool
+	// Hist is an equi-depth histogram for numeric columns, used for
+	// range selectivities; nil when the column is not numeric.
+	Hist *Histogram
+	// Frequent maps the value's canonical text to its frequency for the
+	// most common values (capped), giving exact selectivities for
+	// equality on hot values such as make="Toyota".
+	Frequent map[string]int
+}
+
+// maxFrequentEntries caps the per-column frequency map so that statistics
+// stay small even for wide text columns like book titles.
+const maxFrequentEntries = 256
+
+// Stats holds per-column statistics of a relation.
+type Stats struct {
+	Tuples  int
+	Columns map[string]*ColumnStats
+}
+
+// CollectStats scans the relation once and builds statistics.
+func CollectStats(r *Relation) *Stats {
+	st := &Stats{Tuples: r.Len(), Columns: make(map[string]*ColumnStats, r.Schema().Len())}
+	for _, col := range r.Schema().Columns() {
+		cs := &ColumnStats{
+			Name:     col.Name,
+			Kind:     col.Kind,
+			Numeric:  col.Kind == condition.KindInt || col.Kind == condition.KindFloat,
+			Min:      math.Inf(1),
+			Max:      math.Inf(-1),
+			Frequent: make(map[string]int),
+		}
+		st.Columns[col.Name] = cs
+	}
+	counts := make(map[string]map[string]int, r.Schema().Len())
+	numeric := make(map[string][]float64, r.Schema().Len())
+	for name := range st.Columns {
+		counts[name] = make(map[string]int)
+	}
+	for _, t := range r.Tuples() {
+		for i, col := range r.Schema().Columns() {
+			v := t.Values()[i]
+			cs := st.Columns[col.Name]
+			cs.Count++
+			if cs.Numeric && v.IsNumeric() {
+				f := v.AsFloat()
+				if f < cs.Min {
+					cs.Min = f
+				}
+				if f > cs.Max {
+					cs.Max = f
+				}
+				numeric[col.Name] = append(numeric[col.Name], f)
+			}
+			counts[col.Name][v.Text()]++
+		}
+	}
+	for name, cs := range st.Columns {
+		if vals := numeric[name]; len(vals) > 0 {
+			cs.Hist = buildHistogram(vals, defaultHistogramBuckets)
+		}
+		m := counts[name]
+		if cs.Min > cs.Max {
+			// No numeric data seen; keep the stats JSON-serializable
+			// (infinities are not valid JSON).
+			cs.Min, cs.Max = 0, 0
+		}
+		cs.Distinct = len(m)
+		if len(m) <= maxFrequentEntries {
+			cs.Frequent = m
+		} else {
+			// Keep only values above average frequency; exactness for
+			// hot values is what matters.
+			threshold := cs.Count / len(m)
+			for v, c := range m {
+				if c > threshold && len(cs.Frequent) < maxFrequentEntries {
+					cs.Frequent[v] = c
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Selectivity estimates the fraction of tuples satisfying the atomic
+// condition, in [0,1]. Unknown attributes estimate 0.
+func (st *Stats) Selectivity(a *condition.Atomic) float64 {
+	cs, ok := st.Columns[a.Attr]
+	if !ok || st.Tuples == 0 || cs.Count == 0 {
+		return 0
+	}
+	switch a.Op {
+	case condition.OpEq:
+		if c, hit := cs.Frequent[a.Val.Text()]; hit {
+			return float64(c) / float64(st.Tuples)
+		}
+		if cs.Distinct > 0 {
+			return 1 / float64(cs.Distinct)
+		}
+		return 0
+	case condition.OpNe:
+		eq := st.Selectivity(&condition.Atomic{Attr: a.Attr, Op: condition.OpEq, Val: a.Val})
+		return clamp01(1 - eq)
+	case condition.OpLt, condition.OpLe, condition.OpGt, condition.OpGe:
+		if !cs.Numeric || !a.Val.IsNumeric() {
+			return 1.0 / 3 // textbook fallback for inequality
+		}
+		x := a.Val.AsFloat()
+		if cs.Hist != nil {
+			// Equi-depth histogram: robust to skewed distributions.
+			switch a.Op {
+			case condition.OpLe:
+				return clamp01(cs.Hist.FractionBelow(x))
+			case condition.OpLt:
+				return clamp01(cs.Hist.FractionStrictlyBelow(x))
+			case condition.OpGt:
+				return clamp01(1 - cs.Hist.FractionBelow(x))
+			default: // OpGe
+				return clamp01(1 - cs.Hist.FractionStrictlyBelow(x))
+			}
+		}
+		if cs.Max <= cs.Min {
+			return 1.0 / 3
+		}
+		frac := clamp01((x - cs.Min) / (cs.Max - cs.Min))
+		if a.Op == condition.OpGt || a.Op == condition.OpGe {
+			frac = 1 - frac
+		}
+		return frac
+	case condition.OpContains:
+		// Substring match selectivity decays with pattern length.
+		l := len(a.Val.Text())
+		if l == 0 {
+			return 1
+		}
+		return clamp01(math.Pow(0.5, float64(min(l, 12))/2))
+	case condition.OpNotContains:
+		return clamp01(1 - st.Selectivity(&condition.Atomic{Attr: a.Attr, Op: condition.OpContains, Val: a.Val}))
+	default:
+		return 0.5
+	}
+}
+
+// EstimateFraction estimates the selectivity of an arbitrary condition
+// under attribute independence: AND multiplies, OR adds with overlap
+// correction.
+func (st *Stats) EstimateFraction(n condition.Node) float64 {
+	switch t := n.(type) {
+	case *condition.Truth:
+		return 1
+	case *condition.Atomic:
+		return st.Selectivity(t)
+	case *condition.And:
+		f := 1.0
+		for _, k := range t.Kids {
+			f *= st.EstimateFraction(k)
+		}
+		return f
+	case *condition.Or:
+		f := 0.0
+		for _, k := range t.Kids {
+			kf := st.EstimateFraction(k)
+			f = f + kf - f*kf
+		}
+		return f
+	default:
+		return 0.5
+	}
+}
+
+// EstimateCount estimates the result cardinality of selecting with n.
+func (st *Stats) EstimateCount(n condition.Node) float64 {
+	return st.EstimateFraction(n) * float64(st.Tuples)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,135 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func TestCollectStatsBasics(t *testing.T) {
+	r := carRelation(t)
+	st := CollectStats(r)
+	if st.Tuples != 5 {
+		t.Fatalf("Tuples = %d", st.Tuples)
+	}
+	mk := st.Columns["make"]
+	if mk.Distinct != 3 {
+		t.Errorf("make distinct = %d, want 3", mk.Distinct)
+	}
+	pr := st.Columns["price"]
+	if !pr.Numeric || pr.Min != 14000 || pr.Max != 45000 {
+		t.Errorf("price stats = %+v", pr)
+	}
+}
+
+func TestSelectivityEqualityUsesFrequencies(t *testing.T) {
+	r := carRelation(t)
+	st := CollectStats(r)
+	sel := st.Selectivity(&condition.Atomic{Attr: "make", Op: condition.OpEq, Val: condition.String("BMW")})
+	if math.Abs(sel-0.4) > 1e-9 {
+		t.Errorf("sel(make=BMW) = %v, want 0.4", sel)
+	}
+	selMissing := st.Selectivity(&condition.Atomic{Attr: "make", Op: condition.OpEq, Val: condition.String("Yugo")})
+	if selMissing > 0.4 {
+		t.Errorf("sel of absent value should be small, got %v", selMissing)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	r := carRelation(t)
+	st := CollectStats(r)
+	lo := st.Selectivity(&condition.Atomic{Attr: "price", Op: condition.OpLt, Val: condition.Int(14000)})
+	hi := st.Selectivity(&condition.Atomic{Attr: "price", Op: condition.OpLt, Val: condition.Int(45000)})
+	if lo >= hi {
+		t.Errorf("range selectivity not monotone: %v >= %v", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("selectivities out of range: %v %v", lo, hi)
+	}
+}
+
+func TestSelectivityUnknownAttr(t *testing.T) {
+	st := CollectStats(carRelation(t))
+	if s := st.Selectivity(&condition.Atomic{Attr: "vin", Op: condition.OpEq, Val: condition.Int(1)}); s != 0 {
+		t.Errorf("unknown attr selectivity = %v, want 0", s)
+	}
+}
+
+func TestEstimateFractionComposition(t *testing.T) {
+	st := CollectStats(carRelation(t))
+	and := condition.MustParse(`make = "BMW" ^ color = "red"`)
+	or := condition.MustParse(`make = "BMW" | make = "Toyota"`)
+	fa := st.EstimateFraction(and)
+	fo := st.EstimateFraction(or)
+	if fa <= 0 || fa >= 0.4 {
+		t.Errorf("AND fraction = %v, want within (0, 0.4)", fa)
+	}
+	if fo <= 0.4 || fo > 1 {
+		t.Errorf("OR fraction = %v, want within (0.4, 1]", fo)
+	}
+	if tr := st.EstimateFraction(condition.True()); tr != 1 {
+		t.Errorf("fraction(true) = %v", tr)
+	}
+}
+
+func TestEstimateCountScales(t *testing.T) {
+	st := CollectStats(carRelation(t))
+	if c := st.EstimateCount(condition.True()); c != 5 {
+		t.Errorf("count(true) = %v, want 5", c)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := carRelation(t)
+	var sb strings.Builder
+	if err := WriteTSV(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(back) {
+		t.Error("TSV round trip changed relation")
+	}
+}
+
+func TestTSVEscaping(t *testing.T) {
+	s := MustSchema(Column{"text", condition.KindString})
+	r := New(s)
+	if err := r.AppendValues(condition.String("tab\there\nnewline\\slash")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTSV(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := back.Tuples()[0].Lookup("text")
+	if v.S != "tab\there\nnewline\\slash" {
+		t.Errorf("escaped round trip = %q", v.S)
+	}
+}
+
+func TestTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("a:int\nnotanint\n")); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("a:int\tb:int\n1\n")); err == nil {
+		t.Error("field count mismatch should fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("a:mystery\n")); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("a\n")); err == nil {
+		t.Error("header without kind should fail")
+	}
+}

@@ -1,0 +1,302 @@
+// Package rewrite implements the rewrite modules of §5.1 and §6.1: rule-
+// driven enumeration of condition trees equivalent to a target-query
+// condition. GenModular fires commutative, associative, distributive and
+// copy rules; GenCompact fires only the distributive rule (commutativity
+// is folded into the source description and associativity/copy are
+// subsumed by IPG's subset exploration).
+package rewrite
+
+import (
+	"repro/internal/condition"
+)
+
+// Rules selects which rewrite rules fire.
+type Rules struct {
+	// Commutative reorders the children of a connector node.
+	Commutative bool
+	// Associative regroups children: (a ^ b) ^ c ⇔ a ^ (b ^ c).
+	Associative bool
+	// Distributive expands a ^ (b _ c) ⇔ (a ^ b) _ (a ^ c) and factors
+	// back, in both connector polarities.
+	Distributive bool
+	// Copy duplicates sub-conditions: C ≡ C ^ C and C ≡ C _ C, which
+	// together with the other rules yields overlapping decompositions
+	// like Example 5.1's ((make ^ price) ^ (make ^ color)).
+	Copy bool
+}
+
+// AllRules is GenModular's rule set.
+var AllRules = Rules{Commutative: true, Associative: true, Distributive: true, Copy: true}
+
+// DistributiveOnly is GenCompact's rule set (§6.1).
+var DistributiveOnly = Rules{Distributive: true}
+
+// Config bounds the closure enumeration. Rewrite closures are worst-case
+// enormous; the caps make GenModular usable on small queries while its
+// blowup remains measurable (experiment E4).
+type Config struct {
+	Rules Rules
+	// MaxCTs caps how many distinct CTs the closure returns (0 means
+	// DefaultMaxCTs).
+	MaxCTs int
+	// MaxAtoms caps the size of any generated CT, limiting copy-rule
+	// growth (0 means 2× the input size).
+	MaxAtoms int
+}
+
+// DefaultMaxCTs is the closure size cap when Config.MaxCTs is zero.
+const DefaultMaxCTs = 2000
+
+// Closure returns the set of CTs reachable from root by repeatedly firing
+// the configured rules, starting with root itself, deduplicated by
+// structural key, in BFS order. The result always includes root and is
+// capped by cfg.MaxCTs.
+func Closure(root condition.Node, cfg Config) []condition.Node {
+	maxCTs := cfg.MaxCTs
+	if maxCTs <= 0 {
+		maxCTs = DefaultMaxCTs
+	}
+	maxAtoms := cfg.MaxAtoms
+	if maxAtoms <= 0 {
+		maxAtoms = 2 * condition.Size(root)
+	}
+	seen := map[string]bool{root.Key(): true}
+	queue := []condition.Node{root.Clone()}
+	out := []condition.Node{root.Clone()}
+	for qi := 0; qi < len(queue) && len(out) < maxCTs; qi++ {
+		cur := queue[qi]
+		for _, next := range Neighbors(cur, cfg.Rules) {
+			if condition.Size(next) > maxAtoms {
+				continue
+			}
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, next)
+			queue = append(queue, next)
+			if len(out) >= maxCTs {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns every CT obtainable from n by one application of one
+// enabled rule at one position.
+func Neighbors(n condition.Node, rules Rules) []condition.Node {
+	var locals []func(condition.Node) []condition.Node
+	if rules.Commutative {
+		locals = append(locals, commutativeLocal)
+	}
+	if rules.Associative {
+		locals = append(locals, associativeLocal)
+	}
+	if rules.Distributive {
+		locals = append(locals, distributiveLocal)
+	}
+	if rules.Copy {
+		locals = append(locals, copyLocal)
+	}
+	var out []condition.Node
+	for _, local := range locals {
+		out = append(out, applyEverywhere(n, local)...)
+	}
+	return out
+}
+
+// applyEverywhere applies the local transform at every node position,
+// returning one whole-tree variant per local result.
+func applyEverywhere(n condition.Node, local func(condition.Node) []condition.Node) []condition.Node {
+	var out []condition.Node
+	out = append(out, local(n)...)
+	switch t := n.(type) {
+	case *condition.And:
+		for i, k := range t.Kids {
+			for _, v := range applyEverywhere(k, local) {
+				kids := cloneKids(t.Kids)
+				kids[i] = v
+				out = append(out, &condition.And{Kids: kids})
+			}
+		}
+	case *condition.Or:
+		for i, k := range t.Kids {
+			for _, v := range applyEverywhere(k, local) {
+				kids := cloneKids(t.Kids)
+				kids[i] = v
+				out = append(out, &condition.Or{Kids: kids})
+			}
+		}
+	}
+	return out
+}
+
+func cloneKids(kids []condition.Node) []condition.Node {
+	out := make([]condition.Node, len(kids))
+	for i, k := range kids {
+		out[i] = k.Clone()
+	}
+	return out
+}
+
+// commutativeLocal yields one variant per transposition of two children.
+func commutativeLocal(n condition.Node) []condition.Node {
+	kids, isAnd, ok := connector(n)
+	if !ok {
+		return nil
+	}
+	var out []condition.Node
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			nk := cloneKids(kids)
+			nk[i], nk[j] = nk[j], nk[i]
+			out = append(out, build(isAnd, nk))
+		}
+	}
+	return out
+}
+
+// associativeLocal yields flattening of one nested same-connector child
+// and grouping of one contiguous child pair.
+func associativeLocal(n condition.Node) []condition.Node {
+	kids, isAnd, ok := connector(n)
+	if !ok {
+		return nil
+	}
+	var out []condition.Node
+	// Flatten one nested same-connector child.
+	for i, k := range kids {
+		inner, innerAnd, isConn := connector(k)
+		if !isConn || innerAnd != isAnd {
+			continue
+		}
+		nk := make([]condition.Node, 0, len(kids)+len(inner)-1)
+		nk = append(nk, cloneKids(kids[:i])...)
+		nk = append(nk, cloneKids(inner)...)
+		nk = append(nk, cloneKids(kids[i+1:])...)
+		out = append(out, build(isAnd, nk))
+	}
+	// Group one contiguous pair.
+	if len(kids) >= 3 {
+		for i := 0; i+1 < len(kids); i++ {
+			nk := make([]condition.Node, 0, len(kids)-1)
+			nk = append(nk, cloneKids(kids[:i])...)
+			nk = append(nk, build(isAnd, cloneKids(kids[i:i+2])))
+			nk = append(nk, cloneKids(kids[i+2:])...)
+			out = append(out, build(isAnd, nk))
+		}
+	}
+	return out
+}
+
+// distributiveLocal yields expansions of one opposite-connector child and
+// factorings of one shared sub-condition.
+func distributiveLocal(n condition.Node) []condition.Node {
+	kids, isAnd, ok := connector(n)
+	if !ok {
+		return nil
+	}
+	var out []condition.Node
+	// Expansion: distribute the other children over one opposite-
+	// connector child. a ^ (b _ c) -> (a ^ b) _ (a ^ c), and dually.
+	for i, k := range kids {
+		inner, innerAnd, isConn := connector(k)
+		if !isConn || innerAnd == isAnd {
+			continue
+		}
+		rest := make([]condition.Node, 0, len(kids)-1)
+		rest = append(rest, kids[:i]...)
+		rest = append(rest, kids[i+1:]...)
+		terms := make([]condition.Node, len(inner))
+		for j, ij := range inner {
+			tk := append(cloneKids(rest), ij.Clone())
+			terms[j] = build(isAnd, tk)
+		}
+		out = append(out, build(!isAnd, terms))
+	}
+	// Factoring: two opposite-connector children sharing a sub-condition.
+	// (a ^ b) _ (a ^ c) -> a ^ (b _ c), and dually.
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			fi, fiAnd, oki := connector(kids[i])
+			fj, fjAnd, okj := connector(kids[j])
+			if !oki || !okj || fiAnd == isAnd || fjAnd == isAnd || fiAnd != fjAnd {
+				continue
+			}
+			for ci, c := range fi {
+				for cj, d := range fj {
+					if c.Key() != d.Key() {
+						continue
+					}
+					restI := dropAt(fi, ci)
+					restJ := dropAt(fj, cj)
+					factored := build(fiAnd, []condition.Node{
+						c.Clone(),
+						build(isAnd, []condition.Node{collapse(fiAnd, restI), collapse(fjAnd, restJ)}),
+					})
+					nk := make([]condition.Node, 0, len(kids)-1)
+					nk = append(nk, cloneKids(kids[:i])...)
+					nk = append(nk, factored)
+					nk = append(nk, cloneKids(kids[i+1:j])...)
+					nk = append(nk, cloneKids(kids[j+1:])...)
+					out = append(out, collapse(isAnd, nk))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// copyLocal yields C ^ C and C _ C for the node, plus duplication of one
+// child within a connector.
+func copyLocal(n condition.Node) []condition.Node {
+	out := []condition.Node{
+		&condition.And{Kids: []condition.Node{n.Clone(), n.Clone()}},
+		&condition.Or{Kids: []condition.Node{n.Clone(), n.Clone()}},
+	}
+	if kids, isAnd, ok := connector(n); ok {
+		for i := range kids {
+			nk := append(cloneKids(kids), kids[i].Clone())
+			out = append(out, build(isAnd, nk))
+		}
+	}
+	return out
+}
+
+func connector(n condition.Node) (kids []condition.Node, isAnd, ok bool) {
+	switch t := n.(type) {
+	case *condition.And:
+		return t.Kids, true, true
+	case *condition.Or:
+		return t.Kids, false, true
+	default:
+		return nil, false, false
+	}
+}
+
+func build(isAnd bool, kids []condition.Node) condition.Node {
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	if isAnd {
+		return &condition.And{Kids: kids}
+	}
+	return &condition.Or{Kids: kids}
+}
+
+// collapse builds a connector but collapses a single child, cloning kids.
+func collapse(isAnd bool, kids []condition.Node) condition.Node {
+	if len(kids) == 1 {
+		return kids[0].Clone()
+	}
+	return build(isAnd, cloneKids(kids))
+}
+
+func dropAt(kids []condition.Node, i int) []condition.Node {
+	out := make([]condition.Node, 0, len(kids)-1)
+	out = append(out, kids[:i]...)
+	out = append(out, kids[i+1:]...)
+	return out
+}

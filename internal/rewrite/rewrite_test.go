@@ -1,0 +1,174 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func keys(ns []condition.Node) map[string]bool {
+	m := make(map[string]bool, len(ns))
+	for _, n := range ns {
+		m[n.Key()] = true
+	}
+	return m
+}
+
+func TestCommutativeNeighbors(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ b = 2`)
+	got := keys(Neighbors(n, Rules{Commutative: true}))
+	if !got[condition.MustParse(`b = 2 ^ a = 1`).Key()] {
+		t.Errorf("missing swapped variant, got %v", got)
+	}
+}
+
+func TestAssociativeNeighbors(t *testing.T) {
+	flat := condition.MustParse(`a = 1 ^ b = 2 ^ c = 3`)
+	got := keys(Neighbors(flat, Rules{Associative: true}))
+	if !got[condition.MustParse(`(a = 1 ^ b = 2) ^ c = 3`).Key()] {
+		t.Errorf("missing left grouping, got %v", got)
+	}
+	if !got[condition.MustParse(`a = 1 ^ (b = 2 ^ c = 3)`).Key()] {
+		t.Errorf("missing right grouping, got %v", got)
+	}
+	// Flattening is the inverse.
+	nested := condition.MustParse(`(a = 1 ^ b = 2) ^ c = 3`)
+	got2 := keys(Neighbors(nested, Rules{Associative: true}))
+	if !got2[flat.Key()] {
+		t.Errorf("missing flattened variant, got %v", got2)
+	}
+}
+
+func TestDistributiveExpansion(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ (b = 2 _ c = 3)`)
+	got := keys(Neighbors(n, DistributiveOnly))
+	want := condition.MustParse(`(a = 1 ^ b = 2) _ (a = 1 ^ c = 3)`)
+	if !got[want.Key()] {
+		t.Errorf("missing expansion %s, got %v", want.Key(), got)
+	}
+}
+
+func TestDistributiveFactoring(t *testing.T) {
+	n := condition.MustParse(`(a = 1 ^ b = 2) _ (a = 1 ^ c = 3)`)
+	got := keys(Neighbors(n, DistributiveOnly))
+	want := condition.MustParse(`a = 1 ^ (b = 2 _ c = 3)`)
+	if !got[want.Key()] {
+		t.Errorf("missing factoring %s, got %v", want.Key(), got)
+	}
+}
+
+func TestDistributiveDualPolarity(t *testing.T) {
+	n := condition.MustParse(`a = 1 _ (b = 2 ^ c = 3)`)
+	got := keys(Neighbors(n, DistributiveOnly))
+	want := condition.MustParse(`(a = 1 _ b = 2) ^ (a = 1 _ c = 3)`)
+	if !got[want.Key()] {
+		t.Errorf("missing dual expansion, got %v", got)
+	}
+}
+
+func TestCopyNeighbors(t *testing.T) {
+	n := condition.MustParse(`a = 1`)
+	got := keys(Neighbors(n, Rules{Copy: true}))
+	if !got[condition.MustParse(`a = 1 ^ a = 1`).Key()] || !got[condition.MustParse(`a = 1 _ a = 1`).Key()] {
+		t.Errorf("missing copy variants, got %v", got)
+	}
+}
+
+// The paper's Example 5.1 derivation: from (make ^ price ^ color), the
+// rewrite module reaches ((make ^ price) ^ (make ^ color)).
+func TestExample51Derivable(t *testing.T) {
+	src := condition.MustParse(`make = "BMW" ^ price < 40000 ^ color = "red"`)
+	target := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (make = "BMW" ^ color = "red")`)
+	// The exhaustive closure needs a deep frontier to reach the 4-step
+	// derivation (copy, commute, group, group) — itself evidence of why
+	// GenModular is impractical (§6).
+	cts := Closure(src, Config{Rules: AllRules, MaxCTs: 20000, MaxAtoms: 6})
+	if !keys(cts)[target.Key()] {
+		t.Errorf("Example 5.1 CT not reachable within %d CTs", len(cts))
+	}
+}
+
+func TestClosureIncludesRootAndDedups(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ b = 2`)
+	cts := Closure(n, Config{Rules: AllRules, MaxCTs: 50})
+	if cts[0].Key() != n.Key() {
+		t.Error("closure must start with the root")
+	}
+	seen := map[string]bool{}
+	for _, ct := range cts {
+		if seen[ct.Key()] {
+			t.Fatalf("duplicate CT %s", ct.Key())
+		}
+		seen[ct.Key()] = true
+	}
+}
+
+func TestClosureCapRespected(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ b = 2 ^ c = 3 ^ d = 4`)
+	cts := Closure(n, Config{Rules: AllRules, MaxCTs: 25})
+	if len(cts) > 25 {
+		t.Errorf("closure size %d exceeds cap", len(cts))
+	}
+}
+
+func TestClosureGrowsWithRules(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ (b = 2 _ c = 3)`)
+	distOnly := Closure(n, Config{Rules: DistributiveOnly, MaxCTs: 1000})
+	all := Closure(n, Config{Rules: AllRules, MaxCTs: 1000})
+	if len(all) <= len(distOnly) {
+		t.Errorf("all-rules closure (%d) should exceed distributive-only (%d)", len(all), len(distOnly))
+	}
+}
+
+// Property: every CT in the closure is semantically equivalent to the
+// root.
+func TestClosurePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	exprs := []string{
+		`a = 1 ^ (b = 2 _ c = 3)`,
+		`(a = 1 ^ b = 2) _ (a = 1 ^ c = 3)`,
+		`a = 1 _ b = 2 _ (c = 3 ^ d = 4)`,
+		`(a = 1 _ b = 2) ^ (c = 3 _ d = 4)`,
+	}
+	for _, src := range exprs {
+		root := condition.MustParse(src)
+		cts := Closure(root, Config{Rules: AllRules, MaxCTs: 150, MaxAtoms: 10})
+		for trial := 0; trial < 30; trial++ {
+			b := condition.MapBinder{}
+			for _, a := range []string{"a", "b", "c", "d"} {
+				b[a] = condition.Int(int64(r.Intn(4)))
+			}
+			want, err := root.Eval(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ct := range cts {
+				got, err := ct.Eval(b)
+				if err != nil {
+					t.Fatalf("%s: %v", ct.Key(), err)
+				}
+				if got != want {
+					t.Fatalf("closure member changed semantics:\nroot: %s\nct:   %s\nbind: %v", root.Key(), ct.Key(), b)
+				}
+			}
+		}
+	}
+}
+
+// Property: neighbors never mutate their input.
+func TestNeighborsDoNotMutate(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ (b = 2 _ c = 3) ^ d = 4`)
+	before := n.Key()
+	Neighbors(n, AllRules)
+	if n.Key() != before {
+		t.Error("Neighbors mutated input")
+	}
+}
+
+func TestLeafHasNoStructuralNeighbors(t *testing.T) {
+	n := condition.MustParse(`a = 1`)
+	if got := Neighbors(n, Rules{Commutative: true, Associative: true, Distributive: true}); len(got) != 0 {
+		t.Errorf("leaf should have no non-copy neighbors, got %d", len(got))
+	}
+}

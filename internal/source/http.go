@@ -1,0 +1,160 @@
+package source
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// The HTTP transport exposes a source the way the paper's Internet sources
+// are reached: over the network, with the capability description published
+// next to the query endpoint.
+//
+//	GET  /describe            -> SSDL description text
+//	GET  /stats               -> per-attribute statistics (JSON)
+//	POST /query {cond, attrs} -> TSV result, or 422 for unsupported queries
+//
+// Publishing statistics next to the capability description is this
+// repository's stand-in for the per-source cost knowledge the paper's
+// mediator is assumed to have (its k1/k2 "depend on the source").
+
+// queryRequest is the wire format of a source query.
+type queryRequest struct {
+	Cond  string   `json:"cond"`
+	Attrs []string `json:"attrs"`
+}
+
+// Handler serves the source over HTTP.
+type Handler struct {
+	src *Local
+	mux *http.ServeMux
+
+	statsOnce sync.Once
+	stats     *relation.Stats
+}
+
+// NewHandler builds an http.Handler for the source.
+func NewHandler(src *Local) *Handler {
+	h := &Handler{src: src, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /describe", h.describe)
+	h.mux.HandleFunc("GET /stats", h.serveStats)
+	h.mux.HandleFunc("POST /query", h.query)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) describe(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, h.src.Grammar().String())
+}
+
+func (h *Handler) serveStats(w http.ResponseWriter, _ *http.Request) {
+	h.statsOnce.Do(func() { h.stats = relation.CollectStats(h.src.Relation()) })
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h.stats); err != nil {
+		return
+	}
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cond, err := condition.Parse(req.Cond)
+	if err != nil {
+		http.Error(w, "bad condition: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := h.src.Query(cond, req.Attrs)
+	if err != nil {
+		// Unsupported queries are the source refusing, not a transport
+		// error.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if err := relation.WriteTSV(w, res); err != nil {
+		// Headers are gone; nothing better to do than log via the
+		// connection error the client will see.
+		return
+	}
+}
+
+// Client queries a remote source over HTTP; it implements plan.Querier.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a source served at base (e.g.
+// "http://host:port"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Describe fetches and parses the source's SSDL description.
+func (c *Client) Describe() (*ssdl.Grammar, error) {
+	resp, err := c.hc.Get(c.base + "/describe")
+	if err != nil {
+		return nil, fmt.Errorf("source client: describe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("source client: describe: status %s", resp.Status)
+	}
+	text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("source client: describe: %w", err)
+	}
+	return ssdl.Parse(string(text))
+}
+
+// Stats fetches the source's published statistics.
+func (c *Client) Stats() (*relation.Stats, error) {
+	resp, err := c.hc.Get(c.base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("source client: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("source client: stats: status %s", resp.Status)
+	}
+	var st relation.Stats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("source client: stats: %w", err)
+	}
+	return &st, nil
+}
+
+// Query implements plan.Querier over the wire.
+func (c *Client) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	body, err := json.Marshal(queryRequest{Cond: cond.Key(), Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("source client: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("source client: query refused (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return relation.ReadTSV(resp.Body)
+}

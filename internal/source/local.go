@@ -1,0 +1,134 @@
+// Package source provides simulated Internet sources: in-memory relations
+// guarded by SSDL capability descriptions. A source rejects any query its
+// description does not support — exactly how a web form behaves — and
+// keeps transfer accounting so experiments can measure how much data each
+// plan extracted. The package also serves sources over real HTTP and
+// provides the matching client, so a mediator can exercise the full
+// network round-trip.
+package source
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// Accounting records the traffic a source has served.
+type Accounting struct {
+	// Queries is the number of source queries answered.
+	Queries int
+	// Tuples is the total number of result tuples returned.
+	Tuples int
+	// Rejected is the number of unsupported queries refused.
+	Rejected int
+}
+
+// Local is an in-memory source: a relation plus the SSDL description that
+// gates access to it. It is safe for concurrent use.
+type Local struct {
+	name    string
+	rel     *relation.Relation
+	checker *ssdl.Checker
+
+	mu  sync.Mutex
+	acc Accounting
+}
+
+// NewLocal builds a source from a relation and its SSDL grammar. The
+// grammar's source name is used when name is empty.
+func NewLocal(name string, rel *relation.Relation, g *ssdl.Grammar) (*Local, error) {
+	if name == "" {
+		name = g.Source
+	}
+	if name == "" {
+		return nil, fmt.Errorf("source: no name given and grammar has no source header")
+	}
+	for _, a := range g.Schema {
+		if !rel.Schema().Has(a) {
+			return nil, fmt.Errorf("source %s: SSDL attribute %q missing from relation schema %v", name, a, rel.Schema())
+		}
+	}
+	// Index the columns the source's own query shapes probe by equality
+	// (plus the key): those are exactly the lookups its form performs.
+	toIndex := map[string]bool{}
+	if g.Key != "" {
+		toIndex[g.Key] = true
+	}
+	for _, rule := range g.Rules {
+		for _, sym := range rule.RHS {
+			if sym.Kind == ssdl.SymAtom && sym.Atom.Op == condition.OpEq {
+				toIndex[sym.Atom.Attr] = true
+			}
+		}
+	}
+	for a := range toIndex {
+		if rel.Schema().Has(a) {
+			if err := rel.BuildIndex(a); err != nil {
+				return nil, fmt.Errorf("source %s: %w", name, err)
+			}
+		}
+	}
+	return &Local{name: name, rel: rel, checker: ssdl.NewChecker(g)}, nil
+}
+
+// Name returns the source's name.
+func (s *Local) Name() string { return s.name }
+
+// Checker returns the source's SSDL checker (the mediator uses it for
+// planning; a real deployment would ship the description text instead).
+func (s *Local) Checker() *ssdl.Checker { return s.checker }
+
+// Grammar returns the source's SSDL grammar.
+func (s *Local) Grammar() *ssdl.Grammar { return s.checker.Grammar() }
+
+// Relation returns the backing relation (experiments use it for oracle
+// cardinalities; a real Internet source would not expose it).
+func (s *Local) Relation() *relation.Relation { return s.rel }
+
+// Query implements plan.Querier: it refuses unsupported queries, then
+// evaluates SP(cond, attrs, R).
+func (s *Local) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	if !s.checker.Supports(cond, strset.New(attrs...)) {
+		s.mu.Lock()
+		s.acc.Rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("source %s: unsupported query SP(%s; %v)", s.name, cond.Key(), attrs)
+	}
+	var sel *relation.Relation
+	var err error
+	if condition.IsTrue(cond) {
+		sel = s.rel
+	} else {
+		sel, err = s.rel.Select(cond)
+		if err != nil {
+			return nil, fmt.Errorf("source %s: %w", s.name, err)
+		}
+	}
+	res, err := sel.Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", s.name, err)
+	}
+	s.mu.Lock()
+	s.acc.Queries++
+	s.acc.Tuples += res.Len()
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Accounting returns a snapshot of the source's traffic counters.
+func (s *Local) Accounting() Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc
+}
+
+// ResetAccounting zeroes the traffic counters.
+func (s *Local) ResetAccounting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acc = Accounting{}
+}

@@ -1,0 +1,200 @@
+package source
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+const carsSSDL = `
+source cars
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, color, price}
+attributes :: s2 : {make, model}
+`
+
+func carsSource(t *testing.T) *Local {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"BMW", "M5", "black", 70000},
+		{"Toyota", "Camry", "red", 19000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewLocal("", r, ssdl.MustParse(carsSSDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestLocalNameFromGrammar(t *testing.T) {
+	src := carsSource(t)
+	if src.Name() != "cars" {
+		t.Errorf("Name = %q", src.Name())
+	}
+}
+
+func TestLocalAnswersSupportedQuery(t *testing.T) {
+	src := carsSource(t)
+	res, err := src.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("len = %d, want 1", res.Len())
+	}
+	acc := src.Accounting()
+	if acc.Queries != 1 || acc.Tuples != 1 || acc.Rejected != 0 {
+		t.Errorf("accounting = %+v", acc)
+	}
+}
+
+func TestLocalRejectsUnsupportedQuery(t *testing.T) {
+	src := carsSource(t)
+	// Unsupported condition shape.
+	if _, err := src.Query(condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
+		t.Error("unsupported condition should be refused")
+	}
+	// Supported condition, but attrs exceed the export set of s2.
+	if _, err := src.Query(condition.MustParse(`make = "BMW" ^ color = "red"`), []string{"price"}); err == nil {
+		t.Error("non-exported attribute should be refused")
+	}
+	if acc := src.Accounting(); acc.Rejected != 2 || acc.Queries != 0 {
+		t.Errorf("accounting = %+v", acc)
+	}
+}
+
+func TestLocalResetAccounting(t *testing.T) {
+	src := carsSource(t)
+	if _, err := src.Query(condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"}); err != nil {
+		t.Fatal(err)
+	}
+	src.ResetAccounting()
+	if acc := src.Accounting(); acc != (Accounting{}) {
+		t.Errorf("accounting after reset = %+v", acc)
+	}
+}
+
+func TestNewLocalValidatesSchema(t *testing.T) {
+	r := relation.New(relation.MustSchema(relation.Column{Name: "x", Kind: condition.KindInt}))
+	g := ssdl.MustParse(`
+source s
+attrs y
+s1 -> y = $v
+attributes :: s1 : {y}
+`)
+	if _, err := NewLocal("", r, g); err == nil {
+		t.Error("SSDL attr missing from relation should fail")
+	}
+	gNoName := ssdl.MustParse(`
+attrs x
+s1 -> x = $v
+attributes :: s1 : {x}
+`)
+	if _, err := NewLocal("", r, gNoName); err == nil {
+		t.Error("missing source name should fail")
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	src := carsSource(t)
+	server := httptest.NewServer(NewHandler(src))
+	defer server.Close()
+	client := NewClient(server.URL, nil)
+
+	// Describe round-trips the grammar.
+	g, err := client.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Source != "cars" || g.Key != "model" {
+		t.Errorf("described grammar: source=%q key=%q", g.Source, g.Key)
+	}
+
+	// Supported query over the wire.
+	res, err := client.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("len = %d, want 1", res.Len())
+	}
+	v, _ := res.Tuples()[0].Lookup("price")
+	if v.I != 35000 || v.Kind != condition.KindInt {
+		t.Errorf("price round trip = %v", v)
+	}
+
+	// Unsupported query is refused with a useful error.
+	if _, err := client.Query(condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
+		t.Error("unsupported query should be refused over HTTP")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	src := carsSource(t)
+	server := httptest.NewServer(NewHandler(src))
+	defer server.Close()
+
+	resp, err := server.Client().Post(server.URL+"/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsEndpoint(t *testing.T) {
+	src := carsSource(t)
+	server := httptest.NewServer(NewHandler(src))
+	defer server.Close()
+	client := NewClient(server.URL, nil)
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 3 {
+		t.Errorf("Tuples = %d, want 3", st.Tuples)
+	}
+	price, ok := st.Columns["price"]
+	if !ok || !price.Numeric || price.Hist == nil {
+		t.Errorf("price stats incomplete: %+v", price)
+	}
+	// Stats are cached server-side: a second fetch returns the same data.
+	st2, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tuples != st.Tuples {
+		t.Error("second stats fetch differs")
+	}
+	// Accessors used by experiments.
+	if src.Checker() == nil || src.Relation().Len() != 3 {
+		t.Error("accessors broken")
+	}
+}

@@ -1,0 +1,95 @@
+package ssdl
+
+import (
+	"sync"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+// Checker implements the paper's Check function for one source: given a
+// condition expression it returns the set of attributes the source exports
+// when evaluating it, or the empty set when the source cannot evaluate it
+// (§4). Checkers memoize results because the mark module and IPG probe the
+// same sub-conditions repeatedly. Checker is safe for concurrent use.
+type Checker struct {
+	g   *Grammar
+	rec *recognizer
+
+	mu    sync.Mutex
+	cache map[string]strset.Set
+
+	// counters for the E5/E7 experiments
+	calls  int
+	hits   int
+	tokens int
+}
+
+// NewChecker builds a Checker for the grammar. The grammar must not be
+// mutated afterwards.
+func NewChecker(g *Grammar) *Checker {
+	return &Checker{g: g, rec: newRecognizer(g), cache: make(map[string]strset.Set)}
+}
+
+// Grammar returns the grammar the checker was built from.
+func (c *Checker) Grammar() *Grammar { return c.g }
+
+// Check returns the attribute set the source exports when evaluating cond;
+// the empty set means the source cannot evaluate cond. The condition is
+// canonicalized first, so supportability is insensitive to how the
+// mediator happened to parenthesize it (child order remains significant,
+// per §6.1). When several condition nonterminals derive the input, the
+// union of their attribute sets is returned — the most permissive reading
+// of the paper's "may retrieve the attributes associated with sj".
+func (c *Checker) Check(cond condition.Node) strset.Set {
+	key := condition.Canonicalize(cond).Key()
+	c.mu.Lock()
+	c.calls++
+	if got, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return got
+	}
+	c.mu.Unlock()
+
+	toks := Linearize(condition.Canonicalize(cond))
+	accepted := c.rec.recognize(toks)
+	attrs := strset.New()
+	for nt := range accepted {
+		attrs = attrs.Union(c.g.CondAttrs[nt])
+	}
+
+	c.mu.Lock()
+	c.tokens += len(toks)
+	c.cache[key] = attrs
+	c.mu.Unlock()
+	return attrs
+}
+
+// Supports reports whether the source query SP(cond, attrs, R) is
+// supported: cond is derivable and attrs ⊆ Check(cond, R).
+func (c *Checker) Supports(cond condition.Node, attrs strset.Set) bool {
+	return attrs.SubsetOf(c.Check(cond))
+}
+
+// Downloadable returns the attribute set exported by the download query
+// SP(true, A, R), empty when downloading is not allowed (§5.3 lines
+// 11-12).
+func (c *Checker) Downloadable() strset.Set {
+	return c.Check(condition.True())
+}
+
+// Stats reports the checker's call counters: total Check calls, cache
+// hits, and total tokens parsed (cache misses only).
+func (c *Checker) Stats() (calls, hits, tokens int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, c.hits, c.tokens
+}
+
+// ResetStats zeroes the call counters (the memo cache is kept).
+func (c *Checker) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls, c.hits, c.tokens = 0, 0, 0
+}

@@ -1,0 +1,169 @@
+package ssdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultClosureLimit bounds how many rules the commutative closure may
+// produce per source description before giving up on a rule (leaving that
+// rule order-sensitive, which only costs plan opportunities, never
+// correctness).
+const DefaultClosureLimit = 5000
+
+// maxPermuteSegments caps the segment count a single rule body may have
+// and still be permuted (7! = 5040 permutations).
+const maxPermuteSegments = 7
+
+// CommutativeClosure implements the source-description rewriting of §6.1:
+// instead of firing the commutativity rewrite rule on every target query,
+// the SSDL description is expanded once — when the source joins the
+// system — so that the order of top-level conjuncts (and disjuncts) in a
+// rule body no longer matters. The mediator later "fixes" the one executed
+// plan's source queries back to an order the original grammar accepts.
+//
+// limit caps the total rule count of the result; pass 0 for
+// DefaultClosureLimit. Rules whose expansion would exceed the cap are kept
+// order-sensitive.
+func CommutativeClosure(g *Grammar, limit int) *Grammar {
+	if limit <= 0 {
+		limit = DefaultClosureLimit
+	}
+	out := NewGrammar(g.Source)
+	out.Schema = append([]string(nil), g.Schema...)
+	out.Key = g.Key
+	seen := make(map[string]bool)
+	addRule := func(lhs string, rhs []Symbol) {
+		r := Rule{LHS: lhs, RHS: rhs}
+		k := r.String()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		// Errors are impossible here: bodies come from already-valid
+		// rules.
+		if err := out.AddRule(lhs, rhs); err != nil {
+			panic(fmt.Sprintf("ssdl: closure: %v", err))
+		}
+	}
+	for _, r := range g.Rules {
+		segments, conn, ok := splitTopLevel(r.RHS)
+		if !ok || len(segments) < 2 || len(segments) > maxPermuteSegments {
+			addRule(r.LHS, r.RHS)
+			continue
+		}
+		perms := countPermutations(len(segments))
+		if len(out.Rules)+perms > limit {
+			addRule(r.LHS, r.RHS)
+			continue
+		}
+		permuteSegments(segments, func(order []int) {
+			var rhs []Symbol
+			for i, idx := range order {
+				if i > 0 {
+					rhs = append(rhs, Symbol{Kind: conn})
+				}
+				rhs = append(rhs, segments[idx]...)
+			}
+			addRule(r.LHS, rhs)
+		})
+	}
+	for nt, attrs := range g.CondAttrs {
+		out.CondAttrs[nt] = attrs.Clone()
+	}
+	return out
+}
+
+// splitTopLevel splits a rule body into segments separated by a single
+// connector kind at parenthesis depth 0. It reports failure when the body
+// mixes ^ and _ at depth 0 or has unbalanced parentheses.
+func splitTopLevel(rhs []Symbol) (segments [][]Symbol, conn SymKind, ok bool) {
+	conn = SymKind(-1)
+	depth := 0
+	var cur []Symbol
+	for _, s := range rhs {
+		switch s.Kind {
+		case SymLParen:
+			depth++
+			cur = append(cur, s)
+		case SymRParen:
+			depth--
+			if depth < 0 {
+				return nil, 0, false
+			}
+			cur = append(cur, s)
+		case SymAnd, SymOr:
+			if depth == 0 {
+				if conn == SymKind(-1) {
+					conn = s.Kind
+				} else if conn != s.Kind {
+					return nil, 0, false
+				}
+				if len(cur) == 0 {
+					return nil, 0, false
+				}
+				segments = append(segments, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, s)
+		default:
+			cur = append(cur, s)
+		}
+	}
+	if depth != 0 || len(cur) == 0 {
+		return nil, 0, false
+	}
+	segments = append(segments, cur)
+	if conn == SymKind(-1) {
+		conn = SymAnd // single segment; connector irrelevant
+	}
+	return segments, conn, true
+}
+
+func countPermutations(n int) int {
+	p := 1
+	for i := 2; i <= n; i++ {
+		p *= i
+	}
+	return p
+}
+
+// permuteSegments calls visit with every permutation of indices 0..n-1.
+func permuteSegments(segments [][]Symbol, visit func(order []int)) {
+	n := len(segments)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			visit(order)
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			rec(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	rec(0)
+}
+
+// ClosureInflation reports the rule-count growth of the closure, used by
+// the E7 experiment ("by increasing the number of CFG rules ... we only
+// increase the complexity of building the parser").
+func ClosureInflation(g *Grammar, limit int) (before, after int) {
+	return len(g.Rules), len(CommutativeClosure(g, limit).Rules)
+}
+
+// describeRules is a debugging helper rendering all rules.
+func describeRules(g *Grammar) string {
+	var sb strings.Builder
+	for _, r := range g.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

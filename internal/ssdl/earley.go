@@ -1,0 +1,183 @@
+package ssdl
+
+import "repro/internal/strset"
+
+// The recognizer is an Earley parser over the linearized condition token
+// stream, augmented with Leo's right-recursion optimization (Leo 1991).
+// The paper builds a YACC (LALR) parser from the SSDL description, which
+// runs in time linear in the condition size; plain Earley matches that for
+// left-recursive and iterative rules but degrades to quadratic on
+// right-recursive rules — and SSDL's natural value-list idiom
+// (`vlist -> a = $v | a = $v _ vlist`) is right-recursive. Leo items
+// short-circuit the completion cascade along deterministic reduction
+// paths, restoring linearity. SSDL grammars are epsilon-free (empty rule
+// bodies are rejected at construction), which keeps both the completer and
+// the Leo memoization simple.
+
+// item is one Earley item: rule g.Rules[rule], dot position into its RHS,
+// and the chart column where the item originated.
+type item struct {
+	rule   int
+	dot    int
+	origin int
+}
+
+// recognizer caches grammar-derived indexes reused across Check calls.
+type recognizer struct {
+	g *Grammar
+	// condRules are the rule indices of condition nonterminals, the
+	// recognizer's start items.
+	condRules []int
+}
+
+func newRecognizer(g *Grammar) *recognizer {
+	r := &recognizer{g: g}
+	for nt := range g.CondAttrs {
+		r.condRules = append(r.condRules, g.rulesByLHS[nt]...)
+	}
+	return r
+}
+
+// leoKey addresses a Leo item: the column and nonterminal of a completed
+// constituent.
+type leoKey struct {
+	col int
+	nt  string
+}
+
+// run holds the per-parse state.
+type run struct {
+	g     *Grammar
+	chart []map[item]bool
+	order [][]item
+	// leo memoizes Leo items; present-but-invalid entries mean "no Leo
+	// item for this key".
+	leo map[leoKey]leoEntry
+}
+
+type leoEntry struct {
+	top item
+	ok  bool
+}
+
+// recognize parses the token stream and returns the set of condition
+// nonterminals that derive the entire input.
+func (r *recognizer) recognize(toks []CTok) strset.Set {
+	n := len(toks)
+	st := &run{
+		g:     r.g,
+		chart: make([]map[item]bool, n+1),
+		order: make([][]item, n+1),
+		leo:   make(map[leoKey]leoEntry),
+	}
+	for i := range st.chart {
+		st.chart[i] = make(map[item]bool)
+	}
+	for _, ri := range r.condRules {
+		st.add(0, item{rule: ri, dot: 0, origin: 0})
+	}
+	for col := 0; col <= n; col++ {
+		for qi := 0; qi < len(st.order[col]); qi++ {
+			it := st.order[col][qi]
+			rule := st.g.Rules[it.rule]
+			if it.dot == len(rule.RHS) {
+				st.complete(col, it, rule.LHS)
+				continue
+			}
+			sym := rule.RHS[it.dot]
+			if sym.Kind == SymNonTerm {
+				// Predictor.
+				for _, ri := range st.g.rulesByLHS[sym.Name] {
+					st.add(col, item{rule: ri, dot: 0, origin: col})
+				}
+				continue
+			}
+			// Scanner.
+			if col < n && sym.matchesTok(toks[col]) {
+				st.add(col+1, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+			}
+		}
+	}
+	accepted := strset.New()
+	for _, it := range st.order[n] {
+		rule := st.g.Rules[it.rule]
+		if it.dot == len(rule.RHS) && it.origin == 0 && st.g.IsCondNT(rule.LHS) {
+			accepted.Add(rule.LHS)
+		}
+	}
+	return accepted
+}
+
+func (s *run) add(col int, it item) {
+	if !s.chart[col][it] {
+		s.chart[col][it] = true
+		s.order[col] = append(s.order[col], it)
+	}
+}
+
+// complete advances items waiting on lhs in the item's origin column. When
+// the origin column has a Leo item for lhs — a deterministic reduction
+// path — only its topmost item is added, skipping the whole cascade.
+func (s *run) complete(col int, it item, lhs string) {
+	if top, ok := s.leoItem(it.origin, lhs, make(map[leoKey]bool)); ok {
+		s.add(col, top)
+		return
+	}
+	for _, wait := range s.order[it.origin] {
+		wr := s.g.Rules[wait.rule]
+		if wait.dot < len(wr.RHS) {
+			sym := wr.RHS[wait.dot]
+			if sym.Kind == SymNonTerm && sym.Name == lhs {
+				s.add(col, item{rule: wait.rule, dot: wait.dot + 1, origin: wait.origin})
+			}
+		}
+	}
+}
+
+// leoItem returns the topmost item of the deterministic reduction path for
+// nonterminal nt at column col, if one exists: the column must contain
+// exactly one item waiting on nt, with nt as the final RHS symbol. The
+// result is memoized; visiting guards against unit-rule cycles. Columns
+// consulted here are strictly earlier than the current one (epsilon-free
+// grammars), so their item lists are final.
+func (s *run) leoItem(col int, nt string, visiting map[leoKey]bool) (item, bool) {
+	key := leoKey{col: col, nt: nt}
+	if e, ok := s.leo[key]; ok {
+		return e.top, e.ok
+	}
+	if visiting[key] {
+		return item{}, false
+	}
+	visiting[key] = true
+
+	var cand item
+	waiters := 0
+	candFinal := false
+	for _, wait := range s.order[col] {
+		wr := s.g.Rules[wait.rule]
+		if wait.dot >= len(wr.RHS) {
+			continue
+		}
+		sym := wr.RHS[wait.dot]
+		if sym.Kind != SymNonTerm || sym.Name != nt {
+			continue
+		}
+		waiters++
+		if waiters > 1 {
+			break
+		}
+		cand = wait
+		candFinal = wait.dot == len(wr.RHS)-1
+	}
+	if waiters != 1 || !candFinal {
+		s.leo[key] = leoEntry{}
+		return item{}, false
+	}
+	parent := item{rule: cand.rule, dot: cand.dot + 1, origin: cand.origin}
+	top := parent
+	if up, ok := s.leoItem(cand.origin, s.g.Rules[cand.rule].LHS, visiting); ok {
+		top = up
+	}
+	s.leo[key] = leoEntry{top: top, ok: true}
+	return top, true
+}

@@ -1,0 +1,120 @@
+package ssdl
+
+import (
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+// DefaultFixBudget bounds how many candidate orderings Fix may test. The
+// paper notes the fixing overhead is low because only the one plan chosen
+// for execution is fixed; the budget is a safety valve for adversarial
+// trees.
+const DefaultFixBudget = 100000
+
+// Fix reorders the children of the condition's connector nodes until the
+// original (pre-closure) grammar accepts the query with the requested
+// attributes, per §6.1: plans are generated against the order-insensitive
+// closure description, and the mediator "fixes" each source query of the
+// chosen plan before sending it. It returns the fixed condition and true,
+// or nil and false if no ordering within budget is accepted (which, for a
+// query that the closure grammar accepted, only happens when the budget is
+// exhausted).
+func Fix(orig *Checker, cond condition.Node, attrs strset.Set, budget int) (condition.Node, bool) {
+	if budget <= 0 {
+		budget = DefaultFixBudget
+	}
+	var fixed condition.Node
+	remaining := budget
+	found := orderings(condition.Canonicalize(cond), &remaining, func(cand condition.Node) bool {
+		if orig.Supports(cand, attrs) {
+			fixed = cand
+			return true
+		}
+		return false
+	})
+	return fixed, found
+}
+
+// orderings enumerates child-order permutations of every connector node in
+// the tree, invoking try on each candidate until it returns true or the
+// budget runs out. The enumeration is depth-first over the permutation
+// product, starting with the original order.
+func orderings(n condition.Node, budget *int, try func(condition.Node) bool) bool {
+	// Collect the permutable nodes by walking a mutable clone.
+	root := n.Clone()
+	var conns []connRef
+	collectConns(root, &conns)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(conns) {
+			if *budget <= 0 {
+				return false
+			}
+			*budget--
+			return try(root.Clone())
+		}
+		kids := conns[i].kids()
+		return permuteInPlace(kids, func() bool {
+			return rec(i + 1)
+		}, budget)
+	}
+	return rec(0)
+}
+
+type connRef struct {
+	and *condition.And
+	or  *condition.Or
+}
+
+func (c connRef) kids() []condition.Node {
+	if c.and != nil {
+		return c.and.Kids
+	}
+	return c.or.Kids
+}
+
+func collectConns(n condition.Node, out *[]connRef) {
+	switch t := n.(type) {
+	case *condition.And:
+		*out = append(*out, connRef{and: t})
+		for _, k := range t.Kids {
+			collectConns(k, out)
+		}
+	case *condition.Or:
+		*out = append(*out, connRef{or: t})
+		for _, k := range t.Kids {
+			collectConns(k, out)
+		}
+	}
+}
+
+// permuteInPlace runs visit for every permutation of kids (restoring the
+// original order afterwards), stopping early when visit returns true or
+// the budget is exhausted.
+func permuteInPlace(kids []condition.Node, visit func() bool, budget *int) bool {
+	n := len(kids)
+	if n > 8 {
+		// Too many children to permute exhaustively; try only the
+		// current order.
+		return visit()
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if *budget <= 0 {
+			return false
+		}
+		if k == n {
+			return visit()
+		}
+		for i := k; i < n; i++ {
+			kids[k], kids[i] = kids[i], kids[k]
+			if rec(k + 1) {
+				kids[k], kids[i] = kids[i], kids[k]
+				return true
+			}
+			kids[k], kids[i] = kids[i], kids[k]
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,79 @@
+package ssdl
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+)
+
+// FuzzParseSSDL checks the description parser never panics, and that
+// every accepted description validates, renders, and re-parses to a
+// grammar with identical Check behaviour on a probe query.
+func FuzzParseSSDL(f *testing.F) {
+	seeds := []string{
+		example41,
+		"source R\nattrs a\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+		"s1 -> a = $v:int ^ b = $v:string | a = $v:int\nattributes :: s1 : {a, b}\n",
+		"slist -> a = $v _ slist | a = $v\nattributes :: slist : {a}\n",
+		"s1 -> ( s2 )\ns2 -> a = $v _ b = $v\nattributes :: s1 : {a}\n",
+		"dl -> true\nattributes :: dl : {a}\n",
+		"# comment only\ns1 -> a = 5\nattributes :: s1 : {a}\n",
+		"s1 -> a contains \"x\"\nattributes :: s1 : {a}\n",
+		"key k\nattrs k, a\ns1 -> a = $v\nattributes :: s1 : {k, a}\n",
+		"s1 ->\n",
+		"attributes :: : {}\n",
+		"source\n",
+		"s1 -> a = $v:mystery\nattributes :: s1 : {a}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	probe := condition.MustParse(`a = 1`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted description fails validation: %v\n%s", err, src)
+		}
+		back, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("rendering does not re-parse: %v\n%s", err, g.String())
+		}
+		a := NewChecker(g).Check(probe)
+		b := NewChecker(back).Check(probe)
+		if !a.Equal(b) {
+			t.Fatalf("Check behaviour changed across render round trip: %v vs %v", a, b)
+		}
+	})
+}
+
+// FuzzCheck drives the recognizer with arbitrary conditions against a
+// fixed small grammar: it must never panic and must stay consistent with
+// a second run (determinism).
+func FuzzCheck(f *testing.F) {
+	seeds := []string{
+		`make = "BMW" ^ price < 40000`,
+		`make = "BMW" _ make = "Audi"`,
+		`price < 40000`,
+		`make = "BMW" ^ (color = "red" _ color = "blue")`,
+		`true`,
+		`a = 1 ^ a = 1 ^ a = 1 ^ a = 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := MustParse(example41)
+	f.Fuzz(func(t *testing.T, src string) {
+		cond, err := condition.Parse(src)
+		if err != nil {
+			return
+		}
+		c1 := NewChecker(g).Check(cond)
+		c2 := NewChecker(g).Check(cond)
+		if !c1.Equal(c2) {
+			t.Fatalf("nondeterministic Check for %q: %v vs %v", src, c1, c2)
+		}
+	})
+}

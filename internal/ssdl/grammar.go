@@ -1,0 +1,238 @@
+package ssdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/strset"
+)
+
+// SymKind identifies a grammar symbol.
+type SymKind int
+
+const (
+	// SymNonTerm references another rule's left-hand side.
+	SymNonTerm SymKind = iota
+	// SymAtom is a terminal matching one atomic condition.
+	SymAtom
+	// SymAnd is the terminal conjunction connector ^.
+	SymAnd
+	// SymOr is the terminal disjunction connector _.
+	SymOr
+	// SymLParen is the terminal (.
+	SymLParen
+	// SymRParen is the terminal ).
+	SymRParen
+	// SymTrue is the terminal `true`, marking download support.
+	SymTrue
+)
+
+// Symbol is one element of a rule body.
+type Symbol struct {
+	Kind SymKind
+	Name string       // nonterminal name when Kind == SymNonTerm
+	Atom *AtomPattern // pattern when Kind == SymAtom
+}
+
+// NonTerm builds a nonterminal reference.
+func NonTerm(name string) Symbol { return Symbol{Kind: SymNonTerm, Name: name} }
+
+// String renders the symbol in rule-body syntax.
+func (s Symbol) String() string {
+	switch s.Kind {
+	case SymNonTerm:
+		return s.Name
+	case SymAtom:
+		return s.Atom.String()
+	case SymAnd:
+		return "^"
+	case SymOr:
+		return "_"
+	case SymLParen:
+		return "("
+	case SymRParen:
+		return ")"
+	case SymTrue:
+		return "true"
+	default:
+		return "?"
+	}
+}
+
+// matchesTok reports whether this terminal symbol matches the condition
+// token. Nonterminals never match directly.
+func (s Symbol) matchesTok(t CTok) bool {
+	switch s.Kind {
+	case SymAtom:
+		return t.Kind == CTokAtom && s.Atom.Matches(t.Atom)
+	case SymAnd:
+		return t.Kind == CTokAnd
+	case SymOr:
+		return t.Kind == CTokOr
+	case SymLParen:
+		return t.Kind == CTokLParen
+	case SymRParen:
+		return t.Kind == CTokRParen
+	case SymTrue:
+		return t.Kind == CTokTrue
+	default:
+		return false
+	}
+}
+
+// Rule is one CFG production.
+type Rule struct {
+	LHS string
+	RHS []Symbol
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.RHS))
+	for i, s := range r.RHS {
+		parts[i] = s.String()
+	}
+	return r.LHS + " -> " + strings.Join(parts, " ")
+}
+
+// Grammar is a parsed SSDL description: the triplet <S, G, A> of the paper
+// plus the source metadata our simulated sources carry.
+type Grammar struct {
+	// Source is the source name from the `source` header (may be empty).
+	Source string
+	// Schema lists the source's attributes when declared via `attrs`.
+	Schema []string
+	// Key is the source's key attribute when declared via `key`.
+	Key string
+	// Rules are the CFG productions G. The implicit start rule
+	// s -> s1 | ... | sm is represented by CondAttrs' key set rather
+	// than stored explicitly.
+	Rules []Rule
+	// CondAttrs is the association set A: condition nonterminal ->
+	// exported attributes.
+	CondAttrs map[string]strset.Set
+
+	rulesByLHS map[string][]int
+}
+
+// NewGrammar builds an empty grammar for the named source.
+func NewGrammar(source string) *Grammar {
+	return &Grammar{
+		Source:     source,
+		CondAttrs:  make(map[string]strset.Set),
+		rulesByLHS: make(map[string][]int),
+	}
+}
+
+// AddRule appends a production. Empty bodies are rejected: SSDL grammars
+// are epsilon-free, which the recognizer relies on.
+func (g *Grammar) AddRule(lhs string, rhs []Symbol) error {
+	if lhs == "" {
+		return fmt.Errorf("ssdl: rule with empty left-hand side")
+	}
+	if len(rhs) == 0 {
+		return fmt.Errorf("ssdl: rule %s has an empty body", lhs)
+	}
+	g.Rules = append(g.Rules, Rule{LHS: lhs, RHS: rhs})
+	g.rulesByLHS[lhs] = append(g.rulesByLHS[lhs], len(g.Rules)-1)
+	return nil
+}
+
+// SetCondAttrs declares lhs as a condition nonterminal exporting attrs
+// (the `attributes :: lhs : {...}` association).
+func (g *Grammar) SetCondAttrs(lhs string, attrs ...string) {
+	g.CondAttrs[lhs] = strset.New(attrs...)
+}
+
+// RulesFor returns the indices of the rules with the given left-hand side.
+func (g *Grammar) RulesFor(lhs string) []int { return g.rulesByLHS[lhs] }
+
+// IsCondNT reports whether the name is a condition nonterminal (a member
+// of S, directly derivable from the start symbol).
+func (g *Grammar) IsCondNT(name string) bool {
+	_, ok := g.CondAttrs[name]
+	return ok
+}
+
+// CondNTs returns the condition nonterminals in sorted order.
+func (g *Grammar) CondNTs() []string {
+	return strset.Set(func() map[string]bool {
+		m := make(map[string]bool, len(g.CondAttrs))
+		for k := range g.CondAttrs {
+			m[k] = true
+		}
+		return m
+	}()).Sorted()
+}
+
+// Validate checks internal consistency: every condition nonterminal has at
+// least one rule, every referenced nonterminal is defined, and declared
+// attribute sets stay within the schema when one is declared.
+func (g *Grammar) Validate() error {
+	if len(g.CondAttrs) == 0 {
+		return fmt.Errorf("ssdl: grammar for %q declares no condition nonterminals", g.Source)
+	}
+	schema := strset.New(g.Schema...)
+	for nt, attrs := range g.CondAttrs {
+		if len(g.rulesByLHS[nt]) == 0 {
+			return fmt.Errorf("ssdl: condition nonterminal %q has no rules", nt)
+		}
+		if len(g.Schema) > 0 && !attrs.SubsetOf(schema) {
+			return fmt.Errorf("ssdl: attributes of %q not in schema: %v ⊄ %v", nt, attrs, schema)
+		}
+	}
+	if g.Key != "" && len(g.Schema) > 0 && !schema.Has(g.Key) {
+		return fmt.Errorf("ssdl: key %q not in schema", g.Key)
+	}
+	for _, r := range g.Rules {
+		for _, sym := range r.RHS {
+			if sym.Kind == SymNonTerm && len(g.rulesByLHS[sym.Name]) == 0 {
+				return fmt.Errorf("ssdl: rule %q references undefined nonterminal %q", r, sym.Name)
+			}
+			if sym.Kind == SymAtom && len(g.Schema) > 0 && !schema.Has(sym.Atom.Attr) {
+				return fmt.Errorf("ssdl: rule %q uses attribute %q not in schema", r, sym.Atom.Attr)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the grammar (rule bodies are copied; atom
+// patterns are immutable and shared).
+func (g *Grammar) Clone() *Grammar {
+	out := NewGrammar(g.Source)
+	out.Schema = append([]string(nil), g.Schema...)
+	out.Key = g.Key
+	for _, r := range g.Rules {
+		rhs := append([]Symbol(nil), r.RHS...)
+		if err := out.AddRule(r.LHS, rhs); err != nil {
+			panic(err) // cannot happen: source rules were validated on add
+		}
+	}
+	for nt, attrs := range g.CondAttrs {
+		out.CondAttrs[nt] = attrs.Clone()
+	}
+	return out
+}
+
+// String renders the grammar in SSDL description syntax, re-parseable by
+// Parse.
+func (g *Grammar) String() string {
+	var sb strings.Builder
+	if g.Source != "" {
+		fmt.Fprintf(&sb, "source %s\n", g.Source)
+	}
+	if len(g.Schema) > 0 {
+		fmt.Fprintf(&sb, "attrs %s\n", strings.Join(g.Schema, ", "))
+	}
+	if g.Key != "" {
+		fmt.Fprintf(&sb, "key %s\n", g.Key)
+	}
+	for _, r := range g.Rules {
+		fmt.Fprintln(&sb, r.String())
+	}
+	for _, nt := range g.CondNTs() {
+		fmt.Fprintf(&sb, "attributes :: %s : {%s}\n", nt, strings.Join(g.CondAttrs[nt].Sorted(), ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package ssdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type bTokKind int
+
+const (
+	bTokIdent bTokKind = iota
+	bTokOp
+	bTokNumber
+	bTokString
+	bTokPlaceholder
+	bTokAnd
+	bTokOr
+	bTokLParen
+	bTokRParen
+	bTokTrue
+	bTokLBrace
+	bTokRBrace
+	bTokComma
+)
+
+type bToken struct {
+	kind bTokKind
+	text string
+}
+
+// lexBody tokenizes one SSDL rule-body alternative.
+func lexBody(src string) ([]bToken, error) {
+	var out []bToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			out = append(out, bToken{bTokLParen, "("})
+			i++
+		case c == ')':
+			out = append(out, bToken{bTokRParen, ")"})
+			i++
+		case c == '{':
+			out = append(out, bToken{bTokLBrace, "{"})
+			i++
+		case c == '}':
+			out = append(out, bToken{bTokRBrace, "}"})
+			i++
+		case c == ',':
+			out = append(out, bToken{bTokComma, ","})
+			i++
+		case c == '^':
+			out = append(out, bToken{bTokAnd, "^"})
+			i++
+		case c == '&':
+			i++
+			if i < len(src) && src[i] == '&' {
+				i++
+			}
+			out = append(out, bToken{bTokAnd, "^"})
+		case c == '$':
+			start := i
+			i++
+			for i < len(src) && (isBodyIdent(src[i]) || src[i] == ':') {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("bare $ in rule body")
+			}
+			out = append(out, bToken{bTokPlaceholder, src[start+1 : i]})
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					sb.WriteByte(src[i])
+					i++
+					continue
+				}
+				if src[i] == quote {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated string in rule body")
+			}
+			out = append(out, bToken{bTokString, sb.String()})
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			start := i
+			for i < len(src) && strings.IndexByte("=!<>", src[i]) >= 0 {
+				i++
+			}
+			out = append(out, bToken{bTokOp, src[start:i]})
+		case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+			start := i
+			if c == '-' || c == '+' {
+				i++
+			}
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				i++
+			}
+			// Exponent notation, as in the condition lexer.
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				save := i
+				i++
+				if i < len(src) && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				expDigits := false
+				for i < len(src) && unicode.IsDigit(rune(src[i])) {
+					expDigits = true
+					i++
+				}
+				if !expDigits {
+					i = save
+				}
+			}
+			out = append(out, bToken{bTokNumber, src[start:i]})
+		case isBodyIdentStart(c):
+			start := i
+			for i < len(src) && isBodyIdent(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			switch word {
+			case "_":
+				out = append(out, bToken{bTokOr, "_"})
+			case "or", "OR":
+				out = append(out, bToken{bTokOr, "_"})
+			case "and", "AND":
+				out = append(out, bToken{bTokAnd, "^"})
+			case "contains":
+				out = append(out, bToken{bTokOp, "contains"})
+			case "true":
+				out = append(out, bToken{bTokTrue, "true"})
+			default:
+				out = append(out, bToken{bTokIdent, word})
+			}
+		default:
+			return nil, fmt.Errorf("unexpected character %q in rule body", c)
+		}
+	}
+	return out, nil
+}
+
+func isBodyIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isBodyIdent(c byte) bool {
+	return isBodyIdentStart(c) || ('0' <= c && c <= '9') || c == '.'
+}

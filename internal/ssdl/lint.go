@@ -1,0 +1,136 @@
+package ssdl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/strset"
+)
+
+// Lint inspects a grammar for constructs that are legal but almost
+// certainly authoring mistakes — the descriptions sources publish are
+// hand-written, and a silently unreachable rule means a capability the
+// mediator will never use. Validate catches hard errors; Lint returns
+// human-readable warnings.
+//
+// Checks:
+//
+//   - unreachable nonterminals: rules never derivable from any condition
+//     nonterminal;
+//   - useless recursion: nonterminals that cannot derive any terminal
+//     string (e.g. `x -> x ^ a = $v` with no base case);
+//   - parenthesized top-level bodies: a condition nonterminal whose every
+//     alternative is fully wrapped in parentheses can never match, because
+//     linearization emits no outer parentheses at the top level;
+//   - empty export sets: a condition nonterminal exporting no attributes
+//     can never support any projection.
+func Lint(g *Grammar) []string {
+	var warnings []string
+
+	// Reachability from the condition nonterminals.
+	reachable := strset.New()
+	var visit func(nt string)
+	visit = func(nt string) {
+		if reachable.Has(nt) {
+			return
+		}
+		reachable.Add(nt)
+		for _, ri := range g.rulesByLHS[nt] {
+			for _, sym := range g.Rules[ri].RHS {
+				if sym.Kind == SymNonTerm {
+					visit(sym.Name)
+				}
+			}
+		}
+	}
+	for nt := range g.CondAttrs {
+		visit(nt)
+	}
+	var allNTs []string
+	seen := strset.New()
+	for _, r := range g.Rules {
+		if !seen.Has(r.LHS) {
+			seen.Add(r.LHS)
+			allNTs = append(allNTs, r.LHS)
+		}
+	}
+	sort.Strings(allNTs)
+	for _, nt := range allNTs {
+		if !reachable.Has(nt) {
+			warnings = append(warnings, fmt.Sprintf("nonterminal %q is unreachable from any condition nonterminal", nt))
+		}
+	}
+
+	// Productivity: fixed point over "can derive a terminal string".
+	productive := strset.New()
+	for changed := true; changed; {
+		changed = false
+		for _, r := range g.Rules {
+			if productive.Has(r.LHS) {
+				continue
+			}
+			ok := true
+			for _, sym := range r.RHS {
+				if sym.Kind == SymNonTerm && !productive.Has(sym.Name) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive.Add(r.LHS)
+				changed = true
+			}
+		}
+	}
+	for _, nt := range allNTs {
+		if reachable.Has(nt) && !productive.Has(nt) {
+			warnings = append(warnings, fmt.Sprintf("nonterminal %q cannot derive any condition (recursion without a base case)", nt))
+		}
+	}
+
+	// Condition nonterminals whose alternatives all start with '(' and
+	// end with ')' never match: top-level linearization is unwrapped.
+	for _, nt := range g.CondNTs() {
+		rules := g.rulesByLHS[nt]
+		if len(rules) == 0 {
+			continue
+		}
+		allWrapped := true
+		for _, ri := range rules {
+			rhs := g.Rules[ri].RHS
+			if len(rhs) < 2 || rhs[0].Kind != SymLParen || rhs[len(rhs)-1].Kind != SymRParen || !singleGroup(rhs) {
+				allWrapped = false
+				break
+			}
+		}
+		if allWrapped {
+			warnings = append(warnings, fmt.Sprintf("condition nonterminal %q only matches parenthesized input, but top-level conditions are linearized without outer parentheses", nt))
+		}
+	}
+
+	// Empty export sets.
+	for _, nt := range g.CondNTs() {
+		if g.CondAttrs[nt].Empty() {
+			warnings = append(warnings, fmt.Sprintf("condition nonterminal %q exports no attributes; no projection can ever be supported through it", nt))
+		}
+	}
+	return warnings
+}
+
+// singleGroup reports whether the body is one balanced (...) group — i.e.
+// the opening paren at position 0 closes at the final position.
+func singleGroup(rhs []Symbol) bool {
+	depth := 0
+	for i, sym := range rhs {
+		switch sym.Kind {
+		case SymLParen:
+			depth++
+		case SymRParen:
+			depth--
+			if depth == 0 && i != len(rhs)-1 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}

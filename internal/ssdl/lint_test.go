@@ -1,0 +1,127 @@
+package ssdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func lintOf(t *testing.T, src string) []string {
+	t.Helper()
+	return Lint(MustParse(src))
+}
+
+func TestLintCleanGrammar(t *testing.T) {
+	if w := lintOf(t, example41); len(w) != 0 {
+		t.Errorf("clean grammar warned: %v", w)
+	}
+}
+
+func TestLintUnreachableNonterminal(t *testing.T) {
+	w := lintOf(t, `
+source R
+attrs a, b
+orphan -> b = $v
+s1 -> a = $v
+attributes :: s1 : {a}
+`)
+	if len(w) != 1 || !strings.Contains(w[0], `"orphan" is unreachable`) {
+		t.Errorf("warnings = %v", w)
+	}
+}
+
+func TestLintUnproductiveRecursion(t *testing.T) {
+	w := lintOf(t, `
+source R
+attrs a
+loop -> loop ^ a = $v
+s1 -> a = $v | ( loop )
+attributes :: s1 : {a}
+`)
+	found := false
+	for _, msg := range w {
+		if strings.Contains(msg, `"loop" cannot derive`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing productivity warning: %v", w)
+	}
+}
+
+func TestLintFullyParenthesizedCondNT(t *testing.T) {
+	w := lintOf(t, `
+source R
+attrs a
+inner -> a = $v _ a = $v
+s1 -> ( inner )
+attributes :: s1 : {a}
+`)
+	found := false
+	for _, msg := range w {
+		if strings.Contains(msg, "parenthesized input") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing parenthesization warning: %v", w)
+	}
+	// And indeed the grammar can never match a top-level disjunction.
+	c := NewChecker(MustParse(`
+source R
+attrs a
+inner -> a = $v _ a = $v
+s1 -> ( inner )
+attributes :: s1 : {a}
+`))
+	if !c.Check(condition.MustParse(`a = 1 _ a = 2`)).Empty() {
+		t.Error("the lint warning should correspond to a real dead rule")
+	}
+}
+
+func TestLintEmptyExportSet(t *testing.T) {
+	g := MustParse(`
+source R
+attrs a
+s1 -> a = $v
+attributes :: s1 : {a}
+`)
+	g.SetCondAttrs("s1") // drop to empty
+	found := false
+	for _, msg := range Lint(g) {
+		if strings.Contains(msg, "exports no attributes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing empty-export warning")
+	}
+}
+
+func TestLintMixedParenAlternativesOK(t *testing.T) {
+	// One bare alternative is enough: no warning.
+	w := lintOf(t, `
+source R
+attrs a
+inner -> a = $v _ a = $v
+s1 -> ( inner ) | a = $v
+attributes :: s1 : {a}
+`)
+	for _, msg := range w {
+		if strings.Contains(msg, "parenthesized input") {
+			t.Errorf("spurious warning: %v", w)
+		}
+	}
+}
+
+func TestSingleGroupHelper(t *testing.T) {
+	lp, rp := Symbol{Kind: SymLParen}, Symbol{Kind: SymRParen}
+	atom := NonTerm("x")
+	if !singleGroup([]Symbol{lp, atom, rp}) {
+		t.Error("(x) should be a single group")
+	}
+	if singleGroup([]Symbol{lp, atom, rp, Symbol{Kind: SymAnd}, lp, atom, rp}) {
+		t.Error("(x) ^ (y) is not a single group")
+	}
+}

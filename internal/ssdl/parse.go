@@ -1,0 +1,293 @@
+package ssdl
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// Parse reads an SSDL source description. The format follows the paper's
+// notation with a few practical conveniences:
+//
+//	# comment
+//	source R
+//	attrs make, model, year, color, price
+//	key model
+//
+//	s1 -> make = $m ^ price < $p:int
+//	s2 -> make = $m ^ color = $c
+//	slist -> size = $v | size = $v _ slist
+//	dl -> true
+//	attributes :: s1 : {make, model, year, color}
+//	attributes :: s2 : {make, model, year}
+//	attributes :: dl : {make, model, year, color, price}
+//
+// Rule bodies use ^ for conjunction and _ for disjunction (the paper's
+// connectors); `|` separates rule alternatives, exactly as in the paper's
+// Rule (1). An identifier followed by a comparison operator starts an
+// atomic pattern whose constant is either a literal (quoted string or
+// number) or a placeholder `$name` / `$name:kind` with kind one of
+// string, int, float, num, any. An identifier not followed by an operator
+// is a nonterminal reference. A rule body `true` marks the nonterminal as
+// matching the download query SP(true, A, R).
+//
+// Nonterminals given an `attributes ::` association form the set S of
+// condition nonterminals; the implicit start rule is s -> s1 | ... | sm.
+func Parse(src string) (*Grammar, error) {
+	g := NewGrammar("")
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(g, line); err != nil {
+			return nil, fmt.Errorf("ssdl: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// fixtures.
+func MustParse(src string) *Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func parseLine(g *Grammar, line string) error {
+	switch {
+	case strings.HasPrefix(line, "source "):
+		g.Source = strings.TrimSpace(strings.TrimPrefix(line, "source "))
+		return nil
+	case strings.HasPrefix(line, "attrs "):
+		for _, a := range strings.Split(strings.TrimPrefix(line, "attrs "), ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				g.Schema = append(g.Schema, a)
+			}
+		}
+		return nil
+	case strings.HasPrefix(line, "key "):
+		g.Key = strings.TrimSpace(strings.TrimPrefix(line, "key "))
+		return nil
+	case strings.HasPrefix(line, "attributes"):
+		return parseAttributes(g, line)
+	case strings.Contains(line, "->"):
+		return parseRule(g, line)
+	default:
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+}
+
+// parseAttributes handles `attributes :: s1 : {a, b, c}`.
+func parseAttributes(g *Grammar, line string) error {
+	rest := strings.TrimPrefix(line, "attributes")
+	rest = strings.TrimSpace(rest)
+	rest = strings.TrimPrefix(rest, "::")
+	nt, setPart, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("malformed attributes line %q", line)
+	}
+	nt = strings.TrimSpace(nt)
+	if nt == "" {
+		return fmt.Errorf("attributes line missing nonterminal: %q", line)
+	}
+	setPart = strings.TrimSpace(setPart)
+	setPart = strings.TrimPrefix(setPart, "{")
+	setPart = strings.TrimSuffix(setPart, "}")
+	var attrs []string
+	for _, a := range strings.Split(setPart, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			attrs = append(attrs, a)
+		}
+	}
+	g.SetCondAttrs(nt, attrs...)
+	return nil
+}
+
+// parseRule handles `lhs -> body | body | ...`.
+func parseRule(g *Grammar, line string) error {
+	lhs, bodyText, _ := strings.Cut(line, "->")
+	lhs = strings.TrimSpace(lhs)
+	if lhs == "" || strings.ContainsAny(lhs, " \t") {
+		return fmt.Errorf("malformed rule head %q", lhs)
+	}
+	for _, alt := range splitAlternatives(bodyText) {
+		syms, err := ParseBody(alt)
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", lhs, err)
+		}
+		if err := g.AddRule(lhs, syms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitAlternatives splits on `|` outside quotes.
+func splitAlternatives(s string) []string {
+	var out []string
+	depth := 0 // quotes only; parens do not hide alternatives in SSDL
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote && (i == 0 || s[i-1] != '\\') {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '|':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// ParseBody parses one rule alternative into symbols.
+func ParseBody(body string) ([]Symbol, error) {
+	toks, err := lexBody(body)
+	if err != nil {
+		return nil, err
+	}
+	var syms []Symbol
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.kind {
+		case bTokAnd:
+			syms = append(syms, Symbol{Kind: SymAnd})
+		case bTokOr:
+			syms = append(syms, Symbol{Kind: SymOr})
+		case bTokLParen:
+			syms = append(syms, Symbol{Kind: SymLParen})
+		case bTokRParen:
+			syms = append(syms, Symbol{Kind: SymRParen})
+		case bTokTrue:
+			syms = append(syms, Symbol{Kind: SymTrue})
+		case bTokIdent:
+			// Atomic pattern if followed by an operator, else a
+			// nonterminal reference.
+			if i+1 < len(toks) && toks[i+1].kind == bTokOp {
+				op, _ := condition.ParseOp(toks[i+1].text)
+				if i+2 >= len(toks) {
+					return nil, fmt.Errorf("pattern %q %s missing value", t.text, toks[i+1].text)
+				}
+				vp, consumed, err := parseValuePatternAt(toks, i+2)
+				if err != nil {
+					return nil, err
+				}
+				syms = append(syms, Symbol{Kind: SymAtom, Atom: &AtomPattern{Attr: t.text, Op: op, Val: vp}})
+				i += 1 + consumed
+				continue
+			}
+			syms = append(syms, NonTerm(t.text))
+		default:
+			return nil, fmt.Errorf("unexpected token %q in rule body", t.text)
+		}
+	}
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("empty rule body")
+	}
+	return syms, nil
+}
+
+// parseValuePatternAt parses the value pattern starting at toks[i],
+// returning it and the number of tokens consumed (≥1). Enumerations span
+// several tokens: { lit , lit , ... }.
+func parseValuePatternAt(toks []bToken, i int) (ValuePattern, int, error) {
+	if toks[i].kind != bTokLBrace {
+		vp, err := parseValuePattern(toks[i])
+		return vp, 1, err
+	}
+	var vals []condition.Value
+	j := i + 1
+	for {
+		if j >= len(toks) {
+			return ValuePattern{}, 0, fmt.Errorf("unterminated enumeration {...}")
+		}
+		switch toks[j].kind {
+		case bTokRBrace:
+			if len(vals) == 0 {
+				return ValuePattern{}, 0, fmt.Errorf("empty enumeration {}")
+			}
+			return EnumPattern(vals...), j - i + 1, nil
+		case bTokComma:
+			j++
+		case bTokString:
+			vals = append(vals, condition.String(toks[j].text))
+			j++
+		case bTokNumber:
+			v, err := condition.ParseNumber(toks[j].text)
+			if err != nil {
+				return ValuePattern{}, 0, err
+			}
+			vals = append(vals, v)
+			j++
+		default:
+			return ValuePattern{}, 0, fmt.Errorf("unexpected token %q in enumeration", toks[j].text)
+		}
+	}
+}
+
+func parseValuePattern(t bToken) (ValuePattern, error) {
+	switch t.kind {
+	case bTokPlaceholder:
+		name, kindName, hasKind := strings.Cut(t.text, ":")
+		kind := AnyValue
+		if hasKind {
+			switch kindName {
+			case "string", "str":
+				kind = StringValue
+			case "int":
+				kind = IntValue
+			case "float":
+				kind = FloatValue
+			case "num", "numeric":
+				kind = NumericValue
+			case "any":
+				kind = AnyValue
+			default:
+				return ValuePattern{}, fmt.Errorf("unknown placeholder kind %q", kindName)
+			}
+		}
+		return Placeholder(name, kind), nil
+	case bTokString:
+		return LiteralPattern(condition.String(t.text)), nil
+	case bTokNumber:
+		v, err := condition.ParseNumber(t.text)
+		if err != nil {
+			return ValuePattern{}, err
+		}
+		return LiteralPattern(v), nil
+	default:
+		return ValuePattern{}, fmt.Errorf("expected value or placeholder, got %q", t.text)
+	}
+}

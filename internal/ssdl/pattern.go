@@ -1,0 +1,139 @@
+package ssdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// PlaceholderKind constrains the constants a placeholder accepts.
+type PlaceholderKind int
+
+const (
+	// AnyValue accepts any constant kind.
+	AnyValue PlaceholderKind = iota
+	// StringValue accepts string constants only ($c, $m in the paper).
+	StringValue
+	// IntValue accepts integer constants only ($p in the paper).
+	IntValue
+	// FloatValue accepts floating-point constants only.
+	FloatValue
+	// NumericValue accepts ints and floats.
+	NumericValue
+)
+
+// String returns the placeholder kind's declaration syntax.
+func (k PlaceholderKind) String() string {
+	switch k {
+	case AnyValue:
+		return "any"
+	case StringValue:
+		return "string"
+	case IntValue:
+		return "int"
+	case FloatValue:
+		return "float"
+	case NumericValue:
+		return "num"
+	default:
+		return fmt.Sprintf("phkind(%d)", int(k))
+	}
+}
+
+func (k PlaceholderKind) matches(v condition.Value) bool {
+	switch k {
+	case AnyValue:
+		return true
+	case StringValue:
+		return v.Kind == condition.KindString
+	case IntValue:
+		return v.Kind == condition.KindInt
+	case FloatValue:
+		return v.Kind == condition.KindFloat
+	case NumericValue:
+		return v.IsNumeric()
+	default:
+		return false
+	}
+}
+
+// ValuePattern matches the constant of an atomic condition: an exact
+// literal (`style = "sedan"` in a rule body), an enumeration of allowed
+// literals (`style = {"sedan", "coupe"}` — the dropdown fields of real
+// web forms), or a typed placeholder (`price < $p`).
+type ValuePattern struct {
+	Literal *condition.Value  // exact match when non-nil
+	OneOf   []condition.Value // enumerated match when non-empty
+	Kind    PlaceholderKind   // placeholder constraint otherwise
+	Name    string            // placeholder name, informational
+}
+
+// LiteralPattern builds a pattern matching exactly v.
+func LiteralPattern(v condition.Value) ValuePattern { return ValuePattern{Literal: &v} }
+
+// EnumPattern builds a pattern matching any of the listed literals.
+func EnumPattern(vs ...condition.Value) ValuePattern {
+	return ValuePattern{OneOf: append([]condition.Value(nil), vs...)}
+}
+
+// Placeholder builds a typed placeholder pattern.
+func Placeholder(name string, kind PlaceholderKind) ValuePattern {
+	return ValuePattern{Kind: kind, Name: name}
+}
+
+// Matches reports whether the pattern accepts the constant.
+func (p ValuePattern) Matches(v condition.Value) bool {
+	if p.Literal != nil {
+		return p.Literal.Equal(v) && p.Literal.Kind == v.Kind
+	}
+	if len(p.OneOf) > 0 {
+		for _, o := range p.OneOf {
+			if o.Equal(v) && o.Kind == v.Kind {
+				return true
+			}
+		}
+		return false
+	}
+	return p.Kind.matches(v)
+}
+
+// String renders the pattern in rule-body syntax.
+func (p ValuePattern) String() string {
+	if p.Literal != nil {
+		return p.Literal.String()
+	}
+	if len(p.OneOf) > 0 {
+		parts := make([]string, len(p.OneOf))
+		for i, v := range p.OneOf {
+			parts[i] = v.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	name := p.Name
+	if name == "" {
+		name = "v"
+	}
+	if p.Kind == AnyValue {
+		return "$" + name
+	}
+	return "$" + name + ":" + p.Kind.String()
+}
+
+// AtomPattern matches one atomic condition: attribute and operator are
+// literal, the constant is a ValuePattern.
+type AtomPattern struct {
+	Attr string
+	Op   condition.Op
+	Val  ValuePattern
+}
+
+// Matches reports whether the pattern accepts the atomic condition.
+func (p *AtomPattern) Matches(a *condition.Atomic) bool {
+	return p.Attr == a.Attr && p.Op == a.Op && p.Val.Matches(a.Val)
+}
+
+// String renders the pattern in rule-body syntax.
+func (p *AtomPattern) String() string {
+	return p.Attr + " " + p.Op.String() + " " + p.Val.String()
+}

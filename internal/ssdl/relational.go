@@ -1,0 +1,88 @@
+package ssdl
+
+import "repro/internal/condition"
+
+// RelationalGrammar builds an SSDL description accepting every canonical
+// condition expression over the given atomic patterns: arbitrary AND/OR
+// nesting with the alternating parenthesization Linearize produces. It is
+// the capability description of a relationally complete interface, used by
+// wrappers that expose full select-project power over a limited source
+// (§2: wrappers providing "generic relational capabilities" must implement
+// the paper's scheme internally — internal/wrapper does, and advertises
+// this grammar).
+//
+// The grammar shape, with `atom` standing for the pattern alternatives:
+//
+//	any   -> atom | conj | disj
+//	conj  -> celem ^ celem | celem ^ conj      (≥2 conjuncts)
+//	celem -> atom | ( disj )
+//	disj  -> delem _ delem | delem _ disj      (≥2 disjuncts)
+//	delem -> atom | ( conj )
+func RelationalGrammar(source string, schema []string, key string, atoms []*AtomPattern, exports []string) *Grammar {
+	g := NewGrammar(source)
+	g.Schema = append([]string(nil), schema...)
+	g.Key = key
+
+	mustAdd := func(lhs string, rhs ...Symbol) {
+		if err := g.AddRule(lhs, rhs); err != nil {
+			panic("ssdl: relational grammar: " + err.Error()) // impossible: bodies are fixed and non-empty
+		}
+	}
+
+	for _, a := range atoms {
+		mustAdd("atom", Symbol{Kind: SymAtom, Atom: a})
+	}
+	and := Symbol{Kind: SymAnd}
+	or := Symbol{Kind: SymOr}
+	lp := Symbol{Kind: SymLParen}
+	rp := Symbol{Kind: SymRParen}
+
+	mustAdd("celem", NonTerm("atom"))
+	mustAdd("celem", lp, NonTerm("disj"), rp)
+	mustAdd("conj", NonTerm("celem"), and, NonTerm("celem"))
+	mustAdd("conj", NonTerm("celem"), and, NonTerm("conj"))
+
+	mustAdd("delem", NonTerm("atom"))
+	mustAdd("delem", lp, NonTerm("conj"), rp)
+	mustAdd("disj", NonTerm("delem"), or, NonTerm("delem"))
+	mustAdd("disj", NonTerm("delem"), or, NonTerm("disj"))
+
+	mustAdd("any", NonTerm("atom"))
+	mustAdd("any", NonTerm("conj"))
+	mustAdd("any", NonTerm("disj"))
+	mustAdd("any", Symbol{Kind: SymTrue})
+
+	g.SetCondAttrs("any", exports...)
+	return g
+}
+
+// StandardAtoms builds the atom patterns of a relationally complete
+// interface: every (attribute, operator) pair with an untyped placeholder.
+// Strings additionally support `contains`.
+type StandardAtomSpec struct {
+	Attr string
+	// Numeric selects the comparison set: =, !=, <, <=, >, >= when true;
+	// =, !=, contains when false.
+	Numeric bool
+}
+
+// StandardAtoms expands the specs into atom patterns for
+// RelationalGrammar.
+func StandardAtoms(specs []StandardAtomSpec) []*AtomPattern {
+	var out []*AtomPattern
+	for _, s := range specs {
+		ops := stringOps
+		if s.Numeric {
+			ops = numericOps
+		}
+		for _, op := range ops {
+			out = append(out, &AtomPattern{Attr: s.Attr, Op: op, Val: Placeholder("v", AnyValue)})
+		}
+	}
+	return out
+}
+
+var (
+	numericOps = []condition.Op{condition.OpEq, condition.OpNe, condition.OpLt, condition.OpLe, condition.OpGt, condition.OpGe}
+	stringOps  = []condition.Op{condition.OpEq, condition.OpNe, condition.OpContains}
+)

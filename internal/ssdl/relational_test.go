@@ -1,0 +1,98 @@
+package ssdl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+func relationalFixture() *Checker {
+	atoms := StandardAtoms([]StandardAtomSpec{
+		{Attr: "a", Numeric: true},
+		{Attr: "b", Numeric: true},
+		{Attr: "s", Numeric: false},
+	})
+	g := RelationalGrammar("R", []string{"a", "b", "s"}, "a", atoms, []string{"a", "b", "s"})
+	return NewChecker(g)
+}
+
+func TestRelationalGrammarAcceptsArbitraryShapes(t *testing.T) {
+	c := relationalFixture()
+	cases := []string{
+		`a = 1`,
+		`a = 1 ^ b = 2`,
+		`a = 1 _ b = 2`,
+		`a = 1 ^ (b = 2 _ s = "x")`,
+		`(a = 1 ^ b = 2) _ (a = 3 ^ s contains "q")`,
+		`a < 1 ^ (b >= 2 _ (a != 3 ^ s = "z")) ^ b <= 9`,
+		`true`,
+	}
+	for _, src := range cases {
+		if c.Check(condition.MustParse(src)).Empty() {
+			t.Errorf("relational grammar rejected %s", src)
+		}
+	}
+}
+
+func TestRelationalGrammarRespectsAtomVocabulary(t *testing.T) {
+	c := relationalFixture()
+	// `contains` is only defined for the string attribute.
+	if !c.Check(condition.MustParse(`a contains "x"`)).Empty() {
+		t.Error("contains on numeric attr should be rejected")
+	}
+	// Unknown attribute.
+	if !c.Check(condition.MustParse(`zz = 1`)).Empty() {
+		t.Error("unknown attribute should be rejected")
+	}
+}
+
+func TestRelationalGrammarExports(t *testing.T) {
+	c := relationalFixture()
+	got := c.Check(condition.MustParse(`a = 1 ^ b = 2`))
+	if !got.Equal(strset.New("a", "b", "s")) {
+		t.Errorf("exports = %v", got)
+	}
+}
+
+// Property: the relational grammar accepts every random canonical tree
+// over its vocabulary.
+func TestRelationalGrammarAcceptsRandomTrees(t *testing.T) {
+	c := relationalFixture()
+	r := rand.New(rand.NewSource(31))
+	attrs := []string{"a", "b"}
+	var gen func(depth int) condition.Node
+	gen = func(depth int) condition.Node {
+		if depth <= 0 || r.Intn(3) == 0 {
+			return condition.NewAtomic(attrs[r.Intn(2)], condition.OpEq, condition.Int(int64(r.Intn(5))))
+		}
+		n := 2 + r.Intn(2)
+		kids := make([]condition.Node, n)
+		for i := range kids {
+			kids[i] = gen(depth - 1)
+		}
+		if r.Intn(2) == 0 {
+			return &condition.And{Kids: kids}
+		}
+		return &condition.Or{Kids: kids}
+	}
+	for i := 0; i < 150; i++ {
+		n := gen(3)
+		if c.Check(n).Empty() {
+			t.Fatalf("relational grammar rejected %s", condition.Canonicalize(n).Key())
+		}
+	}
+}
+
+func TestRelationalGrammarValidates(t *testing.T) {
+	atoms := StandardAtoms([]StandardAtomSpec{{Attr: "x", Numeric: true}})
+	g := RelationalGrammar("R", []string{"x"}, "x", atoms, []string{"x"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trips through the textual form.
+	if _, err := Parse(g.String()); err != nil {
+		t.Fatalf("textual round trip: %v\n%s", err, g.String())
+	}
+}

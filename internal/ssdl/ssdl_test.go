@@ -1,0 +1,555 @@
+package ssdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+// example41 is the paper's Example 4.1 source description.
+const example41 = `
+source R
+attrs make, model, year, color, price
+
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, year, color}
+attributes :: s2 : {make, model, year}
+`
+
+func TestParseExample41(t *testing.T) {
+	g, err := Parse(example41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Source != "R" {
+		t.Errorf("Source = %q", g.Source)
+	}
+	if len(g.Schema) != 5 {
+		t.Errorf("Schema = %v", g.Schema)
+	}
+	if len(g.Rules) != 2 {
+		t.Errorf("Rules = %d", len(g.Rules))
+	}
+	if !g.IsCondNT("s1") || !g.IsCondNT("s2") || g.IsCondNT("s3") {
+		t.Error("condition nonterminals wrong")
+	}
+	if !g.CondAttrs["s1"].Equal(strset.New("make", "model", "year", "color")) {
+		t.Errorf("s1 attrs = %v", g.CondAttrs["s1"])
+	}
+}
+
+func TestCheckExample41(t *testing.T) {
+	c := NewChecker(MustParse(example41))
+	tests := []struct {
+		cond string
+		want strset.Set
+	}{
+		// Rule (2): the paper's example supported query.
+		{`make = "BMW" ^ price < 40000`, strset.New("make", "model", "year", "color")},
+		// Rule (3).
+		{`make = "BMW" ^ color = "red"`, strset.New("make", "model", "year")},
+		// Order matters until the description is rewritten (§6.1).
+		{`color = "red" ^ make = "BMW"`, strset.New()},
+		{`price < 40000 ^ make = "BMW"`, strset.New()},
+		// Partial conditions are not derivable.
+		{`make = "BMW"`, strset.New()},
+		{`price < 40000`, strset.New()},
+		// Wrong operator.
+		{`make = "BMW" ^ price <= 40000`, strset.New()},
+		// Wrong constant kind for a typed placeholder.
+		{`make = 5 ^ price < 40000`, strset.New()},
+		{`make = "BMW" ^ price < "cheap"`, strset.New()},
+		// Disjunction is not in this grammar at all.
+		{`make = "BMW" _ make = "Audi"`, strset.New()},
+		// Download is not allowed by this grammar.
+		{`true`, strset.New()},
+	}
+	for _, tc := range tests {
+		got := c.Check(condition.MustParse(tc.cond))
+		if !got.Equal(tc.want) {
+			t.Errorf("Check(%s) = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestCheckSection4Example(t *testing.T) {
+	// §4: for the Figure 1 target query with A = {model, year}:
+	// SP(n1, A, R) is supported; SP(n2, A, R) is not.
+	c := NewChecker(MustParse(example41))
+	n1 := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	n2 := condition.MustParse(`color = "red" _ color = "black"`)
+	a := strset.New("model", "year")
+	if !c.Supports(n1, a) {
+		t.Error("SP(n1, A, R) should be supported")
+	}
+	if c.Supports(n2, a) {
+		t.Error("SP(n2, A, R) should not be supported")
+	}
+	// And the single-query plan needs A ∪ Attr(n2) ⊆ Check(n1).
+	if !c.Supports(n1, a.Union(strset.New("color"))) {
+		t.Error("SP(n1, A ∪ Attr(n2), R) should be supported")
+	}
+}
+
+func TestCheckCanonicalizationInsensitive(t *testing.T) {
+	// Grouping must not affect supportability: ((a ^ b)) == a ^ b.
+	g := MustParse(`
+source R
+attrs a, b, c
+s1 -> a = $x ^ b = $y ^ c = $z
+attributes :: s1 : {a, b, c}
+`)
+	c := NewChecker(g)
+	flat := condition.MustParse(`a = 1 ^ b = 2 ^ c = 3`)
+	nested := condition.MustParse(`a = 1 ^ (b = 2 ^ c = 3)`)
+	if c.Check(flat).Empty() {
+		t.Fatal("flat conjunction should be supported")
+	}
+	if !c.Check(nested).Equal(c.Check(flat)) {
+		t.Error("nested grouping should check identically to flat")
+	}
+}
+
+func TestCheckValueListGrammar(t *testing.T) {
+	// Example 1.2's form: single-value style/make/price plus a list of
+	// values for size, expressed with a recursive rule.
+	g := MustParse(`
+source cars
+attrs style, size, make, price, model
+
+slist -> size = $v:string | size = $v:string _ slist
+s1 -> style = $s:string ^ make = $m:string ^ price <= $p:int ^ ( slist )
+attributes :: s1 : {style, size, make, price, model}
+`)
+	c := NewChecker(g)
+	ok := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (size = "compact" _ size = "midsize")`)
+	if c.Check(ok).Empty() {
+		t.Error("value-list query should be supported")
+	}
+	three := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (size = "a" _ size = "b" _ size = "c")`)
+	if c.Check(three).Empty() {
+		t.Error("3-element value list should be supported (recursion)")
+	}
+	// A list over the wrong attribute is rejected.
+	bad := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (make = "a" _ make = "b")`)
+	if !c.Check(bad).Empty() {
+		t.Error("list over wrong attribute should be rejected")
+	}
+}
+
+func TestCheckSingleDisjunctCollapses(t *testing.T) {
+	// A one-element "list" arrives as a bare atom after
+	// canonicalization; grammars with a bare-atom alternative accept it.
+	g := MustParse(`
+source cars
+attrs style, size
+slist -> size = $v:string | size = $v:string _ slist
+s1 -> style = $s:string ^ ( slist )
+s2 -> style = $s:string ^ size = $v:string
+attributes :: s1 : {style, size}
+attributes :: s2 : {style, size}
+`)
+	c := NewChecker(g)
+	one := condition.MustParse(`style = "sedan" ^ size = "compact"`)
+	if c.Check(one).Empty() {
+		t.Error("single size value should match via s2")
+	}
+}
+
+func TestCheckDownloadRule(t *testing.T) {
+	g := MustParse(`
+source R
+attrs a, b
+s1 -> a = $x
+dl -> true
+attributes :: s1 : {a, b}
+attributes :: dl : {a}
+`)
+	c := NewChecker(g)
+	if got := c.Downloadable(); !got.Equal(strset.New("a")) {
+		t.Errorf("Downloadable = %v, want {a}", got)
+	}
+}
+
+func TestCheckAmbiguityUnionsAttrs(t *testing.T) {
+	g := MustParse(`
+source R
+attrs a, b, c
+s1 -> a = $x
+s2 -> a = $x
+attributes :: s1 : {a, b}
+attributes :: s2 : {a, c}
+`)
+	c := NewChecker(g)
+	got := c.Check(condition.MustParse(`a = 1`))
+	if !got.Equal(strset.New("a", "b", "c")) {
+		t.Errorf("ambiguous parse attrs = %v, want union", got)
+	}
+}
+
+func TestCheckLiteralPattern(t *testing.T) {
+	g := MustParse(`
+source R
+attrs style, make
+s1 -> style = "sedan" ^ make = $m:string
+attributes :: s1 : {style, make}
+`)
+	c := NewChecker(g)
+	if c.Check(condition.MustParse(`style = "sedan" ^ make = "BMW"`)).Empty() {
+		t.Error("literal sedan should match")
+	}
+	if !c.Check(condition.MustParse(`style = "coupe" ^ make = "BMW"`)).Empty() {
+		t.Error("literal mismatch should be rejected")
+	}
+}
+
+func TestCheckerMemoization(t *testing.T) {
+	c := NewChecker(MustParse(example41))
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	c.Check(cond)
+	c.Check(cond)
+	c.Check(cond)
+	calls, hits, tokens := c.Stats()
+	if calls != 3 || hits != 2 {
+		t.Errorf("calls=%d hits=%d, want 3/2", calls, hits)
+	}
+	if tokens == 0 {
+		t.Error("tokens should be counted on the miss")
+	}
+	c.ResetStats()
+	if calls, hits, _ := c.Stats(); calls != 0 || hits != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestGrammarValidation(t *testing.T) {
+	bad := []string{
+		// No condition nonterminals at all.
+		`
+source R
+s1 -> a = $x
+`,
+		// Condition NT without rules.
+		`
+source R
+s1 -> a = $x
+attributes :: s2 : {a}
+`,
+		// Undefined nonterminal reference.
+		`
+source R
+s1 -> a = $x ^ ( ghost )
+attributes :: s1 : {a}
+`,
+		// Attribute outside declared schema.
+		`
+source R
+attrs a
+s1 -> a = $x
+attributes :: s1 : {a, zz}
+`,
+		// Pattern attribute outside declared schema.
+		`
+source R
+attrs a
+s1 -> b = $x
+attributes :: s1 : {a}
+`,
+		// Key outside schema.
+		`
+source R
+attrs a
+key zz
+s1 -> a = $x
+attributes :: s1 : {a}
+`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail to parse/validate", i)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"junk line here",
+		"s1 -> ",
+		"s1 -> a = ",
+		"s1 -> a = $",
+		"s1 -> a = $x:mystery",
+		`s1 -> a = "unterminated`,
+		"s1 -> a ~ $x",
+		"attributes :: : {a}",
+		"attributes s1 {a}",
+		"two words -> a = $x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src + "\nattributes :: s1 : {a}\n"); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestGrammarStringRoundTrip(t *testing.T) {
+	g := MustParse(example41)
+	back, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", g.String(), err)
+	}
+	c1 := NewChecker(g)
+	c2 := NewChecker(back)
+	for _, cond := range []string{
+		`make = "BMW" ^ price < 40000`,
+		`make = "BMW" ^ color = "red"`,
+		`color = "red" ^ make = "BMW"`,
+	} {
+		n := condition.MustParse(cond)
+		if !c1.Check(n).Equal(c2.Check(n)) {
+			t.Errorf("round trip changed Check(%s)", cond)
+		}
+	}
+}
+
+func TestCommutativeClosure(t *testing.T) {
+	g := MustParse(example41)
+	closed := CommutativeClosure(g, 0)
+	c := NewChecker(closed)
+	// §6.1: after rewriting, (color = "red" ^ make = "BMW") is accepted.
+	rev := condition.MustParse(`color = "red" ^ make = "BMW"`)
+	if !c.Check(rev).Equal(strset.New("make", "model", "year")) {
+		t.Errorf("closure Check(reversed) = %v", c.Check(rev))
+	}
+	// Each 2-conjunct rule doubles.
+	if len(closed.Rules) != 4 {
+		t.Errorf("closure has %d rules, want 4", len(closed.Rules))
+	}
+	// Original still accepted.
+	if c.Check(condition.MustParse(`make = "BMW" ^ price < 40000`)).Empty() {
+		t.Error("original order must stay accepted")
+	}
+}
+
+func TestClosurePreservesOriginalLanguage(t *testing.T) {
+	g := MustParse(`
+source cars
+attrs style, size, make, price
+slist -> size = $v:string | size = $v:string _ slist
+s1 -> style = $s:string ^ make = $m:string ^ price <= $p:int ^ ( slist )
+attributes :: s1 : {style, size, make, price}
+`)
+	closed := CommutativeClosure(g, 0)
+	orig := NewChecker(g)
+	cc := NewChecker(closed)
+	cond := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (size = "a" _ size = "b")`)
+	if orig.Check(cond).Empty() || cc.Check(cond).Empty() {
+		t.Fatal("both grammars must accept the original order")
+	}
+	// Reordered conjuncts accepted only by the closure.
+	re := condition.MustParse(`(size = "a" _ size = "b") ^ style = "sedan" ^ make = "Toyota" ^ price <= 20000`)
+	if !orig.Check(re).Empty() {
+		t.Error("original grammar should reject reordering")
+	}
+	if cc.Check(re).Empty() {
+		t.Error("closure grammar should accept reordering")
+	}
+}
+
+func TestClosureLimitRespected(t *testing.T) {
+	g := MustParse(`
+source R
+attrs a, b, c, d, e, f
+s1 -> a = $x ^ b = $x ^ c = $x ^ d = $x ^ e = $x ^ f = $x
+attributes :: s1 : {a}
+`)
+	closed := CommutativeClosure(g, 10) // 6! = 720 > 10: keep original
+	if len(closed.Rules) != 1 {
+		t.Errorf("limited closure has %d rules, want 1", len(closed.Rules))
+	}
+	full := CommutativeClosure(g, 0)
+	if len(full.Rules) != 720 {
+		t.Errorf("full closure has %d rules, want 720", len(full.Rules))
+	}
+}
+
+func TestFixReordersForOriginalGrammar(t *testing.T) {
+	g := MustParse(example41)
+	orig := NewChecker(g)
+	closed := NewChecker(CommutativeClosure(g, 0))
+	attrs := strset.New("model", "year")
+	rev := condition.MustParse(`color = "red" ^ make = "BMW"`)
+	if !closed.Supports(rev, attrs) {
+		t.Fatal("closure should support reversed query")
+	}
+	fixed, ok := Fix(orig, rev, attrs, 0)
+	if !ok {
+		t.Fatal("Fix failed")
+	}
+	if !orig.Supports(fixed, attrs) {
+		t.Error("fixed query not supported by original grammar")
+	}
+	want := condition.MustParse(`make = "BMW" ^ color = "red"`)
+	if fixed.Key() != want.Key() {
+		t.Errorf("fixed = %s, want %s", fixed.Key(), want.Key())
+	}
+}
+
+func TestFixIdentityWhenAlreadySupported(t *testing.T) {
+	orig := NewChecker(MustParse(example41))
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	fixed, ok := Fix(orig, cond, strset.New("model"), 0)
+	if !ok || fixed.Key() != cond.Key() {
+		t.Errorf("Fix should return the query unchanged, got %v, %v", fixed, ok)
+	}
+}
+
+func TestFixNestedReordering(t *testing.T) {
+	g := MustParse(`
+source cars
+attrs style, size, make
+slist -> size = $v:string | size = $v:string _ slist
+s1 -> style = $s:string ^ make = $m:string ^ ( slist )
+attributes :: s1 : {style, size, make}
+`)
+	orig := NewChecker(g)
+	// Both top-level conjuncts and nothing else need reordering.
+	re := condition.MustParse(`make = "Toyota" ^ (size = "a" _ size = "b") ^ style = "sedan"`)
+	fixed, ok := Fix(orig, re, strset.New("style"), 0)
+	if !ok {
+		t.Fatal("Fix failed on nested tree")
+	}
+	if !orig.Supports(fixed, strset.New("style")) {
+		t.Error("fixed nested query unsupported")
+	}
+}
+
+func TestFixFailsWhenUnsupportable(t *testing.T) {
+	orig := NewChecker(MustParse(example41))
+	cond := condition.MustParse(`year = 1998`)
+	if _, ok := Fix(orig, cond, strset.New("model"), 100); ok {
+		t.Error("Fix should fail for a genuinely unsupported query")
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	n := condition.MustParse(`a = 1 ^ (b = 2 _ c = 3)`)
+	toks := Linearize(condition.Canonicalize(n))
+	got := TokensString(toks)
+	want := `a = 1 ^ ( b = 2 _ c = 3 )`
+	if got != want {
+		t.Errorf("Linearize = %q, want %q", got, want)
+	}
+	if TokensString(Linearize(condition.True())) != "true" {
+		t.Error("Linearize(true) wrong")
+	}
+}
+
+func TestRecognizerLinearScaling(t *testing.T) {
+	// Sanity: a 200-conjunct chain parses against a recursive template
+	// without blowup.
+	g := MustParse(`
+source R
+attrs a
+chain -> a = $x:int | a = $x:int ^ chain
+attributes :: chain : {a}
+`)
+	c := NewChecker(g)
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(" ^ ")
+		}
+		sb.WriteString("a = 1")
+	}
+	if c.Check(condition.MustParse(sb.String())).Empty() {
+		t.Error("long chain should be supported")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := MustParse(example41)
+	cp := g.Clone()
+	cp.SetCondAttrs("s1", "make")
+	if g.CondAttrs["s1"].Equal(cp.CondAttrs["s1"]) {
+		t.Error("clone shares attr sets")
+	}
+}
+
+func TestDescribeRules(t *testing.T) {
+	g := MustParse(example41)
+	if !strings.Contains(describeRules(g), "s1 ->") {
+		t.Error("describeRules missing rule")
+	}
+}
+
+func TestEnumValuePattern(t *testing.T) {
+	g := MustParse(`
+source R
+attrs style, make
+s1 -> style = {"sedan", "coupe"} ^ make = $m:string
+attributes :: s1 : {style, make}
+`)
+	c := NewChecker(g)
+	if c.Check(condition.MustParse(`style = "sedan" ^ make = "BMW"`)).Empty() {
+		t.Error("enumerated value should match")
+	}
+	if c.Check(condition.MustParse(`style = "coupe" ^ make = "BMW"`)).Empty() {
+		t.Error("second enumerated value should match")
+	}
+	if !c.Check(condition.MustParse(`style = "suv" ^ make = "BMW"`)).Empty() {
+		t.Error("value outside the dropdown should be rejected")
+	}
+	// Kind must match too.
+	if !c.Check(condition.MustParse(`style = 7 ^ make = "BMW"`)).Empty() {
+		t.Error("wrong-kind value should be rejected")
+	}
+}
+
+func TestEnumNumericPattern(t *testing.T) {
+	g := MustParse(`
+source R
+attrs year
+s1 -> year = {1997, 1998, 1999}
+attributes :: s1 : {year}
+`)
+	c := NewChecker(g)
+	if c.Check(condition.MustParse(`year = 1998`)).Empty() {
+		t.Error("listed year should match")
+	}
+	if !c.Check(condition.MustParse(`year = 2000`)).Empty() {
+		t.Error("unlisted year should be rejected")
+	}
+}
+
+func TestEnumPatternRoundTrip(t *testing.T) {
+	g := MustParse(`
+source R
+attrs style
+s1 -> style = {"sedan", "coupe"}
+attributes :: s1 : {style}
+`)
+	back, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("enum grammar does not round trip: %v\n%s", err, g.String())
+	}
+	probe := condition.MustParse(`style = "coupe"`)
+	if !NewChecker(g).Check(probe).Equal(NewChecker(back).Check(probe)) {
+		t.Error("Check behaviour changed across round trip")
+	}
+}
+
+func TestEnumPatternErrors(t *testing.T) {
+	bad := []string{
+		"s1 -> a = {}\nattributes :: s1 : {a}\n",
+		"s1 -> a = {\"x\"\nattributes :: s1 : {a}\n",
+		"s1 -> a = {^}\nattributes :: s1 : {a}\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}

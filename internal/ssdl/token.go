@@ -1,0 +1,112 @@
+// Package ssdl implements the paper's Simple Source-Description Language
+// (§4): a context-free-grammar-based description of the condition
+// expressions an Internet source can evaluate and the attributes each
+// supported query shape exports. The package provides the description
+// parser, a recognizer (the Check function), the commutative-closure
+// rewriting of §6.1, and the execution-time query fixer.
+package ssdl
+
+import (
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// CTokKind identifies a linearized condition token.
+type CTokKind int
+
+const (
+	// CTokAtom is an atomic condition token.
+	CTokAtom CTokKind = iota
+	// CTokAnd is the conjunction connector ^.
+	CTokAnd
+	// CTokOr is the disjunction connector _.
+	CTokOr
+	// CTokLParen opens a nested group.
+	CTokLParen
+	// CTokRParen closes a nested group.
+	CTokRParen
+	// CTokTrue is the trivially-true condition used by download queries.
+	CTokTrue
+)
+
+// CTok is one token of a linearized condition expression.
+type CTok struct {
+	Kind CTokKind
+	Atom *condition.Atomic // set when Kind == CTokAtom
+}
+
+// String renders the token in SSDL body syntax.
+func (t CTok) String() string {
+	switch t.Kind {
+	case CTokAtom:
+		return t.Atom.String()
+	case CTokAnd:
+		return "^"
+	case CTokOr:
+		return "_"
+	case CTokLParen:
+		return "("
+	case CTokRParen:
+		return ")"
+	case CTokTrue:
+		return "true"
+	default:
+		return "?"
+	}
+}
+
+// Linearize flattens a condition tree into the token stream the SSDL
+// recognizer parses. Nested connector groups are wrapped in parentheses;
+// the top level is bare. Callers that want grouping-insensitive matching
+// (Check does) canonicalize the tree first, so that parenthesization
+// reflects only genuine connector alternation.
+func Linearize(n condition.Node) []CTok {
+	var out []CTok
+	appendNode(&out, n, true)
+	return out
+}
+
+func appendNode(out *[]CTok, n condition.Node, top bool) {
+	switch t := n.(type) {
+	case *condition.Atomic:
+		*out = append(*out, CTok{Kind: CTokAtom, Atom: t})
+	case *condition.Truth:
+		*out = append(*out, CTok{Kind: CTokTrue})
+	case *condition.And:
+		if !top {
+			*out = append(*out, CTok{Kind: CTokLParen})
+		}
+		for i, k := range t.Kids {
+			if i > 0 {
+				*out = append(*out, CTok{Kind: CTokAnd})
+			}
+			appendNode(out, k, false)
+		}
+		if !top {
+			*out = append(*out, CTok{Kind: CTokRParen})
+		}
+	case *condition.Or:
+		if !top {
+			*out = append(*out, CTok{Kind: CTokLParen})
+		}
+		for i, k := range t.Kids {
+			if i > 0 {
+				*out = append(*out, CTok{Kind: CTokOr})
+			}
+			appendNode(out, k, false)
+		}
+		if !top {
+			*out = append(*out, CTok{Kind: CTokRParen})
+		}
+	}
+}
+
+// TokensString renders a token stream for diagnostics.
+func TokensString(toks []CTok) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,122 @@
+// Package strset provides a small string-set type used for attribute sets
+// throughout the planner: export sets, requested-attribute sets and the
+// subset tests of the Check function.
+package strset
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a set of strings. The zero value is an empty set usable with the
+// read-only operations; use New or Add for writes.
+type Set map[string]bool
+
+// New builds a set from the given elements.
+func New(elems ...string) Set {
+	s := make(Set, len(elems))
+	for _, e := range elems {
+		s[e] = true
+	}
+	return s
+}
+
+// Add inserts elements, allocating if s is nil, and returns the set.
+func (s Set) Add(elems ...string) Set {
+	if s == nil {
+		s = make(Set, len(elems))
+	}
+	for _, e := range elems {
+		s[e] = true
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(e string) bool { return s[e] }
+
+// Len returns the number of elements.
+func (s Set) Len() int { return len(s) }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// SubsetOf reports whether every element of s is in o.
+func (s Set) SubsetOf(o Set) bool {
+	for e := range s {
+		if !o[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets have the same elements.
+func (s Set) Equal(o Set) bool {
+	return len(s) == len(o) && s.SubsetOf(o)
+}
+
+// Union returns a new set with the elements of both.
+func (s Set) Union(o Set) Set {
+	out := make(Set, len(s)+len(o))
+	for e := range s {
+		out[e] = true
+	}
+	for e := range o {
+		out[e] = true
+	}
+	return out
+}
+
+// Intersect returns a new set with the common elements.
+func (s Set) Intersect(o Set) Set {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	out := make(Set)
+	for e := range small {
+		if big[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// Minus returns a new set with the elements of s not in o.
+func (s Set) Minus(o Set) Set {
+	out := make(Set)
+	for e := range s {
+		if !o[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for e := range s {
+		out[e] = true
+	}
+	return out
+}
+
+// Sorted returns the elements in sorted order.
+func (s Set) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}
+
+// Key returns a canonical encoding usable as a map key.
+func (s Set) Key() string { return strings.Join(s.Sorted(), "\x1f") }

@@ -1,0 +1,101 @@
+package strset
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New("b", "a", "b")
+	if s.Len() != 2 || !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Errorf("set = %v", s)
+	}
+	if !reflect.DeepEqual(s.Sorted(), []string{"a", "b"}) {
+		t.Errorf("Sorted = %v", s.Sorted())
+	}
+	if s.String() != "{a, b}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestZeroValueReadable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Has("x") || s.Len() != 0 {
+		t.Error("zero set should behave as empty")
+	}
+	if !s.SubsetOf(New("a")) {
+		t.Error("empty set is a subset of everything")
+	}
+	s2 := s.Add("x")
+	if !s2.Has("x") {
+		t.Error("Add on nil set should allocate")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := New("x", "y")
+	b := New("x", "y", "z")
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("subset relation wrong")
+	}
+	if !a.Equal(New("y", "x")) || a.Equal(b) {
+		t.Error("equality wrong")
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	a := New("1", "2", "3")
+	b := New("3", "4")
+	if got := a.Union(b); !got.Equal(New("1", "2", "3", "4")) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New("3")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New("1", "2")) {
+		t.Errorf("minus = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New("x")
+	b := a.Clone()
+	b.Add("y")
+	if a.Has("y") {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	if New("b", "a").Key() != New("a", "b").Key() {
+		t.Error("Key should be order-insensitive")
+	}
+	if New("a").Key() == New("b").Key() {
+		t.Error("distinct sets share a key")
+	}
+}
+
+// Property: union is commutative and intersect distributes over it on
+// random small sets.
+func TestAlgebraProperties(t *testing.T) {
+	mk := func(xs []uint8) Set {
+		s := New()
+		for _, x := range xs {
+			s.Add(string(rune('a' + x%6)))
+		}
+		return s
+	}
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		lhs := a.Intersect(b.Union(c))
+		rhs := a.Intersect(b).Union(a.Intersect(c))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

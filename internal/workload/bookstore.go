@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// The bookstore scenario reproduces Example 1.1: an online bookstore whose
+// query form accepts an author, a title keyword, or both — but never a
+// disjunction of authors. The catalog is calibrated so that the paper's
+// numbers hold: the CNF (Garlic) plan extracts every book whose title
+// matches "dreams" (>2000 entries at the default size), while the
+// capability-sensitive two-query plan extracts fewer than 20.
+
+// BookstoreGrammar is the SSDL description of the bookstore's form.
+const BookstoreGrammar = `
+source books
+attrs author, title, isbn, price
+key isbn
+s1 -> author = $a:string
+s2 -> title contains $t:string
+s3 -> author = $a:string ^ title contains $t:string
+attributes :: s1 : {author, title, isbn, price}
+attributes :: s2 : {author, title, isbn, price}
+attributes :: s3 : {author, title, isbn, price}
+`
+
+// Example11Condition is the target-query condition of Example 1.1.
+const Example11Condition = `(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`
+
+// Example11Attrs are the attributes requested by the Example 1.1 target
+// query (the key is included so intersections stay exact).
+var Example11Attrs = []string{"title", "isbn"}
+
+// DefaultBookstoreSize is the catalog size that reproduces the paper's
+// ">2000 vs <20" contrast.
+const DefaultBookstoreSize = 100000
+
+// Bookstore generates a catalog of n books. Deterministic for a given
+// seed. Roughly 2.6% of titles mention dreams; Sigmund Freud has 6
+// dreams-books of 12, Carl Jung 5 of 9.
+func Bookstore(n int, seed int64) (*relation.Relation, *ssdl.Grammar) {
+	r := rand.New(rand.NewSource(seed))
+	g := ssdl.MustParse(BookstoreGrammar)
+	rel := relation.New(relation.MustSchema(
+		relation.Column{Name: "author", Kind: condition.KindString},
+		relation.Column{Name: "title", Kind: condition.KindString},
+		relation.Column{Name: "isbn", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	))
+	isbn := 0
+	add := func(author, title string) {
+		isbn++
+		if err := rel.AppendValues(
+			condition.String(author), condition.String(title),
+			condition.String(fmt.Sprintf("isbn-%07d", isbn)),
+			condition.Int(int64(5+r.Intn(60)))); err != nil {
+			panic(err) // impossible: fixed schema
+		}
+	}
+
+	// The two famous authors, with known dreams-title counts.
+	for i := 0; i < 12; i++ {
+		if i < 6 {
+			add("Sigmund Freud", fmt.Sprintf("On Dreams, Volume %d", i+1))
+		} else {
+			add("Sigmund Freud", fmt.Sprintf("Papers on Metapsychology %d", i+1))
+		}
+	}
+	for i := 0; i < 9; i++ {
+		if i < 5 {
+			add("Carl Jung", fmt.Sprintf("Dreams and Symbols, Part %d", i+1))
+		} else {
+			add("Carl Jung", fmt.Sprintf("Collected Works %d", i+1))
+		}
+	}
+
+	// The rest of the catalog.
+	subjects := []string{"History", "Gardens", "Rivers", "Machines", "Cities", "Stars", "Music", "Bread", "Letters", "Maps"}
+	for isbn < n {
+		author := fmt.Sprintf("Author %d", r.Intn(n/20+1))
+		var title string
+		if r.Intn(1000) < 26 {
+			title = fmt.Sprintf("The Book of Dreams No. %d", r.Intn(100000))
+		} else {
+			title = fmt.Sprintf("A Treatise on %s No. %d", subjects[r.Intn(len(subjects))], r.Intn(100000))
+		}
+		add(author, title)
+	}
+	return rel, g
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// The car-shopping scenario reproduces Example 1.2: a web form with
+// single-value style, make and price fields and a multi-value size field,
+// where every field may be left blank. The grammar encodes blank-field
+// combinations as explicit alternatives (CFGs are epsilon-free here), and
+// a recursive rule expresses the size value list.
+
+// CarsGrammar is the SSDL description of the car-shopping form.
+const CarsGrammar = `
+source autos
+attrs style, size, make, model, price, year
+key model
+
+# The style field is a dropdown: only the listed values are accepted.
+stylec -> style = {"sedan", "coupe", "suv", "wagon", "convertible"}
+
+slist -> size = $v:string _ slist | size = $v:string _ size = $v:string
+sizec -> size = $v:string | ( slist )
+
+s_full -> stylec ^ make = $m:string ^ price <= $p:int ^ sizec
+s_smp  -> stylec ^ make = $m:string ^ price <= $p:int
+s_ss   -> stylec ^ sizec
+s_st   -> stylec
+s_sz   -> sizec
+s_mp   -> make = $m:string ^ price <= $p:int
+
+attributes :: s_full : {style, size, make, model, price, year}
+attributes :: s_smp  : {style, size, make, model, price, year}
+attributes :: s_ss   : {style, size, make, model, price, year}
+attributes :: s_st   : {style, size, make, model, price, year}
+attributes :: s_sz   : {style, size, make, model, price, year}
+attributes :: s_mp   : {style, size, make, model, price, year}
+`
+
+// Example12Condition is the target-query condition of Example 1.2.
+const Example12Condition = `style = "sedan" ^ (size = "compact" _ size = "midsize") ^ ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))`
+
+// Example12Attrs are the attributes the car shopper wants back.
+var Example12Attrs = []string{"make", "model", "price"}
+
+// DefaultCarsSize is the listing count used by experiment E2.
+const DefaultCarsSize = 20000
+
+// Cars generates n car-for-sale listings. Deterministic for a given seed.
+func Cars(n int, seed int64) (*relation.Relation, *ssdl.Grammar) {
+	r := rand.New(rand.NewSource(seed))
+	g := ssdl.MustParse(CarsGrammar)
+	rel := relation.New(relation.MustSchema(
+		relation.Column{Name: "style", Kind: condition.KindString},
+		relation.Column{Name: "size", Kind: condition.KindString},
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+		relation.Column{Name: "year", Kind: condition.KindInt},
+	))
+	styles := []string{"sedan", "coupe", "suv", "wagon", "convertible"}
+	sizes := []string{"compact", "midsize", "fullsize"}
+	makes := []string{"Toyota", "BMW", "Honda", "Ford", "Volvo", "Mazda", "Audi", "Saab"}
+	for i := 0; i < n; i++ {
+		mk := makes[r.Intn(len(makes))]
+		var price int64
+		switch mk {
+		case "BMW", "Audi":
+			price = int64(25000 + r.Intn(50000))
+		case "Toyota", "Honda", "Mazda":
+			price = int64(9000 + r.Intn(26000))
+		default:
+			price = int64(12000 + r.Intn(38000))
+		}
+		if err := rel.AppendValues(
+			condition.String(styles[r.Intn(len(styles))]),
+			condition.String(sizes[r.Intn(len(sizes))]),
+			condition.String(mk),
+			condition.String(fmt.Sprintf("%s-%06d", mk, i)),
+			condition.Int(price),
+			condition.Int(int64(1990+r.Intn(9))),
+		); err != nil {
+			panic(err) // impossible: fixed schema
+		}
+	}
+	return rel, g
+}

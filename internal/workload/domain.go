@@ -1,0 +1,244 @@
+// Package workload provides the evaluation substrate: the calibrated
+// bookstore and car-shopping scenarios of Examples 1.1 and 1.2, plus
+// generators for random relations, random target queries and random
+// capability profiles. The paper's own experiments (in its unavailable
+// extended version) ran against live 1999 web sources; these generators
+// are the documented substitution (DESIGN.md §2).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// AttrSpec describes one attribute of a synthetic domain: its type, the
+// comparison operators queries use on it, and its value pool.
+type AttrSpec struct {
+	Name   string
+	Kind   condition.Kind
+	Ops    []condition.Op
+	Values []condition.Value
+}
+
+// Domain is a synthetic schema shared by the relation generator, the query
+// generator and the capability-profile generator, so that generated
+// queries and grammars speak about the same atoms.
+type Domain struct {
+	Name  string
+	Key   string // key attribute name ("" = first attribute)
+	Attrs []AttrSpec
+}
+
+// Schema returns the relational schema of the domain, with a synthetic
+// integer key column prepended when the domain has none.
+func (d *Domain) Schema() *relation.Schema {
+	cols := make([]relation.Column, 0, len(d.Attrs)+1)
+	if d.Key == "" {
+		cols = append(cols, relation.Column{Name: "id", Kind: condition.KindInt})
+	}
+	for _, a := range d.Attrs {
+		cols = append(cols, relation.Column{Name: a.Name, Kind: a.Kind})
+	}
+	return relation.MustSchema(cols...)
+}
+
+// KeyAttr returns the name of the key attribute.
+func (d *Domain) KeyAttr() string {
+	if d.Key == "" {
+		return "id"
+	}
+	return d.Key
+}
+
+// AttrNames returns the attribute names including the synthetic key.
+func (d *Domain) AttrNames() []string {
+	var out []string
+	if d.Key == "" {
+		out = append(out, "id")
+	}
+	for _, a := range d.Attrs {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// GenRelation builds a random relation over the domain with the given row
+// count. Values are drawn uniformly from each attribute's pool; the
+// synthetic key is sequential.
+func (d *Domain) GenRelation(r *rand.Rand, rows int) *relation.Relation {
+	rel := relation.New(d.Schema())
+	for i := 0; i < rows; i++ {
+		vals := make([]condition.Value, 0, len(d.Attrs)+1)
+		if d.Key == "" {
+			vals = append(vals, condition.Int(int64(i)))
+		}
+		for _, a := range d.Attrs {
+			vals = append(vals, a.Values[r.Intn(len(a.Values))])
+		}
+		if err := rel.AppendValues(vals...); err != nil {
+			panic(fmt.Sprintf("workload: %v", err)) // impossible: generated values match schema
+		}
+	}
+	return rel
+}
+
+// RandomDomain builds a domain with nattrs attributes: a mix of
+// categorical string attributes and numeric ones.
+func RandomDomain(r *rand.Rand, nattrs int) *Domain {
+	d := &Domain{Name: "rand"}
+	for i := 0; i < nattrs; i++ {
+		name := fmt.Sprintf("a%d", i)
+		if i%3 == 2 {
+			// Numeric attribute with range operators.
+			vals := make([]condition.Value, 20)
+			for j := range vals {
+				vals[j] = condition.Int(int64(j * 10))
+			}
+			// Two operators keep query atoms and grammar patterns
+			// plausibly aligned, the way real forms standardize on
+			// "equals" and "at most".
+			d.Attrs = append(d.Attrs, AttrSpec{
+				Name:   name,
+				Kind:   condition.KindInt,
+				Ops:    []condition.Op{condition.OpEq, condition.OpLe},
+				Values: vals,
+			})
+			continue
+		}
+		// Categorical attribute.
+		card := 4 + r.Intn(12)
+		vals := make([]condition.Value, card)
+		for j := range vals {
+			vals[j] = condition.String(fmt.Sprintf("v%d_%d", i, j))
+		}
+		d.Attrs = append(d.Attrs, AttrSpec{
+			Name:   name,
+			Kind:   condition.KindString,
+			Ops:    []condition.Op{condition.OpEq},
+			Values: vals,
+		})
+	}
+	return d
+}
+
+// RandomAtom draws a random atomic condition over the domain.
+func (d *Domain) RandomAtom(r *rand.Rand) *condition.Atomic {
+	a := d.Attrs[r.Intn(len(d.Attrs))]
+	op := a.Ops[r.Intn(len(a.Ops))]
+	v := a.Values[r.Intn(len(a.Values))]
+	return condition.NewAtomic(a.Name, op, v)
+}
+
+// RandomQuery builds a random condition tree with natoms atomic conditions
+// and alternating connectors, rooted at an AND or OR at random. Trees are
+// built by recursive splitting, so their shapes vary from flat to deep.
+func (d *Domain) RandomQuery(r *rand.Rand, natoms int) condition.Node {
+	return d.randomTree(r, natoms, r.Intn(2) == 0)
+}
+
+// RandomStructuredQuery builds a query with the shapes users actually
+// type into mediators over form sources (and that the paper's examples
+// have): a conjunction carrying one value-list disjunction, a disjunction
+// of two or three conjunctions, or a plain conjunction. These exercise
+// query splitting far more than uniformly random trees do.
+func (d *Domain) RandomStructuredQuery(r *rand.Rand, natoms int) condition.Node {
+	if natoms <= 1 {
+		return d.RandomAtom(r)
+	}
+	switch r.Intn(3) {
+	case 0:
+		// Conjunction with a value list on one categorical attribute
+		// (Example 1.2's size field).
+		var cat *AttrSpec
+		for i := range d.Attrs {
+			if d.Attrs[i].Kind == condition.KindString && len(d.Attrs[i].Values) >= 2 {
+				cat = &d.Attrs[i]
+				break
+			}
+		}
+		if cat == nil {
+			return d.plainConjunction(r, natoms)
+		}
+		listLen := 2
+		if natoms < 3 {
+			return d.plainConjunction(r, natoms)
+		}
+		vs := r.Perm(len(cat.Values))[:listLen]
+		list := &condition.Or{Kids: []condition.Node{
+			condition.NewAtomic(cat.Name, condition.OpEq, cat.Values[vs[0]]),
+			condition.NewAtomic(cat.Name, condition.OpEq, cat.Values[vs[1]]),
+		}}
+		kids := []condition.Node{list}
+		for i := 0; i < natoms-listLen; i++ {
+			kids = append(kids, d.RandomAtom(r))
+		}
+		return &condition.And{Kids: kids}
+	case 1:
+		// Disjunction of conjunctions (Example 1.1's author split).
+		nterms := 2
+		if natoms >= 6 && r.Intn(2) == 0 {
+			nterms = 3
+		}
+		per := natoms / nterms
+		terms := make([]condition.Node, nterms)
+		for i := range terms {
+			n := per
+			if i == nterms-1 {
+				n = natoms - per*(nterms-1)
+			}
+			terms[i] = d.plainConjunction(r, n)
+		}
+		return &condition.Or{Kids: terms}
+	default:
+		return d.plainConjunction(r, natoms)
+	}
+}
+
+func (d *Domain) plainConjunction(r *rand.Rand, natoms int) condition.Node {
+	if natoms <= 1 {
+		return d.RandomAtom(r)
+	}
+	kids := make([]condition.Node, natoms)
+	seen := map[string]bool{}
+	for i := range kids {
+		a := d.RandomAtom(r)
+		// Avoid repeating an attribute inside one conjunction: repeated
+		// equality conjuncts are trivially empty.
+		for tries := 0; seen[a.Attr] && tries < 4; tries++ {
+			a = d.RandomAtom(r)
+		}
+		seen[a.Attr] = true
+		kids[i] = a
+	}
+	return &condition.And{Kids: kids}
+}
+
+func (d *Domain) randomTree(r *rand.Rand, natoms int, and bool) condition.Node {
+	if natoms <= 1 {
+		return d.RandomAtom(r)
+	}
+	// Split the atom budget across 2..min(4, natoms) children.
+	nkids := 2 + r.Intn(min(3, natoms-1))
+	counts := make([]int, nkids)
+	for i := range counts {
+		counts[i] = 1
+	}
+	for extra := natoms - nkids; extra > 0; extra-- {
+		counts[r.Intn(nkids)]++
+	}
+	kids := make([]condition.Node, nkids)
+	for i, c := range counts {
+		if c == 1 {
+			kids[i] = d.RandomAtom(r)
+		} else {
+			kids[i] = d.randomTree(r, c, !and)
+		}
+	}
+	if and {
+		return &condition.And{Kids: kids}
+	}
+	return &condition.Or{Kids: kids}
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/condition"
+	"repro/internal/ssdl"
+)
+
+// ProfileClass identifies a family of capability profiles, modeling the
+// restriction categories of §4 (condition-attribute, condition-expression-
+// size and condition-expression-structure restrictions).
+type ProfileClass int
+
+const (
+	// ProfileAtomic supports only single atomic conditions (the most
+	// restrictive structure restriction: "allowing only atomic condition
+	// expressions").
+	ProfileAtomic ProfileClass = iota
+	// ProfileConjTemplates supports a handful of fixed conjunctive
+	// templates, like typical web forms ("allowing only conjunctive
+	// queries" + form-structure restrictions).
+	ProfileConjTemplates
+	// ProfileFormLike supports one form with optional trailing fields
+	// and a value list on one categorical field, like Example 1.2.
+	ProfileFormLike
+	// ProfileWithDownload is ProfileConjTemplates plus a download rule.
+	ProfileWithDownload
+	// ProfileHostile supports a single 3-attribute template; most
+	// queries are infeasible.
+	ProfileHostile
+)
+
+// String names the class in experiment tables.
+func (c ProfileClass) String() string {
+	switch c {
+	case ProfileAtomic:
+		return "atomic"
+	case ProfileConjTemplates:
+		return "conj-templates"
+	case ProfileFormLike:
+		return "form-like"
+	case ProfileWithDownload:
+		return "with-download"
+	case ProfileHostile:
+		return "hostile"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// AllProfileClasses lists every class, for experiment sweeps.
+var AllProfileClasses = []ProfileClass{
+	ProfileAtomic, ProfileConjTemplates, ProfileFormLike, ProfileWithDownload, ProfileHostile,
+}
+
+// RandomGrammar builds a random SSDL description of the given class over
+// the domain. Exported attribute sets always include the domain key, so
+// intersection plans stay exact.
+func RandomGrammar(d *Domain, r *rand.Rand, class ProfileClass) *ssdl.Grammar {
+	g := ssdl.NewGrammar(d.Name)
+	g.Schema = d.AttrNames()
+	g.Key = d.KeyAttr()
+	allAttrs := d.AttrNames()
+
+	exportFor := func(involved []string) []string {
+		set := map[string]bool{g.Key: true}
+		for _, a := range involved {
+			set[a] = true
+		}
+		// Export extra attributes at random: real forms return whole
+		// result rows, so exports are usually much wider than the
+		// condition fields. Wide exports are what make mediator-side
+		// evaluation of sibling conditions possible.
+		for _, a := range allAttrs {
+			if r.Intn(2) == 0 {
+				set[a] = true
+			}
+		}
+		out := make([]string, 0, len(set))
+		for a := range set {
+			out = append(out, a)
+		}
+		return out
+	}
+
+	addCondRule := func(name string, syms []ssdl.Symbol, involved []string) {
+		if err := g.AddRule(name, syms); err != nil {
+			panic(err) // impossible: generated bodies are non-empty
+		}
+		g.SetCondAttrs(name, exportFor(involved)...)
+	}
+
+	switch class {
+	case ProfileAtomic:
+		i := 0
+		for _, a := range d.Attrs {
+			for _, op := range a.Ops {
+				addCondRule(fmt.Sprintf("s%d", i), []ssdl.Symbol{atomSym(a, op)}, []string{a.Name})
+				i++
+			}
+		}
+	case ProfileConjTemplates, ProfileWithDownload:
+		ntempl := 3 + r.Intn(4)
+		for i := 0; i < ntempl; i++ {
+			k := 2 + r.Intn(3)
+			idxs := r.Perm(len(d.Attrs))[:min(k, len(d.Attrs))]
+			var syms []ssdl.Symbol
+			var involved []string
+			for j, ai := range idxs {
+				if j > 0 {
+					syms = append(syms, ssdl.Symbol{Kind: ssdl.SymAnd})
+				}
+				a := d.Attrs[ai]
+				syms = append(syms, atomSym(a, a.Ops[r.Intn(len(a.Ops))]))
+				involved = append(involved, a.Name)
+			}
+			addCondRule(fmt.Sprintf("s%d", i), syms, involved)
+		}
+		// Singleton rules for several attributes keep the class from
+		// being all-or-nothing.
+		for i := 0; i < 4 && i < len(d.Attrs); i++ {
+			a := d.Attrs[i]
+			addCondRule(fmt.Sprintf("t%d", i), []ssdl.Symbol{atomSym(a, a.Ops[0])}, []string{a.Name})
+		}
+		if class == ProfileWithDownload {
+			if err := g.AddRule("dl", []ssdl.Symbol{{Kind: ssdl.SymTrue}}); err != nil {
+				panic(err)
+			}
+			g.SetCondAttrs("dl", allAttrs...)
+		}
+	case ProfileFormLike:
+		// Pick 3-4 form fields; support every non-empty prefix.
+		k := min(3+r.Intn(2), len(d.Attrs))
+		idxs := r.Perm(len(d.Attrs))[:k]
+		// A value list on the first categorical field, if any.
+		listAttr := -1
+		for _, ai := range idxs {
+			if d.Attrs[ai].Kind == condition.KindString {
+				listAttr = ai
+				break
+			}
+		}
+		if listAttr >= 0 {
+			a := d.Attrs[listAttr]
+			atom := atomSym(a, condition.OpEq)
+			if err := g.AddRule("vlist", []ssdl.Symbol{atom, {Kind: ssdl.SymOr}, ssdl.NonTerm("vlist")}); err != nil {
+				panic(err)
+			}
+			if err := g.AddRule("vlist", []ssdl.Symbol{atom, {Kind: ssdl.SymOr}, atom}); err != nil {
+				panic(err)
+			}
+		}
+		for p := 1; p <= len(idxs); p++ {
+			var syms []ssdl.Symbol
+			var involved []string
+			for j := 0; j < p; j++ {
+				if j > 0 {
+					syms = append(syms, ssdl.Symbol{Kind: ssdl.SymAnd})
+				}
+				a := d.Attrs[idxs[j]]
+				if idxs[j] == listAttr {
+					if p == 1 {
+						// A bare list is a top-level disjunction: no
+						// parentheses (linearization leaves the top
+						// level unwrapped).
+						syms = append(syms, ssdl.NonTerm("vlist"))
+					} else {
+						syms = append(syms, ssdl.Symbol{Kind: ssdl.SymLParen}, ssdl.NonTerm("vlist"), ssdl.Symbol{Kind: ssdl.SymRParen})
+					}
+				} else {
+					syms = append(syms, atomSym(a, a.Ops[r.Intn(len(a.Ops))]))
+				}
+				involved = append(involved, a.Name)
+			}
+			addCondRule(fmt.Sprintf("f%d", p), syms, involved)
+			// Also the single-value variant of the list field.
+			if p >= 1 && listAttr >= 0 && contains(idxs[:p], listAttr) {
+				var alt []ssdl.Symbol
+				for j := 0; j < p; j++ {
+					if j > 0 {
+						alt = append(alt, ssdl.Symbol{Kind: ssdl.SymAnd})
+					}
+					a := d.Attrs[idxs[j]]
+					alt = append(alt, atomSym(a, condition.OpEq))
+				}
+				addCondRule(fmt.Sprintf("f%ds", p), alt, involved)
+			}
+		}
+	case ProfileHostile:
+		k := min(3, len(d.Attrs))
+		idxs := r.Perm(len(d.Attrs))[:k]
+		var syms []ssdl.Symbol
+		var involved []string
+		for j, ai := range idxs {
+			if j > 0 {
+				syms = append(syms, ssdl.Symbol{Kind: ssdl.SymAnd})
+			}
+			a := d.Attrs[ai]
+			syms = append(syms, atomSym(a, a.Ops[0]))
+			involved = append(involved, a.Name)
+		}
+		addCondRule("s0", syms, involved)
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generated invalid grammar: %v", err))
+	}
+	return g
+}
+
+// atomSym builds the atomic pattern symbol `attr op $v:kind`.
+func atomSym(a AttrSpec, op condition.Op) ssdl.Symbol {
+	kind := ssdl.StringValue
+	switch a.Kind {
+	case condition.KindInt:
+		kind = ssdl.IntValue
+	case condition.KindFloat:
+		kind = ssdl.FloatValue
+	}
+	return ssdl.Symbol{Kind: ssdl.SymAtom, Atom: &ssdl.AtomPattern{
+		Attr: a.Name,
+		Op:   op,
+		Val:  ssdl.Placeholder("v", kind),
+	}}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

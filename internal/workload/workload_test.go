@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+func TestBookstoreCalibration(t *testing.T) {
+	rel, g := Bookstore(DefaultBookstoreSize, 1)
+	if rel.Len() != DefaultBookstoreSize {
+		t.Fatalf("catalog size = %d", rel.Len())
+	}
+	// Paper: the CNF plan extracts over 2000 entries...
+	dreams, err := rel.Count(condition.MustParse(`title contains "dreams"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dreams <= 2000 {
+		t.Errorf("dreams books = %d, want > 2000", dreams)
+	}
+	// ...while the two-query plan extracts fewer than 20.
+	twoQuery := 0
+	for _, author := range []string{"Sigmund Freud", "Carl Jung"} {
+		n, err := rel.Count(condition.NewAnd(
+			condition.NewAtomic("author", condition.OpEq, condition.String(author)),
+			condition.NewAtomic("title", condition.OpContains, condition.String("dreams")),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoQuery += n
+	}
+	if twoQuery >= 20 || twoQuery == 0 {
+		t.Errorf("two-query plan extracts %d entries, want 0 < n < 20", twoQuery)
+	}
+	// The grammar supports the two-query shape but not the disjunction.
+	c := ssdl.NewChecker(g)
+	if c.Check(condition.MustParse(`author = "Carl Jung" ^ title contains "dreams"`)).Empty() {
+		t.Error("author ^ title query should be supported")
+	}
+	if !c.Check(condition.MustParse(Example11Condition)).Empty() {
+		t.Error("the full Example 1.1 condition must be unsupported")
+	}
+}
+
+func TestBookstoreDeterministic(t *testing.T) {
+	a, _ := Bookstore(1000, 7)
+	b, _ := Bookstore(1000, 7)
+	if !a.Equal(b) {
+		t.Error("same seed should generate the same catalog")
+	}
+}
+
+func TestCarsCalibration(t *testing.T) {
+	rel, g := Cars(DefaultCarsSize, 1)
+	if rel.Len() != DefaultCarsSize {
+		t.Fatalf("listing count = %d", rel.Len())
+	}
+	cond := condition.MustParse(Example12Condition)
+	n, err := rel.Count(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("the Example 1.2 query should match some cars")
+	}
+	c := ssdl.NewChecker(ssdl.CommutativeClosure(g, 0))
+	// The full condition is not supported directly...
+	if !c.Check(cond).Empty() {
+		t.Error("full Example 1.2 condition must be unsupported")
+	}
+	// ...but each split query is, in canonical order.
+	split := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ (size = "compact" _ size = "midsize")`)
+	if c.Check(split).Empty() {
+		t.Error("the split query should be supported by the form")
+	}
+	// A single-value size query works too (DNF terms need it).
+	single := condition.MustParse(`style = "sedan" ^ make = "Toyota" ^ price <= 20000 ^ size = "compact"`)
+	if c.Check(single).Empty() {
+		t.Error("single-size query should be supported")
+	}
+	// The CNF pushdown (style ^ sizes) is supported and coarse.
+	push := condition.MustParse(`style = "sedan" ^ (size = "compact" _ size = "midsize")`)
+	if c.Check(push).Empty() {
+		t.Error("style ^ sizes should be supported (the CNF pushdown)")
+	}
+	coarse, err := rel.Count(push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse <= 4*n {
+		t.Errorf("CNF pushdown should be much coarser: %d vs %d", coarse, n)
+	}
+}
+
+func TestDomainGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := RandomDomain(r, 6)
+	if len(d.Attrs) != 6 {
+		t.Fatalf("attrs = %d", len(d.Attrs))
+	}
+	rel := d.GenRelation(r, 500)
+	if rel.Len() != 500 {
+		t.Errorf("rows = %d", rel.Len())
+	}
+	if !rel.Schema().Has("id") {
+		t.Error("synthetic key missing")
+	}
+	// Random queries have the requested atom count and evaluate cleanly.
+	for natoms := 1; natoms <= 10; natoms++ {
+		q := d.RandomQuery(r, natoms)
+		if got := condition.Size(q); got != natoms {
+			t.Errorf("RandomQuery(%d) has %d atoms", natoms, got)
+		}
+		if _, err := rel.Count(q); err != nil {
+			t.Errorf("query does not evaluate: %v", err)
+		}
+	}
+}
+
+func TestRandomGrammarsValidAndUsable(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := RandomDomain(r, 6)
+	for _, class := range AllProfileClasses {
+		for trial := 0; trial < 10; trial++ {
+			g := RandomGrammar(d, r, class)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v: %v", class, err)
+			}
+			c := ssdl.NewChecker(g)
+			// Every grammar supports at least one atomic query shape or
+			// download.
+			supportsSomething := !c.Downloadable().Empty()
+			for _, a := range d.Attrs {
+				for _, op := range a.Ops {
+					atom := condition.NewAtomic(a.Name, op, a.Values[0])
+					if !c.Check(atom).Empty() {
+						supportsSomething = true
+					}
+				}
+			}
+			if !supportsSomething && class != ProfileHostile && class != ProfileConjTemplates && class != ProfileFormLike {
+				t.Errorf("%v grammar supports nothing:\n%s", class, g.String())
+			}
+			// Exported sets always include the key.
+			for nt, attrs := range g.CondAttrs {
+				if !attrs.Has(g.Key) {
+					t.Errorf("%v: rule %s does not export key: %v", class, nt, attrs)
+				}
+			}
+		}
+	}
+}
+
+func TestFormLikeGrammarAcceptsPrefixQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	d := RandomDomain(r, 5)
+	found := false
+	for trial := 0; trial < 20 && !found; trial++ {
+		g := RandomGrammar(d, r, ProfileFormLike)
+		c := ssdl.NewChecker(g)
+		// Find the first form rule's pattern and query it.
+		for _, rule := range g.Rules {
+			if !g.IsCondNT(rule.LHS) {
+				continue
+			}
+			// Build a query from the rule's own atom patterns.
+			var kids []condition.Node
+			ok := true
+			for _, sym := range rule.RHS {
+				switch sym.Kind {
+				case ssdl.SymAtom:
+					v := valueFor(d, sym.Atom.Attr)
+					kids = append(kids, condition.NewAtomic(sym.Atom.Attr, sym.Atom.Op, v))
+				case ssdl.SymAnd:
+				default:
+					ok = false
+				}
+			}
+			if !ok || len(kids) == 0 {
+				continue
+			}
+			var q condition.Node = kids[0]
+			if len(kids) > 1 {
+				q = &condition.And{Kids: kids}
+			}
+			if !c.Check(q).Empty() {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no form-like grammar accepted its own template query")
+	}
+}
+
+func valueFor(d *Domain, attr string) condition.Value {
+	for _, a := range d.Attrs {
+		if a.Name == attr {
+			return a.Values[0]
+		}
+	}
+	return condition.Int(0)
+}
+
+func TestProfileWithDownloadExportsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	d := RandomDomain(r, 4)
+	g := RandomGrammar(d, r, ProfileWithDownload)
+	c := ssdl.NewChecker(g)
+	if !c.Downloadable().Equal(strset.New(d.AttrNames()...)) {
+		t.Errorf("download exports %v, want all attrs", c.Downloadable())
+	}
+}
+
+func TestProfileClassString(t *testing.T) {
+	for _, c := range AllProfileClasses {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+// Generated grammars and the fixture grammars must be lint-clean: a
+// warning in a generator means silently dead capabilities in experiments.
+func TestGeneratedGrammarsLintClean(t *testing.T) {
+	for _, g := range []*ssdl.Grammar{
+		ssdl.MustParse(BookstoreGrammar),
+		ssdl.MustParse(CarsGrammar),
+	} {
+		if w := ssdl.Lint(g); len(w) != 0 {
+			t.Errorf("%s grammar lint: %v", g.Source, w)
+		}
+	}
+	r := rand.New(rand.NewSource(61))
+	d := RandomDomain(r, 6)
+	for _, class := range AllProfileClasses {
+		for trial := 0; trial < 5; trial++ {
+			g := RandomGrammar(d, r, class)
+			if w := ssdl.Lint(g); len(w) != 0 {
+				t.Errorf("%v grammar lint: %v\n%s", class, w, g.String())
+			}
+		}
+	}
+}

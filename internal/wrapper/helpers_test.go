@@ -1,0 +1,44 @@
+package wrapper
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/strset"
+)
+
+// newTestMediator registers the wrapper as an ordinary source under its
+// advertised grammar.
+func newTestMediator(t *testing.T, w *Wrapper, est cost.Estimator) *mediator.Mediator {
+	t.Helper()
+	med := mediator.New(cost.Model{K1: 5, K2: 1, Est: est})
+	// The relational grammar's closure would be huge and is unnecessary:
+	// it is already order-insensitive by construction.
+	med.ClosureLimit = 1
+	if err := med.Register(w.Name(), w, w.Grammar()); err != nil {
+		t.Fatal(err)
+	}
+	return med
+}
+
+// naivePlanner is a minimal full-pushdown planner local to the tests (the
+// real one lives in internal/baseline; importing it here would create an
+// import cycle risk for none of its value).
+type naivePlanner struct{}
+
+func (naivePlanner) Name() string { return "naive" }
+
+func (naivePlanner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	start := time.Now()
+	m := &planner.Metrics{CTs: 1, PlansConsidered: 1}
+	defer func() { m.Duration = time.Since(start) }()
+	if ctx.Checker.Supports(cond, strset.New(attrs...)) {
+		return plan.NewSourceQuery(ctx.Source, cond, attrs), m, nil
+	}
+	return nil, m, planner.ErrInfeasible
+}

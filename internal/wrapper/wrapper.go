@@ -1,0 +1,84 @@
+// Package wrapper implements the component §2 of the paper says every
+// generic wrapper needs: it exposes a relationally complete select-project
+// interface over a capability-limited source by running the paper's own
+// plan-generation scheme internally. A Wrapper is itself a plan.Querier,
+// so it can stand wherever a source stands — including behind the HTTP
+// transport — while accepting any Boolean condition over its attributes.
+package wrapper
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// Wrapper answers arbitrary SP queries against a limited source by
+// planning each query with a capability-sensitive planner. It implements
+// plan.Querier.
+type Wrapper struct {
+	name    string
+	med     *mediator.Mediator
+	planner planner.Planner
+	grammar *ssdl.Grammar
+}
+
+// New wraps a source (any plan.Querier) whose capabilities are described
+// by g. The planner generates the internal plans (GenCompact in practice);
+// model prices them. The wrapper's own advertised description is the
+// relationally complete grammar over the source's schema.
+func New(q plan.Querier, g *ssdl.Grammar, p planner.Planner, model cost.Model) (*Wrapper, error) {
+	if g.Source == "" {
+		return nil, fmt.Errorf("wrapper: grammar has no source name")
+	}
+	med := mediator.New(model)
+	if err := med.Register(g.Source, q, g); err != nil {
+		return nil, err
+	}
+	// The advertised capability: any condition over the attributes the
+	// inner source's rules mention, exporting the union of all export
+	// sets. Which queries actually succeed still depends on the inner
+	// capabilities — the wrapper is complete in *form*, and reports
+	// infeasibility honestly otherwise, rather than silently truncating.
+	exports := make(map[string]bool)
+	for _, set := range g.CondAttrs {
+		for a := range set {
+			exports[a] = true
+		}
+	}
+	var exportList []string
+	for a := range exports {
+		exportList = append(exportList, a)
+	}
+	var specs []ssdl.StandardAtomSpec
+	for _, a := range g.Schema {
+		specs = append(specs, ssdl.StandardAtomSpec{Attr: a, Numeric: true})
+		specs = append(specs, ssdl.StandardAtomSpec{Attr: a, Numeric: false})
+	}
+	adv := ssdl.RelationalGrammar(g.Source+"_wrapped", g.Schema, g.Key, ssdl.StandardAtoms(specs), exportList)
+	return &Wrapper{name: g.Source, med: med, planner: p, grammar: adv}, nil
+}
+
+// Name returns the wrapped source's name.
+func (w *Wrapper) Name() string { return w.name + "_wrapped" }
+
+// Grammar returns the wrapper's advertised (relationally complete)
+// description.
+func (w *Wrapper) Grammar() *ssdl.Grammar { return w.grammar }
+
+// Query implements plan.Querier: it plans the query against the inner
+// source's real capabilities and executes the plan. Queries with no
+// feasible plan fail with planner.ErrInfeasible wrapped in context.
+func (w *Wrapper) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+	res, err := w.med.Answer(w.planner, w.name, cond, attrs)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.name, err)
+	}
+	// Deliver columns in the requested order, as a direct source would.
+	return res.Relation.Project(attrs)
+}

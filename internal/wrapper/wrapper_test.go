@@ -1,0 +1,159 @@
+package wrapper
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+func limitedSource(t *testing.T) (*source.Local, *ssdl.Grammar, *relation.Relation) {
+	t.Helper()
+	g := ssdl.MustParse(`
+source cars
+attrs make, model, color, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string ^ color = $c:string
+attributes :: s1 : {make, model, color, price}
+attributes :: s2 : {make, model, color, price}
+`)
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	rows := []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"BMW", "M5", "black", 70000},
+		{"Toyota", "Camry", "red", 19000},
+		{"Toyota", "Corolla", "blue", 14000},
+	}
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, g, r
+}
+
+func wrap(t *testing.T) (*Wrapper, *source.Local, *relation.Relation) {
+	t.Helper()
+	src, g, r := limitedSource(t)
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{"cars": r})
+	w, err := New(src, g, core.New(), cost.Model{K1: 5, K2: 1, Est: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, src, r
+}
+
+func TestWrapperAnswersUnsupportedShapes(t *testing.T) {
+	w, src, r := wrap(t)
+	// The raw source rejects this disjunctive query...
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) _ (make = "Toyota" ^ color = "red")`)
+	if _, err := src.Query(cond, []string{"model"}); err == nil {
+		t.Fatal("raw source should reject the disjunction")
+	}
+	// ...but the wrapper answers it, correctly.
+	got, err := w.Query(cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := r.Select(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Project([]string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("wrapper answer %d rows, want %d", got.Len(), want.Len())
+	}
+}
+
+func TestWrapperPreservesColumnOrder(t *testing.T) {
+	w, _, _ := wrap(t)
+	got, err := w.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"price", "model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Schema().Names()
+	if names[0] != "price" || names[1] != "model" {
+		t.Errorf("column order = %v", names)
+	}
+}
+
+func TestWrapperHonestAboutInfeasible(t *testing.T) {
+	w, _, _ := wrap(t)
+	// No rule constrains price alone and downloading is not allowed.
+	_, err := w.Query(condition.MustParse(`price < 20000`), []string{"model"})
+	if !errors.Is(err, planner.ErrInfeasible) {
+		t.Errorf("err = %v, want wrapped ErrInfeasible", err)
+	}
+}
+
+func TestWrapperAdvertisedGrammar(t *testing.T) {
+	w, _, _ := wrap(t)
+	adv := ssdl.NewChecker(w.Grammar())
+	// The advertised description accepts arbitrary nesting...
+	deep := condition.MustParse(`make = "x" ^ (color = "a" _ (price < 5 ^ model != "m"))`)
+	if adv.Check(deep).Empty() {
+		t.Error("advertised grammar should accept arbitrary boolean shapes")
+	}
+	// ...including the trivially-true download form.
+	if adv.Downloadable().Empty() {
+		t.Error("advertised grammar should accept true")
+	}
+	if err := w.Grammar().Validate(); err != nil {
+		t.Errorf("advertised grammar invalid: %v", err)
+	}
+}
+
+// A wrapper composes with the mediator stack: register it like a source
+// and run the Naive strategy — which needs full capabilities — through it.
+func TestWrapperBehindMediator(t *testing.T) {
+	w, _, r := wrap(t)
+	est := cost.NewOracleEstimator(map[string]*relation.Relation{w.Name(): r})
+	med := newTestMediator(t, w, est)
+
+	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) _ (make = "Toyota" ^ color = "red")`)
+	// Naive pushes the whole query; the wrapper makes that feasible.
+	res, err := med.Answer(naivePlanner{}, w.Name(), cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 { // 328i, Camry
+		t.Errorf("rows = %d, want 2", res.Relation.Len())
+	}
+}
+
+func TestWrapperRequiresSourceName(t *testing.T) {
+	g := ssdl.NewGrammar("")
+	g.Schema = []string{"a"}
+	if err := g.AddRule("s1", []ssdl.Symbol{{Kind: ssdl.SymTrue}}); err != nil {
+		t.Fatal(err)
+	}
+	g.SetCondAttrs("s1", "a")
+	if _, err := New(nil, g, core.New(), cost.Model{}); err == nil {
+		t.Error("unnamed grammar should fail")
+	}
+}

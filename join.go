@@ -1,0 +1,72 @@
+package csqp
+
+import (
+	"repro/internal/condition"
+	"repro/internal/mediator"
+)
+
+// Join describes a two-source equi-join target query:
+//
+//	π_Attrs σ_LeftCond(Left) ⋈_{LeftAttr = RightAttr} σ_RightCond(Right)
+//
+// Selection queries are the building blocks (§1 of the paper); the join is
+// executed by composing capability-sensitive selection plans — either a
+// semijoin pushdown (the distinct left bindings become one disjunctive
+// right-side target query, which GenCompact splits or batches per the
+// source's capabilities) or a whole-side fetch, whichever the cost model
+// prices cheaper among the feasible options. Conditions are surface-syntax
+// strings; empty means `true`.
+type Join struct {
+	Left, Right         string
+	LeftCond, RightCond string
+	LeftAttr, RightAttr string
+	Attrs               []string
+	// MaxBindings caps the number of left-side values pushed into the
+	// semijoin disjunction (0 = default 64).
+	MaxBindings int
+}
+
+// JoinAnswer reports a completed join.
+type JoinAnswer struct {
+	// Answer is the join result.
+	Answer *Relation
+	// Strategy is "semijoin" or "whole-side".
+	Strategy string
+	// Probes is the number of right-source queries issued.
+	Probes int
+}
+
+// QueryJoin plans and executes the join with the system's default
+// strategy for each side's selection queries.
+func (s *System) QueryJoin(q Join) (*JoinAnswer, error) {
+	left, err := parseOrTrue(q.LeftCond)
+	if err != nil {
+		return nil, err
+	}
+	right, err := parseOrTrue(q.RightCond)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.strategy.planner()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.med.AnswerJoin(p, mediator.JoinSpec{
+		Left: q.Left, Right: q.Right,
+		LeftCond: left, RightCond: right,
+		LeftAttr: q.LeftAttr, RightAttr: q.RightAttr,
+		Attrs:       q.Attrs,
+		MaxBindings: q.MaxBindings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinAnswer{Answer: res.Relation, Strategy: res.Strategy, Probes: res.Probes}, nil
+}
+
+func parseOrTrue(src string) (Condition, error) {
+	if src == "" {
+		return condition.True(), nil
+	}
+	return condition.Parse(src)
+}

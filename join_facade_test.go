@@ -1,0 +1,122 @@
+package csqp
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func joinSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem()
+
+	dealerSchema, err := NewSchema(
+		Column{Name: "dealer", Kind: condition.KindString},
+		Column{Name: "city", Kind: condition.KindString},
+		Column{Name: "brand", Kind: condition.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dealers := NewRelation(dealerSchema)
+	for _, row := range [][3]string{
+		{"D1", "Palo Alto", "BMW"},
+		{"D2", "Palo Alto", "Toyota"},
+		{"D3", "San Jose", "BMW"},
+	} {
+		if err := dealers.AppendValues(String(row[0]), String(row[1]), String(row[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AddSource(dealers, `
+source dealers
+attrs dealer, city, brand
+key dealer
+s1 -> city = $c:string
+attributes :: s1 : {dealer, city, brand}
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	carSchema, err := NewSchema(
+		Column{Name: "make", Kind: condition.KindString},
+		Column{Name: "model", Kind: condition.KindString},
+		Column{Name: "price", Kind: condition.KindInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cars := NewRelation(carSchema)
+	for _, row := range []struct {
+		mk, model string
+		price     int64
+	}{
+		{"BMW", "328i", 35000},
+		{"BMW", "M5", 70000},
+		{"Toyota", "Camry", 19000},
+	} {
+		if err := cars.AppendValues(String(row.mk), String(row.model), Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AddSource(cars, `
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> make = $m:string ^ price < $p:int
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQueryJoinFacade(t *testing.T) {
+	sys := joinSystem(t)
+	res, err := sys.QueryJoin(Join{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  `city = "Palo Alto"`,
+		RightCond: `price < 40000`,
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() != 2 { // D1-328i, D2-Camry
+		t.Errorf("rows = %d, want 2", res.Answer.Len())
+	}
+	if res.Strategy != "semijoin" || res.Probes != 2 {
+		t.Errorf("strategy=%s probes=%d", res.Strategy, res.Probes)
+	}
+}
+
+func TestQueryJoinEmptyCondIsTrue(t *testing.T) {
+	sys := joinSystem(t)
+	// Empty right condition means `true`; probes are make = v atoms.
+	res, err := sys.QueryJoin(Join{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  `city = "San Jose"`,
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() != 2 { // D3 × {328i, M5}
+		t.Errorf("rows = %d, want 2", res.Answer.Len())
+	}
+}
+
+func TestQueryJoinBadCondition(t *testing.T) {
+	sys := joinSystem(t)
+	if _, err := sys.QueryJoin(Join{Left: "dealers", Right: "cars", LeftCond: `bad =`}); err == nil {
+		t.Error("bad condition should fail")
+	}
+}

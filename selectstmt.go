@@ -1,0 +1,146 @@
+package csqp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+)
+
+// SelectStmt is a parsed SELECT statement: the target query
+// SP(Cond, Attrs, Source) in familiar clothing.
+type SelectStmt struct {
+	// Attrs are the projected attributes ("*" expands to the source's
+	// declared schema at execution time and is recorded here as a
+	// single "*" entry).
+	Attrs []string
+	// Source is the FROM source name.
+	Source string
+	// Cond is the WHERE condition (trivially true when absent).
+	Cond Condition
+}
+
+// ParseSelect reads a statement of the form
+//
+//	SELECT a, b FROM src [WHERE <condition>]
+//
+// Keywords are case-insensitive; the condition uses the same surface
+// syntax as ParseCondition (including the paper's ^/_ connectors). This is
+// deliberately the whole grammar — the paper's target queries are
+// select-project queries, nothing more.
+func ParseSelect(stmt string) (*SelectStmt, error) {
+	rest, ok := cutKeyword(strings.TrimSpace(stmt), "select")
+	if !ok {
+		return nil, fmt.Errorf("csqp: statement must start with SELECT")
+	}
+	fromIdx := keywordIndex(rest, "from")
+	if fromIdx < 0 {
+		return nil, fmt.Errorf("csqp: missing FROM clause")
+	}
+	attrPart := rest[:fromIdx]
+	rest = rest[fromIdx+len("from"):]
+
+	var attrs []string
+	for _, a := range strings.Split(attrPart, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if strings.ContainsAny(a, " \t") {
+			return nil, fmt.Errorf("csqp: malformed projection %q", a)
+		}
+		attrs = append(attrs, a)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("csqp: empty projection list")
+	}
+	if len(attrs) > 1 {
+		for _, a := range attrs {
+			if a == "*" {
+				return nil, fmt.Errorf("csqp: * cannot be combined with named attributes")
+			}
+		}
+	}
+
+	var condText string
+	if whereIdx := keywordIndex(rest, "where"); whereIdx >= 0 {
+		condText = strings.TrimSpace(rest[whereIdx+len("where"):])
+		rest = rest[:whereIdx]
+	}
+	source := strings.TrimSpace(rest)
+	if source == "" || strings.ContainsAny(source, " \t") {
+		return nil, fmt.Errorf("csqp: malformed FROM source %q", source)
+	}
+
+	var cond Condition = condition.True()
+	if condText != "" {
+		var err error
+		cond, err = condition.Parse(condText)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SelectStmt{Attrs: attrs, Source: source, Cond: cond}, nil
+}
+
+// QuerySQL parses and answers a SELECT statement with the system's default
+// strategy. `SELECT *` projects the source's full declared schema.
+func (s *System) QuerySQL(stmt string) (*Result, error) {
+	sel, err := ParseSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	attrs := sel.Attrs
+	if len(attrs) == 1 && attrs[0] == "*" {
+		ctx, err := s.med.Context(sel.Source)
+		if err != nil {
+			return nil, err
+		}
+		attrs = ctx.Checker.Grammar().Schema
+		if len(attrs) == 0 {
+			return nil, fmt.Errorf("csqp: source %q declares no schema; list attributes explicitly", sel.Source)
+		}
+	}
+	return s.QueryCond(s.strategy, sel.Source, sel.Cond, attrs)
+}
+
+// cutKeyword strips a leading case-insensitive keyword followed by a space
+// boundary.
+func cutKeyword(s, kw string) (string, bool) {
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return s, false
+	}
+	rest := s[len(kw):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return s, false
+	}
+	return rest, true
+}
+
+// keywordIndex finds a case-insensitive keyword at a word boundary,
+// outside quotes.
+func keywordIndex(s, kw string) int {
+	lower := strings.ToLower(s)
+	var quote byte
+	for i := 0; i+len(kw) <= len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote && (i == 0 || s[i-1] != '\\') {
+				quote = 0
+			}
+			continue
+		}
+		if c == '"' || c == '\'' {
+			quote = c
+			continue
+		}
+		if lower[i:i+len(kw)] == kw {
+			beforeOK := i == 0 || lower[i-1] == ' ' || lower[i-1] == '\t' || lower[i-1] == ','
+			afterOK := i+len(kw) == len(s) || lower[i+len(kw)] == ' ' || lower[i+len(kw)] == '\t'
+			if beforeOK && afterOK {
+				return i
+			}
+		}
+	}
+	return -1
+}

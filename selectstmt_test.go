@@ -1,0 +1,109 @@
+package csqp
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func TestParseSelectBasics(t *testing.T) {
+	sel, err := ParseSelect(`SELECT title, isbn FROM books WHERE author = "Carl Jung" ^ title contains "dreams"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Source != "books" {
+		t.Errorf("source = %q", sel.Source)
+	}
+	if len(sel.Attrs) != 2 || sel.Attrs[0] != "title" || sel.Attrs[1] != "isbn" {
+		t.Errorf("attrs = %v", sel.Attrs)
+	}
+	if condition.Size(sel.Cond) != 2 {
+		t.Errorf("cond = %s", sel.Cond.Key())
+	}
+}
+
+func TestParseSelectNoWhere(t *testing.T) {
+	sel, err := ParseSelect(`select isbn from books`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !condition.IsTrue(sel.Cond) {
+		t.Errorf("cond = %s, want true", sel.Cond.Key())
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel, err := ParseSelect(`SELECT * FROM books WHERE author = "X"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Attrs) != 1 || sel.Attrs[0] != "*" {
+		t.Errorf("attrs = %v", sel.Attrs)
+	}
+}
+
+func TestParseSelectKeywordsInStrings(t *testing.T) {
+	// FROM/WHERE inside string literals must not split clauses.
+	sel, err := ParseSelect(`SELECT isbn FROM books WHERE title contains "where we are from"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sel.Cond.(*condition.Atomic)
+	if a.Val.S != "where we are from" {
+		t.Errorf("value = %q", a.Val.S)
+	}
+}
+
+func TestParseSelectErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`INSERT INTO x`,
+		`SELECT FROM books`,
+		`SELECT a b FROM books`,
+		`SELECT a, * FROM books`,
+		`SELECT a FROM`,
+		`SELECT a FROM two words`,
+		`SELECT a FROM books WHERE bad =`,
+		`selector a from b`, // keyword must end at a word boundary
+	}
+	for _, stmt := range bad {
+		if _, err := ParseSelect(stmt); err == nil {
+			t.Errorf("ParseSelect(%q) should fail", stmt)
+		}
+	}
+}
+
+func TestQuerySQLEndToEnd(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.QuerySQL(`SELECT title, isbn FROM books WHERE (author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() != 11 {
+		t.Errorf("rows = %d, want 11", res.Answer.Len())
+	}
+	if len(res.SourceQueries) != 2 {
+		t.Errorf("source queries = %d, want 2", len(res.SourceQueries))
+	}
+}
+
+func TestQuerySQLStarExpandsSchema(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.QuerySQL(`SELECT * FROM books WHERE author = "Carl Jung"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Schema().Len() != 4 { // author, title, isbn, price
+		t.Errorf("schema = %v", res.Answer.Schema())
+	}
+}
+
+func TestQuerySQLErrors(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.QuerySQL(`SELECT x FROM ghost`); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := sys.QuerySQL(`nonsense`); err == nil {
+		t.Error("bad statement should fail")
+	}
+}
