@@ -6,6 +6,7 @@
 package csqp_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -246,7 +247,7 @@ func BenchmarkPlanExecution(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := plan.Execute(p, srcs); err != nil {
+		if _, err := plan.Execute(context.Background(), p, srcs); err != nil {
 			b.Fatal(err)
 		}
 	}

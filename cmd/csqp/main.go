@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"strings"
@@ -49,7 +51,23 @@ func run() error {
 	serve := flag.String("serve", "", "serve the source over HTTP at this address instead of querying")
 	interactive := flag.Bool("repl", false, "start an interactive shell over the loaded source")
 	size := flag.Int("size", 0, "demo dataset size (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-source-query attempt timeout (0 = none)")
+	retries := flag.Int("retries", 0, "retries per failed source query (transport errors only)")
+	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
+	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed, reporting dropped sources")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	sysOpts := csqp.Options{
+		QueryTimeout:   *timeout,
+		QueryRetries:   *retries,
+		PartialAnswers: *partial,
+	}
 
 	rel, grammar, err := loadSource(*demo, *dataPath, *ssdlPath, *size)
 	if err != nil {
@@ -63,11 +81,13 @@ func run() error {
 		}
 		fmt.Printf("serving source %q (%d tuples) at %s\n", src.Name(), rel.Len(), *serve)
 		fmt.Printf("endpoints: GET /describe, GET /stats, POST /query\n")
-		return http.ListenAndServe(*serve, source.NewHandler(src))
+		h := source.NewHandler(src)
+		h.SetLogger(log.New(os.Stderr, "source: ", log.LstdFlags))
+		return http.ListenAndServe(*serve, h)
 	}
 
 	if *interactive {
-		sys := csqp.NewSystem()
+		sys := csqp.NewSystem(sysOpts)
 		sys.EnableCache()
 		if err := sys.AddSourceGrammar(rel, grammar); err != nil {
 			return err
@@ -83,7 +103,7 @@ func run() error {
 		return errors.New("missing -attrs")
 	}
 
-	sys := csqp.NewSystem()
+	sys := csqp.NewSystem(sysOpts)
 	if err := sys.AddSourceGrammar(rel, grammar); err != nil {
 		return err
 	}
@@ -106,9 +126,18 @@ func run() error {
 			strategy, sys.Cost(p), metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls, sys.AnnotatePlan(p))
 		return nil
 	}
-	res, err := sys.QueryWith(strategy, srcName, *query, attrs...)
+	cond, err := csqp.ParseCondition(*query)
 	if err != nil {
 		return err
+	}
+	res, err := sys.QueryCond(ctx, strategy, srcName, cond, attrs)
+	if err != nil {
+		var pe *csqp.PartialError
+		if res == nil || !errors.As(err, &pe) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "warning: partial answer — dropped sources %v: %v\n",
+			pe.DroppedSources(), err)
 	}
 	fmt.Printf("strategy: %s\nsource queries: %d\nplan cost: %.2f\n\n%s\n",
 		strategy, len(res.SourceQueries), res.Cost, csqp.FormatPlan(res.Plan))

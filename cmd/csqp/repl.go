@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -96,7 +97,7 @@ func (r *repl) command(line string) {
 			return
 		}
 		for _, s := range []csqp.Strategy{csqp.GenCompact, csqp.GenModular, csqp.CNF, csqp.DNF, csqp.Disco, csqp.Naive} {
-			res, err := r.sys.QueryCond(s, sel.Source, sel.Cond, sel.Attrs)
+			res, err := r.sys.QueryCond(context.Background(), s, sel.Source, sel.Cond, sel.Attrs)
 			if err != nil {
 				if errors.Is(err, csqp.ErrInfeasible) {
 					fmt.Fprintf(r.out, "  %-11s infeasible\n", s)
@@ -126,7 +127,7 @@ func (r *repl) query(stmt string) {
 	if len(sel.Attrs) == 1 && sel.Attrs[0] == "*" {
 		res, err = r.sys.QuerySQL(stmt)
 	} else {
-		res, err = r.sys.QueryCond(r.strategy, sel.Source, sel.Cond, sel.Attrs)
+		res, err = r.sys.QueryCond(context.Background(), r.strategy, sel.Source, sel.Cond, sel.Attrs)
 	}
 	if err != nil {
 		fmt.Fprintln(r.out, "error:", err)

@@ -22,7 +22,9 @@
 package csqp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/condition"
@@ -59,6 +61,13 @@ type (
 	Plan = plan.Plan
 	// Metrics reports what a planning run did.
 	Metrics = planner.Metrics
+	// Querier is the source-query interface plans execute against;
+	// implement it to register custom or remote sources.
+	Querier = plan.Querier
+	// PartialError annotates a degraded Union answer with the branches
+	// that were dropped (see Options.PartialAnswers); detect it with
+	// errors.As.
+	PartialError = plan.PartialError
 )
 
 // Value constructors.
@@ -163,6 +172,21 @@ type Options struct {
 	// Workers bounds concurrent source queries during plan execution
 	// (default 1 = sequential).
 	Workers int
+	// QueryTimeout bounds each source-query attempt (0 = no timeout).
+	QueryTimeout time.Duration
+	// QueryRetries re-attempts failed source queries with exponential
+	// backoff (0 = no retries). Only transient transport failures are
+	// retried; capability refusals never are.
+	QueryRetries int
+	// BreakerThreshold opens a per-source circuit breaker after this many
+	// consecutive failures, fast-failing further queries for a cooldown
+	// (0 = breaker disabled).
+	BreakerThreshold int
+	// PartialAnswers lets Union plans degrade when sources fail at
+	// execution time: the surviving branches' answer is returned together
+	// with a *PartialError. Union is monotone, so every returned tuple is
+	// a true answer tuple.
+	PartialAnswers bool
 }
 
 // System is a mediator with its sources, estimator and cost model.
@@ -174,6 +198,8 @@ type System struct {
 	rels     map[string]*relation.Relation
 	est      *cost.Registry
 	strategy Strategy
+	res      source.ResilienceOptions
+	resOn    bool
 }
 
 // NewSystem builds an empty system. With no Options it uses the paper's
@@ -189,17 +215,37 @@ func NewSystem(opts ...Options) *System {
 		}
 		o.Strategy = opts[0].Strategy
 		o.Workers = opts[0].Workers
+		o.QueryTimeout = opts[0].QueryTimeout
+		o.QueryRetries = opts[0].QueryRetries
+		o.BreakerThreshold = opts[0].BreakerThreshold
+		o.PartialAnswers = opts[0].PartialAnswers
 	}
 	rels := make(map[string]*relation.Relation)
 	est := cost.NewRegistry()
 	med := mediator.New(cost.Model{K1: o.K1, K2: o.K2, PerSource: make(map[string]cost.Coef), Est: est})
 	med.Workers = o.Workers
+	med.AllowPartial = o.PartialAnswers
 	return &System{
 		med:      med,
 		rels:     rels,
 		est:      est,
 		strategy: o.Strategy,
+		res: source.ResilienceOptions{
+			Timeout:          o.QueryTimeout,
+			MaxRetries:       o.QueryRetries,
+			BreakerThreshold: o.BreakerThreshold,
+		},
+		resOn: o.QueryTimeout > 0 || o.QueryRetries > 0 || o.BreakerThreshold > 0,
 	}
+}
+
+// harden wraps a querier in the system's resilience layer when one is
+// configured.
+func (s *System) harden(name string, q Querier) Querier {
+	if !s.resOn {
+		return q
+	}
+	return source.NewResilient(name, q, s.res)
 }
 
 // SetSourceCost overrides the cost constants for one source (the paper's
@@ -226,7 +272,7 @@ func (s *System) AddSourceGrammar(rel *Relation, g *Grammar) error {
 	if err != nil {
 		return err
 	}
-	if err := s.med.Register(src.Name(), src, g); err != nil {
+	if err := s.med.Register(src.Name(), s.harden(src.Name(), src), g); err != nil {
 		return err
 	}
 	s.rels[src.Name()] = rel
@@ -234,21 +280,37 @@ func (s *System) AddSourceGrammar(rel *Relation, g *Grammar) error {
 	return nil
 }
 
+// AddQuerierSource registers a custom querier — a remote client, a
+// wrapper, a fault-injecting test double — under the capabilities the
+// SSDL text describes. The source name comes from the description's
+// `source` header.
+func (s *System) AddQuerierSource(q Querier, ssdlText string) (name string, err error) {
+	g, err := ssdl.Parse(ssdlText)
+	if err != nil {
+		return "", err
+	}
+	if err := s.med.Register(g.Source, s.harden(g.Source, q), g); err != nil {
+		return "", err
+	}
+	return g.Source, nil
+}
+
 // AddHTTPSource registers a source served at the base URL by a
 // source.Handler (or any server speaking the same protocol); the SSDL
 // description is fetched from the source itself.
 func (s *System) AddHTTPSource(baseURL string) (name string, err error) {
+	ctx := context.Background()
 	client := source.NewClient(baseURL, nil)
-	g, err := client.Describe()
+	g, err := client.Describe(ctx)
 	if err != nil {
 		return "", err
 	}
-	if err := s.med.Register(g.Source, client, g); err != nil {
+	if err := s.med.Register(g.Source, s.harden(g.Source, client), g); err != nil {
 		return "", err
 	}
 	// Use the source's published statistics for cost estimation; fall
 	// back silently to heuristics if the source does not publish any.
-	if st, err := client.Stats(); err == nil {
+	if st, err := client.Stats(ctx); err == nil {
 		s.est.Set(g.Source, cost.NewStatsEstimator(map[string]*relation.Stats{g.Source: st}))
 	}
 	return g.Source, nil
@@ -281,26 +343,39 @@ func (s *System) Query(src, cond string, attrs ...string) (*Result, error) {
 	return s.QueryWith(s.strategy, src, cond, attrs...)
 }
 
+// QueryContext is Query under a caller-supplied context: its deadline and
+// cancellation propagate to every source query the plan issues.
+func (s *System) QueryContext(ctx context.Context, src, cond string, attrs ...string) (*Result, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryCond(ctx, s.strategy, src, c, attrs)
+}
+
 // QueryWith is Query with an explicit strategy.
 func (s *System) QueryWith(strategy Strategy, src, cond string, attrs ...string) (*Result, error) {
 	c, err := condition.Parse(cond)
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryCond(strategy, src, c, attrs)
+	return s.QueryCond(context.Background(), strategy, src, c, attrs)
 }
 
-// QueryCond is QueryWith over a pre-parsed condition.
-func (s *System) QueryCond(strategy Strategy, src string, cond Condition, attrs []string) (*Result, error) {
+// QueryCond is QueryWith over a pre-parsed condition and an explicit
+// context. With Options.PartialAnswers set, a degraded Union answer
+// returns BOTH a Result and a *PartialError — check errors.As before
+// discarding the result.
+func (s *System) QueryCond(ctx context.Context, strategy Strategy, src string, cond Condition, attrs []string) (*Result, error) {
 	p, err := strategy.planner()
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.med.Answer(p, src, cond, attrs)
-	if err != nil {
+	res, err := s.med.Answer(ctx, p, src, cond, attrs)
+	if res == nil {
 		return nil, err
 	}
-	return s.wrapResult(res), nil
+	return s.wrapResult(res), err
 }
 
 // Explain plans the query without executing it and returns the fixed plan.
@@ -332,8 +407,15 @@ func (s *System) CacheStats() (hits, misses int) { return s.med.CacheStats() }
 
 // QueryUnion answers the query over the union of the named partitioned
 // sources (all must share the queried attributes, and all must be able to
-// answer).
+// answer). With Options.PartialAnswers set, partitions whose sources fail
+// at execution time are dropped and reported via a *PartialError returned
+// alongside the surviving partitions' Result.
 func (s *System) QueryUnion(sources []string, cond string, attrs ...string) (*Result, error) {
+	return s.QueryUnionContext(context.Background(), sources, cond, attrs...)
+}
+
+// QueryUnionContext is QueryUnion under a caller-supplied context.
+func (s *System) QueryUnionContext(ctx context.Context, sources []string, cond string, attrs ...string) (*Result, error) {
 	c, err := condition.Parse(cond)
 	if err != nil {
 		return nil, err
@@ -342,16 +424,21 @@ func (s *System) QueryUnion(sources []string, cond string, attrs ...string) (*Re
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.med.AnswerUnion(p, sources, c, attrs)
-	if err != nil {
+	res, err := s.med.AnswerUnion(ctx, p, sources, c, attrs)
+	if res == nil {
 		return nil, err
 	}
-	return s.wrapResult(res), nil
+	return s.wrapResult(res), err
 }
 
 // QueryCheapest answers the query from whichever of the named replicated
 // sources has the cheapest feasible plan, returning the chosen name.
 func (s *System) QueryCheapest(sources []string, cond string, attrs ...string) (*Result, string, error) {
+	return s.QueryCheapestContext(context.Background(), sources, cond, attrs...)
+}
+
+// QueryCheapestContext is QueryCheapest under a caller-supplied context.
+func (s *System) QueryCheapestContext(ctx context.Context, sources []string, cond string, attrs ...string) (*Result, string, error) {
 	c, err := condition.Parse(cond)
 	if err != nil {
 		return nil, "", err
@@ -360,11 +447,11 @@ func (s *System) QueryCheapest(sources []string, cond string, attrs ...string) (
 	if err != nil {
 		return nil, "", err
 	}
-	res, chosen, err := s.med.AnswerCheapest(p, sources, c, attrs)
-	if err != nil {
+	res, chosen, err := s.med.AnswerCheapest(ctx, p, sources, c, attrs)
+	if res == nil {
 		return nil, "", err
 	}
-	return s.wrapResult(res), chosen, nil
+	return s.wrapResult(res), chosen, err
 }
 
 // wrapResult converts a mediator result to the facade form.

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -251,7 +252,7 @@ func TestBaselinePlansExecuteCorrectly(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
-		got, err := plan.Execute(pl, srcs)
+		got, err := plan.Execute(context.Background(), pl, srcs)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -268,7 +269,7 @@ type oracleSource struct {
 	chk *ssdl.Checker
 }
 
-func (s *oracleSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+func (s *oracleSource) Query(_ context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	sel := s.rel
 	if !condition.IsTrue(cond) {
 		var err error

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -45,7 +46,7 @@ func FastStrategies() []planner.Planner {
 func scenarioRow(med *mediator.Mediator, src *source.Local, p planner.Planner,
 	cond condition.Node, attrs []string) ([]string, error) {
 	src.ResetAccounting()
-	res, err := med.Answer(p, src.Name(), cond, attrs)
+	res, err := med.Answer(context.Background(), p, src.Name(), cond, attrs)
 	if err != nil {
 		if errors.Is(err, planner.ErrInfeasible) {
 			return []string{p.Name(), "no", "-", "-", "-", "-"}, nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -84,7 +85,7 @@ attributes :: dl : {make, model, price}
 		}
 		dealers.ResetAccounting()
 
-		res, err := med.AnswerJoin(core.New(), mediator.JoinSpec{
+		res, err := med.AnswerJoin(context.Background(), core.New(), mediator.JoinSpec{
 			Left:      "dealers",
 			Right:     "cars",
 			LeftCond:  condition.MustParse(`city = "Palo Alto"`),

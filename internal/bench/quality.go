@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -266,7 +267,7 @@ func VerifyStrategyCorrectness(cfg QualityConfig) (int, error) {
 					return checked, err
 				}
 				for _, p := range FastStrategies() {
-					res, err := med.Answer(p, dom.Name, cond, attrs)
+					res, err := med.Answer(context.Background(), p, dom.Name, cond, attrs)
 					if errors.Is(err, planner.ErrInfeasible) {
 						continue
 					}

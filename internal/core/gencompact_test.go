@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestSection4Plan(t *testing.T) {
 	if !qs[0].OutAttrs().Has("color") {
 		t.Errorf("source query must export color for mediator evaluation: %s", qs[0].Key())
 	}
-	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	res, err := plan.Execute(context.Background(), p, plan.SourceMap{"R": src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ attributes :: s3 : {b, c, x}
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	res, err := plan.Execute(context.Background(), p, plan.SourceMap{"R": src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ attributes :: s3 : {author, title, isbn, price}
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute(fixed, med)
+	res, err := plan.Execute(context.Background(), fixed, med)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ attributes :: dl : {a, b}
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute(p, plan.SourceMap{"R": src})
+	res, err := plan.Execute(context.Background(), p, plan.SourceMap{"R": src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ attributes :: s2 : {acct, owner, balance}
 	if err != nil {
 		t.Fatalf("owner lookup: %v", err)
 	}
-	if res, err := plan.Execute(p, plan.SourceMap{"bank": src}); err != nil || res.Len() != 1 {
+	if res, err := plan.Execute(context.Background(), p, plan.SourceMap{"bank": src}); err != nil || res.Len() != 1 {
 		t.Fatalf("owner lookup execution: %v", err)
 	}
 
@@ -487,7 +488,7 @@ attributes :: s2 : {acct, owner, balance}
 	if err != nil {
 		t.Fatalf("balance with PIN: %v", err)
 	}
-	res, err := plan.Execute(p, plan.SourceMap{"bank": src})
+	res, err := plan.Execute(context.Background(), p, plan.SourceMap{"bank": src})
 	if err != nil || res.Len() != 1 {
 		t.Fatalf("balance execution: %v", err)
 	}

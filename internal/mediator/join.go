@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -58,8 +59,10 @@ type JoinResult struct {
 
 // AnswerJoin plans and executes the join. Both sides' conditions may be
 // arbitrary and/or trees; infeasibility of every strategy returns
-// planner.ErrInfeasible (wrapped).
-func (m *Mediator) AnswerJoin(p planner.Planner, spec JoinSpec) (*JoinResult, error) {
+// planner.ErrInfeasible (wrapped). Joins always fail closed: a partial
+// left side would silently shrink the semijoin's bindings, so
+// AllowPartial does not apply here.
+func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinSpec) (*JoinResult, error) {
 	if spec.MaxBindings <= 0 {
 		spec.MaxBindings = 64
 	}
@@ -78,12 +81,17 @@ func (m *Mediator) AnswerJoin(p planner.Planner, spec JoinSpec) (*JoinResult, er
 		return nil, err
 	}
 
-	// Left side: one capability-sensitive selection query.
-	leftRes, err := m.Answer(p, spec.Left, spec.LeftCond, leftAttrs.Sorted())
+	// Left side: one capability-sensitive selection query, fail-closed
+	// regardless of AllowPartial.
+	leftPlan, _, err := m.Plan(p, spec.Left, spec.LeftCond, leftAttrs.Sorted())
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
-	left := leftRes.Relation
+	left, err := plan.ExecuteParallel(ctx, leftPlan, m, plan.ExecOptions{Workers: m.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("mediator: join left side: %w", err)
+	}
+	leftRes := &Result{Plan: leftPlan, Relation: left}
 
 	values, err := distinctValues(left, spec.LeftAttr)
 	if err != nil {
@@ -132,7 +140,7 @@ func (m *Mediator) AnswerJoin(p planner.Planner, spec JoinSpec) (*JoinResult, er
 		rightPlan, strategy = wholePlan, "whole-side"
 	}
 
-	right, err := plan.ExecuteParallel(rightPlan, m, m.Workers)
+	right, err := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join right side: %w", err)
 	}

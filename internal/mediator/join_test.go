@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -101,7 +102,7 @@ attributes :: s2 : {make, model, price}
 func TestSemijoinEndToEnd(t *testing.T) {
 	med, _, cars := joinFixture(t)
 	// Cars under $40k sold by Palo Alto dealers' brands.
-	res, err := med.AnswerJoin(core.New(), JoinSpec{
+	res, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:      "dealers",
 		Right:     "cars",
 		LeftCond:  condition.MustParse(`city = "Palo Alto"`),
@@ -134,7 +135,7 @@ func TestJoinWholeSideWhenProbesExpensive(t *testing.T) {
 	// (make = "BMW" ^ make = v) are unsupported conjunctions; the
 	// whole-side strategy must be chosen. MaxProbes additionally caps
 	// the bind path.
-	res, err := med.AnswerJoin(core.New(), JoinSpec{
+	res, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:        "dealers",
 		Right:       "cars",
 		LeftCond:    condition.MustParse(`city = "Palo Alto" _ city = "San Jose"`),
@@ -160,7 +161,7 @@ func TestJoinLeftTrueConditionNeedsDownloadOrFails(t *testing.T) {
 	med, _, _ := joinFixture(t)
 	// dealers grammar has no download rule; a true left condition is
 	// unplannable.
-	_, err := med.AnswerJoin(core.New(), JoinSpec{
+	_, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:      "cars",
 		Right:     "dealers",
 		LeftCond:  condition.True(),
@@ -177,7 +178,7 @@ func TestJoinLeftTrueConditionNeedsDownloadOrFails(t *testing.T) {
 func TestJoinAttributeResolution(t *testing.T) {
 	med, _, _ := joinFixture(t)
 	// Unknown attribute.
-	_, err := med.AnswerJoin(core.New(), JoinSpec{
+	_, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left: "dealers", Right: "cars",
 		LeftCond: condition.MustParse(`city = "Palo Alto"`), RightCond: condition.True(),
 		LeftAttr: "brand", RightAttr: "make",
@@ -187,7 +188,7 @@ func TestJoinAttributeResolution(t *testing.T) {
 		t.Error("unknown output attribute should fail")
 	}
 	// Unknown source.
-	_, err = med.AnswerJoin(core.New(), JoinSpec{Left: "nope", Right: "cars", LeftAttr: "x", RightAttr: "y",
+	_, err = med.AnswerJoin(context.Background(), core.New(), JoinSpec{Left: "nope", Right: "cars", LeftAttr: "x", RightAttr: "y",
 		LeftCond: condition.True(), RightCond: condition.True()})
 	if err == nil {
 		t.Error("unknown source should fail")
@@ -196,7 +197,7 @@ func TestJoinAttributeResolution(t *testing.T) {
 
 func TestJoinEmptyLeftSide(t *testing.T) {
 	med, _, cars := joinFixture(t)
-	res, err := med.AnswerJoin(core.New(), JoinSpec{
+	res, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:      "dealers",
 		Right:     "cars",
 		LeftCond:  condition.MustParse(`city = "Nowhere"`),
@@ -221,7 +222,7 @@ func TestJoinEmptyLeftSide(t *testing.T) {
 
 func TestJoinMatchesDirectEvaluation(t *testing.T) {
 	med, dealers, cars := joinFixture(t)
-	res, err := med.AnswerJoin(core.New(), JoinSpec{
+	res, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:      "dealers",
 		Right:     "cars",
 		LeftCond:  condition.MustParse(`city = "San Jose"`),
@@ -327,7 +328,7 @@ attributes :: s2 : {make, model, price}
 		t.Fatal(err)
 	}
 
-	res, err := med.AnswerJoin(core.New(), JoinSpec{
+	res, err := med.AnswerJoin(context.Background(), core.New(), JoinSpec{
 		Left:      "dealers",
 		Right:     "cars",
 		LeftCond:  condition.MustParse(`city = "Palo Alto"`),

@@ -7,6 +7,8 @@
 package mediator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/condition"
@@ -39,6 +41,10 @@ type Mediator struct {
 	// Workers bounds concurrent source queries during execution; values
 	// above 1 fetch independent plan branches in parallel.
 	Workers int
+	// AllowPartial lets Union plans degrade when some branches fail:
+	// Answer and AnswerUnion then return the surviving branches' result
+	// together with a *plan.PartialError describing what was dropped.
+	AllowPartial bool
 }
 
 // New builds a mediator with the given cost model.
@@ -134,17 +140,35 @@ func (m *Mediator) Plan(p planner.Planner, source string, cond condition.Node, a
 	return fixed, metrics, nil
 }
 
-// Answer plans and executes the target query in one step.
-func (m *Mediator) Answer(p planner.Planner, source string, cond condition.Node, attrs []string) (*Result, error) {
+// Answer plans and executes the target query in one step. The context
+// bounds execution: its deadline and cancellation reach every source
+// query. With AllowPartial set, a degraded Union answer is returned
+// together with the *plan.PartialError (use errors.As to detect it); all
+// other errors come with a nil Result.
+func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string, cond condition.Node, attrs []string) (*Result, error) {
 	fixed, metrics, err := m.Plan(p, source, cond, attrs)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := plan.ExecuteParallel(fixed, m, m.Workers)
-	if err != nil {
+	rel, err := m.execute(ctx, fixed)
+	if err != nil && rel == nil {
 		return nil, err
 	}
-	return &Result{Plan: fixed, Metrics: metrics, Relation: rel}, nil
+	return &Result{Plan: fixed, Metrics: metrics, Relation: rel}, err
+}
+
+// execute runs a fixed plan under the mediator's execution settings. For
+// a partial answer it returns both a relation and the *plan.PartialError.
+func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, error) {
+	rel, err := plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial})
+	if err != nil {
+		var pe *plan.PartialError
+		if rel != nil && errors.As(err, &pe) {
+			return rel, err
+		}
+		return nil, err
+	}
+	return rel, nil
 }
 
 // Result is a completed target query.

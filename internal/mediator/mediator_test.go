@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestContextUsesClosureChecker(t *testing.T) {
 func TestAnswerEndToEnd(t *testing.T) {
 	med, src := carsFixture(t)
 	cond := condition.MustParse(`(make = "BMW" _ make = "Toyota") ^ color = "red"`)
-	res, err := med.Answer(core.New(), "cars", cond, []string{"model"})
+	res, err := med.Answer(context.Background(), core.New(), "cars", cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestAnswerOverHTTPSources(t *testing.T) {
 	defer server.close()
 
 	client := source.NewClient(server.url, nil)
-	g, err := client.Describe()
+	g, err := client.Describe(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestAnswerOverHTTPSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	cond := condition.MustParse(`(make = "BMW" _ make = "Toyota") ^ color = "red"`)
-	res, err := med.Answer(core.New(), "cars", cond, []string{"model"})
+	res, err := med.Answer(context.Background(), core.New(), "cars", cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestAnswerOverHTTPSources(t *testing.T) {
 func TestBaselineThroughMediator(t *testing.T) {
 	med, _ := carsFixture(t)
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	res, err := med.Answer(baseline.Naive{}, "cars", cond, []string{"model"})
+	res, err := med.Answer(context.Background(), baseline.Naive{}, "cars", cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}

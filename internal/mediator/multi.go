@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -22,7 +23,11 @@ import (
 // own capability-sensitive plan; results are unioned. Every partition
 // must be feasible — a partition that cannot answer makes the whole query
 // infeasible, because missing rows would silently corrupt the answer.
-func (m *Mediator) AnswerUnion(p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, error) {
+// PLANNING always requires every partition; with AllowPartial set,
+// EXECUTION may degrade: partitions whose sources fail at runtime are
+// dropped and reported via a *plan.PartialError returned alongside the
+// surviving partitions' Result.
+func (m *Mediator) AnswerUnion(ctx context.Context, p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("mediator: no sources given")
 	}
@@ -47,18 +52,18 @@ func (m *Mediator) AnswerUnion(p planner.Planner, sources []string, cond conditi
 	} else {
 		combined = &plan.Union{Inputs: plans}
 	}
-	rel, err := plan.ExecuteParallel(combined, m, m.Workers)
-	if err != nil {
+	rel, err := m.execute(ctx, combined)
+	if err != nil && rel == nil {
 		return nil, err
 	}
-	return &Result{Plan: combined, Metrics: &metrics, Relation: rel}, nil
+	return &Result{Plan: combined, Metrics: &metrics, Relation: rel}, err
 }
 
 // AnswerCheapest answers the target query from whichever of the named
 // (replicated) sources has the cheapest feasible plan, returning the
 // chosen source name. Sources that cannot answer are skipped; if none
 // can, the error wraps planner.ErrInfeasible.
-func (m *Mediator) AnswerCheapest(p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, string, error) {
+func (m *Mediator) AnswerCheapest(ctx context.Context, p planner.Planner, sources []string, cond condition.Node, attrs []string) (*Result, string, error) {
 	if len(sources) == 0 {
 		return nil, "", fmt.Errorf("mediator: no sources given")
 	}
@@ -79,9 +84,9 @@ func (m *Mediator) AnswerCheapest(p planner.Planner, sources []string, cond cond
 	if bestPlan == nil {
 		return nil, "", fmt.Errorf("mediator: no replica can answer: %w", planner.ErrInfeasible)
 	}
-	rel, err := plan.ExecuteParallel(bestPlan, m, m.Workers)
-	if err != nil {
+	rel, err := m.execute(ctx, bestPlan)
+	if err != nil && rel == nil {
 		return nil, "", err
 	}
-	return &Result{Plan: bestPlan, Metrics: bestMetrics, Relation: rel}, bestSource, nil
+	return &Result{Plan: bestPlan, Metrics: bestMetrics, Relation: rel}, bestSource, err
 }

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestAnswerUnionPartitioned(t *testing.T) {
 	// BMWs under $40k across both partitions. West cannot push the price
 	// bound (it filters at the mediator); east can.
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	res, err := med.AnswerUnion(core.New(), []string{"west", "east"}, cond, []string{"model", "price"})
+	res, err := med.AnswerUnion(context.Background(), core.New(), []string{"west", "east"}, cond, []string{"model", "price"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestAnswerUnionFailsWhenPartitionInfeasible(t *testing.T) {
 	// Price-only queries are infeasible on west (and east): missing rows
 	// must not be silently dropped.
 	cond := condition.MustParse(`price < 20000`)
-	_, err := med.AnswerUnion(core.New(), []string{"west", "east"}, cond, []string{"model"})
+	_, err := med.AnswerUnion(context.Background(), core.New(), []string{"west", "east"}, cond, []string{"model"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
-	if _, err := med.AnswerUnion(core.New(), nil, cond, []string{"model"}); err == nil {
+	if _, err := med.AnswerUnion(context.Background(), core.New(), nil, cond, []string{"model"}); err == nil {
 		t.Error("no sources should fail")
 	}
 }
@@ -143,7 +144,7 @@ func TestAnswerUnionFailsWhenPartitionInfeasible(t *testing.T) {
 func TestAnswerCheapestPicksFastMirror(t *testing.T) {
 	med, srcs := partitionedFixture(t)
 	cond := condition.MustParse(`make = "Toyota"`)
-	res, chosen, err := med.AnswerCheapest(core.New(), []string{"slow_mirror", "fast_mirror"}, cond, []string{"model"})
+	res, chosen, err := med.AnswerCheapest(context.Background(), core.New(), []string{"slow_mirror", "fast_mirror"}, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestAnswerCheapestPrefersCapableMirror(t *testing.T) {
 	// push the price bound, and slow_mirror's per-query overhead is
 	// huge, so east must win.
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	res, chosen, err := med.AnswerCheapest(core.New(), []string{"slow_mirror", "east"}, cond, []string{"model"})
+	res, chosen, err := med.AnswerCheapest(context.Background(), core.New(), []string{"slow_mirror", "east"}, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestAnswerCheapestPrefersCapableMirror(t *testing.T) {
 		t.Errorf("rows = %d, want 1", res.Relation.Len())
 	}
 	// All-infeasible case.
-	_, _, err = med.AnswerCheapest(core.New(), []string{"west"}, condition.MustParse(`price < 1`), []string{"model"})
+	_, _, err = med.AnswerCheapest(context.Background(), core.New(), []string{"west"}, condition.MustParse(`price < 1`), []string{"model"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
@@ -225,7 +226,7 @@ func TestPlanCache(t *testing.T) {
 		t.Errorf("cache stats = %d/%d, want 2/2", h, m)
 	}
 	// Executing a cached plan still answers correctly.
-	res, err := med.Answer(gc, "cars", rev, []string{"model"})
+	res, err := med.Answer(context.Background(), gc, "cars", rev, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}

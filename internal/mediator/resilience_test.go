@@ -1,0 +1,142 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// flakyPartitionFixture builds three partitions of one logical listing
+// relation; the middle partition's source is down (every query fails with
+// a transport error).
+func flakyPartitionFixture(t *testing.T) (*Mediator, *source.Flaky) {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+	)
+	build := func(models ...string) *relation.Relation {
+		r := relation.New(schema)
+		for _, m := range models {
+			if err := r.AppendValues(condition.String("BMW"), condition.String(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	rels := map[string]*relation.Relation{
+		"p1": build("328i"),
+		"p2": build("M5"),
+		"p3": build("318i"),
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(rels)})
+	var down *source.Flaky
+	for _, name := range []string{"p1", "p2", "p3"} {
+		g := ssdl.MustParse(`
+source ` + name + `
+attrs make, model
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model}
+`)
+		src, err := source.NewLocal("", rels[name], g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q plan.Querier = src
+		if name == "p2" {
+			down = source.NewFlaky(src).FailFirst(1 << 20)
+			q = down
+		}
+		if err := med.Register(name, q, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return med, down
+}
+
+func TestAnswerUnionPartialDropsDeadPartition(t *testing.T) {
+	med, _ := flakyPartitionFixture(t)
+	med.AllowPartial = true
+	med.Workers = 4
+	cond := condition.MustParse(`make = "BMW"`)
+	res, err := med.AnswerUnion(context.Background(), core.New(), []string{"p1", "p2", "p3"}, cond, []string{"model"})
+	if res == nil {
+		t.Fatalf("want partial result, got err = %v", err)
+	}
+	var pe *plan.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *plan.PartialError", err)
+	}
+	if got := pe.DroppedSources(); len(got) != 1 || got[0] != "p2" {
+		t.Errorf("DroppedSources = %v, want [p2]", got)
+	}
+	if res.Relation.Len() != 2 { // 328i + 318i, M5's partition dropped
+		t.Errorf("rows = %d, want 2: %v", res.Relation.Len(), res.Relation.Tuples())
+	}
+}
+
+func TestAnswerUnionFailsClosedByDefault(t *testing.T) {
+	med, _ := flakyPartitionFixture(t)
+	med.Workers = 4
+	cond := condition.MustParse(`make = "BMW"`)
+	res, err := med.AnswerUnion(context.Background(), core.New(), []string{"p1", "p2", "p3"}, cond, []string{"model"})
+	if err == nil || res != nil {
+		t.Fatalf("AllowPartial off: want hard failure, got res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, source.ErrInjected) {
+		t.Errorf("err = %v, want the partition's transport failure", err)
+	}
+}
+
+func TestAnswerRecoversWithResilientSource(t *testing.T) {
+	// A partition that fails twice then recovers answers fine once
+	// wrapped in a Resilient querier with retries.
+	schema := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+	)
+	r := relation.New(schema)
+	if err := r.AppendValues(condition.String("BMW"), condition.String("M3")); err != nil {
+		t.Fatal(err)
+	}
+	g := ssdl.MustParse(`
+source shaky
+attrs make, model
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model}
+`)
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := source.NewFlaky(src).FailFirst(2)
+	res := source.NewResilient("shaky", flaky, source.ResilienceOptions{
+		MaxRetries: 3,
+		Sleep:      func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"shaky": r})})
+	if err := med.Register("shaky", res, g); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := med.Answer(context.Background(), core.New(), "shaky", condition.MustParse(`make = "BMW"`), []string{"model"})
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if ans.Relation.Len() != 1 {
+		t.Errorf("rows = %d, want 1", ans.Relation.Len())
+	}
+	if flaky.Calls() != 3 {
+		t.Errorf("inner calls = %d, want 3", flaky.Calls())
+	}
+}

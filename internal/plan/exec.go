@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -11,8 +12,10 @@ import (
 // local and HTTP-backed implementations.
 type Querier interface {
 	// Query runs SP(cond, attrs, R) at the source and returns its result.
-	// It fails when the source does not support the query.
-	Query(cond condition.Node, attrs []string) (*relation.Relation, error)
+	// It fails when the source does not support the query. The context
+	// carries the caller's deadline and cancellation: implementations must
+	// stop work and return promptly once ctx is done.
+	Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error)
 }
 
 // Sources resolves source names to queriers during execution.
@@ -30,23 +33,27 @@ func (m SourceMap) Lookup(name string) (Querier, bool) {
 	return q, ok
 }
 
-// Execute runs the plan against the sources and returns its result
-// relation. Choice nodes execute their first alternative (resolve choices
-// with a cost model first for meaningful plans).
-func Execute(p Plan, srcs Sources) (*relation.Relation, error) {
+// Execute runs the plan against the sources sequentially and returns its
+// result relation. Choice nodes execute their first alternative (resolve
+// choices with a cost model first for meaningful plans). Cancelling ctx
+// stops execution between source queries and inside ctx-aware queriers.
+func Execute(ctx context.Context, p Plan, srcs Sources) (*relation.Relation, error) {
 	switch t := p.(type) {
 	case *SourceQuery:
 		q, ok := srcs.Lookup(t.Source)
 		if !ok {
 			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
 		}
-		res, err := q.Query(t.Cond, t.Attrs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := q.Query(ctx, t.Cond, t.Attrs)
 		if err != nil {
 			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
 		}
 		return res, nil
 	case *Select:
-		in, err := Execute(t.Input, srcs)
+		in, err := Execute(ctx, t.Input, srcs)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +63,7 @@ func Execute(p Plan, srcs Sources) (*relation.Relation, error) {
 		}
 		return out, nil
 	case *Project:
-		in, err := Execute(t.Input, srcs)
+		in, err := Execute(ctx, t.Input, srcs)
 		if err != nil {
 			return nil, err
 		}
@@ -66,24 +73,24 @@ func Execute(p Plan, srcs Sources) (*relation.Relation, error) {
 		}
 		return out, nil
 	case *Union:
-		return executeNary(t.Inputs, srcs, (*relation.Relation).Union)
+		return executeNary(ctx, t.Inputs, srcs, (*relation.Relation).Union)
 	case *Intersect:
-		return executeNary(t.Inputs, srcs, (*relation.Relation).Intersect)
+		return executeNary(ctx, t.Inputs, srcs, (*relation.Relation).Intersect)
 	case *Choice:
 		if len(t.Alternatives) == 0 {
 			return nil, fmt.Errorf("plan: empty Choice")
 		}
-		return Execute(t.Alternatives[0], srcs)
+		return Execute(ctx, t.Alternatives[0], srcs)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}
 }
 
-func executeNary(inputs []Plan, srcs Sources, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
+func executeNary(ctx context.Context, inputs []Plan, srcs Sources, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("plan: empty n-ary node")
 	}
-	acc, err := Execute(inputs[0], srcs)
+	acc, err := Execute(ctx, inputs[0], srcs)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +98,7 @@ func executeNary(inputs []Plan, srcs Sources, combine func(*relation.Relation, *
 	// first branch's column order before combining.
 	order := acc.Schema().Names()
 	for _, in := range inputs[1:] {
-		next, err := Execute(in, srcs)
+		next, err := Execute(ctx, in, srcs)
 		if err != nil {
 			return nil, err
 		}

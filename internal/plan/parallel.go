@@ -1,99 +1,221 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/relation"
 )
 
+// ExecOptions configure ExecuteParallel.
+type ExecOptions struct {
+	// Workers bounds the number of plan-executing goroutines — and hence
+	// concurrent source queries — across the whole plan. Values ≤ 1 run
+	// sequentially.
+	Workers int
+	// AllowPartial lets a Union degrade when some branches fail: the
+	// successful branches are combined and returned together with a
+	// *PartialError listing what was dropped. Union is monotone, so the
+	// partial answer is sound. Intersect always fails closed — dropping
+	// an Intersect branch could only over-approximate the answer.
+	AllowPartial bool
+}
+
 // ExecuteParallel runs the plan like Execute, but evaluates the branches
 // of Union and Intersect nodes concurrently — the mediator's source
 // queries are network round-trips to independent endpoints, so a
 // multi-query plan's latency is dominated by its slowest branch rather
-// than the sum. workers bounds the number of in-flight source queries
-// across the whole plan (≤1 degenerates to sequential execution).
-func ExecuteParallel(p Plan, srcs Sources, workers int) (*relation.Relation, error) {
-	if workers <= 1 {
-		return Execute(p, srcs)
+// than the sum.
+//
+// Fan-out is bounded by a token pool of Workers-1 tokens: a branch runs
+// in its own goroutine only if it can claim a token without blocking, and
+// runs inline on the parent's goroutine otherwise. Claiming tokens
+// non-blockingly keeps nested n-ary nodes deadlock-free, and since each
+// goroutine issues at most one source query at a time, in-flight source
+// queries never exceed Workers.
+//
+// The first failing branch of a fail-closed n-ary node cancels its
+// sibling branches' contexts.
+func ExecuteParallel(ctx context.Context, p Plan, srcs Sources, opts ExecOptions) (*relation.Relation, error) {
+	if opts.Workers <= 1 && !opts.AllowPartial {
+		return Execute(ctx, p, srcs)
 	}
-	ex := &parallelExec{srcs: srcs, sem: make(chan struct{}, workers)}
-	return ex.run(p)
+	spawn := opts.Workers - 1
+	if spawn < 0 {
+		spawn = 0
+	}
+	ex := &parallelExec{srcs: srcs, tokens: make(chan struct{}, spawn), partial: opts.AllowPartial}
+	return ex.run(ctx, p)
 }
 
 type parallelExec struct {
-	srcs Sources
-	sem  chan struct{}
+	srcs    Sources
+	tokens  chan struct{} // goroutine-spawn permits (capacity Workers-1)
+	partial bool
 }
 
-func (e *parallelExec) run(p Plan) (*relation.Relation, error) {
+// asPartial reports whether (rel, err) is a sound partial answer: a
+// non-nil relation annotated with a *PartialError.
+func asPartial(rel *relation.Relation, err error) (*PartialError, bool) {
+	var pe *PartialError
+	if rel != nil && errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, error) {
 	switch t := p.(type) {
 	case *SourceQuery:
 		q, ok := e.srcs.Lookup(t.Source)
 		if !ok {
 			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
 		}
-		e.sem <- struct{}{}
-		res, err := q.Query(t.Cond, t.Attrs)
-		<-e.sem
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := q.Query(ctx, t.Cond, t.Attrs)
 		if err != nil {
 			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
 		}
 		return res, nil
 	case *Select:
-		in, err := e.run(t.Input)
-		if err != nil {
+		// Selecting from a partial input stays sound: σ of a subset is a
+		// subset of σ of the whole. The PartialError rides along.
+		in, err := e.run(ctx, t.Input)
+		pe, partial := asPartial(in, err)
+		if err != nil && !partial {
 			return nil, err
 		}
-		out, err := in.Select(t.Cond)
-		if err != nil {
-			return nil, fmt.Errorf("plan: mediator select: %w", err)
+		out, serr := in.Select(t.Cond)
+		if serr != nil {
+			return nil, fmt.Errorf("plan: mediator select: %w", serr)
+		}
+		if partial {
+			return out, pe
 		}
 		return out, nil
 	case *Project:
-		in, err := e.run(t.Input)
-		if err != nil {
+		in, err := e.run(ctx, t.Input)
+		pe, partial := asPartial(in, err)
+		if err != nil && !partial {
 			return nil, err
 		}
-		out, err := in.Project(t.Attrs)
-		if err != nil {
-			return nil, fmt.Errorf("plan: mediator project: %w", err)
+		out, perr := in.Project(t.Attrs)
+		if perr != nil {
+			return nil, fmt.Errorf("plan: mediator project: %w", perr)
+		}
+		if partial {
+			return out, pe
 		}
 		return out, nil
 	case *Union:
-		return e.runNary(t.Inputs, (*relation.Relation).Union)
+		return e.runNary(ctx, t.Inputs, true)
 	case *Intersect:
-		return e.runNary(t.Inputs, (*relation.Relation).Intersect)
+		return e.runNary(ctx, t.Inputs, false)
 	case *Choice:
 		if len(t.Alternatives) == 0 {
 			return nil, fmt.Errorf("plan: empty Choice")
 		}
-		return e.run(t.Alternatives[0])
+		return e.run(ctx, t.Alternatives[0])
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}
 }
 
-func (e *parallelExec) runNary(inputs []Plan, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
+func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (*relation.Relation, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("plan: empty n-ary node")
 	}
+	// Partial-answer degradation applies to Union only; Intersect fails
+	// closed and cancels its siblings on the first branch error. A
+	// partial (sound-but-incomplete) Intersect branch also fails the
+	// Intersect: we only promise degraded answers for monotone Union.
+	failClosed := !union || !e.partial
+	branchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	results := make([]*relation.Relation, len(inputs))
 	errs := make([]error, len(inputs))
 	var wg sync.WaitGroup
-	for i, in := range inputs {
-		wg.Add(1)
-		go func(i int, in Plan) {
-			defer wg.Done()
-			results[i], errs[i] = e.run(in)
-		}(i, in)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var inline []int
+	for i := range inputs {
+		// The last branch always runs on this goroutine, so the node
+		// makes progress even with no tokens free.
+		if i == len(inputs)-1 {
+			inline = append(inline, i)
+			continue
+		}
+		select {
+		case e.tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.tokens }()
+				results[i], errs[i] = e.run(branchCtx, inputs[i])
+				if errs[i] != nil && failClosed {
+					cancel()
+				}
+			}(i)
+		default:
+			inline = append(inline, i)
 		}
 	}
+	for _, i := range inline {
+		results[i], errs[i] = e.run(branchCtx, inputs[i])
+		if errs[i] != nil && failClosed {
+			cancel()
+			break
+		}
+	}
+	wg.Wait()
+
+	if failClosed {
+		if err := firstRealError(errs); err != nil {
+			return nil, err
+		}
+		combine := (*relation.Relation).Intersect
+		if union {
+			combine = (*relation.Relation).Union
+		}
+		return combineBranches(results, combine)
+	}
+
+	// Union in partial mode: combine what succeeded, record what was
+	// dropped. A branch may itself be partial (nested Union) — its result
+	// is kept and its dropped sub-branches are merged into ours.
+	var dropped []DroppedBranch
+	var keep []*relation.Relation
+	for i, err := range errs {
+		pe, partial := asPartial(results[i], err)
+		switch {
+		case err == nil:
+			keep = append(keep, results[i])
+		case partial:
+			keep = append(keep, results[i])
+			dropped = append(dropped, pe.Dropped...)
+		default:
+			dropped = append(dropped, DroppedBranch{Sources: branchSources(inputs[i]), Err: err})
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("plan: all %d union branches failed: %w", len(inputs), firstRealError(errs))
+	}
+	acc, err := combineBranches(keep, (*relation.Relation).Union)
+	if err != nil {
+		return nil, err
+	}
+	if len(dropped) > 0 {
+		return acc, &PartialError{Dropped: dropped}
+	}
+	return acc, nil
+}
+
+// combineBranches folds branch results with combine, aligning each
+// branch's column order to the first branch's.
+func combineBranches(results []*relation.Relation, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {
 	acc := results[0]
 	order := acc.Schema().Names()
 	for _, next := range results[1:] {
@@ -110,4 +232,22 @@ func (e *parallelExec) runNary(inputs []Plan, combine func(*relation.Relation, *
 		}
 	}
 	return acc.Distinct(), nil
+}
+
+// firstRealError prefers a root-cause branch error over the
+// context-cancellation errors its failure inflicted on siblings.
+func firstRealError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
 }

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,7 +21,7 @@ type countingSource struct {
 	mu       sync.Mutex
 }
 
-func (s *countingSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+func (s *countingSource) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	cur := s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	for {
@@ -32,7 +33,7 @@ func (s *countingSource) Query(cond condition.Node, attrs []string) (*relation.R
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
-	return s.inner.Query(cond, attrs)
+	return s.inner.Query(ctx, cond, attrs)
 }
 
 func parallelFixture(t *testing.T, delay time.Duration) (*countingSource, Plan, *relation.Relation) {
@@ -55,11 +56,11 @@ func parallelFixture(t *testing.T, delay time.Duration) (*countingSource, Plan, 
 func TestExecuteParallelMatchesSequential(t *testing.T) {
 	src, p, _ := parallelFixture(t, 0)
 	srcs := SourceMap{"R": src}
-	seq, err := Execute(p, srcs)
+	seq, err := Execute(context.Background(), p, srcs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := ExecuteParallel(p, srcs, 4)
+	par, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestExecuteParallelMatchesSequential(t *testing.T) {
 
 func TestExecuteParallelActuallyOverlaps(t *testing.T) {
 	src, p, _ := parallelFixture(t, 5*time.Millisecond)
-	if _, err := ExecuteParallel(p, SourceMap{"R": src}, 4); err != nil {
+	if _, err := ExecuteParallel(context.Background(), p, SourceMap{"R": src}, ExecOptions{Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if peak := src.peak.Load(); peak < 2 {
@@ -80,7 +81,7 @@ func TestExecuteParallelActuallyOverlaps(t *testing.T) {
 
 func TestExecuteParallelRespectsWorkerBound(t *testing.T) {
 	src, p, _ := parallelFixture(t, 2*time.Millisecond)
-	if _, err := ExecuteParallel(p, SourceMap{"R": src}, 2); err != nil {
+	if _, err := ExecuteParallel(context.Background(), p, SourceMap{"R": src}, ExecOptions{Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if peak := src.peak.Load(); peak > 2 {
@@ -90,7 +91,7 @@ func TestExecuteParallelRespectsWorkerBound(t *testing.T) {
 
 func TestExecuteParallelDegeneratesToSequential(t *testing.T) {
 	src, p, _ := parallelFixture(t, 0)
-	res, err := ExecuteParallel(p, SourceMap{"R": src}, 1)
+	res, err := ExecuteParallel(context.Background(), p, SourceMap{"R": src}, ExecOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestExecuteParallelPropagatesErrors(t *testing.T) {
 	good := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
 	bad := NewSourceQuery("R", condition.MustParse(`nosuch = 1`), []string{"model"})
 	p := &Union{Inputs: []Plan{good, bad, good}}
-	_, err := ExecuteParallel(p, SourceMap{"R": &testSource{rel: rel}}, 4)
+	_, err := ExecuteParallel(context.Background(), p, SourceMap{"R": &testSource{rel: rel}}, ExecOptions{Workers: 4})
 	if err == nil {
 		t.Error("branch error must propagate")
 	}
-	if _, err := ExecuteParallel(&Union{}, SourceMap{}, 4); err == nil {
+	if _, err := ExecuteParallel(context.Background(), &Union{}, SourceMap{}, ExecOptions{Workers: 4}); err == nil {
 		t.Error("empty union must fail")
 	}
-	if _, err := ExecuteParallel(&Choice{}, SourceMap{}, 4); err == nil {
+	if _, err := ExecuteParallel(context.Background(), &Choice{}, SourceMap{}, ExecOptions{Workers: 4}); err == nil {
 		t.Error("empty choice must fail")
 	}
 }
@@ -131,11 +132,11 @@ func TestExecuteParallelNestedStructures(t *testing.T) {
 		NewSP(condition.MustParse(`color = "red"`), []string{"model"},
 			NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"color", "model"})),
 	}}
-	seq, err := Execute(p, srcs)
+	seq, err := Execute(context.Background(), p, srcs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := ExecuteParallel(p, srcs, 8)
+	par, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestExecuteParallelRace(t *testing.T) {
 			condition.NewAtomic("price", condition.OpGt, condition.Int(int64(i*1000))),
 			[]string{"model"}))
 	}
-	if _, err := ExecuteParallel(&Union{Inputs: branches}, SourceMap{"R": src}, 8); err != nil {
+	if _, err := ExecuteParallel(context.Background(), &Union{Inputs: branches}, SourceMap{"R": src}, ExecOptions{Workers: 8}); err != nil {
 		t.Fatal(err)
 	}
 	_ = fmt.Sprintf("%d", src.peak.Load())

@@ -1,0 +1,65 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/strset"
+)
+
+// DroppedBranch records one Union branch that failed and was excluded
+// from a partial answer.
+type DroppedBranch struct {
+	// Sources are the source names the dropped branch would have queried.
+	Sources []string
+	// Err is the failure that dropped the branch.
+	Err error
+}
+
+// PartialError reports that execution degraded a Union: the returned
+// relation is the union of the branches that succeeded, and Dropped lists
+// the branches that failed. Union is monotone, so the partial answer is
+// sound (every returned tuple is a true answer tuple) but possibly
+// incomplete. It is returned alongside a non-nil relation; callers opt in
+// via ExecOptions.AllowPartial and detect it with errors.As.
+type PartialError struct {
+	Dropped []DroppedBranch
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: partial answer: dropped %d union branch(es):", len(e.Dropped))
+	for _, d := range e.Dropped {
+		fmt.Fprintf(&b, " [%s: %v]", strings.Join(d.Sources, ","), d.Err)
+	}
+	return b.String()
+}
+
+// DroppedSources returns the sorted, deduplicated source names that were
+// dropped from the answer.
+func (e *PartialError) DroppedSources() []string {
+	s := strset.New()
+	for _, d := range e.Dropped {
+		s.Add(d.Sources...)
+	}
+	return s.Sorted()
+}
+
+// Unwrap exposes the underlying branch errors to errors.Is / errors.As.
+func (e *PartialError) Unwrap() []error {
+	errs := make([]error, len(e.Dropped))
+	for i, d := range e.Dropped {
+		errs[i] = d.Err
+	}
+	return errs
+}
+
+// branchSources names the sources a plan subtree would query.
+func branchSources(p Plan) []string {
+	s := strset.New()
+	for _, q := range SourceQueries(p) {
+		s.Add(q.Source)
+	}
+	return s.Sorted()
+}

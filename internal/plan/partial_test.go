@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// errSource fails every query with a fixed error.
+type errSource struct{ err error }
+
+func (s *errSource) Query(context.Context, condition.Node, []string) (*relation.Relation, error) {
+	return nil, s.err
+}
+
+// blockSource hangs until the context ends.
+type blockSource struct{}
+
+func (s *blockSource) Query(ctx context.Context, _ condition.Node, _ []string) (*relation.Relation, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+var errDown = errors.New("connection refused")
+
+// threeSourceFixture is the ISSUE's acceptance scenario: three sources
+// serving the same relation, the middle one dead.
+func threeSourceFixture(t *testing.T) (Sources, []Plan) {
+	t.Helper()
+	rel := carsRelation(t)
+	srcs := SourceMap{
+		"A": &testSource{rel: rel},
+		"B": &errSource{err: errDown},
+		"C": &testSource{rel: rel},
+	}
+	branches := []Plan{
+		NewSourceQuery("A", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("B", condition.MustParse(`color = "red"`), []string{"model"}),
+		NewSourceQuery("C", condition.MustParse(`make = "Toyota"`), []string{"model"}),
+	}
+	return srcs, branches
+}
+
+func TestPartialUnionDegradesToSurvivingBranches(t *testing.T) {
+	srcs, branches := threeSourceFixture(t)
+	p := &Union{Inputs: branches}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("partial union returned no relation (err = %v)", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if got := pe.DroppedSources(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("DroppedSources = %v, want [B]", got)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("PartialError should unwrap to the branch failure, got %v", err)
+	}
+	// Surviving branches: 3 BMW models + 2 Toyota models.
+	if res.Len() != 5 {
+		t.Errorf("partial answer has %d rows, want 5", res.Len())
+	}
+}
+
+func TestPartialUnionDisabledFailsClosed(t *testing.T) {
+	srcs, branches := threeSourceFixture(t)
+	p := &Union{Inputs: branches}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4})
+	if err == nil || res != nil {
+		t.Fatalf("without AllowPartial a failing branch must fail the plan (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("err = %v, want wrapped %v", err, errDown)
+	}
+}
+
+func TestIntersectAlwaysFailsClosed(t *testing.T) {
+	srcs, branches := threeSourceFixture(t)
+	p := &Intersect{Inputs: branches}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if err == nil || res != nil {
+		t.Fatalf("Intersect must fail closed even with AllowPartial (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("err = %v, want the underlying source error %v", err, errDown)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Error("Intersect failure must not be reported as a partial answer")
+	}
+}
+
+func TestPartialRidesThroughSelectProject(t *testing.T) {
+	srcs, branches := threeSourceFixture(t)
+	// GenCompact puts mediator Select/Project above the Union; the partial
+	// annotation must survive them (σ/π of a subset ⊆ σ/π of the whole).
+	p := NewSP(condition.True(), []string{"model"}, &Union{Inputs: branches})
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("expected partial result, got err = %v", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError through SP", err)
+	}
+}
+
+func TestPartialUnionAllBranchesFailed(t *testing.T) {
+	srcs := SourceMap{"B": &errSource{err: errDown}}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("B", condition.MustParse(`color = "red"`), []string{"model"}),
+		NewSourceQuery("B", condition.MustParse(`color = "blue"`), []string{"model"}),
+	}}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if err == nil || res != nil {
+		t.Fatalf("all branches failing must be an error, not an empty answer (res=%v err=%v)", res, err)
+	}
+	if !strings.Contains(err.Error(), "all 2 union branches failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPartialUnionSequentialWorkers(t *testing.T) {
+	// AllowPartial must work even in the Workers<=1 degenerate case.
+	srcs, branches := threeSourceFixture(t)
+	p := &Union{Inputs: branches}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 1, AllowPartial: true})
+	var pe *PartialError
+	if res == nil || !errors.As(err, &pe) {
+		t.Fatalf("sequential partial union broken: res=%v err=%v", res, err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("rows = %d, want 5", res.Len())
+	}
+}
+
+func TestIntersectFailureCancelsSiblings(t *testing.T) {
+	// One branch fails fast; its sibling would hang forever unless the
+	// executor cancels it.
+	rel := carsRelation(t)
+	srcs := SourceMap{
+		"dead": &errSource{err: errDown},
+		"hung": &blockSource{},
+		"ok":   &testSource{rel: rel},
+	}
+	p := &Intersect{Inputs: []Plan{
+		NewSourceQuery("hung", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("ok", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("dead", condition.MustParse(`make = "BMW"`), []string{"model"}),
+	}}
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errDown) {
+			t.Errorf("err = %v, want the root-cause failure, not a cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("intersect with a hung sibling did not return after %v — siblings not cancelled", time.Since(start))
+	}
+}

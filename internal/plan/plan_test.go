@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ type testSource struct {
 	rel *relation.Relation
 }
 
-func (s *testSource) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+func (s *testSource) Query(_ context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	sel := s.rel
 	if !condition.IsTrue(cond) {
 		var err error
@@ -63,7 +64,7 @@ func testSources(t *testing.T) Sources {
 
 func TestExecuteSourceQuery(t *testing.T) {
 	p := NewSourceQuery("R", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
-	res, err := Execute(p, testSources(t))
+	res, err := Execute(context.Background(), p, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestExecuteNestedSP(t *testing.T) {
 	n2 := condition.MustParse(`color = "red" _ color = "black"`)
 	inner := NewSourceQuery("R", n1, []string{"model", "color"})
 	p := NewSP(n2, []string{"model"}, inner)
-	res, err := Execute(p, testSources(t))
+	res, err := Execute(context.Background(), p, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestExecuteUnionPlan(t *testing.T) {
 	// Example 1.1's shape: union of two source queries.
 	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
 	q2 := NewSourceQuery("R", condition.MustParse(`make = "Toyota" ^ price < 20000`), []string{"model"})
-	res, err := Execute(&Union{Inputs: []Plan{q1, q2}}, testSources(t))
+	res, err := Execute(context.Background(), &Union{Inputs: []Plan{q1, q2}}, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestExecuteIntersectPlan(t *testing.T) {
 	// SP(n1, A, R) ∩ SP(n2, A, R) with a key attribute in A.
 	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
 	q2 := NewSourceQuery("R", condition.MustParse(`color = "red"`), []string{"model"})
-	res, err := Execute(&Intersect{Inputs: []Plan{q1, q2}}, testSources(t))
+	res, err := Execute(context.Background(), &Intersect{Inputs: []Plan{q1, q2}}, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestExecuteAlignsBranchSchemas(t *testing.T) {
 	// combine.
 	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model", "color"})
 	q2 := &SourceQuery{Source: "R", Cond: condition.MustParse(`color = "red"`), Attrs: []string{"model", "color"}}
-	res, err := Execute(&Union{Inputs: []Plan{q1, q2}}, testSources(t))
+	res, err := Execute(context.Background(), &Union{Inputs: []Plan{q1, q2}}, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestExecuteAlignsBranchSchemas(t *testing.T) {
 func TestExecuteChoiceTakesFirst(t *testing.T) {
 	q1 := NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"})
 	q2 := NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"model"})
-	res, err := Execute(&Choice{Alternatives: []Plan{q1, q2}}, testSources(t))
+	res, err := Execute(context.Background(), &Choice{Alternatives: []Plan{q1, q2}}, testSources(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,17 +144,17 @@ func TestExecuteChoiceTakesFirst(t *testing.T) {
 }
 
 func TestExecuteErrors(t *testing.T) {
-	if _, err := Execute(NewSourceQuery("ghost", condition.True(), []string{"x"}), testSources(t)); err == nil {
+	if _, err := Execute(context.Background(), NewSourceQuery("ghost", condition.True(), []string{"x"}), testSources(t)); err == nil {
 		t.Error("unknown source should fail")
 	}
-	if _, err := Execute(&Union{}, testSources(t)); err == nil {
+	if _, err := Execute(context.Background(), &Union{}, testSources(t)); err == nil {
 		t.Error("empty union should fail")
 	}
-	if _, err := Execute(&Choice{}, testSources(t)); err == nil {
+	if _, err := Execute(context.Background(), &Choice{}, testSources(t)); err == nil {
 		t.Error("empty choice should fail")
 	}
 	bad := &Select{Cond: condition.MustParse(`ghost = 1`), Input: NewSourceQuery("R", condition.True(), []string{"model"})}
-	if _, err := Execute(bad, testSources(t)); err == nil {
+	if _, err := Execute(context.Background(), bad, testSources(t)); err == nil {
 		t.Error("mediator select on missing attr should fail")
 	}
 }

@@ -1,0 +1,75 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The paper's sources fail in two very different ways, and the mediator
+// must tell them apart. A REFUSAL is the source saying "my capability
+// description does not support this query" — deterministic, so retrying
+// is useless (HTTP transport: 422). A TRANSPORT failure is the network
+// or the source process misbehaving — timeouts, resets, 5xx — the
+// transient faults 1999-era Internet sources exhibit constantly, and the
+// ones worth retrying.
+
+// RefusalError is a source declining a query it does not support (or a
+// client-side request error). It is never retried.
+type RefusalError struct {
+	// Source names the refusing source (may be empty for local sources
+	// that embed the name in Msg).
+	Source string
+	// Msg is the source's explanation.
+	Msg string
+}
+
+// Error implements error.
+func (e *RefusalError) Error() string {
+	if e.Source == "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("source %s: %s", e.Source, e.Msg)
+}
+
+// TransportError is a transient delivery failure: connection errors,
+// per-attempt timeouts, 5xx responses, injected faults. Retryable.
+type TransportError struct {
+	// Source names the failing source.
+	Source string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	if e.Source == "" {
+		return fmt.Sprintf("source transport: %v", e.Err)
+	}
+	return fmt.Sprintf("source %s: transport: %v", e.Source, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// ErrCircuitOpen is wrapped into the fast-fail error a Resilient querier
+// returns while its circuit breaker is open.
+var ErrCircuitOpen = errors.New("source: circuit breaker open")
+
+// Retryable reports whether err is worth retrying: transient transport
+// failures and per-attempt deadline expiries, but never refusals,
+// circuit-breaker fast-fails, or caller cancellation.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ref *RefusalError
+	if errors.As(err, &ref) {
+		return false
+	}
+	if errors.Is(err, ErrCircuitOpen) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var tr *TransportError
+	return errors.As(err, &tr) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,149 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Flaky wraps a plan.Querier with injectable faults, modelling the
+// unreliable 1999-era Internet sources the paper's mediator queries: it
+// can fail its first N calls then recover, fail a random fraction of
+// calls, add latency, or block until cancelled. Tests across plan,
+// source and mediator use it to exercise the resilience machinery; it is
+// not a test-only type so examples and benchmarks can use it too.
+//
+// Injected failures are *TransportError (retryable), matching what the
+// HTTP client reports for a dead or misbehaving endpoint. A nil inner
+// querier serves an empty unnamed refusal for every call that survives
+// fault injection, which is rarely what you want — pass a Local.
+type Flaky struct {
+	inner plan.Querier
+
+	mu        sync.Mutex
+	failFirst int
+	errorRate float64
+	rng       *rand.Rand
+	latency   time.Duration
+	block     chan struct{}
+	calls     int
+	failures  int
+}
+
+// ErrInjected is the cause inside every fault Flaky injects.
+var ErrInjected = errors.New("injected fault")
+
+// NewFlaky wraps inner; with no options it is transparent.
+func NewFlaky(inner plan.Querier) *Flaky { return &Flaky{inner: inner} }
+
+// FailFirst makes the next n calls fail with a transport error, after
+// which the source recovers. Returns the receiver for chaining.
+func (f *Flaky) FailFirst(n int) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failFirst = n
+	return f
+}
+
+// FailRate makes each call fail independently with probability p,
+// deterministically seeded. Returns the receiver for chaining.
+func (f *Flaky) FailRate(p float64, seed int64) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errorRate = p
+	f.rng = rand.New(rand.NewSource(seed))
+	return f
+}
+
+// Latency delays each call by d (interruptible by the context). Returns
+// the receiver for chaining.
+func (f *Flaky) Latency(d time.Duration) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+	return f
+}
+
+// Block makes every call hang until Unblock is called or the caller's
+// context ends — a source that accepts connections and never answers.
+// Returns the receiver for chaining.
+func (f *Flaky) Block() *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.block = make(chan struct{})
+	return f
+}
+
+// Unblock releases all calls hung in Block mode and disables it.
+func (f *Flaky) Unblock() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.block != nil {
+		close(f.block)
+		f.block = nil
+	}
+}
+
+// Calls returns how many queries reached the flaky layer.
+func (f *Flaky) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Failures returns how many injected failures it served.
+func (f *Flaky) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}
+
+// Query implements plan.Querier, applying blocking, latency and failure
+// injection before delegating to the inner querier.
+func (f *Flaky) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	f.mu.Lock()
+	f.calls++
+	block := f.block
+	latency := f.latency
+	fail := false
+	if f.failFirst > 0 {
+		f.failFirst--
+		fail = true
+	} else if f.errorRate > 0 && f.rng != nil && f.rng.Float64() < f.errorRate {
+		fail = true
+	}
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return nil, &TransportError{Err: ctx.Err()}
+		}
+	}
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, &TransportError{Err: ctx.Err()}
+		}
+	}
+	if fail {
+		return nil, &TransportError{Err: ErrInjected}
+	}
+	if f.inner == nil {
+		return nil, &RefusalError{Msg: "flaky: no inner querier"}
+	}
+	return f.inner.Query(ctx, cond, attrs)
+}

@@ -1,0 +1,108 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+)
+
+func TestFlakyFailFirstThenRecovers(t *testing.T) {
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(2)
+	for i := 0; i < 2; i++ {
+		_, err := f.Query(context.Background(), anyCond, []string{"a"})
+		var tr *TransportError
+		if !errors.As(err, &tr) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want injected *TransportError", i, err)
+		}
+	}
+	res, err := f.Query(context.Background(), anyCond, []string{"a"})
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("recovered call: res=%v err=%v", res, err)
+	}
+	if f.Calls() != 3 || f.Failures() != 2 {
+		t.Errorf("calls=%d failures=%d", f.Calls(), f.Failures())
+	}
+}
+
+func TestFlakyFailRateIsDeterministic(t *testing.T) {
+	run := func() (failures int) {
+		f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailRate(0.5, 42)
+		for i := 0; i < 100; i++ {
+			f.Query(context.Background(), anyCond, []string{"a"})
+		}
+		return f.Failures()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %d vs %d failures", a, b)
+	}
+	if a < 30 || a > 70 {
+		t.Errorf("failure count %d wildly off a 0.5 rate", a)
+	}
+}
+
+func TestFlakyBlockHonorsContext(t *testing.T) {
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).Block()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := f.Query(ctx, anyCond, []string{"a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	f.Unblock()
+	if res, err := f.Query(context.Background(), anyCond, []string{"a"}); err != nil || res.Len() != 1 {
+		t.Fatalf("after Unblock: res=%v err=%v", res, err)
+	}
+}
+
+// TestCancelledPlanDoesNotLeakGoroutines is the ISSUE's leak check: a
+// plan stuck on a hung source is cancelled; every executor goroutine and
+// the hung source call itself must unwind.
+func TestCancelledPlanDoesNotLeakGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	hung := NewFlaky(&okQuerier{rel: tinyRelation(t)}).Block()
+	srcs := plan.SourceMap{
+		"hung": hung,
+		"ok":   &okQuerier{rel: tinyRelation(t)},
+	}
+	var branches []plan.Plan
+	for i := 0; i < 6; i++ {
+		name := "hung"
+		if i%2 == 0 {
+			name = "ok"
+		}
+		branches = append(branches, plan.NewSourceQuery(name, anyCond, []string{"a"}))
+	}
+	p := &plan.Union{Inputs: branches}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		plan.ExecuteParallel(ctx, p, srcs, plan.ExecOptions{Workers: 4})
+	}()
+	time.Sleep(20 * time.Millisecond) // let branches reach the hung source
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled plan never returned")
+	}
+
+	// Goroutines wind down asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package source
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,10 +33,17 @@ type queryRequest struct {
 	Attrs []string `json:"attrs"`
 }
 
+// Logger is the minimal logging surface the source package needs;
+// *log.Logger satisfies it.
+type Logger interface {
+	Printf(format string, v ...any)
+}
+
 // Handler serves the source over HTTP.
 type Handler struct {
 	src *Local
 	mux *http.ServeMux
+	log Logger
 
 	statsOnce sync.Once
 	stats     *relation.Stats
@@ -50,19 +58,32 @@ func NewHandler(src *Local) *Handler {
 	return h
 }
 
+// SetLogger installs a logger for response-write failures that cannot be
+// reported to the client (headers already sent). A nil logger silences
+// them (the default).
+func (h *Handler) SetLogger(l Logger) { h.log = l }
+
+func (h *Handler) logf(format string, v ...any) {
+	if h.log != nil {
+		h.log.Printf(format, v...)
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 func (h *Handler) describe(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, h.src.Grammar().String())
+	if _, err := io.WriteString(w, h.src.Grammar().String()); err != nil {
+		h.logf("source %s: /describe: writing response: %v", h.src.Name(), err)
+	}
 }
 
 func (h *Handler) serveStats(w http.ResponseWriter, _ *http.Request) {
 	h.statsOnce.Do(func() { h.stats = relation.CollectStats(h.src.Relation()) })
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(h.stats); err != nil {
-		return
+		h.logf("source %s: /stats: encoding response: %v", h.src.Name(), err)
 	}
 }
 
@@ -77,7 +98,8 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad condition: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := h.src.Query(cond, req.Attrs)
+	// The request context cancels the query when the client hangs up.
+	res, err := h.src.Query(r.Context(), cond, req.Attrs)
 	if err != nil {
 		// Unsupported queries are the source refusing, not a transport
 		// error.
@@ -86,15 +108,19 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/tab-separated-values")
 	if err := relation.WriteTSV(w, res); err != nil {
-		// Headers are gone; nothing better to do than log via the
-		// connection error the client will see.
-		return
+		// Headers are gone; the client sees a truncated body — record the
+		// failure on our side.
+		h.logf("source %s: /query: writing result: %v", h.src.Name(), err)
 	}
 }
 
 // Client queries a remote source over HTTP; it implements plan.Querier.
+// Its errors distinguish capability refusals (*RefusalError, from 4xx)
+// from transient transport failures (*TransportError, from network errors
+// and 5xx), so resilience layers know what is worth retrying.
 type Client struct {
 	base string
+	name string
 	hc   *http.Client
 }
 
@@ -107,11 +133,23 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// Describe fetches and parses the source's SSDL description.
-func (c *Client) Describe() (*ssdl.Grammar, error) {
-	resp, err := c.hc.Get(c.base + "/describe")
+// SetName sets the source name used in the client's errors (normally the
+// grammar's source header, learned from Describe).
+func (c *Client) SetName(name string) { c.name = name }
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("source client: describe: %w", err)
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// Describe fetches and parses the source's SSDL description.
+func (c *Client) Describe(ctx context.Context) (*ssdl.Grammar, error) {
+	resp, err := c.get(ctx, "/describe")
+	if err != nil {
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("describe: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -119,16 +157,23 @@ func (c *Client) Describe() (*ssdl.Grammar, error) {
 	}
 	text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return nil, fmt.Errorf("source client: describe: %w", err)
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("describe: %w", err)}
 	}
-	return ssdl.Parse(string(text))
+	g, err := ssdl.Parse(string(text))
+	if err != nil {
+		return nil, err
+	}
+	if c.name == "" {
+		c.name = g.Source
+	}
+	return g, nil
 }
 
 // Stats fetches the source's published statistics.
-func (c *Client) Stats() (*relation.Stats, error) {
-	resp, err := c.hc.Get(c.base + "/stats")
+func (c *Client) Stats(ctx context.Context) (*relation.Stats, error) {
+	resp, err := c.get(ctx, "/stats")
 	if err != nil {
-		return nil, fmt.Errorf("source client: stats: %w", err)
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("stats: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -136,25 +181,44 @@ func (c *Client) Stats() (*relation.Stats, error) {
 	}
 	var st relation.Stats
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
-		return nil, fmt.Errorf("source client: stats: %w", err)
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("stats: %w", err)}
 	}
 	return &st, nil
 }
 
-// Query implements plan.Querier over the wire.
-func (c *Client) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+// Query implements plan.Querier over the wire. The context bounds the
+// whole round-trip: cancelling it aborts the in-flight request.
+func (c *Client) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	body, err := json.Marshal(queryRequest{Cond: cond.Key(), Attrs: attrs})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("source client: query: %w", err)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Surface plain cancellation/deadline (the http client wraps them
+		// in a *url.Error); everything else is transport.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("source client: query refused (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+		text := fmt.Sprintf("query refused (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &RefusalError{Source: c.name, Msg: text}
+		}
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: status %s: %s", resp.Status, strings.TrimSpace(string(msg)))}
 	}
-	return relation.ReadTSV(resp.Body)
+	res, err := relation.ReadTSV(resp.Body)
+	if err != nil {
+		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: reading result: %w", err)}
+	}
+	return res, nil
 }

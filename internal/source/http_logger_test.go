@@ -1,0 +1,79 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// captureLog records formatted messages.
+type captureLog struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (l *captureLog) Printf(format string, v ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.msgs = append(l.msgs, fmt.Sprintf(format, v...))
+}
+
+func (l *captureLog) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.msgs...)
+}
+
+// brokenWriter fails every write — a client that hung up mid-response.
+type brokenWriter struct{ header http.Header }
+
+func (w *brokenWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *brokenWriter) WriteHeader(int)           {}
+func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+func TestHandlerLogsResponseWriteFailures(t *testing.T) {
+	h := NewHandler(carsSource(t))
+	lg := &captureLog{}
+	h.SetLogger(lg)
+
+	cases := []struct {
+		path string
+		req  *http.Request
+	}{
+		{"/describe", httptest.NewRequest("GET", "/describe", nil)},
+		{"/stats", httptest.NewRequest("GET", "/stats", nil)},
+		{"/query", func() *http.Request {
+			r := httptest.NewRequest("POST", "/query",
+				strings.NewReader(`{"cond":"make = \"BMW\" ^ price < 40000","attrs":["model"]}`))
+			r.Header.Set("Content-Type", "application/json")
+			return r
+		}()},
+	}
+	for _, c := range cases {
+		before := len(lg.all())
+		h.ServeHTTP(&brokenWriter{}, c.req)
+		msgs := lg.all()
+		if len(msgs) != before+1 {
+			t.Errorf("%s: write failure not logged (msgs %v)", c.path, msgs)
+			continue
+		}
+		if got := msgs[len(msgs)-1]; !strings.Contains(got, c.path) || !strings.Contains(got, "client went away") {
+			t.Errorf("%s: log message %q missing path or cause", c.path, got)
+		}
+	}
+}
+
+func TestHandlerSilentWithoutLogger(t *testing.T) {
+	h := NewHandler(carsSource(t))
+	// Must not panic with the default nil logger.
+	h.ServeHTTP(&brokenWriter{}, httptest.NewRequest("GET", "/describe", nil))
+}

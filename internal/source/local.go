@@ -8,6 +8,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -89,14 +90,19 @@ func (s *Local) Grammar() *ssdl.Grammar { return s.checker.Grammar() }
 // cardinalities; a real Internet source would not expose it).
 func (s *Local) Relation() *relation.Relation { return s.rel }
 
-// Query implements plan.Querier: it refuses unsupported queries, then
-// evaluates SP(cond, attrs, R).
-func (s *Local) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
+// Query implements plan.Querier: it refuses unsupported queries (with a
+// *RefusalError, the local analogue of the HTTP transport's 422), then
+// evaluates SP(cond, attrs, R). Evaluation is in-memory and fast, so the
+// context is only checked on entry.
+func (s *Local) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !s.checker.Supports(cond, strset.New(attrs...)) {
 		s.mu.Lock()
 		s.acc.Rejected++
 		s.mu.Unlock()
-		return nil, fmt.Errorf("source %s: unsupported query SP(%s; %v)", s.name, cond.Key(), attrs)
+		return nil, &RefusalError{Source: s.name, Msg: fmt.Sprintf("unsupported query SP(%s; %v)", cond.Key(), attrs)}
 	}
 	var sel *relation.Relation
 	var err error

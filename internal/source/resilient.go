@@ -1,0 +1,239 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Resilient wraps any plan.Querier with the fault handling that querying
+// real Internet sources demands: a per-attempt timeout, bounded retries
+// with exponential backoff and jitter, and a per-source circuit breaker
+// that fast-fails while a source is down instead of burning the plan's
+// deadline on it. Only transient transport failures are retried —
+// capability refusals (the paper's 422) are deterministic and returned
+// immediately.
+type Resilient struct {
+	name  string
+	inner plan.Querier
+	opts  ResilienceOptions
+
+	mu          sync.Mutex
+	consecFails int
+	openUntil   time.Time
+	stats       ResilienceStats
+}
+
+// ResilienceOptions tune a Resilient querier. The zero value retries
+// nothing and never trips the breaker — set at least Timeout or
+// MaxRetries for it to do anything.
+type ResilienceOptions struct {
+	// Timeout bounds each query attempt (0 = no per-attempt timeout).
+	// An attempt that exceeds it fails with context.DeadlineExceeded and
+	// is retried like any transport error.
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failure
+	// (0 = fail on the first error).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; it doubles each
+	// retry (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 2s).
+	MaxBackoff time.Duration
+	// BreakerThreshold is the number of CONSECUTIVE failures that opens
+	// the circuit (0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fast-fails before
+	// letting a trial query through (default 5s).
+	BreakerCooldown time.Duration
+
+	// Sleep waits between retries; tests inject an instant sleep. Nil
+	// uses a real context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the breaker's clock; tests inject a fake. Nil uses
+	// time.Now.
+	Now func() time.Time
+	// Jitter perturbs a backoff delay; tests inject identity. Nil draws
+	// uniformly from [d/2, d).
+	Jitter func(d time.Duration) time.Duration
+}
+
+// ResilienceStats counts what a Resilient querier has done.
+type ResilienceStats struct {
+	// Attempts is the number of inner queries issued.
+	Attempts int
+	// Retries is the number of re-attempts after failures.
+	Retries int
+	// Failures is the number of failed attempts (refusals excluded).
+	Failures int
+	// Refusals is the number of capability refusals passed through.
+	Refusals int
+	// FastFails is the number of queries rejected by the open breaker
+	// without reaching the source.
+	FastFails int
+}
+
+// NewResilient wraps q. The name labels breaker errors and stats; use the
+// source's registered name.
+func NewResilient(name string, q plan.Querier, opts ResilienceOptions) *Resilient {
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Jitter == nil {
+		opts.Jitter = halfJitter
+	}
+	return &Resilient{name: name, inner: q, opts: opts}
+}
+
+// Name returns the wrapped source's name.
+func (r *Resilient) Name() string { return r.name }
+
+// Stats returns a snapshot of the querier's counters.
+func (r *Resilient) Stats() ResilienceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Query implements plan.Querier with timeout, retry and breaker applied
+// around the inner querier.
+func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	backoff := r.opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := r.breakerAllow(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.stats.Attempts++
+		if attempt > 0 {
+			r.stats.Retries++
+		}
+		r.mu.Unlock()
+
+		res, err := r.attempt(ctx, cond, attrs)
+		if err == nil {
+			r.recordSuccess()
+			return res, nil
+		}
+		var refusal *RefusalError
+		if errors.As(err, &refusal) {
+			// Deterministic "no": not a health signal, never retried.
+			r.mu.Lock()
+			r.stats.Refusals++
+			r.mu.Unlock()
+			return nil, err
+		}
+		r.recordFailure()
+		lastErr = err
+		// The caller's own context ending always stops the loop; a
+		// per-attempt deadline does not.
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if attempt >= r.opts.MaxRetries || !Retryable(err) {
+			return nil, lastErr
+		}
+		if err := r.opts.Sleep(ctx, r.opts.Jitter(backoff)); err != nil {
+			return nil, lastErr
+		}
+		backoff *= 2
+		if backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
+		}
+	}
+}
+
+// attempt runs one inner query under the per-attempt timeout.
+func (r *Resilient) attempt(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	if r.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+		defer cancel()
+	}
+	res, err := r.inner.Query(ctx, cond, attrs)
+	if err != nil && ctx.Err() != nil {
+		// Normalize whatever the inner querier surfaced into the
+		// context's verdict, so retry classification sees a deadline
+		// (retryable) or a cancellation (not).
+		return nil, ctx.Err()
+	}
+	return res, err
+}
+
+// breakerAllow fast-fails while the circuit is open. After the cooldown
+// it lets one trial through (half-open); the trial's outcome re-opens or
+// closes the circuit via recordFailure/recordSuccess.
+func (r *Resilient) breakerAllow() error {
+	if r.opts.BreakerThreshold <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.consecFails >= r.opts.BreakerThreshold && r.opts.Now().Before(r.openUntil) {
+		r.stats.FastFails++
+		return fmt.Errorf("source %s: %w (retry after %s)", r.name, ErrCircuitOpen, r.openUntil.Sub(r.opts.Now()).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (r *Resilient) recordSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	r.openUntil = time.Time{}
+}
+
+func (r *Resilient) recordFailure() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Failures++
+	r.consecFails++
+	if r.opts.BreakerThreshold > 0 && r.consecFails >= r.opts.BreakerThreshold {
+		r.openUntil = r.opts.Now().Add(r.opts.BreakerCooldown)
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// halfJitter draws uniformly from [d/2, d) so concurrent retries spread
+// out instead of stampeding the recovering source in lockstep.
+func halfJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}

@@ -1,0 +1,216 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// okQuerier answers every query with a fixed relation.
+type okQuerier struct{ rel *relation.Relation }
+
+func (q *okQuerier) Query(context.Context, condition.Node, []string) (*relation.Relation, error) {
+	return q.rel, nil
+}
+
+// refuser always declines, like a source whose capabilities do not cover
+// the query.
+type refuser struct{ calls int }
+
+func (q *refuser) Query(context.Context, condition.Node, []string) (*relation.Relation, error) {
+	q.calls++
+	return nil, &RefusalError{Source: "r", Msg: "unsupported query"}
+}
+
+func tinyRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.MustSchema(relation.Column{Name: "a", Kind: condition.KindString}))
+	if err := r.AppendValues(condition.String("x")); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// instantOpts removes real time from a ResilienceOptions: sleeps return
+// immediately (recording their durations), the clock is a settable fake,
+// and jitter is identity.
+type fakeTime struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func (f *fakeTime) apply(opts *ResilienceOptions) {
+	opts.Sleep = func(ctx context.Context, d time.Duration) error {
+		f.mu.Lock()
+		f.slept = append(f.slept, d)
+		f.mu.Unlock()
+		return ctx.Err()
+	}
+	opts.Now = func() time.Time {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.now
+	}
+	opts.Jitter = func(d time.Duration) time.Duration { return d }
+}
+
+func (f *fakeTime) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+var anyCond = condition.True()
+
+func TestResilientRetriesTransportThenSucceeds(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(0, 0)}
+	opts := ResilienceOptions{MaxRetries: 3}
+	ft.apply(&opts)
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(2)
+	r := NewResilient("s", f, opts)
+	res, err := r.Query(context.Background(), anyCond, []string{"a"})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d", res.Len())
+	}
+	if f.Calls() != 3 {
+		t.Errorf("inner calls = %d, want 3 (2 failures + 1 success)", f.Calls())
+	}
+	st := r.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResilientExhaustsRetries(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(0, 0)}
+	opts := ResilienceOptions{MaxRetries: 1}
+	ft.apply(&opts)
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(10)
+	r := NewResilient("s", f, opts)
+	_, err := r.Query(context.Background(), anyCond, []string{"a"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if f.Calls() != 2 {
+		t.Errorf("inner calls = %d, want 2 (initial + 1 retry)", f.Calls())
+	}
+}
+
+func TestResilientNeverRetriesRefusal(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(0, 0)}
+	opts := ResilienceOptions{MaxRetries: 5}
+	ft.apply(&opts)
+	inner := &refuser{}
+	r := NewResilient("s", inner, opts)
+	_, err := r.Query(context.Background(), anyCond, []string{"a"})
+	var ref *RefusalError
+	if !errors.As(err, &ref) {
+		t.Fatalf("err = %v, want *RefusalError", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("refusal was retried: %d calls", inner.calls)
+	}
+	st := r.Stats()
+	if st.Refusals != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResilientBackoffDoublesAndCaps(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(0, 0)}
+	opts := ResilienceOptions{MaxRetries: 4, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	ft.apply(&opts)
+	f := NewFlaky(nil).FailFirst(100)
+	r := NewResilient("s", f, opts)
+	if _, err := r.Query(context.Background(), anyCond, nil); err == nil {
+		t.Fatal("want error")
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	if len(ft.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", ft.slept, want)
+	}
+	for i := range want {
+		if ft.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, ft.slept[i], want[i])
+		}
+	}
+}
+
+func TestResilientBreakerOpensAndRecovers(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(1000, 0)}
+	opts := ResilienceOptions{BreakerThreshold: 2, BreakerCooldown: time.Second}
+	ft.apply(&opts)
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(2)
+	r := NewResilient("s", f, opts)
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err == nil {
+			t.Fatalf("call %d: want failure", i)
+		}
+	}
+	// While open, calls fast-fail without reaching the source.
+	before := f.Calls()
+	_, err := r.Query(context.Background(), anyCond, []string{"a"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if f.Calls() != before {
+		t.Error("open breaker still reached the source")
+	}
+	if r.Stats().FastFails != 1 {
+		t.Errorf("FastFails = %d", r.Stats().FastFails)
+	}
+	// After the cooldown the half-open trial reaches the (now recovered)
+	// source and closes the circuit.
+	ft.advance(1100 * time.Millisecond)
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err != nil {
+		t.Fatalf("half-open trial: %v", err)
+	}
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+}
+
+func TestResilientPerAttemptTimeout(t *testing.T) {
+	opts := ResilienceOptions{Timeout: 5 * time.Millisecond, MaxRetries: 1, BaseBackoff: time.Microsecond}
+	opts.Jitter = func(d time.Duration) time.Duration { return d }
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).Latency(500 * time.Millisecond)
+	r := NewResilient("s", f, opts)
+	start := time.Now()
+	_, err := r.Query(context.Background(), anyCond, []string{"a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if f.Calls() != 2 {
+		t.Errorf("inner calls = %d, want 2 (per-attempt timeout is retryable)", f.Calls())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("took %v — per-attempt timeout not applied", elapsed)
+	}
+}
+
+func TestResilientStopsOnParentCancellation(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(0, 0)}
+	opts := ResilienceOptions{MaxRetries: 10}
+	ft.apply(&opts)
+	f := NewFlaky(nil).FailFirst(100)
+	r := NewResilient("s", f, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Query(ctx, anyCond, nil); err == nil {
+		t.Fatal("want error")
+	}
+	if f.Calls() > 1 {
+		t.Errorf("cancelled context still retried: %d calls", f.Calls())
+	}
+}

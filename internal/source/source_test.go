@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestLocalNameFromGrammar(t *testing.T) {
 
 func TestLocalAnswersSupportedQuery(t *testing.T) {
 	src := carsSource(t)
-	res, err := src.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	res, err := src.Query(context.Background(), condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +76,11 @@ func TestLocalAnswersSupportedQuery(t *testing.T) {
 func TestLocalRejectsUnsupportedQuery(t *testing.T) {
 	src := carsSource(t)
 	// Unsupported condition shape.
-	if _, err := src.Query(condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
+	if _, err := src.Query(context.Background(), condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
 		t.Error("unsupported condition should be refused")
 	}
 	// Supported condition, but attrs exceed the export set of s2.
-	if _, err := src.Query(condition.MustParse(`make = "BMW" ^ color = "red"`), []string{"price"}); err == nil {
+	if _, err := src.Query(context.Background(), condition.MustParse(`make = "BMW" ^ color = "red"`), []string{"price"}); err == nil {
 		t.Error("non-exported attribute should be refused")
 	}
 	if acc := src.Accounting(); acc.Rejected != 2 || acc.Queries != 0 {
@@ -89,7 +90,7 @@ func TestLocalRejectsUnsupportedQuery(t *testing.T) {
 
 func TestLocalResetAccounting(t *testing.T) {
 	src := carsSource(t)
-	if _, err := src.Query(condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"}); err != nil {
+	if _, err := src.Query(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"}); err != nil {
 		t.Fatal(err)
 	}
 	src.ResetAccounting()
@@ -126,7 +127,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	client := NewClient(server.URL, nil)
 
 	// Describe round-trips the grammar.
-	g, err := client.Describe()
+	g, err := client.Describe(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 
 	// Supported query over the wire.
-	res, err := client.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model", "price"})
+	res, err := client.Query(context.Background(), condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model", "price"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 
 	// Unsupported query is refused with a useful error.
-	if _, err := client.Query(condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
+	if _, err := client.Query(context.Background(), condition.MustParse(`color = "red"`), []string{"model"}); err == nil {
 		t.Error("unsupported query should be refused over HTTP")
 	}
 }
@@ -174,7 +175,7 @@ func TestHTTPStatsEndpoint(t *testing.T) {
 	defer server.Close()
 	client := NewClient(server.URL, nil)
 
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestHTTPStatsEndpoint(t *testing.T) {
 		t.Errorf("price stats incomplete: %+v", price)
 	}
 	// Stats are cached server-side: a second fetch returns the same data.
-	st2, err := client.Stats()
+	st2, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

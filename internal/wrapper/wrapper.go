@@ -7,6 +7,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -74,8 +75,8 @@ func (w *Wrapper) Grammar() *ssdl.Grammar { return w.grammar }
 // Query implements plan.Querier: it plans the query against the inner
 // source's real capabilities and executes the plan. Queries with no
 // feasible plan fail with planner.ErrInfeasible wrapped in context.
-func (w *Wrapper) Query(cond condition.Node, attrs []string) (*relation.Relation, error) {
-	res, err := w.med.Answer(w.planner, w.name, cond, attrs)
+func (w *Wrapper) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	res, err := w.med.Answer(ctx, w.planner, w.name, cond, attrs)
 	if err != nil {
 		return nil, fmt.Errorf("wrapper %s: %w", w.name, err)
 	}

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -69,11 +70,11 @@ func TestWrapperAnswersUnsupportedShapes(t *testing.T) {
 	w, src, r := wrap(t)
 	// The raw source rejects this disjunctive query...
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) _ (make = "Toyota" ^ color = "red")`)
-	if _, err := src.Query(cond, []string{"model"}); err == nil {
+	if _, err := src.Query(context.Background(), cond, []string{"model"}); err == nil {
 		t.Fatal("raw source should reject the disjunction")
 	}
 	// ...but the wrapper answers it, correctly.
-	got, err := w.Query(cond, []string{"model"})
+	got, err := w.Query(context.Background(), cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestWrapperAnswersUnsupportedShapes(t *testing.T) {
 
 func TestWrapperPreservesColumnOrder(t *testing.T) {
 	w, _, _ := wrap(t)
-	got, err := w.Query(condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"price", "model"})
+	got, err := w.Query(context.Background(), condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"price", "model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestWrapperPreservesColumnOrder(t *testing.T) {
 func TestWrapperHonestAboutInfeasible(t *testing.T) {
 	w, _, _ := wrap(t)
 	// No rule constrains price alone and downloading is not allowed.
-	_, err := w.Query(condition.MustParse(`price < 20000`), []string{"model"})
+	_, err := w.Query(context.Background(), condition.MustParse(`price < 20000`), []string{"model"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want wrapped ErrInfeasible", err)
 	}
@@ -137,7 +138,7 @@ func TestWrapperBehindMediator(t *testing.T) {
 
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) _ (make = "Toyota" ^ color = "red")`)
 	// Naive pushes the whole query; the wrapper makes that feasible.
-	res, err := med.Answer(naivePlanner{}, w.Name(), cond, []string{"model"})
+	res, err := med.Answer(context.Background(), naivePlanner{}, w.Name(), cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package csqp
 
 import (
+	"context"
+
 	"repro/internal/condition"
 	"repro/internal/mediator"
 )
@@ -39,6 +41,12 @@ type JoinAnswer struct {
 // QueryJoin plans and executes the join with the system's default
 // strategy for each side's selection queries.
 func (s *System) QueryJoin(q Join) (*JoinAnswer, error) {
+	return s.QueryJoinContext(context.Background(), q)
+}
+
+// QueryJoinContext is QueryJoin under a caller-supplied context. Joins
+// always fail closed — partial-answer degradation does not apply.
+func (s *System) QueryJoinContext(ctx context.Context, q Join) (*JoinAnswer, error) {
 	left, err := parseOrTrue(q.LeftCond)
 	if err != nil {
 		return nil, err
@@ -51,7 +59,7 @@ func (s *System) QueryJoin(q Join) (*JoinAnswer, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.med.AnswerJoin(p, mediator.JoinSpec{
+	res, err := s.med.AnswerJoin(ctx, p, mediator.JoinSpec{
 		Left: q.Left, Right: q.Right,
 		LeftCond: left, RightCond: right,
 		LeftAttr: q.LeftAttr, RightAttr: q.RightAttr,

@@ -1,0 +1,128 @@
+package csqp_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	csqp "repro"
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+func partitionSSDL(name string) string {
+	return fmt.Sprintf(`
+source %s
+attrs make, model
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model}
+`, name)
+}
+
+func partitionRelation(t *testing.T, models ...string) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+	))
+	for _, m := range models {
+		if err := r.AppendValues(condition.String("BMW"), condition.String(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// deadPartitionSystem registers three partitions, the middle one dead.
+func deadPartitionSystem(t *testing.T, opts csqp.Options) *csqp.System {
+	t.Helper()
+	sys := csqp.NewSystem(opts)
+	if err := sys.AddSource(partitionRelation(t, "328i"), partitionSSDL("p1")); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := source.NewLocal("", partitionRelation(t, "M5"), ssdl.MustParse(partitionSSDL("p2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddQuerierSource(source.NewFlaky(p2).FailFirst(1<<20), partitionSSDL("p2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSource(partitionRelation(t, "318i"), partitionSSDL("p3")); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemPartialUnionAnswer(t *testing.T) {
+	sys := deadPartitionSystem(t, csqp.Options{PartialAnswers: true, Workers: 4})
+	res, err := sys.QueryUnion([]string{"p1", "p2", "p3"}, `make = "BMW"`, "model")
+	if res == nil {
+		t.Fatalf("want partial answer, got err = %v", err)
+	}
+	var pe *csqp.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *csqp.PartialError", err)
+	}
+	if got := pe.DroppedSources(); len(got) != 1 || got[0] != "p2" {
+		t.Errorf("DroppedSources = %v, want [p2]", got)
+	}
+	if res.Answer.Len() != 2 {
+		t.Errorf("rows = %d, want 2 (the surviving partitions)", res.Answer.Len())
+	}
+}
+
+func TestSystemUnionFailsClosedWithoutPartialAnswers(t *testing.T) {
+	sys := deadPartitionSystem(t, csqp.Options{Workers: 4})
+	res, err := sys.QueryUnion([]string{"p1", "p2", "p3"}, `make = "BMW"`, "model")
+	if err == nil || res != nil {
+		t.Fatalf("want hard failure, got res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, source.ErrInjected) {
+		t.Errorf("err = %v, want the dead partition's transport error", err)
+	}
+}
+
+func TestSystemRetriesRecoverFlakySource(t *testing.T) {
+	sys := csqp.NewSystem(csqp.Options{QueryRetries: 3})
+	local, err := source.NewLocal("", partitionRelation(t, "M3"), ssdl.MustParse(partitionSSDL("shaky")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := source.NewFlaky(local).FailFirst(2)
+	if _, err := sys.AddQuerierSource(flaky, partitionSSDL("shaky")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("shaky", `make = "BMW"`, "model")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Answer.Len() != 1 {
+		t.Errorf("rows = %d, want 1", res.Answer.Len())
+	}
+	if flaky.Calls() != 3 {
+		t.Errorf("source calls = %d, want 3 (two failures retried)", flaky.Calls())
+	}
+}
+
+func TestSystemQueryTimeoutBoundsHungSource(t *testing.T) {
+	sys := csqp.NewSystem(csqp.Options{QueryTimeout: 20 * time.Millisecond})
+	local, err := source.NewLocal("", partitionRelation(t, "M3"), ssdl.MustParse(partitionSSDL("hung")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddQuerierSource(source.NewFlaky(local).Latency(10*time.Second), partitionSSDL("hung")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = sys.Query("hung", `make = "BMW"`, "model")
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("query took %v — per-attempt timeout not applied", elapsed)
+	}
+}

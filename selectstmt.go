@@ -1,6 +1,7 @@
 package csqp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -101,7 +102,7 @@ func (s *System) QuerySQL(stmt string) (*Result, error) {
 			return nil, fmt.Errorf("csqp: source %q declares no schema; list attributes explicitly", sel.Source)
 		}
 	}
-	return s.QueryCond(s.strategy, sel.Source, sel.Cond, attrs)
+	return s.QueryCond(context.Background(), s.strategy, sel.Source, sel.Cond, attrs)
 }
 
 // cutKeyword strips a leading case-insensitive keyword followed by a space
