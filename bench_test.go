@@ -153,6 +153,32 @@ func BenchmarkCheckMemoized(b *testing.B) {
 	}
 }
 
+func BenchmarkCheckMemoizedParallel(b *testing.B) {
+	c := ssdl.NewChecker(microGrammar)
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	c.Check(cond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if c.Check(cond).Empty() {
+				b.Fatal("should be supported")
+			}
+		}
+	})
+}
+
+func BenchmarkNormKey(b *testing.B) {
+	// Once the canonical form and key are cached, NormKey is two pointer
+	// loads; the first call pays for everything.
+	condition.NormKey(microCond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		condition.NormKey(microCond)
+	}
+}
+
 func BenchmarkCheckLongChain(b *testing.B) {
 	g := ssdl.MustParse(`
 source chain

@@ -1,0 +1,207 @@
+// Benchgate is a dependency-free stand-in for benchstat used by the CI
+// benchmark regression gate.
+//
+// Two modes:
+//
+//	benchgate -emit < bench.txt > BENCH_plan.json
+//	    Parse `go test -bench -benchmem` output from stdin into a small
+//	    JSON snapshot (ns/op, B/op, allocs/op per benchmark).
+//
+//	benchgate -compare [-threshold 0.20] [-strict] old.json new.json
+//	    Compare two snapshots. Allocation regressions (allocs/op, B/op)
+//	    beyond the threshold are reported — as warnings by default, as
+//	    failures with -strict. Time regressions (ns/op) are always
+//	    informational only, because wall-clock numbers are not comparable
+//	    across machines; the committed baseline gates on allocation
+//	    counts, which are deterministic.
+//
+// Warnings use the GitHub Actions `::warning::` annotation syntax so they
+// surface on the workflow summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type snapshot struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the trailing "-8" style GOMAXPROCS marker so
+// snapshots taken on machines with different core counts stay comparable.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	emit := flag.Bool("emit", false, "parse `go test -bench` output on stdin, write JSON to stdout")
+	compare := flag.Bool("compare", false, "compare two JSON snapshots: benchgate -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that triggers a report")
+	strict := flag.Bool("strict", false, "exit nonzero on allocation regressions")
+	flag.Parse()
+
+	switch {
+	case *emit:
+		if err := runEmit(); err != nil {
+			fatal(err)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: benchgate -compare old.json new.json"))
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed && *strict {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+func runEmit() error {
+	snap, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parseBench extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// Other output (PASS, ok, log lines) is ignored.
+func parseBench(r *os.File) (*snapshot, error) {
+	snap := &snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		bm := benchmark{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bm.NsOp, seen = v, true
+			case "B/op":
+				bm.BOp, seen = v, true
+			case "allocs/op":
+				bm.AllocsOp, seen = v, true
+			}
+		}
+		if seen {
+			snap.Benchmarks = append(snap.Benchmarks, bm)
+		}
+	}
+	return snap, sc.Err()
+}
+
+func load(path string) (map[string]benchmark, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchmark, len(snap.Benchmarks))
+	order := make([]string, 0, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		if _, dup := m[b.Name]; !dup {
+			order = append(order, b.Name)
+		}
+		m[b.Name] = b
+	}
+	return m, order, nil
+}
+
+func runCompare(oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	oldM, order, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newM, _, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("%-34s %14s %14s %14s\n", "benchmark", "allocs Δ", "bytes Δ", "ns Δ (info)")
+	for _, name := range order {
+		o, n := oldM[name], newM[name]
+		if _, ok := newM[name]; !ok {
+			fmt.Printf("::warning::benchmark %s missing from new run\n", name)
+			continue
+		}
+		da := delta(o.AllocsOp, n.AllocsOp)
+		db := delta(o.BOp, n.BOp)
+		dt := delta(o.NsOp, n.NsOp)
+		fmt.Printf("%-34s %14s %14s %14s\n", name, pct(da), pct(db), pct(dt))
+		if da > threshold {
+			regressed = true
+			fmt.Printf("::warning::%s allocs/op regressed %s (%.0f -> %.0f)\n", name, pct(da), o.AllocsOp, n.AllocsOp)
+		}
+		if db > threshold {
+			regressed = true
+			fmt.Printf("::warning::%s B/op regressed %s (%.0f -> %.0f)\n", name, pct(db), o.BOp, n.BOp)
+		}
+		if dt > threshold {
+			// Informational only: timing is machine-dependent.
+			fmt.Printf("::notice::%s ns/op changed %s on this machine (baseline hardware differs)\n", name, pct(dt))
+		}
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			fmt.Printf("new benchmark (no baseline): %s\n", name)
+		}
+	}
+	return regressed, nil
+}
+
+// delta returns the relative change from old to new. A zero baseline with
+// a nonzero new value counts as a full regression.
+func delta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - old) / old
+}
+
+func pct(d float64) string {
+	return fmt.Sprintf("%+.1f%%", d*100)
+}

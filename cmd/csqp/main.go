@@ -55,6 +55,7 @@ func run() error {
 	retries := flag.Int("retries", 0, "retries per failed source query (transport errors only)")
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
 	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed, reporting dropped sources")
+	stats := flag.Bool("stats", false, "enable the plan cache and print cache/memo statistics after the query")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -104,6 +105,9 @@ func run() error {
 	}
 
 	sys := csqp.NewSystem(sysOpts)
+	if *stats {
+		sys.EnableCache()
+	}
 	if err := sys.AddSourceGrammar(rel, grammar); err != nil {
 		return err
 	}
@@ -124,6 +128,9 @@ func run() error {
 		}
 		fmt.Printf("strategy: %s\nplan cost: %.2f\nplanning: %v (%d CTs, %d Check calls)\n\n%s",
 			strategy, sys.Cost(p), metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls, sys.AnnotatePlan(p))
+		if *stats {
+			printStats(sys, metrics)
+		}
 		return nil
 	}
 	cond, err := csqp.ParseCondition(*query)
@@ -146,7 +153,20 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\n%d rows\n", res.Answer.Len())
+	if *stats {
+		printStats(sys, res.Metrics)
+	}
 	return nil
+}
+
+func printStats(sys *csqp.System, m *csqp.Metrics) {
+	st := sys.CacheStats()
+	fmt.Printf("\nplan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
+		st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+	if m != nil {
+		fmt.Printf("checker memo: %d calls, %d misses (%.0f%% hit rate)\n",
+			m.CheckCalls, m.CheckMisses, m.CheckHitRate()*100)
+	}
 }
 
 func loadSource(demo, dataPath, ssdlPath string, size int) (*relation.Relation, *ssdl.Grammar, error) {

@@ -110,8 +110,9 @@ func (r *repl) command(line string) {
 				s, len(res.SourceQueries), res.Cost, res.Answer.Len())
 		}
 	case `\cache`:
-		hits, misses := r.sys.CacheStats()
-		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses\n", hits, misses)
+		st := r.sys.CacheStats()
+		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
+			st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
 	}

@@ -400,10 +400,16 @@ func (s *System) AnnotatePlan(p Plan) string { return cost.Explain(p, s.med.Mode
 
 // EnableCache turns on mediator plan caching: semantically equal repeated
 // queries (including commutative/associative variants) reuse their plans.
+// The cache is a bounded LRU with request coalescing — N concurrent
+// identical queries plan once.
 func (s *System) EnableCache() { s.med.EnableCache() }
 
-// CacheStats reports plan-cache hits and misses (zeros when disabled).
-func (s *System) CacheStats() (hits, misses int) { return s.med.CacheStats() }
+// CacheStats reports plan-cache activity: hits, misses, LRU evictions and
+// coalesced waits (zeros when disabled).
+type CacheStats = mediator.CacheStats
+
+// CacheStats reports plan-cache activity (zeros when disabled).
+func (s *System) CacheStats() CacheStats { return s.med.CacheStats() }
 
 // QueryUnion answers the query over the union of the named partitioned
 // sources (all must share the queried attributes, and all must be able to

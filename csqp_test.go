@@ -231,8 +231,8 @@ func TestFacadeCache(t *testing.T) {
 	if _, err := sys.Query("books", q, "isbn"); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := sys.CacheStats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("cache stats = %d/%d, want 1/1", hits, misses)
+	st := sys.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %d/%d, want 1/1", st.Hits, st.Misses)
 	}
 }

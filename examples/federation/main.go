@@ -90,6 +90,6 @@ attributes :: s2 : {make, model, price}
 			log.Fatal(err)
 		}
 	}
-	hits, misses := sys.CacheStats()
-	fmt.Printf("  plan cache after 3 identical queries: %d hits, %d misses\n", hits, misses)
+	st := sys.CacheStats()
+	fmt.Printf("  plan cache after 3 identical queries: %d hits, %d misses\n", st.Hits, st.Misses)
 }

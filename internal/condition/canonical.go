@@ -8,10 +8,32 @@ import (
 // Canonicalize converts a CT into the canonical form of §6.4: the children
 // of every AND node are leaves or OR nodes, and the children of every OR
 // node are leaves or AND nodes. Same-connector nesting is flattened and
-// single-child connectors are collapsed. The input is not modified; the
-// returned tree shares no structure with it. The conversion is linear in
-// the size of the input CT, as the paper requires.
+// single-child connectors are collapsed. The input is not modified. The
+// conversion is linear in the size of the input CT the first time, as the
+// paper requires; the result is cached on the node, so re-canonicalizing —
+// in particular, canonicalizing a tree that is already canonical — is
+// O(1). Repeated calls return the same shared immutable tree, which may
+// share leaf and subtree structure with the input.
 func Canonicalize(n Node) Node {
+	m := metaOf(n)
+	if m != nil {
+		if c := m.loadCanon(); c != nil {
+			return c
+		}
+	}
+	c := canonicalize(n)
+	// Canonical forms are fixed points: mark the result as its own
+	// canonical so the idempotent call is a pointer load.
+	if cm := metaOf(c); cm != nil && cm.loadCanon() == nil {
+		cm.storeCanon(c)
+	}
+	if m != nil {
+		m.storeCanon(c)
+	}
+	return c
+}
+
+func canonicalize(n Node) Node {
 	switch t := n.(type) {
 	case *And:
 		var kids []Node
@@ -42,7 +64,8 @@ func Canonicalize(n Node) Node {
 		}
 		return &Or{Kids: kids}
 	default:
-		return n.Clone()
+		// Leaves are immutable and already canonical.
+		return n
 	}
 }
 
@@ -83,7 +106,7 @@ func IsCanonical(n Node) bool {
 // NormKey returns an order-insensitive semantic key: the canonical form
 // with children sorted recursively. Two CTs related only by commutativity
 // and associativity share a NormKey; CTs related by the distributive or
-// copy rules generally do not.
+// copy rules generally do not. Like Key, the result is cached per node.
 func NormKey(n Node) string {
 	return normKey(Canonicalize(n))
 }
@@ -91,12 +114,21 @@ func NormKey(n Node) string {
 func normKey(n Node) string {
 	switch t := n.(type) {
 	case *And:
-		return sortedConnectorKey("&", t.Kids)
+		return cachedNormKey(&t.meta, "&", t.Kids)
 	case *Or:
-		return sortedConnectorKey("|", t.Kids)
+		return cachedNormKey(&t.meta, "|", t.Kids)
 	default:
 		return n.Key()
 	}
+}
+
+func cachedNormKey(m *nodeMeta, op string, kids []Node) string {
+	if p := m.loadNorm(); p != nil {
+		return *p
+	}
+	s := sortedConnectorKey(op, kids)
+	m.storeNorm(&s)
+	return s
 }
 
 func sortedConnectorKey(op string, kids []Node) string {

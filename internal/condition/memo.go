@@ -1,0 +1,93 @@
+package condition
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Condition trees are immutable once built: every layer that derives a
+// variant (the rewrite closure, canonicalization, the execution-time
+// fixer) constructs fresh nodes instead of editing in place. That makes
+// the derived forms of a node — its structural key, a 64-bit hash of it,
+// its order-insensitive normal key, and its canonical form — functions of
+// the node's identity, so each is computed at most once and cached here.
+//
+// Slots are published with atomic pointer stores. Two goroutines racing
+// on an empty slot both compute the same (equivalent) value and the last
+// store wins, so no lock is needed; readers see either nil or a fully
+// built value. The fields are plain unsafe.Pointers rather than
+// atomic.Pointer[T] so node structs stay copyable (Clone snapshots the
+// slots with atomic loads; an atomic.Pointer field would trip vet's
+// copylocks on every copy).
+type nodeMeta struct {
+	key   unsafe.Pointer // *keyMemo
+	norm  unsafe.Pointer // *string
+	canon unsafe.Pointer // *canonMemo
+}
+
+// keyMemo bundles a node's exact structural key with its 64-bit hash so
+// both are derived in one pass.
+type keyMemo struct {
+	key  string
+	hash uint64
+}
+
+// canonMemo boxes a Node interface value behind one pointer.
+type canonMemo struct{ node Node }
+
+func (m *nodeMeta) loadKey() *keyMemo   { return (*keyMemo)(atomic.LoadPointer(&m.key)) }
+func (m *nodeMeta) storeKey(k *keyMemo) { atomic.StorePointer(&m.key, unsafe.Pointer(k)) }
+
+func (m *nodeMeta) loadNorm() *string   { return (*string)(atomic.LoadPointer(&m.norm)) }
+func (m *nodeMeta) storeNorm(s *string) { atomic.StorePointer(&m.norm, unsafe.Pointer(s)) }
+
+func (m *nodeMeta) loadCanon() Node {
+	c := (*canonMemo)(atomic.LoadPointer(&m.canon))
+	if c == nil {
+		return nil
+	}
+	return c.node
+}
+
+func (m *nodeMeta) storeCanon(n Node) {
+	atomic.StorePointer(&m.canon, unsafe.Pointer(&canonMemo{node: n}))
+}
+
+// snapshot copies the slots for embedding in a clone. A clone is
+// structurally identical to its original, so the cached forms carry over.
+func (m *nodeMeta) snapshot() nodeMeta {
+	return nodeMeta{
+		key:   atomic.LoadPointer(&m.key),
+		norm:  atomic.LoadPointer(&m.norm),
+		canon: atomic.LoadPointer(&m.canon),
+	}
+}
+
+// metaOf returns the node's cache slots; Truth has none (its forms are
+// constants).
+func metaOf(n Node) *nodeMeta {
+	switch t := n.(type) {
+	case *Atomic:
+		return &t.meta
+	case *And:
+		return &t.meta
+	case *Or:
+		return &t.meta
+	default:
+		return nil
+	}
+}
+
+// FNV-1a, inlined so hashing a key adds no allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,90 @@
+package condition
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestKeyCachedAndStable(t *testing.T) {
+	n := MustParse(`a = 1 ^ (b = 2 _ c = 3)`)
+	k1 := n.Key()
+	k2 := n.Key()
+	if k1 != k2 {
+		t.Fatalf("Key changed between calls: %q vs %q", k1, k2)
+	}
+	if got := MustParse(`a = 1 ^ (b = 2 _ c = 3)`).Key(); got != k1 {
+		t.Errorf("equal structures disagree on Key: %q vs %q", got, k1)
+	}
+}
+
+func TestHashAgreesWithKey(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randomTree(r, 3)
+		b := randomTree(r, 3)
+		if (a.Key() == b.Key()) != (a.Hash() == b.Hash()) && a.Key() == b.Key() {
+			t.Fatalf("equal keys with unequal hashes: %q", a.Key())
+		}
+		// Clones share structure, so hashes must match exactly.
+		if c := a.Clone(); c.Hash() != a.Hash() || c.Key() != a.Key() {
+			t.Fatalf("clone hash/key mismatch for %q", a.Key())
+		}
+	}
+	if True().Hash() != True().Hash() {
+		t.Error("Truth hash not stable")
+	}
+}
+
+func TestCanonicalizeIdempotentAndCached(t *testing.T) {
+	n := MustParse(`a = 1 ^ (b = 2 ^ (c = 3 _ d = 4))`)
+	c1 := Canonicalize(n)
+	c2 := Canonicalize(n)
+	if c1 != c2 {
+		t.Error("repeated Canonicalize should return the cached tree")
+	}
+	if Canonicalize(c1) != c1 {
+		t.Error("canonicalizing a canonical tree should be a fixed point")
+	}
+	if !IsCanonical(c1) {
+		t.Error("cached canonical form is not canonical")
+	}
+}
+
+func TestNormKeyCached(t *testing.T) {
+	n := MustParse(`b = 2 ^ a = 1`)
+	if NormKey(n) != NormKey(n) {
+		t.Error("NormKey not stable")
+	}
+	rev := MustParse(`a = 1 ^ b = 2`)
+	if NormKey(n) != NormKey(rev) {
+		t.Error("NormKey must conflate commutative variants")
+	}
+}
+
+// Concurrent derivation of every cached form on one shared tree; run with
+// -race this checks the atomic publication of the memo slots.
+func TestMemoConcurrentAccess(t *testing.T) {
+	n := MustParse(`(a = 1 ^ b = 2) _ (c = 3 ^ (d = 4 _ e = 5))`)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]string, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			c := Canonicalize(n)
+			results[i] = n.Key() + "\x00" + NormKey(n) + "\x00" + c.Key()
+			_ = n.Hash()
+			_ = n.Clone().Key()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d derived %q, goroutine 0 derived %q", i, results[i], results[0])
+		}
+	}
+}

@@ -26,14 +26,25 @@ func (m MapBinder) Lookup(attr string) (Value, bool) {
 // Node is a node of a condition tree (CT). The three implementations are
 // *Atomic (leaf comparisons), *And and *Or (Boolean connectors), plus the
 // trivially-true condition *Truth used for download queries.
+//
+// Nodes are immutable once they have been used: Key, Hash, Canonicalize
+// and NormKey cache their results on the node, so code that needs a
+// variant of an existing tree must build fresh nodes rather than edit
+// fields in place.
 type Node interface {
 	// Eval evaluates the condition against a binder.
 	Eval(b Binder) (bool, error)
-	// Clone returns a deep copy.
+	// Clone returns a structurally identical tree whose connector spine
+	// (including each connector's child slice) is independent of the
+	// receiver's. Immutable leaves may be shared between the two.
 	Clone() Node
 	// Key returns an exact structural rendering. Two nodes with equal
-	// Keys are structurally identical, including child order.
+	// Keys are structurally identical, including child order. The key is
+	// computed once and cached on the node.
 	Key() string
+	// Hash returns a 64-bit structural hash of Key: nodes with equal
+	// Keys have equal hashes. It is cached alongside the key.
+	Hash() uint64
 	// appendAttrs accumulates attribute names into the set.
 	appendAttrs(set map[string]bool)
 }
@@ -43,6 +54,8 @@ type Atomic struct {
 	Attr string
 	Op   Op
 	Val  Value
+
+	meta nodeMeta
 }
 
 // NewAtomic builds an atomic condition.
@@ -59,12 +72,24 @@ func (a *Atomic) Eval(b Binder) (bool, error) {
 	return a.Op.Apply(v, a.Val)
 }
 
-// Clone implements Node.
-func (a *Atomic) Clone() Node { c := *a; return &c }
+// Clone implements Node. Leaves are immutable, so the receiver itself is
+// returned.
+func (a *Atomic) Clone() Node { return a }
 
 // Key implements Node.
-func (a *Atomic) Key() string {
-	return a.Attr + " " + a.Op.String() + " " + a.Val.String()
+func (a *Atomic) Key() string { return a.keyMemo().key }
+
+// Hash implements Node.
+func (a *Atomic) Hash() uint64 { return a.keyMemo().hash }
+
+func (a *Atomic) keyMemo() *keyMemo {
+	if k := a.meta.loadKey(); k != nil {
+		return k
+	}
+	key := a.Attr + " " + a.Op.String() + " " + a.Val.String()
+	k := &keyMemo{key: key, hash: hashString(key)}
+	a.meta.storeKey(k)
+	return k
 }
 
 // String renders the atomic condition.
@@ -76,6 +101,8 @@ func (a *Atomic) appendAttrs(set map[string]bool) { set[a.Attr] = true }
 // during construction and removed by Canonicalize).
 type And struct {
 	Kids []Node
+
+	meta nodeMeta
 }
 
 // NewAnd builds a conjunction.
@@ -95,17 +122,32 @@ func (n *And) Eval(b Binder) (bool, error) {
 	return true, nil
 }
 
-// Clone implements Node.
+// Clone implements Node. The clone carries the receiver's cached forms;
+// it is valid as long as the clone's children are not edited in place
+// (rebuild nodes instead, as the fixer does).
 func (n *And) Clone() Node {
 	kids := make([]Node, len(n.Kids))
 	for i, k := range n.Kids {
 		kids[i] = k.Clone()
 	}
-	return &And{Kids: kids}
+	return &And{Kids: kids, meta: n.meta.snapshot()}
 }
 
 // Key implements Node.
-func (n *And) Key() string { return connectorKey("&", n.Kids) }
+func (n *And) Key() string { return n.keyMemo().key }
+
+// Hash implements Node.
+func (n *And) Hash() uint64 { return n.keyMemo().hash }
+
+func (n *And) keyMemo() *keyMemo {
+	if k := n.meta.loadKey(); k != nil {
+		return k
+	}
+	key := connectorKey("&", n.Kids)
+	k := &keyMemo{key: key, hash: hashString(key)}
+	n.meta.storeKey(k)
+	return k
+}
 
 // String renders the conjunction with explicit grouping.
 func (n *And) String() string { return n.Key() }
@@ -119,6 +161,8 @@ func (n *And) appendAttrs(set map[string]bool) {
 // Or is a disjunction of two or more children.
 type Or struct {
 	Kids []Node
+
+	meta nodeMeta
 }
 
 // NewOr builds a disjunction.
@@ -138,17 +182,30 @@ func (n *Or) Eval(b Binder) (bool, error) {
 	return false, nil
 }
 
-// Clone implements Node.
+// Clone implements Node. See And.Clone for the sharing contract.
 func (n *Or) Clone() Node {
 	kids := make([]Node, len(n.Kids))
 	for i, k := range n.Kids {
 		kids[i] = k.Clone()
 	}
-	return &Or{Kids: kids}
+	return &Or{Kids: kids, meta: n.meta.snapshot()}
 }
 
 // Key implements Node.
-func (n *Or) Key() string { return connectorKey("|", n.Kids) }
+func (n *Or) Key() string { return n.keyMemo().key }
+
+// Hash implements Node.
+func (n *Or) Hash() uint64 { return n.keyMemo().hash }
+
+func (n *Or) keyMemo() *keyMemo {
+	if k := n.meta.loadKey(); k != nil {
+		return k
+	}
+	key := connectorKey("|", n.Kids)
+	k := &keyMemo{key: key, hash: hashString(key)}
+	n.meta.storeKey(k)
+	return k
+}
 
 // String renders the disjunction with explicit grouping.
 func (n *Or) String() string { return n.Key() }
@@ -170,10 +227,16 @@ func True() *Truth { return &Truth{} }
 func (*Truth) Eval(Binder) (bool, error) { return true, nil }
 
 // Clone implements Node.
-func (*Truth) Clone() Node { return &Truth{} }
+func (t *Truth) Clone() Node { return t }
 
 // Key implements Node.
 func (*Truth) Key() string { return "true" }
+
+// truthHash is the shared hash of the constant "true" key.
+var truthHash = hashString("true")
+
+// Hash implements Node.
+func (*Truth) Hash() uint64 { return truthHash }
 
 // String renders the condition.
 func (*Truth) String() string { return "true" }
@@ -245,7 +308,26 @@ func Atoms(n Node) []*Atomic {
 }
 
 // Size returns the number of atomic conditions in the tree.
-func Size(n Node) int { return len(Atoms(n)) }
+func Size(n Node) int {
+	switch t := n.(type) {
+	case *Atomic:
+		return 1
+	case *And:
+		s := 0
+		for _, k := range t.Kids {
+			s += Size(k)
+		}
+		return s
+	case *Or:
+		s := 0
+		for _, k := range t.Kids {
+			s += Size(k)
+		}
+		return s
+	default:
+		return 0
+	}
+}
 
 // Depth returns the height of the tree; a leaf has depth 1.
 func Depth(n Node) int {

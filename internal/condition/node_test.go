@@ -97,16 +97,24 @@ func TestDepth(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneConnectorSpineIndependent(t *testing.T) {
 	ct := figure1().(*And)
 	cp := ct.Clone().(*And)
 	if !Equal(ct, cp) {
 		t.Fatal("clone not equal to original")
 	}
-	// Mutate the clone's first atom; original must be unaffected.
-	cp.Kids[0].(*And).Kids[0].(*Atomic).Attr = "mutated"
-	if Equal(ct, cp) {
-		t.Error("mutating clone affected original")
+	// Nodes are immutable once used, but the fixer reorders a clone's
+	// child slices before rebuilding nodes, so the clone's connector
+	// spine — including each Kids slice — must be independent of the
+	// original's.
+	cp.Kids[0], cp.Kids[1] = cp.Kids[1], cp.Kids[0]
+	orig := &And{Kids: ct.Kids}
+	swapped := &And{Kids: cp.Kids}
+	if Equal(orig, swapped) {
+		t.Error("clone shares its child slice with the original")
+	}
+	if ct.Kids[0].Key() == cp.Kids[0].Key() {
+		t.Error("swap leaked into the original's children")
 	}
 }
 

@@ -87,7 +87,7 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 	gen := &ipg{
 		ctx:     ctx,
 		metrics: m,
-		memo:    make(map[string]*planner.Candidate),
+		memo:    make(map[memoKey]*planner.Candidate),
 		pr1:     !p.DisablePR1,
 		pr2:     !p.DisablePR2,
 		pr3:     !p.DisablePR3,
@@ -114,13 +114,21 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 	return best.Plan, m, nil
 }
 
+// memoKey addresses one memoized sub-query: the condition's cached
+// structural key and the sorted attribute set. A struct key avoids
+// concatenating the two strings on every probe.
+type memoKey struct {
+	cond  string
+	attrs string
+}
+
 // ipg is one Integrated Plan Generator run; results are memoized on
 // (condition, attribute set) because the same sub-queries recur across the
 // closure's CTs and within subset enumeration.
 type ipg struct {
 	ctx           *planner.Context
 	metrics       *planner.Metrics
-	memo          map[string]*planner.Candidate
+	memo          map[memoKey]*planner.Candidate
 	pr1, pr2, pr3 bool
 	maxKids       int
 }
@@ -133,7 +141,7 @@ func (g *ipg) candidate(p plan.Plan) *planner.Candidate {
 // run is Algorithm 6.1: the best plan for SP(n, A, R), or nil when
 // infeasible.
 func (g *ipg) run(n condition.Node, attrs strset.Set) *planner.Candidate {
-	key := n.Key() + "\x00" + attrs.Key()
+	key := memoKey{cond: n.Key(), attrs: attrs.Key()}
 	if got, ok := g.memo[key]; ok {
 		return got
 	}

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 
@@ -8,20 +9,64 @@ import (
 	"repro/internal/plan"
 )
 
+// DefaultCacheSize bounds the plan cache when Mediator.CacheSize is zero:
+// entries beyond this are evicted least-recently-used, keeping memory
+// flat under sustained traffic with unbounded distinct queries.
+const DefaultCacheSize = 512
+
+// CacheStats reports plan-cache activity.
+type CacheStats struct {
+	// Hits and Misses count lookups against completed entries.
+	Hits, Misses int
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int
+	// CoalescedWaits counts Plan calls that waited for another caller's
+	// in-flight planning of the same key instead of planning themselves
+	// (each such call is also counted in Misses).
+	CoalescedWaits int
+}
+
 // planCache memoizes fixed plans per (planner, source, semantic condition,
 // attributes). The key uses the condition's order-insensitive NormKey: a
 // plan is valid for every condition in the same equivalence class — its
 // source queries are already supported and its result is determined by the
 // condition's semantics — so commutative/associative variants of a query
-// hit the same entry.
+// hit the same entry. Entries live in a bounded LRU, and concurrent
+// requests for the same missing key coalesce onto one planner run
+// (singleflight): the first caller plans, the rest wait for its result.
 type planCache struct {
-	mu     sync.Mutex
-	m      map[string]plan.Plan
-	hits   int
-	misses int
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // element value: *cacheEntry
+	inflight map[string]*flight
+	stats    CacheStats
 }
 
-func newPlanCache() *planCache { return &planCache{m: make(map[string]plan.Plan)} }
+type cacheEntry struct {
+	key string
+	p   plan.Plan
+}
+
+// flight is one in-progress planning of a key. done is closed after the
+// leader has published its outcome into p/err (and, on success, the LRU).
+type flight struct {
+	done chan struct{}
+	p    plan.Plan
+	err  error
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &planCache{
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
 
 func cacheKey(plannerName, source string, cond condition.Node, attrs []string) string {
 	return plannerName + "\x00" + source + "\x00" + condition.NormKey(cond) + "\x00" + strings.Join(attrs, ",")
@@ -30,24 +75,72 @@ func cacheKey(plannerName, source string, cond condition.Node, attrs []string) s
 func (c *planCache) get(key string) (plan.Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.m[key]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry).p, true
 	}
-	return p, ok
+	c.stats.Misses++
+	return nil, false
 }
 
-func (c *planCache) put(key string, p plan.Plan) {
+// begin returns the flight for key and whether the caller is its leader.
+// The leader must plan and then call finish; every other caller waits on
+// flight.done and reads the leader's outcome.
+func (c *planCache) begin(key string) (*flight, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = p
+	if f, ok := c.inflight[key]; ok {
+		c.stats.CoalescedWaits++
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
 }
 
-// stats returns hit/miss counters.
-func (c *planCache) stats() (hits, misses int) {
+// finish publishes the leader's outcome. A successful plan enters the LRU
+// before the flight is retired, so callers arriving after the wake-up
+// always hit.
+func (c *planCache) finish(key string, f *flight, p plan.Plan, err error) {
+	c.mu.Lock()
+	f.p, f.err = p, err
+	if err == nil {
+		c.insert(key, p)
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// insert adds or refreshes an entry and enforces the LRU bound. Callers
+// hold mu.
+func (c *planCache) insert(key string, p plan.Plan) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// snapshot returns the current counters.
+func (c *planCache) snapshot() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.stats
+}
+
+// len reports the number of completed entries (tests use it to check the
+// bound).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

@@ -1,0 +1,174 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/planner"
+)
+
+// countingPlanner wraps a planner and counts Plan invocations, so tests
+// can assert how often the mediator actually planned.
+type countingPlanner struct {
+	inner planner.Planner
+	calls atomic.Int64
+}
+
+func (p *countingPlanner) Name() string { return p.inner.Name() }
+
+func (p *countingPlanner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	p.calls.Add(1)
+	return p.inner.Plan(ctx, cond, attrs)
+}
+
+// TestConcurrentAnswersCoalesce hammers one shared mediator (cache
+// enabled) from many goroutines with overlapping queries and checks that
+// results are identical everywhere and that each distinct query was
+// planned exactly once — concurrent identical requests coalesce onto one
+// planner run. Run under -race this also exercises the condition-key
+// memo, the sharded checker memo, and the plan cache concurrently.
+func TestConcurrentAnswersCoalesce(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+
+	// Four query texts over three distinct cache keys: the first two are
+	// commutative variants and share a NormKey entry.
+	queries := []struct {
+		cond string
+		rows int
+	}{
+		{`make = "BMW" ^ price < 40000`, 1},    // 328i
+		{`price < 40000 ^ make = "BMW"`, 1},    // same entry as above
+		{`make = "Toyota" ^ color = "red"`, 1}, // Camry
+		{`make = "BMW" ^ color = "black"`, 1},  // M5
+	}
+	const distinctKeys = 3
+	const workers = 8
+	const rounds = 4
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	planKeys := make([][]string, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		planKeys[w] = make([]string, len(queries))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					// Each request parses its own condition, as separate
+					// clients would.
+					cond := condition.MustParse(q.cond)
+					res, err := med.Answer(context.Background(), cp, "cars", cond, []string{"model"})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if res.Relation.Len() != q.rows {
+						errs[w] = fmt.Errorf("query %d round %d: %d rows, want %d", qi, r, res.Relation.Len(), q.rows)
+						return
+					}
+					key := res.Plan.Key()
+					if planKeys[w][qi] == "" {
+						planKeys[w][qi] = key
+					} else if planKeys[w][qi] != key {
+						errs[w] = fmt.Errorf("query %d: plan changed across rounds", qi)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		for qi := range queries {
+			if planKeys[w][qi] != planKeys[0][qi] {
+				t.Errorf("query %d: worker %d got a different plan than worker 0", qi, w)
+			}
+		}
+	}
+	if got := cp.calls.Load(); got != distinctKeys {
+		t.Errorf("planner invoked %d times, want %d (one per distinct query)", got, distinctKeys)
+	}
+	st := med.CacheStats()
+	if st.Hits == 0 || st.Misses < distinctKeys {
+		t.Errorf("implausible cache stats: %+v", st)
+	}
+}
+
+// TestPlanCacheBounded checks the LRU bound: with capacity 2, a third
+// distinct plan evicts the least-recently-used entry, which then has to
+// be re-planned, while the fresher entries keep hitting.
+func TestPlanCacheBounded(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.CacheSize = 2
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+	conds := []string{
+		`make = "BMW" ^ price < 40000`,
+		`make = "BMW" ^ price < 50000`,
+		`make = "BMW" ^ price < 60000`,
+	}
+	for _, c := range conds {
+		if _, _, err := med.Plan(cp, "cars", condition.MustParse(c), []string{"model"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := med.cache.len(); got != 2 {
+		t.Errorf("cache holds %d entries, want 2", got)
+	}
+	if st := med.CacheStats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// The most recent entry still hits...
+	if _, _, err := med.Plan(cp, "cars", condition.MustParse(conds[2]), []string{"model"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.calls.Load(); got != 3 {
+		t.Errorf("planner ran %d times, want 3 (recent entry should hit)", got)
+	}
+	// ...while the evicted one must be planned again.
+	if _, _, err := med.Plan(cp, "cars", condition.MustParse(conds[0]), []string{"model"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.calls.Load(); got != 4 {
+		t.Errorf("planner ran %d times, want 4 (evicted entry should miss)", got)
+	}
+}
+
+// TestPlanErrorsNotCached checks that failed planning runs do not poison
+// the cache: the error is reported, and the next identical query plans
+// again.
+func TestPlanErrorsNotCached(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+	// Bare color is not supported by any form of the cars grammar.
+	infeasible := `color = "red"`
+	for i := 0; i < 2; i++ {
+		_, _, err := med.Plan(cp, "cars", condition.MustParse(infeasible), []string{"model"})
+		if !errors.Is(err, planner.ErrInfeasible) {
+			t.Fatalf("call %d: err = %v, want ErrInfeasible", i, err)
+		}
+	}
+	if got := cp.calls.Load(); got != 2 {
+		t.Errorf("planner ran %d times, want 2 (errors must not be cached)", got)
+	}
+}

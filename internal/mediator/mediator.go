@@ -45,6 +45,9 @@ type Mediator struct {
 	// Answer and AnswerUnion then return the surviving branches' result
 	// together with a *plan.PartialError describing what was dropped.
 	AllowPartial bool
+	// CacheSize bounds the plan cache enabled by EnableCache
+	// (0 = DefaultCacheSize). Set it before calling EnableCache.
+	CacheSize int
 }
 
 // New builds a mediator with the given cost model.
@@ -98,30 +101,49 @@ func (m *Mediator) Model() cost.Model { return m.model }
 // EnableCache turns on plan caching: subsequent Plan calls memoize their
 // fixed plans per (strategy, source, semantic condition, attributes),
 // with commutative/associative variants of a condition sharing an entry.
-func (m *Mediator) EnableCache() { m.cache = newPlanCache() }
+// The cache is a bounded LRU (capacity Mediator.CacheSize), and concurrent
+// Plan calls for the same missing key coalesce onto a single planner run.
+func (m *Mediator) EnableCache() { m.cache = newPlanCache(m.CacheSize) }
 
-// CacheStats reports the plan cache's hit and miss counts (zeros when the
-// cache is disabled).
-func (m *Mediator) CacheStats() (hits, misses int) {
+// CacheStats reports the plan cache's counters (zeros when the cache is
+// disabled).
+func (m *Mediator) CacheStats() CacheStats {
 	if m.cache == nil {
-		return 0, 0
+		return CacheStats{}
 	}
-	return m.cache.stats()
+	return m.cache.snapshot()
 }
 
 // Plan generates the best feasible plan for the target query
 // SP(cond, attrs, source) with the given strategy, fixed for execution
 // against the original source description. With the cache enabled,
 // repeated (semantically equal) queries return the memoized plan and a
-// zero Metrics.
+// zero Metrics, and N concurrent identical queries plan once: one caller
+// runs the planner while the others wait for its result.
 func (m *Mediator) Plan(p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
-	var key string
-	if m.cache != nil {
-		key = cacheKey(p.Name(), source, cond, attrs)
-		if cached, ok := m.cache.get(key); ok {
-			return cached, &planner.Metrics{}, nil
-		}
+	if m.cache == nil {
+		return m.planOnce(p, source, cond, attrs)
 	}
+	key := cacheKey(p.Name(), source, cond, attrs)
+	if cached, ok := m.cache.get(key); ok {
+		return cached, &planner.Metrics{}, nil
+	}
+	f, leader := m.cache.begin(key)
+	if !leader {
+		<-f.done
+		if f.err != nil {
+			return nil, &planner.Metrics{}, f.err
+		}
+		return f.p, &planner.Metrics{}, nil
+	}
+	fixed, metrics, err := m.planOnce(p, source, cond, attrs)
+	m.cache.finish(key, f, fixed, err)
+	return fixed, metrics, err
+}
+
+// planOnce runs the planner and fixes the chosen plan, bypassing the
+// cache.
+func (m *Mediator) planOnce(p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	ctx, err := m.Context(source)
 	if err != nil {
 		return nil, nil, err
@@ -133,9 +155,6 @@ func (m *Mediator) Plan(p planner.Planner, source string, cond condition.Node, a
 	fixed, err := m.FixPlan(pl)
 	if err != nil {
 		return nil, metrics, err
-	}
-	if m.cache != nil {
-		m.cache.put(key, fixed)
 	}
 	return fixed, metrics, nil
 }
@@ -246,12 +265,18 @@ func (m *Mediator) FixPlan(p plan.Plan) (plan.Plan, error) {
 		}
 		return &plan.Intersect{Inputs: ins}, nil
 	case *plan.Choice:
-		// Choices should be resolved before fixing; fix the first
-		// alternative to stay executable.
+		// Choices should be resolved before fixing; resolve any
+		// leftover one to its minimum-cost alternative under the
+		// mediator's cost model (recursively, in case alternatives nest
+		// further Choices) and fix the winner.
 		if len(t.Alternatives) == 0 {
 			return nil, fmt.Errorf("mediator: empty Choice")
 		}
-		return m.FixPlan(t.Alternatives[0])
+		resolved, err := m.model.Resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		return m.FixPlan(resolved)
 	default:
 		return nil, fmt.Errorf("mediator: unknown plan node %T", p)
 	}

@@ -168,6 +168,28 @@ func TestFixPlanRecursesAllNodeTypes(t *testing.T) {
 	}
 }
 
+func TestFixPlanResolvesChoiceByCost(t *testing.T) {
+	med, _ := carsFixture(t)
+	// Both alternatives are supported as written; the wider price bound
+	// matches two BMWs (cost 5 + 2), the tighter one matches one
+	// (cost 5 + 1). The Choice must resolve to the cheaper alternative,
+	// not simply the first.
+	wide := plan.NewSourceQuery("cars", condition.MustParse(`make = "BMW" ^ price < 100000`), []string{"model"})
+	tight := plan.NewSourceQuery("cars", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+	fixed, err := med.FixPlan(&plan.Choice{Alternatives: []plan.Plan{wide, tight}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqs := plan.SourceQueries(fixed)
+	if len(sqs) != 1 || sqs[0].Cond.Key() != tight.Cond.Key() {
+		t.Errorf("FixPlan resolved Choice to %s, want the minimum-cost alternative %s",
+			plan.Format(fixed), tight.Cond.Key())
+	}
+	if _, err := med.FixPlan(&plan.Choice{}); err == nil {
+		t.Error("empty Choice should fail")
+	}
+}
+
 func TestFixPlanFailsForUnfixable(t *testing.T) {
 	med, _ := carsFixture(t)
 	q := plan.NewSourceQuery("cars", condition.MustParse(`color = "red"`), []string{"model"})

@@ -214,16 +214,16 @@ func TestPlanCache(t *testing.T) {
 	if p3.Key() != p1.Key() {
 		t.Error("commutative variant should hit the same entry")
 	}
-	hits, misses := med.CacheStats()
-	if hits != 2 || misses != 1 {
-		t.Errorf("cache stats = %d/%d, want 2 hits, 1 miss", hits, misses)
+	st := med.CacheStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("cache stats = %d/%d, want 2 hits, 1 miss", st.Hits, st.Misses)
 	}
 	// Different attrs: miss.
 	if _, _, err := med.Plan(gc, "cars", cond, []string{"model", "color"}); err != nil {
 		t.Fatal(err)
 	}
-	if h, m := med.CacheStats(); h != 2 || m != 2 {
-		t.Errorf("cache stats = %d/%d, want 2/2", h, m)
+	if st := med.CacheStats(); st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("cache stats = %d/%d, want 2/2", st.Hits, st.Misses)
 	}
 	// Executing a cached plan still answers correctly.
 	res, err := med.Answer(context.Background(), gc, "cars", rev, []string{"model"})
@@ -237,7 +237,7 @@ func TestPlanCache(t *testing.T) {
 
 func TestCacheDisabledByDefault(t *testing.T) {
 	med, _ := carsFixture2(t)
-	if h, m := med.CacheStats(); h != 0 || m != 0 {
+	if st := med.CacheStats(); st != (CacheStats{}) {
 		t.Error("stats should be zero without cache")
 	}
 	gc := core.New()
@@ -245,7 +245,7 @@ func TestCacheDisabledByDefault(t *testing.T) {
 	if _, _, err := med.Plan(gc, "cars", cond, []string{"model"}); err != nil {
 		t.Fatal(err)
 	}
-	if h, m := med.CacheStats(); h != 0 || m != 0 {
+	if st := med.CacheStats(); st != (CacheStats{}) {
 		t.Error("disabled cache must not count")
 	}
 }

@@ -53,6 +53,15 @@ type Metrics struct {
 	Duration time.Duration
 }
 
+// CheckHitRate is the fraction of checker calls served from the checker's
+// memo during this run (0 when no calls were made).
+func (m *Metrics) CheckHitRate() float64 {
+	if m.CheckCalls == 0 {
+		return 0
+	}
+	return float64(m.CheckCalls-m.CheckMisses) / float64(m.CheckCalls)
+}
+
 // Planner is a plan-generation strategy.
 type Planner interface {
 	// Name identifies the strategy in experiment tables.

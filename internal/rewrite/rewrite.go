@@ -60,9 +60,12 @@ func Closure(root condition.Node, cfg Config) []condition.Node {
 	if maxAtoms <= 0 {
 		maxAtoms = 2 * condition.Size(root)
 	}
+	// Nodes are immutable, so the closure can hand out (and enqueue) the
+	// root itself; every neighbor is a freshly built tree whose cloned
+	// subtrees carry their cached keys, keeping dedup cheap.
 	seen := map[string]bool{root.Key(): true}
-	queue := []condition.Node{root.Clone()}
-	out := []condition.Node{root.Clone()}
+	queue := []condition.Node{root}
+	out := []condition.Node{root}
 	for qi := 0; qi < len(queue) && len(out) < maxCTs; qi++ {
 		cur := queue[qi]
 		for _, next := range Neighbors(cur, cfg.Rules) {

@@ -2,33 +2,53 @@ package ssdl
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/condition"
 	"repro/internal/strset"
 )
 
+// checkShards is the memo's shard count (a power of two so the shard
+// index is a mask of the condition's structural hash). A handful of
+// shards keeps concurrent planners from serializing on one mutex without
+// bloating small checkers.
+const checkShards = 16
+
+// checkShard is one memo shard. Lookups take the read lock, so concurrent
+// hits — the steady state once the mark module and IPG have warmed the
+// memo — never contend.
+type checkShard struct {
+	mu sync.RWMutex
+	m  map[string]strset.Set
+}
+
 // Checker implements the paper's Check function for one source: given a
 // condition expression it returns the set of attributes the source exports
 // when evaluating it, or the empty set when the source cannot evaluate it
 // (§4). Checkers memoize results because the mark module and IPG probe the
-// same sub-conditions repeatedly. Checker is safe for concurrent use.
+// same sub-conditions repeatedly; the memo is keyed by the condition's
+// cached canonical key and sharded by its structural hash. Checker is safe
+// for concurrent use.
 type Checker struct {
 	g   *Grammar
 	rec *recognizer
 
-	mu    sync.Mutex
-	cache map[string]strset.Set
+	shards [checkShards]checkShard
 
 	// counters for the E5/E7 experiments
-	calls  int
-	hits   int
-	tokens int
+	calls  atomic.Int64
+	hits   atomic.Int64
+	tokens atomic.Int64
 }
 
 // NewChecker builds a Checker for the grammar. The grammar must not be
 // mutated afterwards.
 func NewChecker(g *Grammar) *Checker {
-	return &Checker{g: g, rec: newRecognizer(g), cache: make(map[string]strset.Set)}
+	c := &Checker{g: g, rec: newRecognizer(g)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]strset.Set)
+	}
+	return c
 }
 
 // Grammar returns the grammar the checker was built from.
@@ -36,33 +56,43 @@ func (c *Checker) Grammar() *Grammar { return c.g }
 
 // Check returns the attribute set the source exports when evaluating cond;
 // the empty set means the source cannot evaluate cond. The condition is
-// canonicalized first, so supportability is insensitive to how the
-// mediator happened to parenthesize it (child order remains significant,
-// per §6.1). When several condition nonterminals derive the input, the
-// union of their attribute sets is returned — the most permissive reading
-// of the paper's "may retrieve the attributes associated with sj".
+// canonicalized (once — the canonical form and its key are cached on the
+// node), so supportability is insensitive to how the mediator happened to
+// parenthesize it (child order remains significant, per §6.1). When
+// several condition nonterminals derive the input, the union of their
+// attribute sets is returned — the most permissive reading of the paper's
+// "may retrieve the attributes associated with sj".
 func (c *Checker) Check(cond condition.Node) strset.Set {
-	key := condition.Canonicalize(cond).Key()
-	c.mu.Lock()
-	c.calls++
-	if got, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	canon := condition.Canonicalize(cond)
+	key := canon.Key()
+	sh := &c.shards[canon.Hash()&(checkShards-1)]
+
+	c.calls.Add(1)
+	sh.mu.RLock()
+	got, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
 		return got
 	}
-	c.mu.Unlock()
 
-	toks := Linearize(condition.Canonicalize(cond))
+	toks := Linearize(canon)
 	accepted := c.rec.recognize(toks)
 	attrs := strset.New()
 	for nt := range accepted {
 		attrs = attrs.Union(c.g.CondAttrs[nt])
 	}
+	c.tokens.Add(int64(len(toks)))
 
-	c.mu.Lock()
-	c.tokens += len(toks)
-	c.cache[key] = attrs
-	c.mu.Unlock()
+	sh.mu.Lock()
+	if prev, raced := sh.m[key]; raced {
+		// Another goroutine parsed the same condition first; keep one
+		// value so callers can compare sets by identity if they like.
+		attrs = prev
+	} else {
+		sh.m[key] = attrs
+	}
+	sh.mu.Unlock()
 	return attrs
 }
 
@@ -82,14 +112,12 @@ func (c *Checker) Downloadable() strset.Set {
 // Stats reports the checker's call counters: total Check calls, cache
 // hits, and total tokens parsed (cache misses only).
 func (c *Checker) Stats() (calls, hits, tokens int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.calls, c.hits, c.tokens
+	return int(c.calls.Load()), int(c.hits.Load()), int(c.tokens.Load())
 }
 
 // ResetStats zeroes the call counters (the memo cache is kept).
 func (c *Checker) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.calls, c.hits, c.tokens = 0, 0, 0
+	c.calls.Store(0)
+	c.hits.Store(0)
+	c.tokens.Store(0)
 }

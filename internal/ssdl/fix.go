@@ -51,7 +51,7 @@ func orderings(n condition.Node, budget *int, try func(condition.Node) bool) boo
 				return false
 			}
 			*budget--
-			return try(root.Clone())
+			return try(freeze(root))
 		}
 		kids := conns[i].kids()
 		return permuteInPlace(kids, func() bool {
@@ -59,6 +59,30 @@ func orderings(n condition.Node, budget *int, try func(condition.Node) bool) boo
 		}, budget)
 	}
 	return rec(0)
+}
+
+// freeze rebuilds the working tree's connector spine into fresh nodes,
+// sharing the (immutable) leaves. The permutation loop above edits child
+// slices in place, which condition nodes do not support once their keys
+// are cached — a clone of the mutated spine would carry stale cached
+// keys — so each candidate handed to try is rebuilt from scratch.
+func freeze(n condition.Node) condition.Node {
+	switch t := n.(type) {
+	case *condition.And:
+		kids := make([]condition.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = freeze(k)
+		}
+		return &condition.And{Kids: kids}
+	case *condition.Or:
+		kids := make([]condition.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = freeze(k)
+		}
+		return &condition.Or{Kids: kids}
+	default:
+		return n
+	}
 }
 
 type connRef struct {

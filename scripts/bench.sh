@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Run the planning-hot-path micro-benchmarks and emit a JSON snapshot
+# (BENCH_plan.json in the repo root by default, $1 to override).
+#
+#   scripts/bench.sh                 # refresh BENCH_plan.json
+#   scripts/bench.sh /tmp/new.json   # write elsewhere (CI does this,
+#                                    # then compares against the
+#                                    # committed baseline with benchgate)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_plan.json}"
+
+pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkEPGSection4|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder)$'
+
+go test -run='^$' -bench="$pattern" -benchmem -benchtime=200x . |
+	tee /dev/stderr |
+	go run ./cmd/benchgate -emit >"$out"
+
+echo "wrote $out" >&2
