@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/genmodular"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/relation"
@@ -201,11 +202,35 @@ attributes :: chain : {a}
 }
 
 func BenchmarkIPGSection4(b *testing.B) {
+	// context.Background() carries no tracer, so this doubles as the
+	// disabled-telemetry regression gate: allocs/op must not grow when the
+	// span machinery is off (benchgate compares against the baseline).
 	ctx := microContext(b)
 	gc := core.New()
 	b.ReportAllocs()
+	var calls, misses int64
 	for i := 0; i < b.N; i++ {
-		if _, _, err := gc.Plan(ctx, microCond, []string{"model", "year"}); err != nil {
+		_, m, err := gc.Plan(context.Background(), ctx, microCond, []string{"model", "year"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls += int64(m.CheckCalls)
+		misses += int64(m.CheckMisses)
+	}
+	reportCheckHitRate(b, calls, misses)
+}
+
+func BenchmarkIPGSection4Traced(b *testing.B) {
+	// The traced twin of BenchmarkIPGSection4: the delta between the two
+	// is the whole cost of span recording.
+	pc := microContext(b)
+	gc := core.New()
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		if _, _, err := gc.Plan(ctx, pc, microCond, []string{"model", "year"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -215,10 +240,52 @@ func BenchmarkEPGSection4(b *testing.B) {
 	ctx := microContext(b)
 	gm := &genmodular.Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 500, MaxAtoms: 8}}
 	b.ReportAllocs()
+	var calls, misses int64
 	for i := 0; i < b.N; i++ {
-		if _, _, err := gm.Plan(ctx, microCond, []string{"model", "year"}); err != nil {
+		_, m, err := gm.Plan(context.Background(), ctx, microCond, []string{"model", "year"})
+		if err != nil {
 			b.Fatal(err)
 		}
+		calls += int64(m.CheckCalls)
+		misses += int64(m.CheckMisses)
+	}
+	reportCheckHitRate(b, calls, misses)
+}
+
+// reportCheckHitRate attaches the checker-memo hit rate to the benchmark
+// output, so BENCH_*.json carries effectiveness context next to ns/op.
+func reportCheckHitRate(b *testing.B, calls, misses int64) {
+	b.Helper()
+	if calls > 0 {
+		b.ReportMetric(float64(calls-misses)/float64(calls), "check-hit-rate")
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	// The no-op fast path: Start against a tracer-less context must stay
+	// allocation-free — untraced queries pay nothing for the telemetry
+	// layer.
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "bench.span")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			tr.Reset() // stay under the span buffer bound
+		}
+		c, sp := obs.Start(ctx, "bench.span")
+		sp.SetAttr("k", "v")
+		sp.End()
+		_ = c
 	}
 }
 

@@ -35,6 +35,9 @@ type benchmark struct {
 	NsOp     float64 `json:"ns_op"`
 	BOp      float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "check-hit-rate"),
+	// recorded for context and compared informationally only.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type snapshot struct {
@@ -113,13 +116,22 @@ func parseBench(r *os.File) (*snapshot, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				bm.NsOp, seen = v, true
 			case "B/op":
 				bm.BOp, seen = v, true
 			case "allocs/op":
 				bm.AllocsOp, seen = v, true
+			default:
+				// Custom b.ReportMetric units (check-hit-rate, MB/s, ...).
+				if strings.Contains(unit, "/") || strings.Contains(unit, "-") {
+					if bm.Extra == nil {
+						bm.Extra = make(map[string]float64)
+					}
+					bm.Extra[unit] = v
+					seen = true
+				}
 			}
 		}
 		if seen {
@@ -180,6 +192,13 @@ func runCompare(oldPath, newPath string, threshold float64) (regressed bool, err
 		if dt > threshold {
 			// Informational only: timing is machine-dependent.
 			fmt.Printf("::notice::%s ns/op changed %s on this machine (baseline hardware differs)\n", name, pct(dt))
+		}
+		// Custom metrics are context, not gates: hit rates and throughputs
+		// shift legitimately with workload changes.
+		for unit, nv := range n.Extra {
+			if ov, ok := o.Extra[unit]; ok && delta(ov, nv) != 0 {
+				fmt.Printf("  %s %s: %g -> %g\n", name, unit, ov, nv)
+			}
 		}
 	}
 	for name := range newM {

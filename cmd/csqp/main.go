@@ -20,7 +20,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -56,6 +57,8 @@ func run() error {
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
 	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed, reporting dropped sources")
 	stats := flag.Bool("stats", false, "enable the plan cache and print cache/memo statistics after the query")
+	trace := flag.Bool("trace", false, "record the query's span tree (rewrite, check, generate, cost, fix, execute) and print it")
+	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry registry over HTTP at this address (GET /metrics, /metrics.json)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -64,10 +67,17 @@ func run() error {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+	var tr *csqp.Tracer
+	if *trace {
+		ctx, tr = csqp.Trace(ctx)
+	}
 	sysOpts := csqp.Options{
 		QueryTimeout:   *timeout,
 		QueryRetries:   *retries,
 		PartialAnswers: *partial,
+		// Surface degradations, breaker transitions and swallowed errors on
+		// stderr, away from the query output on stdout.
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
 	}
 
 	rel, grammar, err := loadSource(*demo, *dataPath, *ssdlPath, *size)
@@ -83,7 +93,7 @@ func run() error {
 		fmt.Printf("serving source %q (%d tuples) at %s\n", src.Name(), rel.Len(), *serve)
 		fmt.Printf("endpoints: GET /describe, GET /stats, POST /query\n")
 		h := source.NewHandler(src)
-		h.SetLogger(log.New(os.Stderr, "source: ", log.LstdFlags))
+		h.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 		return http.ListenAndServe(*serve, h)
 	}
 
@@ -92,6 +102,11 @@ func run() error {
 		sys.EnableCache()
 		if err := sys.AddSourceGrammar(rel, grammar); err != nil {
 			return err
+		}
+		if *metricsAddr != "" {
+			if err := serveMetrics(sys, *metricsAddr); err != nil {
+				return err
+			}
 		}
 		return runREPL(sys, os.Stdin, os.Stdout)
 	}
@@ -111,6 +126,11 @@ func run() error {
 	if err := sys.AddSourceGrammar(rel, grammar); err != nil {
 		return err
 	}
+	if *metricsAddr != "" {
+		if err := serveMetrics(sys, *metricsAddr); err != nil {
+			return err
+		}
+	}
 	srcName := grammar.Source
 
 	if *compare {
@@ -122,7 +142,7 @@ func run() error {
 		return err
 	}
 	if *explain {
-		p, metrics, err := sys.Explain(strategy, srcName, *query, attrs...)
+		p, metrics, err := sys.ExplainContext(ctx, strategy, srcName, *query, attrs...)
 		if err != nil {
 			return err
 		}
@@ -131,7 +151,8 @@ func run() error {
 		if *stats {
 			printStats(sys, metrics)
 		}
-		return nil
+		printTrace(tr)
+		return waitMetrics(*metricsAddr)
 	}
 	cond, err := csqp.ParseCondition(*query)
 	if err != nil {
@@ -156,7 +177,8 @@ func run() error {
 	if *stats {
 		printStats(sys, res.Metrics)
 	}
-	return nil
+	printTrace(tr)
+	return waitMetrics(*metricsAddr)
 }
 
 func printStats(sys *csqp.System, m *csqp.Metrics) {
@@ -164,9 +186,46 @@ func printStats(sys *csqp.System, m *csqp.Metrics) {
 	fmt.Printf("\nplan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
 		st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
 	if m != nil {
+		if m.Cached {
+			fmt.Println("plan served from cache (no planning ran)")
+		}
 		fmt.Printf("checker memo: %d calls, %d misses (%.0f%% hit rate)\n",
 			m.CheckCalls, m.CheckMisses, m.CheckHitRate()*100)
 	}
+}
+
+// printTrace renders the recorded span tree, if tracing was on.
+func printTrace(tr *csqp.Tracer) {
+	if tr == nil {
+		return
+	}
+	fmt.Printf("\ntrace:\n%s", tr.Tree())
+}
+
+// serveMetrics exposes the system's telemetry registry over HTTP in the
+// background, failing fast if the address cannot be bound.
+func serveMetrics(sys *csqp.System, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving at http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, sys.MetricsHandler()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+	return nil
+}
+
+// waitMetrics keeps a one-shot invocation alive after the query output so
+// the -metrics-addr endpoint can be scraped; interrupt to exit.
+func waitMetrics(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "metrics: endpoint stays up — interrupt (Ctrl-C) to exit")
+	select {}
 }
 
 func loadSource(demo, dataPath, ssdlPath string, size int) (*relation.Relation, *ssdl.Grammar, error) {

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // repl drives the interactive shell: SELECT statements run against the
@@ -54,7 +55,9 @@ func (r *repl) command(line string) {
   \strategy [name]                    show or set the planning strategy
   \explain <select statement>         show the plan without executing
   \compare <select statement>         run every strategy and compare
+  \trace <select statement>           run the query and print its span tree
   \cache                              show plan-cache statistics
+  \metrics                            dump the telemetry registry snapshot
   \help                               this text
   \q                                  quit
 `)
@@ -109,16 +112,50 @@ func (r *repl) command(line string) {
 			fmt.Fprintf(r.out, "  %-11s %d queries, cost %.2f, %d rows\n",
 				s, len(res.SourceQueries), res.Cost, res.Answer.Len())
 		}
+	case `\trace`:
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		if rest == "" {
+			fmt.Fprintln(r.out, `usage: \trace SELECT a, b FROM src WHERE <cond>`)
+			return
+		}
+		ctx, tr := csqp.Trace(context.Background())
+		r.queryCtx(ctx, rest)
+		fmt.Fprint(r.out, tr.Tree())
 	case `\cache`:
 		st := r.sys.CacheStats()
 		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
 			st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+	case `\metrics`:
+		snap := r.sys.Metrics().Snapshot()
+		for _, c := range snap.Counters {
+			fmt.Fprintf(r.out, "%s%s %.0f\n", c.Name, labelSuffix(c.Labels), c.Value)
+		}
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(r.out, "%s%s %g\n", g.Name, labelSuffix(g.Labels), g.Value)
+		}
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(r.out, "%s%s count=%d sum=%.6f\n", h.Name, labelSuffix(h.Labels), h.Count, h.Sum)
+		}
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try \\help)\n", fields[0])
 	}
 }
 
-func (r *repl) query(stmt string) {
+// labelSuffix renders metric labels as {k=v,...} (empty when unlabeled).
+func labelSuffix(labels []obs.Attr) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Val
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (r *repl) query(stmt string) { r.queryCtx(context.Background(), stmt) }
+
+func (r *repl) queryCtx(ctx context.Context, stmt string) {
 	sel, err := csqp.ParseSelect(stmt)
 	if err != nil {
 		fmt.Fprintln(r.out, "error:", err)
@@ -128,7 +165,7 @@ func (r *repl) query(stmt string) {
 	if len(sel.Attrs) == 1 && sel.Attrs[0] == "*" {
 		res, err = r.sys.QuerySQL(stmt)
 	} else {
-		res, err = r.sys.QueryCond(context.Background(), r.strategy, sel.Source, sel.Cond, sel.Attrs)
+		res, err = r.sys.QueryCond(ctx, r.strategy, sel.Source, sel.Cond, sel.Attrs)
 	}
 	if err != nil {
 		fmt.Fprintln(r.out, "error:", err)

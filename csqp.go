@@ -24,6 +24,8 @@ package csqp
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"time"
 
 	"repro/internal/baseline"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/genmodular"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/relation"
@@ -68,7 +71,22 @@ type (
 	// that were dropped (see Options.PartialAnswers); detect it with
 	// errors.As.
 	PartialError = plan.PartialError
+	// Tracer records the span tree of one traced query (see Trace).
+	Tracer = obs.Tracer
+	// MetricsRegistry is the system's telemetry registry; System.Metrics
+	// exposes it and System.MetricsHandler serves it over HTTP.
+	MetricsRegistry = obs.Registry
 )
+
+// Trace returns a context that records query-lifecycle spans (rewrite →
+// check → generate → cost → fix → execute, with per-source attempt spans)
+// into the returned Tracer. Pass the context to QueryContext/QueryCond
+// and render the result with Tracer.Tree. Contexts without a tracer take
+// a zero-cost no-op path.
+func Trace(ctx context.Context) (context.Context, *Tracer) {
+	t := obs.NewTracer(0)
+	return obs.WithTracer(ctx, t), t
+}
 
 // Value constructors.
 var (
@@ -187,6 +205,10 @@ type Options struct {
 	// with a *PartialError. Union is monotone, so every returned tuple is
 	// a true answer tuple.
 	PartialAnswers bool
+	// Logger receives the system's structured event stream: partial-answer
+	// degradations, breaker state transitions, retry decisions, swallowed
+	// errors. Nil keeps events silent (the default).
+	Logger *slog.Logger
 }
 
 // System is a mediator with its sources, estimator and cost model.
@@ -200,6 +222,7 @@ type System struct {
 	strategy Strategy
 	res      source.ResilienceOptions
 	resOn    bool
+	reg      *obs.Registry
 }
 
 // NewSystem builds an empty system. With no Options it uses the paper's
@@ -219,25 +242,43 @@ func NewSystem(opts ...Options) *System {
 		o.QueryRetries = opts[0].QueryRetries
 		o.BreakerThreshold = opts[0].BreakerThreshold
 		o.PartialAnswers = opts[0].PartialAnswers
+		o.Logger = opts[0].Logger
 	}
 	rels := make(map[string]*relation.Relation)
 	est := cost.NewRegistry()
+	reg := obs.NewRegistry()
 	med := mediator.New(cost.Model{K1: o.K1, K2: o.K2, PerSource: make(map[string]cost.Coef), Est: est})
 	med.Workers = o.Workers
 	med.AllowPartial = o.PartialAnswers
+	med.SetObs(reg)
+	med.SetLogger(o.Logger)
 	return &System{
 		med:      med,
 		rels:     rels,
 		est:      est,
 		strategy: o.Strategy,
+		reg:      reg,
 		res: source.ResilienceOptions{
 			Timeout:          o.QueryTimeout,
 			MaxRetries:       o.QueryRetries,
 			BreakerThreshold: o.BreakerThreshold,
+			Obs:              reg,
+			Log:              o.Logger,
 		},
 		resOn: o.QueryTimeout > 0 || o.QueryRetries > 0 || o.BreakerThreshold > 0,
 	}
 }
+
+// Metrics returns the system's telemetry registry: plan-cache and checker
+// counters, per-source attempt/retry/failure counters, latency histograms
+// and breaker-state gauges. Snapshot it directly or serve it via
+// MetricsHandler.
+func (s *System) Metrics() *MetricsRegistry { return s.reg }
+
+// MetricsHandler returns an http.Handler exporting the system's metrics:
+// GET /metrics in Prometheus text format, GET /metrics.json as a JSON
+// snapshot.
+func (s *System) MetricsHandler() http.Handler { return obs.NewHTTPHandler(s.reg) }
 
 // harden wraps a querier in the system's resilience layer when one is
 // configured.
@@ -380,6 +421,12 @@ func (s *System) QueryCond(ctx context.Context, strategy Strategy, src string, c
 
 // Explain plans the query without executing it and returns the fixed plan.
 func (s *System) Explain(strategy Strategy, src, cond string, attrs ...string) (Plan, *Metrics, error) {
+	return s.ExplainContext(context.Background(), strategy, src, cond, attrs...)
+}
+
+// ExplainContext is Explain under a caller-supplied context; a Trace
+// context records the planning span tree.
+func (s *System) ExplainContext(ctx context.Context, strategy Strategy, src, cond string, attrs ...string) (Plan, *Metrics, error) {
 	c, err := condition.Parse(cond)
 	if err != nil {
 		return nil, nil, err
@@ -388,7 +435,7 @@ func (s *System) Explain(strategy Strategy, src, cond string, attrs ...string) (
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.med.Plan(p, src, c, attrs)
+	return s.med.Plan(ctx, p, src, c, attrs)
 }
 
 // Cost prices an arbitrary plan under the system's model.

@@ -8,6 +8,7 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/condition"
@@ -25,7 +26,7 @@ type Naive struct{}
 func (Naive) Name() string { return "Naive" }
 
 // Plan implements planner.Planner.
-func (Naive) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (Naive) Plan(_ context.Context, ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{CTs: 1, PlansConsidered: 1}
 	defer func() { m.Duration = time.Since(start) }()
@@ -46,7 +47,7 @@ type Disco struct{}
 func (Disco) Name() string { return "DISCO" }
 
 // Plan implements planner.Planner.
-func (Disco) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (Disco) Plan(_ context.Context, ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{CTs: 1}
 	defer func() { m.Duration = time.Since(start) }()
@@ -82,7 +83,7 @@ type CNF struct {
 func (CNF) Name() string { return "CNF" }
 
 // Plan implements planner.Planner.
-func (b CNF) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (b CNF) Plan(_ context.Context, ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{CTs: 1}
 	defer func() { m.Duration = time.Since(start) }()
@@ -153,7 +154,7 @@ type DNF struct {
 func (DNF) Name() string { return "DNF" }
 
 // Plan implements planner.Planner.
-func (b DNF) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (b DNF) Plan(_ context.Context, ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{CTs: 1}
 	defer func() { m.Duration = time.Since(start) }()

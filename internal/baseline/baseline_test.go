@@ -59,12 +59,12 @@ func TestNaive(t *testing.T) {
 	ctx, _ := bookstore(t)
 	// The full disjunctive query is unsupported: naive fails (§1: "would
 	// try sending the full unsupported query").
-	_, _, err := Naive{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	_, _, err := Naive{}.Plan(context.Background(), ctx, condition.MustParse(example11Cond), []string{"isbn"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 	// A directly supported query is passed through whole.
-	p, _, err := Naive{}.Plan(ctx, condition.MustParse(`author = "Carl Jung"`), []string{"isbn"})
+	p, _, err := Naive{}.Plan(context.Background(), ctx, condition.MustParse(`author = "Carl Jung"`), []string{"isbn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestDiscoFailsExample11(t *testing.T) {
 	ctx, _ := bookstore(t)
 	// §2: "DISCO fails to generate feasible plans for both the example
 	// queries of Section 1" (no download rule here).
-	_, _, err := Disco{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	_, _, err := Disco{}.Plan(context.Background(), ctx, condition.MustParse(example11Cond), []string{"isbn"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
@@ -108,7 +108,7 @@ attributes :: dl : {a, b}
 		Model:   cost.Model{K1: 1, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})},
 	}
 	// a=1 _ b=2 is not supported whole; DISCO downloads.
-	p, _, err := Disco{}.Plan(ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
+	p, _, err := Disco{}.Plan(context.Background(), ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ attributes :: dl : {a, b}
 
 func TestCNFPushesSupportedClause(t *testing.T) {
 	ctx, r := bookstore(t)
-	p, _, err := CNF{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	p, _, err := CNF{}.Plan(context.Background(), ctx, condition.MustParse(example11Cond), []string{"isbn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestCNFPushesSupportedClause(t *testing.T) {
 
 func TestDNFSplitsExample11(t *testing.T) {
 	ctx, _ := bookstore(t)
-	p, _, err := DNF{}.Plan(ctx, condition.MustParse(example11Cond), []string{"isbn"})
+	p, _, err := DNF{}.Plan(context.Background(), ctx, condition.MustParse(example11Cond), []string{"isbn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ attributes :: s1 : {a, b}
 	}
 	// No single CNF clause is supported (only the 2-conjunct whole is),
 	// so Garlic downloads.
-	p, _, err := CNF{}.Plan(ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
+	p, _, err := CNF{}.Plan(context.Background(), ctx, condition.MustParse(`a = 1 _ b = 2`), []string{"a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ attributes :: s1 : {a, b}
 func TestCNFInfeasibleWithoutDownload(t *testing.T) {
 	ctx, _ := bookstore(t)
 	// No clause of (isbn = "x") is supported and no download rule.
-	_, _, err := CNF{}.Plan(ctx, condition.MustParse(`isbn = "x"`), []string{"isbn"})
+	_, _, err := CNF{}.Plan(context.Background(), ctx, condition.MustParse(`isbn = "x"`), []string{"isbn"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
@@ -201,7 +201,7 @@ func TestDNFInfeasibleTerm(t *testing.T) {
 	ctx, _ := bookstore(t)
 	// One term is fine (author), the other (isbn) is not supported; no
 	// download: infeasible.
-	_, _, err := DNF{}.Plan(ctx, condition.MustParse(`author = "Carl Jung" _ isbn = "i1"`), []string{"isbn"})
+	_, _, err := DNF{}.Plan(context.Background(), ctx, condition.MustParse(`author = "Carl Jung" _ isbn = "i1"`), []string{"isbn"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
@@ -209,7 +209,7 @@ func TestDNFInfeasibleTerm(t *testing.T) {
 
 func TestDNFSingleTermCollapses(t *testing.T) {
 	ctx, _ := bookstore(t)
-	p, _, err := DNF{}.Plan(ctx, condition.MustParse(`author = "Carl Jung" ^ title contains "dreams"`), []string{"isbn"})
+	p, _, err := DNF{}.Plan(context.Background(), ctx, condition.MustParse(`author = "Carl Jung" ^ title contains "dreams"`), []string{"isbn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestBaselinePlansExecuteCorrectly(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []planner.Planner{CNF{}, DNF{}} {
-		pl, _, err := p.Plan(ctx, cond, []string{"isbn"})
+		pl, _, err := p.Plan(context.Background(), ctx, cond, []string{"isbn"})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}

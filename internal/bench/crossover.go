@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/condition"
@@ -82,7 +83,7 @@ func E8Crossover(cfg CrossoverConfig) (*Table, error) {
 			Checker: checker,
 			Model:   cost.Model{K1: k1, K2: 1, Est: est},
 		}
-		pl, _, err := core.New().Plan(ctx, cond, attrs)
+		pl, _, err := core.New().Plan(context.Background(), ctx, cond, attrs)
 		if err != nil {
 			return nil, err
 		}

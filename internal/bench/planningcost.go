@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -79,11 +80,11 @@ func E4PlanningCost(cfg CostConfig) (*Table, error) {
 		for q := 0; q < cfg.Queries; q++ {
 			cond := dom.RandomQuery(r, natoms)
 			attrs := []string{dom.KeyAttr()}
-			_, mm, err := gm.Plan(ctx, cond, attrs)
+			_, mm, err := gm.Plan(context.Background(), ctx, cond, attrs)
 			if err != nil && !errors.Is(err, planner.ErrInfeasible) {
 				return nil, err
 			}
-			_, mc, err := gc.Plan(ctx, cond, attrs)
+			_, mc, err := gc.Plan(context.Background(), ctx, cond, attrs)
 			if err != nil && !errors.Is(err, planner.ErrInfeasible) {
 				return nil, err
 			}
@@ -163,14 +164,14 @@ func E5PruningAblation(cfg CostConfig) (*Table, error) {
 	// Warm the shared checker memo so per-variant timings compare IPG
 	// work rather than first-run parsing.
 	for _, q := range suite {
-		_, _, _ = variants[0].p.Plan(ctx, q.node, q.attrs)
+		_, _, _ = variants[0].p.Plan(context.Background(), ctx, q.node, q.attrs)
 	}
 	for _, v := range variants {
 		var totalDur time.Duration
 		var plans, maxQ, combos int
 		costSum := 0.0
 		for _, q := range suite {
-			pl, m, err := v.p.Plan(ctx, q.node, q.attrs)
+			pl, m, err := v.p.Plan(context.Background(), ctx, q.node, q.attrs)
 			if err != nil {
 				if errors.Is(err, planner.ErrInfeasible) {
 					continue

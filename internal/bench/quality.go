@@ -73,7 +73,7 @@ func E3PlanQuality(cfg QualityConfig) (*Table, error) {
 	total := 0
 
 	err := forEachRandomQuery(cfg, r, func(ctx *planner.Context, cond condQuery) error {
-		gc, _, errGC := strategies[0].Plan(ctx, cond.node, cond.attrs)
+		gc, _, errGC := strategies[0].Plan(context.Background(), ctx, cond.node, cond.attrs)
 		if errGC != nil {
 			if errors.Is(errGC, planner.ErrInfeasible) {
 				return nil // skip queries with no feasible plan at all
@@ -96,7 +96,7 @@ func E3PlanQuality(cfg QualityConfig) (*Table, error) {
 		}
 		record(0, gc)
 		for i, p := range strategies[1:] {
-			pl, _, err := p.Plan(ctx, cond.node, cond.attrs)
+			pl, _, err := p.Plan(context.Background(), ctx, cond.node, cond.attrs)
 			if err != nil {
 				if errors.Is(err, planner.ErrInfeasible) {
 					continue
@@ -167,7 +167,7 @@ func E6Feasibility(cfg QualityConfig) (*Table, error) {
 		err := forEachRandomQuery(one, r, func(ctx *planner.Context, cond condQuery) error {
 			total++
 			for i, p := range strategies {
-				if _, _, err := p.Plan(ctx, cond.node, cond.attrs); err == nil {
+				if _, _, err := p.Plan(context.Background(), ctx, cond.node, cond.attrs); err == nil {
 					counts[i]++
 				} else if !errors.Is(err, planner.ErrInfeasible) {
 					return err
@@ -314,8 +314,8 @@ func ReferenceOptimalityCheck(cfg QualityConfig, maxAtoms int) (int, error) {
 		small.AtomCounts = []int{3}
 	}
 	err := forEachRandomQuery(small, r, func(ctx *planner.Context, cond condQuery) error {
-		pc, _, errC := gc.Plan(ctx, cond.node, cond.attrs)
-		pm, _, errM := gm.Plan(ctx, cond.node, cond.attrs)
+		pc, _, errC := gc.Plan(context.Background(), ctx, cond.node, cond.attrs)
+		pm, _, errM := gm.Plan(context.Background(), ctx, cond.node, cond.attrs)
 		if (errC == nil) != (errM == nil) {
 			// GenModular's bounded rewrite may miss plans GenCompact
 			// finds; the reverse would be a bug.

@@ -11,10 +11,13 @@
 package core
 
 import (
+	"context"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
@@ -58,13 +61,13 @@ func (p *Planner) Name() string {
 }
 
 // Plan implements planner.Planner.
-func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (p *Planner) Plan(ctx context.Context, pc *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{}
 	defer func() { m.Duration = time.Since(start) }()
-	c0, h0, _ := ctx.Checker.Stats()
+	c0, h0, _ := pc.Checker.Stats()
 	defer func() {
-		c1, h1, _ := ctx.Checker.Stats()
+		c1, h1, _ := pc.Checker.Stats()
 		m.CheckCalls = c1 - c0
 		m.CheckMisses = (c1 - c0) - (h1 - h0)
 	}()
@@ -85,7 +88,7 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 	}
 
 	gen := &ipg{
-		ctx:     ctx,
+		ctx:     pc,
 		metrics: m,
 		memo:    make(map[memoKey]*planner.Candidate),
 		pr1:     !p.DisablePR1,
@@ -94,9 +97,21 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 		maxKids: maxKids,
 	}
 
+	// plan.rewrite: the rewrite module — distributive closure of the
+	// target condition (commutativity lives in the closed description,
+	// §6.1).
+	_, rsp := obs.Start(ctx, "plan.rewrite")
+	cts := rewrite.Closure(cond, cfg)
+	rsp.SetInt("cts", int64(len(cts)))
+	rsp.End()
+
+	// plan.generate: the Integrated Plan Generator, which folds the mark
+	// (Check) and cost modules into the search; its check/cost effort is
+	// reported as span attributes.
+	gctx, gsp := obs.Start(ctx, "plan.generate")
 	var best *planner.Candidate
 	seen := make(map[string]bool)
-	for _, ct := range rewrite.Closure(cond, cfg) {
+	for _, ct := range cts {
 		canon := condition.Canonicalize(ct)
 		k := canon.Key()
 		if seen[k] {
@@ -104,14 +119,38 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 		}
 		seen[k] = true
 		m.CTs++
-		if cand := gen.run(canon, strset.New(attrs...)); cand.Better(best) {
+		_, csp := obs.Start(gctx, "plan.generate.ct")
+		cand := gen.run(canon, strset.New(attrs...))
+		if csp != nil {
+			csp.SetAttr("ct", canon.Key())
+			if cand != nil {
+				csp.SetAttr("cost", formatCost(cand.Cost))
+			} else {
+				csp.SetAttr("feasible", "false")
+			}
+			csp.End()
+		}
+		if cand.Better(best) {
 			best = cand
 		}
+	}
+	if gsp != nil {
+		c1, h1, _ := pc.Checker.Stats()
+		gsp.SetInt("check_calls", int64(c1-c0))
+		gsp.SetInt("check_memo_hits", int64(h1-h0))
+		gsp.SetInt("generator_calls", int64(m.GeneratorCalls))
+		gsp.SetInt("cost_evals", int64(m.PlansConsidered))
+		gsp.End()
 	}
 	if best == nil {
 		return nil, m, planner.ErrInfeasible
 	}
 	return best.Plan, m, nil
+}
+
+// formatCost renders a candidate cost for span attributes.
+func formatCost(c float64) string {
+	return strconv.FormatFloat(c, 'f', 2, 64)
 }
 
 // memoKey addresses one memoized sub-query: the condition's cached

@@ -75,7 +75,7 @@ func TestSection4Plan(t *testing.T) {
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
 	attrs := []string{"model", "year"}
 
-	p, metrics, err := New().Plan(ctx, cond, attrs)
+	p, metrics, err := New().Plan(context.Background(), ctx, cond, attrs)
 	if err != nil {
 		t.Fatalf("Plan: %v\nmetrics: %+v", err, metrics)
 	}
@@ -146,7 +146,7 @@ attributes :: s3 : {b, c, x}
 		Model:   cost.Model{K1: 50, K2: 1, Est: est}, // high k1: fewer queries win
 	}
 	cond := condition.MustParse(`a = 1 ^ b = 1 ^ c = 1`)
-	p, _, err := New().Plan(ctx, cond, []string{"x"})
+	p, _, err := New().Plan(context.Background(), ctx, cond, []string{"x"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ attributes :: s3 : {author, title, isbn, price}
 	}
 	cond := condition.MustParse(`(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"`)
 	attrs := []string{"title", "isbn"}
-	p, _, err := New().Plan(ctx, cond, attrs)
+	p, _, err := New().Plan(context.Background(), ctx, cond, attrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ attributes :: s3 : {author, title, isbn, price}
 func TestInfeasibleQuery(t *testing.T) {
 	_, ctx := cars41(t)
 	// year is not constrainable and download is not allowed.
-	_, _, err := New().Plan(ctx, condition.MustParse(`year = 1998`), []string{"model"})
+	_, _, err := New().Plan(context.Background(), ctx, condition.MustParse(`year = 1998`), []string{"model"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
@@ -283,7 +283,7 @@ func TestInfeasibleQuery(t *testing.T) {
 func TestPurePlanShortCircuit(t *testing.T) {
 	_, ctx := cars41(t)
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	p, metrics, err := New().Plan(ctx, cond, []string{"model"})
+	p, metrics, err := New().Plan(context.Background(), ctx, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ attributes :: dl : {a, b}
 		Model:   cost.Model{K1: 1, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"R": r})},
 	}
 	// b = 5 is only answerable by downloading.
-	p, _, err := New().Plan(ctx, condition.MustParse(`b = 5`), []string{"a"})
+	p, _, err := New().Plan(context.Background(), ctx, condition.MustParse(`b = 5`), []string{"a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestPruningAblationsAgreeOnCost(t *testing.T) {
 	for _, cs := range conds {
 		cond := condition.MustParse(cs)
 		attrs := []string{"model"}
-		base, _, err := New().Plan(ctx, cond, attrs)
+		base, _, err := New().Plan(context.Background(), ctx, cond, attrs)
 		if err != nil {
 			if errors.Is(err, planner.ErrInfeasible) {
 				continue
@@ -369,7 +369,7 @@ func TestPruningAblationsAgreeOnCost(t *testing.T) {
 			{DisablePR3: true},
 			{DisablePR1: true, DisablePR2: true, DisablePR3: true},
 		} {
-			p, _, err := abl.Plan(ctx, cond, attrs)
+			p, _, err := abl.Plan(context.Background(), ctx, cond, attrs)
 			if err != nil {
 				t.Fatalf("%s ablated: %v", cs, err)
 			}
@@ -385,11 +385,11 @@ func TestPruningAblationsAgreeOnCost(t *testing.T) {
 func TestAblationIncreasesWork(t *testing.T) {
 	_, ctx := cars41(t)
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
-	_, pruned, err := New().Plan(ctx, cond, []string{"model"})
+	_, pruned, err := New().Plan(context.Background(), ctx, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ablated, err := (&Planner{DisablePR1: true, DisablePR3: true}).Plan(ctx, cond, []string{"model"})
+	_, ablated, err := (&Planner{DisablePR1: true, DisablePR3: true}).Plan(context.Background(), ctx, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +416,7 @@ func TestFeasiblePlansValidate(t *testing.T) {
 		`(make = "BMW" ^ color = "red") _ (make = "Toyota" ^ price < 20000)`,
 	}
 	for _, cs := range conds {
-		p, _, err := New().Plan(ctx, condition.MustParse(cs), []string{"model"})
+		p, _, err := New().Plan(context.Background(), ctx, condition.MustParse(cs), []string{"model"})
 		if err != nil {
 			continue
 		}
@@ -469,7 +469,7 @@ attributes :: s2 : {acct, owner, balance}
 	}
 
 	// Owner lookup without a PIN: fine.
-	p, _, err := New().Plan(ctx, condition.MustParse(`acct = "A-1"`), []string{"owner"})
+	p, _, err := New().Plan(context.Background(), ctx, condition.MustParse(`acct = "A-1"`), []string{"owner"})
 	if err != nil {
 		t.Fatalf("owner lookup: %v", err)
 	}
@@ -479,12 +479,12 @@ attributes :: s2 : {acct, owner, balance}
 
 	// Balance without a PIN: no plan exists — splitting cannot conjure
 	// authorization.
-	if _, _, err := New().Plan(ctx, condition.MustParse(`acct = "A-1"`), []string{"balance"}); !errors.Is(err, planner.ErrInfeasible) {
+	if _, _, err := New().Plan(context.Background(), ctx, condition.MustParse(`acct = "A-1"`), []string{"balance"}); !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("balance without PIN: err = %v, want ErrInfeasible", err)
 	}
 
 	// Balance with the PIN in the condition: allowed.
-	p, _, err = New().Plan(ctx, condition.MustParse(`acct = "A-1" ^ pin = "0042"`), []string{"balance"})
+	p, _, err = New().Plan(context.Background(), ctx, condition.MustParse(`acct = "A-1" ^ pin = "0042"`), []string{"balance"})
 	if err != nil {
 		t.Fatalf("balance with PIN: %v", err)
 	}

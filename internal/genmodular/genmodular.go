@@ -8,9 +8,11 @@
 package genmodular
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/rewrite"
@@ -34,14 +36,16 @@ func New() *Planner {
 // Name implements planner.Planner.
 func (*Planner) Name() string { return "GenModular" }
 
-// Plan implements planner.Planner: rewrite → mark → generate → cost.
-func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+// Plan implements planner.Planner: rewrite → mark → generate → cost. The
+// mark module is folded into generate (EPG marks nodes lazily through the
+// memoizing checker); its Check effort is reported on the generate span.
+func (p *Planner) Plan(ctx context.Context, pc *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{}
 	defer func() { m.Duration = time.Since(start) }()
-	c0, h0, _ := ctx.Checker.Stats()
+	c0, h0, _ := pc.Checker.Stats()
 	defer func() {
-		c1, h1, _ := ctx.Checker.Stats()
+		c1, h1, _ := pc.Checker.Stats()
 		m.CheckCalls = c1 - c0
 		m.CheckMisses = (c1 - c0) - (h1 - h0)
 	}()
@@ -50,20 +54,35 @@ func (p *Planner) Plan(ctx *planner.Context, cond condition.Node, attrs []string
 	if cfg.Rules == (rewrite.Rules{}) {
 		cfg.Rules = rewrite.AllRules
 	}
+	_, rsp := obs.Start(ctx, "plan.rewrite")
 	cts := rewrite.Closure(cond, cfg)
 	m.CTs = len(cts)
+	rsp.SetInt("cts", int64(len(cts)))
+	rsp.End()
 
-	gen := &epg{ctx: ctx, metrics: m, memo: make(map[string]plan.Plan)}
+	_, gsp := obs.Start(ctx, "plan.generate")
+	gen := &epg{ctx: pc, metrics: m, memo: make(map[string]plan.Plan)}
 	var alternatives []plan.Plan
 	for _, ct := range cts {
 		if alt := gen.run(ct, strset.New(attrs...), attrs); alt != nil {
 			alternatives = append(alternatives, alt)
 		}
 	}
+	if gsp != nil {
+		c1, h1, _ := pc.Checker.Stats()
+		gsp.SetInt("check_calls", int64(c1-c0))
+		gsp.SetInt("check_memo_hits", int64(h1-h0))
+		gsp.SetInt("generator_calls", int64(m.GeneratorCalls))
+		gsp.SetInt("alternatives", int64(len(alternatives)))
+		gsp.End()
+	}
 	if len(alternatives) == 0 {
 		return nil, m, planner.ErrInfeasible
 	}
-	best, err := ctx.Model.Resolve(&plan.Choice{Alternatives: alternatives})
+	_, csp := obs.Start(ctx, "plan.cost")
+	best, err := pc.Model.Resolve(&plan.Choice{Alternatives: alternatives})
+	csp.SetInt("plans_considered", int64(m.PlansConsidered))
+	csp.EndErr(err)
 	if err != nil {
 		return nil, m, err
 	}

@@ -1,6 +1,7 @@
 package genmodular
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -90,7 +91,7 @@ func TestMarkModule(t *testing.T) {
 func TestEPGFindsSection4Plan(t *testing.T) {
 	ctx, r, _ := fixture(t)
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
-	p, metrics, err := New().Plan(ctx, cond, []string{"model", "year"})
+	p, metrics, err := New().Plan(context.Background(), ctx, cond, []string{"model", "year"})
 	if err != nil {
 		t.Fatalf("%v (metrics %+v)", err, metrics)
 	}
@@ -116,8 +117,8 @@ func TestGenModularMatchesGenCompact(t *testing.T) {
 	gc := core.New()
 	for _, cs := range conds {
 		cond := condition.MustParse(cs)
-		pm, _, errM := gm.Plan(ctx, cond, []string{"model"})
-		pc, _, errC := gc.Plan(ctx, cond, []string{"model"})
+		pm, _, errM := gm.Plan(context.Background(), ctx, cond, []string{"model"})
+		pc, _, errC := gc.Plan(context.Background(), ctx, cond, []string{"model"})
 		if (errM == nil) != (errC == nil) {
 			t.Errorf("%s: feasibility disagreement: modular=%v compact=%v", cs, errM, errC)
 			continue
@@ -140,11 +141,11 @@ func TestGenCompactCheaperToRun(t *testing.T) {
 	ctx, _, _ := fixture(t)
 	cond := condition.MustParse(`(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")`)
 	gm := &Planner{Rewrite: rewrite.Config{Rules: rewrite.AllRules, MaxCTs: 2000, MaxAtoms: 8}}
-	_, mm, err := gm.Plan(ctx, cond, []string{"model"})
+	_, mm, err := gm.Plan(context.Background(), ctx, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mc, err := core.New().Plan(ctx, cond, []string{"model"})
+	_, mc, err := core.New().Plan(context.Background(), ctx, cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestGenCompactCheaperToRun(t *testing.T) {
 
 func TestEPGInfeasible(t *testing.T) {
 	ctx, _, _ := fixture(t)
-	_, _, err := New().Plan(ctx, condition.MustParse(`year = 1998`), []string{"model"})
+	_, _, err := New().Plan(context.Background(), ctx, condition.MustParse(`year = 1998`), []string{"model"})
 	if !errors.Is(err, planner.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}

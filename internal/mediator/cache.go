@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -41,6 +42,10 @@ type planCache struct {
 	entries  map[string]*list.Element // element value: *cacheEntry
 	inflight map[string]*flight
 	stats    CacheStats
+
+	// Registry mirrors of the counters above (no-ops until setObs).
+	cHits, cMisses, cEvictions, cCoalesced *obs.Counter
+	cSize                                  *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -72,15 +77,28 @@ func cacheKey(plannerName, source string, cond condition.Node, attrs []string) s
 	return plannerName + "\x00" + source + "\x00" + condition.NormKey(cond) + "\x00" + strings.Join(attrs, ",")
 }
 
+// setObs mirrors the cache's counters into reg (nil = keep no-ops).
+func (c *planCache) setObs(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = reg.Counter("csqp_plan_cache_hits_total")
+	c.cMisses = reg.Counter("csqp_plan_cache_misses_total")
+	c.cEvictions = reg.Counter("csqp_plan_cache_evictions_total")
+	c.cCoalesced = reg.Counter("csqp_plan_cache_coalesced_waits_total")
+	c.cSize = reg.Gauge("csqp_plan_cache_entries")
+}
+
 func (c *planCache) get(key string) (plan.Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
+		c.cHits.Inc()
 		return el.Value.(*cacheEntry).p, true
 	}
 	c.stats.Misses++
+	c.cMisses.Inc()
 	return nil, false
 }
 
@@ -92,6 +110,7 @@ func (c *planCache) begin(key string) (*flight, bool) {
 	defer c.mu.Unlock()
 	if f, ok := c.inflight[key]; ok {
 		c.stats.CoalescedWaits++
+		c.cCoalesced.Inc()
 		return f, false
 	}
 	f := &flight{done: make(chan struct{})}
@@ -127,7 +146,9 @@ func (c *planCache) insert(key string, p plan.Plan) {
 		c.ll.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.stats.Evictions++
+		c.cEvictions.Inc()
 	}
+	c.cSize.Set(float64(len(c.entries)))
 }
 
 // snapshot returns the current counters.

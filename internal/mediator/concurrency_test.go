@@ -23,9 +23,9 @@ type countingPlanner struct {
 
 func (p *countingPlanner) Name() string { return p.inner.Name() }
 
-func (p *countingPlanner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (p *countingPlanner) Plan(ctx context.Context, pc *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	p.calls.Add(1)
-	return p.inner.Plan(ctx, cond, attrs)
+	return p.inner.Plan(ctx, pc, cond, attrs)
 }
 
 // TestConcurrentAnswersCoalesce hammers one shared mediator (cache
@@ -127,7 +127,7 @@ func TestPlanCacheBounded(t *testing.T) {
 		`make = "BMW" ^ price < 60000`,
 	}
 	for _, c := range conds {
-		if _, _, err := med.Plan(cp, "cars", condition.MustParse(c), []string{"model"}); err != nil {
+		if _, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(c), []string{"model"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,14 +138,14 @@ func TestPlanCacheBounded(t *testing.T) {
 		t.Errorf("evictions = %d, want 1", st.Evictions)
 	}
 	// The most recent entry still hits...
-	if _, _, err := med.Plan(cp, "cars", condition.MustParse(conds[2]), []string{"model"}); err != nil {
+	if _, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(conds[2]), []string{"model"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := cp.calls.Load(); got != 3 {
 		t.Errorf("planner ran %d times, want 3 (recent entry should hit)", got)
 	}
 	// ...while the evicted one must be planned again.
-	if _, _, err := med.Plan(cp, "cars", condition.MustParse(conds[0]), []string{"model"}); err != nil {
+	if _, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(conds[0]), []string{"model"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := cp.calls.Load(); got != 4 {
@@ -163,7 +163,7 @@ func TestPlanErrorsNotCached(t *testing.T) {
 	// Bare color is not supported by any form of the cars grammar.
 	infeasible := `color = "red"`
 	for i := 0; i < 2; i++ {
-		_, _, err := med.Plan(cp, "cars", condition.MustParse(infeasible), []string{"model"})
+		_, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(infeasible), []string{"model"})
 		if !errors.Is(err, planner.ErrInfeasible) {
 			t.Fatalf("call %d: err = %v, want ErrInfeasible", i, err)
 		}

@@ -83,7 +83,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 
 	// Left side: one capability-sensitive selection query, fail-closed
 	// regardless of AllowPartial.
-	leftPlan, _, err := m.Plan(p, spec.Left, spec.LeftCond, leftAttrs.Sorted())
+	leftPlan, _, err := m.Plan(ctx, p, spec.Left, spec.LeftCond, leftAttrs.Sorted())
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
@@ -114,7 +114,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 	semiCost := 0.0
 	semiOK := len(values) <= spec.MaxBindings
 	if semiOK {
-		semiPlan, _, err = m.Plan(p, spec.Right, semijoinCond(spec, values), rightList)
+		semiPlan, _, err = m.Plan(ctx, p, spec.Right, semijoinCond(spec, values), rightList)
 		if err != nil {
 			semiOK = false
 		} else {
@@ -122,7 +122,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		}
 	}
 	// Candidate 2: whole-side fetch.
-	wholePlan, _, wholeErr := m.Plan(p, spec.Right, spec.RightCond, rightList)
+	wholePlan, _, wholeErr := m.Plan(ctx, p, spec.Right, spec.RightCond, rightList)
 	wholeOK := wholeErr == nil
 	wholeCost := 0.0
 	if wholeOK {

@@ -10,9 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/condition"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/relation"
@@ -32,6 +34,9 @@ type Mediator struct {
 	sources map[string]*registered
 	model   cost.Model
 	cache   *planCache
+	obsReg  *obs.Registry
+	metrics mediatorMetrics
+	log     *slog.Logger
 	// ClosureLimit caps commutative-closure expansion at registration
 	// (0 = ssdl.DefaultClosureLimit).
 	ClosureLimit int
@@ -50,10 +55,45 @@ type Mediator struct {
 	CacheSize int
 }
 
+// mediatorMetrics holds the mediator's registry instruments, resolved
+// once in SetObs. The zero value (nil instruments) is a valid no-op.
+type mediatorMetrics struct {
+	checkCalls     *obs.Counter
+	checkMisses    *obs.Counter
+	plans          *obs.Counter
+	planSeconds    *obs.Histogram
+	partialAnswers *obs.Counter
+}
+
 // New builds a mediator with the given cost model.
 func New(model cost.Model) *Mediator {
-	return &Mediator{sources: make(map[string]*registered), model: model}
+	return &Mediator{sources: make(map[string]*registered), model: model, log: obs.NopLogger()}
 }
+
+// SetObs points the mediator's telemetry at reg: plan-cache activity,
+// checker memo hit rates, planning latency and partial-answer counts are
+// recorded there. Call it before EnableCache so the cache's counters are
+// wired too. A nil registry (the default) keeps every instrument a no-op.
+func (m *Mediator) SetObs(reg *obs.Registry) {
+	m.obsReg = reg
+	m.metrics = mediatorMetrics{
+		checkCalls:     reg.Counter("csqp_check_calls_total"),
+		checkMisses:    reg.Counter("csqp_check_memo_misses_total"),
+		plans:          reg.Counter("csqp_plans_total"),
+		planSeconds:    reg.Histogram("csqp_planning_seconds", nil),
+		partialAnswers: reg.Counter("csqp_partial_answers_total"),
+	}
+	if m.cache != nil {
+		m.cache.setObs(reg)
+	}
+}
+
+// SetLogger installs the mediator's structured event stream (partial-
+// answer degradations, swallowed errors). A nil logger silences it.
+func (m *Mediator) SetLogger(l *slog.Logger) { m.log = obs.LoggerOr(l) }
+
+// logger guards against mediators built as struct literals (tests).
+func (m *Mediator) logger() *slog.Logger { return obs.LoggerOr(m.log) }
 
 // Register adds a source: its querier and SSDL description. The
 // description is rewritten to its commutative closure once, here, per
@@ -103,7 +143,10 @@ func (m *Mediator) Model() cost.Model { return m.model }
 // with commutative/associative variants of a condition sharing an entry.
 // The cache is a bounded LRU (capacity Mediator.CacheSize), and concurrent
 // Plan calls for the same missing key coalesce onto a single planner run.
-func (m *Mediator) EnableCache() { m.cache = newPlanCache(m.CacheSize) }
+func (m *Mediator) EnableCache() {
+	m.cache = newPlanCache(m.CacheSize)
+	m.cache.setObs(m.obsReg)
+}
 
 // CacheStats reports the plan cache's counters (zeros when the cache is
 // disabled).
@@ -118,41 +161,61 @@ func (m *Mediator) CacheStats() CacheStats {
 // SP(cond, attrs, source) with the given strategy, fixed for execution
 // against the original source description. With the cache enabled,
 // repeated (semantically equal) queries return the memoized plan and a
-// zero Metrics, and N concurrent identical queries plan once: one caller
-// runs the planner while the others wait for its result.
-func (m *Mediator) Plan(p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+// Metrics with Cached set, and N concurrent identical queries plan once:
+// one caller runs the planner while the others wait for its result
+// (Metrics.Coalesced on the waiters). The context carries tracing only.
+func (m *Mediator) Plan(ctx context.Context, p planner.Planner, source string, cond condition.Node, attrs []string) (pl plan.Plan, met *planner.Metrics, err error) {
+	ctx, sp := obs.Start(ctx, "mediator.plan")
+	if sp != nil {
+		sp.SetAttr("strategy", p.Name())
+		sp.SetAttr("source", source)
+		defer func() {
+			if met != nil && met.Cached {
+				sp.SetAttr("cached", "true")
+			}
+			sp.EndErr(err)
+		}()
+	}
 	if m.cache == nil {
-		return m.planOnce(p, source, cond, attrs)
+		return m.planOnce(ctx, p, source, cond, attrs)
 	}
 	key := cacheKey(p.Name(), source, cond, attrs)
 	if cached, ok := m.cache.get(key); ok {
-		return cached, &planner.Metrics{}, nil
+		return cached, &planner.Metrics{Cached: true}, nil
 	}
 	f, leader := m.cache.begin(key)
 	if !leader {
 		<-f.done
 		if f.err != nil {
-			return nil, &planner.Metrics{}, f.err
+			return nil, &planner.Metrics{Cached: true, Coalesced: true}, f.err
 		}
-		return f.p, &planner.Metrics{}, nil
+		return f.p, &planner.Metrics{Cached: true, Coalesced: true}, nil
 	}
-	fixed, metrics, err := m.planOnce(p, source, cond, attrs)
+	fixed, metrics, err := m.planOnce(ctx, p, source, cond, attrs)
 	m.cache.finish(key, f, fixed, err)
 	return fixed, metrics, err
 }
 
 // planOnce runs the planner and fixes the chosen plan, bypassing the
 // cache.
-func (m *Mediator) planOnce(p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
-	ctx, err := m.Context(source)
+func (m *Mediator) planOnce(ctx context.Context, p planner.Planner, source string, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+	pc, err := m.Context(source)
 	if err != nil {
 		return nil, nil, err
 	}
-	pl, metrics, err := p.Plan(ctx, cond, attrs)
+	pl, metrics, err := p.Plan(ctx, pc, cond, attrs)
+	if metrics != nil {
+		m.metrics.plans.Inc()
+		m.metrics.planSeconds.Observe(metrics.Duration.Seconds())
+		m.metrics.checkCalls.Add(int64(metrics.CheckCalls))
+		m.metrics.checkMisses.Add(int64(metrics.CheckMisses))
+	}
 	if err != nil {
 		return nil, metrics, err
 	}
+	_, fsp := obs.Start(ctx, "plan.fix")
 	fixed, err := m.FixPlan(pl)
+	fsp.EndErr(err)
 	if err != nil {
 		return nil, metrics, err
 	}
@@ -165,11 +228,14 @@ func (m *Mediator) planOnce(p planner.Planner, source string, cond condition.Nod
 // together with the *plan.PartialError (use errors.As to detect it); all
 // other errors come with a nil Result.
 func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string, cond condition.Node, attrs []string) (*Result, error) {
-	fixed, metrics, err := m.Plan(p, source, cond, attrs)
+	ctx, sp := obs.Start(ctx, "mediator.answer")
+	fixed, metrics, err := m.Plan(ctx, p, source, cond, attrs)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
 	rel, err := m.execute(ctx, fixed)
+	sp.EndErr(err)
 	if err != nil && rel == nil {
 		return nil, err
 	}
@@ -177,12 +243,24 @@ func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string,
 }
 
 // execute runs a fixed plan under the mediator's execution settings. For
-// a partial answer it returns both a relation and the *plan.PartialError.
+// a partial answer it returns both a relation and the *plan.PartialError,
+// records the degradation in the registry and emits a structured event.
 func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, error) {
+	ctx, sp := obs.Start(ctx, "plan.execute")
 	rel, err := plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial})
+	sp.EndErr(err)
 	if err != nil {
 		var pe *plan.PartialError
 		if rel != nil && errors.As(err, &pe) {
+			m.metrics.partialAnswers.Inc()
+			m.logger().Warn("partial answer: union degraded",
+				"dropped_sources", pe.DroppedSources(),
+				"dropped_branches", len(pe.Dropped),
+				"surviving_rows", rel.Len(),
+				"err", err)
+			if sp != nil {
+				sp.SetAttr("partial", "true")
+			}
 			return rel, err
 		}
 		return nil, err

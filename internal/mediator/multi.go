@@ -34,7 +34,7 @@ func (m *Mediator) AnswerUnion(ctx context.Context, p planner.Planner, sources [
 	plans := make([]plan.Plan, len(sources))
 	var metrics planner.Metrics
 	for i, src := range sources {
-		pl, met, err := m.Plan(p, src, cond, attrs)
+		pl, met, err := m.Plan(ctx, p, src, cond, attrs)
 		if err != nil {
 			return nil, fmt.Errorf("mediator: partition %s: %w", src, err)
 		}
@@ -72,7 +72,7 @@ func (m *Mediator) AnswerCheapest(ctx context.Context, p planner.Planner, source
 	bestSource := ""
 	bestCost := 0.0
 	for _, src := range sources {
-		pl, met, err := m.Plan(p, src, cond, attrs)
+		pl, met, err := m.Plan(ctx, p, src, cond, attrs)
 		if err != nil {
 			continue
 		}

@@ -187,7 +187,7 @@ func TestPlanCache(t *testing.T) {
 	med.EnableCache()
 	gc := core.New()
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	p1, m1, err := med.Plan(gc, "cars", cond, []string{"model"})
+	p1, m1, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestPlanCache(t *testing.T) {
 		t.Error("first plan should have done real work")
 	}
 	// Same query: hit.
-	p2, m2, err := med.Plan(gc, "cars", cond, []string{"model"})
+	p2, m2, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestPlanCache(t *testing.T) {
 	}
 	// Commutative variant: same entry (NormKey).
 	rev := condition.MustParse(`price < 40000 ^ make = "BMW"`)
-	p3, _, err := med.Plan(gc, "cars", rev, []string{"model"})
+	p3, _, err := med.Plan(context.Background(), gc, "cars", rev, []string{"model"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestPlanCache(t *testing.T) {
 		t.Errorf("cache stats = %d/%d, want 2 hits, 1 miss", st.Hits, st.Misses)
 	}
 	// Different attrs: miss.
-	if _, _, err := med.Plan(gc, "cars", cond, []string{"model", "color"}); err != nil {
+	if _, _, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model", "color"}); err != nil {
 		t.Fatal(err)
 	}
 	if st := med.CacheStats(); st.Hits != 2 || st.Misses != 2 {
@@ -242,7 +242,7 @@ func TestCacheDisabledByDefault(t *testing.T) {
 	}
 	gc := core.New()
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
-	if _, _, err := med.Plan(gc, "cars", cond, []string{"model"}); err != nil {
+	if _, _, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model"}); err != nil {
 		t.Fatal(err)
 	}
 	if st := med.CacheStats(); st != (CacheStats{}) {

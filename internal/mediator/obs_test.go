@@ -1,0 +1,135 @@
+package mediator
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// counterValue reads one counter out of a registry snapshot (0 if absent).
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name && len(c.Labels) == 0 {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func TestPlanCacheHitSetsCachedAndRegistry(t *testing.T) {
+	med, _ := carsFixture(t)
+	reg := obs.NewRegistry()
+	med.SetObs(reg)
+	med.EnableCache()
+	gc := core.New()
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+
+	_, m1, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cached || m1.Coalesced {
+		t.Fatalf("first plan reported Cached=%v Coalesced=%v, want false/false", m1.Cached, m1.Coalesced)
+	}
+	// Semantically equal variant: same cache entry via the normalized key.
+	_, m2, err := med.Plan(context.Background(), gc, "cars", condition.MustParse(`price < 40000 ^ make = "BMW"`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Cached || m2.Coalesced {
+		t.Fatalf("second plan reported Cached=%v Coalesced=%v, want true/false", m2.Cached, m2.Coalesced)
+	}
+
+	if got := counterValue(t, reg, "csqp_plan_cache_hits_total"); got != 1 {
+		t.Errorf("cache hits counter = %g, want 1", got)
+	}
+	if got := counterValue(t, reg, "csqp_plan_cache_misses_total"); got != 1 {
+		t.Errorf("cache misses counter = %g, want 1", got)
+	}
+	if got := counterValue(t, reg, "csqp_plans_total"); got != 1 {
+		t.Errorf("plans counter = %g, want 1 (the hit must not re-plan)", got)
+	}
+	if got := counterValue(t, reg, "csqp_check_calls_total"); got <= 0 {
+		t.Errorf("check-calls counter = %g, want > 0", got)
+	}
+	// The registry view must agree with the legacy CacheStats snapshot.
+	st := med.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("CacheStats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestPartialAnswerEmitsEventAndCounter(t *testing.T) {
+	med, _ := flakyPartitionFixture(t)
+	med.AllowPartial = true
+	med.Workers = 4
+	reg := obs.NewRegistry()
+	med.SetObs(reg)
+	var buf bytes.Buffer
+	med.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	cond := condition.MustParse(`make = "BMW"`)
+	res, err := med.AnswerUnion(context.Background(), core.New(), []string{"p1", "p2", "p3"}, cond, []string{"model"})
+	if res == nil {
+		t.Fatalf("want partial result, got err = %v", err)
+	}
+	var pe *plan.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *plan.PartialError", err)
+	}
+	if res.Relation.Len() != 2 {
+		t.Errorf("surviving rows = %d, want 2", res.Relation.Len())
+	}
+
+	if got := counterValue(t, reg, "csqp_partial_answers_total"); got != 1 {
+		t.Errorf("partial-answers counter = %g, want 1", got)
+	}
+	out := buf.String()
+	for _, want := range []string{"partial answer", "dropped_sources", "p2", "surviving_rows=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("structured event missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnswerTraceCoversLifecycle(t *testing.T) {
+	med, _ := carsFixture(t)
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	if _, err := med.Answer(ctx, core.New(), "cars", cond, []string{"model"}); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]*obs.Span{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"mediator.answer", "mediator.plan", "plan.rewrite", "plan.generate", "plan.fix", "plan.execute", "exec.source"} {
+		if byName[name] == nil {
+			t.Fatalf("trace missing span %q:\n%s", name, tr.Tree())
+		}
+	}
+	root := byName["mediator.answer"]
+	if root.Parent != 0 {
+		t.Errorf("mediator.answer should be the root span")
+	}
+	if byName["mediator.plan"].Parent != root.ID || byName["plan.execute"].Parent != root.ID {
+		t.Errorf("plan/execute spans not children of the answer span:\n%s", tr.Tree())
+	}
+	if byName["plan.rewrite"].Parent != byName["mediator.plan"].ID {
+		t.Errorf("plan.rewrite not nested under mediator.plan:\n%s", tr.Tree())
+	}
+	if byName["exec.source"].Parent != byName["plan.execute"].ID {
+		t.Errorf("exec.source not nested under plan.execute:\n%s", tr.Tree())
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	lastType := make(map[string]bool)
+	typeLine := func(name, kind string) {
+		if !lastType[name] {
+			lastType[name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(&b, "%s%s %s\n", c.Name, labelString(c.Labels), formatFloat(c.Value))
+	}
+	for _, g := range s.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, labelString(g.Labels), formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		typeLine(h.Name, "histogram")
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, labelStringWith(h.Labels, "le", le), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, labelString(h.Labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, labelString(h.Labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...}, or "" for no labels.
+func labelString(labels []Attr) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return labelStringWith(labels, "", "")
+}
+
+// labelStringWith renders labels plus one extra pair (skipped when the
+// extra key is empty).
+func labelStringWith(labels []Attr, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	put := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		put(l.Key, l.Val)
+	}
+	if extraKey != "" {
+		put(extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// NewHTTPHandler serves the registry over HTTP:
+//
+//	GET /metrics       Prometheus text format
+//	GET /metrics.json  JSON snapshot
+//
+// Mount it on a side port (csqp -metrics-addr) or alongside an existing
+// mux.
+func NewHTTPHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "csqp telemetry\n  /metrics       Prometheus text format\n  /metrics.json  JSON snapshot")
+	})
+	return mux
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("csqp_plan_cache_hits_total").Add(3)
+	r.Counter("csqp_source_attempts_total", "source", "books").Add(7)
+	r.Gauge("csqp_breaker_state", "source", "books").Set(2)
+	h := r.Histogram("csqp_source_query_seconds", []float64{0.01, 0.1}, "source", "books")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, exportFixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE csqp_plan_cache_hits_total counter",
+		"csqp_plan_cache_hits_total 3",
+		`csqp_source_attempts_total{source="books"} 7`,
+		"# TYPE csqp_breaker_state gauge",
+		`csqp_breaker_state{source="books"} 2`,
+		"# TYPE csqp_source_query_seconds histogram",
+		`csqp_source_query_seconds_bucket{source="books",le="0.01"} 1`,
+		`csqp_source_query_seconds_bucket{source="books",le="0.1"} 2`,
+		`csqp_source_query_seconds_bucket{source="books",le="+Inf"} 3`,
+		`csqp_source_query_seconds_count{source="books"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per metric name, even with multiple label sets.
+	if got := strings.Count(out, "# TYPE csqp_source_query_seconds "); got != 1 {
+		t.Errorf("got %d TYPE lines for the histogram, want 1", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "cond", "title contains \"dreams\"\n").Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{cond="title contains \"dreams\"\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong:\n%s\nwant substring %s", b.String(), want)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	h := NewHTTPHandler(exportFixture())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "csqp_plan_cache_hits_total 3") {
+		t.Fatalf("/metrics body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics.json status %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/nope status %d, want 404", rec.Code)
+	}
+}

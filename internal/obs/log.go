@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// discardHandler drops every record. (slog.DiscardHandler only exists
+// from Go 1.24; this keeps the module buildable on its declared Go
+// version.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards every record. Components take
+// a *slog.Logger for their event stream (swallowed errors, degradations,
+// breaker transitions) and default to this when given nil, so logging is
+// wired unconditionally and silenced by default.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// LoggerOr returns l, or NopLogger when l is nil.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

@@ -1,0 +1,14 @@
+// Package obs is the repository's unified telemetry layer: lightweight
+// span tracing for one query's path through the mediator (rewrite →
+// check/mark → generate → cost → fix → execute, down to per-attempt
+// source spans), a concurrent metrics registry (counters, gauges,
+// fixed-bucket latency histograms) absorbing the scattered per-component
+// stats behind one snapshot API, export surfaces (Prometheus text format
+// and a JSON snapshot over HTTP), and a structured log/slog event stream
+// for swallowed errors, degradations and circuit-breaker transitions.
+//
+// Everything is stdlib-only and designed around a no-op fast path: with
+// no Tracer in the context, Start returns immediately with a nil *Span
+// whose methods are all nil-safe no-ops, costing zero allocations on the
+// planning hot path (see BenchmarkSpanDisabled).
+package obs

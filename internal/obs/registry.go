@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrent metrics registry: counters, gauges and
+// fixed-bucket histograms, identified by name plus optional label pairs.
+// Components resolve their instruments once at construction and then
+// update them lock-free (atomic operations only); Snapshot serializes a
+// consistent-enough view for export.
+//
+// All methods are nil-safe: instruments resolved from a nil *Registry
+// are shared no-op dummies, so telemetry can be wired unconditionally
+// and disabled by simply not providing a registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name   string
+	labels []Attr
+	v      atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (breaker state, cache size).
+type Gauge struct {
+	name   string
+	labels []Attr
+	v      atomic.Int64 // float64 bits
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(int64(math.Float64bits(v)))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(uint64(g.v.Load()))
+}
+
+// DefaultLatencyBuckets are the fixed histogram bounds used for query
+// latencies, in seconds: 100µs up to 10s.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution. Observations are counted into
+// the first bucket whose upper bound is >= the value; values beyond the
+// last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	name    string
+	labels  []Attr
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last = +Inf
+	count   atomic.Int64
+	sum     atomic.Int64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := int64(math.Float64bits(math.Float64frombits(uint64(old)) + v))
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// key builds the registry map key for name plus label pairs.
+func key(name string, labels []Attr) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Val)
+	}
+	return b.String()
+}
+
+// pairs converts a variadic k1, v1, k2, v2 list into attrs (odd trailing
+// keys get an empty value).
+func pairs(kv []string) []Attr {
+	var out []Attr
+	for i := 0; i < len(kv); i += 2 {
+		a := Attr{Key: kv[i]}
+		if i+1 < len(kv) {
+			a.Val = kv[i+1]
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Counter returns (creating if needed) the counter for name and label
+// pairs, e.g. r.Counter("csqp_source_attempts_total", "source", "books").
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := pairs(labelPairs)
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[k]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: labels}
+	r.counters[k] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := pairs(labelPairs)
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[k]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: labels}
+	r.gauges[k] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name and label
+// pairs. A nil bounds slice uses DefaultLatencyBuckets. Bounds must be
+// sorted ascending; they are fixed at first creation.
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	labels := pairs(labelPairs)
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[k]; ok {
+		return h
+	}
+	h := &Histogram{name: name, labels: labels, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.hists[k] = h
+	return h
+}
+
+// MetricValue is one exported counter or gauge sample.
+type MetricValue struct {
+	Name   string  `json:"name"`
+	Labels []Attr  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramValue is one exported histogram.
+type HistogramValue struct {
+	Name    string    `json:"name"`
+	Labels  []Attr    `json:"labels,omitempty"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // len(Bounds)+1; last is +Inf
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time view of every instrument in a registry.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values, sorted by name and
+// labels for stable output. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, MetricValue{Name: c.name, Labels: c.labels, Value: float64(c.v.Load())})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hv := HistogramValue{
+			Name:   h.name,
+			Labels: h.labels,
+			Bounds: h.bounds,
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(uint64(h.sum.Load())),
+		}
+		hv.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			hv.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return metricLess(s.Counters[i], s.Counters[j]) })
+	sort.Slice(s.Gauges, func(i, j int) bool { return metricLess(s.Gauges[i], s.Gauges[j]) })
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		a, b := s.Histograms[i], s.Histograms[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelString(a.Labels) < labelString(b.Labels)
+	})
+	return s
+}
+
+func metricLess(a, b MetricValue) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return labelString(a.Labels) < labelString(b.Labels)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_seconds", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry should hand out nil instruments")
+	}
+	// All updates must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3.2)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments should read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestCounterIdentityAndValue(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("csqp_x_total", "source", "books")
+	b := r.Counter("csqp_x_total", "source", "books")
+	other := r.Counter("csqp_x_total", "source", "cars")
+	if a != b {
+		t.Fatal("same name+labels must resolve to the same counter")
+	}
+	if a == other {
+		t.Fatal("different labels must resolve to different counters")
+	}
+	a.Inc()
+	a.Add(4)
+	a.Add(-10) // ignored: counters are monotone
+	if got := a.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if other.Value() != 0 {
+		t.Fatal("label sibling leaked counts")
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("csqp_breaker_state", "source", "books")
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+	g.Set(0)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %g, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	// 0.001 and 0.01 land in le=0.01 (upper bound inclusive), 0.05 in
+	// le=0.1, 0.5 in le=1, 5 in +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if hv.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (buckets %v)", i, hv.Buckets[i], n, hv.Buckets)
+		}
+	}
+	if hv.Count != 5 {
+		t.Fatalf("count = %d, want 5", hv.Count)
+	}
+	if hv.Sum < 5.56 || hv.Sum > 5.57 {
+		t.Fatalf("sum = %g, want ~5.561", hv.Sum)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Inc()
+	r.Counter("a_total", "source", "z").Inc()
+	r.Counter("a_total", "source", "a").Inc()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 3 {
+		t.Fatalf("got %d counters, want 3", len(snap.Counters))
+	}
+	if snap.Counters[0].Name != "a_total" || snap.Counters[0].Labels[0].Val != "a" {
+		t.Fatalf("snapshot not sorted: %+v", snap.Counters)
+	}
+	if snap.Counters[2].Name != "b_total" {
+		t.Fatalf("snapshot not sorted by name: %+v", snap.Counters)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total")
+			h := r.Histogram("lat_seconds", nil)
+			gauge := r.Gauge("state")
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				h.Observe(0.001 * float64(i%7))
+				gauge.Set(float64(i % 3))
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Histogram("lat_seconds", nil).Count(); got != 8*200 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*200)
+	}
+}

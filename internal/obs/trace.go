@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSpanLimit bounds a Tracer's span buffer when NewTracer is given
+// a non-positive limit. Spans beyond the bound are dropped (and counted)
+// rather than growing memory without bound on pathological plans.
+const DefaultSpanLimit = 4096
+
+// Tracer records the spans of one traced operation (typically one target
+// query) into a bounded buffer. A Tracer travels in a context.Context via
+// WithTracer; code under that context opens spans with Start. All methods
+// are safe for concurrent use — parallel plan branches record spans from
+// their own goroutines.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []*Span
+	limit   int
+	nextID  int
+	dropped int
+}
+
+// NewTracer returns a tracer buffering at most limit spans
+// (DefaultSpanLimit when limit <= 0).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Span is one timed region of a traced operation. The zero of *Span is
+// nil, and every method is nil-safe, so untraced code paths cost nothing.
+type Span struct {
+	tr *Tracer
+
+	// ID and Parent link the span into the trace tree (Parent 0 = root).
+	ID, Parent int
+	// Name identifies the region, e.g. "plan.rewrite" or "exec.source".
+	Name string
+	// Begin is the span's start time; Duration is set by End.
+	Begin    time.Time
+	Duration time.Duration
+	// Attrs are key=value annotations recorded via SetAttr/SetInt.
+	Attrs []Attr
+	// Err is the error the region ended with, if any ("" = none).
+	Err string
+
+	ended bool
+}
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key, Val string
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context carrying t; Start calls under it record
+// spans into t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// Start opens a span named name under ctx's current span. With no tracer
+// in ctx it returns (ctx, nil) without allocating — the disabled fast
+// path. The caller must End the returned span (nil-safe).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := 0
+	if ps, _ := ctx.Value(spanKey{}).(*Span); ps != nil {
+		parent = ps.ID
+	}
+	s := t.newSpan(name, parent)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (t *Tracer) newSpan(name string, parent int) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return nil
+	}
+	t.nextID++
+	s := &Span{tr: t, ID: t.nextID, Parent: parent, Name: name, Begin: time.Now()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// SetAttr annotates the span. No-op on a nil span.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+	s.tr.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value. No-op on a nil span.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(val, 10))
+}
+
+// SetErr records the error the region is ending with (nil err and nil
+// span are both no-ops).
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Err = err.Error()
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Repeated End calls keep the
+// first duration; End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.Duration = time.Since(s.Begin)
+	}
+	s.tr.mu.Unlock()
+}
+
+// EndErr records err (if non-nil) and closes the span.
+func (s *Span) EndErr(err error) {
+	s.SetErr(err)
+	s.End()
+}
+
+// Spans returns a snapshot of the recorded spans in creation order.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans the buffer bound discarded.
+func (t *Tracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all recorded spans, keeping the tracer usable for the
+// next operation.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+}
+
+// Tree renders the span tree, one span per line, children indented under
+// their parents:
+//
+//	mediator.answer                              1.832ms
+//	  mediator.plan                              1.573ms  source=books strategy=GenCompact
+//	    plan.rewrite                              41µs    cts=3
+//	    plan.generate                            1.391ms  check_calls=57 plans_considered=21
+//	    plan.fix                                   12µs
+//	  plan.execute                                231µs
+//	    exec.source                               229µs   source=books rows=12
+//	      source.attempt                          201µs   attempt=1
+func (t *Tracer) Tree() string {
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	kids := make(map[int][]*Span, len(spans))
+	for _, s := range spans {
+		kids[s.Parent] = append(kids[s.Parent], s)
+	}
+	for _, k := range kids {
+		sort.Slice(k, func(i, j int) bool { return k[i].ID < k[j].ID })
+	}
+
+	var b strings.Builder
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, s := range kids[parent] {
+			name := strings.Repeat("  ", depth) + s.Name
+			fmt.Fprintf(&b, "%-42s %10s", name, formatDur(s.Duration))
+			for _, a := range s.Attrs {
+				fmt.Fprintf(&b, "  %s=%s", a.Key, a.Val)
+			}
+			if s.Err != "" {
+				fmt.Fprintf(&b, "  error=%q", s.Err)
+			}
+			b.WriteByte('\n')
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	if dropped > 0 {
+		fmt.Fprintf(&b, "... %d spans dropped (buffer limit %d)\n", dropped, t.limit)
+	}
+	return b.String()
+}
+
+// formatDur rounds durations to a display-friendly precision.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}

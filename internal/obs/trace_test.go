@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatalf("expected nil span without a tracer, got %+v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("expected the context to pass through unchanged")
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 7)
+	sp.SetErr(errors.New("boom"))
+	sp.EndErr(nil)
+	sp.End()
+}
+
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := Start(ctx, "plan.generate")
+		sp.SetAttr("k", "v")
+		sp.End()
+		_ = c
+	})
+	// The whole point of the nil-span fast path: untraced queries must not
+	// pay for the telemetry layer.
+	if allocs > 0 {
+		t.Fatalf("disabled Start allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestSpanNestingAndTree(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := Start(ctx, "mediator.answer")
+	ctx2, child := Start(ctx1, "mediator.plan")
+	child.SetAttr("strategy", "GenCompact")
+	_, grand := Start(ctx2, "plan.rewrite")
+	grand.SetInt("cts", 3)
+	grand.End()
+	child.End()
+	_, sib := Start(ctx1, "plan.execute")
+	sib.EndErr(errors.New("source books: down"))
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[1].Parent != spans[0].ID || spans[2].Parent != spans[1].ID || spans[3].Parent != spans[0].ID {
+		t.Fatalf("wrong parentage: %+v", spans)
+	}
+
+	tree := tr.Tree()
+	for _, want := range []string{
+		"mediator.answer",
+		"\n  mediator.plan",
+		"strategy=GenCompact",
+		"\n    plan.rewrite",
+		"cts=3",
+		"\n  plan.execute",
+		`error="source books: down"`,
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestTracerFrom(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Fatal("empty context should carry no tracer")
+	}
+	tr := NewTracer(0)
+	if got := TracerFrom(WithTracer(context.Background(), tr)); got != tr {
+		t.Fatalf("TracerFrom = %v, want %v", got, tr)
+	}
+}
+
+func TestTracerBufferBound(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("buffer kept %d spans, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if tree := tr.Tree(); !strings.Contains(tree, "3 spans dropped") {
+		t.Errorf("tree does not report drops:\n%s", tree)
+	}
+	// Start over a full tracer returns a nil (safe) span.
+	_, sp := Start(ctx, "overflow")
+	if sp != nil {
+		t.Fatal("expected nil span from a full tracer")
+	}
+
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the tracer")
+	}
+	if _, sp := Start(ctx, "after-reset"); sp == nil {
+		t.Fatal("tracer unusable after Reset")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := Start(ctx, "branch")
+				_, inner := Start(c, "leaf")
+				inner.SetInt("i", int64(i))
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8*50*2 {
+		t.Fatalf("got %d spans, want %d", got, 8*50*2)
+	}
+	_ = tr.Tree() // must not race or panic
+}
+
+func TestEndKeepsFirstDuration(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "once")
+	sp.End()
+	d := sp.Duration
+	sp.End()
+	if sp.Duration != d {
+		t.Fatal("second End changed the duration")
+	}
+}

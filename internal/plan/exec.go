@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -47,7 +48,7 @@ func Execute(ctx context.Context, p Plan, srcs Sources) (*relation.Relation, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, err := q.Query(ctx, t.Cond, t.Attrs)
+		res, err := querySource(ctx, q, t)
 		if err != nil {
 			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
 		}
@@ -84,6 +85,23 @@ func Execute(ctx context.Context, p Plan, srcs Sources) (*relation.Relation, err
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}
+}
+
+// querySource runs one source query under an "exec.source" span
+// (condition key, rows, error); with no tracer in ctx the span machinery
+// is a no-op.
+func querySource(ctx context.Context, q Querier, t *SourceQuery) (*relation.Relation, error) {
+	qctx, sp := obs.Start(ctx, "exec.source")
+	res, err := q.Query(qctx, t.Cond, t.Attrs)
+	if sp != nil {
+		sp.SetAttr("source", t.Source)
+		sp.SetAttr("cond", t.Cond.Key())
+		if res != nil {
+			sp.SetInt("rows", int64(res.Len()))
+		}
+		sp.EndErr(err)
+	}
+	return res, err
 }
 
 func executeNary(ctx context.Context, inputs []Plan, srcs Sources, combine func(*relation.Relation, *relation.Relation) (*relation.Relation, error)) (*relation.Relation, error) {

@@ -76,7 +76,7 @@ func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, err := q.Query(ctx, t.Cond, t.Attrs)
+		res, err := querySource(ctx, q, t)
 		if err != nil {
 			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
 		}

@@ -5,6 +5,7 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -51,6 +52,12 @@ type Metrics struct {
 	MCSCCombos int
 	// Duration is the wall-clock planning time.
 	Duration time.Duration
+	// Cached reports that the plan came from the mediator's plan cache —
+	// no planning ran, so every counter above is zero.
+	Cached bool
+	// Coalesced reports that this call waited for another caller's
+	// in-flight planning of the same key (implies Cached).
+	Coalesced bool
 }
 
 // CheckHitRate is the fraction of checker calls served from the checker's
@@ -67,8 +74,10 @@ type Planner interface {
 	// Name identifies the strategy in experiment tables.
 	Name() string
 	// Plan generates the best feasible plan for the target query
-	// SP(cond, attrs, ctx.Source), or ErrInfeasible.
-	Plan(ctx *Context, cond condition.Node, attrs []string) (plan.Plan, *Metrics, error)
+	// SP(cond, attrs, pc.Source), or ErrInfeasible. The context carries
+	// cross-cutting concerns — tracing spans (internal/obs) — not a
+	// deadline contract: planning is CPU-bound and runs to completion.
+	Plan(ctx context.Context, pc *Context, cond condition.Node, attrs []string) (plan.Plan, *Metrics, error)
 }
 
 // Candidate couples a plan with its model cost so search code compares

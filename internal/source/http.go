@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/ssdl"
 )
@@ -33,17 +35,11 @@ type queryRequest struct {
 	Attrs []string `json:"attrs"`
 }
 
-// Logger is the minimal logging surface the source package needs;
-// *log.Logger satisfies it.
-type Logger interface {
-	Printf(format string, v ...any)
-}
-
 // Handler serves the source over HTTP.
 type Handler struct {
 	src *Local
 	mux *http.ServeMux
-	log Logger
+	log *slog.Logger
 
 	statsOnce sync.Once
 	stats     *relation.Stats
@@ -51,23 +47,17 @@ type Handler struct {
 
 // NewHandler builds an http.Handler for the source.
 func NewHandler(src *Local) *Handler {
-	h := &Handler{src: src, mux: http.NewServeMux()}
+	h := &Handler{src: src, mux: http.NewServeMux(), log: obs.NopLogger()}
 	h.mux.HandleFunc("GET /describe", h.describe)
 	h.mux.HandleFunc("GET /stats", h.serveStats)
 	h.mux.HandleFunc("POST /query", h.query)
 	return h
 }
 
-// SetLogger installs a logger for response-write failures that cannot be
-// reported to the client (headers already sent). A nil logger silences
-// them (the default).
-func (h *Handler) SetLogger(l Logger) { h.log = l }
-
-func (h *Handler) logf(format string, v ...any) {
-	if h.log != nil {
-		h.log.Printf(format, v...)
-	}
-}
+// SetLogger installs a structured logger for swallowed errors — response-
+// write failures that cannot be reported to the client because the
+// headers are already sent. A nil logger silences them (the default).
+func (h *Handler) SetLogger(l *slog.Logger) { h.log = obs.LoggerOr(l) }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -75,7 +65,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 func (h *Handler) describe(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := io.WriteString(w, h.src.Grammar().String()); err != nil {
-		h.logf("source %s: /describe: writing response: %v", h.src.Name(), err)
+		h.log.Warn("swallowed response-write error",
+			"source", h.src.Name(), "endpoint", "/describe", "err", err)
 	}
 }
 
@@ -83,7 +74,8 @@ func (h *Handler) serveStats(w http.ResponseWriter, _ *http.Request) {
 	h.statsOnce.Do(func() { h.stats = relation.CollectStats(h.src.Relation()) })
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(h.stats); err != nil {
-		h.logf("source %s: /stats: encoding response: %v", h.src.Name(), err)
+		h.log.Warn("swallowed response-write error",
+			"source", h.src.Name(), "endpoint", "/stats", "err", err)
 	}
 }
 
@@ -110,7 +102,8 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	if err := relation.WriteTSV(w, res); err != nil {
 		// Headers are gone; the client sees a truncated body — record the
 		// failure on our side.
-		h.logf("source %s: /query: writing result: %v", h.src.Name(), err)
+		h.log.Warn("swallowed response-write error",
+			"source", h.src.Name(), "endpoint", "/query", "err", err)
 	}
 }
 

@@ -1,8 +1,9 @@
 package source
 
 import (
+	"bytes"
 	"errors"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,22 +11,22 @@ import (
 	"testing"
 )
 
-// captureLog records formatted messages.
-type captureLog struct {
-	mu   sync.Mutex
-	msgs []string
+// syncBuffer is a goroutine-safe bytes.Buffer for slog output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
 }
 
-func (l *captureLog) Printf(format string, v ...any) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.msgs = append(l.msgs, fmt.Sprintf(format, v...))
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
 }
 
-func (l *captureLog) all() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]string(nil), l.msgs...)
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // brokenWriter fails every write — a client that hung up mid-response.
@@ -42,8 +43,8 @@ func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client
 
 func TestHandlerLogsResponseWriteFailures(t *testing.T) {
 	h := NewHandler(carsSource(t))
-	lg := &captureLog{}
-	h.SetLogger(lg)
+	var buf syncBuffer
+	h.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
 
 	cases := []struct {
 		path string
@@ -59,21 +60,28 @@ func TestHandlerLogsResponseWriteFailures(t *testing.T) {
 		}()},
 	}
 	for _, c := range cases {
-		before := len(lg.all())
+		before := strings.Count(buf.String(), "\n")
 		h.ServeHTTP(&brokenWriter{}, c.req)
-		msgs := lg.all()
-		if len(msgs) != before+1 {
-			t.Errorf("%s: write failure not logged (msgs %v)", c.path, msgs)
+		out := buf.String()
+		if got := strings.Count(out, "\n"); got != before+1 {
+			t.Errorf("%s: write failure not logged (output %q)", c.path, out)
 			continue
 		}
-		if got := msgs[len(msgs)-1]; !strings.Contains(got, c.path) || !strings.Contains(got, "client went away") {
-			t.Errorf("%s: log message %q missing path or cause", c.path, got)
+		last := strings.TrimSpace(out[strings.LastIndex(strings.TrimSpace(out), "\n")+1:])
+		if !strings.Contains(last, "endpoint="+c.path) || !strings.Contains(last, "client went away") {
+			t.Errorf("%s: log record %q missing endpoint or cause", c.path, last)
+		}
+		if !strings.Contains(last, "swallowed response-write error") {
+			t.Errorf("%s: log record %q missing event message", c.path, last)
 		}
 	}
 }
 
 func TestHandlerSilentWithoutLogger(t *testing.T) {
 	h := NewHandler(carsSource(t))
-	// Must not panic with the default nil logger.
+	// Must not panic with the default (discarding) logger, nor after an
+	// explicit nil SetLogger.
+	h.ServeHTTP(&brokenWriter{}, httptest.NewRequest("GET", "/describe", nil))
+	h.SetLogger(nil)
 	h.ServeHTTP(&brokenWriter{}, httptest.NewRequest("GET", "/describe", nil))
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 )
@@ -20,15 +23,60 @@ import (
 // deadline on it. Only transient transport failures are retried —
 // capability refusals (the paper's 422) are deterministic and returned
 // immediately.
+//
+// Telemetry: every attempt opens an "source.attempt" span on the
+// context's tracer, per-source counters and a latency histogram go to
+// ResilienceOptions.Obs, and breaker state transitions are emitted on
+// ResilienceOptions.Log.
 type Resilient struct {
 	name  string
 	inner plan.Querier
 	opts  ResilienceOptions
+	log   *slog.Logger
 
 	mu          sync.Mutex
 	consecFails int
 	openUntil   time.Time
-	stats       ResilienceStats
+	state       breakerState
+
+	stats resCounters
+	met   resMetrics
+}
+
+// breakerState is the circuit's observable position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("breakerState(%d)", int(s))
+	}
+}
+
+// resCounters are the querier's own atomic counters; Stats snapshots
+// them. Atomics keep snapshots consistent with concurrent updates
+// without taking the breaker's mutex on every attempt bookkeeping step.
+type resCounters struct {
+	attempts, retries, failures, refusals, fastFails atomic.Int64
+}
+
+// resMetrics are the registry instruments (no-ops when Obs is nil).
+type resMetrics struct {
+	attempts, retries, failures, refusals, fastFails *obs.Counter
+	latency                                          *obs.Histogram
+	breaker                                          *obs.Gauge
 }
 
 // ResilienceOptions tune a Resilient querier. The zero value retries
@@ -53,6 +101,14 @@ type ResilienceOptions struct {
 	// BreakerCooldown is how long an open circuit fast-fails before
 	// letting a trial query through (default 5s).
 	BreakerCooldown time.Duration
+
+	// Obs receives per-source counters (attempts, retries, failures,
+	// refusals, fast-fails), a query-latency histogram and a breaker
+	// state gauge (0 closed, 1 half-open, 2 open). Nil disables them.
+	Obs *obs.Registry
+	// Log receives structured events for retries, swallowed errors and
+	// breaker transitions. Nil silences them.
+	Log *slog.Logger
 
 	// Sleep waits between retries; tests inject an instant sleep. Nil
 	// uses a real context-aware sleep.
@@ -80,8 +136,8 @@ type ResilienceStats struct {
 	FastFails int
 }
 
-// NewResilient wraps q. The name labels breaker errors and stats; use the
-// source's registered name.
+// NewResilient wraps q. The name labels breaker errors, stats, metrics
+// and log events; use the source's registered name.
 func NewResilient(name string, q plan.Querier, opts ResilienceOptions) *Resilient {
 	if opts.BaseBackoff <= 0 {
 		opts.BaseBackoff = 50 * time.Millisecond
@@ -101,17 +157,34 @@ func NewResilient(name string, q plan.Querier, opts ResilienceOptions) *Resilien
 	if opts.Jitter == nil {
 		opts.Jitter = halfJitter
 	}
-	return &Resilient{name: name, inner: q, opts: opts}
+	r := &Resilient{name: name, inner: q, opts: opts, log: obs.LoggerOr(opts.Log)}
+	reg := opts.Obs // nil-safe: nil registry yields no-op instruments
+	r.met = resMetrics{
+		attempts:  reg.Counter("csqp_source_attempts_total", "source", name),
+		retries:   reg.Counter("csqp_source_retries_total", "source", name),
+		failures:  reg.Counter("csqp_source_failures_total", "source", name),
+		refusals:  reg.Counter("csqp_source_refusals_total", "source", name),
+		fastFails: reg.Counter("csqp_source_fastfails_total", "source", name),
+		latency:   reg.Histogram("csqp_source_query_seconds", nil, "source", name),
+		breaker:   reg.Gauge("csqp_breaker_state", "source", name),
+	}
+	return r
 }
 
 // Name returns the wrapped source's name.
 func (r *Resilient) Name() string { return r.name }
 
-// Stats returns a snapshot of the querier's counters.
+// Stats returns a snapshot of the querier's counters. The counters are
+// atomic, so a snapshot taken while queries are in flight is safe and
+// internally consistent per counter.
 func (r *Resilient) Stats() ResilienceStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return ResilienceStats{
+		Attempts:  int(r.stats.attempts.Load()),
+		Retries:   int(r.stats.retries.Load()),
+		Failures:  int(r.stats.failures.Load()),
+		Refusals:  int(r.stats.refusals.Load()),
+		FastFails: int(r.stats.fastFails.Load()),
+	}
 }
 
 // Query implements plan.Querier with timeout, retry and breaker applied
@@ -123,14 +196,22 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		if err := r.breakerAllow(); err != nil {
 			return nil, err
 		}
-		r.mu.Lock()
-		r.stats.Attempts++
+		r.stats.attempts.Add(1)
+		r.met.attempts.Inc()
 		if attempt > 0 {
-			r.stats.Retries++
+			r.stats.retries.Add(1)
+			r.met.retries.Inc()
 		}
-		r.mu.Unlock()
 
+		_, sp := obs.Start(ctx, "source.attempt")
+		begin := r.opts.Now()
 		res, err := r.attempt(ctx, cond, attrs)
+		r.met.latency.Observe(r.opts.Now().Sub(begin).Seconds())
+		if sp != nil {
+			sp.SetAttr("source", r.name)
+			sp.SetInt("attempt", int64(attempt+1))
+			sp.EndErr(err)
+		}
 		if err == nil {
 			r.recordSuccess()
 			return res, nil
@@ -138,9 +219,8 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		var refusal *RefusalError
 		if errors.As(err, &refusal) {
 			// Deterministic "no": not a health signal, never retried.
-			r.mu.Lock()
-			r.stats.Refusals++
-			r.mu.Unlock()
+			r.stats.refusals.Add(1)
+			r.met.refusals.Inc()
 			return nil, err
 		}
 		r.recordFailure()
@@ -153,6 +233,8 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		if attempt >= r.opts.MaxRetries || !Retryable(err) {
 			return nil, lastErr
 		}
+		r.log.Debug("retrying source query",
+			"source", r.name, "attempt", attempt+1, "err", err)
 		if err := r.opts.Sleep(ctx, r.opts.Jitter(backoff)); err != nil {
 			return nil, lastErr
 		}
@@ -180,6 +262,19 @@ func (r *Resilient) attempt(ctx context.Context, cond condition.Node, attrs []st
 	return res, err
 }
 
+// setState records a breaker transition (callers hold mu). Transitions
+// are emitted on the event stream and mirrored into the state gauge.
+func (r *Resilient) setState(to breakerState) {
+	if r.state == to {
+		return
+	}
+	from := r.state
+	r.state = to
+	r.met.breaker.Set(float64(to))
+	r.log.Warn("breaker state change",
+		"source", r.name, "from", from.String(), "to", to.String())
+}
+
 // breakerAllow fast-fails while the circuit is open. After the cooldown
 // it lets one trial through (half-open); the trial's outcome re-opens or
 // closes the circuit via recordFailure/recordSuccess.
@@ -189,9 +284,14 @@ func (r *Resilient) breakerAllow() error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.consecFails >= r.opts.BreakerThreshold && r.opts.Now().Before(r.openUntil) {
-		r.stats.FastFails++
-		return fmt.Errorf("source %s: %w (retry after %s)", r.name, ErrCircuitOpen, r.openUntil.Sub(r.opts.Now()).Round(time.Millisecond))
+	if r.consecFails >= r.opts.BreakerThreshold {
+		if r.opts.Now().Before(r.openUntil) {
+			r.stats.fastFails.Add(1)
+			r.met.fastFails.Inc()
+			return fmt.Errorf("source %s: %w (retry after %s)", r.name, ErrCircuitOpen, r.openUntil.Sub(r.opts.Now()).Round(time.Millisecond))
+		}
+		// Cooldown over: this caller is the half-open trial.
+		r.setState(breakerHalfOpen)
 	}
 	return nil
 }
@@ -201,15 +301,18 @@ func (r *Resilient) recordSuccess() {
 	defer r.mu.Unlock()
 	r.consecFails = 0
 	r.openUntil = time.Time{}
+	r.setState(breakerClosed)
 }
 
 func (r *Resilient) recordFailure() {
+	r.stats.failures.Add(1)
+	r.met.failures.Inc()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.stats.Failures++
 	r.consecFails++
 	if r.opts.BreakerThreshold > 0 && r.consecFails >= r.opts.BreakerThreshold {
 		r.openUntil = r.opts.Now().Add(r.opts.BreakerCooldown)
+		r.setState(breakerOpen)
 	}
 }
 

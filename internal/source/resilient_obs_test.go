@@ -1,0 +1,157 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// breakerGauge reads the csqp_breaker_state gauge for a source out of the
+// registry (-1 when absent).
+func breakerGauge(reg *obs.Registry, src string) float64 {
+	for _, g := range reg.Snapshot().Gauges {
+		if g.Name == "csqp_breaker_state" && len(g.Labels) == 1 && g.Labels[0].Val == src {
+			return g.Value
+		}
+	}
+	return -1
+}
+
+func TestResilientStatsConcurrentWithQueries(t *testing.T) {
+	// Stats must be a safe snapshot while queries run — the counters are
+	// atomics, so -race across Query/Stats is the real assertion here.
+	opts := ResilienceOptions{MaxRetries: 1}
+	opts.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	opts.Jitter = func(d time.Duration) time.Duration { return d }
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailRate(0.3, 42)
+	r := NewResilient("s", f, opts)
+
+	const workers, rounds = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_, _ = r.Query(context.Background(), anyCond, []string{"a"})
+				_ = r.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Attempts < workers*rounds {
+		t.Errorf("attempts = %d, want >= %d", st.Attempts, workers*rounds)
+	}
+	if st.Attempts != workers*rounds+st.Retries {
+		t.Errorf("attempts (%d) != queries (%d) + retries (%d)", st.Attempts, workers*rounds, st.Retries)
+	}
+}
+
+func TestBreakerTransitionsObservable(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(1000, 0)}
+	opts := ResilienceOptions{BreakerThreshold: 2, BreakerCooldown: time.Second}
+	ft.apply(&opts)
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	var buf syncBuffer
+	opts.Log = slog.New(slog.NewTextHandler(&buf, nil))
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(2)
+	r := NewResilient("s", f, opts)
+
+	// Closed is the initial state; nothing has been emitted yet.
+	if strings.Contains(buf.String(), "breaker state change") {
+		t.Fatalf("premature transition event: %s", buf.String())
+	}
+
+	// Two consecutive failures: closed -> open, gauge goes to 2.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err == nil {
+			t.Fatalf("call %d: want failure", i)
+		}
+	}
+	if !strings.Contains(buf.String(), "from=closed to=open") {
+		t.Fatalf("missing closed->open event:\n%s", buf.String())
+	}
+	if got := breakerGauge(reg, "s"); got != 2 {
+		t.Fatalf("breaker gauge = %g after trip, want 2 (open)", got)
+	}
+
+	// Fast-fail during cooldown: no transition, counter ticks.
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+
+	// Cooldown over: the trial goes open -> half-open, succeeds, and the
+	// circuit closes. Both transitions must be visible.
+	ft.advance(1100 * time.Millisecond)
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err != nil {
+		t.Fatalf("half-open trial: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "from=open to=half-open") {
+		t.Fatalf("missing open->half-open event:\n%s", out)
+	}
+	if !strings.Contains(out, "from=half-open to=closed") {
+		t.Fatalf("missing half-open->closed event:\n%s", out)
+	}
+	if got := breakerGauge(reg, "s"); got != 0 {
+		t.Fatalf("breaker gauge = %g after recovery, want 0 (closed)", got)
+	}
+
+	// The registry counters mirror ResilienceStats.
+	st := r.Stats()
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"csqp_source_attempts_total":  int64(st.Attempts),
+		"csqp_source_failures_total":  int64(st.Failures),
+		"csqp_source_fastfails_total": int64(st.FastFails),
+		"csqp_source_retries_total":   int64(st.Retries),
+		"csqp_source_refusals_total":  int64(st.Refusals),
+	}
+	for _, c := range snap.Counters {
+		if w, ok := want[c.Name]; ok && int64(c.Value) != w {
+			t.Errorf("%s = %g, want %d", c.Name, c.Value, w)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "csqp_source_query_seconds" && h.Count != int64(st.Attempts) {
+			t.Errorf("latency histogram count = %d, want %d attempts", h.Count, st.Attempts)
+		}
+	}
+}
+
+func TestResilientAttemptSpans(t *testing.T) {
+	opts := ResilienceOptions{MaxRetries: 2}
+	opts.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	opts.Jitter = func(d time.Duration) time.Duration { return d }
+	f := NewFlaky(&okQuerier{rel: tinyRelation(t)}).FailFirst(1)
+	r := NewResilient("s", f, opts)
+
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, err := r.Query(ctx, anyCond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	var attempts []*obs.Span
+	for _, s := range tr.Spans() {
+		if s.Name == "source.attempt" {
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("got %d attempt spans, want 2 (failure + retry):\n%s", len(attempts), tr.Tree())
+	}
+	if attempts[0].Err == "" {
+		t.Error("first attempt span should carry the transport error")
+	}
+	if attempts[1].Err != "" {
+		t.Errorf("second attempt span unexpectedly errored: %s", attempts[1].Err)
+	}
+}

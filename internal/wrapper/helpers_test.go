@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -33,12 +34,12 @@ type naivePlanner struct{}
 
 func (naivePlanner) Name() string { return "naive" }
 
-func (naivePlanner) Plan(ctx *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
+func (naivePlanner) Plan(_ context.Context, pc *planner.Context, cond condition.Node, attrs []string) (plan.Plan, *planner.Metrics, error) {
 	start := time.Now()
 	m := &planner.Metrics{CTs: 1, PlansConsidered: 1}
 	defer func() { m.Duration = time.Since(start) }()
-	if ctx.Checker.Supports(cond, strset.New(attrs...)) {
-		return plan.NewSourceQuery(ctx.Source, cond, attrs), m, nil
+	if pc.Checker.Supports(cond, strset.New(attrs...)) {
+		return plan.NewSourceQuery(pc.Source, cond, attrs), m, nil
 	}
 	return nil, m, planner.ErrInfeasible
 }

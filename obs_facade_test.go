@@ -1,0 +1,119 @@
+package csqp
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTraceEndToEnd(t *testing.T) {
+	sys := demoSystem(t)
+	ctx, tr := Trace(context.Background())
+	res, err := sys.QueryContext(ctx, "books",
+		`(author = "Sigmund Freud" or author = "Carl Jung") and title contains "dreams"`,
+		"title", "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Len() == 0 {
+		t.Fatal("empty answer")
+	}
+	tree := tr.Tree()
+	// The whole lifecycle must be visible: planning phases nested under
+	// the mediator, execution with per-source queries.
+	for _, want := range []string{
+		"mediator.answer",
+		"mediator.plan",
+		"plan.rewrite",
+		"plan.generate",
+		"plan.fix",
+		"plan.execute",
+		"exec.source",
+		"strategy=GenCompact",
+		"source=books",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("trace tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestUntracedQueryRecordsNothing(t *testing.T) {
+	sys := demoSystem(t)
+	_, tr := Trace(context.Background())
+	// Plain context: the tracer from a different context must stay empty.
+	if _, err := sys.Query("books", `author = "Carl Jung"`, "isbn"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("unrelated tracer captured %d spans", n)
+	}
+}
+
+func TestMetricsHandlerEndToEnd(t *testing.T) {
+	rel, g := workload.Bookstore(2000, 1)
+	sys := NewSystem(Options{QueryRetries: 1})
+	if err := sys.AddSourceGrammar(rel, g); err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableCache()
+	cond := `author = "Carl Jung" and title contains "dreams"`
+	if _, err := sys.Query("books", cond, "isbn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query("books", cond, "isbn"); err != nil { // cache hit
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	sys.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"csqp_plan_cache_hits_total 1",
+		"csqp_plan_cache_misses_total 1",
+		"csqp_plans_total 1",
+		`csqp_source_attempts_total{source="books"}`,
+		`csqp_source_query_seconds_count{source="books"}`,
+		"csqp_check_calls_total",
+		"csqp_planning_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The exported counters must agree with the legacy stats structs.
+	st := sys.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("CacheStats = %+v, want 1 hit / 1 miss", st)
+	}
+	if sys.Metrics() == nil {
+		t.Fatal("Metrics() registry missing")
+	}
+}
+
+func TestQueryCachedMetricsFlag(t *testing.T) {
+	sys := demoSystem(t)
+	sys.EnableCache()
+	cond := `author = "Carl Jung"`
+	res1, err := sys.Query("books", cond, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Metrics == nil || res1.Metrics.Cached {
+		t.Fatalf("first query Metrics = %+v, want uncached", res1.Metrics)
+	}
+	res2, err := sys.Query("books", cond, "isbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics == nil || !res2.Metrics.Cached {
+		t.Fatalf("second query Metrics = %+v, want Cached", res2.Metrics)
+	}
+}
