@@ -7,7 +7,9 @@ package csqp_test
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/condition"
@@ -367,6 +369,53 @@ func BenchmarkOracleEstimator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est.ResultSize("autos", cond)
+	}
+}
+
+// benchCountingQuerier counts upstream calls so the hit benchmark can
+// prove the cache never touched the source.
+type benchCountingQuerier struct {
+	inner plan.Querier
+	calls atomic.Int64
+}
+
+func (q *benchCountingQuerier) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	q.calls.Add(1)
+	return q.inner.Query(ctx, cond, attrs)
+}
+
+func BenchmarkSourceCacheHit(b *testing.B) {
+	// Steady-state hit path: every iteration after warm-up is a lookup +
+	// clone, with zero upstream queries (asserted below — the gate also
+	// catches allocation creep on this path).
+	rel, g := workload.Cars(5000, 1)
+	src, err := source.NewLocal("autos", rel, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counted := &benchCountingQuerier{inner: src}
+	cached := source.NewCached("autos", counted, source.CacheOptions{
+		MaxEntries: 16,
+		TTL:        time.Hour,
+	})
+	cond := condition.MustParse(`make = "Toyota" ^ price <= 20000`)
+	attrs := []string{"make", "model", "price"}
+	if _, err := cached.Query(context.Background(), cond, attrs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cached.Query(context.Background(), cond, attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := counted.calls.Load(); got != 1 {
+		b.Fatalf("upstream queries = %d, want exactly 1 (the warm-up miss)", got)
+	}
+	if st := cached.Stats(); st.Hits != b.N {
+		b.Fatalf("cache hits = %d, want %d", st.Hits, b.N)
 	}
 }
 

@@ -56,6 +56,8 @@ func run() error {
 	retries := flag.Int("retries", 0, "retries per failed source query (transport errors only)")
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
 	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed, reporting dropped sources")
+	srcCache := flag.Int("source-cache", 0, "memoize source-query answers: entries per source (0 = disabled)")
+	srcCacheTTL := flag.Duration("source-cache-ttl", 0, "staleness bound for cached source answers (0 = 1m default)")
 	stats := flag.Bool("stats", false, "enable the plan cache and print cache/memo statistics after the query")
 	trace := flag.Bool("trace", false, "record the query's span tree (rewrite, check, generate, cost, fix, execute) and print it")
 	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry registry over HTTP at this address (GET /metrics, /metrics.json)")
@@ -72,9 +74,11 @@ func run() error {
 		ctx, tr = csqp.Trace(ctx)
 	}
 	sysOpts := csqp.Options{
-		QueryTimeout:   *timeout,
-		QueryRetries:   *retries,
-		PartialAnswers: *partial,
+		QueryTimeout:    *timeout,
+		QueryRetries:    *retries,
+		PartialAnswers:  *partial,
+		SourceCacheSize: *srcCache,
+		SourceCacheTTL:  *srcCacheTTL,
 		// Surface degradations, breaker transitions and swallowed errors on
 		// stderr, away from the query output on stdout.
 		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
@@ -185,6 +189,9 @@ func printStats(sys *csqp.System, m *csqp.Metrics) {
 	st := sys.CacheStats()
 	fmt.Printf("\nplan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
 		st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+	sc := sys.SourceCacheStats()
+	fmt.Printf("source cache: %d hits, %d misses, %d evictions, %d expirations, %d coalesced waits (%d entries, %d rows held)\n",
+		sc.Hits, sc.Misses, sc.Evictions, sc.Expirations, sc.CoalescedWaits, sc.Entries, sc.Rows)
 	if m != nil {
 		if m.Cached {
 			fmt.Println("plan served from cache (no planning ran)")

@@ -56,7 +56,7 @@ func (r *repl) command(line string) {
   \explain <select statement>         show the plan without executing
   \compare <select statement>         run every strategy and compare
   \trace <select statement>           run the query and print its span tree
-  \cache                              show plan-cache statistics
+  \cache                              show plan-cache and source-cache statistics
   \metrics                            dump the telemetry registry snapshot
   \help                               this text
   \q                                  quit
@@ -125,6 +125,9 @@ func (r *repl) command(line string) {
 		st := r.sys.CacheStats()
 		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
 			st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+		sc := r.sys.SourceCacheStats()
+		fmt.Fprintf(r.out, "source cache: %d hits, %d misses, %d evictions, %d expirations, %d coalesced waits (%d entries, %d rows held)\n",
+			sc.Hits, sc.Misses, sc.Evictions, sc.Expirations, sc.CoalescedWaits, sc.Entries, sc.Rows)
 	case `\metrics`:
 		snap := r.sys.Metrics().Snapshot()
 		for _, c := range snap.Counters {

@@ -205,6 +205,23 @@ type Options struct {
 	// with a *PartialError. Union is monotone, so every returned tuple is
 	// a true answer tuple.
 	PartialAnswers bool
+	// SourceCacheSize enables the per-source answer cache with this many
+	// entries per source (0 = disabled): source-query results are
+	// memoized by semantic key in a bounded LRU with TTL expiry, and N
+	// concurrent identical source queries issue exactly one upstream
+	// call. The cache sits outside the resilience layer, so a source
+	// whose circuit breaker is fast-failing still serves its cached
+	// answers until they expire. Errors and capability refusals are never
+	// cached.
+	SourceCacheSize int
+	// SourceCacheTTL bounds the staleness of cached source answers
+	// (0 = source.DefaultSourceCacheTTL, one minute). Only meaningful
+	// with SourceCacheSize > 0.
+	SourceCacheTTL time.Duration
+	// SourceCacheRows caps the total tuples held per source cache
+	// (0 = source.DefaultSourceCacheRows). Only meaningful with
+	// SourceCacheSize > 0.
+	SourceCacheRows int
 	// Logger receives the system's structured event stream: partial-answer
 	// degradations, breaker state transitions, retry decisions, swallowed
 	// errors. Nil keeps events silent (the default).
@@ -216,13 +233,16 @@ type Options struct {
 // HTTP sources use the statistics they publish, and sources with neither
 // fall back to textbook heuristics.
 type System struct {
-	med      *mediator.Mediator
-	rels     map[string]*relation.Relation
-	est      *cost.Registry
-	strategy Strategy
-	res      source.ResilienceOptions
-	resOn    bool
-	reg      *obs.Registry
+	med       *mediator.Mediator
+	rels      map[string]*relation.Relation
+	est       *cost.Registry
+	strategy  Strategy
+	res       source.ResilienceOptions
+	resOn     bool
+	srcCache  source.CacheOptions
+	cacheOn   bool
+	srcCaches []*source.Cached
+	reg       *obs.Registry
 }
 
 // NewSystem builds an empty system. With no Options it uses the paper's
@@ -242,6 +262,9 @@ func NewSystem(opts ...Options) *System {
 		o.QueryRetries = opts[0].QueryRetries
 		o.BreakerThreshold = opts[0].BreakerThreshold
 		o.PartialAnswers = opts[0].PartialAnswers
+		o.SourceCacheSize = opts[0].SourceCacheSize
+		o.SourceCacheTTL = opts[0].SourceCacheTTL
+		o.SourceCacheRows = opts[0].SourceCacheRows
 		o.Logger = opts[0].Logger
 	}
 	rels := make(map[string]*relation.Relation)
@@ -266,6 +289,13 @@ func NewSystem(opts ...Options) *System {
 			Log:              o.Logger,
 		},
 		resOn: o.QueryTimeout > 0 || o.QueryRetries > 0 || o.BreakerThreshold > 0,
+		srcCache: source.CacheOptions{
+			MaxEntries: o.SourceCacheSize,
+			TTL:        o.SourceCacheTTL,
+			MaxRows:    o.SourceCacheRows,
+			Obs:        reg,
+		},
+		cacheOn: o.SourceCacheSize > 0,
 	}
 }
 
@@ -280,13 +310,21 @@ func (s *System) Metrics() *MetricsRegistry { return s.reg }
 // snapshot.
 func (s *System) MetricsHandler() http.Handler { return obs.NewHTTPHandler(s.reg) }
 
-// harden wraps a querier in the system's resilience layer when one is
-// configured.
+// harden wraps a querier in the system's resilience and caching layers
+// when they are configured. The answer cache goes OUTSIDE the resilience
+// wrapper (mediator → cache → breaker/retry → source), so cache hits skip
+// the breaker entirely: a fast-failing source keeps serving the answers
+// it gave before going down, until their TTL.
 func (s *System) harden(name string, q Querier) Querier {
-	if !s.resOn {
-		return q
+	if s.resOn {
+		q = source.NewResilient(name, q, s.res)
 	}
-	return source.NewResilient(name, q, s.res)
+	if s.cacheOn {
+		c := source.NewCached(name, q, s.srcCache)
+		s.srcCaches = append(s.srcCaches, c)
+		q = c
+	}
+	return q
 }
 
 // SetSourceCost overrides the cost constants for one source (the paper's
@@ -457,6 +495,29 @@ type CacheStats = mediator.CacheStats
 
 // CacheStats reports plan-cache activity (zeros when disabled).
 func (s *System) CacheStats() CacheStats { return s.med.CacheStats() }
+
+// SourceCacheStats reports source-answer-cache activity: hits, misses,
+// evictions, TTL expirations, coalesced waits and current contents (see
+// Options.SourceCacheSize; zeros when disabled).
+type SourceCacheStats = source.CacheStats
+
+// SourceCacheStats aggregates the per-source answer caches' counters
+// (zeros when the cache is disabled). Per-source breakdowns are exported
+// on the metrics registry under csqp_source_cache_* names.
+func (s *System) SourceCacheStats() SourceCacheStats {
+	var sum SourceCacheStats
+	for _, c := range s.srcCaches {
+		st := c.Stats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Expirations += st.Expirations
+		sum.CoalescedWaits += st.CoalescedWaits
+		sum.Entries += st.Entries
+		sum.Rows += st.Rows
+	}
+	return sum
+}
 
 // QueryUnion answers the query over the union of the named partitioned
 // sources (all must share the queried attributes, and all must be able to

@@ -87,7 +87,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
-	left, err := plan.ExecuteParallel(ctx, leftPlan, m, plan.ExecOptions{Workers: m.Workers})
+	left, err := plan.ExecuteParallel(ctx, leftPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
@@ -140,7 +140,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		rightPlan, strategy = wholePlan, "whole-side"
 	}
 
-	right, err := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers})
+	right, err := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join right side: %w", err)
 	}

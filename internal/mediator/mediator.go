@@ -247,7 +247,7 @@ func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string,
 // records the degradation in the registry and emits a structured event.
 func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, error) {
 	ctx, sp := obs.Start(ctx, "plan.execute")
-	rel, err := plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial})
+	rel, err := plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial, ChoiceResolver: m.resolveChoice})
 	sp.EndErr(err)
 	if err != nil {
 		var pe *plan.PartialError
@@ -266,6 +266,14 @@ func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Rela
 		return nil, err
 	}
 	return rel, nil
+}
+
+// resolveChoice is the plan.ChoiceResolver the mediator installs for
+// execution: any Choice left unresolved (FixPlan normally resolves them
+// all) executes its minimum-cost alternative under the mediator's model,
+// matching what planning would have picked.
+func (m *Mediator) resolveChoice(c *plan.Choice) (plan.Plan, error) {
+	return m.model.Resolve(c)
 }
 
 // Result is a completed target query.

@@ -243,3 +243,32 @@ func TestBaselineThroughMediator(t *testing.T) {
 		t.Error("plan should contain a source query")
 	}
 }
+
+// TestExecuteResolvesChoiceByCost drives an unresolved Choice through the
+// mediator's executor and checks the minimum-cost alternative runs — not
+// blindly Alternatives[0] — matching what FixPlan/planning would pick.
+func TestExecuteResolvesChoiceByCost(t *testing.T) {
+	med, _ := carsFixture(t)
+	alt := func(mk string) plan.Plan {
+		return plan.NewSourceQuery("cars",
+			condition.NewAtomic("make", condition.OpEq, condition.String(mk)),
+			[]string{"model"})
+	}
+	// The oracle estimator prices make="BMW" at 2 result tuples and
+	// make="Toyota" at 2 as well — so narrow one side with price to make
+	// costs differ: BMW ^ price<40000 returns 1 tuple, Toyota 2.
+	cheap := plan.NewSourceQuery("cars",
+		condition.NewAnd(
+			condition.NewAtomic("make", condition.OpEq, condition.String("BMW")),
+			condition.NewAtomic("price", condition.OpLt, condition.Int(40000)),
+		), []string{"model"})
+	choice := &plan.Choice{Alternatives: []plan.Plan{alt("Toyota"), cheap}}
+
+	rel, err := med.execute(context.Background(), choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Errorf("rows = %d, want 1 (the cheaper BMW^price alternative, not Alternatives[0])", rel.Len())
+	}
+}

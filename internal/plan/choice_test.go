@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+// choiceFixture builds a Choice whose two alternatives select different
+// makes, so the executed alternative is observable in the answer.
+func choiceFixture(t *testing.T) (*Choice, SourceMap) {
+	t.Helper()
+	rel := carsRelation(t)
+	alt := func(mk string) Plan {
+		return NewSourceQuery("R",
+			condition.NewAtomic("make", condition.OpEq, condition.String(mk)),
+			[]string{"model"})
+	}
+	c := &Choice{Alternatives: []Plan{alt("BMW"), alt("Toyota")}}
+	return c, SourceMap{"R": &testSource{rel: rel}}
+}
+
+func TestResolveChoiceFallbackIsFirstAlternative(t *testing.T) {
+	c, srcs := choiceFixture(t)
+	res, err := Execute(context.Background(), c, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want 3 (the BMW alternative)", res.Len())
+	}
+}
+
+func TestExecuteParallelUsesChoiceResolver(t *testing.T) {
+	c, srcs := choiceFixture(t)
+	// A resolver that always prefers the LAST alternative — clearly
+	// distinguishable from the first-alternative fallback.
+	pickLast := func(c *Choice) (Plan, error) { return c.Alternatives[len(c.Alternatives)-1], nil }
+	for _, workers := range []int{1, 4} {
+		res, err := ExecuteParallel(context.Background(), c, srcs, ExecOptions{Workers: workers, ChoiceResolver: pickLast})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Len() != 2 {
+			t.Errorf("workers=%d: rows = %d, want 2 (the Toyota alternative)", workers, res.Len())
+		}
+	}
+	// Without a resolver both executors agree on the documented fallback.
+	res, err := ExecuteParallel(context.Background(), c, srcs, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want 3 (first-alternative fallback)", res.Len())
+	}
+}
+
+func TestChoiceOutAttrsUsesSharedResolution(t *testing.T) {
+	c, _ := choiceFixture(t)
+	if got := c.OutAttrs().Sorted(); len(got) != 1 || got[0] != "model" {
+		t.Errorf("OutAttrs = %v, want [model]", got)
+	}
+	if got := (&Choice{}).OutAttrs(); got.Len() != 0 {
+		t.Errorf("empty Choice OutAttrs = %v, want empty", got)
+	}
+}
+
+func TestResolveChoiceEmptyIsError(t *testing.T) {
+	if _, err := ResolveChoice(&Choice{}, nil); err == nil {
+		t.Error("want error for empty Choice")
+	}
+	if _, err := Execute(context.Background(), &Choice{}, SourceMap{}); err == nil {
+		t.Error("Execute: want error for empty Choice")
+	}
+	if _, err := ExecuteParallel(context.Background(), &Choice{}, SourceMap{}, ExecOptions{Workers: 4}); err == nil {
+		t.Error("ExecuteParallel: want error for empty Choice")
+	}
+}

@@ -35,9 +35,11 @@ func (m SourceMap) Lookup(name string) (Querier, bool) {
 }
 
 // Execute runs the plan against the sources sequentially and returns its
-// result relation. Choice nodes execute their first alternative (resolve
-// choices with a cost model first for meaningful plans). Cancelling ctx
-// stops execution between source queries and inside ctx-aware queriers.
+// result relation. Leftover Choice nodes resolve through ResolveChoice's
+// first-alternative fallback — use ExecuteParallel with a ChoiceResolver
+// (or resolve with a cost model first) for cost-aware choices. Cancelling
+// ctx stops execution between source queries and inside ctx-aware
+// queriers.
 func Execute(ctx context.Context, p Plan, srcs Sources) (*relation.Relation, error) {
 	switch t := p.(type) {
 	case *SourceQuery:
@@ -78,10 +80,11 @@ func Execute(ctx context.Context, p Plan, srcs Sources) (*relation.Relation, err
 	case *Intersect:
 		return executeNary(ctx, t.Inputs, srcs, (*relation.Relation).Intersect)
 	case *Choice:
-		if len(t.Alternatives) == 0 {
-			return nil, fmt.Errorf("plan: empty Choice")
+		alt, err := ResolveChoice(t, nil)
+		if err != nil {
+			return nil, err
 		}
-		return Execute(ctx, t.Alternatives[0], srcs)
+		return Execute(ctx, alt, srcs)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}

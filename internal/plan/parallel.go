@@ -21,6 +21,10 @@ type ExecOptions struct {
 	// partial answer is sound. Intersect always fails closed — dropping
 	// an Intersect branch could only over-approximate the answer.
 	AllowPartial bool
+	// ChoiceResolver resolves any Choice node left unresolved in the
+	// plan. The mediator wires its cost model's minimum-cost resolution
+	// here; nil falls back to the first alternative (see ResolveChoice).
+	ChoiceResolver ChoiceResolver
 }
 
 // ExecuteParallel runs the plan like Execute, but evaluates the branches
@@ -39,14 +43,14 @@ type ExecOptions struct {
 // The first failing branch of a fail-closed n-ary node cancels its
 // sibling branches' contexts.
 func ExecuteParallel(ctx context.Context, p Plan, srcs Sources, opts ExecOptions) (*relation.Relation, error) {
-	if opts.Workers <= 1 && !opts.AllowPartial {
+	if opts.Workers <= 1 && !opts.AllowPartial && opts.ChoiceResolver == nil {
 		return Execute(ctx, p, srcs)
 	}
 	spawn := opts.Workers - 1
 	if spawn < 0 {
 		spawn = 0
 	}
-	ex := &parallelExec{srcs: srcs, tokens: make(chan struct{}, spawn), partial: opts.AllowPartial}
+	ex := &parallelExec{srcs: srcs, tokens: make(chan struct{}, spawn), partial: opts.AllowPartial, resolve: opts.ChoiceResolver}
 	return ex.run(ctx, p)
 }
 
@@ -54,6 +58,7 @@ type parallelExec struct {
 	srcs    Sources
 	tokens  chan struct{} // goroutine-spawn permits (capacity Workers-1)
 	partial bool
+	resolve ChoiceResolver
 }
 
 // asPartial reports whether (rel, err) is a sound partial answer: a
@@ -116,10 +121,11 @@ func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, err
 	case *Intersect:
 		return e.runNary(ctx, t.Inputs, false)
 	case *Choice:
-		if len(t.Alternatives) == 0 {
-			return nil, fmt.Errorf("plan: empty Choice")
+		alt, err := ResolveChoice(t, e.resolve)
+		if err != nil {
+			return nil, err
 		}
-		return e.run(ctx, t.Alternatives[0])
+		return e.run(ctx, alt)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}

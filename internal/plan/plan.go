@@ -130,18 +130,44 @@ func (x *Intersect) kids() []Plan { return x.Inputs }
 
 // Choice represents a set of alternative plans for the same query
 // (GenModular's generate module output); the cost module resolves it to
-// the cheapest alternative. Executing an unresolved Choice executes its
-// first alternative.
+// the cheapest alternative. Executing an unresolved Choice resolves it
+// first — by minimum cost when a ChoiceResolver is wired (the mediator
+// installs its cost model's), falling back to the first alternative
+// otherwise (see ResolveChoice).
 type Choice struct {
 	Alternatives []Plan
 }
 
-// OutAttrs implements Plan.
-func (c *Choice) OutAttrs() strset.Set {
+// ChoiceResolver picks the plan an unresolved Choice stands for. The
+// mediator wires the cost model's minimum-cost resolution here; executors
+// without a model fall back to the first alternative.
+type ChoiceResolver func(*Choice) (Plan, error)
+
+// ResolveChoice is the single place a leftover Choice is resolved: the
+// resolver's pick when one is available (min-cost under the mediator's
+// model), and the DOCUMENTED FALLBACK of the first alternative otherwise.
+// Every consumer of an unresolved Choice — Execute, ExecuteParallel,
+// OutAttrs — goes through it, so they cannot drift apart. Resolving an
+// empty Choice is an error.
+func ResolveChoice(c *Choice, r ChoiceResolver) (Plan, error) {
 	if len(c.Alternatives) == 0 {
+		return nil, fmt.Errorf("plan: empty Choice")
+	}
+	if r != nil {
+		return r(c)
+	}
+	return c.Alternatives[0], nil
+}
+
+// OutAttrs implements Plan. Every alternative of a well-formed Choice
+// answers the same query and therefore produces the same attributes, so
+// the fallback resolution is representative.
+func (c *Choice) OutAttrs() strset.Set {
+	alt, err := ResolveChoice(c, nil)
+	if err != nil {
 		return strset.New()
 	}
-	return c.Alternatives[0].OutAttrs()
+	return alt.OutAttrs()
 }
 
 // Key implements Plan.

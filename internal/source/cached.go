@@ -1,0 +1,316 @@
+package source
+
+import (
+	"container/list"
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Under the paper's cost model cost(plan) = Σ_sq (k1 + k2·|result(sq)|)
+// every source query pays the fixed per-query overhead k1, so under heavy
+// mediator traffic the biggest saving after plan caching is not issuing
+// the same source query twice at all. Cached is that layer: a memo of
+// source-query answers in front of a querier.
+
+// DefaultSourceCacheSize bounds the per-source answer cache when
+// CacheOptions.MaxEntries is zero.
+const DefaultSourceCacheSize = 256
+
+// DefaultSourceCacheTTL bounds answer staleness when CacheOptions.TTL is
+// zero. Sources are autonomous — the mediator cannot know when their data
+// changes — so cached answers expire rather than live forever.
+const DefaultSourceCacheTTL = time.Minute
+
+// DefaultSourceCacheRows bounds the total tuples held across all cache
+// entries when CacheOptions.MaxRows is zero, keeping the cache's memory
+// proportional to data volume rather than entry count (one entry may hold
+// a huge result).
+const DefaultSourceCacheRows = 100_000
+
+// CacheOptions tune a Cached querier.
+type CacheOptions struct {
+	// MaxEntries bounds the number of memoized answers; least-recently-
+	// used entries are evicted beyond it (0 = DefaultSourceCacheSize).
+	MaxEntries int
+	// TTL is each entry's lifetime; an entry older than TTL is dropped on
+	// lookup and the query re-issued (0 = DefaultSourceCacheTTL).
+	TTL time.Duration
+	// MaxRows bounds the total tuples held across all entries; LRU
+	// entries are evicted until a new answer fits, and an answer larger
+	// than the whole budget is served but never stored
+	// (0 = DefaultSourceCacheRows).
+	MaxRows int
+
+	// Obs receives hit/miss/eviction/expiration/coalesced counters and
+	// entry/row gauges under csqp_source_cache_* names, labeled by
+	// source. Nil disables them.
+	Obs *obs.Registry
+	// Now is the TTL clock; tests inject a fake. Nil uses time.Now.
+	Now func() time.Time
+}
+
+// CacheStats counts what a Cached querier has done.
+type CacheStats struct {
+	// Hits counts queries answered from the cache without touching the
+	// upstream querier.
+	Hits int
+	// Misses counts queries that had to go upstream (coalesced waiters
+	// included).
+	Misses int
+	// Evictions counts entries dropped by the entry or rows bound.
+	Evictions int
+	// Expirations counts entries dropped because their TTL had passed.
+	Expirations int
+	// CoalescedWaits counts queries that waited on another caller's
+	// identical in-flight query instead of going upstream themselves.
+	CoalescedWaits int
+	// Entries and Rows describe the cache's current contents.
+	Entries, Rows int
+}
+
+// Cached memoizes a querier's answers keyed by the semantic source query:
+// the condition's order-insensitive NormKey plus the sorted attribute
+// list, so commutative/associative variants of a condition share an
+// entry. Entries live in a bounded LRU with a per-entry TTL and a total-
+// rows budget, and concurrent identical queries coalesce onto a single
+// upstream call (singleflight) — N requests for the same sub-query across
+// different plans issue exactly one source round-trip.
+//
+// Errors are never cached, and capability refusals (*RefusalError) pass
+// through untouched: a refusal is the source's deterministic "no" under
+// its capability description, not an answer, so caching must not change
+// capability semantics. Layer Cached OUTSIDE Resilient (cache → breaker →
+// source) and a source whose circuit breaker is fast-failing still serves
+// the answers it gave before going down, until their TTL — graceful
+// degradation the resilience layer alone cannot offer.
+//
+// Hits return a shallow Clone of the stored relation (tuples are
+// immutable and shared; the tuple slice is copied), so callers that
+// Sort or index their answer cannot perturb the cache or race each other.
+type Cached struct {
+	name  string
+	inner plan.Querier
+	opts  CacheOptions
+
+	mu       sync.Mutex
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // element value: *cachedAnswer
+	inflight map[string]*answerFlight
+	rows     int // total tuples across entries
+	stats    CacheStats
+
+	met cacheMetrics
+}
+
+// cacheMetrics are the registry instruments (no-ops when Obs is nil).
+type cacheMetrics struct {
+	hits, misses, evictions, expirations, coalesced *obs.Counter
+	entries, rows                                   *obs.Gauge
+}
+
+// cachedAnswer is one memoized source answer.
+type cachedAnswer struct {
+	key     string
+	res     *relation.Relation
+	rows    int
+	expires time.Time
+}
+
+// answerFlight is one in-progress upstream query. done is closed after
+// the leader has published its outcome into res/err (and, on success, the
+// LRU).
+type answerFlight struct {
+	done chan struct{}
+	res  *relation.Relation
+	err  error
+}
+
+// NewCached wraps q with an answer cache. The name labels metrics; use
+// the source's registered name.
+func NewCached(name string, q plan.Querier, opts CacheOptions) *Cached {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultSourceCacheSize
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultSourceCacheTTL
+	}
+	if opts.MaxRows <= 0 {
+		opts.MaxRows = DefaultSourceCacheRows
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	c := &Cached{
+		name:     name,
+		inner:    q,
+		opts:     opts,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*answerFlight),
+	}
+	reg := opts.Obs // nil-safe: nil registry yields no-op instruments
+	c.met = cacheMetrics{
+		hits:        reg.Counter("csqp_source_cache_hits_total", "source", name),
+		misses:      reg.Counter("csqp_source_cache_misses_total", "source", name),
+		evictions:   reg.Counter("csqp_source_cache_evictions_total", "source", name),
+		expirations: reg.Counter("csqp_source_cache_expirations_total", "source", name),
+		coalesced:   reg.Counter("csqp_source_cache_coalesced_total", "source", name),
+		entries:     reg.Gauge("csqp_source_cache_entries", "source", name),
+		rows:        reg.Gauge("csqp_source_cache_rows", "source", name),
+	}
+	return c
+}
+
+// Name returns the wrapped source's name.
+func (c *Cached) Name() string { return c.name }
+
+// Stats returns a snapshot of the cache's counters and current size.
+func (c *Cached) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Rows = c.rows
+	return st
+}
+
+// answerKey builds the semantic cache key for a source query. The source
+// itself is implicit — each Cached fronts exactly one source.
+func answerKey(cond condition.Node, attrs []string) string {
+	sorted := attrs
+	if !sort.StringsAreSorted(sorted) {
+		sorted = append([]string(nil), attrs...)
+		sort.Strings(sorted)
+	}
+	return condition.NormKey(cond) + "\x00" + strings.Join(sorted, ",")
+}
+
+// Query implements plan.Querier: a fresh cached answer is returned
+// without touching the upstream querier; otherwise one caller per key
+// goes upstream and the rest wait for its result.
+func (c *Cached) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	key := answerKey(cond, attrs)
+	c.mu.Lock()
+	if res, ok := c.lookup(key); ok {
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.stats.Misses++
+	c.met.misses.Inc()
+	if f, ok := c.inflight[key]; ok {
+		c.stats.CoalescedWaits++
+		c.met.coalesced.Inc()
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			// The leader's answer; clone for the same isolation a cache
+			// hit gets.
+			return f.res.Clone(), nil
+		case <-ctx.Done():
+			// This waiter's own deadline ended; the leader keeps going
+			// for the others.
+			return nil, ctx.Err()
+		}
+	}
+	f := &answerFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	res, err := c.inner.Query(ctx, cond, attrs)
+
+	c.mu.Lock()
+	f.res, f.err = res, err
+	if err == nil {
+		c.insert(key, res)
+	}
+	// Errors and refusals are never cached: a refusal is a deterministic
+	// capability "no" that must keep flowing from the source's
+	// description, and transient errors should be retried by the next
+	// request, not replayed.
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
+}
+
+// lookup returns a clone of the fresh entry for key, dropping it instead
+// when its TTL has passed. Callers hold mu.
+func (c *Cached) lookup(key string) (*relation.Relation, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	a := el.Value.(*cachedAnswer)
+	if c.opts.Now().After(a.expires) {
+		c.remove(el)
+		c.stats.Expirations++
+		c.met.expirations.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	c.met.hits.Inc()
+	return a.res.Clone(), true
+}
+
+// insert stores an answer under key, evicting LRU entries until both the
+// entry bound and the rows budget hold. An answer bigger than the whole
+// rows budget is not stored at all. Callers hold mu.
+func (c *Cached) insert(key string, res *relation.Relation) {
+	n := res.Len()
+	if n > c.opts.MaxRows {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A concurrent leader for an expired-then-refetched key may have
+		// beaten us; replace its answer.
+		a := el.Value.(*cachedAnswer)
+		c.rows += n - a.rows
+		a.res, a.rows = res, n
+		a.expires = c.opts.Now().Add(c.opts.TTL)
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cachedAnswer{
+			key:     key,
+			res:     res,
+			rows:    n,
+			expires: c.opts.Now().Add(c.opts.TTL),
+		})
+		c.rows += n
+	}
+	for len(c.entries) > c.opts.MaxEntries || c.rows > c.opts.MaxRows {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+		c.stats.Evictions++
+		c.met.evictions.Inc()
+	}
+	c.met.entries.Set(float64(len(c.entries)))
+	c.met.rows.Set(float64(c.rows))
+}
+
+// remove drops an entry and its rows from the accounting. Callers hold mu.
+func (c *Cached) remove(el *list.Element) {
+	a := el.Value.(*cachedAnswer)
+	c.ll.Remove(el)
+	delete(c.entries, a.key)
+	c.rows -= a.rows
+	c.met.entries.Set(float64(len(c.entries)))
+	c.met.rows.Set(float64(c.rows))
+}

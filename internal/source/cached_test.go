@@ -1,0 +1,404 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// countQuerier counts upstream calls and answers with a fixed relation or
+// error; an optional gate blocks every answer until released, so tests
+// can hold a query in flight.
+type countQuerier struct {
+	calls atomic.Int64
+	rel   *relation.Relation
+	err   error
+	gate  chan struct{}
+}
+
+func (q *countQuerier) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	q.calls.Add(1)
+	if q.gate != nil {
+		select {
+		case <-q.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if q.err != nil {
+		return nil, q.err
+	}
+	return q.rel, nil
+}
+
+// relOfLen builds a single-column relation with n distinct rows.
+func relOfLen(t *testing.T, n int) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.MustSchema(relation.Column{Name: "a", Kind: condition.KindInt}))
+	for i := 0; i < n; i++ {
+		if err := r.AppendValues(condition.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func mustCond(t *testing.T, src string) condition.Node {
+	t.Helper()
+	c, err := condition.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// cacheClock is a settable fake clock for TTL tests.
+type cacheClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *cacheClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *cacheClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCachedHitSkipsUpstream(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 3)}
+	c := NewCached("s", inner, CacheOptions{})
+	cond := mustCond(t, `a = 1 and b = 2`)
+
+	for i := 0; i < 5; i++ {
+		res, err := c.Query(context.Background(), cond, []string{"a"})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res.Len() != 3 {
+			t.Fatalf("query %d: rows = %d, want 3", i, res.Len())
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1 (4 hits)", got)
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Entries != 1 || st.Rows != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCachedKeyIsSemanticNotSyntactic(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 1)}
+	c := NewCached("s", inner, CacheOptions{})
+
+	// Commuted condition and re-ordered attrs name the same source query,
+	// so they must share the entry the first form created.
+	if _, err := c.Query(context.Background(), mustCond(t, `a = 1 and b = 2`), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), mustCond(t, `b = 2 and a = 1`), []string{"b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1 (NormKey/sorted-attrs equivalence)", got)
+	}
+	// A genuinely different query misses.
+	if _, err := c.Query(context.Background(), mustCond(t, `a = 1 or b = 2`), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 after distinct query", got)
+	}
+}
+
+func TestCachedTTLExpiry(t *testing.T) {
+	clk := &cacheClock{now: time.Unix(1000, 0)}
+	inner := &countQuerier{rel: relOfLen(t, 2)}
+	c := NewCached("s", inner, CacheOptions{TTL: time.Minute, Now: clk.Now})
+	cond := mustCond(t, `a = 1`)
+
+	if _, err := c.Query(context.Background(), cond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL: served from cache.
+	clk.advance(59 * time.Second)
+	if _, err := c.Query(context.Background(), cond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("upstream calls = %d, want 1 before expiry", got)
+	}
+	// Past the TTL: the entry is dropped and the query re-issued.
+	clk.advance(2 * time.Second)
+	if _, err := c.Query(context.Background(), cond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 after expiry", got)
+	}
+	st := c.Stats()
+	if st.Expirations != 1 {
+		t.Errorf("Expirations = %d, want 1", st.Expirations)
+	}
+	if st.Entries != 1 || st.Rows != 2 {
+		t.Errorf("post-refresh contents = %d entries / %d rows, want 1 / 2", st.Entries, st.Rows)
+	}
+}
+
+func TestCachedLRUEviction(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 1)}
+	c := NewCached("s", inner, CacheOptions{MaxEntries: 2})
+
+	q := func(src string) {
+		t.Helper()
+		if _, err := c.Query(context.Background(), mustCond(t, src), []string{"a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q(`a = 1`)
+	q(`a = 2`)
+	q(`a = 1`) // refresh a=1, making a=2 the LRU entry
+	q(`a = 3`) // evicts a=2
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+	before := inner.calls.Load()
+	q(`a = 1`) // still cached
+	if inner.calls.Load() != before {
+		t.Error("a=1 was evicted; want a=2 (LRU) evicted instead")
+	}
+	q(`a = 2`) // evicted: must go upstream
+	if inner.calls.Load() != before+1 {
+		t.Error("a=2 still cached; want it evicted as LRU")
+	}
+}
+
+func TestCachedRowsBudgetEviction(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 40)}
+	c := NewCached("s", inner, CacheOptions{MaxRows: 100})
+
+	q := func(src string) {
+		t.Helper()
+		if _, err := c.Query(context.Background(), mustCond(t, src), []string{"a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q(`a = 1`)
+	q(`a = 2`) // 80 rows held
+	q(`a = 3`) // 120 > 100: evict a=1
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Rows != 80 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries / 80 rows", st)
+	}
+
+	// An answer larger than the whole budget is served but never stored.
+	inner.rel = relOfLen(t, 200)
+	q(`a = 4`)
+	st = c.Stats()
+	if st.Entries != 2 || st.Rows != 80 {
+		t.Errorf("oversized answer was stored: %+v", st)
+	}
+	before := inner.calls.Load()
+	q(`a = 4`) // must go upstream again
+	if inner.calls.Load() != before+1 {
+		t.Error("oversized answer served from cache")
+	}
+}
+
+func TestCachedSingleflightDedup(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 1), gate: make(chan struct{})}
+	reg := obs.NewRegistry()
+	c := NewCached("s", inner, CacheOptions{Obs: reg})
+	cond := mustCond(t, `a = 1 and b = 2`)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	rows := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Query(context.Background(), cond, []string{"a"})
+			errs[i] = err
+			if res != nil {
+				rows[i] = res.Len()
+			}
+		}(i)
+	}
+	// Wait until the leader is in flight and the others have coalesced
+	// behind it, then release the one upstream call.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.CoalescedWaits == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never coalesced: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if rows[i] != 1 {
+			t.Fatalf("goroutine %d: rows = %d, want 1", i, rows[i])
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want exactly 1 for %d concurrent identical queries", got, n)
+	}
+	st := c.Stats()
+	if st.CoalescedWaits != n-1 || st.Misses != n {
+		t.Errorf("stats = %+v, want %d coalesced waits and %d misses", st, n-1, n)
+	}
+	// The registry mirrors the counters, labeled by source.
+	for _, cnt := range reg.Snapshot().Counters {
+		if cnt.Name == "csqp_source_cache_coalesced_total" && int(cnt.Value) != n-1 {
+			t.Errorf("csqp_source_cache_coalesced_total = %g, want %d", cnt.Value, n-1)
+		}
+	}
+}
+
+func TestCachedNeverCachesErrors(t *testing.T) {
+	inner := &countQuerier{err: &TransportError{Source: "s", Err: errors.New("boom")}}
+	c := NewCached("s", inner, CacheOptions{})
+	cond := mustCond(t, `a = 1`)
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(context.Background(), cond, []string{"a"}); err == nil {
+			t.Fatalf("query %d: want error", i)
+		}
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Errorf("upstream calls = %d, want 3 (errors must not be cached)", got)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want empty cache", st)
+	}
+
+	// Once the source recovers, the next query succeeds and is cached.
+	inner.err = nil
+	inner.rel = relOfLen(t, 1)
+	if _, err := c.Query(context.Background(), cond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), cond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 4 {
+		t.Errorf("upstream calls = %d, want 4 (recovered answer cached)", got)
+	}
+}
+
+func TestCachedRefusalPassesThroughUncached(t *testing.T) {
+	inner := &countQuerier{err: &RefusalError{Source: "s", Msg: "unsupported query"}}
+	c := NewCached("s", inner, CacheOptions{})
+	cond := mustCond(t, `a = 1`)
+
+	for i := 0; i < 2; i++ {
+		_, err := c.Query(context.Background(), cond, []string{"a"})
+		var ref *RefusalError
+		if !errors.As(err, &ref) {
+			t.Fatalf("query %d: err = %v, want *RefusalError", i, err)
+		}
+		if ref.Source != "s" || ref.Msg != "unsupported query" {
+			t.Fatalf("refusal mutated: %+v", ref)
+		}
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 (refusals must not be cached)", got)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("refusal entered the cache: %+v", st)
+	}
+}
+
+func TestCachedHitsAreIsolatedClones(t *testing.T) {
+	inner := &countQuerier{rel: relOfLen(t, 2)}
+	c := NewCached("s", inner, CacheOptions{})
+	cond := mustCond(t, `a = 1`)
+
+	res1, err := c.Query(context.Background(), cond, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A caller appending to (or sorting) its answer must not perturb the
+	// cached copy other callers will receive.
+	if err := res1.AppendValues(condition.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.Query(context.Background(), cond, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 2 {
+		t.Errorf("cached answer mutated through a hit: rows = %d, want 2", res2.Len())
+	}
+}
+
+// TestCachedServesWhileBreakerOpen proves the composition the cache
+// exists for: layered outside Resilient, a source whose breaker is
+// fast-failing keeps serving the answers it gave before going down.
+func TestCachedServesWhileBreakerOpen(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(1000, 0)}
+	opts := ResilienceOptions{BreakerThreshold: 1, BreakerCooldown: time.Hour}
+	ft.apply(&opts)
+	flaky := NewFlaky(&okQuerier{rel: tinyRelation(t)})
+	res := NewResilient("s", flaky, opts)
+	clk := &cacheClock{now: time.Unix(1000, 0)}
+	c := NewCached("s", res, CacheOptions{TTL: time.Minute, Now: clk.Now})
+
+	warm := mustCond(t, `a = "x"`)
+	if _, err := c.Query(context.Background(), warm, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The source dies; an uncached query trips the breaker open.
+	flaky.FailFirst(1 << 30)
+	if _, err := c.Query(context.Background(), mustCond(t, `a = "y"`), []string{"a"}); err == nil {
+		t.Fatal("want failure for uncached query against dead source")
+	}
+	if _, err := c.Query(context.Background(), mustCond(t, `a = "z"`), []string{"a"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+
+	// The warmed query still answers from cache, never touching the
+	// open breaker.
+	fastFails := res.Stats().FastFails
+	out, err := c.Query(context.Background(), warm, []string{"a"})
+	if err != nil {
+		t.Fatalf("cached answer behind open breaker: %v", err)
+	}
+	if out.Len() != 1 {
+		t.Errorf("rows = %d, want 1", out.Len())
+	}
+	if res.Stats().FastFails != fastFails {
+		t.Error("cache hit reached the breaker")
+	}
+
+	// Past the TTL the stale answer is gone and the breaker's verdict
+	// shows through again.
+	clk.advance(2 * time.Minute)
+	if _, err := c.Query(context.Background(), warm, []string{"a"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen once the cached answer expired", err)
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,10 +34,11 @@ type Resilient struct {
 	opts  ResilienceOptions
 	log   *slog.Logger
 
-	mu          sync.Mutex
-	consecFails int
-	openUntil   time.Time
-	state       breakerState
+	mu            sync.Mutex
+	consecFails   int
+	openUntil     time.Time
+	state         breakerState
+	trialInFlight bool
 
 	stats resCounters
 	met   resMetrics
@@ -193,7 +194,8 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 	backoff := r.opts.BaseBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if err := r.breakerAllow(); err != nil {
+		trial, err := r.breakerAllow()
+		if err != nil {
 			return nil, err
 		}
 		r.stats.attempts.Add(1)
@@ -203,9 +205,11 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 			r.met.retries.Inc()
 		}
 
-		_, sp := obs.Start(ctx, "source.attempt")
+		// The attempt runs under the span's context so the inner
+		// querier's own spans (HTTP round-trips) nest beneath it.
+		actx, sp := obs.Start(ctx, "source.attempt")
 		begin := r.opts.Now()
-		res, err := r.attempt(ctx, cond, attrs)
+		res, err := r.attempt(actx, cond, attrs)
 		r.met.latency.Observe(r.opts.Now().Sub(begin).Seconds())
 		if sp != nil {
 			sp.SetAttr("source", r.name)
@@ -218,12 +222,18 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		}
 		var refusal *RefusalError
 		if errors.As(err, &refusal) {
-			// Deterministic "no": not a health signal, never retried.
+			// Deterministic "no": not a health signal, never retried. A
+			// half-open trial that gets a refusal still concludes: the
+			// source answered, so release the trial slot for the next
+			// caller.
+			if trial {
+				r.endTrial()
+			}
 			r.stats.refusals.Add(1)
 			r.met.refusals.Inc()
 			return nil, err
 		}
-		r.recordFailure()
+		r.recordFailure(trial)
 		lastErr = err
 		// The caller's own context ending always stops the loop; a
 		// per-attempt deadline does not.
@@ -276,11 +286,15 @@ func (r *Resilient) setState(to breakerState) {
 }
 
 // breakerAllow fast-fails while the circuit is open. After the cooldown
-// it lets one trial through (half-open); the trial's outcome re-opens or
-// closes the circuit via recordFailure/recordSuccess.
-func (r *Resilient) breakerAllow() error {
+// it admits EXACTLY ONE caller as the half-open trial (trial=true) and
+// keeps fast-failing everyone else until that trial concludes — letting
+// every cooled-down caller through at once would stampede a source that
+// just signalled it is struggling. The trial's outcome re-opens or closes
+// the circuit via recordFailure/recordSuccess, which also release the
+// trial slot.
+func (r *Resilient) breakerAllow() (trial bool, err error) {
 	if r.opts.BreakerThreshold <= 0 {
-		return nil
+		return false, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -288,12 +302,28 @@ func (r *Resilient) breakerAllow() error {
 		if r.opts.Now().Before(r.openUntil) {
 			r.stats.fastFails.Add(1)
 			r.met.fastFails.Inc()
-			return fmt.Errorf("source %s: %w (retry after %s)", r.name, ErrCircuitOpen, r.openUntil.Sub(r.opts.Now()).Round(time.Millisecond))
+			return false, fmt.Errorf("source %s: %w (retry after %s)", r.name, ErrCircuitOpen, r.openUntil.Sub(r.opts.Now()).Round(time.Millisecond))
 		}
-		// Cooldown over: this caller is the half-open trial.
+		if r.trialInFlight {
+			r.stats.fastFails.Add(1)
+			r.met.fastFails.Inc()
+			return false, fmt.Errorf("source %s: %w (half-open trial in flight)", r.name, ErrCircuitOpen)
+		}
+		// Cooldown over and no trial running: this caller is the trial.
+		r.trialInFlight = true
 		r.setState(breakerHalfOpen)
+		return true, nil
 	}
-	return nil
+	return false, nil
+}
+
+// endTrial releases the half-open trial slot without recording a breaker
+// verdict (used when the trial ends in a refusal: the source answered,
+// but a capability "no" is neither a success nor a failure).
+func (r *Resilient) endTrial() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trialInFlight = false
 }
 
 func (r *Resilient) recordSuccess() {
@@ -301,14 +331,18 @@ func (r *Resilient) recordSuccess() {
 	defer r.mu.Unlock()
 	r.consecFails = 0
 	r.openUntil = time.Time{}
+	r.trialInFlight = false
 	r.setState(breakerClosed)
 }
 
-func (r *Resilient) recordFailure() {
+func (r *Resilient) recordFailure(trial bool) {
 	r.stats.failures.Add(1)
 	r.met.failures.Inc()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if trial {
+		r.trialInFlight = false
+	}
 	r.consecFails++
 	if r.opts.BreakerThreshold > 0 && r.consecFails >= r.opts.BreakerThreshold {
 		r.openUntil = r.opts.Now().Add(r.opts.BreakerCooldown)
@@ -338,5 +372,5 @@ func halfJitter(d time.Duration) time.Duration {
 		return d
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)))
+	return half + rand.N(half)
 }

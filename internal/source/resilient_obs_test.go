@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/condition"
 	"repro/internal/obs"
+	"repro/internal/relation"
 )
 
 // breakerGauge reads the csqp_breaker_state gauge for a source out of the
@@ -153,5 +155,44 @@ func TestResilientAttemptSpans(t *testing.T) {
 	}
 	if attempts[1].Err != "" {
 		t.Errorf("second attempt span unexpectedly errored: %s", attempts[1].Err)
+	}
+}
+
+// spanningQuerier opens its own span, like the HTTP client does per
+// round-trip.
+type spanningQuerier struct{ rel *relation.Relation }
+
+func (q *spanningQuerier) Query(ctx context.Context, _ condition.Node, _ []string) (*relation.Relation, error) {
+	_, sp := obs.Start(ctx, "inner.query")
+	sp.End()
+	return q.rel, nil
+}
+
+// TestAttemptSpanParentsInnerSpans pins the span-context plumbing: the
+// attempt runs under the "source.attempt" span's context, so spans the
+// inner querier opens (HTTP round-trips) nest beneath the attempt rather
+// than dangling off its parent.
+func TestAttemptSpanParentsInnerSpans(t *testing.T) {
+	r := NewResilient("s", &spanningQuerier{rel: tinyRelation(t)}, ResilienceOptions{})
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, err := r.Query(ctx, anyCond, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	var attempt, inner *obs.Span
+	for _, s := range tr.Spans() {
+		switch s.Name {
+		case "source.attempt":
+			attempt = s
+		case "inner.query":
+			inner = s
+		}
+	}
+	if attempt == nil || inner == nil {
+		t.Fatalf("missing spans:\n%s", tr.Tree())
+	}
+	if inner.Parent != attempt.ID {
+		t.Errorf("inner.query parent = %d, want the source.attempt span %d:\n%s",
+			inner.Parent, attempt.ID, tr.Tree())
 	}
 }

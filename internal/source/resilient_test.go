@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -178,6 +179,121 @@ func TestResilientBreakerOpensAndRecovers(t *testing.T) {
 	}
 	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err != nil {
 		t.Fatalf("closed breaker: %v", err)
+	}
+}
+
+// gatedQuerier fails while down, and once up blocks each call on gate
+// before succeeding — so a test can hold the half-open trial in flight
+// while other callers hit the breaker.
+type gatedQuerier struct {
+	down  atomic.Bool
+	calls atomic.Int64
+	gate  chan struct{}
+	rel   *relation.Relation
+}
+
+func (q *gatedQuerier) Query(ctx context.Context, _ condition.Node, _ []string) (*relation.Relation, error) {
+	q.calls.Add(1)
+	if q.down.Load() {
+		return nil, &TransportError{Source: "s", Err: errors.New("down")}
+	}
+	select {
+	case <-q.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return q.rel, nil
+}
+
+// TestBreakerHalfOpenAdmitsSingleTrial drives N concurrent callers into a
+// cooled-down open breaker and requires that exactly one is admitted as
+// the half-open trial while the rest fast-fail — the trial slot must not
+// stampede the source that just signalled it is struggling. Run under
+// -race in CI.
+func TestBreakerHalfOpenAdmitsSingleTrial(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(1000, 0)}
+	opts := ResilienceOptions{BreakerThreshold: 1, BreakerCooldown: time.Second}
+	ft.apply(&opts)
+	inner := &gatedQuerier{gate: make(chan struct{}), rel: tinyRelation(t)}
+	inner.down.Store(true)
+	r := NewResilient("s", inner, opts)
+
+	// One failure opens the breaker; then the source recovers and the
+	// cooldown passes.
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err == nil {
+		t.Fatal("want failure to open the breaker")
+	}
+	inner.down.Store(false)
+	ft.advance(1100 * time.Millisecond)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Query(context.Background(), anyCond, []string{"a"})
+		}(i)
+	}
+	// All callers but the single admitted trial must fast-fail; wait for
+	// them, then let the trial finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().FastFails < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fast-fails = %d, want %d", r.Stats().FastFails, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+
+	var ok, fastFailed int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrCircuitOpen):
+			fastFailed++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if ok != 1 || fastFailed != n-1 {
+		t.Errorf("successes = %d, fast-fails = %d; want exactly 1 trial and %d fast-fails", ok, fastFailed, n-1)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 (opening failure + single trial)", got)
+	}
+	// The successful trial closed the circuit: the next call goes
+	// straight through.
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err != nil {
+		t.Fatalf("post-trial query: %v", err)
+	}
+}
+
+// TestBreakerTrialRefusalReleasesSlot ensures a half-open trial that ends
+// in a capability refusal frees the trial slot for the next caller
+// instead of wedging the breaker half-open forever.
+func TestBreakerTrialRefusalReleasesSlot(t *testing.T) {
+	ft := &fakeTime{now: time.Unix(1000, 0)}
+	opts := ResilienceOptions{BreakerThreshold: 1, BreakerCooldown: time.Second}
+	ft.apply(&opts)
+	f := NewFlaky(&refuser{}).FailFirst(1)
+	r := NewResilient("s", f, opts)
+
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); err == nil {
+		t.Fatal("want failure to open the breaker")
+	}
+	ft.advance(1100 * time.Millisecond)
+	var ref *RefusalError
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); !errors.As(err, &ref) {
+		t.Fatalf("trial err = %v, want *RefusalError", err)
+	}
+	// The refusal concluded the trial; the next caller becomes a new
+	// trial rather than fast-failing on a stuck slot.
+	if _, err := r.Query(context.Background(), anyCond, []string{"a"}); !errors.As(err, &ref) {
+		t.Fatalf("post-refusal err = %v, want *RefusalError (new trial admitted)", err)
 	}
 }
 
