@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
+	"repro/internal/qa"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
 	"repro/internal/source"
@@ -416,6 +417,33 @@ func BenchmarkSourceCacheHit(b *testing.B) {
 	}
 	if st := cached.Stats(); st.Hits != b.N {
 		b.Fatalf("cache hits = %d, want %d", st.Hits, b.N)
+	}
+}
+
+func BenchmarkQAHarness(b *testing.B) {
+	// End-to-end throughput of one differential check: generate a seeded
+	// (condition, grammar, relation) instance, plan it with GenModular
+	// and GenCompact, execute both plans and compare against the oracle.
+	// The instances/sec metric tracks how much corpus the tier-1 budget
+	// and the nightly fuzz window buy; the alloc gate catches planning-
+	// or generator-side allocation creep on the harness hot path.
+	ctx := context.Background()
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		// Rotate through a fixed seed window so b.N doesn't change which
+		// workload shapes are measured.
+		inst := qa.Generate(int64(i%64) + 1)
+		rep, err := qa.Differential(ctx, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed() {
+			b.Fatalf("differential failure during benchmark:\n%s", rep)
+		}
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "instances/sec")
 	}
 }
 

@@ -1,0 +1,120 @@
+// Command qa soaks the differential/metamorphic correctness harness
+// outside the Go test runner: it walks seeds continuously, runs the
+// selected checks on each generated instance, and prints a minimized
+// repro for every failure. Unlike `go test -fuzz`, it needs no build
+// cache or corpus directory, so it suits long background soaks and
+// machines where only the built binary ships.
+//
+//	qa -duration 10m                 # soak all checks for 10 minutes
+//	qa -seeds 5000 -check diff       # first 5000 seeds, differential only
+//	qa -start 132 -seeds 1           # replay one seed
+//
+// Exit status: 0 if every instance passed (inconclusive counts as a
+// pass — see the truncation note in internal/qa), 1 if any check
+// failed, 2 on usage or harness errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/qa"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		start    = flag.Int64("start", 1, "first seed")
+		seeds    = flag.Int64("seeds", 0, "number of seeds to run (0 = unbounded, stop on -duration or interrupt)")
+		duration = flag.Duration("duration", 0, "wall-clock budget (0 = unbounded)")
+		check    = flag.String("check", "all", "checks to run: diff, meta, fault, or all")
+		verbose  = flag.Bool("v", false, "log every seed, not only failures")
+	)
+	flag.Parse()
+
+	type namedCheck struct {
+		name string
+		fn   func(context.Context, *qa.Instance) (*qa.Report, error)
+	}
+	var checks []namedCheck
+	switch *check {
+	case "diff":
+		checks = []namedCheck{{"differential", qa.Differential}}
+	case "meta":
+		checks = []namedCheck{{"metamorphic", qa.Metamorphic}}
+	case "fault":
+		checks = []namedCheck{{"fault-tolerance", qa.FaultTolerance}}
+	case "all":
+		checks = []namedCheck{
+			{"differential", qa.Differential},
+			{"metamorphic", qa.Metamorphic},
+			{"fault-tolerance", qa.FaultTolerance},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "qa: unknown -check %q (want diff, meta, fault or all)\n", *check)
+		return 2
+	}
+	if *seeds == 0 && *duration == 0 {
+		// Unbounded soak until interrupted; make that explicit up front.
+		fmt.Fprintln(os.Stderr, "qa: no -seeds or -duration bound; soaking until interrupted")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	began := time.Now()
+	var ran, failures, inconclusive int64
+	for seed := *start; *seeds == 0 || seed < *start+*seeds; seed++ {
+		if ctx.Err() != nil {
+			break
+		}
+		inst := qa.Generate(seed)
+		for _, c := range checks {
+			// Checks get a fresh context so an expiring soak budget is
+			// not mistaken for a harness failure mid-check.
+			rep, err := c.fn(context.Background(), inst)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qa: seed %d: %s harness error: %v\n%s", seed, c.name, err, inst.Repro())
+				return 2
+			}
+			switch {
+			case rep.Failed():
+				failures++
+				small := qa.Shrink(inst, func(cand *qa.Instance) bool {
+					r, err := c.fn(context.Background(), cand)
+					return err == nil && r.Failed()
+				})
+				fmt.Printf("FAIL seed=%d check=%s\n%s\nminimized repro:\n%s\n", seed, c.name, rep, small.Repro())
+			case len(rep.Inconclusive) > 0:
+				inconclusive++
+				if *verbose {
+					fmt.Printf("INCONCLUSIVE seed=%d check=%s: %s\n", seed, c.name, rep)
+				}
+			case *verbose:
+				fmt.Printf("ok seed=%d check=%s\n", seed, c.name)
+			}
+		}
+		ran++
+	}
+
+	elapsed := time.Since(began)
+	rate := float64(ran) / elapsed.Seconds()
+	fmt.Printf("qa: %d seeds in %s (%.1f instances/sec): %d failed, %d inconclusive\n",
+		ran, elapsed.Round(time.Millisecond), rate, failures, inconclusive)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

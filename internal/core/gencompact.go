@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"math"
+	"sort"
 	"strconv"
 	"time"
 
@@ -291,11 +292,19 @@ type entry struct {
 
 // entries flattens the array, applying PR3 domination pruning when
 // enabled: an entry is dropped when another covers a superset of its
-// children at no greater cost.
+// children at no greater cost. Masks are visited in ascending order so
+// that tie-breaking between equal-cost sub-plans — here and in the MCSC
+// ordering downstream — is deterministic across runs; the qa harness
+// relies on identical seeds reproducing identical plans.
 func (s *subPlans) entries(pr3 bool) []entry {
+	masks := make([]int, 0, len(s.byMask))
+	for mask := range s.byMask {
+		masks = append(masks, mask)
+	}
+	sort.Ints(masks)
 	var out []entry
-	for mask, cands := range s.byMask {
-		for _, c := range cands {
+	for _, mask := range masks {
+		for _, c := range s.byMask[mask] {
 			out = append(out, entry{mask: mask, cand: c})
 		}
 	}
@@ -500,12 +509,16 @@ func (g *ipg) mcsc(entries []entry, full int, bound float64) ([]plan.Plan, float
 	return plans, bestCost
 }
 
+// sortEntriesByCost orders MCSC input cheapest-first; equal costs break
+// by mask so the search (and therefore the chosen cover among equal-cost
+// alternatives) is deterministic.
 func sortEntriesByCost(entries []entry) {
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0 && entries[j].cand.Cost < entries[j-1].cand.Cost; j-- {
-			entries[j], entries[j-1] = entries[j-1], entries[j]
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].cand.Cost != entries[j].cand.Cost {
+			return entries[i].cand.Cost < entries[j].cand.Cost
 		}
-	}
+		return entries[i].mask < entries[j].mask
+	})
 }
 
 // buildConn assembles the AND/OR of the masked children, preserving child

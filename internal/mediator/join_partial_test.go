@@ -1,0 +1,159 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/source"
+)
+
+// Joins always fail closed: a dropped left partition would silently
+// shrink the semijoin's bindings (missing probes, missing answer rows),
+// and a dropped right branch would shrink the probe answers — neither is
+// a sound partial answer, so AnswerJoin must never surface a
+// *plan.PartialError, even when the mediator is configured with
+// AllowPartial for its union paths. These tests inject faults on each
+// side and pin that discipline.
+
+// paloAltoJoin is the spec TestSemijoinEndToEnd uses; fault tests reuse
+// it so the expected clean answer (2 rows) is already established.
+func paloAltoJoin() JoinSpec {
+	return JoinSpec{
+		Left:      "dealers",
+		Right:     "cars",
+		LeftCond:  condition.MustParse(`city = "Palo Alto"`),
+		RightCond: condition.MustParse(`price < 40000`),
+		LeftAttr:  "brand",
+		RightAttr: "make",
+		Attrs:     []string{"dealer", "model", "price"},
+	}
+}
+
+func TestJoinLeftSideFaultFailsClosed(t *testing.T) {
+	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
+		if name == "dealers" {
+			return source.NewFlaky(q).FailFirst(100)
+		}
+		return q
+	})
+	med.AllowPartial = true // must not apply to joins
+	res, err := med.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err == nil || res != nil {
+		t.Fatalf("join with a dead left side must fail closed (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, source.ErrInjected) {
+		t.Errorf("err = %v, want the injected fault preserved in the chain", err)
+	}
+	var pe *plan.PartialError
+	if errors.As(err, &pe) {
+		t.Errorf("join failure surfaced as a partial answer: %v", err)
+	}
+}
+
+func TestJoinRightProbeFaultFailsClosed(t *testing.T) {
+	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
+		if name == "cars" {
+			return source.NewFlaky(q).FailFirst(100)
+		}
+		return q
+	})
+	med.AllowPartial = true
+	res, err := med.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err == nil || res != nil {
+		t.Fatalf("join with dead right-side probes must fail closed (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, source.ErrInjected) {
+		t.Errorf("err = %v, want the injected fault preserved in the chain", err)
+	}
+	var pe *plan.PartialError
+	if errors.As(err, &pe) {
+		t.Errorf("join failure surfaced as a partial answer: %v", err)
+	}
+}
+
+func TestJoinRecoversWithResilientRightSide(t *testing.T) {
+	// Clean run for the expected answer.
+	cleanMed, _, _ := joinFixture(t)
+	want, err := cleanMed.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err != nil {
+		t.Fatalf("clean join: %v", err)
+	}
+
+	noSleep := func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
+		if name == "cars" {
+			flaky := source.NewFlaky(q).FailFirst(2)
+			return source.NewResilient(name, flaky, source.ResilienceOptions{
+				MaxRetries: 3,
+				Sleep:      noSleep,
+			})
+		}
+		return q
+	})
+	res, err := med.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err != nil {
+		t.Fatalf("join behind retries should recover from 2 transient faults: %v", err)
+	}
+	if !res.Relation.Equal(want.Relation) {
+		t.Errorf("recovered join differs from clean join:\ngot  %v\nwant %v",
+			res.Relation.Tuples(), want.Relation.Tuples())
+	}
+}
+
+// TestJoinUnderFaultsConcurrently runs joins from many goroutines over a
+// randomly failing right side with a parallel executor, so the race
+// detector covers the mediator's join path end to end. Every outcome
+// must be all-or-nothing: the exact clean answer, or a fail-closed error
+// with no result and no *plan.PartialError.
+func TestJoinUnderFaultsConcurrently(t *testing.T) {
+	cleanMed, _, _ := joinFixture(t)
+	want, err := cleanMed.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err != nil {
+		t.Fatalf("clean join: %v", err)
+	}
+
+	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
+		if name == "cars" {
+			return source.NewFlaky(q).FailRate(0.3, 42)
+		}
+		return q
+	})
+	med.Workers = 4
+	med.AllowPartial = true
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := med.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+			switch {
+			case err == nil:
+				if !res.Relation.Equal(want.Relation) {
+					errCh <- errors.New("successful join returned a wrong answer")
+				}
+			default:
+				if res != nil {
+					errCh <- errors.New("failed join returned a non-nil result")
+				}
+				var pe *plan.PartialError
+				if errors.As(err, &pe) {
+					errCh <- errors.New("join failure surfaced as a partial answer")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

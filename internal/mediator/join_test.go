@@ -20,6 +20,15 @@ import (
 // make+color).
 func joinFixture(t *testing.T) (*Mediator, *source.Local, *source.Local) {
 	t.Helper()
+	return joinFixtureWrapped(t, func(_ string, q plan.Querier) plan.Querier { return q })
+}
+
+// joinFixtureWrapped is joinFixture with a hook: wrap sees each backing
+// source ("dealers", "cars") before registration, so fault-injection
+// tests can interpose a Flaky or Resilient layer while keeping the same
+// data and grammars.
+func joinFixtureWrapped(t *testing.T, wrap func(name string, q plan.Querier) plan.Querier) (*Mediator, *source.Local, *source.Local) {
+	t.Helper()
 	// Source 1: dealers(dealer, city, brand).
 	dg := ssdl.MustParse(`
 source dealers
@@ -90,10 +99,10 @@ attributes :: s2 : {make, model, price}
 
 	est := cost.NewOracleEstimator(map[string]*relation.Relation{"dealers": dr, "cars": cr})
 	med := New(cost.Model{K1: 5, K2: 1, Est: est})
-	if err := med.Register("", dealers, dg); err != nil {
+	if err := med.Register("", wrap("dealers", dealers), dg); err != nil {
 		t.Fatal(err)
 	}
-	if err := med.Register("", cars, cg); err != nil {
+	if err := med.Register("", wrap("cars", cars), cg); err != nil {
 		t.Fatal(err)
 	}
 	return med, dealers, cars

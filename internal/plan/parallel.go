@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/relation"
@@ -180,6 +181,18 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 
 	if failClosed {
 		if err := firstRealError(errs); err != nil {
+			// A branch may itself be a degraded Union (rel + *PartialError)
+			// when AllowPartial is on. A fail-closed node cannot accept it,
+			// and must not re-surface the *PartialError as its own error
+			// either: PartialError's contract is "sound subset alongside a
+			// non-nil relation", and this node returns nil. Rewrap so
+			// errors.As no longer sees a partial answer while errors.Is
+			// still reaches the root-cause source failure.
+			var pe *PartialError
+			if errors.As(err, &pe) && len(pe.Dropped) > 0 {
+				return nil, fmt.Errorf("plan: fail-closed node rejected a partial branch (dropped %s): %w",
+					strings.Join(pe.DroppedSources(), ","), pe.Dropped[0].Err)
+			}
 			return nil, err
 		}
 		combine := (*relation.Relation).Intersect

@@ -1,0 +1,227 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+// Nested-shape propagation tests: GenCompact's MCSC plans put Intersect
+// above per-CT Unions and Unions above Intersects, so the partial-answer
+// discipline has to hold through arbitrary nesting, not only at a single
+// n-ary node. The invariant throughout:
+//
+//   - *PartialError  ⇒ non-nil relation, sound subset, Dropped non-empty
+//   - any other error ⇒ nil relation (fail closed)
+//
+// and the two cases never mix.
+
+// nestedFixture returns sources A/C (alive, cars relation) and B/D (dead
+// with distinct errors), so tests can tell which failure surfaced.
+func nestedFixture(t *testing.T) (Sources, error, error) {
+	t.Helper()
+	rel := carsRelation(t)
+	errB := fmt.Errorf("B down: %w", errDown)
+	errD := errors.New("D timed out")
+	srcs := SourceMap{
+		"A": &testSource{rel: rel},
+		"B": &errSource{err: errB},
+		"C": &testSource{rel: rel},
+		"D": &errSource{err: errD},
+	}
+	return srcs, errB, errD
+}
+
+func condMake(make string) condition.Node {
+	return condition.MustParse(fmt.Sprintf("make = %q", make))
+}
+
+func TestPartialUnionDropsFailedIntersectBranch(t *testing.T) {
+	srcs, _, _ := nestedFixture(t)
+	// Union( Intersect(A, B†), C ): the Intersect fails closed, the
+	// enclosing Union drops it as one branch and keeps C.
+	p := &Union{Inputs: []Plan{
+		&Intersect{Inputs: []Plan{
+			NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+			NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+		}},
+		NewSourceQuery("C", condMake("Toyota"), []string{"model"}),
+	}}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("expected a partial answer, got err = %v", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	// The dropped branch is the whole Intersect subtree: both of its
+	// sources are named, so the caller can see the full blast radius.
+	if got := pe.DroppedSources(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("DroppedSources = %v, want [A B]", got)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("partial error should unwrap to B's failure, got %v", err)
+	}
+	// Only C's branch survived: 2 Toyota models.
+	if res.Len() != 2 {
+		t.Errorf("partial answer has %d rows, want 2 (C's branch only)", res.Len())
+	}
+}
+
+func TestIntersectRejectsPartialUnionBranch(t *testing.T) {
+	srcs, _, _ := nestedFixture(t)
+	// Intersect( Union(A, B†), C ) with AllowPartial: the inner Union
+	// degrades to a sound subset, but Intersect of a subset could drop
+	// true answer tuples' support, so the Intersect must fail closed —
+	// and must NOT re-surface the inner *PartialError with a nil
+	// relation, which would break the "partial ⇒ non-nil relation"
+	// contract for callers detecting partials with errors.As alone.
+	p := &Intersect{Inputs: []Plan{
+		&Union{Inputs: []Plan{
+			NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+			NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+		}},
+		NewSourceQuery("C", condMake("BMW"), []string{"model"}),
+	}}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if err == nil || res != nil {
+		t.Fatalf("Intersect over a partial Union must fail closed (res=%v err=%v)", res, err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Errorf("fail-closed Intersect leaked a *PartialError with a nil relation: %v", err)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("err = %v, want the root-cause source failure %v preserved", err, errDown)
+	}
+}
+
+func TestNestedUnionsAggregateDropped(t *testing.T) {
+	srcs, _, _ := nestedFixture(t)
+	// Union( Union(A, B†), Union(C, D†) ): both inner Unions degrade;
+	// the outer Union keeps their partial results and merges their
+	// Dropped lists instead of re-dropping the partial branches whole.
+	p := &Union{Inputs: []Plan{
+		&Union{Inputs: []Plan{
+			NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+			NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+		}},
+		&Union{Inputs: []Plan{
+			NewSourceQuery("C", condMake("Toyota"), []string{"model"}),
+			NewSourceQuery("D", condMake("Toyota"), []string{"model"}),
+		}},
+	}}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("expected a partial answer, got err = %v", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(pe.Dropped) != 2 {
+		t.Errorf("Dropped has %d entries, want 2 (one per dead inner branch): %v", len(pe.Dropped), pe)
+	}
+	if got := pe.DroppedSources(); len(got) != 2 || got[0] != "B" || got[1] != "D" {
+		t.Errorf("DroppedSources = %v, want [B D] — surviving sources must not be blamed", got)
+	}
+	// A's 3 BMW models + C's 2 Toyota models survived.
+	if res.Len() != 5 {
+		t.Errorf("partial answer has %d rows, want 5", res.Len())
+	}
+}
+
+func TestPartialRidesThroughSPAboveNestedUnions(t *testing.T) {
+	srcs, _, _ := nestedFixture(t)
+	inner := &Union{Inputs: []Plan{
+		&Union{Inputs: []Plan{
+			NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+			NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+		}},
+		NewSourceQuery("C", condMake("Toyota"), []string{"model"}),
+	}}
+	p := NewSP(condition.True(), []string{"model"}, inner)
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("expected a partial answer through σ/π, got err = %v", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError to survive Select/Project", err)
+	}
+	if got := pe.DroppedSources(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("DroppedSources = %v, want [B]", got)
+	}
+}
+
+func TestIntersectOfIntersectsFailsClosed(t *testing.T) {
+	srcs, _, errD := nestedFixture(t)
+	p := &Intersect{Inputs: []Plan{
+		&Intersect{Inputs: []Plan{
+			NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+			NewSourceQuery("D", condMake("BMW"), []string{"model"}),
+		}},
+		NewSourceQuery("C", condMake("BMW"), []string{"model"}),
+	}}
+	res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 4, AllowPartial: true})
+	if err == nil || res != nil {
+		t.Fatalf("nested Intersect must fail closed (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, errD) {
+		t.Errorf("err = %v, want D's failure", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Error("nested Intersect failure must not look like a partial answer")
+	}
+}
+
+// TestNestedPartialInvariantUnderConcurrency hammers the two nested
+// shapes with a large worker pool so the race detector (CI runs the
+// whole suite under -race) exercises the token-pool and cancellation
+// paths, and checks the partial/fail-closed dichotomy holds on every
+// iteration regardless of goroutine scheduling.
+func TestNestedPartialInvariantUnderConcurrency(t *testing.T) {
+	srcs, _, _ := nestedFixture(t)
+	shapes := map[string]Plan{
+		"union-of-intersect": &Union{Inputs: []Plan{
+			&Intersect{Inputs: []Plan{
+				NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+				NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+			}},
+			NewSourceQuery("C", condMake("Toyota"), []string{"model"}),
+		}},
+		"intersect-of-union": &Intersect{Inputs: []Plan{
+			&Union{Inputs: []Plan{
+				NewSourceQuery("A", condMake("BMW"), []string{"model"}),
+				NewSourceQuery("B", condMake("BMW"), []string{"model"}),
+			}},
+			NewSourceQuery("C", condMake("BMW"), []string{"model"}),
+		}},
+	}
+	for name, p := range shapes {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < 25; i++ {
+				res, err := ExecuteParallel(context.Background(), p, srcs, ExecOptions{Workers: 8, AllowPartial: true})
+				var pe *PartialError
+				isPartial := errors.As(err, &pe)
+				switch {
+				case err == nil:
+					t.Fatalf("iteration %d: expected a failure to surface, got clean result", i)
+				case isPartial && res == nil:
+					t.Fatalf("iteration %d: *PartialError with nil relation", i)
+				case isPartial && len(pe.Dropped) == 0:
+					t.Fatalf("iteration %d: *PartialError with empty Dropped", i)
+				case !isPartial && res != nil:
+					t.Fatalf("iteration %d: non-partial error with non-nil relation", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,263 @@
+package qa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/genmodular"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/source"
+)
+
+// The harness's cost constants. Their exact values are irrelevant to the
+// assertions (both planners price plans under the same model); K1 > K2
+// keeps per-query overhead significant so plan choice is non-trivial.
+const (
+	costK1 = 10
+	costK2 = 1
+)
+
+// closureMaxCTs and closureMaxAtoms are the rewrite budgets the harness
+// gives BOTH planners. They are generous relative to the generator's
+// small queries (≤ 5 atoms), so the closures are effectively exhaustive
+// and any divergence the driver reports is a planner bug, not a budget
+// artifact.
+const (
+	closureMaxCTs   = 192
+	closureMaxAtoms = 24
+)
+
+// Modular returns the GenModular reference planner with the harness's
+// rewrite budget.
+func Modular() *genmodular.Planner {
+	return &genmodular.Planner{Rewrite: rewrite.Config{
+		Rules:    rewrite.AllRules,
+		MaxCTs:   closureMaxCTs,
+		MaxAtoms: closureMaxAtoms,
+	}}
+}
+
+// Compact returns the GenCompact planner under test with the harness's
+// rewrite budget.
+func Compact() *core.Planner {
+	return &core.Planner{Rewrite: rewrite.Config{
+		Rules:    rewrite.DistributiveOnly,
+		MaxCTs:   closureMaxCTs,
+		MaxAtoms: closureMaxAtoms,
+	}}
+}
+
+// Model returns the harness cost model for the instance: the linear model
+// with exact (oracle) cardinalities, so cost comparisons measure the
+// planners rather than estimation error.
+func (inst *Instance) Model() cost.Model {
+	return cost.Model{
+		K1:  costK1,
+		K2:  costK2,
+		Est: cost.NewOracleEstimator(map[string]*relation.Relation{inst.Source(): inst.Rel}),
+	}
+}
+
+// NewMediator builds a fresh mediator with the instance's source
+// registered behind the given querier (the raw Local source when q is
+// nil). Each call builds independent checkers and caches, so harness
+// runs cannot contaminate each other.
+func (inst *Instance) NewMediator(q plan.Querier) (*mediator.Mediator, error) {
+	med := mediator.New(inst.Model())
+	if q == nil {
+		local, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+		if err != nil {
+			return nil, fmt.Errorf("qa: building source: %w", err)
+		}
+		q = local
+	}
+	if err := med.Register(inst.Source(), q, inst.Grammar); err != nil {
+		return nil, fmt.Errorf("qa: registering source: %w", err)
+	}
+	return med, nil
+}
+
+// Report is the outcome of one differential run. An empty Failures slice
+// means every assertion held.
+type Report struct {
+	Instance *Instance
+
+	// ModularFeasible / CompactFeasible record supportability per
+	// scheme.
+	ModularFeasible, CompactFeasible bool
+	// ModularCost / CompactCost are the chosen plans' model costs
+	// (meaningful only when the scheme found a plan).
+	ModularCost, CompactCost float64
+	// OracleRows is the ground-truth answer cardinality.
+	OracleRows int
+
+	// Failures lists every violated assertion, with enough context to
+	// debug; Instance.Repro() supplies the rest.
+	Failures []string
+	// Inconclusive lists assertions that could not be judged because a
+	// planner's rewrite closure was truncated at its CT budget: an
+	// "infeasible" verdict from a truncated closure may simply mean the
+	// supporting CT lies beyond the cap (GenModular's AllRules closure
+	// routinely does — exactly the blowup §6 motivates GenCompact with),
+	// so it cannot convict the other planner of a bug. Inconclusive
+	// entries are not failures; corpus tests report them as skips.
+	Inconclusive []string
+}
+
+// Failed reports whether any assertion was violated.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// String renders the report for test output.
+func (r *Report) String() string {
+	if !r.Failed() {
+		if len(r.Inconclusive) > 0 {
+			return fmt.Sprintf("qa: seed %d inconclusive:\n  - %s",
+				r.Instance.Seed, strings.Join(r.Inconclusive, "\n  - "))
+		}
+		return fmt.Sprintf("qa: seed %d ok (modular=%v compact=%v oracle=%d rows)",
+			r.Instance.Seed, r.ModularFeasible, r.CompactFeasible, r.OracleRows)
+	}
+	return fmt.Sprintf("qa: seed %d FAILED:\n  - %s\n%s",
+		r.Instance.Seed, strings.Join(r.Failures, "\n  - "), r.Instance.Repro())
+}
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) inconcf(format string, args ...any) {
+	r.Inconclusive = append(r.Inconclusive, fmt.Sprintf(format, args...))
+}
+
+// Differential runs the full differential check on one instance:
+//
+//	(a) GenModular and GenCompact agree on supportability;
+//	(b) both executed answers equal the oracle's answer;
+//	(c) GenCompact's chosen plan costs no more than GenModular's
+//	    minimum under the shared cost model.
+//
+// The returned error reports harness infrastructure problems only
+// (generator/oracle/registration); assertion violations land in
+// Report.Failures.
+func Differential(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	model := med.Model()
+
+	planM, metM, errM := med.Plan(ctx, Modular(), inst.Source(), inst.Cond, inst.Attrs)
+	planC, metC, errC := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+
+	rep.ModularFeasible, err = classify(errM)
+	if err != nil {
+		rep.failf("GenModular failed unexpectedly: %v", err)
+	}
+	rep.CompactFeasible, err = classify(errC)
+	if err != nil {
+		rep.failf("GenCompact failed unexpectedly: %v", err)
+	}
+	if rep.Failed() {
+		return rep, nil
+	}
+
+	// A closure that reached the CT cap may have been cut off before the
+	// one CT that makes the query supportable (or the plan cheap), so
+	// verdicts depending on its completeness are inconclusive, not wrong.
+	truncM := metM != nil && metM.CTs >= closureMaxCTs
+	truncC := metC != nil && metC.CTs >= closureMaxCTs
+
+	// (a) supportability agreement. "Feasible" is self-certifying — the
+	// plan gets executed against the oracle below — but "infeasible" from
+	// a truncated closure convicts nobody.
+	if rep.ModularFeasible != rep.CompactFeasible {
+		switch {
+		case !rep.ModularFeasible && truncM:
+			rep.inconcf("GenModular infeasible with its closure truncated at %d CTs, GenCompact feasible: agreement unjudgeable", metM.CTs)
+		case !rep.CompactFeasible && truncC:
+			rep.inconcf("GenCompact infeasible with its closure truncated at %d CTs, GenModular feasible: agreement unjudgeable", metC.CTs)
+		default:
+			rep.failf("supportability disagreement: GenModular feasible=%v, GenCompact feasible=%v",
+				rep.ModularFeasible, rep.CompactFeasible)
+		}
+	}
+
+	// (b) every produced plan must execute to the oracle's answer — also
+	// when supportability is disputed, since a plan that exists must
+	// still be correct.
+	runs := make([]struct {
+		name string
+		p    plan.Plan
+	}, 0, 2)
+	if rep.ModularFeasible {
+		runs = append(runs, struct {
+			name string
+			p    plan.Plan
+		}{"GenModular", planM})
+	}
+	if rep.CompactFeasible {
+		runs = append(runs, struct {
+			name string
+			p    plan.Plan
+		}{"GenCompact", planC})
+	}
+	for _, run := range runs {
+		ans, err := plan.Execute(ctx, run.p, med)
+		if err != nil {
+			rep.failf("%s plan failed to execute: %v\nplan:\n%s", run.name, err, plan.Format(run.p))
+			continue
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("%s answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				run.name, ans.Len(), oracle.Len(), plan.Format(run.p))
+		}
+	}
+
+	// (c) GenCompact's plan is minimum-cost, judged only when both
+	// schemes produced plans. The epsilon absorbs floating-point
+	// summation-order noise, nothing more.
+	if rep.ModularFeasible && rep.CompactFeasible {
+		rep.ModularCost = model.PlanCost(planM)
+		rep.CompactCost = model.PlanCost(planC)
+		if rep.CompactCost > rep.ModularCost*(1+1e-9)+1e-9 {
+			if truncC {
+				rep.inconcf("GenCompact plan cost %.4f exceeds GenModular minimum %.4f, but GenCompact's closure was truncated at %d CTs: minimality unjudgeable",
+					rep.CompactCost, rep.ModularCost, metC.CTs)
+			} else {
+				rep.failf("GenCompact plan cost %.4f exceeds GenModular minimum %.4f\ncompact plan:\n%smodular plan:\n%s",
+					rep.CompactCost, rep.ModularCost, plan.Format(planC), plan.Format(planM))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// classify splits a planner error into (feasible, unexpected-error):
+// ErrInfeasible is a legitimate outcome, everything else is a harness
+// failure.
+func classify(err error) (feasible bool, unexpected error) {
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, planner.ErrInfeasible):
+		return false, nil
+	default:
+		return false, err
+	}
+}

@@ -1,0 +1,72 @@
+package qa
+
+import (
+	"context"
+	"testing"
+)
+
+// fuzzSeedCorpus is the starting corpus for both fuzz targets: a spread
+// of small seeds (each profile class and query shape appears) plus the
+// pinned regression seeds. The fuzzer mutates the int64 seed; every
+// value is a valid instance by construction, so all fuzzing effort goes
+// into exploring planner behavior rather than input validation.
+var fuzzSeedCorpus = []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987}
+
+// FuzzDifferentialPlan fuzzes the tentpole differential assertion:
+// generate the instance for a seed, plan it with GenModular and
+// GenCompact, execute both, and require supportability agreement, oracle
+// equality and GenCompact cost-minimality.
+//
+// Run locally with
+//
+//	go test ./internal/qa -fuzz FuzzDifferentialPlan -fuzztime 60s
+func FuzzDifferentialPlan(f *testing.F) {
+	for _, s := range fuzzSeedCorpus {
+		f.Add(s)
+	}
+	for _, s := range regressionSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		fuzzCheck(t, Differential, seed)
+	})
+}
+
+// FuzzMetamorphic fuzzes the metamorphic and fault-tolerance invariants:
+// condition variants, plan cache, parallel execution, source cache and
+// injected faults must never change a supportable query's answer beyond
+// sound, well-formed degradation.
+//
+// Run locally with
+//
+//	go test ./internal/qa -fuzz FuzzMetamorphic -fuzztime 60s
+func FuzzMetamorphic(f *testing.F) {
+	for _, s := range fuzzSeedCorpus {
+		f.Add(s)
+	}
+	for _, s := range regressionSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		fuzzCheck(t, Metamorphic, seed)
+		fuzzCheck(t, FaultTolerance, seed)
+	})
+}
+
+func fuzzCheck(t *testing.T, check checkFn, seed int64) {
+	t.Helper()
+	ctx := context.Background()
+	inst := Generate(seed)
+	rep, err := check(ctx, inst)
+	if err != nil {
+		t.Fatalf("harness error on seed %d: %v\n%s", seed, err, inst.Repro())
+	}
+	if !rep.Failed() {
+		return // inconclusive (budget-truncated) outcomes are not failures
+	}
+	small := Shrink(inst, func(cand *Instance) bool {
+		r, err := check(ctx, cand)
+		return err == nil && r.Failed()
+	})
+	t.Errorf("%s\n\nminimized repro:\n%s", rep, small.Repro())
+}

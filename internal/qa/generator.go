@@ -1,0 +1,83 @@
+package qa
+
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// GenConfig bounds the generator. The zero value uses defaults tuned so
+// the 500-instance corpus plans and executes in seconds: small queries
+// keep both planners' rewrite closures well inside their caps, so any
+// GenModular↔GenCompact divergence the driver reports is a planner bug,
+// not a budget artifact.
+type GenConfig struct {
+	// MaxAtoms caps the target condition's atom count (default 5).
+	MaxAtoms int
+	// MaxAttrs caps the domain's attribute count (default 5, min 2).
+	MaxAttrs int
+	// MaxRows caps the generated relation's row count (default 36).
+	MaxRows int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxAtoms <= 0 {
+		c.MaxAtoms = 5
+	}
+	if c.MaxAttrs < 2 {
+		c.MaxAttrs = 5
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 36
+	}
+	return c
+}
+
+// Generate builds the deterministic instance for a seed with default
+// bounds.
+func Generate(seed int64) *Instance { return GenerateWith(seed, GenConfig{}) }
+
+// GenerateWith builds the deterministic instance for a seed: a random
+// domain, a capability profile drawn from workload.AllProfileClasses, a
+// small random relation and a random target query. Structured query
+// shapes (conjunction + value list, disjunction of conjunctions) and
+// uniformly random trees are mixed, since they stress different rewrite
+// and splitting paths.
+func GenerateWith(seed int64, cfg GenConfig) *Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+
+	nattrs := 2 + r.Intn(cfg.MaxAttrs-1)
+	d := workload.RandomDomain(r, nattrs)
+	class := workload.AllProfileClasses[r.Intn(len(workload.AllProfileClasses))]
+	g := workload.RandomGrammar(d, r, class)
+	rows := 4 + r.Intn(cfg.MaxRows-3)
+	rel := d.GenRelation(r, rows)
+
+	natoms := 1 + r.Intn(cfg.MaxAtoms)
+	var cond = d.RandomQuery(r, natoms)
+	if r.Intn(2) == 0 {
+		cond = d.RandomStructuredQuery(r, natoms)
+	}
+
+	// Request the key plus a random subset of the remaining attributes.
+	// Including the key keeps intersection plans exact, so oracle
+	// mismatches always indicate bugs rather than the paper's documented
+	// keyless-intersection approximation.
+	attrs := []string{d.KeyAttr()}
+	for _, a := range d.AttrNames() {
+		if a != d.KeyAttr() && r.Intn(2) == 0 {
+			attrs = append(attrs, a)
+		}
+	}
+
+	return &Instance{
+		Seed:    seed,
+		Class:   class,
+		Domain:  d,
+		Grammar: g,
+		Rel:     rel,
+		Cond:    cond,
+		Attrs:   attrs,
+	}
+}

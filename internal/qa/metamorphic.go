@@ -1,0 +1,388 @@
+package qa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/source"
+)
+
+// Variant is a semantics-preserving transformation of an instance's
+// condition. Planning and executing a variant must yield the same answer
+// as the original — the transformations only reshape the condition tree,
+// never its meaning.
+type Variant struct {
+	// Name identifies the transformation in failure messages.
+	Name string
+	// Cond is the transformed condition.
+	Cond condition.Node
+}
+
+// Variants returns the instance's metamorphic condition variants:
+//
+//	commute     — every And/Or's children reversed;
+//	reassociate — flat n-ary connectives right-nested (a ∧ b ∧ c becomes
+//	              a ∧ (b ∧ c));
+//	distribute  — one distributive expansion applied at the first
+//	              applicable site (X ∧ (a ∨ b) becomes (X∧a) ∨ (X∧b)).
+//
+// Transformations that do not change the tree (e.g. distribute on a pure
+// conjunction) are omitted. All transformations are deterministic, so a
+// variant failure reproduces from the seed alone.
+func (inst *Instance) Variants() []Variant {
+	var out []Variant
+	if v := commute(inst.Cond); v.Key() != inst.Cond.Key() {
+		out = append(out, Variant{Name: "commute", Cond: v})
+	}
+	if v := reassociate(inst.Cond); v.Key() != inst.Cond.Key() {
+		out = append(out, Variant{Name: "reassociate", Cond: v})
+	}
+	if v, ok := distribute(inst.Cond); ok {
+		out = append(out, Variant{Name: "distribute", Cond: v})
+	}
+	return out
+}
+
+// commute reverses the child order of every connective. Nodes are
+// immutable (cached keys/hashes), so transformed trees are always built
+// fresh; untouched subtrees may be shared.
+func commute(n condition.Node) condition.Node {
+	switch t := n.(type) {
+	case *condition.And:
+		kids := make([]condition.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[len(t.Kids)-1-i] = commute(k)
+		}
+		return condition.NewAnd(kids...)
+	case *condition.Or:
+		kids := make([]condition.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[len(t.Kids)-1-i] = commute(k)
+		}
+		return condition.NewOr(kids...)
+	default:
+		return n
+	}
+}
+
+// reassociate right-nests flat connectives: And(a, b, c, ...) becomes
+// And(a, And(b, c, ...)), recursively.
+func reassociate(n condition.Node) condition.Node {
+	switch t := n.(type) {
+	case *condition.And:
+		kids := reassocKids(t.Kids)
+		if len(kids) > 2 {
+			return condition.NewAnd(kids[0], condition.NewAnd(kids[1:]...))
+		}
+		return condition.NewAnd(kids...)
+	case *condition.Or:
+		kids := reassocKids(t.Kids)
+		if len(kids) > 2 {
+			return condition.NewOr(kids[0], condition.NewOr(kids[1:]...))
+		}
+		return condition.NewOr(kids...)
+	default:
+		return n
+	}
+}
+
+func reassocKids(kids []condition.Node) []condition.Node {
+	out := make([]condition.Node, len(kids))
+	for i, k := range kids {
+		out[i] = reassociate(k)
+	}
+	return out
+}
+
+// distribute applies one ∧-over-∨ expansion at the first (depth-first)
+// applicable site and reports whether one was found.
+func distribute(n condition.Node) (condition.Node, bool) {
+	switch t := n.(type) {
+	case *condition.And:
+		for i, k := range t.Kids {
+			or, ok := k.(*condition.Or)
+			if !ok {
+				continue
+			}
+			rest := make([]condition.Node, 0, len(t.Kids)-1)
+			rest = append(rest, t.Kids[:i]...)
+			rest = append(rest, t.Kids[i+1:]...)
+			terms := make([]condition.Node, len(or.Kids))
+			for j, alt := range or.Kids {
+				kids := make([]condition.Node, 0, len(rest)+1)
+				kids = append(kids, rest...)
+				kids = append(kids, alt)
+				terms[j] = condition.NewAnd(kids...)
+			}
+			return condition.NewOr(terms...), true
+		}
+		// No Or child at this level; recurse.
+		for i, k := range t.Kids {
+			if d, ok := distribute(k); ok {
+				kids := append([]condition.Node(nil), t.Kids...)
+				kids[i] = d
+				return condition.NewAnd(kids...), true
+			}
+		}
+		return n, false
+	case *condition.Or:
+		for i, k := range t.Kids {
+			if d, ok := distribute(k); ok {
+				kids := append([]condition.Node(nil), t.Kids...)
+				kids[i] = d
+				return condition.NewOr(kids...), true
+			}
+		}
+		return n, false
+	default:
+		return n, false
+	}
+}
+
+// Metamorphic checks the execution-level invariants on one instance: for
+// the GenCompact pipeline,
+//
+//	(1) commuted/reassociated/distributed condition variants preserve
+//	    supportability and yield the oracle answer;
+//	(2) the mediator's plan cache does not change answers (and actually
+//	    hits on the second identical query);
+//	(3) parallel execution yields the same answer as sequential;
+//	(4) a source-answer cache in front of the source does not change
+//	    answers, on a cold or a warm cache.
+//
+// Like Differential, infrastructure errors come back as error and
+// assertion violations land in Report.Failures.
+func Metamorphic(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	base, metB, errB := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	feasible, uerr := classify(errB)
+	if uerr != nil {
+		rep.failf("GenCompact failed unexpectedly on the original condition: %v", uerr)
+		return rep, nil
+	}
+	rep.CompactFeasible = feasible
+	truncB := metB != nil && metB.CTs >= closureMaxCTs
+
+	// (1) Condition-variant invariance. Supportability must be preserved
+	// too: the checker canonicalizes commutative/associative variants to
+	// the same condition, and the distributed variant is reachable from
+	// the original inside the harness's rewrite budget — unless a closure
+	// was CT-cap-truncated, in which case a flip is inconclusive (see
+	// Differential).
+	for _, v := range inst.Variants() {
+		pv, metV, errV := med.Plan(ctx, Compact(), inst.Source(), v.Cond, inst.Attrs)
+		vFeasible, uerr := classify(errV)
+		if uerr != nil {
+			rep.failf("variant %s: planner failed unexpectedly: %v\nvariant condition: %s",
+				v.Name, uerr, v.Cond.Key())
+			continue
+		}
+		if vFeasible != feasible {
+			truncV := metV != nil && metV.CTs >= closureMaxCTs
+			if (!vFeasible && truncV) || (!feasible && truncB) {
+				rep.inconcf("variant %s: supportability flipped (original=%v variant=%v) with a CT-cap-truncated closure: unjudgeable",
+					v.Name, feasible, vFeasible)
+			} else {
+				rep.failf("variant %s: supportability flipped: original=%v variant=%v\nvariant condition: %s",
+					v.Name, feasible, vFeasible, v.Cond.Key())
+			}
+			continue
+		}
+		if !vFeasible {
+			continue
+		}
+		ans, err := plan.Execute(ctx, pv, med)
+		if err != nil {
+			rep.failf("variant %s: plan failed to execute: %v\nplan:\n%s", v.Name, err, plan.Format(pv))
+			continue
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("variant %s: answer diverges from oracle: got %d rows, oracle %d rows\nvariant condition: %s\nplan:\n%s",
+				v.Name, ans.Len(), oracle.Len(), v.Cond.Key(), plan.Format(pv))
+		}
+	}
+	if !feasible {
+		return rep, nil
+	}
+
+	// (2) Plan-cache invariance: a cached plan must execute to the same
+	// answer, and the second identical Plan call must actually hit.
+	cmed, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	cmed.EnableCache()
+	if _, _, err := cmed.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs); err != nil {
+		rep.failf("plan cache: first Plan call failed: %v", err)
+	} else {
+		p2, met2, err := cmed.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+		switch {
+		case err != nil:
+			rep.failf("plan cache: second Plan call failed: %v", err)
+		case met2 == nil || !met2.Cached:
+			rep.failf("plan cache: second identical Plan call missed the cache")
+		default:
+			ans, err := plan.Execute(ctx, p2, cmed)
+			if err != nil {
+				rep.failf("plan cache: cached plan failed to execute: %v\nplan:\n%s", err, plan.Format(p2))
+			} else if !ans.Equal(oracle) {
+				rep.failf("plan cache: cached plan's answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+					ans.Len(), oracle.Len(), plan.Format(p2))
+			}
+		}
+	}
+
+	// (3) Parallel-execution invariance.
+	model := inst.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+	pans, err := plan.ExecuteParallel(ctx, base, med, plan.ExecOptions{Workers: 4, ChoiceResolver: resolver})
+	if err != nil {
+		rep.failf("parallel execution failed: %v\nplan:\n%s", err, plan.Format(base))
+	} else if !pans.Equal(oracle) {
+		rep.failf("parallel answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+			pans.Len(), oracle.Len(), plan.Format(base))
+	}
+
+	// (4) Source-cache invariance: cold then warm.
+	local, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	cached := source.NewCached(inst.Source(), local, source.CacheOptions{})
+	smed, err := inst.NewMediator(cached)
+	if err != nil {
+		return nil, err
+	}
+	for _, pass := range []string{"cold", "warm"} {
+		ans, err := plan.Execute(ctx, base, smed)
+		if err != nil {
+			rep.failf("source cache (%s): plan failed to execute: %v\nplan:\n%s", pass, err, plan.Format(base))
+			break
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("source cache (%s): answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				pass, ans.Len(), oracle.Len(), plan.Format(base))
+		}
+	}
+	return rep, nil
+}
+
+// FaultTolerance checks the fault-injection invariants on one instance:
+//
+//	(i)  a transient fault (first call fails, then the source recovers)
+//	     behind the resilient retry wrapper must still yield the oracle
+//	     answer;
+//	(ii) persistent random faults with no retries must yield either the
+//	     oracle answer (lucky run), a sound partial answer — non-nil
+//	     relation that is a subset of the oracle's, annotated with a
+//	     well-formed *plan.PartialError — or a fail-closed error with a
+//	     nil relation. Anything else (silent wrong answer, partial
+//	     over-approximation, malformed PartialError) is a violation.
+func FaultTolerance(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	p, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	feasible, uerr := classify(errP)
+	if uerr != nil {
+		rep.failf("GenCompact failed unexpectedly: %v", uerr)
+		return rep, nil
+	}
+	rep.CompactFeasible = feasible
+	if !feasible {
+		return rep, nil
+	}
+
+	noSleep := func(context.Context, time.Duration) error { return nil }
+
+	// (i) Transient fault + retries: the answer must come out intact.
+	local, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	flaky := source.NewFlaky(local).FailFirst(1)
+	res := source.NewResilient(inst.Source(), flaky, source.ResilienceOptions{
+		MaxRetries: 3,
+		Sleep:      noSleep,
+	})
+	fmed, err := inst.NewMediator(res)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := plan.Execute(ctx, p, fmed)
+	if err != nil {
+		rep.failf("transient fault with retries: execution failed: %v\nplan:\n%s", err, plan.Format(p))
+	} else if !ans.Equal(oracle) {
+		rep.failf("transient fault with retries: answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+			ans.Len(), oracle.Len(), plan.Format(p))
+	}
+
+	// (ii) Persistent random faults, no retries, partial answers allowed.
+	local2, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	flaky2 := source.NewFlaky(local2).FailRate(0.5, inst.Seed)
+	pmed, err := inst.NewMediator(flaky2)
+	if err != nil {
+		return nil, err
+	}
+	model := inst.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+	pans, perr := plan.ExecuteParallel(ctx, p, pmed, plan.ExecOptions{AllowPartial: true, ChoiceResolver: resolver})
+
+	var pe *plan.PartialError
+	switch {
+	case perr == nil:
+		if !pans.Equal(oracle) {
+			rep.failf("faulty source, no error reported: answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				pans.Len(), oracle.Len(), plan.Format(p))
+		}
+	case errors.As(perr, &pe):
+		if pans == nil {
+			rep.failf("partial answer has nil relation: %v", perr)
+			break
+		}
+		if len(pe.Dropped) == 0 {
+			rep.failf("PartialError with no dropped branches: %v", perr)
+		}
+		sub, serr := subsetOf(pans, oracle)
+		if serr != nil {
+			rep.failf("partial answer not comparable to oracle: %v", serr)
+		} else if !sub {
+			rep.failf("partial answer is NOT a subset of the oracle answer (%d rows vs oracle %d): unsound degradation\nplan:\n%s",
+				pans.Len(), oracle.Len(), plan.Format(p))
+		}
+	default:
+		// Fail-closed: no relation may accompany a non-partial error.
+		if pans != nil {
+			rep.failf("fail-closed error carries a non-nil relation (%d rows): %v", pans.Len(), perr)
+		}
+	}
+	return rep, nil
+}

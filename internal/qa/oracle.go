@@ -1,0 +1,51 @@
+package qa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Oracle computes the instance's ground-truth answer by evaluating the
+// original condition directly against the full relation and projecting
+// onto the requested attributes — no capability checking, no rewriting,
+// no planning, no plan execution. Every correctly planned and executed
+// answer must equal it (set semantics).
+func (inst *Instance) Oracle() (*relation.Relation, error) {
+	sel, err := inst.Rel.Select(inst.Cond)
+	if err != nil {
+		return nil, fmt.Errorf("qa: oracle select: %w", err)
+	}
+	attrs := append([]string(nil), inst.Attrs...)
+	sort.Strings(attrs)
+	out, err := sel.Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("qa: oracle project: %w", err)
+	}
+	return out, nil
+}
+
+// subsetOf reports whether every tuple of a appears in b, aligning a's
+// column order to b's when the schemas differ only by order. It is the
+// soundness check for partial answers: a degraded Union answer must be a
+// subset of the full answer.
+func subsetOf(a, b *relation.Relation) (bool, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		var err error
+		a, err = a.Project(b.Schema().Names())
+		if err != nil {
+			return false, fmt.Errorf("qa: aligning schemas: %w", err)
+		}
+	}
+	in := make(map[string]bool, b.Len())
+	for _, t := range b.Tuples() {
+		in[t.Key()] = true
+	}
+	for _, t := range a.Tuples() {
+		if !in[t.Key()] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

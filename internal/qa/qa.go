@@ -1,0 +1,108 @@
+// Package qa is the repository's differential and metamorphic
+// correctness harness. The paper's central claim (§4–§6) is that
+// GenCompact's pruning rules PR1–PR3 are safe: the Integrated Plan
+// Generator must produce a minimum-cost plan whose executed answer equals
+// what exhaustive GenModular — and a direct evaluation of the original
+// condition against the full relation — would compute, for every
+// supportable query. This package checks that claim systematically
+// instead of on hand-picked Section-4 examples:
+//
+//   - a seeded random generator (generator.go) draws condition trees,
+//     SSDL source descriptions and matching in-memory relations from
+//     internal/workload's domains;
+//   - a ground-truth oracle (oracle.go) evaluates the original condition
+//     directly against the full relation, bypassing planners, capability
+//     checking and plan execution entirely;
+//   - a differential driver (diff.go) runs GenModular and GenCompact
+//     end-to-end on each instance and asserts (a) both agree on
+//     supportability, (b) both executed answers equal the oracle's,
+//     (c) GenCompact's plan costs no more than GenModular's minimum under
+//     cost.Model;
+//   - metamorphic invariants (metamorphic.go) assert that commuted,
+//     reassociated and distributed variants of a condition — and cached,
+//     parallel and fault-injected executions — cannot change the answer;
+//   - a minimizer (shrink.go) greedily shrinks a failing instance to a
+//     printable repro: condition string + SSDL description + rows.
+//
+// Everything is seeded and deterministic: the same seed reproduces the
+// same instance, the same plans and the same answers, so a one-line
+// repro ("seed 123") is always available even before shrinking.
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+	"repro/internal/workload"
+)
+
+// Instance is one generated correctness-test case: a source (relation +
+// SSDL capability description) and a target query over it.
+type Instance struct {
+	// Seed reproduces the instance via Generate(Seed).
+	Seed int64
+	// Class is the capability-profile family the grammar was drawn from.
+	Class workload.ProfileClass
+	// Domain is the synthetic schema the relation, grammar and query
+	// share.
+	Domain *workload.Domain
+	// Grammar is the source's SSDL description.
+	Grammar *ssdl.Grammar
+	// Rel is the source's full relation (the oracle evaluates against
+	// it directly).
+	Rel *relation.Relation
+	// Cond is the target-query condition.
+	Cond condition.Node
+	// Attrs are the requested attributes; the domain key is always
+	// included so intersection plans stay exact (see plan.Intersect's
+	// ApproxIntersection caveat).
+	Attrs []string
+	// Shrunk marks instances the minimizer has modified: they no longer
+	// equal Generate(Seed), so the printed repro — not the seed — is the
+	// reproduction.
+	Shrunk bool
+}
+
+// Source returns the source name used for registration and in plans.
+func (inst *Instance) Source() string { return inst.Domain.Name }
+
+// Repro renders the instance as a self-contained, human-readable
+// reproduction: the condition in parseable surface syntax, the SSDL
+// description, the requested attributes and every relation row. Paste it
+// into a bug report, or rerun the seed with
+//
+//	go test ./internal/qa -run 'TestDifferentialCorpus/seed=N'
+func (inst *Instance) Repro() string {
+	var b strings.Builder
+	shrunk := ""
+	if inst.Shrunk {
+		shrunk = " (shrunk; seed alone does not reproduce)"
+	}
+	fmt.Fprintf(&b, "qa instance seed=%d class=%s%s\n", inst.Seed, inst.Class, shrunk)
+	fmt.Fprintf(&b, "condition: %s\n", inst.Cond.Key())
+	fmt.Fprintf(&b, "attrs:     %s\n", strings.Join(inst.Attrs, ", "))
+	fmt.Fprintf(&b, "ssdl:\n")
+	for _, line := range strings.Split(strings.TrimSpace(inst.Grammar.String()), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	names := inst.Rel.Schema().Names()
+	fmt.Fprintf(&b, "rows (%d) over (%s):\n", inst.Rel.Len(), strings.Join(names, ", "))
+	for _, t := range inst.Rel.Tuples() {
+		parts := make([]string, len(names))
+		for i, n := range names {
+			v, _ := t.Lookup(n)
+			parts[i] = v.String()
+		}
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// size is the shrink metric: smaller is simpler. It counts condition
+// atoms, relation rows, requested attributes and grammar rules.
+func (inst *Instance) size() int {
+	return condition.Size(inst.Cond) + inst.Rel.Len() + len(inst.Attrs) + len(inst.Grammar.Rules)
+}

@@ -1,0 +1,241 @@
+package qa
+
+import (
+	"repro/internal/condition"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// Property reports whether an instance still exhibits the failure being
+// minimized. Implementations must treat harness infrastructure errors
+// (generator, registration, oracle) as "does not reproduce" so the
+// minimizer never trades one bug for another.
+type Property func(*Instance) bool
+
+// maxShrinkProbes bounds the number of Property evaluations one Shrink
+// call may spend. Each probe plans and executes two planners, so an
+// unbounded greedy loop on a pathological instance could take minutes;
+// the bound keeps shrinking interactive and merely leaves a slightly
+// larger repro when it is hit.
+const maxShrinkProbes = 400
+
+// Shrink greedily minimizes a failing instance while the property keeps
+// holding: it repeatedly tries to drop relation rows (largest chunks
+// first), hoist or drop condition subtrees, drop requested attributes
+// (never the key) and drop grammar rules, restarting after every
+// accepted simplification until a fixpoint or the probe budget is
+// reached. The result reproduces the failure and is no larger than the
+// input; Repro() renders it for a bug report.
+func Shrink(inst *Instance, failing Property) *Instance {
+	cur := inst
+	probes := 0
+	try := func(cand *Instance) bool {
+		if cand == nil || probes >= maxShrinkProbes || cand.size() >= cur.size() {
+			return false
+		}
+		probes++
+		if failing(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for {
+		improved := false
+
+		// Rows: remove chunks, halving the chunk size down to single
+		// tuples (a light ddmin). Largest cuts first converge fastest.
+		tuples := cur.Rel.Tuples()
+		for size := len(tuples) / 2; size >= 1 && !improved; size /= 2 {
+			for lo := 0; lo+size <= len(tuples); lo += size {
+				keep := make([]relation.Tuple, 0, len(tuples)-size)
+				keep = append(keep, tuples[:lo]...)
+				keep = append(keep, tuples[lo+size:]...)
+				if try(cur.withRows(keep)) {
+					improved = true
+					break
+				}
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Condition: hoist a subtree over its parent connective, or drop
+		// one child of an n-ary connective.
+		for _, c := range condCandidates(cur.Cond) {
+			if try(cur.withCond(c)) {
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Attributes: drop any non-key requested attribute.
+		for i, a := range cur.Attrs {
+			if a == cur.Domain.KeyAttr() {
+				continue
+			}
+			attrs := make([]string, 0, len(cur.Attrs)-1)
+			attrs = append(attrs, cur.Attrs[:i]...)
+			attrs = append(attrs, cur.Attrs[i+1:]...)
+			if try(cur.withAttrs(attrs)) {
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Grammar: drop one rule. Candidates that break the grammar fail
+		// the property via its infrastructure-error handling and are
+		// simply rejected.
+		for i := range cur.Grammar.Rules {
+			rules := make([]ssdl.Rule, 0, len(cur.Grammar.Rules)-1)
+			rules = append(rules, cur.Grammar.Rules[:i]...)
+			rules = append(rules, cur.Grammar.Rules[i+1:]...)
+			if try(cur.withRules(rules)) {
+				improved = true
+				break
+			}
+		}
+		if !improved || probes >= maxShrinkProbes {
+			return cur
+		}
+	}
+}
+
+// condCandidates enumerates one-step simplifications of a condition:
+// every proper subtree hoisted to the root, and every n-ary connective
+// with one child dropped (in place). Candidates are ordered biggest
+// simplification first.
+func condCandidates(n condition.Node) []condition.Node {
+	var out []condition.Node
+	// Hoisting any subtree to the root is the biggest possible cut.
+	collectSubtrees(n, false, &out)
+	// Then in-place single-child drops anywhere in the tree.
+	out = append(out, dropOneKid(n)...)
+	return out
+}
+
+// collectSubtrees appends every subtree of n (excluding n itself unless
+// includeSelf) to out, shallowest first.
+func collectSubtrees(n condition.Node, includeSelf bool, out *[]condition.Node) {
+	if includeSelf {
+		*out = append(*out, n)
+	}
+	switch t := n.(type) {
+	case *condition.And:
+		for _, k := range t.Kids {
+			collectSubtrees(k, true, out)
+		}
+	case *condition.Or:
+		for _, k := range t.Kids {
+			collectSubtrees(k, true, out)
+		}
+	}
+}
+
+// dropOneKid returns every variant of n with exactly one child of one
+// connective removed. A connective left with a single child is replaced
+// by that child.
+func dropOneKid(n condition.Node) []condition.Node {
+	rebuild := func(isAnd bool, kids []condition.Node) condition.Node {
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		if isAnd {
+			return condition.NewAnd(kids...)
+		}
+		return condition.NewOr(kids...)
+	}
+	var walk func(condition.Node) []condition.Node
+	walk = func(n condition.Node) []condition.Node {
+		var kids []condition.Node
+		var isAnd bool
+		switch t := n.(type) {
+		case *condition.And:
+			kids, isAnd = t.Kids, true
+		case *condition.Or:
+			kids, isAnd = t.Kids, false
+		default:
+			return nil
+		}
+		var out []condition.Node
+		for i := range kids {
+			rest := make([]condition.Node, 0, len(kids)-1)
+			rest = append(rest, kids[:i]...)
+			rest = append(rest, kids[i+1:]...)
+			out = append(out, rebuild(isAnd, rest))
+		}
+		for i, k := range kids {
+			for _, sub := range walk(k) {
+				next := append([]condition.Node(nil), kids...)
+				next[i] = sub
+				out = append(out, rebuild(isAnd, next))
+			}
+		}
+		return out
+	}
+	return walk(n)
+}
+
+// withRows returns a copy of the instance over a relation holding only
+// the given tuples.
+func (inst *Instance) withRows(keep []relation.Tuple) *Instance {
+	rel := relation.New(inst.Rel.Schema())
+	if err := rel.Append(keep...); err != nil {
+		return nil
+	}
+	out := *inst
+	out.Rel = rel
+	out.Shrunk = true
+	return &out
+}
+
+// withCond returns a copy of the instance with a different condition.
+func (inst *Instance) withCond(c condition.Node) *Instance {
+	out := *inst
+	out.Cond = c
+	out.Shrunk = true
+	return &out
+}
+
+// withAttrs returns a copy of the instance with different requested
+// attributes.
+func (inst *Instance) withAttrs(attrs []string) *Instance {
+	out := *inst
+	out.Attrs = attrs
+	out.Shrunk = true
+	return &out
+}
+
+// withRules returns a copy of the instance whose grammar keeps only the
+// given rules, or nil when the reduced grammar is invalid (a condition
+// nonterminal left without rules, a dangling reference). The grammar is
+// rebuilt through the ssdl constructors — Rules is positionally indexed,
+// so a grammar must never be assembled by editing the slice in place.
+func (inst *Instance) withRules(rules []ssdl.Rule) *Instance {
+	g := ssdl.NewGrammar(inst.Grammar.Source)
+	g.Schema = append([]string(nil), inst.Grammar.Schema...)
+	g.Key = inst.Grammar.Key
+	for _, r := range rules {
+		if err := g.AddRule(r.LHS, append([]ssdl.Symbol(nil), r.RHS...)); err != nil {
+			return nil
+		}
+	}
+	for nt, attrs := range inst.Grammar.CondAttrs {
+		g.SetCondAttrs(nt, attrs.Sorted()...)
+	}
+	if err := g.Validate(); err != nil {
+		return nil
+	}
+	out := *inst
+	out.Grammar = g
+	out.Shrunk = true
+	return &out
+}

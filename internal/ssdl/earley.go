@@ -25,15 +25,24 @@ type item struct {
 // recognizer caches grammar-derived indexes reused across Check calls.
 type recognizer struct {
 	g *Grammar
+	// byLHS is the recognizer's own rule index, built from g.Rules at
+	// construction. It is snapshotted rather than read off the grammar so
+	// the recognizer stays position-consistent with the rule slice it was
+	// built for (a stale index would send item lookups out of bounds) and
+	// so concurrent Check calls never lazily mutate the shared grammar.
+	byLHS map[string][]int
 	// condRules are the rule indices of condition nonterminals, the
 	// recognizer's start items.
 	condRules []int
 }
 
 func newRecognizer(g *Grammar) *recognizer {
-	r := &recognizer{g: g}
+	r := &recognizer{g: g, byLHS: make(map[string][]int, len(g.Rules))}
+	for i, rule := range g.Rules {
+		r.byLHS[rule.LHS] = append(r.byLHS[rule.LHS], i)
+	}
 	for nt := range g.CondAttrs {
-		r.condRules = append(r.condRules, g.rulesByLHS[nt]...)
+		r.condRules = append(r.condRules, r.byLHS[nt]...)
 	}
 	return r
 }
@@ -48,6 +57,7 @@ type leoKey struct {
 // run holds the per-parse state.
 type run struct {
 	g     *Grammar
+	byLHS map[string][]int
 	chart []map[item]bool
 	order [][]item
 	// leo memoizes Leo items; present-but-invalid entries mean "no Leo
@@ -66,6 +76,7 @@ func (r *recognizer) recognize(toks []CTok) strset.Set {
 	n := len(toks)
 	st := &run{
 		g:     r.g,
+		byLHS: r.byLHS,
 		chart: make([]map[item]bool, n+1),
 		order: make([][]item, n+1),
 		leo:   make(map[leoKey]leoEntry),
@@ -87,7 +98,7 @@ func (r *recognizer) recognize(toks []CTok) strset.Set {
 			sym := rule.RHS[it.dot]
 			if sym.Kind == SymNonTerm {
 				// Predictor.
-				for _, ri := range st.g.rulesByLHS[sym.Name] {
+				for _, ri := range st.byLHS[sym.Name] {
 					st.add(col, item{rule: ri, dot: 0, origin: col})
 				}
 				continue

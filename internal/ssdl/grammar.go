@@ -113,6 +113,11 @@ type Grammar struct {
 	CondAttrs map[string]strset.Set
 
 	rulesByLHS map[string][]int
+	// indexed is the rule count rulesByLHS was built for; a mismatch
+	// means Rules was edited directly (exported field) and the index must
+	// be rebuilt before use. The recognizer addresses rules by position,
+	// so a stale index walks off the rule slice instead of misparsing.
+	indexed int
 }
 
 // NewGrammar builds an empty grammar for the named source.
@@ -135,7 +140,23 @@ func (g *Grammar) AddRule(lhs string, rhs []Symbol) error {
 	}
 	g.Rules = append(g.Rules, Rule{LHS: lhs, RHS: rhs})
 	g.rulesByLHS[lhs] = append(g.rulesByLHS[lhs], len(g.Rules)-1)
+	g.indexed = len(g.Rules)
 	return nil
+}
+
+// byLHS returns the rule index keyed by left-hand side, rebuilding it
+// when Rules was modified without going through AddRule (a grammar built
+// as a struct literal, or Rules edited in place). Callers on concurrent
+// paths must snapshot instead of calling this per lookup.
+func (g *Grammar) byLHS() map[string][]int {
+	if g.rulesByLHS == nil || g.indexed != len(g.Rules) {
+		g.rulesByLHS = make(map[string][]int, len(g.Rules))
+		for i, r := range g.Rules {
+			g.rulesByLHS[r.LHS] = append(g.rulesByLHS[r.LHS], i)
+		}
+		g.indexed = len(g.Rules)
+	}
+	return g.rulesByLHS
 }
 
 // SetCondAttrs declares lhs as a condition nonterminal exporting attrs
@@ -145,7 +166,7 @@ func (g *Grammar) SetCondAttrs(lhs string, attrs ...string) {
 }
 
 // RulesFor returns the indices of the rules with the given left-hand side.
-func (g *Grammar) RulesFor(lhs string) []int { return g.rulesByLHS[lhs] }
+func (g *Grammar) RulesFor(lhs string) []int { return g.byLHS()[lhs] }
 
 // IsCondNT reports whether the name is a condition nonterminal (a member
 // of S, directly derivable from the start symbol).
@@ -173,8 +194,9 @@ func (g *Grammar) Validate() error {
 		return fmt.Errorf("ssdl: grammar for %q declares no condition nonterminals", g.Source)
 	}
 	schema := strset.New(g.Schema...)
+	byLHS := g.byLHS()
 	for nt, attrs := range g.CondAttrs {
-		if len(g.rulesByLHS[nt]) == 0 {
+		if len(byLHS[nt]) == 0 {
 			return fmt.Errorf("ssdl: condition nonterminal %q has no rules", nt)
 		}
 		if len(g.Schema) > 0 && !attrs.SubsetOf(schema) {
@@ -186,7 +208,7 @@ func (g *Grammar) Validate() error {
 	}
 	for _, r := range g.Rules {
 		for _, sym := range r.RHS {
-			if sym.Kind == SymNonTerm && len(g.rulesByLHS[sym.Name]) == 0 {
+			if sym.Kind == SymNonTerm && len(byLHS[sym.Name]) == 0 {
 				return fmt.Errorf("ssdl: rule %q references undefined nonterminal %q", r, sym.Name)
 			}
 			if sym.Kind == SymAtom && len(g.Schema) > 0 && !schema.Has(sym.Atom.Attr) {

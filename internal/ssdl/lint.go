@@ -26,6 +26,7 @@ import (
 //     can never support any projection.
 func Lint(g *Grammar) []string {
 	var warnings []string
+	byLHS := g.byLHS()
 
 	// Reachability from the condition nonterminals.
 	reachable := strset.New()
@@ -35,7 +36,7 @@ func Lint(g *Grammar) []string {
 			return
 		}
 		reachable.Add(nt)
-		for _, ri := range g.rulesByLHS[nt] {
+		for _, ri := range byLHS[nt] {
 			for _, sym := range g.Rules[ri].RHS {
 				if sym.Kind == SymNonTerm {
 					visit(sym.Name)
@@ -91,7 +92,7 @@ func Lint(g *Grammar) []string {
 	// Condition nonterminals whose alternatives all start with '(' and
 	// end with ')' never match: top-level linearization is unwrapped.
 	for _, nt := range g.CondNTs() {
-		rules := g.rulesByLHS[nt]
+		rules := byLHS[nt]
 		if len(rules) == 0 {
 			continue
 		}

@@ -1,0 +1,78 @@
+package ssdl
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+)
+
+// staleIndexGrammar is a small description whose Rules slice the tests
+// edit in place, simulating a caller that assembles or trims a grammar
+// without going through AddRule.
+const staleIndexGrammar = `source s
+attrs id, make, price
+key id
+byMake -> make = $v:string
+byPrice -> price < $v:int
+both -> make = $v:string ^ price < $v:int
+attributes :: byMake : {id, make}
+attributes :: byPrice : {id, price}
+attributes :: both : {id, make, price}
+`
+
+// TestRecognizerSurvivesRuleSliceEdit is the regression test for a crash
+// the qa shrinker exposed: Grammar caches a positional rule index, and a
+// recognizer built after Rules was edited in place used the stale index,
+// walking off the rule slice (index out of range) inside Earley
+// completion. Recognizers now snapshot their own index from Rules at
+// construction.
+func TestRecognizerSurvivesRuleSliceEdit(t *testing.T) {
+	g := MustParse(staleIndexGrammar)
+	// Prime the cached index, then drop the last rule behind its back.
+	_ = g.RulesFor("both")
+	g.Rules = g.Rules[:len(g.Rules)-1]
+
+	c := NewChecker(g)
+	cond, err := condition.Parse(`make = "honda" & price < 10000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic; the 3-rule form was dropped, so only the two
+	// single-atom forms remain and the conjunction is unsupported.
+	got := c.Check(cond)
+	if got == nil {
+		t.Fatal("Check returned nil set")
+	}
+	single, err := condition.Parse(`make = "honda"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Check(single); !got.Has("make") || !got.Has("id") {
+		t.Errorf("single-atom condition no longer recognized after rule edit: exported attrs %v", got)
+	}
+}
+
+// TestRulesForReindexesAfterEdit checks the lazy index rebuild on the
+// grammar itself: lookups after an in-place edit must never return
+// positions outside Rules.
+func TestRulesForReindexesAfterEdit(t *testing.T) {
+	g := MustParse(staleIndexGrammar)
+	_ = g.RulesFor("byMake") // prime the index
+	g.Rules = g.Rules[:1]    // keep only byMake's rule
+
+	if idx := g.RulesFor("both"); len(idx) != 0 {
+		t.Errorf("RulesFor(both) = %v after its rule was removed", idx)
+	}
+	for _, lhs := range []string{"byMake", "byPrice", "both"} {
+		for _, ri := range g.RulesFor(lhs) {
+			if ri >= len(g.Rules) {
+				t.Fatalf("RulesFor(%s) returned out-of-range index %d (len %d)", lhs, ri, len(g.Rules))
+			}
+		}
+	}
+	// Validate must see the rebuilt index too: byPrice and both now have
+	// no rules, which is a validation error, not a panic.
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a grammar whose condition nonterminals lost their rules")
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/ssdl"
+	"repro/internal/strset"
+)
+
+// These tables document which example queries each scenario grammar
+// supports, directly via ssdl.Checker.Check — no planner involved. "raw"
+// is the grammar as written; "closed" is its commutative closure, the
+// form the mediator registers (§6.1). A query a raw grammar rejects only
+// because of conjunct order must become supportable under closure;
+// everything else (missing rules, value restrictions, operator
+// restrictions, disjunction structure) must stay rejected.
+func TestBookstoreGrammarExamples(t *testing.T) {
+	runGrammarExamples(t, ssdl.MustParse(BookstoreGrammar), []grammarExample{
+		{
+			name:      "single author lookup (s1)",
+			cond:      `author = "Sigmund Freud"`,
+			raw:       true,
+			closed:    true,
+			wantAttrs: []string{"isbn", "title"},
+		},
+		{
+			name:      "title keyword lookup (s2)",
+			cond:      `title contains "dreams"`,
+			raw:       true,
+			closed:    true,
+			wantAttrs: []string{"isbn", "author"},
+		},
+		{
+			name:      "author and title form (s3)",
+			cond:      `author = "Carl Jung" ^ title contains "dreams"`,
+			raw:       true,
+			closed:    true,
+			wantAttrs: []string{"isbn", "price"},
+		},
+		{
+			name:   "commuted author and title: order-only rejection, fixed by closure",
+			cond:   `title contains "dreams" ^ author = "Carl Jung"`,
+			raw:    false,
+			closed: true,
+		},
+		{
+			name:   "author disjunction: no form accepts it, closure cannot help",
+			cond:   `author = "Sigmund Freud" _ author = "Carl Jung"`,
+			raw:    false,
+			closed: false,
+		},
+		{
+			name:   "Example 1.1 target condition: needs the planner, not one form",
+			cond:   Example11Condition,
+			raw:    false,
+			closed: false,
+		},
+		{
+			name:   "price-only query: attribute never appears in a form",
+			cond:   `price <= 100`,
+			raw:    false,
+			closed: false,
+		},
+	})
+}
+
+func TestCarsGrammarExamples(t *testing.T) {
+	runGrammarExamples(t, ssdl.MustParse(CarsGrammar), []grammarExample{
+		{
+			name:      "style dropdown value (s_st)",
+			cond:      `style = "sedan"`,
+			raw:       true,
+			closed:    true,
+			wantAttrs: []string{"make", "model", "price"},
+		},
+		{
+			name:   "style value outside the dropdown list",
+			cond:   `style = "limo"`,
+			raw:    false,
+			closed: false,
+		},
+		{
+			name:   "single size value (s_sz)",
+			cond:   `size = "compact"`,
+			raw:    true,
+			closed: true,
+		},
+		{
+			name:   "size list under the style form (s_ss)",
+			cond:   `style = "sedan" ^ (size = "compact" _ size = "midsize")`,
+			raw:    true,
+			closed: true,
+		},
+		{
+			name:   "make and price bound (s_mp)",
+			cond:   `make = "Toyota" ^ price <= 20000`,
+			raw:    true,
+			closed: true,
+		},
+		{
+			name:   "commuted make and price: order-only rejection, fixed by closure",
+			cond:   `price <= 20000 ^ make = "Toyota"`,
+			raw:    false,
+			closed: true,
+		},
+		{
+			name:   "strict < where the form only accepts <=",
+			cond:   `make = "Toyota" ^ price < 20000`,
+			raw:    false,
+			closed: false,
+		},
+		{
+			name:   "Example 1.2 target condition: needs distribution, not one form",
+			cond:   Example12Condition,
+			raw:    false,
+			closed: false,
+		},
+	})
+}
+
+type grammarExample struct {
+	name string
+	cond string
+	// raw / closed: supportable by the grammar as written / by its
+	// commutative closure.
+	raw, closed bool
+	// wantAttrs, when set, must all be exported by the matched form(s)
+	// (checked on the raw grammar, only meaningful when raw is true).
+	wantAttrs []string
+}
+
+func runGrammarExamples(t *testing.T, g *ssdl.Grammar, examples []grammarExample) {
+	t.Helper()
+	rawChk := ssdl.NewChecker(g)
+	closedChk := ssdl.NewChecker(ssdl.CommutativeClosure(g, ssdl.DefaultClosureLimit))
+	for _, ex := range examples {
+		t.Run(ex.name, func(t *testing.T) {
+			cond := condition.MustParse(ex.cond)
+			if got := !rawChk.Check(cond).Empty(); got != ex.raw {
+				t.Errorf("raw grammar: supported=%v, want %v\ncondition: %s", got, ex.raw, cond.Key())
+			}
+			if got := !closedChk.Check(cond).Empty(); got != ex.closed {
+				t.Errorf("closed grammar: supported=%v, want %v\ncondition: %s", got, ex.closed, cond.Key())
+			}
+			if len(ex.wantAttrs) > 0 && ex.raw {
+				if !rawChk.Supports(cond, strset.New(ex.wantAttrs...)) {
+					t.Errorf("raw grammar does not export %v for supported condition %s (got %v)",
+						ex.wantAttrs, cond.Key(), rawChk.Check(cond))
+				}
+			}
+		})
+	}
+}
+
+// TestProfileClassShapes pins the structural contract of each random
+// profile class on a fixed seed: what a freshly drawn grammar of the
+// class must and must not support. The qa harness leans on these shapes;
+// if RandomGrammar drifts, this points at the class rather than at a
+// failing differential seed.
+func TestProfileClassShapes(t *testing.T) {
+	for _, class := range AllProfileClasses {
+		t.Run(class.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			d := RandomDomain(r, 4)
+			g := RandomGrammar(d, r, class)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid grammar: %v", err)
+			}
+			chk := ssdl.NewChecker(ssdl.CommutativeClosure(g, ssdl.DefaultClosureLimit))
+
+			// Every class must leave at least one exported set containing
+			// the domain key, or intersections would be inexact.
+			foundKey := false
+			for _, nt := range g.CondNTs() {
+				if g.CondAttrs[nt].Has(d.KeyAttr()) {
+					foundKey = true
+					break
+				}
+			}
+			if !foundKey {
+				t.Errorf("class %s: no condition nonterminal exports the key %q", class, d.KeyAttr())
+			}
+
+			if class == ProfileWithDownload && chk.Downloadable().Empty() {
+				t.Errorf("class %s: grammar is not downloadable", class)
+			}
+			if class == ProfileAtomic {
+				// Atomic profiles must support at least one single atom
+				// drawn from the domain.
+				supported := false
+				for i := 0; i < 16 && !supported; i++ {
+					supported = !chk.Check(d.RandomQuery(r, 1)).Empty()
+				}
+				if !supported {
+					t.Errorf("class %s: no single-atom query supported in 16 draws", class)
+				}
+			}
+		})
+	}
+}

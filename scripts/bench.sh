@@ -11,7 +11,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_plan.json}"
 
-pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkIPGSection4Traced|BenchmarkEPGSection4|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder|BenchmarkSourceCacheHit)$'
+pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkIPGSection4Traced|BenchmarkEPGSection4|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder|BenchmarkSourceCacheHit|BenchmarkQAHarness)$'
 
 go test -run='^$' -bench="$pattern" -benchmem -benchtime=200x . |
 	tee /dev/stderr |
