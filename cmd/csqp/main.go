@@ -56,6 +56,7 @@ func run() error {
 	retries := flag.Int("retries", 0, "retries per failed source query (transport errors only)")
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
 	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed, reporting dropped sources")
+	streaming := flag.String("streaming", "auto", "execution engine: auto (streaming unless CSQP_STREAMING=0), on, off")
 	srcCache := flag.Int("source-cache", 0, "memoize source-query answers: entries per source (0 = disabled)")
 	srcCacheTTL := flag.Duration("source-cache-ttl", 0, "staleness bound for cached source answers (0 = 1m default)")
 	stats := flag.Bool("stats", false, "enable the plan cache and print cache/memo statistics after the query")
@@ -73,7 +74,12 @@ func run() error {
 	if *trace {
 		ctx, tr = csqp.Trace(ctx)
 	}
+	streamMode, err := parseStreaming(*streaming)
+	if err != nil {
+		return err
+	}
 	sysOpts := csqp.Options{
+		Streaming:       streamMode,
 		QueryTimeout:    *timeout,
 		QueryRetries:    *retries,
 		PartialAnswers:  *partial,
@@ -307,6 +313,19 @@ func parseStrategy(name string) (csqp.Strategy, error) {
 		return csqp.Naive, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func parseStreaming(name string) (csqp.StreamingMode, error) {
+	switch strings.ToLower(name) {
+	case "auto", "":
+		return csqp.StreamingAuto, nil
+	case "on":
+		return csqp.StreamingOn, nil
+	case "off":
+		return csqp.StreamingOff, nil
+	default:
+		return 0, fmt.Errorf("unknown streaming mode %q (want auto, on or off)", name)
 	}
 }
 

@@ -76,6 +76,20 @@ type (
 	// MetricsRegistry is the system's telemetry registry; System.Metrics
 	// exposes it and System.MetricsHandler serves it over HTTP.
 	MetricsRegistry = obs.Registry
+	// StreamingMode selects the execution engine (see Options.Streaming).
+	StreamingMode = mediator.StreamingMode
+)
+
+// Streaming-mode values for Options.Streaming.
+const (
+	// StreamingAuto (the default) uses the streaming engine unless the
+	// CSQP_STREAMING environment variable disables it ("0", "off",
+	// "false"); "1", "on", "true" force it on over StreamingOff.
+	StreamingAuto = mediator.StreamingAuto
+	// StreamingOn always uses the streaming iterator engine.
+	StreamingOn = mediator.StreamingOn
+	// StreamingOff always uses the materialized executor.
+	StreamingOff = mediator.StreamingOff
 )
 
 // Trace returns a context that records query-lifecycle spans (rewrite →
@@ -200,6 +214,14 @@ type Options struct {
 	// consecutive failures, fast-failing further queries for a cooldown
 	// (0 = breaker disabled).
 	BreakerThreshold int
+	// Streaming selects the execution engine: StreamingAuto (default)
+	// runs plans through the pull-based iterator engine — bounded chunks
+	// flow through the operators instead of whole relations, so memory
+	// tracks the answer's working set, not the sum of every node's input —
+	// unless the CSQP_STREAMING environment variable turns it off.
+	// StreamingOn and StreamingOff pin the choice. Answers are identical
+	// either way; only the execution strategy differs.
+	Streaming StreamingMode
 	// PartialAnswers lets Union plans degrade when sources fail at
 	// execution time: the surviving branches' answer is returned together
 	// with a *PartialError. Union is monotone, so every returned tuple is
@@ -257,6 +279,7 @@ func NewSystem(opts ...Options) *System {
 			o.K2 = opts[0].K2
 		}
 		o.Strategy = opts[0].Strategy
+		o.Streaming = opts[0].Streaming
 		o.Workers = opts[0].Workers
 		o.QueryTimeout = opts[0].QueryTimeout
 		o.QueryRetries = opts[0].QueryRetries
@@ -272,6 +295,7 @@ func NewSystem(opts ...Options) *System {
 	reg := obs.NewRegistry()
 	med := mediator.New(cost.Model{K1: o.K1, K2: o.K2, PerSource: make(map[string]cost.Coef), Est: est})
 	med.Workers = o.Workers
+	med.Streaming = o.Streaming
 	med.AllowPartial = o.PartialAnswers
 	med.SetObs(reg)
 	med.SetLogger(o.Logger)

@@ -140,13 +140,32 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		rightPlan, strategy = wholePlan, "whole-side"
 	}
 
-	right, err := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
-	if err != nil {
-		return nil, fmt.Errorf("mediator: join right side: %w", err)
-	}
-	joined, err := hashJoin(left, right, spec)
-	if err != nil {
-		return nil, err
+	var joined *relation.Relation
+	if m.streamingEnabled() {
+		// Stream the right side straight into a symmetric hash join: the
+		// left side enters complete (it was materialized above for
+		// semijoin planning), so right tuples only probe — the right
+		// answer is never held as a relation or hash table.
+		stats := &plan.StreamStats{}
+		rightIt, serr := plan.NewStream(rightPlan, m, plan.StreamOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice, Stats: stats})
+		if serr != nil {
+			return nil, fmt.Errorf("mediator: join right side: %w", serr)
+		}
+		joined, err = symmetricHashJoin(ctx, plan.NewRelationIterator(left, 0), rightIt, spec, stats)
+		m.metrics.rowsStreamed.Add(stats.RowsStreamed())
+		m.metrics.peakRows.Set(float64(stats.PeakRows()))
+		if err != nil {
+			return nil, fmt.Errorf("mediator: join right side: %w", err)
+		}
+	} else {
+		right, rerr := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
+		if rerr != nil {
+			return nil, fmt.Errorf("mediator: join right side: %w", rerr)
+		}
+		joined, err = hashJoin(left, right, spec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &JoinResult{
 		Relation:  joined,

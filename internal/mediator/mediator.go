@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
+	"strings"
 
 	"repro/internal/condition"
 	"repro/internal/cost"
@@ -53,6 +55,36 @@ type Mediator struct {
 	// CacheSize bounds the plan cache enabled by EnableCache
 	// (0 = DefaultCacheSize). Set it before calling EnableCache.
 	CacheSize int
+	// Streaming selects the execution engine: the streaming iterator
+	// engine (default) or the materialized executor. See StreamingMode.
+	Streaming StreamingMode
+}
+
+// StreamingMode selects how the mediator executes fixed plans.
+type StreamingMode int
+
+const (
+	// StreamingAuto (the zero value) uses the streaming engine unless the
+	// CSQP_STREAMING environment variable disables it ("0", "off" or
+	// "false"); "1", "on" or "true" force it on, overriding StreamingOff
+	// too. The toggle exists so the full test suite can be driven through
+	// either engine unchanged (the CI streaming matrix does exactly that).
+	StreamingAuto StreamingMode = iota
+	// StreamingOn always uses the streaming iterator engine.
+	StreamingOn
+	// StreamingOff always uses the materialized ExecuteParallel engine.
+	StreamingOff
+)
+
+// streamingEnabled resolves the effective engine choice.
+func (m *Mediator) streamingEnabled() bool {
+	switch strings.ToLower(os.Getenv("CSQP_STREAMING")) {
+	case "1", "on", "true":
+		return true
+	case "0", "off", "false":
+		return false
+	}
+	return m.Streaming != StreamingOff
 }
 
 // mediatorMetrics holds the mediator's registry instruments, resolved
@@ -63,6 +95,8 @@ type mediatorMetrics struct {
 	plans          *obs.Counter
 	planSeconds    *obs.Histogram
 	partialAnswers *obs.Counter
+	rowsStreamed   *obs.Counter
+	peakRows       *obs.Gauge
 }
 
 // New builds a mediator with the given cost model.
@@ -82,6 +116,8 @@ func (m *Mediator) SetObs(reg *obs.Registry) {
 		plans:          reg.Counter("csqp_plans_total"),
 		planSeconds:    reg.Histogram("csqp_planning_seconds", nil),
 		partialAnswers: reg.Counter("csqp_partial_answers_total"),
+		rowsStreamed:   reg.Counter("csqp_exec_rows_streamed"),
+		peakRows:       reg.Gauge("csqp_exec_peak_rows"),
 	}
 	if m.cache != nil {
 		m.cache.setObs(reg)
@@ -242,12 +278,34 @@ func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string,
 	return &Result{Plan: fixed, Metrics: metrics, Relation: rel}, err
 }
 
-// execute runs a fixed plan under the mediator's execution settings. For
-// a partial answer it returns both a relation and the *plan.PartialError,
-// records the degradation in the registry and emits a structured event.
+// execute runs a fixed plan under the mediator's execution settings —
+// through the streaming iterator engine by default, or ExecuteParallel
+// when streaming is off (see StreamingMode; both engines share the same
+// answer and partial-error contract). For a partial answer it returns
+// both a relation and the *plan.PartialError, records the degradation in
+// the registry and emits a structured event.
 func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, error) {
 	ctx, sp := obs.Start(ctx, "plan.execute")
-	rel, err := plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial, ChoiceResolver: m.resolveChoice})
+	var rel *relation.Relation
+	var err error
+	if m.streamingEnabled() {
+		stats := &plan.StreamStats{}
+		rel, err = plan.ExecuteStream(ctx, fixed, m, plan.StreamOptions{
+			Workers:        m.Workers,
+			AllowPartial:   m.AllowPartial,
+			ChoiceResolver: m.resolveChoice,
+			Stats:          stats,
+		})
+		m.metrics.rowsStreamed.Add(stats.RowsStreamed())
+		m.metrics.peakRows.Set(float64(stats.PeakRows()))
+		if sp != nil {
+			sp.SetAttr("engine", "streaming")
+			sp.SetInt("rows_streamed", stats.RowsStreamed())
+			sp.SetInt("peak_rows", stats.PeakRows())
+		}
+	} else {
+		rel, err = plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial, ChoiceResolver: m.resolveChoice})
+	}
 	sp.EndErr(err)
 	if err != nil {
 		var pe *plan.PartialError

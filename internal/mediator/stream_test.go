@@ -1,0 +1,153 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/source"
+)
+
+// TestStreamingJoinMatchesMaterialized is the engine differential for the
+// join path: the symmetric hash join (streaming right side) and the
+// classic hash join (both sides materialized) must produce the same
+// relation under every spec the join suite exercises.
+func TestStreamingJoinMatchesMaterialized(t *testing.T) {
+	streamMed, _, _ := joinFixture(t)
+	streamMed.Streaming = StreamingOn
+	matMed, _, _ := joinFixture(t)
+	matMed.Streaming = StreamingOff
+
+	specs := []JoinSpec{
+		paloAltoJoin(),
+		{ // whole-brand join, no right condition
+			Left: "dealers", Right: "cars",
+			LeftCond:  condition.MustParse(`city = "San Jose"`),
+			RightCond: condition.True(),
+			LeftAttr:  "brand", RightAttr: "make",
+			Attrs: []string{"dealer", "city", "model"},
+		},
+		{ // empty left side: no Palo Alto Hondas
+			Left: "dealers", Right: "cars",
+			LeftCond:  condition.MustParse(`city = "Palo Alto" ^ brand = "Honda"`),
+			RightCond: condition.True(),
+			LeftAttr:  "brand", RightAttr: "make",
+			Attrs: []string{"dealer", "model"},
+		},
+	}
+	for i, spec := range specs {
+		sres, serr := streamMed.AnswerJoin(context.Background(), core.New(), spec)
+		mres, merr := matMed.AnswerJoin(context.Background(), core.New(), spec)
+		if (serr == nil) != (merr == nil) {
+			t.Fatalf("spec %d: engines disagree on success: streaming err=%v, materialized err=%v", i, serr, merr)
+		}
+		if serr != nil {
+			continue
+		}
+		if !sres.Relation.Equal(mres.Relation) {
+			t.Errorf("spec %d: streaming join answer diverges:\nstreaming    %v\nmaterialized %v",
+				i, sres.Relation.Tuples(), mres.Relation.Tuples())
+		}
+		if sres.Strategy != mres.Strategy {
+			t.Errorf("spec %d: strategy diverges: streaming %q, materialized %q", i, sres.Strategy, mres.Strategy)
+		}
+	}
+}
+
+// TestStreamingJoinRightMidStreamFaultFailsClosed injects a fault AFTER
+// the right side has already emitted rows into the symmetric hash join.
+// Joins fail closed: the rows that made it through must be discarded, and
+// no *plan.PartialError may surface.
+func TestStreamingJoinRightMidStreamFaultFailsClosed(t *testing.T) {
+	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
+		if name == "cars" {
+			return source.NewFlaky(q).FailAfterRows(1)
+		}
+		return q
+	})
+	med.Streaming = StreamingOn
+	med.AllowPartial = true // must not apply to joins
+	res, err := med.AnswerJoin(context.Background(), core.New(), paloAltoJoin())
+	if err == nil || res != nil {
+		t.Fatalf("join with a right side dying mid-stream must fail closed (res=%v err=%v)", res, err)
+	}
+	if !errors.Is(err, source.ErrInjected) {
+		t.Errorf("err = %v, want the injected fault preserved in the chain", err)
+	}
+	var pe *plan.PartialError
+	if errors.As(err, &pe) {
+		t.Errorf("mid-stream join failure surfaced as a partial answer: %v", err)
+	}
+}
+
+// TestStreamingModeEnvOverride pins the CSQP_STREAMING contract the CI
+// engine matrix depends on: the env var forces the engine on or off over
+// StreamingAuto, and garbage values fall back to the configured mode.
+func TestStreamingModeEnvOverride(t *testing.T) {
+	for _, tc := range []struct {
+		env  string
+		mode StreamingMode
+		want bool
+	}{
+		{"", StreamingAuto, true},
+		{"", StreamingOn, true},
+		{"", StreamingOff, false},
+		{"0", StreamingAuto, false},
+		{"off", StreamingOn, false},
+		{"false", StreamingAuto, false},
+		{"1", StreamingOff, true},
+		{"on", StreamingOff, true},
+		{"true", StreamingOff, true},
+		{"banana", StreamingOff, false},
+		{"banana", StreamingAuto, true},
+	} {
+		t.Setenv("CSQP_STREAMING", tc.env)
+		m := &Mediator{Streaming: tc.mode}
+		if got := m.streamingEnabled(); got != tc.want {
+			t.Errorf("CSQP_STREAMING=%q mode=%d: streamingEnabled() = %v, want %v", tc.env, tc.mode, got, tc.want)
+		}
+	}
+}
+
+// TestStreamingMetricsRecorded checks the mediator exports the streaming
+// counters: a streamed query must bump csqp_exec_rows_streamed and leave
+// a peak-rows gauge behind.
+func TestStreamingMetricsRecorded(t *testing.T) {
+	med, _, _ := joinFixture(t)
+	med.Streaming = StreamingOn
+	reg := obs.NewRegistry()
+	med.SetObs(reg)
+	// An Or condition splits into a Union of source queries, so the
+	// streaming engine buffers dedup keys and the peak gauge moves.
+	res, err := med.Answer(context.Background(), core.New(), "cars",
+		condition.MustParse(`make = "BMW" _ make = "Toyota"`), []string{"make", "model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() == 0 {
+		t.Fatal("expected a non-empty answer")
+	}
+	snap := reg.Snapshot()
+	var rows, peak float64
+	var sawRows, sawPeak bool
+	for _, m := range snap.Counters {
+		if m.Name == "csqp_exec_rows_streamed" {
+			rows, sawRows = m.Value, true
+		}
+	}
+	for _, m := range snap.Gauges {
+		if m.Name == "csqp_exec_peak_rows" {
+			peak, sawPeak = m.Value, true
+		}
+	}
+	if !sawRows || rows < float64(res.Relation.Len()) {
+		t.Errorf("csqp_exec_rows_streamed = %v (present=%v), want >= %d", rows, sawRows, res.Relation.Len())
+	}
+	if !sawPeak || peak <= 0 {
+		t.Errorf("csqp_exec_peak_rows = %v (present=%v), want > 0", peak, sawPeak)
+	}
+}

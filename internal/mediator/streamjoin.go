@@ -1,0 +1,167 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/strset"
+)
+
+// Symmetric hash join: both inputs stream, and each arriving tuple is
+// inserted into its side's hash table and probed against the other
+// side's, so matches are produced as soon as both partners have arrived —
+// no side is materialized as a relation before joining starts.
+//
+// The memory win comes from the insert-skip refinement: once one side
+// reaches EOF, its table can receive no new probes from tuples the other
+// side hasn't seen yet, so the still-streaming side stops inserting and
+// only probes. AnswerJoin exploits this deliberately — the left side is
+// already materialized (its distinct values feed semijoin planning), so
+// it enters the join complete, the right side streams through in chunks,
+// and no right-side hash table or relation is ever built.
+//
+// Joins fail closed: any stream error — including a *plan.PartialError
+// from a degraded Union — aborts the join with no relation, matching
+// AnswerJoin's contract that partial sides must not silently shrink the
+// answer.
+
+// symmetricHashJoin consumes both iterators and returns the equi-join on
+// leftAttr = rightAttr with hashJoin's output schema (left columns, then
+// right columns not already named), deduplicated. Both iterators are
+// closed. stats, when non-nil, receives buffered-row accounting for the
+// hash tables.
+func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec JoinSpec, stats *plan.StreamStats) (*relation.Relation, error) {
+	defer left.Close()
+	defer right.Close()
+
+	type side struct {
+		it    plan.Iterator
+		attr  string
+		table map[string][]relation.Tuple
+		rows  int // rows held in table, for stats release
+		done  bool
+	}
+	l := &side{it: left, attr: spec.LeftAttr, table: make(map[string][]relation.Tuple)}
+	r := &side{it: right, attr: spec.RightAttr, table: make(map[string][]relation.Tuple)}
+	defer func() {
+		stats.Buffered(-(l.rows + r.rows))
+	}()
+
+	var out *relation.Relation
+	var schema *relation.Schema
+	emit := func(lt, rt relation.Tuple) error {
+		if schema == nil {
+			var err error
+			schema, err = joinSchema(lt.Schema(), rt.Schema())
+			if err != nil {
+				return err
+			}
+			out = relation.New(schema)
+		}
+		vals := make([]condition.Value, 0, schema.Len())
+		for _, c := range schema.Columns() {
+			if v, ok := lt.Lookup(c.Name); ok {
+				vals = append(vals, v)
+				continue
+			}
+			v, _ := rt.Lookup(c.Name)
+			vals = append(vals, v)
+		}
+		return out.AppendValues(vals...)
+	}
+
+	// step advances one side: insert (unless the other side is done) and
+	// probe. Tuples that arrive after the opposite side finished cannot
+	// meet future partners, so they skip insertion — the memory win.
+	step := func(s, other *side, emitLR bool) error {
+		chunk, err := s.it.Next(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				s.done = true
+				return nil
+			}
+			return err
+		}
+		for _, t := range chunk {
+			v, ok := t.Lookup(s.attr)
+			if !ok {
+				return fmt.Errorf("mediator: join attribute %q missing from %s result", s.attr, map[bool]string{true: "left", false: "right"}[emitLR])
+			}
+			k := valueKey(v)
+			if !other.done {
+				s.table[k] = append(s.table[k], t)
+				s.rows++
+				stats.Buffered(1)
+			}
+			for _, o := range other.table[k] {
+				var eerr error
+				if emitLR {
+					eerr = emit(t, o)
+				} else {
+					eerr = emit(o, t)
+				}
+				if eerr != nil {
+					return eerr
+				}
+			}
+		}
+		return nil
+	}
+
+	for !l.done || !r.done {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !l.done {
+			if err := step(l, r, true); err != nil {
+				return nil, err
+			}
+		}
+		if !r.done {
+			if err := step(r, l, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if out == nil {
+		// No matches (or an empty side): reconstruct the output schema
+		// from whatever schemas the streams reported.
+		ls, rs := left.Schema(), right.Schema()
+		if ls == nil || rs == nil {
+			return nil, fmt.Errorf("mediator: join inputs yielded no schema")
+		}
+		var err error
+		schema, err = joinSchema(ls, rs)
+		if err != nil {
+			return nil, err
+		}
+		out = relation.New(schema)
+	}
+	if len(spec.Attrs) == 0 {
+		return out.Distinct(), nil
+	}
+	return out.Project(spec.Attrs)
+}
+
+// joinSchema builds the join output schema: left columns, then right
+// columns not already named (identical to hashJoin's).
+func joinSchema(ls, rs *relation.Schema) (*relation.Schema, error) {
+	var cols []relation.Column
+	seen := strset.New()
+	for _, c := range ls.Columns() {
+		cols = append(cols, c)
+		seen.Add(c.Name)
+	}
+	for _, c := range rs.Columns() {
+		if !seen.Has(c.Name) {
+			cols = append(cols, c)
+			seen.Add(c.Name)
+		}
+	}
+	return relation.NewSchema(cols...)
+}

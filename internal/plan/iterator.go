@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// This file defines the streaming execution contract: a pull-based,
+// context-aware iterator over bounded chunks of tuples. Plan nodes compose
+// iterators instead of materializing a full relation.Relation per node, so
+// a Union over three 100k-row sources holds one dedup key set instead of
+// four relations plus pairwise union intermediates. Collect bridges back
+// to the materialized world for callers that want a whole relation.
+
+// DefaultChunkSize is the number of tuples a well-behaved iterator yields
+// per Next call when StreamOptions.ChunkSize is zero. Chunks amortize the
+// per-call interface overhead without letting any operator buffer more
+// than a bounded slice.
+const DefaultChunkSize = 256
+
+// Iterator is a pull-based tuple stream — one node of a streaming plan
+// execution.
+//
+// Next returns the next chunk of tuples (at least one tuple) or an error:
+//
+//   - (chunk, nil): more tuples; the chunk is valid until the next Next
+//     or Close call.
+//   - (nil, io.EOF): the stream completed normally.
+//   - (nil, *PartialError): the stream completed, but soundly degraded —
+//     every yielded tuple is a true answer tuple, yet branches listed in
+//     the error were dropped (the streaming analogue of Execute's partial
+//     Union answers). Callers that reject partials treat it as a failure.
+//   - (nil, err): the stream failed; previously yielded tuples must be
+//     discarded by fail-closed consumers.
+//
+// Schema reports the tuples' schema. It may return nil before the first
+// Next call has returned; after any Next outcome — including io.EOF on an
+// empty stream — it is non-nil.
+//
+// Close releases the iterator's resources, cancels upstream work and is
+// idempotent; it must be safe to call after any Next outcome, and callers
+// must call it (Collect does).
+type Iterator interface {
+	Next(ctx context.Context) ([]relation.Tuple, error)
+	Schema() *relation.Schema
+	Close() error
+}
+
+// StreamQuerier is the optional streaming face of a Querier: sources that
+// can yield their answer incrementally (e.g. source.Local scanning an
+// in-memory relation) implement it, and the streaming executor pipelines
+// selection and projection per tuple instead of materializing the source
+// answer. Queriers that cannot stream — the resilient retry wrapper and
+// the answer cache both need whole answers — are bridged: their full
+// Query result is re-chunked, preserving their semantics at the cost of
+// one materialized relation at the leaf.
+type StreamQuerier interface {
+	// QueryStream is Query with an incremental answer. Capability
+	// refusals and failures that occur before any row is produced are
+	// returned here; mid-stream failures come from the iterator's Next.
+	QueryStream(ctx context.Context, cond condition.Node, attrs []string) (Iterator, error)
+}
+
+// StreamStats aggregates what one streaming execution did. All methods
+// are safe for concurrent use; a nil *StreamStats is a valid no-op sink.
+type StreamStats struct {
+	rows atomic.Int64 // tuples that crossed any operator boundary
+	cur  atomic.Int64 // tuples currently buffered across live operators
+	peak atomic.Int64 // high-water mark of cur
+}
+
+// RowsStreamed returns the total number of tuples that crossed operator
+// boundaries during execution (a tuple flowing through source → select →
+// union counts once per edge, so the figure reflects pipeline volume, not
+// answer cardinality).
+func (s *StreamStats) RowsStreamed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rows.Load()
+}
+
+// PeakRows returns the high-water mark of tuples (and dedup keys) buffered
+// simultaneously across the execution's operators — the streaming engine's
+// working set, the number the materialized executor would push to the sum
+// of every node's full input.
+func (s *StreamStats) PeakRows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.peak.Load()
+}
+
+// Buffered adjusts the live buffered-row count by delta and maintains
+// the peak high-water mark. It is exported so streaming operators outside
+// this package (the mediator's symmetric hash join) can participate in
+// peak accounting; nil-safe like every StreamStats method.
+func (s *StreamStats) Buffered(delta int) { s.buffered(delta) }
+
+// streamed counts n tuples crossing an operator boundary.
+func (s *StreamStats) streamed(n int) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.rows.Add(int64(n))
+}
+
+// buffered adjusts the live buffered-row count by delta and maintains the
+// high-water mark.
+func (s *StreamStats) buffered(delta int) {
+	if s == nil || delta == 0 {
+		return
+	}
+	cur := s.cur.Add(int64(delta))
+	for {
+		peak := s.peak.Load()
+		if cur <= peak || s.peak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// relIter streams an existing relation in chunks. It is the bridge from
+// the materialized world (cached answers, retry wrappers, whole-relation
+// join sides) into the iterator engine.
+type relIter struct {
+	rel   *relation.Relation
+	pos   int
+	chunk int
+}
+
+// NewRelationIterator streams rel in chunks of chunkSize tuples
+// (DefaultChunkSize when chunkSize <= 0). The relation is not copied;
+// callers must not mutate it while the iterator lives.
+func NewRelationIterator(rel *relation.Relation, chunkSize int) Iterator {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &relIter{rel: rel, chunk: chunkSize}
+}
+
+func (it *relIter) Schema() *relation.Schema { return it.rel.Schema() }
+
+func (it *relIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ts := it.rel.Tuples()
+	if it.pos >= len(ts) {
+		return nil, io.EOF
+	}
+	end := it.pos + it.chunk
+	if end > len(ts) {
+		end = len(ts)
+	}
+	out := ts[it.pos:end]
+	it.pos = end
+	return out, nil
+}
+
+func (it *relIter) Close() error {
+	it.pos = len(it.rel.Tuples())
+	return nil
+}
+
+// wholeRelation is implemented by iterators that can hand over their
+// entire remaining stream as one ready-made relation; Collect uses it to
+// skip the tuple-by-tuple re-copy. ok is false when the iterator cannot
+// take the shortcut (it was already partially consumed, or the answer is
+// not materialized anyway) — Collect then falls back to draining.
+type wholeRelation interface {
+	whole(ctx context.Context) (rel *relation.Relation, ok bool, err error)
+}
+
+func (it *relIter) whole(ctx context.Context) (*relation.Relation, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
+	}
+	if it.pos != 0 {
+		return nil, false, nil
+	}
+	it.pos = len(it.rel.Tuples())
+	return it.rel, true, nil
+}
+
+// Collect drains the iterator into a relation and closes it. A stream
+// ending in a *PartialError returns BOTH the collected (sound, possibly
+// incomplete) relation and the error, matching ExecuteParallel's partial-
+// answer contract; any other error returns a nil relation.
+func Collect(ctx context.Context, it Iterator) (*relation.Relation, error) {
+	defer it.Close()
+	if w, isWhole := it.(wholeRelation); isWhole {
+		if rel, ok, err := w.whole(ctx); ok {
+			return rel, err
+		}
+	}
+	var out *relation.Relation
+	for {
+		chunk, err := it.Next(ctx)
+		if out == nil {
+			if s := it.Schema(); s != nil {
+				out = relation.New(s)
+			} else if len(chunk) > 0 {
+				out = relation.New(chunk[0].Schema())
+			}
+		}
+		for _, t := range chunk {
+			if aerr := out.Append(t); aerr != nil {
+				return nil, aerr
+			}
+		}
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, io.EOF):
+			return out, nil
+		default:
+			var pe *PartialError
+			if errors.As(err, &pe) && out != nil {
+				return out, err
+			}
+			return nil, err
+		}
+	}
+}

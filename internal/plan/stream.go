@@ -1,0 +1,447 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// This file is the streaming twin of exec.go/parallel.go: it compiles a
+// plan into a tree of Iterators so tuples flow from the sources to the
+// caller without any node materializing its full input. The operators:
+//
+//   - SourceQuery: a StreamQuerier source streams natively; any other
+//     Querier (the resilient retry wrapper, the answer cache) is bridged —
+//     its whole answer is fetched once, then re-chunked.
+//   - Select / Project: pipelined per chunk; Project deduplicates on the
+//     fly with a key set instead of a second relation.
+//   - Union: a fan-in merge. Branch subtrees drain concurrently (bounded
+//     by the same Workers token discipline as ExecuteParallel) and the
+//     merge deduplicates with one shared key set. With AllowPartial, a
+//     branch that fails — even after rows were already emitted — is
+//     recorded as dropped and the stream ends in a *PartialError; the
+//     rows a mid-stream casualty already contributed are kept, because
+//     Union is monotone and every emitted tuple is a true answer tuple.
+//   - Intersect: builds key sets from inputs[1:], then streams inputs[0]
+//     through them. It fails closed like the materialized executor, and
+//     adds an early-out: a build side that completes empty makes the
+//     whole intersection empty, so sibling builds are cancelled and the
+//     probe side is never executed at all.
+//   - Choice: resolved at stream-construction time via ResolveChoice.
+//
+// Execution-time behavior (errors, partial-answer semantics, worker
+// bounds, span nesting) deliberately mirrors ExecuteParallel so the two
+// engines are interchangeable; internal/qa's streaming differential
+// invariant holds them to that.
+
+// StreamOptions configure ExecuteStream/NewStream.
+type StreamOptions struct {
+	// Workers bounds concurrently draining plan branches — and hence
+	// concurrent source queries — across the whole stream, exactly like
+	// ExecOptions.Workers. Values <= 1 drain branches on the consumer's
+	// goroutine.
+	Workers int
+	// AllowPartial lets Union streams degrade when branches fail; see
+	// ExecOptions.AllowPartial. The streaming refinement: a branch that
+	// dies mid-stream after contributing rows keeps those rows (they are
+	// sound) and is still reported dropped (it is incomplete).
+	AllowPartial bool
+	// ChoiceResolver resolves Choice nodes during stream construction;
+	// nil falls back to the first alternative (see ResolveChoice).
+	ChoiceResolver ChoiceResolver
+	// ChunkSize bounds the tuples per Next chunk (0 = DefaultChunkSize).
+	ChunkSize int
+	// Stats, when non-nil, receives rows-streamed and peak-buffered-rows
+	// accounting for the execution.
+	Stats *StreamStats
+}
+
+// ExecuteStream runs the plan with the streaming engine and collects the
+// result, making it a drop-in replacement for ExecuteParallel: same
+// signature shape, same error wrapping, same partial-answer contract
+// (relation + *PartialError for degraded Unions, nil relation otherwise).
+func ExecuteStream(ctx context.Context, p Plan, srcs Sources, opts StreamOptions) (*relation.Relation, error) {
+	it, err := NewStream(p, srcs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(ctx, it)
+}
+
+// NewStream compiles the plan into an iterator tree. Construction is
+// lazy — no source work happens until the first Next call, whose context
+// governs all upstream work (cancellation reaches every branch).
+func NewStream(p Plan, srcs Sources, opts StreamOptions) (Iterator, error) {
+	spawn := opts.Workers - 1
+	if spawn < 0 {
+		spawn = 0
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	e := &streamExec{
+		srcs:    srcs,
+		tokens:  make(chan struct{}, spawn),
+		partial: opts.AllowPartial,
+		resolve: opts.ChoiceResolver,
+		chunk:   chunk,
+		stats:   opts.Stats,
+	}
+	return e.build(p)
+}
+
+// streamExec carries the per-execution state every operator shares.
+type streamExec struct {
+	srcs    Sources
+	tokens  chan struct{} // branch-goroutine permits (capacity Workers-1)
+	partial bool
+	resolve ChoiceResolver
+	chunk   int
+	stats   *StreamStats
+}
+
+// build compiles one plan node (and its subtree) into an iterator.
+func (e *streamExec) build(p Plan) (Iterator, error) {
+	switch t := p.(type) {
+	case *SourceQuery:
+		q, ok := e.srcs.Lookup(t.Source)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
+		}
+		return &sourceIter{e: e, q: q, sq: t}, nil
+	case *Select:
+		in, err := e.build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &selectIter{e: e, cond: t.Cond, in: in}, nil
+	case *Project:
+		in, err := e.build(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{e: e, attrs: t.Attrs, in: in}, nil
+	case *Union:
+		if len(t.Inputs) == 0 {
+			return nil, fmt.Errorf("plan: empty n-ary node")
+		}
+		ins, err := e.buildAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &unionIter{e: e, node: t, inputs: ins}, nil
+	case *Intersect:
+		if len(t.Inputs) == 0 {
+			return nil, fmt.Errorf("plan: empty n-ary node")
+		}
+		ins, err := e.buildAll(t.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &intersectIter{e: e, node: t, inputs: ins}, nil
+	case *Choice:
+		alt, err := ResolveChoice(t, e.resolve)
+		if err != nil {
+			return nil, err
+		}
+		return e.build(alt)
+	default:
+		return nil, fmt.Errorf("plan: unknown node %T", p)
+	}
+}
+
+func (e *streamExec) buildAll(ps []Plan) ([]Iterator, error) {
+	out := make([]Iterator, len(ps))
+	for i, p := range ps {
+		it, err := e.build(p)
+		if err != nil {
+			for _, b := range out[:i] {
+				b.Close()
+			}
+			return nil, err
+		}
+		out[i] = it
+	}
+	return out, nil
+}
+
+// streamKey renders a column-order-insensitive dedup/join key for the
+// tuple over the given attribute names (sorted once per operator).
+// Branches of one n-ary node may deliver the same logical tuple with
+// different column orders; keying by name makes them collide correctly
+// without projecting first.
+func streamKey(t relation.Tuple, names []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		v, _ := t.Lookup(n)
+		fmt.Fprintf(&b, "%d:%s", int(v.Kind), v.Text())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// SourceQuery
+
+// sourceIter executes one source query. Sources that implement
+// StreamQuerier stream natively; everything else is bridged — the whole
+// answer is fetched on the first Next, charged to the peak-rows gauge for
+// its lifetime, and re-chunked.
+type sourceIter struct {
+	e  *streamExec
+	q  Querier
+	sq *SourceQuery
+
+	started bool
+	stream  Iterator           // native streaming path
+	rel     *relation.Relation // bridged path
+	pos     int
+	sp      *obs.Span // open exec.source span for the streaming path
+	rows    int64
+	closed  bool
+}
+
+func (it *sourceIter) Schema() *relation.Schema {
+	switch {
+	case it.rel != nil:
+		return it.rel.Schema()
+	case it.stream != nil:
+		return it.stream.Schema()
+	default:
+		return nil
+	}
+}
+
+// open performs the source query (or opens the source stream).
+func (it *sourceIter) open(ctx context.Context) error {
+	it.started = true
+	if sq, ok := it.q.(StreamQuerier); ok {
+		sctx, sp := obs.Start(ctx, "exec.source")
+		inner, err := sq.QueryStream(sctx, it.sq.Cond, it.sq.Attrs)
+		if err != nil {
+			it.endSpan(sp, err)
+			return fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		}
+		it.stream, it.sp = inner, sp
+		return nil
+	}
+	res, err := querySource(ctx, it.q, it.sq)
+	if err != nil {
+		return fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+	}
+	it.rel = res
+	it.e.stats.buffered(res.Len())
+	return nil
+}
+
+func (it *sourceIter) endSpan(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("source", it.sq.Source)
+	sp.SetAttr("cond", it.sq.Cond.Key())
+	sp.SetAttr("streamed", "true")
+	sp.SetInt("rows", it.rows)
+	if errors.Is(err, io.EOF) {
+		err = nil
+	}
+	sp.EndErr(err)
+}
+
+func (it *sourceIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if !it.started {
+		if err := it.open(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if it.stream != nil {
+		chunk, err := it.stream.Next(ctx)
+		it.rows += int64(len(chunk))
+		if err != nil {
+			it.endSpan(it.sp, err)
+			it.sp = nil
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		}
+		it.e.stats.streamed(len(chunk))
+		return chunk, nil
+	}
+	ts := it.rel.Tuples()
+	if it.pos >= len(ts) {
+		return nil, io.EOF
+	}
+	end := it.pos + it.e.chunk
+	if end > len(ts) {
+		end = len(ts)
+	}
+	chunk := ts[it.pos:end]
+	it.pos = end
+	it.e.stats.streamed(len(chunk))
+	return chunk, nil
+}
+
+// whole lets Collect grab a bridged source answer without re-copying it:
+// a plan that is a single source query costs the same as Execute.
+func (it *sourceIter) whole(ctx context.Context) (*relation.Relation, bool, error) {
+	if it.started || it.closed {
+		return nil, false, nil
+	}
+	if _, ok := it.q.(StreamQuerier); ok {
+		return nil, false, nil
+	}
+	it.started, it.closed = true, true
+	res, err := querySource(ctx, it.q, it.sq)
+	if err != nil {
+		return nil, true, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+	}
+	it.e.stats.streamed(res.Len())
+	return res, true, nil
+}
+
+func (it *sourceIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	if it.rel != nil {
+		it.e.stats.buffered(-it.rel.Len())
+		it.pos = it.rel.Len()
+	}
+	if it.stream != nil {
+		it.endSpan(it.sp, nil)
+		it.sp = nil
+		return it.stream.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Select / Project
+
+// selectIter filters chunks through the condition. A *PartialError from
+// the input rides through untouched: σ of a sound subset is a sound
+// subset.
+type selectIter struct {
+	e    *streamExec
+	cond condition.Node
+	in   Iterator
+}
+
+func (it *selectIter) Schema() *relation.Schema { return it.in.Schema() }
+
+func (it *selectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	for {
+		chunk, err := it.in.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var out []relation.Tuple
+		for _, t := range chunk {
+			ok, eerr := it.cond.Eval(t)
+			if eerr != nil {
+				return nil, fmt.Errorf("plan: mediator select: %w", eerr)
+			}
+			if ok {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			it.e.stats.streamed(len(out))
+			return out, nil
+		}
+	}
+}
+
+func (it *selectIter) Close() error { return it.in.Close() }
+
+// projectIter projects each tuple and deduplicates on the fly (the
+// paper's SP projection is set-valued), holding only projected keys
+// instead of a second relation.
+type projectIter struct {
+	e     *streamExec
+	attrs []string
+	in    Iterator
+
+	ps   *relation.Schema
+	seen map[string]struct{}
+	done bool
+}
+
+func (it *projectIter) Schema() *relation.Schema {
+	if it.ps == nil && it.in.Schema() != nil {
+		ps, err := it.in.Schema().Project(it.attrs)
+		if err == nil {
+			it.ps = ps
+		}
+	}
+	return it.ps
+}
+
+func (it *projectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	for {
+		chunk, err := it.in.Next(ctx)
+		if err != nil {
+			// Derive the projected schema even on an empty stream so
+			// Collect can build the (empty) result relation.
+			if it.Schema() == nil && !errors.Is(err, io.EOF) {
+				return nil, err
+			}
+			if it.ps == nil {
+				ps, perr := it.in.Schema().Project(it.attrs)
+				if perr != nil {
+					return nil, fmt.Errorf("plan: mediator project: %w", perr)
+				}
+				it.ps = ps
+			}
+			return nil, err
+		}
+		if it.ps == nil {
+			ps, perr := chunk[0].Schema().Project(it.attrs)
+			if perr != nil {
+				return nil, fmt.Errorf("plan: mediator project: %w", perr)
+			}
+			it.ps = ps
+		}
+		if it.seen == nil {
+			it.seen = make(map[string]struct{}, len(chunk))
+		}
+		var out []relation.Tuple
+		for _, t := range chunk {
+			pt := t.Projected(it.ps)
+			k := pt.Key()
+			if _, dup := it.seen[k]; dup {
+				continue
+			}
+			it.seen[k] = struct{}{}
+			it.e.stats.buffered(1)
+			out = append(out, pt)
+		}
+		if len(out) > 0 {
+			it.e.stats.streamed(len(out))
+			return out, nil
+		}
+	}
+}
+
+func (it *projectIter) Close() error {
+	if it.seen != nil {
+		it.e.stats.buffered(-len(it.seen))
+		it.seen = nil
+	}
+	it.done = true
+	return it.in.Close()
+}

@@ -1,0 +1,548 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// The n-ary streaming operators. Both mirror runNary's semantics:
+//
+//   - unionIter merges its branch streams, deduplicating with one shared
+//     key set. With AllowPartial it degrades like the materialized Union —
+//     failed branches become DroppedBranch entries and the stream ends in
+//     a *PartialError — with one streaming refinement: rows a branch
+//     contributed before dying mid-stream are kept. Union is monotone, so
+//     every emitted tuple is a true answer tuple; the branch is still
+//     reported dropped because its contribution is incomplete.
+//   - intersectIter drains inputs[1:] into key sets, then streams
+//     inputs[0] through them. It fails closed (a partial build or probe
+//     side rejects the whole node, rewrapped exactly like runNary), and
+//     short-circuits: a build side that completes empty makes the whole
+//     intersection empty, so sibling builds are cancelled and the probe
+//     side never runs.
+//
+// Branch concurrency uses the engine-wide token pool: a branch drains in
+// its own goroutine only if it can claim a token without blocking, and is
+// otherwise pulled inline by the consumer, so in-flight source queries
+// never exceed Workers and nested n-ary nodes cannot deadlock.
+
+// branchMsg is one hand-off from a draining branch goroutine to the
+// fan-in consumer: either a chunk (err nil) or the branch's terminal
+// outcome (io.EOF, *PartialError, or a failure) with its final schema.
+type branchMsg struct {
+	chunk  []relation.Tuple
+	schema *relation.Schema
+	err    error
+}
+
+// rejectPartial converts a branch's *PartialError into a plain error for
+// fail-closed consumption, preserving the root-cause chain for errors.Is
+// while hiding the partial-answer shape from errors.As (PartialError's
+// contract pairs it with a non-nil relation, which a fail-closed node
+// does not return). Non-partial errors pass through.
+func rejectPartial(err error) error {
+	var pe *PartialError
+	if errors.As(err, &pe) && len(pe.Dropped) > 0 {
+		return fmt.Errorf("plan: fail-closed node rejected a partial branch (dropped %s): %w",
+			strings.Join(pe.DroppedSources(), ","), pe.Dropped[0].Err)
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Union
+
+type unionBranch struct {
+	it Iterator
+	ch chan branchMsg // nil: branch is pulled inline by the consumer
+}
+
+type unionIter struct {
+	e      *streamExec
+	node   *Union
+	inputs []Iterator
+
+	started  bool
+	bctx     context.Context
+	cancel   context.CancelFunc
+	branches []*unionBranch
+	live     []int // indices of branches still streaming, rotation order
+	rr       int   // next rotation position within live
+	wg       sync.WaitGroup
+
+	canonical *relation.Schema
+	aligns    map[*relation.Schema]*relation.Schema
+	seen      map[string]struct{}
+	dropped   []DroppedBranch
+	errs      []error
+	emitted   bool
+	survivors int
+
+	done     bool
+	closed   bool
+	finalErr error
+}
+
+func (u *unionIter) Schema() *relation.Schema { return u.canonical }
+
+func (u *unionIter) start(ctx context.Context) {
+	u.started = true
+	u.bctx, u.cancel = context.WithCancel(ctx)
+	u.branches = make([]*unionBranch, len(u.inputs))
+	u.errs = make([]error, len(u.inputs))
+	u.seen = make(map[string]struct{})
+	u.live = make([]int, 0, len(u.inputs))
+	for i, in := range u.inputs {
+		br := &unionBranch{it: in}
+		u.branches[i] = br
+		u.live = append(u.live, i)
+		select {
+		case u.e.tokens <- struct{}{}:
+			br.ch = make(chan branchMsg, 2)
+			u.wg.Add(1)
+			go u.drain(br)
+		default:
+			// No token free: the consumer pulls this branch inline during
+			// its rotation turn, so the node progresses regardless.
+		}
+	}
+}
+
+// drain pumps one branch into its channel from a dedicated goroutine.
+// The terminal message is always delivered, so the consumer (and Close)
+// can drain to completion after cancellation without leaking.
+func (u *unionIter) drain(br *unionBranch) {
+	defer u.wg.Done()
+	defer func() { <-u.e.tokens }()
+	for {
+		chunk, err := br.it.Next(u.bctx)
+		if err != nil {
+			br.ch <- branchMsg{schema: br.it.Schema(), err: err}
+			return
+		}
+		select {
+		case br.ch <- branchMsg{chunk: chunk}:
+		case <-u.bctx.Done():
+			br.ch <- branchMsg{schema: br.it.Schema(), err: u.bctx.Err()}
+			return
+		}
+	}
+}
+
+// setCanonical adopts the output schema. The rotation starts at branch 0,
+// so the first schema to arrive is input-order-preferred, matching
+// combineBranches aligning everything to results[0].
+func (u *unionIter) setCanonical(s *relation.Schema) {
+	u.canonical = s
+	u.aligns = make(map[*relation.Schema]*relation.Schema)
+}
+
+// align rebinds or projects a branch tuple onto the canonical schema, so
+// cross-branch deduplication and downstream consumers see one column
+// order no matter which branch a tuple came from.
+func (u *unionIter) align(t relation.Tuple) (relation.Tuple, error) {
+	s := t.Schema()
+	if s == u.canonical {
+		return t, nil
+	}
+	if s.Equal(u.canonical) {
+		return t.Rebind(u.canonical), nil
+	}
+	ps, ok := u.aligns[s]
+	if !ok {
+		var err error
+		ps, err = s.Project(u.canonical.Names())
+		if err != nil {
+			return t, fmt.Errorf("plan: aligning branch schemas: %w", err)
+		}
+		if !ps.Equal(u.canonical) {
+			return t, fmt.Errorf("plan: aligning branch schemas: %s vs %s", ps, u.canonical)
+		}
+		u.aligns[s] = ps
+	}
+	return t.Projected(ps).Rebind(u.canonical), nil
+}
+
+func (u *unionIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if u.done {
+		return nil, u.finalErr
+	}
+	if !u.started {
+		u.start(ctx)
+	}
+	var buf []relation.Tuple
+	for {
+		if len(u.live) == 0 {
+			return nil, u.finish()
+		}
+		if u.rr >= len(u.live) {
+			u.rr = 0
+		}
+		bi := u.live[u.rr]
+		br := u.branches[bi]
+		var msg branchMsg
+		if br.ch == nil {
+			chunk, err := br.it.Next(u.bctx)
+			msg = branchMsg{chunk: chunk, err: err}
+			if err != nil {
+				msg.schema = br.it.Schema()
+			}
+		} else {
+			msg = <-br.ch
+		}
+		if msg.err == nil {
+			if u.canonical == nil {
+				u.setCanonical(msg.chunk[0].Schema())
+			}
+			for _, t := range msg.chunk {
+				at, aerr := u.align(t)
+				if aerr != nil {
+					return nil, u.abort(aerr)
+				}
+				k := at.Key()
+				if _, dup := u.seen[k]; dup {
+					continue
+				}
+				u.seen[k] = struct{}{}
+				u.e.stats.buffered(1)
+				buf = append(buf, at)
+			}
+			u.rr++ // move on so slow branches don't starve the rest
+			if len(buf) > 0 {
+				u.emitted = true
+				u.e.stats.streamed(len(buf))
+				return buf, nil
+			}
+			continue
+		}
+
+		// Terminal outcome for branch bi.
+		u.live = append(u.live[:u.rr], u.live[u.rr+1:]...)
+		if u.canonical == nil && msg.schema != nil {
+			u.setCanonical(msg.schema)
+		}
+		err := msg.err
+		var pe *PartialError
+		switch {
+		case errors.Is(err, io.EOF):
+			u.survivors++
+		case u.e.partial && errors.As(err, &pe) && len(pe.Dropped) > 0:
+			// A nested Union degraded: its rows streamed through already;
+			// fold its casualties into ours (same as runNary's merge).
+			u.survivors++
+			u.dropped = append(u.dropped, pe.Dropped...)
+		case u.e.partial:
+			u.errs[bi] = err
+			u.dropped = append(u.dropped, DroppedBranch{Sources: branchSources(u.node.Inputs[bi]), Err: err})
+		default:
+			u.errs[bi] = err
+			return nil, u.failClosed()
+		}
+	}
+}
+
+// finish computes the stream's terminal outcome once every branch has
+// terminated (partial mode only reaches here; fail-closed aborts on the
+// first branch error).
+func (u *unionIter) finish() error {
+	u.done = true
+	switch {
+	case !u.e.partial || len(u.dropped) == 0:
+		u.finalErr = io.EOF
+	case u.survivors == 0 && !u.emitted:
+		u.finalErr = fmt.Errorf("plan: all %d union branches failed: %w", len(u.inputs), firstRealError(u.errs))
+	default:
+		u.finalErr = &PartialError{Dropped: u.dropped}
+	}
+	return u.finalErr
+}
+
+// failClosed aborts the whole node on the first branch error (partial
+// mode off): cancel the siblings, drain them to completion, and surface
+// the root-cause error, never a *PartialError.
+func (u *unionIter) failClosed() error {
+	u.cancel()
+	u.collectRemaining()
+	u.done = true
+	u.finalErr = rejectPartial(firstRealError(u.errs))
+	return u.finalErr
+}
+
+// abort terminates the stream with an operator-level error (e.g. schema
+// misalignment), independent of partial mode.
+func (u *unionIter) abort(err error) error {
+	u.cancel()
+	u.collectRemaining()
+	u.done = true
+	u.finalErr = err
+	return u.finalErr
+}
+
+// collectRemaining drains every still-live goroutine branch to its
+// terminal message (recording errors for firstRealError) and waits for
+// the drainers to exit. Inline branches have no in-flight work.
+func (u *unionIter) collectRemaining() {
+	for _, bi := range u.live {
+		br := u.branches[bi]
+		if br.ch == nil {
+			continue
+		}
+		for {
+			msg := <-br.ch
+			if msg.err != nil {
+				if !errors.Is(msg.err, io.EOF) && u.errs[bi] == nil {
+					u.errs[bi] = msg.err
+				}
+				break
+			}
+		}
+	}
+	u.live = nil
+	u.wg.Wait()
+}
+
+func (u *unionIter) Close() error {
+	if u.closed {
+		return nil
+	}
+	u.closed = true
+	if u.started {
+		u.cancel()
+		u.collectRemaining()
+	}
+	for _, in := range u.inputs {
+		in.Close()
+	}
+	u.e.stats.buffered(-len(u.seen))
+	u.seen = nil
+	u.done = true
+	if u.finalErr == nil {
+		u.finalErr = io.EOF
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Intersect
+
+type intersectIter struct {
+	e      *streamExec
+	node   *Intersect
+	inputs []Iterator
+
+	names []string // sorted output attributes, for order-insensitive keys
+
+	started bool
+	bctx    context.Context
+	cancel  context.CancelFunc
+
+	probe    Iterator
+	builds   []map[string]struct{}
+	buffered int // rows charged to the peak gauge for the build sets
+	seen     map[string]struct{}
+	schema   *relation.Schema // early-out schema when the probe never ran
+
+	done     bool
+	closed   bool
+	finalErr error
+}
+
+func (x *intersectIter) Schema() *relation.Schema {
+	if s := x.inputs[0].Schema(); s != nil {
+		return s
+	}
+	return x.schema
+}
+
+// drainKeys consumes a build-side iterator into a key set. A partial
+// terminal is returned as a plain error: intersect fails closed.
+func drainKeys(ctx context.Context, it Iterator, names []string) (map[string]struct{}, *relation.Schema, error) {
+	defer it.Close()
+	set := make(map[string]struct{})
+	for {
+		chunk, err := it.Next(ctx)
+		for _, t := range chunk {
+			set[streamKey(t, names)] = struct{}{}
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			return set, it.Schema(), nil
+		default:
+			return set, it.Schema(), err
+		}
+	}
+}
+
+// start runs the build phase: inputs[1:] drain into key sets — token
+// holders concurrently, the rest inline — with two short-circuits: the
+// first real error cancels the siblings (fail closed, like runNary), and
+// the first complete-and-empty build cancels them too, because an empty
+// build side makes the whole intersection empty no matter what the other
+// branches hold. In the empty case the probe side is never executed.
+func (x *intersectIter) start(ctx context.Context) {
+	x.started = true
+	x.bctx, x.cancel = context.WithCancel(ctx)
+	x.names = x.node.OutAttrs().Sorted()
+	x.probe = x.inputs[0]
+
+	type buildRes struct {
+		set    map[string]struct{}
+		schema *relation.Schema
+		err    error
+	}
+	n := len(x.inputs) - 1
+	results := make([]buildRes, n)
+	chans := make([]chan buildRes, n)
+	var wg sync.WaitGroup
+	var inline []int
+	for i := 0; i < n; i++ {
+		it := x.inputs[i+1]
+		select {
+		case x.e.tokens <- struct{}{}:
+			ch := make(chan buildRes, 1)
+			chans[i] = ch
+			wg.Add(1)
+			go func(it Iterator, ch chan buildRes) {
+				defer wg.Done()
+				defer func() { <-x.e.tokens }()
+				set, sch, err := drainKeys(x.bctx, it, x.names)
+				if err == nil && len(set) == 0 {
+					x.cancel() // early-out: empty build ⇒ empty intersection
+				} else if err != nil && !errors.Is(err, context.Canceled) {
+					x.cancel() // fail fast
+				}
+				ch <- buildRes{set, sch, err}
+			}(it, ch)
+		default:
+			inline = append(inline, i)
+		}
+	}
+	for _, i := range inline {
+		set, sch, err := drainKeys(x.bctx, x.inputs[i+1], x.names)
+		results[i] = buildRes{set, sch, err}
+		if err == nil && len(set) == 0 {
+			x.cancel()
+		} else if err != nil && !errors.Is(err, context.Canceled) {
+			x.cancel()
+		}
+	}
+	for i, ch := range chans {
+		if ch != nil {
+			results[i] = <-ch
+		}
+	}
+	wg.Wait()
+
+	errs := make([]error, n)
+	sets := make([]map[string]struct{}, 0, n)
+	var emptySchema *relation.Schema
+	empty := false
+	for i := 0; i < n; i++ {
+		r := results[i]
+		errs[i] = r.err
+		if r.err == nil {
+			if len(r.set) == 0 && !empty {
+				empty = true
+				emptySchema = r.schema
+			}
+			sets = append(sets, r.set)
+		}
+	}
+	switch {
+	case empty:
+		// A complete empty build side is definitive: the intersection is
+		// empty even if a sibling failed, so finish successfully now.
+		x.schema = emptySchema
+		x.done = true
+		x.finalErr = io.EOF
+	default:
+		if err := firstRealError(errs); err != nil {
+			x.done = true
+			x.finalErr = rejectPartial(err)
+			return
+		}
+		x.builds = sets
+		for _, s := range sets {
+			x.buffered += len(s)
+		}
+		x.e.stats.buffered(x.buffered)
+		x.seen = make(map[string]struct{})
+	}
+}
+
+func (x *intersectIter) inAllBuilds(k string) bool {
+	for _, s := range x.builds {
+		if _, ok := s[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *intersectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if !x.started {
+		x.start(ctx)
+	}
+	if x.done {
+		return nil, x.finalErr
+	}
+	var buf []relation.Tuple
+	for {
+		chunk, err := x.probe.Next(x.bctx)
+		if err != nil {
+			x.done = true
+			if errors.Is(err, io.EOF) {
+				x.finalErr = io.EOF
+			} else {
+				// A partial probe side (a degraded Union feeding the
+				// intersect) fails closed like any other probe failure.
+				x.cancel()
+				x.finalErr = rejectPartial(err)
+			}
+			return nil, x.finalErr
+		}
+		for _, t := range chunk {
+			k := streamKey(t, x.names)
+			if !x.inAllBuilds(k) {
+				continue
+			}
+			if _, dup := x.seen[k]; dup {
+				continue
+			}
+			x.seen[k] = struct{}{}
+			x.e.stats.buffered(1)
+			buf = append(buf, t)
+		}
+		if len(buf) > 0 {
+			x.e.stats.streamed(len(buf))
+			return buf, nil
+		}
+	}
+}
+
+func (x *intersectIter) Close() error {
+	if x.closed {
+		return nil
+	}
+	x.closed = true
+	if x.started {
+		x.cancel()
+	}
+	for _, in := range x.inputs {
+		in.Close()
+	}
+	x.e.stats.buffered(-(x.buffered + len(x.seen)))
+	x.builds, x.seen = nil, nil
+	x.done = true
+	if x.finalErr == nil {
+		x.finalErr = io.EOF
+	}
+	return nil
+}

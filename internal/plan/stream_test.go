@@ -1,0 +1,410 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+// streamSource is a StreamQuerier fake: it computes the full answer like
+// testSource, then dribbles it out in chunks, optionally dying with err
+// after failAfter rows — the mid-stream fault the materialized engine can
+// never produce.
+type streamSource struct {
+	rel       *relation.Relation
+	chunk     int
+	failAfter int // -1: never fail
+	err       error
+}
+
+func (s *streamSource) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	inner := &testSource{rel: s.rel}
+	return inner.Query(ctx, cond, attrs)
+}
+
+func (s *streamSource) QueryStream(ctx context.Context, cond condition.Node, attrs []string) (Iterator, error) {
+	res, err := s.Query(ctx, cond, attrs)
+	if err != nil {
+		return nil, err
+	}
+	chunk := s.chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &fakeStreamIter{rel: res, chunk: chunk, failAfter: s.failAfter, err: s.err}, nil
+}
+
+type fakeStreamIter struct {
+	rel       *relation.Relation
+	chunk     int
+	pos       int
+	failAfter int
+	err       error
+}
+
+func (it *fakeStreamIter) Schema() *relation.Schema { return it.rel.Schema() }
+
+func (it *fakeStreamIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if it.failAfter >= 0 && it.pos >= it.failAfter {
+		return nil, it.err
+	}
+	ts := it.rel.Tuples()
+	if it.pos >= len(ts) {
+		return nil, io.EOF
+	}
+	end := it.pos + it.chunk
+	if end > len(ts) {
+		end = len(ts)
+	}
+	if it.failAfter >= 0 && end > it.failAfter {
+		end = it.failAfter
+	}
+	out := ts[it.pos:end]
+	it.pos = end
+	return out, nil
+}
+
+func (it *fakeStreamIter) Close() error { return nil }
+
+// streamEqualsExecute asserts both engines produce the same relation.
+func streamEqualsExecute(t *testing.T, p Plan, srcs Sources, opts StreamOptions) {
+	t.Helper()
+	want, werr := Execute(context.Background(), p, srcs)
+	got, gerr := ExecuteStream(context.Background(), p, srcs, opts)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("error divergence: execute=%v stream=%v", werr, gerr)
+	}
+	if werr != nil {
+		return
+	}
+	if !got.Equal(want) {
+		t.Fatalf("answer divergence:\n  execute: %v\n  stream:  %v", want.Tuples(), got.Tuples())
+	}
+}
+
+func TestStreamMatchesExecute(t *testing.T) {
+	srcs := testSources(t)
+	n1 := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	n2 := condition.MustParse(`color = "red" _ color = "black"`)
+	plans := map[string]Plan{
+		"source": NewSourceQuery("R", n1, []string{"model"}),
+		"sp":     NewSP(n2, []string{"model"}, NewSourceQuery("R", n1, []string{"model", "color"})),
+		"union": &Union{Inputs: []Plan{
+			NewSourceQuery("R", n1, []string{"model"}),
+			NewSourceQuery("R", condition.MustParse(`make = "Toyota" ^ price < 20000`), []string{"model"}),
+		}},
+		"intersect": &Intersect{Inputs: []Plan{
+			NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"}),
+			NewSourceQuery("R", condition.MustParse(`price < 40000`), []string{"model"}),
+		}},
+		"choice": &Choice{Alternatives: []Plan{
+			NewSourceQuery("R", n1, []string{"model"}),
+			NewSourceQuery("R", condition.True(), []string{"model"}),
+		}},
+	}
+	for name, p := range plans {
+		for _, workers := range []int{1, 4} {
+			for _, chunk := range []int{1, 3, 0} {
+				streamEqualsExecute(t, p, srcs, StreamOptions{Workers: workers, ChunkSize: chunk})
+			}
+		}
+		_ = name
+	}
+}
+
+func TestStreamMatchesExecuteWithStreamingSource(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{"R": &streamSource{rel: rel, chunk: 2, failAfter: -1}}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model", "color"}),
+		NewSourceQuery("R", condition.MustParse(`color = "red"`), []string{"model", "color"}),
+	}}
+	streamEqualsExecute(t, p, srcs, StreamOptions{Workers: 4, ChunkSize: 1})
+}
+
+func TestStreamUnionPartialMidStream(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{
+		"A": &testSource{rel: rel},
+		"B": &streamSource{rel: rel, chunk: 1, failAfter: 2, err: errDown},
+	}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("A", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("B", condition.MustParse(`make = "Toyota"`), []string{"model"}),
+	}}
+	// Sequential so the round-robin deterministically pulls B's two rows
+	// before the fault surfaces.
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 1, AllowPartial: true, ChunkSize: 1})
+	if res == nil {
+		t.Fatalf("partial union returned no relation (err = %v)", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if got := pe.DroppedSources(); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("dropped = %v, want [B]", got)
+	}
+	if !errors.Is(err, errDown) {
+		t.Fatalf("err chain lost root cause: %v", err)
+	}
+	// The three BMW models from A, plus the rows B managed to emit before
+	// dying: they are true answer tuples and must be retained.
+	if res.Len() != 5 {
+		t.Fatalf("len = %d, want 5 (3 from A + 2 emitted by B): %v", res.Len(), res.Tuples())
+	}
+}
+
+func TestStreamUnionMidStreamFailClosed(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{
+		"A": &testSource{rel: rel},
+		"B": &streamSource{rel: rel, chunk: 1, failAfter: 1, err: errDown},
+	}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("A", condition.True(), []string{"model"}),
+		NewSourceQuery("B", condition.True(), []string{"model"}),
+	}}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 4, ChunkSize: 1})
+	if res != nil {
+		t.Fatalf("fail-closed union returned a relation: %v", res.Tuples())
+	}
+	if !errors.Is(err, errDown) {
+		t.Fatalf("err = %v, want chain to %v", err, errDown)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("fail-closed union leaked *PartialError: %v", err)
+	}
+}
+
+func TestStreamAllUnionBranchesFailed(t *testing.T) {
+	srcs := SourceMap{"B": &errSource{err: errDown}}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("B", condition.True(), []string{"model"}),
+		NewSourceQuery("B", condition.MustParse(`make = "BMW"`), []string{"model"}),
+	}}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 2, AllowPartial: true})
+	if res != nil || err == nil {
+		t.Fatalf("want hard error, got res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, errDown) {
+		t.Fatalf("err chain lost root cause: %v", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("all-branches-failed leaked *PartialError: %v", err)
+	}
+}
+
+func TestStreamIntersectFailsClosedMidStream(t *testing.T) {
+	rel := carsRelation(t)
+	for name, srcs := range map[string]SourceMap{
+		// Probe side dies mid-stream after emitting matches.
+		"probe": {
+			"A": &streamSource{rel: rel, chunk: 1, failAfter: 2, err: errDown},
+			"B": &testSource{rel: rel},
+		},
+		// Build side dies mid-stream.
+		"build": {
+			"A": &testSource{rel: rel},
+			"B": &streamSource{rel: rel, chunk: 1, failAfter: 2, err: errDown},
+		},
+	} {
+		p := &Intersect{Inputs: []Plan{
+			NewSourceQuery("A", condition.True(), []string{"model"}),
+			NewSourceQuery("B", condition.True(), []string{"model"}),
+		}}
+		res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 1, AllowPartial: true, ChunkSize: 1})
+		if res != nil {
+			t.Fatalf("%s: fail-closed intersect returned a relation: %v", name, res.Tuples())
+		}
+		if !errors.Is(err, errDown) {
+			t.Fatalf("%s: err = %v, want chain to %v", name, err, errDown)
+		}
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			t.Fatalf("%s: intersect leaked *PartialError: %v", name, err)
+		}
+	}
+}
+
+func TestStreamIntersectRejectsPartialBranch(t *testing.T) {
+	srcs, branches := threeSourceFixture(t)
+	inner := &Union{Inputs: branches} // degrades to partial under AllowPartial
+	p := &Intersect{Inputs: []Plan{
+		NewSourceQuery("A", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		inner,
+	}}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 4, AllowPartial: true})
+	if res != nil {
+		t.Fatalf("intersect over partial branch returned a relation: %v", res.Tuples())
+	}
+	if !errors.Is(err, errDown) {
+		t.Fatalf("err = %v, want chain to %v", err, errDown)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("intersect leaked *PartialError: %v", err)
+	}
+}
+
+func TestStreamIntersectEarlyOut(t *testing.T) {
+	rel := carsRelation(t)
+	probe := &countingSource{inner: &testSource{rel: rel}}
+	srcs := SourceMap{
+		"P": probe,
+		"E": &testSource{rel: rel},
+	}
+	p := &Intersect{Inputs: []Plan{
+		NewSourceQuery("P", condition.True(), []string{"model"}),
+		NewSourceQuery("E", condition.MustParse(`make = "Ferrari"`), []string{"model"}),
+	}}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("len = %d, want 0", res.Len())
+	}
+	if n := probe.peak.Load(); n != 0 {
+		t.Fatalf("probe source was queried %d times; early-out should skip it", n)
+	}
+}
+
+// TestStreamIntersectCancelsSiblings: a failing build side must cancel a
+// blocking sibling instead of hanging the node.
+func TestStreamIntersectCancelsSiblings(t *testing.T) {
+	srcs := SourceMap{
+		"A": &blockSource{},
+		"B": &errSource{err: errDown},
+	}
+	p := &Intersect{Inputs: []Plan{
+		NewSourceQuery("A", condition.True(), []string{"model"}),
+		NewSourceQuery("A", condition.True(), []string{"model"}),
+		NewSourceQuery("B", condition.True(), []string{"model"}),
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 4})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errDown) {
+			t.Fatalf("err = %v, want chain to %v", err, errDown)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("intersect hung: failing branch did not cancel blocking siblings")
+	}
+}
+
+func TestStreamNestedPartialMerges(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{
+		"A": &testSource{rel: rel},
+		"B": &errSource{err: errDown},
+		"C": &streamSource{rel: rel, chunk: 1, failAfter: 0, err: errDown},
+	}
+	inner1 := &Union{Inputs: []Plan{
+		NewSourceQuery("A", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("B", condition.True(), []string{"model"}),
+	}}
+	inner2 := &Union{Inputs: []Plan{
+		NewSourceQuery("A", condition.MustParse(`make = "Toyota"`), []string{"model"}),
+		NewSourceQuery("C", condition.True(), []string{"model"}),
+	}}
+	p := &Union{Inputs: []Plan{inner1, inner2}}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 1, AllowPartial: true})
+	if res == nil {
+		t.Fatalf("nested partial union returned no relation (err = %v)", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	got := pe.DroppedSources()
+	if len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Fatalf("dropped = %v, want [B C]", got)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("len = %d, want 5: %v", res.Len(), res.Tuples())
+	}
+}
+
+func TestStreamStatsAccounting(t *testing.T) {
+	srcs := testSources(t)
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"model"}),
+	}}
+	stats := &StreamStats{}
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Workers: 1, ChunkSize: 2, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("len = %d, want 5", res.Len())
+	}
+	if stats.RowsStreamed() < int64(res.Len()) {
+		t.Fatalf("rows streamed %d < answer size %d", stats.RowsStreamed(), res.Len())
+	}
+	if stats.PeakRows() <= 0 {
+		t.Fatalf("peak rows = %d, want > 0", stats.PeakRows())
+	}
+}
+
+func TestStreamCloseHalfway(t *testing.T) {
+	rel := carsRelation(t)
+	srcs := SourceMap{"R": &streamSource{rel: rel, chunk: 1, failAfter: -1}}
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("R", condition.True(), []string{"model"}),
+		NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"}),
+	}}
+	it, err := NewStream(p, srcs, StreamOptions{Workers: 4, ChunkSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		it.Close()
+		it.Close() // idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a half-consumed stream")
+	}
+}
+
+func TestCollectPartialKeepsRelation(t *testing.T) {
+	// Collect must return both the sound rows and the *PartialError.
+	srcs, branches := threeSourceFixture(t)
+	it, err := NewStream(&Union{Inputs: branches}, srcs, StreamOptions{Workers: 2, AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cerr := Collect(context.Background(), it)
+	if res == nil {
+		t.Fatalf("Collect dropped the partial relation (err = %v)", cerr)
+	}
+	var pe *PartialError
+	if !errors.As(cerr, &pe) {
+		t.Fatalf("err = %v, want *PartialError", cerr)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("len = %d, want 5", res.Len())
+	}
+}

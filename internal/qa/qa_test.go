@@ -112,6 +112,15 @@ func TestFaultToleranceCorpus(t *testing.T) {
 	runCorpus(t, FaultTolerance, 4)
 }
 
+// TestStreamingCorpus checks the streaming-execution invariants: the
+// iterator engine matches the materialized executor and the oracle under
+// every execution shape (zero answer divergence), and faults injected
+// mid-stream — after rows have already been emitted — degrade to a sound
+// partial answer or fail closed, never to a wrong answer.
+func TestStreamingCorpus(t *testing.T) {
+	runCorpus(t, Streaming, 2)
+}
+
 // TestGeneratorDeterminism guards the repro contract: the same seed must
 // regenerate a byte-identical instance, or "seed N" stops being a
 // reproduction.

@@ -1,0 +1,180 @@
+package qa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/source"
+)
+
+// Streaming checks the streaming-execution invariants on one instance:
+//
+//	(1) the streaming iterator engine yields the oracle answer under every
+//	    execution shape — sequential, parallel (4 workers), and a
+//	    degenerate one-tuple chunk size — with zero divergence from the
+//	    materialized executor;
+//	(2) a fault injected mid-stream (the source dies after yielding some
+//	    rows) degrades soundly when partials are allowed: either the
+//	    oracle answer (fault never reached), a sound partial answer — a
+//	    non-nil subset of the oracle annotated with a well-formed
+//	    *plan.PartialError — or a fail-closed error with a nil relation;
+//	(3) the same mid-stream fault with partials rejected must never leak
+//	    a relation or a *plan.PartialError: oracle answer or fail-closed,
+//	    nothing in between.
+//
+// (2) is stricter than FaultTolerance's whole-call fault class: the
+// source fails AFTER rows have already crossed operator boundaries, so
+// the check exercises the engine's discard/keep decision for
+// already-emitted tuples, not just branch-open failures.
+//
+// Like Differential, infrastructure errors come back as error and
+// assertion violations land in Report.Failures.
+func Streaming(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	p, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	feasible, uerr := classify(errP)
+	if uerr != nil {
+		rep.failf("GenCompact failed unexpectedly: %v", uerr)
+		return rep, nil
+	}
+	rep.CompactFeasible = feasible
+	if !feasible {
+		return rep, nil
+	}
+
+	model := inst.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+
+	// (1) Streaming-vs-materialized differential: every execution shape
+	// must equal the materialized answer, which must equal the oracle.
+	base, err := plan.Execute(ctx, p, med)
+	if err != nil {
+		rep.failf("materialized baseline failed to execute: %v\nplan:\n%s", err, plan.Format(p))
+		return rep, nil
+	}
+	if !base.Equal(oracle) {
+		rep.failf("materialized baseline diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+			base.Len(), oracle.Len(), plan.Format(p))
+		return rep, nil
+	}
+	for _, shape := range []struct {
+		name    string
+		workers int
+		chunk   int
+	}{
+		{"sequential", 1, 0},
+		{"parallel", 4, 0},
+		{"chunk=1", 1, 1},
+	} {
+		stats := &plan.StreamStats{}
+		ans, err := plan.ExecuteStream(ctx, p, med, plan.StreamOptions{
+			Workers:        shape.workers,
+			ChoiceResolver: resolver,
+			ChunkSize:      shape.chunk,
+			Stats:          stats,
+		})
+		if err != nil {
+			rep.failf("streaming (%s): execution failed: %v\nplan:\n%s", shape.name, err, plan.Format(p))
+			continue
+		}
+		if !ans.Equal(base) {
+			rep.failf("streaming (%s): answer diverges from materialized executor: got %d rows, want %d\nplan:\n%s",
+				shape.name, ans.Len(), base.Len(), plan.Format(p))
+		}
+		if oracle.Len() > 0 && stats.RowsStreamed() < int64(ans.Len()) {
+			rep.failf("streaming (%s): stats report %d rows streamed for a %d-row answer: accounting lost rows",
+				shape.name, stats.RowsStreamed(), ans.Len())
+		}
+	}
+
+	// (2) Mid-stream fault, partials allowed. The budget rotates with the
+	// seed so the corpus covers faults at row 0, 1 and 2 of each source
+	// stream; which outcome class results depends on the plan shape, and
+	// all sound classes are accepted.
+	failAfter := int(inst.Seed % 3)
+	local, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	flaky := source.NewFlaky(local).FailAfterRows(failAfter)
+	fmed, err := inst.NewMediator(flaky)
+	if err != nil {
+		return nil, err
+	}
+	pans, perr := plan.ExecuteStream(ctx, p, fmed, plan.StreamOptions{
+		Workers:        1,
+		AllowPartial:   true,
+		ChoiceResolver: resolver,
+	})
+	var pe *plan.PartialError
+	switch {
+	case perr == nil:
+		if !pans.Equal(oracle) {
+			rep.failf("mid-stream fault (after %d rows), no error reported: answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				failAfter, pans.Len(), oracle.Len(), plan.Format(p))
+		}
+	case errors.As(perr, &pe):
+		if pans == nil {
+			rep.failf("mid-stream fault (after %d rows): partial answer has nil relation: %v", failAfter, perr)
+			break
+		}
+		if len(pe.Dropped) == 0 {
+			rep.failf("mid-stream fault (after %d rows): PartialError with no dropped branches: %v", failAfter, perr)
+		}
+		sub, serr := subsetOf(pans, oracle)
+		if serr != nil {
+			rep.failf("mid-stream fault (after %d rows): partial answer not comparable to oracle: %v", failAfter, serr)
+		} else if !sub {
+			rep.failf("mid-stream fault (after %d rows): partial answer is NOT a subset of the oracle answer (%d rows vs oracle %d): unsound degradation\nplan:\n%s",
+				failAfter, pans.Len(), oracle.Len(), plan.Format(p))
+		}
+	default:
+		if pans != nil {
+			rep.failf("mid-stream fault (after %d rows): fail-closed error carries a non-nil relation (%d rows): %v",
+				failAfter, pans.Len(), perr)
+		}
+	}
+
+	// (3) Same fault with partials rejected: rows already emitted by a
+	// dying branch must be discarded, never surfaced.
+	local2, err := source.NewLocal(inst.Source(), inst.Rel, inst.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	flaky2 := source.NewFlaky(local2).FailAfterRows(failAfter)
+	cmed, err := inst.NewMediator(flaky2)
+	if err != nil {
+		return nil, err
+	}
+	cans, cerr := plan.ExecuteStream(ctx, p, cmed, plan.StreamOptions{
+		Workers:        1,
+		ChoiceResolver: resolver,
+	})
+	switch {
+	case cerr == nil:
+		if !cans.Equal(oracle) {
+			rep.failf("mid-stream fault, fail-closed, no error reported: answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				cans.Len(), oracle.Len(), plan.Format(p))
+		}
+	case errors.As(cerr, new(*plan.PartialError)):
+		rep.failf("mid-stream fault, fail-closed: a *plan.PartialError leaked through AllowPartial=false: %v", cerr)
+	default:
+		if cans != nil {
+			rep.failf("mid-stream fault, fail-closed: error carries a non-nil relation (%d rows): %v", cans.Len(), cerr)
+		}
+	}
+	return rep, nil
+}

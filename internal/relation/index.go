@@ -63,6 +63,15 @@ func valueIndexKey(v condition.Value) string {
 	return fmt.Sprintf("%d\x00%s", int(v.Kind), v.Text())
 }
 
+// Probe exposes the index probe for streaming scans: it returns the
+// candidate tuple positions an indexed equality lookup narrows the
+// condition to, or ok=false when no index applies and the caller must
+// scan every tuple. The caller still evaluates the full condition on the
+// candidates. Positions index into Tuples().
+func (r *Relation) Probe(cond condition.Node) (candidates []int, ok bool) {
+	return r.indexProbe(cond)
+}
+
 // indexProbe finds an equality atom over an indexed column in the
 // condition (the condition itself, or a direct conjunct of a top-level
 // AND) and returns the candidate tuple positions. The caller still

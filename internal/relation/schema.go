@@ -184,6 +184,18 @@ func (t Tuple) String() string {
 	return "[" + strings.Join(parts, ", ") + "]"
 }
 
+// Projected returns the tuple restricted to the projected schema ps, which
+// must contain only columns named in the tuple's schema (Schema.Project on
+// the tuple's schema — or an Equal schema — guarantees this). The streaming
+// executor uses it to project tuples one at a time without materializing
+// the input relation.
+func (t Tuple) Projected(ps *Schema) Tuple { return t.project(ps) }
+
+// Rebind returns the tuple bound to s, which must be Equal to the tuple's
+// own schema. Rebinding lets streams from different branches of a plan
+// share one schema pointer, so downstream schema checks stay O(1).
+func (t Tuple) Rebind(s *Schema) Tuple { return Tuple{schema: s, vals: t.vals} }
+
 // project returns a new tuple with only the named columns, bound to the
 // provided projected schema.
 func (t Tuple) project(ps *Schema) Tuple {

@@ -28,6 +28,7 @@ type Flaky struct {
 
 	mu        sync.Mutex
 	failFirst int
+	failAfter int // rows served per stream before a mid-stream fault; -1 off
 	errorRate float64
 	rng       *rand.Rand
 	latency   time.Duration
@@ -40,7 +41,20 @@ type Flaky struct {
 var ErrInjected = errors.New("injected fault")
 
 // NewFlaky wraps inner; with no options it is transparent.
-func NewFlaky(inner plan.Querier) *Flaky { return &Flaky{inner: inner} }
+func NewFlaky(inner plan.Querier) *Flaky { return &Flaky{inner: inner, failAfter: -1} }
+
+// FailAfterRows makes every streamed query (QueryStream) die with a
+// transport error after serving n rows — the mid-stream fault mode the
+// whole-answer Query path cannot produce, and the one that distinguishes
+// sound-partial Union degradation from fail-closed operators. n < 0
+// disables it; materialized Query calls are unaffected. Returns the
+// receiver for chaining.
+func (f *Flaky) FailAfterRows(n int) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfter = n
+	return f
+}
 
 // FailFirst makes the next n calls fail with a transport error, after
 // which the source recovers. Returns the receiver for chaining.
@@ -104,13 +118,16 @@ func (f *Flaky) Failures() int {
 	return f.failures
 }
 
-// Query implements plan.Querier, applying blocking, latency and failure
-// injection before delegating to the inner querier.
-func (f *Flaky) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+// gate applies the per-call fault pipeline — call counting, blocking,
+// latency, whole-call failure injection — shared by Query and
+// QueryStream. It returns the stream row budget (failAfter) sampled under
+// the same lock so one call sees one consistent fault configuration.
+func (f *Flaky) gate(ctx context.Context) (failAfter int, err error) {
 	f.mu.Lock()
 	f.calls++
 	block := f.block
 	latency := f.latency
+	failAfter = f.failAfter
 	fail := false
 	if f.failFirst > 0 {
 		f.failFirst--
@@ -127,7 +144,7 @@ func (f *Flaky) Query(ctx context.Context, cond condition.Node, attrs []string) 
 		select {
 		case <-block:
 		case <-ctx.Done():
-			return nil, &TransportError{Err: ctx.Err()}
+			return failAfter, &TransportError{Err: ctx.Err()}
 		}
 	}
 	if latency > 0 {
@@ -136,14 +153,95 @@ func (f *Flaky) Query(ctx context.Context, cond condition.Node, attrs []string) 
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, &TransportError{Err: ctx.Err()}
+			return failAfter, &TransportError{Err: ctx.Err()}
 		}
 	}
 	if fail {
-		return nil, &TransportError{Err: ErrInjected}
+		return failAfter, &TransportError{Err: ErrInjected}
+	}
+	return failAfter, nil
+}
+
+// Query implements plan.Querier, applying blocking, latency and failure
+// injection before delegating to the inner querier.
+func (f *Flaky) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	if _, err := f.gate(ctx); err != nil {
+		return nil, err
 	}
 	if f.inner == nil {
 		return nil, &RefusalError{Msg: "flaky: no inner querier"}
 	}
 	return f.inner.Query(ctx, cond, attrs)
 }
+
+// QueryStream implements plan.StreamQuerier. The per-call fault pipeline
+// runs at open (a whole-call failure surfaces before any row); when the
+// inner querier streams natively the stream is delegated, otherwise the
+// inner answer is materialized once and re-chunked. With FailAfterRows
+// set, the stream dies with a retryable *TransportError after serving
+// that many rows.
+func (f *Flaky) QueryStream(ctx context.Context, cond condition.Node, attrs []string) (plan.Iterator, error) {
+	failAfter, err := f.gate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if f.inner == nil {
+		return nil, &RefusalError{Msg: "flaky: no inner querier"}
+	}
+	var inner plan.Iterator
+	if sq, ok := f.inner.(plan.StreamQuerier); ok {
+		inner, err = sq.QueryStream(ctx, cond, attrs)
+	} else {
+		var rel *relation.Relation
+		rel, err = f.inner.Query(ctx, cond, attrs)
+		if err == nil {
+			inner = plan.NewRelationIterator(rel, 0)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if failAfter < 0 {
+		return inner, nil
+	}
+	return &faultingIter{inner: inner, flaky: f, remaining: failAfter}, nil
+}
+
+// faultingIter serves rows from the inner stream until its budget runs
+// out, then injects a mid-stream transport fault.
+type faultingIter struct {
+	inner     plan.Iterator
+	flaky     *Flaky
+	remaining int
+	tripped   bool
+}
+
+func (it *faultingIter) Schema() *relation.Schema { return it.inner.Schema() }
+
+func (it *faultingIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if it.tripped {
+		return nil, &TransportError{Err: ErrInjected}
+	}
+	if it.remaining <= 0 {
+		return nil, it.trip()
+	}
+	chunk, err := it.inner.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(chunk) > it.remaining {
+		chunk = chunk[:it.remaining]
+	}
+	it.remaining -= len(chunk)
+	return chunk, nil
+}
+
+func (it *faultingIter) trip() error {
+	it.tripped = true
+	it.flaky.mu.Lock()
+	it.flaky.failures++
+	it.flaky.mu.Unlock()
+	return &TransportError{Err: ErrInjected}
+}
+
+func (it *faultingIter) Close() error { return it.inner.Close() }

@@ -10,9 +10,11 @@ package source
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/condition"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/ssdl"
 	"repro/internal/strset"
@@ -123,6 +125,113 @@ func (s *Local) Query(ctx context.Context, cond condition.Node, attrs []string) 
 	s.acc.Tuples += res.Len()
 	s.mu.Unlock()
 	return res, nil
+}
+
+// QueryStream implements plan.StreamQuerier: the same SP(cond, attrs, R)
+// evaluation as Query, but incremental — capability refusal happens here,
+// then rows are selected (index-accelerated when an equality probe
+// applies), projected and deduplicated one at a time as the consumer
+// pulls, so the source never materializes its answer. Accounting is
+// settled when the stream ends (or is closed early, counting only the
+// tuples actually served).
+func (s *Local) QueryStream(ctx context.Context, cond condition.Node, attrs []string) (plan.Iterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !s.checker.Supports(cond, strset.New(attrs...)) {
+		s.mu.Lock()
+		s.acc.Rejected++
+		s.mu.Unlock()
+		return nil, &RefusalError{Source: s.name, Msg: fmt.Sprintf("unsupported query SP(%s; %v)", cond.Key(), attrs)}
+	}
+	ps, err := s.rel.Schema().Project(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", s.name, err)
+	}
+	it := &localIter{src: s, cond: cond, ps: ps, chunk: plan.DefaultChunkSize, seen: make(map[string]struct{})}
+	if !condition.IsTrue(cond) {
+		it.candidates, it.useCand = s.rel.Probe(cond)
+	}
+	return it, nil
+}
+
+// localIter is Local's streaming scan: candidate positions from an index
+// probe (or the whole relation), filtered by the full condition and
+// projected with on-the-fly set semantics.
+type localIter struct {
+	src        *Local
+	cond       condition.Node
+	ps         *relation.Schema
+	candidates []int
+	useCand    bool
+	pos        int
+	chunk      int
+	seen       map[string]struct{}
+	emitted    int
+	done       bool
+}
+
+func (it *localIter) Schema() *relation.Schema { return it.ps }
+
+// settle books the stream into the source's accounting exactly once.
+func (it *localIter) settle() {
+	if it.done {
+		return
+	}
+	it.done = true
+	it.seen = nil
+	it.src.mu.Lock()
+	it.src.acc.Queries++
+	it.src.acc.Tuples += it.emitted
+	it.src.mu.Unlock()
+}
+
+func (it *localIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if it.done {
+		return nil, io.EOF
+	}
+	tuples := it.src.rel.Tuples()
+	limit := len(tuples)
+	if it.useCand {
+		limit = len(it.candidates)
+	}
+	var out []relation.Tuple
+	for it.pos < limit && len(out) < it.chunk {
+		t := tuples[it.pos]
+		if it.useCand {
+			t = tuples[it.candidates[it.pos]]
+		}
+		it.pos++
+		ok, err := it.cond.Eval(t)
+		if err != nil {
+			it.settle()
+			return nil, fmt.Errorf("source %s: %w", it.src.name, err)
+		}
+		if !ok {
+			continue
+		}
+		pt := t.Projected(it.ps)
+		k := pt.Key()
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		out = append(out, pt)
+	}
+	it.emitted += len(out)
+	if len(out) > 0 {
+		return out, nil
+	}
+	it.settle()
+	return nil, io.EOF
+}
+
+func (it *localIter) Close() error {
+	it.settle()
+	return nil
 }
 
 // Accounting returns a snapshot of the source's traffic counters.

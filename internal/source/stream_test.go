@@ -1,0 +1,157 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// drainStream collects a plan.Iterator into a relation the way the
+// streaming executor would (without the partial machinery).
+func drainStream(t *testing.T, it plan.Iterator) (*relation.Relation, error) {
+	t.Helper()
+	defer it.Close()
+	var out *relation.Relation
+	for {
+		chunk, err := it.Next(context.Background())
+		if out == nil && it.Schema() != nil {
+			out = relation.New(it.Schema())
+		}
+		for _, tu := range chunk {
+			if aerr := out.Append(tu); aerr != nil {
+				t.Fatal(aerr)
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+func TestLocalQueryStreamMatchesQuery(t *testing.T) {
+	for _, q := range []struct {
+		cond  string
+		attrs []string
+	}{
+		{`make = "BMW" ^ price < 40000`, []string{"model"}},
+		{`make = "BMW" ^ color = "red"`, []string{"make", "model"}},
+		{`make = "Nobody" ^ price < 1`, []string{"model"}}, // empty answer
+	} {
+		want, err := carsSource(t).Query(context.Background(), condition.MustParse(q.cond), q.attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := carsSource(t)
+		it, err := src.QueryStream(context.Background(), condition.MustParse(q.cond), q.attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, serr := drainStream(t, it)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("SP(%s; %v) stream %v != query %v", q.cond, q.attrs, got.Tuples(), want.Tuples())
+		}
+		if acc := src.Accounting(); acc.Queries != 1 || acc.Tuples != want.Len() {
+			t.Fatalf("accounting = %+v, want 1 query / %d tuples", acc, want.Len())
+		}
+	}
+}
+
+func TestLocalQueryStreamRefusesUnsupported(t *testing.T) {
+	src := carsSource(t)
+	_, err := src.QueryStream(context.Background(), condition.MustParse(`color = "red"`), []string{"model"})
+	var re *RefusalError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RefusalError", err)
+	}
+	if acc := src.Accounting(); acc.Rejected != 1 || acc.Queries != 0 {
+		t.Fatalf("accounting = %+v", acc)
+	}
+}
+
+func TestLocalQueryStreamCloseEarlySettlesAccounting(t *testing.T) {
+	src := carsSource(t)
+	it, err := src.QueryStream(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if acc := src.Accounting(); acc.Queries != 1 || acc.Tuples != 0 {
+		t.Fatalf("accounting = %+v, want the abandoned stream settled with 0 tuples", acc)
+	}
+	if _, err := it.Next(context.Background()); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestFlakyFailAfterRowsInjectsMidStream(t *testing.T) {
+	f := NewFlaky(carsSource(t)).FailAfterRows(1)
+	it, err := f.QueryStream(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got, serr := drainStream(t, it)
+	if got == nil || got.Len() != 1 {
+		t.Fatalf("rows before fault = %v, want exactly 1", got)
+	}
+	var te *TransportError
+	if !errors.As(serr, &te) || !errors.Is(serr, ErrInjected) {
+		t.Fatalf("err = %v, want *TransportError wrapping ErrInjected", serr)
+	}
+	if f.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", f.Failures())
+	}
+}
+
+func TestFlakyQueryStreamWholeCallFault(t *testing.T) {
+	f := NewFlaky(carsSource(t)).FailFirst(1)
+	if _, err := f.QueryStream(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected at open", err)
+	}
+	// Recovered: second call streams through.
+	it, err := f.QueryStream(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, serr := drainStream(t, it)
+	if serr != nil || res.Len() != 2 {
+		t.Fatalf("res = %v err = %v, want 2 rows", res, serr)
+	}
+}
+
+func TestFlakyQueryStreamBridgesNonStreamingInner(t *testing.T) {
+	// An inner querier without QueryStream is materialized and re-chunked.
+	inner := carsSource(t)
+	wrapped := NewFlaky(queryOnly{inner}).FailAfterRows(2)
+	it, err := wrapped.QueryStream(context.Background(), condition.MustParse(`make = "BMW" ^ price < 99999`), []string{"model", "color"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, serr := drainStream(t, it)
+	if res.Len() != 2 {
+		t.Fatalf("rows before fault = %d, want 2", res.Len())
+	}
+	if !errors.Is(serr, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", serr)
+	}
+}
+
+// queryOnly hides any StreamQuerier face of the wrapped querier.
+type queryOnly struct{ inner plan.Querier }
+
+func (q queryOnly) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	return q.inner.Query(ctx, cond, attrs)
+}

@@ -13,7 +13,16 @@ out="${1:-BENCH_plan.json}"
 
 pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkIPGSection4Traced|BenchmarkEPGSection4|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder|BenchmarkSourceCacheHit|BenchmarkQAHarness)$'
 
-go test -run='^$' -bench="$pattern" -benchmem -benchtime=200x . |
+# The streaming-vs-materialized execution benchmarks run whole 20k-row
+# plans per iteration (~100-250ms each), so they get a smaller iteration
+# count; the gated numbers (allocs/op, B/op) are deterministic and do not
+# need 200 samples.
+streampattern='^(BenchmarkStreamingUnion|BenchmarkMaterializedUnion|BenchmarkSymmetricHashJoin|BenchmarkMaterializedJoin)$'
+
+{
+	go test -run='^$' -bench="$pattern" -benchmem -benchtime=200x .
+	go test -run='^$' -bench="$streampattern" -benchmem -benchtime=10x .
+} |
 	tee /dev/stderr |
 	go run ./cmd/benchgate -emit >"$out"
 
