@@ -423,6 +423,117 @@ func BenchmarkSourceCacheHit(b *testing.B) {
 	}
 }
 
+// ---- plan-template benchmarks ----
+
+// templateMediator registers the micro grammar for plan-only use (nil
+// querier: the template benchmarks never execute plans).
+func templateMediator(tb testing.TB) *mediator.Mediator {
+	tb.Helper()
+	med := mediator.New(cost.Model{K1: 10, K2: 1, Est: cost.FixedEstimator(25)})
+	if err := med.Register("R", nil, microGrammar); err != nil {
+		tb.Fatal(err)
+	}
+	return med
+}
+
+// templateConds builds n same-shape conditions with pairwise-distinct
+// literals — the prepared-query workload: one template, n bindings.
+func templateConds(n int) []condition.Node {
+	out := make([]condition.Node, n)
+	for i := range out {
+		out[i] = condition.MustParse(fmt.Sprintf(
+			`(make = "m%d" ^ price < %d) ^ (color = "c%d" _ color = "d%d")`,
+			i, 40000+i, i, i))
+	}
+	return out
+}
+
+func BenchmarkTemplateHit(b *testing.B) {
+	// Steady-state prepared-query path: every timed iteration is a
+	// parameterize + template lookup + literal bind, with zero planning
+	// (asserted below — the gate also catches allocation creep here).
+	med := templateMediator(b)
+	med.EnableCache()
+	conds := templateConds(1000)
+	p := core.New()
+	attrs := []string{"model", "year"}
+	if _, _, err := med.Plan(context.Background(), p, "R", conds[0], attrs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := med.Plan(context.Background(), p, "R", conds[i%len(conds)], attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := med.TemplateStats()
+	if st.Misses != 1 || st.Fallbacks != 0 || st.Infeasible != 0 {
+		b.Fatalf("template stats = %+v, want every timed iteration to hit", st)
+	}
+	b.ReportMetric(st.HitRate(), "template-hit-rate")
+}
+
+func BenchmarkParameterize(b *testing.B) {
+	// Lifting constants out of an already-canonicalized condition: the
+	// per-query cost the template tier adds in front of the cache lookup.
+	condition.NormKey(microCond) // warm the canonical-form memo, as Plan does
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pz := condition.Parameterize(microCond); len(pz.Bindings) != 4 {
+			b.Fatalf("lifted %d constants, want 4", len(pz.Bindings))
+		}
+	}
+}
+
+// TestTemplateSpeedup is the acceptance gate for the template tier's
+// headline claim: on a prepared-query workload — 1000 same-shape queries
+// with pairwise-distinct literals — binding cached templates must be at
+// least 50x faster than planning every query from scratch, with at least
+// 99% of the queries served from the template.
+func TestTemplateSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison is not meaningful under -short")
+	}
+	const queries = 1000
+	// Cold planning runs at several ms/query, so the cold side is timed on
+	// a sample and compared per-query; the templated side runs the full
+	// workload (that is also what drives the hit rate to 99.9%).
+	const coldSample = queries / 5
+	attrs := []string{"model", "year"}
+	run := func(disableTemplates bool, n int) (time.Duration, *mediator.Mediator) {
+		med := templateMediator(t)
+		med.EnableCache()
+		med.DisableTemplates = disableTemplates
+		// Fresh condition nodes per run, so both runs pay the same
+		// per-node canonicalization memos.
+		conds := templateConds(n)
+		p := core.New()
+		start := time.Now()
+		for _, c := range conds {
+			if _, _, err := med.Plan(context.Background(), p, "R", c, attrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start), med
+	}
+	cold, _ := run(true, coldSample)
+	warm, med := run(false, queries)
+	st := med.TemplateStats()
+	if rate := st.HitRate(); rate < 0.99 {
+		t.Errorf("template hit rate = %.4f, want >= 0.99 (stats %+v)", rate, st)
+	}
+	coldPer := cold / coldSample
+	warmPer := warm / queries
+	speedup := float64(coldPer) / float64(warmPer)
+	t.Logf("cold %v/query (%d queries), templated %v/query (%d queries): %.0fx", coldPer, coldSample, warmPer, queries, speedup)
+	if speedup < 50 {
+		t.Errorf("templated planning only %.1fx faster per query than cold, want >= 50x", speedup)
+	}
+}
+
 func BenchmarkQAHarness(b *testing.B) {
 	// End-to-end throughput of one differential check: generate a seeded
 	// (condition, grammar, relation) instance, plan it with GenModular

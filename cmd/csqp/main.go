@@ -192,14 +192,20 @@ func run() error {
 }
 
 func printStats(sys *csqp.System, m *csqp.Metrics) {
+	ts := sys.TemplateStats()
+	fmt.Printf("\nplan templates: %d hits, %d misses (%.0f%% hit rate), %d fallbacks, %d infeasible, %d evictions, %d coalesced waits\n",
+		ts.Hits, ts.Misses, ts.HitRate()*100, ts.Fallbacks, ts.Infeasible, ts.Evictions, ts.CoalescedWaits)
 	st := sys.CacheStats()
-	fmt.Printf("\nplan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
-		st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+	fmt.Printf("plan cache: %d hits, %d misses (%.0f%% hit rate), %d evictions, %d coalesced waits\n",
+		st.Hits, st.Misses, st.HitRate()*100, st.Evictions, st.CoalescedWaits)
 	sc := sys.SourceCacheStats()
 	fmt.Printf("source cache: %d hits, %d misses, %d evictions, %d expirations, %d coalesced waits (%d entries, %d rows held)\n",
 		sc.Hits, sc.Misses, sc.Evictions, sc.Expirations, sc.CoalescedWaits, sc.Entries, sc.Rows)
 	if m != nil {
-		if m.Cached {
+		switch {
+		case m.Cached && m.Template:
+			fmt.Println("plan bound from cached template (no planning ran)")
+		case m.Cached:
 			fmt.Println("plan served from cache (no planning ran)")
 		}
 		fmt.Printf("checker memo: %d calls, %d misses (%.0f%% hit rate)\n",

@@ -134,6 +134,7 @@ SELECT nonsense
 		"source queries, cost", // query footer
 		"SourceQuery[books]",   // \explain
 		"infeasible",           // \compare shows DISCO/Naive failing
+		"plan templates:",      // \cache
 		"plan cache:",          // \cache
 		"unknown command",      // \badcmd
 		"error:",               // bad SELECT

@@ -56,7 +56,7 @@ func (r *repl) command(line string) {
   \explain <select statement>         show the plan without executing
   \compare <select statement>         run every strategy and compare
   \trace <select statement>           run the query and print its span tree
-  \cache                              show plan-cache and source-cache statistics
+  \cache                              show template, plan-cache and source-cache statistics
   \metrics                            dump the telemetry registry snapshot
   \help                               this text
   \q                                  quit
@@ -122,9 +122,12 @@ func (r *repl) command(line string) {
 		r.queryCtx(ctx, rest)
 		fmt.Fprint(r.out, tr.Tree())
 	case `\cache`:
+		ts := r.sys.TemplateStats()
+		fmt.Fprintf(r.out, "plan templates: %d hits, %d misses (%.0f%% hit rate), %d fallbacks, %d infeasible, %d evictions, %d coalesced waits\n",
+			ts.Hits, ts.Misses, ts.HitRate()*100, ts.Fallbacks, ts.Infeasible, ts.Evictions, ts.CoalescedWaits)
 		st := r.sys.CacheStats()
-		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses, %d evictions, %d coalesced waits\n",
-			st.Hits, st.Misses, st.Evictions, st.CoalescedWaits)
+		fmt.Fprintf(r.out, "plan cache: %d hits, %d misses (%.0f%% hit rate), %d evictions, %d coalesced waits\n",
+			st.Hits, st.Misses, st.HitRate()*100, st.Evictions, st.CoalescedWaits)
 		sc := r.sys.SourceCacheStats()
 		fmt.Fprintf(r.out, "source cache: %d hits, %d misses, %d evictions, %d expirations, %d coalesced waits (%d entries, %d rows held)\n",
 			sc.Hits, sc.Misses, sc.Evictions, sc.Expirations, sc.CoalescedWaits, sc.Entries, sc.Rows)

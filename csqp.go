@@ -507,10 +507,13 @@ func (s *System) Cost(p Plan) float64 { return s.med.Model().PlanCost(p) }
 // annotations from the system's model.
 func (s *System) AnnotatePlan(p Plan) string { return cost.Explain(p, s.med.Model()) }
 
-// EnableCache turns on mediator plan caching: semantically equal repeated
-// queries (including commutative/associative variants) reuse their plans.
-// The cache is a bounded LRU with request coalescing — N concurrent
-// identical queries plan once.
+// EnableCache turns on mediator plan caching. Two tiers are enabled:
+// parameterized plan templates — queries differing only in constants
+// share one cached plan, planned once for the shape's skeleton and served
+// by binding each query's constants back in — and an exact per-condition
+// cache for queries templates cannot serve (no liftable constants, or
+// constants pinned by the source grammar). Both tiers are bounded LRUs
+// with request coalescing — N concurrent identical queries plan once.
 func (s *System) EnableCache() { s.med.EnableCache() }
 
 // CacheStats reports plan-cache activity: hits, misses, LRU evictions and
@@ -519,6 +522,16 @@ type CacheStats = mediator.CacheStats
 
 // CacheStats reports plan-cache activity (zeros when disabled).
 func (s *System) CacheStats() CacheStats { return s.med.CacheStats() }
+
+// TemplateStats reports plan-template cache activity: hits (queries
+// served by binding constants into a cached template), misses, fallbacks
+// to full planning, infeasible skeletons, evictions and coalesced waits
+// (see EnableCache; zeros when disabled).
+type TemplateStats = mediator.TemplateStats
+
+// TemplateStats reports plan-template cache activity (zeros when
+// disabled).
+func (s *System) TemplateStats() TemplateStats { return s.med.TemplateStats() }
 
 // SourceCacheStats reports source-answer-cache activity: hits, misses,
 // evictions, TTL expirations, coalesced waits and current contents (see

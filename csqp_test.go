@@ -231,8 +231,26 @@ func TestFacadeCache(t *testing.T) {
 	if _, err := sys.Query("books", q, "isbn"); err != nil {
 		t.Fatal(err)
 	}
-	st := sys.CacheStats()
+	// Constants-bearing queries are served by the template tier: the first
+	// plans the shape's skeleton, the second binds into the cached
+	// template. A query with different constants but the same shape hits
+	// the same template.
+	st := sys.TemplateStats()
 	if st.Hits != 1 || st.Misses != 1 {
-		t.Errorf("cache stats = %d/%d, want 1/1", st.Hits, st.Misses)
+		t.Errorf("template stats = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if _, err := sys.Query("books", `author = "Freud" and title contains "ego"`, "isbn"); err != nil {
+		t.Fatal(err)
+	}
+	st = sys.TemplateStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("template stats = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.HitRate() < 0.66 || st.HitRate() > 0.67 {
+		t.Errorf("template hit rate = %g, want 2/3", st.HitRate())
+	}
+	// The exact-key tier was never consulted.
+	if cs := sys.CacheStats(); cs.Hits != 0 || cs.Misses != 0 {
+		t.Errorf("plan cache stats = %+v, want untouched", cs)
 	}
 }

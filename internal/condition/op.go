@@ -94,6 +94,12 @@ func ParseOp(s string) (Op, bool) {
 // example ordering a string against a number, or `contains` on non-string
 // operands).
 func (o Op) Apply(left, right Value) (bool, error) {
+	if left.Kind == KindParam || right.Kind == KindParam {
+		// A placeholder reaching evaluation means a skeleton escaped
+		// without being bound; fail loudly rather than let the eq/ne
+		// cross-kind tolerance below turn the bug into a silent miss.
+		return false, fmt.Errorf("condition: cannot evaluate unbound placeholder (%s %s %s)", left, o, right)
+	}
 	if o == OpContains || o == OpNotContains {
 		if left.Kind != KindString || right.Kind != KindString {
 			return false, fmt.Errorf("condition: contains requires string operands, got %s and %s", left.Kind, right.Kind)

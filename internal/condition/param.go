@@ -1,0 +1,220 @@
+package condition
+
+import "fmt"
+
+// This file implements the parameterization pass behind the mediator's
+// plan-template cache: Parameterize lifts the constants out of a
+// condition's value positions, leaving a skeleton whose leaves carry
+// typed placeholders, and Bind substitutes a constant vector back in.
+// Two conditions that differ only in constants (and in the order of
+// commutative children) produce the identical skeleton with their
+// constants in the identical binding order, so a plan computed for the
+// skeleton can serve every member of the shape class.
+
+// ParamSite describes one placeholder introduced by Parameterize: the
+// binding-vector position it owns and the value position (attribute,
+// operator, element kind) it sits in. The mediator uses sites to ask SSDL
+// whether a future binding violates a value-constrained grammar position.
+type ParamSite struct {
+	Index int
+	Attr  string
+	Op    Op
+	Elem  Kind
+}
+
+// Parameterized is the result of lifting constants out of a condition.
+type Parameterized struct {
+	// Skeleton is the sorted canonical representative of the input with
+	// every lifted constant replaced by a placeholder. Its Key is a
+	// deterministic function of the input's NormKey class, so it is the
+	// template-cache key.
+	Skeleton Node
+	// Bindings holds the lifted constants, indexed by placeholder.
+	Bindings []Value
+	// Sites describes each placeholder's value position, parallel to
+	// Bindings.
+	Sites []ParamSite
+}
+
+// Parameterize lifts the constants of n's value positions into an ordered
+// binding vector. It operates on the sorted canonical representative of n
+// (SortChildren ∘ Canonicalize), so any two conditions related by
+// commutativity/associativity — or differing only in constants — yield a
+// Skeleton with the same Key and their constants at the same indices.
+//
+// Structurally identical atoms share one placeholder: `a = 1 | a = 1`
+// lifts to `a = $0 | a = $0`, which keeps parameterization commuting with
+// Simplify's duplicate folding.
+//
+// Two classes of constants are refused (left inline, producing fewer
+// bindings): values that are already placeholders, and string constants
+// that name the atom's own attribute or any attribute of the condition
+// (`a = a`, or `a = "b"` inside a tree that also constrains b). The
+// latter is conservative — the parser renders both `a = a` and `a = "a"`
+// as the same string constant, so a lifted template could silently unify
+// an intended attribute reference with ordinary data; such queries stay
+// on the full planning path.
+//
+// A condition with no liftable constants returns Bindings of length zero;
+// callers should treat that as "do not template".
+func Parameterize(n Node) Parameterized {
+	rep := SortChildren(Canonicalize(n))
+	attrs := AttrSet(rep)
+	p := Parameterized{Skeleton: rep}
+	indexByAtom := make(map[string]int)
+	skeleton, changed := parameterize(rep, attrs, indexByAtom, &p)
+	if changed {
+		p.Skeleton = skeleton
+	}
+	return p
+}
+
+func parameterize(n Node, attrs map[string]bool, indexByAtom map[string]int, p *Parameterized) (Node, bool) {
+	switch t := n.(type) {
+	case *Atomic:
+		if !liftable(t, attrs) {
+			return t, false
+		}
+		if idx, ok := indexByAtom[t.Key()]; ok {
+			return NewAtomic(t.Attr, t.Op, Param(idx, t.Val.Kind)), true
+		}
+		idx := len(p.Bindings)
+		indexByAtom[t.Key()] = idx
+		p.Bindings = append(p.Bindings, t.Val)
+		p.Sites = append(p.Sites, ParamSite{Index: idx, Attr: t.Attr, Op: t.Op, Elem: t.Val.Kind})
+		return NewAtomic(t.Attr, t.Op, Param(idx, t.Val.Kind)), true
+	case *And:
+		kids, changed := parameterizeKids(t.Kids, attrs, indexByAtom, p)
+		if !changed {
+			return t, false
+		}
+		return &And{Kids: kids}, true
+	case *Or:
+		kids, changed := parameterizeKids(t.Kids, attrs, indexByAtom, p)
+		if !changed {
+			return t, false
+		}
+		return &Or{Kids: kids}, true
+	default:
+		return n, false
+	}
+}
+
+func parameterizeKids(kids []Node, attrs map[string]bool, indexByAtom map[string]int, p *Parameterized) ([]Node, bool) {
+	out := make([]Node, len(kids))
+	changed := false
+	for i, k := range kids {
+		nk, ch := parameterize(k, attrs, indexByAtom, p)
+		out[i] = nk
+		changed = changed || ch
+	}
+	if !changed {
+		return kids, false
+	}
+	return out, true
+}
+
+// liftable reports whether the atom's constant may be replaced by a
+// placeholder.
+func liftable(a *Atomic, attrs map[string]bool) bool {
+	if a.Val.IsParam() {
+		return false
+	}
+	if a.Val.Kind == KindString && attrs[a.Val.S] {
+		// The constant names an attribute of the condition (covers the
+		// self-comparison `a = a`): refuse, see Parameterize.
+		return false
+	}
+	return true
+}
+
+// HasParams reports whether the condition contains any placeholder value.
+func HasParams(n Node) bool {
+	switch t := n.(type) {
+	case *Atomic:
+		return t.Val.IsParam()
+	case *And:
+		for _, k := range t.Kids {
+			if HasParams(k) {
+				return true
+			}
+		}
+	case *Or:
+		for _, k := range t.Kids {
+			if HasParams(k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Bind substitutes bindings into the placeholders of a skeleton,
+// returning a fully constant condition. Subtrees without placeholders are
+// shared with the input. It is an error for a placeholder index to fall
+// outside the vector, for a binding's kind to differ from the
+// placeholder's element kind, or for a binding to itself be a
+// placeholder; Bind(Parameterize(c).Skeleton, Parameterize(c).Bindings)
+// round-trips to the sorted canonical form of c.
+func Bind(n Node, bindings []Value) (Node, error) {
+	bound, _, err := bind(n, bindings)
+	return bound, err
+}
+
+func bind(n Node, bindings []Value) (Node, bool, error) {
+	switch t := n.(type) {
+	case *Atomic:
+		if !t.Val.IsParam() {
+			return t, false, nil
+		}
+		i := t.Val.ParamIndex()
+		if i < 0 || i >= len(bindings) {
+			return nil, false, fmt.Errorf("condition: placeholder $%d out of range for %d bindings", i, len(bindings))
+		}
+		v := bindings[i]
+		if v.IsParam() {
+			return nil, false, fmt.Errorf("condition: binding %d for placeholder $%d is itself a placeholder", i, i)
+		}
+		if v.Kind != t.Val.Elem {
+			return nil, false, fmt.Errorf("condition: binding %d is %s, placeholder $%d expects %s", i, v.Kind, i, t.Val.Elem)
+		}
+		return NewAtomic(t.Attr, t.Op, v), true, nil
+	case *And:
+		kids, changed, err := bindKids(t.Kids, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &And{Kids: kids}, true, nil
+	case *Or:
+		kids, changed, err := bindKids(t.Kids, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &Or{Kids: kids}, true, nil
+	default:
+		return n, false, nil
+	}
+}
+
+func bindKids(kids []Node, bindings []Value) ([]Node, bool, error) {
+	out := make([]Node, len(kids))
+	changed := false
+	for i, k := range kids {
+		nk, ch, err := bind(k, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = nk
+		changed = changed || ch
+	}
+	if !changed {
+		return kids, false, nil
+	}
+	return out, true, nil
+}

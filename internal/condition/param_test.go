@@ -1,0 +1,203 @@
+package condition
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParameterizeLiftsConstants(t *testing.T) {
+	c := MustParse(`author = "eco" & year > 1988`)
+	p := Parameterize(c)
+	if len(p.Bindings) != 2 {
+		t.Fatalf("bindings = %v, want 2", p.Bindings)
+	}
+	if !HasParams(p.Skeleton) {
+		t.Fatalf("skeleton %s has no params", p.Skeleton.Key())
+	}
+	// The sorted canonical representative orders `author = ...` before
+	// `year > ...`, so the binding vector is (eco, 1988).
+	if p.Bindings[0] != String("eco") || p.Bindings[1] != Int(1988) {
+		t.Fatalf("bindings = %v", p.Bindings)
+	}
+	wantSites := []ParamSite{
+		{Index: 0, Attr: "author", Op: OpEq, Elem: KindString},
+		{Index: 1, Attr: "year", Op: OpGt, Elem: KindInt},
+	}
+	for i, s := range p.Sites {
+		if s != wantSites[i] {
+			t.Fatalf("site %d = %+v, want %+v", i, s, wantSites[i])
+		}
+	}
+	bound, err := Bind(p.Skeleton, p.Bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NormKey(bound) != NormKey(c) {
+		t.Fatalf("round-trip %s != %s", NormKey(bound), NormKey(c))
+	}
+}
+
+// Same shape, different constants → identical skeleton, aligned bindings.
+func TestParameterizeSharesSkeletonAcrossConstants(t *testing.T) {
+	a := Parameterize(MustParse(`author = "eco" & year > 1988`))
+	b := Parameterize(MustParse(`author = "marquez" & year > 1967`))
+	if a.Skeleton.Key() != b.Skeleton.Key() {
+		t.Fatalf("skeletons differ:\n%s\n%s", a.Skeleton.Key(), b.Skeleton.Key())
+	}
+	if b.Bindings[0] != String("marquez") || b.Bindings[1] != Int(1967) {
+		t.Fatalf("bindings misaligned: %v", b.Bindings)
+	}
+}
+
+// Commuted and reassociated variants produce the identical skeleton and
+// binding order: parameterization happens on the sorted canonical
+// representative.
+func TestParameterizeCommutesWithCanonicalization(t *testing.T) {
+	variants := []string{
+		`(a = 1 & b = 2) & c = 3`,
+		`a = 1 & (b = 2 & c = 3)`,
+		`c = 3 & b = 2 & a = 1`,
+		`b = 2 & a = 1 & c = 3`,
+	}
+	ref := Parameterize(MustParse(variants[0]))
+	for _, src := range variants[1:] {
+		p := Parameterize(MustParse(src))
+		if p.Skeleton.Key() != ref.Skeleton.Key() {
+			t.Errorf("%s: skeleton %s != %s", src, p.Skeleton.Key(), ref.Skeleton.Key())
+		}
+		for i := range ref.Bindings {
+			if p.Bindings[i] != ref.Bindings[i] {
+				t.Errorf("%s: binding %d = %v, want %v", src, i, p.Bindings[i], ref.Bindings[i])
+			}
+		}
+	}
+}
+
+// Structurally identical atoms share one placeholder, so parameterization
+// commutes with Simplify's duplicate folding: simplifying the skeleton of
+// `a = 1 | a = 1` equals the skeleton of the simplified condition.
+func TestParameterizeDedupsIdenticalAtoms(t *testing.T) {
+	for _, src := range []string{
+		`a = 1 | a = 1`,
+		`a = 1 & a = 1`,
+		`(a = 1 & b = 2) | (a = 1 & c = 3)`,
+	} {
+		c := MustParse(src)
+		p := Parameterize(c)
+		simplified, _ := Simplify(c)
+		ps := Parameterize(simplified)
+		skSimpl, _ := Simplify(p.Skeleton)
+		if NormKey(skSimpl) != NormKey(ps.Skeleton) {
+			t.Errorf("%s: Simplify(skeleton) = %s, skeleton(Simplify) = %s",
+				src, NormKey(skSimpl), NormKey(ps.Skeleton))
+		}
+		// Duplicate atoms must not burn extra binding slots.
+		atoms := map[string]bool{}
+		for _, a := range Atoms(SortChildren(Canonicalize(c))) {
+			atoms[a.Key()] = true
+		}
+		if len(p.Bindings) > len(atoms) {
+			t.Errorf("%s: %d bindings for %d distinct atoms", src, len(p.Bindings), len(atoms))
+		}
+	}
+}
+
+// Constants that name an attribute of the condition are refused: `a = a`
+// parses identically to `a = "a"`, and a template must not unify an
+// intended attribute reference with ordinary data.
+func TestParameterizeRefusesAttrNamedConstants(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int // liftable constants
+	}{
+		{`a = a`, 0},
+		{`a = "a"`, 0},             // indistinguishable from a = a
+		{`a = b & b = 1`, 1},       // "b" names an attr of the condition
+		{`a = "b"`, 1},             // no attr b in scope: plain constant
+		{`a = "x" & b = "a"`, 1},   // "a" names an attr, "x" does not
+		{`year = 1999 & a = a`, 1}, // refusal is per-atom
+	} {
+		p := Parameterize(MustParse(tc.src))
+		if len(p.Bindings) != tc.want {
+			t.Errorf("%s: lifted %d constants (%v), want %d", tc.src, len(p.Bindings), p.Bindings, tc.want)
+		}
+		bound, err := Bind(p.Skeleton, p.Bindings)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if NormKey(bound) != NormKey(MustParse(tc.src)) {
+			t.Errorf("%s: round-trip mismatch", tc.src)
+		}
+	}
+}
+
+func TestParameterizeIdempotent(t *testing.T) {
+	p := Parameterize(MustParse(`a = 1 & b = "x"`))
+	again := Parameterize(p.Skeleton)
+	if len(again.Bindings) != 0 {
+		t.Fatalf("re-parameterizing a skeleton lifted %v", again.Bindings)
+	}
+	if again.Skeleton.Key() != p.Skeleton.Key() {
+		t.Fatalf("skeleton changed: %s != %s", again.Skeleton.Key(), p.Skeleton.Key())
+	}
+}
+
+func TestParameterizeTruthAndNoConstants(t *testing.T) {
+	p := Parameterize(True())
+	if len(p.Bindings) != 0 || !IsTrue(p.Skeleton) {
+		t.Fatalf("Parameterize(true) = %+v", p)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	p := Parameterize(MustParse(`a = 1 & b = "x"`))
+	if _, err := Bind(p.Skeleton, p.Bindings[:1]); err == nil {
+		t.Error("short binding vector: want error")
+	}
+	if _, err := Bind(p.Skeleton, []Value{String("oops"), String("x")}); err == nil {
+		t.Error("kind mismatch: want error")
+	}
+	if _, err := Bind(p.Skeleton, []Value{Param(0, KindInt), String("x")}); err == nil {
+		t.Error("param as binding: want error")
+	}
+}
+
+func TestUnboundParamEvalFailsLoudly(t *testing.T) {
+	p := Parameterize(MustParse(`a = 1`))
+	_, err := p.Skeleton.Eval(MapBinder{"a": Int(1)})
+	if err == nil || !strings.Contains(err.Error(), "placeholder") {
+		t.Fatalf("evaluating a skeleton should fail loudly, got err=%v", err)
+	}
+}
+
+func TestParamValueRendering(t *testing.T) {
+	v := Param(3, KindString)
+	if got := v.String(); got != "$3:string" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !v.IsParam() || v.ParamIndex() != 3 {
+		t.Fatalf("param accessors broken: %+v", v)
+	}
+	// Params order deterministically and never equal concrete values.
+	if v.Equal(String("$3:string")) {
+		t.Error("param must not equal a string constant")
+	}
+	if !Param(1, KindInt).Less(Param(2, KindInt)) || !Param(1, KindInt).Less(Param(1, KindFloat)) {
+		t.Error("param ordering not deterministic")
+	}
+	if !v.Equal(Param(3, KindString)) {
+		t.Error("identical params must be equal")
+	}
+}
+
+// Simplify must not treat two placeholders on the same attribute as a
+// contradiction: they may bind to the same constant.
+func TestSimplifySkeletonNotUnsat(t *testing.T) {
+	sk := NewAnd(
+		NewAtomic("a", OpEq, Param(0, KindInt)),
+		NewAtomic("a", OpEq, Param(1, KindInt)),
+	)
+	if _, unsat := Simplify(sk); unsat {
+		t.Fatal("skeleton flagged unsatisfiable")
+	}
+}

@@ -43,7 +43,10 @@ func simplify(n Node) simplified {
 				continue
 			}
 			seen[key] = true
-			if a, ok := sk.node.(*Atomic); ok && a.Op == OpEq {
+			// Placeholder values are excluded: two distinct params on the
+			// same attribute may bind to the same constant, so they are
+			// not a contradiction.
+			if a, ok := sk.node.(*Atomic); ok && a.Op == OpEq && !a.Val.IsParam() {
 				if prev, bound := eq[a.Attr]; bound && !prev.Equal(a.Val) {
 					unsat = true
 				}

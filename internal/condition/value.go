@@ -24,6 +24,12 @@ const (
 	KindFloat
 	// KindBool is a Boolean value.
 	KindBool
+	// KindParam is a placeholder standing for a constant that
+	// Parameterize lifted out of a value position. A param never appears
+	// in source data or query results: it exists only inside plan
+	// skeletons, and Bind replaces it with a real constant before any
+	// evaluation. Elem records the kind of the constant it replaced.
+	KindParam
 )
 
 // String returns the lower-case name of the kind.
@@ -37,6 +43,8 @@ func (k Kind) String() string {
 		return "float"
 	case KindBool:
 		return "bool"
+	case KindParam:
+		return "param"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -50,6 +58,9 @@ type Value struct {
 	I    int64
 	F    float64
 	B    bool
+	// Elem is the element kind of a KindParam placeholder (the kind of
+	// the constant it replaced); it is unused for every other kind.
+	Elem Kind
 }
 
 // String builds a string Value.
@@ -69,6 +80,19 @@ func Float(f float64) Value {
 
 // Bool builds a Boolean Value.
 func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Param builds a placeholder Value standing for position i of a binding
+// vector. elem is the kind of the constant the placeholder replaced; SSDL
+// capability matching treats the placeholder exactly like an arbitrary
+// constant of that kind.
+func Param(i int, elem Kind) Value { return Value{Kind: KindParam, I: int64(i), Elem: elem} }
+
+// IsParam reports whether the value is a Parameterize placeholder.
+func (v Value) IsParam() bool { return v.Kind == KindParam }
+
+// ParamIndex returns the binding-vector position of a placeholder. It is
+// only meaningful when IsParam reports true.
+func (v Value) ParamIndex() int { return int(v.I) }
 
 // IsNumeric reports whether the value is an int or float.
 func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
@@ -94,6 +118,8 @@ func (v Value) Text() string {
 		return strconv.FormatFloat(v.F, 'g', -1, 64)
 	case KindBool:
 		return strconv.FormatBool(v.B)
+	case KindParam:
+		return "$" + strconv.FormatInt(v.I, 10) + ":" + v.Elem.String()
 	default:
 		return ""
 	}
@@ -135,7 +161,29 @@ func (v Value) Equal(o Value) bool {
 
 // Compare orders two values. It returns -1, 0 or +1 and true when the
 // values are comparable (same kind, or both numeric), and false otherwise.
+// Placeholders compare structurally (by index, then element kind) so that
+// sorting and equality of skeleton trees stay deterministic; they are
+// incomparable with every concrete kind.
 func (v Value) Compare(o Value) (int, bool) {
+	if v.Kind == KindParam || o.Kind == KindParam {
+		if v.Kind != o.Kind {
+			return 0, false
+		}
+		switch {
+		case v.I != o.I:
+			if v.I < o.I {
+				return -1, true
+			}
+			return 1, true
+		case v.Elem != o.Elem:
+			if v.Elem < o.Elem {
+				return -1, true
+			}
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
 	if v.IsNumeric() && o.IsNumeric() {
 		a, b := v.AsFloat(), o.AsFloat()
 		switch {

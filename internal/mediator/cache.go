@@ -1,9 +1,7 @@
 package mediator
 
 import (
-	"container/list"
 	"strings"
-	"sync"
 
 	"repro/internal/condition"
 	"repro/internal/obs"
@@ -27,6 +25,15 @@ type CacheStats struct {
 	CoalescedWaits int
 }
 
+// HitRate is the fraction of lookups served from the cache (0 before any
+// lookup). The registry exports it live as csqp_plan_cache_hit_ratio.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
 // planCache memoizes fixed plans per (planner, source, semantic condition,
 // attributes). The key uses the condition's order-insensitive NormKey: a
 // plan is valid for every condition in the same equivalence class — its
@@ -35,133 +42,66 @@ type CacheStats struct {
 // hit the same entry. Entries live in a bounded LRU, and concurrent
 // requests for the same missing key coalesce onto one planner run
 // (singleflight): the first caller plans, the rest wait for its result.
+// The LRU/singleflight machinery is cacheCore, shared with the
+// plan-template cache.
 type planCache struct {
-	mu       sync.Mutex
-	cap      int
-	ll       *list.List               // front = most recently used
-	entries  map[string]*list.Element // element value: *cacheEntry
-	inflight map[string]*flight
-	stats    CacheStats
-
-	// Registry mirrors of the counters above (no-ops until setObs).
-	cHits, cMisses, cEvictions, cCoalesced *obs.Counter
-	cSize                                  *obs.Gauge
-}
-
-type cacheEntry struct {
-	key string
-	p   plan.Plan
-}
-
-// flight is one in-progress planning of a key. done is closed after the
-// leader has published its outcome into p/err (and, on success, the LRU).
-type flight struct {
-	done chan struct{}
-	p    plan.Plan
-	err  error
+	core *cacheCore[plan.Plan]
 }
 
 func newPlanCache(capacity int) *planCache {
-	if capacity <= 0 {
-		capacity = DefaultCacheSize
-	}
-	return &planCache{
-		cap:      capacity,
-		ll:       list.New(),
-		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
-	}
+	return &planCache{core: newCacheCore[plan.Plan](capacity, DefaultCacheSize)}
 }
 
+// cacheKey builds the lookup key in a single allocation: the parts are
+// sized up front and written through one strings.Builder (NormKey itself
+// is cached on the condition node). The previous Join+concat shape cost
+// four allocations per lookup on the hottest mediator path.
 func cacheKey(plannerName, source string, cond condition.Node, attrs []string) string {
-	return plannerName + "\x00" + source + "\x00" + condition.NormKey(cond) + "\x00" + strings.Join(attrs, ",")
+	return buildKey(plannerName, source, condition.NormKey(cond), attrs)
+}
+
+func buildKey(plannerName, source, condKey string, attrs []string) string {
+	n := len(plannerName) + len(source) + len(condKey) + 3 + len(attrs)
+	for _, a := range attrs {
+		n += len(a)
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	sb.WriteString(plannerName)
+	sb.WriteByte(0)
+	sb.WriteString(source)
+	sb.WriteByte(0)
+	sb.WriteString(condKey)
+	sb.WriteByte(0)
+	for i, a := range attrs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a)
+	}
+	return sb.String()
 }
 
 // setObs mirrors the cache's counters into reg (nil = keep no-ops).
 func (c *planCache) setObs(reg *obs.Registry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cHits = reg.Counter("csqp_plan_cache_hits_total")
-	c.cMisses = reg.Counter("csqp_plan_cache_misses_total")
-	c.cEvictions = reg.Counter("csqp_plan_cache_evictions_total")
-	c.cCoalesced = reg.Counter("csqp_plan_cache_coalesced_waits_total")
-	c.cSize = reg.Gauge("csqp_plan_cache_entries")
+	c.core.setObs(reg, "csqp_plan_cache", "csqp_plan_cache_hit_ratio")
 }
 
-func (c *planCache) get(key string) (plan.Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		c.cHits.Inc()
-		return el.Value.(*cacheEntry).p, true
-	}
-	c.stats.Misses++
-	c.cMisses.Inc()
-	return nil, false
-}
+func (c *planCache) get(key string) (plan.Plan, bool) { return c.core.get(key) }
 
-// begin returns the flight for key and whether the caller is its leader.
-// The leader must plan and then call finish; every other caller waits on
-// flight.done and reads the leader's outcome.
-func (c *planCache) begin(key string) (*flight, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if f, ok := c.inflight[key]; ok {
-		c.stats.CoalescedWaits++
-		c.cCoalesced.Inc()
-		return f, false
-	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	return f, true
-}
+func (c *planCache) begin(key string) (*coreFlight[plan.Plan], bool) { return c.core.begin(key) }
 
-// finish publishes the leader's outcome. A successful plan enters the LRU
-// before the flight is retired, so callers arriving after the wake-up
-// always hit.
-func (c *planCache) finish(key string, f *flight, p plan.Plan, err error) {
-	c.mu.Lock()
-	f.p, f.err = p, err
-	if err == nil {
-		c.insert(key, p)
-	}
-	delete(c.inflight, key)
-	c.mu.Unlock()
-	close(f.done)
-}
-
-// insert adds or refreshes an entry and enforces the LRU bound. Callers
-// hold mu.
-func (c *planCache) insert(key string, p plan.Plan) {
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).p = p
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
-		c.stats.Evictions++
-		c.cEvictions.Inc()
-	}
-	c.cSize.Set(float64(len(c.entries)))
+// finish publishes the leader's outcome; successful plans enter the LRU.
+func (c *planCache) finish(key string, f *coreFlight[plan.Plan], p plan.Plan, err error) {
+	c.core.finish(key, f, p, err, err == nil)
 }
 
 // snapshot returns the current counters.
 func (c *planCache) snapshot() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.core.snapshot()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, CoalescedWaits: s.CoalescedWaits}
 }
 
 // len reports the number of completed entries (tests use it to check the
 // bound).
-func (c *planCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *planCache) len() int { return c.core.len() }

@@ -1,0 +1,158 @@
+package mediator
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cacheCore is the bounded-LRU + singleflight machinery shared by the
+// mediator's keyed caches (the exact plan cache and the plan-template
+// cache). It owns the common counters — hits, misses, evictions,
+// coalesced waits — and their registry mirrors; tier-specific counters
+// (template fallbacks, infeasible skeletons) live in the wrappers.
+type cacheCore[V any] struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // element value: *coreEntry[V]
+	inflight map[string]*coreFlight[V]
+	stats    coreStats
+
+	// Registry mirrors (no-ops until setObs).
+	cHits, cMisses, cEvictions, cCoalesced *obs.Counter
+	cSize, cRatio                          *obs.Gauge
+}
+
+// coreStats is the counter block common to the mediator's keyed caches.
+type coreStats struct {
+	Hits, Misses, Evictions, CoalescedWaits int
+}
+
+type coreEntry[V any] struct {
+	key string
+	val V
+}
+
+// coreFlight is one in-progress computation of a key. done is closed
+// after the leader has published its outcome into val/err (and, on
+// success, the LRU).
+type coreFlight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func newCacheCore[V any](capacity, fallbackCap int) *cacheCore[V] {
+	if capacity <= 0 {
+		capacity = fallbackCap
+	}
+	return &cacheCore[V]{
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*coreFlight[V]),
+	}
+}
+
+// setObs mirrors the cache's counters into reg (nil = keep no-ops).
+// prefix names the counter family (e.g. "csqp_plan_cache"); ratioGauge is
+// the hit-ratio gauge's full name, refreshed on every lookup.
+func (c *cacheCore[V]) setObs(reg *obs.Registry, prefix, ratioGauge string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = reg.Counter(prefix + "_hits_total")
+	c.cMisses = reg.Counter(prefix + "_misses_total")
+	c.cEvictions = reg.Counter(prefix + "_evictions_total")
+	c.cCoalesced = reg.Counter(prefix + "_coalesced_waits_total")
+	c.cSize = reg.Gauge(prefix + "_entries")
+	c.cRatio = reg.Gauge(ratioGauge)
+}
+
+func (c *cacheCore[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		c.cHits.Inc()
+		c.refreshRatio()
+		return el.Value.(*coreEntry[V]).val, true
+	}
+	c.stats.Misses++
+	c.cMisses.Inc()
+	c.refreshRatio()
+	var zero V
+	return zero, false
+}
+
+// refreshRatio publishes the lifetime hit rate. Callers hold mu.
+func (c *cacheCore[V]) refreshRatio() {
+	if n := c.stats.Hits + c.stats.Misses; n > 0 {
+		c.cRatio.Set(float64(c.stats.Hits) / float64(n))
+	}
+}
+
+// begin returns the flight for key and whether the caller is its leader.
+// The leader must compute and then call finish; every other caller waits
+// on flight.done and reads the leader's outcome.
+func (c *cacheCore[V]) begin(key string) (*coreFlight[V], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		c.stats.CoalescedWaits++
+		c.cCoalesced.Inc()
+		return f, false
+	}
+	f := &coreFlight[V]{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome. When store is set the value
+// enters the LRU before the flight is retired, so callers arriving after
+// the wake-up always hit.
+func (c *cacheCore[V]) finish(key string, f *coreFlight[V], v V, err error, store bool) {
+	c.mu.Lock()
+	f.val, f.err = v, err
+	if store {
+		c.insert(key, v)
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// insert adds or refreshes an entry and enforces the LRU bound. Callers
+// hold mu.
+func (c *cacheCore[V]) insert(key string, v V) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*coreEntry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&coreEntry[V]{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*coreEntry[V]).key)
+		c.stats.Evictions++
+		c.cEvictions.Inc()
+	}
+	c.cSize.Set(float64(len(c.entries)))
+}
+
+// snapshot returns the current counters.
+func (c *cacheCore[V]) snapshot() coreStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// len reports the number of completed entries.
+func (c *cacheCore[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

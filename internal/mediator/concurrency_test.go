@@ -37,6 +37,7 @@ func (p *countingPlanner) Plan(ctx context.Context, pc *planner.Context, cond co
 func TestConcurrentAnswersCoalesce(t *testing.T) {
 	med, _ := carsFixture(t)
 	med.EnableCache()
+	med.DisableTemplates = true // this test targets the exact-key tier
 	cp := &countingPlanner{inner: core.New()}
 
 	// Four query texts over three distinct cache keys: the first two are
@@ -120,6 +121,7 @@ func TestPlanCacheBounded(t *testing.T) {
 	med, _ := carsFixture(t)
 	med.CacheSize = 2
 	med.EnableCache()
+	med.DisableTemplates = true // this test targets the exact-key tier
 	cp := &countingPlanner{inner: core.New()}
 	conds := []string{
 		`make = "BMW" ^ price < 40000`,
@@ -159,6 +161,7 @@ func TestPlanCacheBounded(t *testing.T) {
 func TestPlanErrorsNotCached(t *testing.T) {
 	med, _ := carsFixture(t)
 	med.EnableCache()
+	med.DisableTemplates = true // this test targets the exact-key tier
 	cp := &countingPlanner{inner: core.New()}
 	// Bare color is not supported by any form of the cars grammar.
 	infeasible := `color = "red"`

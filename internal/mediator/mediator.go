@@ -33,12 +33,13 @@ type registered struct {
 
 // Mediator answers target queries over registered sources.
 type Mediator struct {
-	sources map[string]*registered
-	model   cost.Model
-	cache   *planCache
-	obsReg  *obs.Registry
-	metrics mediatorMetrics
-	log     *slog.Logger
+	sources   map[string]*registered
+	model     cost.Model
+	cache     *planCache
+	templates *templateCache
+	obsReg    *obs.Registry
+	metrics   mediatorMetrics
+	log       *slog.Logger
 	// ClosureLimit caps commutative-closure expansion at registration
 	// (0 = ssdl.DefaultClosureLimit).
 	ClosureLimit int
@@ -55,6 +56,10 @@ type Mediator struct {
 	// CacheSize bounds the plan cache enabled by EnableCache
 	// (0 = DefaultCacheSize). Set it before calling EnableCache.
 	CacheSize int
+	// DisableTemplates turns off the plan-template tier while keeping the
+	// exact plan cache (EnableCache normally enables both). Useful for
+	// A/B comparisons and for tests that target one tier.
+	DisableTemplates bool
 	// Streaming selects the execution engine: the streaming iterator
 	// engine (default) or the materialized executor. See StreamingMode.
 	Streaming StreamingMode
@@ -122,6 +127,9 @@ func (m *Mediator) SetObs(reg *obs.Registry) {
 	if m.cache != nil {
 		m.cache.setObs(reg)
 	}
+	if m.templates != nil {
+		m.templates.setObs(reg)
+	}
 }
 
 // SetLogger installs the mediator's structured event stream (partial-
@@ -179,9 +187,19 @@ func (m *Mediator) Model() cost.Model { return m.model }
 // with commutative/associative variants of a condition sharing an entry.
 // The cache is a bounded LRU (capacity Mediator.CacheSize), and concurrent
 // Plan calls for the same missing key coalesce onto a single planner run.
+//
+// It also turns on the plan-template tier: conditions with liftable
+// constants are parameterized, the skeleton is planned once per shape,
+// and every later same-shape query binds its constants into the cached
+// template — skipping the planner, the grammar check and plan fixing
+// entirely. Queries whose constants collide with value-constrained
+// grammar positions (literal/enum patterns) fall back to this full
+// per-condition cache.
 func (m *Mediator) EnableCache() {
 	m.cache = newPlanCache(m.CacheSize)
 	m.cache.setObs(m.obsReg)
+	m.templates = newTemplateCache(m.CacheSize)
+	m.templates.setObs(m.obsReg)
 }
 
 // CacheStats reports the plan cache's counters (zeros when the cache is
@@ -215,6 +233,18 @@ func (m *Mediator) Plan(ctx context.Context, p planner.Planner, source string, c
 	if m.cache == nil {
 		return m.planOnce(ctx, p, source, cond, attrs)
 	}
+	// Template tier first: a condition with liftable constants is served
+	// by binding them into the cached plan of its shape's skeleton. The
+	// tier declines (ok == false) when the shape is not templatable for
+	// these bindings — constrained literals, infeasible skeleton — and
+	// the query continues to the exact-key tier below.
+	if m.templates != nil && !m.DisableTemplates {
+		if pz := condition.Parameterize(cond); len(pz.Bindings) > 0 {
+			if pl, met, ok, err := m.planTemplated(ctx, p, source, pz, attrs); ok {
+				return pl, met, err
+			}
+		}
+	}
 	key := cacheKey(p.Name(), source, cond, attrs)
 	if cached, ok := m.cache.get(key); ok {
 		return cached, &planner.Metrics{Cached: true}, nil
@@ -225,7 +255,7 @@ func (m *Mediator) Plan(ctx context.Context, p planner.Planner, source string, c
 		if f.err != nil {
 			return nil, &planner.Metrics{Cached: true, Coalesced: true}, f.err
 		}
-		return f.p, &planner.Metrics{Cached: true, Coalesced: true}, nil
+		return f.val, &planner.Metrics{Cached: true, Coalesced: true}, nil
 	}
 	fixed, metrics, err := m.planOnce(ctx, p, source, cond, attrs)
 	m.cache.finish(key, f, fixed, err)

@@ -185,6 +185,7 @@ func TestAnswerCheapestPrefersCapableMirror(t *testing.T) {
 func TestPlanCache(t *testing.T) {
 	med, _ := carsFixture2(t)
 	med.EnableCache()
+	med.DisableTemplates = true // this test targets the exact-key tier
 	gc := core.New()
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
 	p1, m1, err := med.Plan(context.Background(), gc, "cars", cond, []string{"model"})

@@ -30,6 +30,7 @@ func TestPlanCacheHitSetsCachedAndRegistry(t *testing.T) {
 	reg := obs.NewRegistry()
 	med.SetObs(reg)
 	med.EnableCache()
+	med.DisableTemplates = true // this test targets the exact-key tier
 	gc := core.New()
 	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
 

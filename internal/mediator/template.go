@@ -1,0 +1,212 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/ssdl"
+)
+
+// TemplateStats reports plan-template cache activity.
+type TemplateStats struct {
+	// Hits and Misses count skeleton-key lookups. A hit means the query
+	// was answered by binding constants into a cached template — no
+	// planning, no grammar check, no plan fixing.
+	Hits, Misses int
+	// Fallbacks counts template hits that could not be used because a
+	// binding collided with a value-constrained grammar position (or
+	// failed to bind); those queries fell back to full planning through
+	// the exact-key cache.
+	Fallbacks int
+	// Infeasible counts queries whose shape has a negative template: the
+	// skeleton itself has no feasible plan (typically a grammar that only
+	// admits specific literals), so the query went straight to full
+	// planning. The negative entry still saves re-planning the skeleton.
+	Infeasible int
+	// Evictions counts templates dropped by the LRU bound.
+	Evictions int
+	// CoalescedWaits counts callers that waited for another caller's
+	// in-flight skeleton planning of the same shape.
+	CoalescedWaits int
+}
+
+// HitRate is the fraction of template lookups that found a template —
+// usable or not (0 before any lookup). The registry exports the live
+// value as csqp_template_hit_ratio.
+func (s TemplateStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// planTemplate is one cached shape: the fixed plan of the parameterized
+// skeleton, or the planning error when the skeleton is infeasible.
+type planTemplate struct {
+	tmpl plan.Plan // fixed skeleton plan; nil when err != nil
+	err  error     // skeleton planning error (negative template)
+	// sens are the sensitivity analyses consulted per binding — the
+	// original grammar (execution must satisfy it) and the commutative
+	// closure (planning ran against it). Empty analyses mean every
+	// binding is safe and the per-binding check short-circuits.
+	sens []*ssdl.Sensitivity
+}
+
+// templateCache memoizes plan templates per (planner, source, skeleton,
+// attributes). The key is the skeleton's structural Key: Parameterize
+// lifts constants out of the sorted canonical representative, so every
+// condition of the same shape — any constants, any commutative order —
+// maps to the identical skeleton. Negative results (infeasible skeletons)
+// are cached too. templateMetrics tracks the tier-level outcomes that the
+// shared cacheCore cannot see.
+type templateCache struct {
+	core *cacheCore[*planTemplate]
+
+	fallbacks  atomic.Int64
+	infeasible atomic.Int64
+
+	cFallbacks, cInfeasible *obs.Counter
+}
+
+func newTemplateCache(capacity int) *templateCache {
+	return &templateCache{core: newCacheCore[*planTemplate](capacity, DefaultCacheSize)}
+}
+
+// setObs mirrors the cache's counters into reg (nil = keep no-ops).
+func (c *templateCache) setObs(reg *obs.Registry) {
+	c.core.setObs(reg, "csqp_template_cache", "csqp_template_hit_ratio")
+	c.cFallbacks = reg.Counter("csqp_template_fallbacks_total")
+	c.cInfeasible = reg.Counter("csqp_template_infeasible_total")
+}
+
+func (c *templateCache) fallback() {
+	c.fallbacks.Add(1)
+	c.cFallbacks.Inc()
+}
+
+func (c *templateCache) markInfeasible() {
+	c.infeasible.Add(1)
+	c.cInfeasible.Inc()
+}
+
+// snapshot returns the current counters.
+func (c *templateCache) snapshot() TemplateStats {
+	s := c.core.snapshot()
+	return TemplateStats{
+		Hits:           s.Hits,
+		Misses:         s.Misses,
+		Fallbacks:      int(c.fallbacks.Load()),
+		Infeasible:     int(c.infeasible.Load()),
+		Evictions:      s.Evictions,
+		CoalescedWaits: s.CoalescedWaits,
+	}
+}
+
+// TemplateStats reports the plan-template cache's counters (zeros when
+// caching is disabled).
+func (m *Mediator) TemplateStats() TemplateStats {
+	if m.templates == nil {
+		return TemplateStats{}
+	}
+	return m.templates.snapshot()
+}
+
+// templateKey builds the template-cache key. The skeleton is already the
+// deterministic representative of its shape class, so its exact Key — not
+// NormKey — is the right identity (and is cached on the node).
+func templateKey(plannerName, source string, skeleton condition.Node, attrs []string) string {
+	return buildKey(plannerName, source, skeleton.Key(), attrs)
+}
+
+// planTemplated answers Plan through the template tier: parameterize the
+// condition, plan the skeleton once per shape, then serve every later
+// same-shape query by substituting its constants into the cached plan.
+// The boolean result reports whether the tier produced an answer; false
+// means the caller must fall back to the exact-key path (constrained
+// binding, infeasible skeleton, failed bind — each already counted).
+func (m *Mediator) planTemplated(ctx context.Context, p planner.Planner, source string, pz condition.Parameterized, attrs []string) (plan.Plan, *planner.Metrics, bool, error) {
+	key := templateKey(p.Name(), source, pz.Skeleton, attrs)
+	if t, ok := m.templates.core.get(key); ok {
+		return m.bindTemplate(t, pz, &planner.Metrics{Cached: true, Template: true})
+	}
+	f, leader := m.templates.core.begin(key)
+	if !leader {
+		<-f.done
+		if f.err != nil {
+			// The leader failed outside skeleton planning (bad source);
+			// surface its error like the exact-tier waiters do.
+			return nil, &planner.Metrics{Cached: true, Coalesced: true, Template: true}, true, f.err
+		}
+		return m.bindTemplate(f.val, pz, &planner.Metrics{Cached: true, Coalesced: true, Template: true})
+	}
+	t, metrics, err := m.buildTemplate(ctx, p, source, pz, attrs)
+	m.templates.core.finish(key, f, t, err, err == nil)
+	if err != nil {
+		return nil, metrics, true, err
+	}
+	if metrics == nil {
+		metrics = &planner.Metrics{}
+	}
+	metrics.Template = true
+	return m.bindTemplate(t, pz, metrics)
+}
+
+// buildTemplate plans the skeleton and records the sensitivity analyses
+// its bindings must be screened against. Skeleton infeasibility is a
+// valid (negative) template; registry/config errors are real errors.
+func (m *Mediator) buildTemplate(ctx context.Context, p planner.Planner, source string, pz condition.Parameterized, attrs []string) (*planTemplate, *planner.Metrics, error) {
+	reg, ok := m.sources[source]
+	if !ok {
+		return nil, nil, fmt.Errorf("mediator: unknown source %q", source)
+	}
+	t := &planTemplate{}
+	if s := reg.orig.Sensitivity(); s.HasConstraints() {
+		t.sens = append(t.sens, s)
+	}
+	if s := reg.closed.Sensitivity(); s.HasConstraints() {
+		t.sens = append(t.sens, s)
+	}
+	fixed, metrics, err := m.planOnce(ctx, p, source, pz.Skeleton, attrs)
+	if err != nil {
+		// No feasible plan for the shape with arbitrary constants; cache
+		// the negative outcome so the shape skips skeleton planning next
+		// time, and let concrete queries try the full path (a grammar
+		// that enumerates literals can still support them).
+		t.err = err
+		return t, metrics, nil
+	}
+	t.tmpl = fixed
+	return t, metrics, nil
+}
+
+// bindTemplate turns a cached template plus this query's bindings into an
+// executable plan, or reports fallback.
+func (m *Mediator) bindTemplate(t *planTemplate, pz condition.Parameterized, metrics *planner.Metrics) (plan.Plan, *planner.Metrics, bool, error) {
+	if t.err != nil {
+		m.templates.markInfeasible()
+		return nil, nil, false, nil
+	}
+	for _, s := range t.sens {
+		for _, site := range pz.Sites {
+			if s.Constrained(site.Attr, site.Op, pz.Bindings[site.Index]) {
+				// This constant is pinned by a literal/enum pattern: the
+				// skeleton's capability answer does not transfer to it.
+				m.templates.fallback()
+				return nil, nil, false, nil
+			}
+		}
+	}
+	bound, err := plan.Bind(t.tmpl, pz.Bindings)
+	if err != nil {
+		// Defensive: a skeleton/binding mismatch means the template is
+		// not usable for this query; full planning still is.
+		m.templates.fallback()
+		return nil, nil, false, nil
+	}
+	return bound, metrics, true, nil
+}

@@ -1,0 +1,313 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// enumCarsGrammar pins constants: make is a dropdown of two literals, so
+// the make value position is value-constrained and not templatable.
+const enumCarsGrammar = `
+source cars
+attrs make, model, color, price
+key model
+s1 -> make = {"BMW", "Toyota"} ^ price < $p:int
+attributes :: s1 : {make, model, color, price}
+`
+
+func enumCarsFixture(t *testing.T) *Mediator {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "color", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	for _, row := range []struct {
+		make, model, color string
+		price              int64
+	}{
+		{"BMW", "328i", "red", 35000},
+		{"Toyota", "Camry", "red", 19000},
+	} {
+		if err := r.AppendValues(
+			condition.String(row.make), condition.String(row.model),
+			condition.String(row.color), condition.Int(row.price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := ssdl.MustParse(enumCarsGrammar)
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"cars": r})})
+	if err := med.Register("", src, g); err != nil {
+		t.Fatal(err)
+	}
+	return med
+}
+
+// TestTemplateHitBindsConstants is the tier's core contract: same shape,
+// different constants → one skeleton planning run, answers identical to
+// fresh planning.
+func TestTemplateHitBindsConstants(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+
+	queries := []struct {
+		cond string
+		rows int
+	}{
+		{`make = "BMW" ^ price < 40000`, 1},    // 328i
+		{`make = "BMW" ^ price < 80000`, 2},    // 328i, M5
+		{`make = "Toyota" ^ price < 15000`, 1}, // Corolla
+		{`price < 20000 ^ make = "Toyota"`, 2}, // commuted: same template
+	}
+	for i, q := range queries {
+		res, err := med.Answer(context.Background(), cp, "cars", condition.MustParse(q.cond), []string{"model"})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res.Relation.Len() != q.rows {
+			t.Errorf("query %d: %d rows, want %d", i, res.Relation.Len(), q.rows)
+		}
+		if !res.Metrics.Template {
+			t.Errorf("query %d: Metrics = %+v, want Template", i, res.Metrics)
+		}
+		if i > 0 && !res.Metrics.Cached {
+			t.Errorf("query %d: Metrics = %+v, want Cached (template hit)", i, res.Metrics)
+		}
+	}
+	if got := cp.calls.Load(); got != 1 {
+		t.Errorf("planner ran %d times, want 1 (one skeleton for the shape)", got)
+	}
+	st := med.TemplateStats()
+	if st.Hits != 3 || st.Misses != 1 || st.Fallbacks != 0 || st.Infeasible != 0 {
+		t.Errorf("template stats = %+v, want 3 hits / 1 miss", st)
+	}
+	if cs := med.CacheStats(); cs.Misses != 0 {
+		t.Errorf("plan cache consulted: %+v", cs)
+	}
+}
+
+// TestTemplateConstrainedFallback: a grammar that enumerates make values
+// is value-constrained at that position. Queries whose make is in the
+// enum must fall back to full planning — and still answer correctly —
+// because the skeleton (param never matches an enum pattern) is
+// infeasible.
+func TestTemplateConstrainedFallback(t *testing.T) {
+	med := enumCarsFixture(t)
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+
+	for i := 0; i < 2; i++ {
+		res, err := med.Answer(context.Background(), cp, "cars", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if res.Relation.Len() != 1 {
+			t.Errorf("round %d: %d rows, want 1", i, res.Relation.Len())
+		}
+		if res.Metrics.Template {
+			t.Errorf("round %d: Metrics = %+v, want no Template (fallback)", i, res.Metrics)
+		}
+	}
+	st := med.TemplateStats()
+	// Round 1: template miss, skeleton planned and found infeasible
+	// (negative template). Round 2: template hit on the negative entry,
+	// counted Infeasible, fall back again.
+	if st.Misses != 1 || st.Hits != 1 || st.Infeasible != 2 {
+		t.Errorf("template stats = %+v, want 1 miss / 1 hit / 2 infeasible", st)
+	}
+	// The exact tier served round 2 from cache: skeleton + round-1
+	// concrete plan = 2 planner runs total.
+	if got := cp.calls.Load(); got != 2 {
+		t.Errorf("planner ran %d times, want 2 (skeleton + one concrete)", got)
+	}
+	if cs := med.CacheStats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("plan cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+}
+
+// TestTemplateMixedConstrainedPosition: with both an enum rule and a
+// placeholder rule for the same position, the skeleton is feasible via
+// the placeholder rule, but a binding that collides with the enum literal
+// set must force per-query fallback (the concrete query could derive
+// through MORE rules than the skeleton did, exporting more attributes).
+func TestTemplateMixedConstrainedPosition(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	if err := r.AppendValues(condition.String("BMW"), condition.String("328i"), condition.Int(35000)); err != nil {
+		t.Fatal(err)
+	}
+	g := ssdl.MustParse(`
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string
+s2 -> make = {"BMW"}
+attributes :: s1 : {make, model}
+attributes :: s2 : {make, model, price}
+`)
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"cars": r})})
+	if err := med.Register("", src, g); err != nil {
+		t.Fatal(err)
+	}
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+
+	// Warm the template with an unconstrained constant.
+	res, err := med.Answer(context.Background(), cp, "cars", condition.MustParse(`make = "Audi"`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.Template {
+		t.Fatalf("warming query Metrics = %+v, want Template", res.Metrics)
+	}
+
+	// "BMW" is pinned by the enum rule: the template hit must decline at
+	// bind time (the concrete query can derive through s2 as well, which
+	// the skeleton never saw) and fall back to full planning.
+	res2, err := med.Answer(context.Background(), cp, "cars", condition.MustParse(`make = "BMW"`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics.Template {
+		t.Fatalf("constrained query Metrics = %+v, want fallback", res2.Metrics)
+	}
+	if res2.Relation.Len() != 1 {
+		t.Errorf("constrained query rows = %d, want 1", res2.Relation.Len())
+	}
+	st := med.TemplateStats()
+	if st.Hits != 1 || st.Fallbacks != 1 {
+		t.Errorf("template stats = %+v, want 1 hit / 1 fallback", st)
+	}
+}
+
+// TestTemplatesDisabled: DisableTemplates keeps everything on the exact
+// tier.
+func TestTemplatesDisabled(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.EnableCache()
+	med.DisableTemplates = true
+	cp := &countingPlanner{inner: core.New()}
+	for i := 0; i < 2; i++ {
+		if _, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(`make = "BMW" ^ price < 40000`), []string{"model"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := med.TemplateStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("template tier consulted while disabled: %+v", st)
+	}
+	if cs := med.CacheStats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("plan cache stats = %+v, want 1/1", cs)
+	}
+}
+
+// TestTemplateConcurrentCoalesce: concurrent same-shape queries with
+// distinct constants coalesce onto one skeleton planning run.
+func TestTemplateConcurrentCoalesce(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < 4; r++ {
+				cond := condition.MustParse(fmt.Sprintf(`make = "BMW" ^ price < %d`, 30000+1000*(w*4+r)))
+				if _, _, err := med.Plan(context.Background(), cp, "cars", cond, []string{"model"}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if got := cp.calls.Load(); got != 1 {
+		t.Errorf("planner ran %d times, want 1", got)
+	}
+	st := med.TemplateStats()
+	if total := st.Hits + st.Misses + st.CoalescedWaits; total < workers*4 {
+		t.Errorf("template stats don't cover all calls: %+v", st)
+	}
+}
+
+// TestTemplateEviction: the template cache is LRU-bounded like the exact
+// cache.
+func TestTemplateEviction(t *testing.T) {
+	med, _ := carsFixture(t)
+	med.CacheSize = 1
+	med.EnableCache()
+	cp := &countingPlanner{inner: core.New()}
+	shapes := []string{
+		`make = "BMW" ^ price < 40000`, // shape A
+		`make = "BMW" ^ color = "red"`, // shape B evicts A
+		`make = "BMW" ^ price < 50000`, // shape A again: re-plan
+	}
+	for _, c := range shapes {
+		if _, _, err := med.Plan(context.Background(), cp, "cars", condition.MustParse(c), []string{"model"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cp.calls.Load(); got != 3 {
+		t.Errorf("planner ran %d times, want 3 (evicted template re-planned)", got)
+	}
+	// Insert A, insert B (evicts A), insert A again (evicts B).
+	if st := med.TemplateStats(); st.Evictions != 2 {
+		t.Errorf("template stats = %+v, want 2 evictions", st)
+	}
+}
+
+// cacheKey must stay a single allocation: it runs on every cached Plan
+// call.
+func TestCacheKeyAllocs(t *testing.T) {
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	attrs := []string{"make", "model"}
+	condition.NormKey(cond) // warm the node's memo, as Plan's path does
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = cacheKey("GenCompact", "cars", cond, attrs)
+	})
+	if allocs > 1 {
+		t.Errorf("cacheKey allocates %.0f times per call, want ≤ 1", allocs)
+	}
+	pz := condition.Parameterize(cond)
+	allocs = testing.AllocsPerRun(100, func() {
+		_ = templateKey("GenCompact", "cars", pz.Skeleton, attrs)
+	})
+	if allocs > 1 {
+		t.Errorf("templateKey allocates %.0f times per call, want ≤ 1", allocs)
+	}
+}

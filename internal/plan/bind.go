@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+)
+
+// Bind substitutes a binding vector into every condition of a template
+// plan — the source-query conditions shipped to sources and the
+// mediator-side Select conditions — producing an executable plan with the
+// skeleton's placeholders replaced by constants. Subtrees without
+// placeholders are shared with the template, so binding a fully constant
+// plan returns it unchanged; the bound plan is an ordinary tree, so both
+// the materialized and the streaming executor run it with no special
+// cases. Binding fails if a placeholder index escapes the vector or a
+// binding's kind differs from the placeholder's element kind.
+func Bind(p Plan, bindings []condition.Value) (Plan, error) {
+	bound, _, err := bindPlan(p, bindings)
+	return bound, err
+}
+
+// HasParams reports whether any condition of the plan still carries a
+// placeholder; an executable plan must not.
+func HasParams(p Plan) bool {
+	found := false
+	Walk(p, func(n Plan) {
+		switch t := n.(type) {
+		case *SourceQuery:
+			found = found || condition.HasParams(t.Cond)
+		case *Select:
+			found = found || condition.HasParams(t.Cond)
+		}
+	})
+	return found
+}
+
+func bindPlan(p Plan, bindings []condition.Value) (Plan, bool, error) {
+	switch t := p.(type) {
+	case *SourceQuery:
+		cond, changed, err := bindCond(t.Cond, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &SourceQuery{Source: t.Source, Cond: cond, Attrs: t.Attrs}, true, nil
+	case *Select:
+		cond, condChanged, err := bindCond(t.Cond, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		input, inputChanged, err := bindPlan(t.Input, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !condChanged && !inputChanged {
+			return t, false, nil
+		}
+		return &Select{Cond: cond, Input: input}, true, nil
+	case *Project:
+		input, changed, err := bindPlan(t.Input, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &Project{Attrs: t.Attrs, Input: input}, true, nil
+	case *Union:
+		inputs, changed, err := bindKids(t.Inputs, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &Union{Inputs: inputs}, true, nil
+	case *Intersect:
+		inputs, changed, err := bindKids(t.Inputs, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &Intersect{Inputs: inputs}, true, nil
+	case *Choice:
+		alts, changed, err := bindKids(t.Alternatives, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return &Choice{Alternatives: alts}, true, nil
+	default:
+		return nil, false, fmt.Errorf("plan: cannot bind unknown plan node %T", p)
+	}
+}
+
+func bindKids(kids []Plan, bindings []condition.Value) ([]Plan, bool, error) {
+	out := make([]Plan, len(kids))
+	changed := false
+	for i, k := range kids {
+		nk, ch, err := bindPlan(k, bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = nk
+		changed = changed || ch
+	}
+	if !changed {
+		return kids, false, nil
+	}
+	return out, true, nil
+}
+
+func bindCond(c condition.Node, bindings []condition.Value) (condition.Node, bool, error) {
+	if !condition.HasParams(c) {
+		return c, false, nil
+	}
+	bound, err := condition.Bind(c, bindings)
+	if err != nil {
+		return nil, false, err
+	}
+	return bound, true, nil
+}

@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+)
+
+func templatePlan() (Plan, []condition.Value) {
+	p := condition.Parameterize(condition.MustParse(`make = "BMW" ^ price < 40000`))
+	sq := NewSourceQuery("R", p.Skeleton, []string{"make", "model", "price"})
+	sel := &Select{Cond: p.Skeleton, Input: sq}
+	return NewProject([]string{"model"}, sel), p.Bindings
+}
+
+func TestBindSubstitutesEverywhere(t *testing.T) {
+	tmpl, bindings := templatePlan()
+	if !HasParams(tmpl) {
+		t.Fatal("template should carry params")
+	}
+	bound, err := Bind(tmpl, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasParams(bound) {
+		t.Fatalf("bound plan still has params:\n%s", Format(bound))
+	}
+	for _, q := range SourceQueries(bound) {
+		if condition.HasParams(q.Cond) {
+			t.Fatalf("source query %s not bound", q.Key())
+		}
+	}
+	// The template itself must be untouched (it is shared across queries).
+	if !HasParams(tmpl) {
+		t.Fatal("binding mutated the template")
+	}
+}
+
+func TestBindSharesConstantSubtrees(t *testing.T) {
+	constQ := NewSourceQuery("S", condition.MustParse(`year > 1990`), []string{"model"})
+	tmpl, bindings := templatePlan()
+	u := &Union{Inputs: []Plan{tmpl, constQ}}
+	bound, err := Bind(u, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.(*Union).Inputs[1] != Plan(constQ) {
+		t.Error("param-free subtree should be shared, not copied")
+	}
+	// A fully constant plan binds to itself.
+	same, err := Bind(constQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != Plan(constQ) {
+		t.Error("constant plan should bind to itself")
+	}
+}
+
+func TestBindChoiceAndIntersect(t *testing.T) {
+	tmplA, bindings := templatePlan()
+	tmplB, _ := templatePlan()
+	c := &Choice{Alternatives: []Plan{tmplA, &Intersect{Inputs: []Plan{tmplB}}}}
+	bound, err := Bind(c, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasParams(bound) {
+		t.Fatalf("choice alternatives not bound:\n%s", Format(bound))
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tmpl, bindings := templatePlan()
+	if _, err := Bind(tmpl, bindings[:1]); err == nil {
+		t.Error("short vector: want error")
+	}
+	if _, err := Bind(tmpl, []condition.Value{condition.Int(1), condition.Int(2)}); err == nil {
+		t.Error("kind mismatch: want error")
+	}
+}

@@ -58,6 +58,11 @@ type Metrics struct {
 	// Coalesced reports that this call waited for another caller's
 	// in-flight planning of the same key (implies Cached).
 	Coalesced bool
+	// Template reports that the plan was produced by binding constants
+	// into a cached parameterized plan template. Combined with Cached it
+	// means no planning ran at all (a template hit); without Cached it
+	// marks the run that planned the template's skeleton.
+	Template bool
 }
 
 // CheckHitRate is the fraction of checker calls served from the checker's

@@ -104,6 +104,16 @@ func TestMetamorphicCorpus(t *testing.T) {
 	runCorpus(t, Metamorphic, 3)
 }
 
+// TestTemplateCorpus checks the parameterized-plan-template invariants:
+// binding constants into a cached plan template must be indistinguishable
+// from fresh planning — same supportability, byte-identical answers — on
+// the generator's placeholder grammars and on derived value-constrained
+// (enum and mixed enum+placeholder) grammar variants that force the
+// fallback paths.
+func TestTemplateCorpus(t *testing.T) {
+	runCorpus(t, Template, 3)
+}
+
 // TestFaultToleranceCorpus checks the fault-injection invariants:
 // transient faults behind retries still produce the oracle answer, and
 // persistent faults produce the oracle answer, a sound partial answer

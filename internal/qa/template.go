@@ -1,0 +1,302 @@
+package qa
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/mediator"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// Template checks the parameterized-plan-template invariants on one
+// instance: planning through the mediator's template tier — warm the
+// cache with a same-shape, constant-mutated variant of the condition,
+// then plan the original — must be indistinguishable from fresh planning.
+// Concretely,
+//
+//	(1) on the instance's own (placeholder-only) grammar, the original
+//	    query must bind from the cached template, preserve
+//	    supportability, and execute to an answer byte-identical to what
+//	    a cache-less mediator produces;
+//	(2) on a value-constrained variant of the grammar — every
+//	    placeholder whose position the query's own constants match
+//	    replaced by an enumeration of exactly those constants — the
+//	    skeleton loses those derivations, so templated planning must
+//	    detect the violating binding and fall back, again byte-identical
+//	    to fresh planning;
+//	(3) on a mixed variant — the enum rules added alongside the original
+//	    placeholder rules — the skeleton stays feasible through the
+//	    placeholder rules, but bindings colliding with the enum literals
+//	    must still force the bind-time fallback.
+//
+// Like the other checks, infrastructure errors come back as error and
+// assertion violations land in Report.Failures.
+func Template(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	pz := condition.Parameterize(inst.Cond)
+	if len(pz.Bindings) == 0 {
+		// No liftable constants: the template tier never engages.
+		return rep, nil
+	}
+	warmCond, err := condition.Bind(pz.Skeleton, mutateBindings(pz.Bindings))
+	if err != nil {
+		return nil, fmt.Errorf("qa: binding mutated constants: %w", err)
+	}
+
+	// (1) Placeholder-only grammar: a template hit is mandatory when the
+	// warming query planned.
+	hit := true
+	if err := checkTemplated(ctx, rep, inst, inst.Grammar, warmCond, "placeholder grammar", &hit); err != nil {
+		return nil, err
+	}
+
+	// (2) + (3) Value-constrained grammar variants, derived here rather
+	// than generated: the generator's grammars are placeholder-only, and
+	// scrambling its seed stream would invalidate every pinned repro.
+	enum, constrained := enumGrammar(inst, pz, false)
+	if enum != nil {
+		want := hitDontCare(constrained)
+		if err := checkTemplated(ctx, rep, inst, enum, warmCond, "enum grammar", want); err != nil {
+			return nil, err
+		}
+	}
+	mixed, constrained := enumGrammar(inst, pz, true)
+	if mixed != nil {
+		want := hitDontCare(constrained)
+		if err := checkTemplated(ctx, rep, inst, mixed, warmCond, "mixed enum+placeholder grammar", want); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// hitDontCare maps "a lifted binding collides with an added enum" to the
+// template-hit expectation: a collision guarantees the fallback path
+// (either the skeleton went infeasible, or the sensitivity analysis
+// rejects the binding), so Metrics.Template must be false; without a
+// collision the outcome is grammar-dependent and unasserted.
+func hitDontCare(constrained bool) *bool {
+	if !constrained {
+		return nil
+	}
+	f := false
+	return &f
+}
+
+// checkTemplated plans inst.Cond twice over grammar g — once on a fresh
+// cache-less mediator, once on a cached mediator warmed with the
+// same-shape warmCond — and asserts supportability agreement and
+// byte-identical answers. wantHit, when non-nil, pins whether the warmed
+// run must (true) or must not (false) have been served by the template
+// tier; the true case is only enforceable when the warming query itself
+// planned, since a failed warm-up leaves nothing to hit.
+func checkTemplated(ctx context.Context, rep *Report, inst *Instance, g *ssdl.Grammar, warmCond condition.Node, label string, wantHit *bool) error {
+	fresh, err := newMediatorWith(inst, g)
+	if err != nil {
+		return err
+	}
+	pf, _, errF := fresh.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	freshFeasible, uerr := classify(errF)
+	if uerr != nil {
+		rep.failf("%s: fresh planning failed unexpectedly: %v", label, uerr)
+		return nil
+	}
+	var freshTSV []byte
+	if freshFeasible {
+		ans, err := plan.Execute(ctx, pf, fresh)
+		if err != nil {
+			rep.failf("%s: fresh plan failed to execute: %v\nplan:\n%s", label, err, plan.Format(pf))
+			return nil
+		}
+		if freshTSV, err = tsvBytes(ans); err != nil {
+			return err
+		}
+	}
+
+	tmed, err := newMediatorWith(inst, g)
+	if err != nil {
+		return err
+	}
+	tmed.EnableCache()
+	_, _, warmErr := tmed.Plan(ctx, Compact(), inst.Source(), warmCond, inst.Attrs)
+	warmFeasible, uerr := classify(warmErr)
+	if uerr != nil {
+		rep.failf("%s: warming query failed unexpectedly: %v\nwarm condition: %s", label, uerr, warmCond.Key())
+		return nil
+	}
+
+	pb, met, errB := tmed.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	boundFeasible, uerr := classify(errB)
+	if uerr != nil {
+		rep.failf("%s: templated planning failed unexpectedly: %v", label, uerr)
+		return nil
+	}
+	if boundFeasible != freshFeasible {
+		rep.failf("%s: template tier flipped supportability: fresh=%v templated=%v",
+			label, freshFeasible, boundFeasible)
+		return nil
+	}
+	if wantHit != nil && boundFeasible {
+		got := met != nil && met.Template && met.Cached
+		switch {
+		case *wantHit && warmFeasible && !got:
+			rep.failf("%s: second same-shape query did not bind from the cached template (metrics %+v)", label, met)
+		case !*wantHit && met != nil && met.Template:
+			rep.failf("%s: value-constrained binding was served from a template instead of falling back (metrics %+v)", label, met)
+		}
+	}
+	if !boundFeasible {
+		return nil
+	}
+	ans, err := plan.Execute(ctx, pb, tmed)
+	if err != nil {
+		rep.failf("%s: bound plan failed to execute: %v\nplan:\n%s", label, err, plan.Format(pb))
+		return nil
+	}
+	boundTSV, err := tsvBytes(ans)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(boundTSV, freshTSV) {
+		rep.failf("%s: bound-template answer is not byte-identical to fresh planning\nfresh (%d rows):\n%stemplated (%d rows):\n%splan:\n%s",
+			label, bytes.Count(freshTSV, []byte("\n")), freshTSV,
+			bytes.Count(boundTSV, []byte("\n")), boundTSV, plan.Format(pb))
+	}
+	return nil
+}
+
+// newMediatorWith is NewMediator with the grammar swapped out, for the
+// derived value-constrained variants.
+func newMediatorWith(inst *Instance, g *ssdl.Grammar) (*mediator.Mediator, error) {
+	med := mediator.New(inst.Model())
+	local, err := source.NewLocal(inst.Source(), inst.Rel, g)
+	if err != nil {
+		return nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	if err := med.Register(inst.Source(), local, g); err != nil {
+		return nil, fmt.Errorf("qa: registering source: %w", err)
+	}
+	return med, nil
+}
+
+// mutateBindings perturbs each lifted constant injectively within its
+// kind, so the rebound condition has the same parameterized shape (equal
+// atoms stay equal, distinct atoms stay distinct) but shares no constant
+// with the original.
+func mutateBindings(vals []condition.Value) []condition.Value {
+	out := make([]condition.Value, len(vals))
+	for i, v := range vals {
+		switch v.Kind {
+		case condition.KindInt:
+			out[i] = condition.Int(v.I + 1)
+		case condition.KindFloat:
+			out[i] = condition.Float(v.F + 0.5)
+		case condition.KindString:
+			// "~" is not an identifier character, so the mutated constant
+			// cannot collide with an attribute name and change liftability.
+			out[i] = condition.String(v.S + "~")
+		case condition.KindBool:
+			out[i] = condition.Bool(!v.B)
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// enumGrammar derives a value-constrained variant of the instance's
+// grammar: every placeholder pattern whose position (attr, op, accepted
+// kind) the target query's own constants match is turned into an
+// enumeration of exactly those constants. With keepPlaceholders the enum
+// rules are appended next to the originals (same LHS, same exports)
+// instead of replacing them. Returns nil when the query's constants match
+// no placeholder (the variant would equal the original), plus whether at
+// least one lifted binding collides with an added enum — the condition
+// under which templated planning is guaranteed to fall back.
+func enumGrammar(inst *Instance, pz condition.Parameterized, keepPlaceholders bool) (*ssdl.Grammar, bool) {
+	// The query's concrete constants by value position.
+	type site struct {
+		attr string
+		op   condition.Op
+	}
+	consts := make(map[site][]condition.Value)
+	for _, a := range condition.Atoms(inst.Cond) {
+		if !a.Val.IsParam() {
+			s := site{a.Attr, a.Op}
+			consts[s] = append(consts[s], a.Val)
+		}
+	}
+
+	g := inst.Grammar.Clone()
+	replaced := false
+	added := make(map[site][]condition.Value)
+	var extra []ssdl.Rule
+	for ri := range g.Rules {
+		rhs := g.Rules[ri].RHS
+		var enumRHS []ssdl.Symbol
+		for si, sym := range rhs {
+			if sym.Kind != ssdl.SymAtom || sym.Atom.Val.Literal != nil || len(sym.Atom.Val.OneOf) > 0 {
+				continue
+			}
+			s := site{sym.Atom.Attr, sym.Atom.Op}
+			var match []condition.Value
+			for _, v := range consts[s] {
+				if sym.Atom.Val.Matches(v) {
+					match = append(match, v)
+				}
+			}
+			if len(match) == 0 {
+				continue
+			}
+			enumAtom := &ssdl.AtomPattern{Attr: s.attr, Op: s.op, Val: ssdl.EnumPattern(match...)}
+			if keepPlaceholders {
+				if enumRHS == nil {
+					enumRHS = append([]ssdl.Symbol(nil), rhs...)
+				}
+				enumRHS[si] = ssdl.Symbol{Kind: ssdl.SymAtom, Atom: enumAtom}
+			} else {
+				rhs[si] = ssdl.Symbol{Kind: ssdl.SymAtom, Atom: enumAtom}
+			}
+			replaced = true
+			added[s] = append(added[s], match...)
+		}
+		if enumRHS != nil {
+			extra = append(extra, ssdl.Rule{LHS: g.Rules[ri].LHS, RHS: enumRHS})
+		}
+	}
+	if !replaced {
+		return nil, false
+	}
+	for _, r := range extra {
+		if err := g.AddRule(r.LHS, r.RHS); err != nil {
+			panic(err) // cannot happen: the original rule validated
+		}
+	}
+
+	constrained := false
+	for i, s := range pz.Sites {
+		for _, v := range added[site{s.Attr, s.Op}] {
+			if v.Kind == pz.Bindings[i].Kind && v.Equal(pz.Bindings[i]) {
+				constrained = true
+			}
+		}
+	}
+	return g, constrained
+}
+
+// tsvBytes renders the relation's sorted TSV form for byte-level
+// comparison.
+func tsvBytes(r *relation.Relation) ([]byte, error) {
+	r.Sort()
+	var buf bytes.Buffer
+	if err := relation.WriteTSV(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -35,6 +35,10 @@ type Checker struct {
 
 	shards [checkShards]checkShard
 
+	// sensitivity analysis for plan templating, computed on first use.
+	sensOnce sync.Once
+	sens     *Sensitivity
+
 	// counters for the E5/E7 experiments
 	calls  atomic.Int64
 	hits   atomic.Int64
@@ -94,6 +98,13 @@ func (c *Checker) Check(cond condition.Node) strset.Set {
 	}
 	sh.mu.Unlock()
 	return attrs
+}
+
+// Sensitivity returns the grammar's value-position sensitivity analysis,
+// computed once on first use (the grammar is immutable after NewChecker).
+func (c *Checker) Sensitivity() *Sensitivity {
+	c.sensOnce.Do(func() { c.sens = AnalyzeSensitivity(c.g) })
+	return c.sens
 }
 
 // Supports reports whether the source query SP(cond, attrs, R) is

@@ -42,17 +42,27 @@ func (k PlaceholderKind) String() string {
 }
 
 func (k PlaceholderKind) matches(v condition.Value) bool {
+	kind := v.Kind
+	if v.IsParam() {
+		// A condition placeholder stands for an arbitrary constant of its
+		// element kind; a grammar placeholder accepts it exactly when it
+		// would accept such a constant. (Literal and enum patterns never
+		// accept params — see ValuePattern.Matches — which is what makes
+		// checking a skeleton a sound stand-in for checking any bound
+		// instance whose constants avoid the grammar's sensitive literals.)
+		kind = v.Elem
+	}
 	switch k {
 	case AnyValue:
 		return true
 	case StringValue:
-		return v.Kind == condition.KindString
+		return kind == condition.KindString
 	case IntValue:
-		return v.Kind == condition.KindInt
+		return kind == condition.KindInt
 	case FloatValue:
-		return v.Kind == condition.KindFloat
+		return kind == condition.KindFloat
 	case NumericValue:
-		return v.IsNumeric()
+		return kind == condition.KindInt || kind == condition.KindFloat
 	default:
 		return false
 	}
@@ -82,7 +92,10 @@ func Placeholder(name string, kind PlaceholderKind) ValuePattern {
 	return ValuePattern{Kind: kind, Name: name}
 }
 
-// Matches reports whether the pattern accepts the constant.
+// Matches reports whether the pattern accepts the constant. A param value
+// (condition.KindParam) is accepted only by placeholder patterns of a
+// matching element kind: literal and enum patterns pin specific constants,
+// which an unbound placeholder by definition is not.
 func (p ValuePattern) Matches(v condition.Value) bool {
 	if p.Literal != nil {
 		return p.Literal.Equal(v) && p.Literal.Kind == v.Kind

@@ -1,0 +1,88 @@
+package ssdl
+
+import (
+	"repro/internal/condition"
+)
+
+// Sensitivity is the value-position sensitivity analysis behind plan
+// templating. For each (attribute, operator) value position, it records
+// the literals the grammar singles out via exact-literal or enumeration
+// patterns — the positions where Check's answer depends on the *value* of
+// a constant, not just on the condition's shape.
+//
+// The soundness argument for binding a skeleton-planned template: every
+// atom pattern at a position either (a) is a typed placeholder, which
+// accepts a condition param exactly when it accepts any concrete constant
+// of the param's element kind, or (b) pins literals, and accepts neither
+// the param nor any constant outside its literal set. So for a binding b
+// of the param's element kind with Constrained(attr, op, b) == false,
+// every terminal in the grammar matches the bound atom exactly as it
+// matched the param atom — the Earley recognizer sees the same token
+// acceptance, Check returns the same attribute sets, and the template's
+// plan (including its grammar-accepted fixed form) is valid verbatim with
+// the constant substituted. When Constrained reports true the template
+// must not be used and the query falls back to full planning.
+type Sensitivity struct {
+	sites map[sensSite][]condition.Value
+}
+
+// sensSite identifies one value position of the grammar.
+type sensSite struct {
+	attr string
+	op   condition.Op
+}
+
+// AnalyzeSensitivity scans the grammar's atom patterns and collects, per
+// value position, the literals appearing in Literal or enum (OneOf)
+// patterns. Placeholder patterns contribute nothing: they admit any
+// constant of their kind, so the position stays shape-insensitive.
+func AnalyzeSensitivity(g *Grammar) *Sensitivity {
+	s := &Sensitivity{sites: make(map[sensSite][]condition.Value)}
+	for _, r := range g.Rules {
+		for _, sym := range r.RHS {
+			if sym.Kind != SymAtom || sym.Atom == nil {
+				continue
+			}
+			p := sym.Atom
+			site := sensSite{attr: p.Attr, op: p.Op}
+			if p.Val.Literal != nil {
+				s.add(site, *p.Val.Literal)
+			}
+			for _, v := range p.Val.OneOf {
+				s.add(site, v)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Sensitivity) add(site sensSite, v condition.Value) {
+	for _, have := range s.sites[site] {
+		if have.Kind == v.Kind && have.Equal(v) {
+			return
+		}
+	}
+	s.sites[site] = append(s.sites[site], v)
+}
+
+// Constrained reports whether binding v at the (attr, op) value position
+// could change the grammar's answer relative to a placeholder: true when
+// some literal/enum pattern at that position pins exactly v. Matching
+// mirrors ValuePattern.Matches (value equality plus identical kind).
+func (s *Sensitivity) Constrained(attr string, op condition.Op, v condition.Value) bool {
+	for _, have := range s.sites[sensSite{attr: attr, op: op}] {
+		if have.Kind == v.Kind && have.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasConstraints reports whether any value position of the grammar is
+// value-constrained; false means every constant is safe to template and
+// per-binding checks can be skipped.
+func (s *Sensitivity) HasConstraints() bool { return len(s.sites) > 0 }
+
+// ConstrainedSites returns the number of value-constrained (attr, op)
+// positions, for stats and tests.
+func (s *Sensitivity) ConstrainedSites() int { return len(s.sites) }

@@ -1,0 +1,134 @@
+package ssdl
+
+import (
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+// enumGrammar pins specific literals: style is a dropdown (enum) and the
+// special price 0 unlocks a free-listings rule.
+const enumGrammar = `
+source S
+attrs style, price, model
+
+s1 -> style = {"sedan", "coupe"} ^ price < $p:int
+s2 -> price = 0
+attributes :: s1 : {style, price, model}
+attributes :: s2 : {model}
+`
+
+func TestAnalyzeSensitivity(t *testing.T) {
+	s := AnalyzeSensitivity(MustParse(enumGrammar))
+	if !s.HasConstraints() {
+		t.Fatal("enum grammar should have constrained positions")
+	}
+	if s.ConstrainedSites() != 2 {
+		t.Fatalf("ConstrainedSites = %d, want 2", s.ConstrainedSites())
+	}
+	tests := []struct {
+		attr string
+		op   condition.Op
+		v    condition.Value
+		want bool
+	}{
+		{"style", condition.OpEq, condition.String("sedan"), true},
+		{"style", condition.OpEq, condition.String("coupe"), true},
+		{"style", condition.OpEq, condition.String("wagon"), false},
+		// Same literal at a different position is unconstrained.
+		{"model", condition.OpEq, condition.String("sedan"), false},
+		{"style", condition.OpNe, condition.String("sedan"), false},
+		{"price", condition.OpEq, condition.Int(0), true},
+		{"price", condition.OpEq, condition.Int(1), false},
+		// Kind must match exactly: enum "0" (int) does not constrain 0.0.
+		{"price", condition.OpEq, condition.Float(0), false},
+		// Placeholder positions contribute nothing.
+		{"price", condition.OpLt, condition.Int(0), false},
+	}
+	for _, tc := range tests {
+		if got := s.Constrained(tc.attr, tc.op, tc.v); got != tc.want {
+			t.Errorf("Constrained(%s %s %s) = %v, want %v", tc.attr, tc.op, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestSensitivityPlaceholderOnlyGrammar(t *testing.T) {
+	c := NewChecker(MustParse(example41))
+	s := c.Sensitivity()
+	if s.HasConstraints() {
+		t.Fatalf("placeholder-only grammar reported %d constrained sites", s.ConstrainedSites())
+	}
+	if c.Sensitivity() != s {
+		t.Error("Sensitivity must be computed once and shared")
+	}
+}
+
+// Skeleton checking: a condition whose constants were lifted to params
+// must get the same Check answer as any concrete instance whose constants
+// avoid the grammar's sensitive literals — and must NOT satisfy literal
+// or enum patterns.
+func TestCheckSkeletonMatchesUnconstrainedInstance(t *testing.T) {
+	c := NewChecker(MustParse(example41))
+	concrete := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	p := condition.Parameterize(concrete)
+	if got, want := c.Check(p.Skeleton), c.Check(concrete); !got.Equal(want) {
+		t.Fatalf("Check(skeleton) = %v, Check(concrete) = %v", got, want)
+	}
+	if got := c.Check(p.Skeleton); !got.Equal(strset.New("make", "model", "year", "color")) {
+		t.Fatalf("Check(skeleton) = %v", got)
+	}
+
+	// Enum positions reject params: the skeleton of `style = X ^ price < Y`
+	// is not derivable in the enum grammar even though concrete instances
+	// with X ∈ {sedan, coupe} are.
+	e := NewChecker(MustParse(enumGrammar))
+	inEnum := condition.MustParse(`style = "sedan" ^ price < 100`)
+	if e.Check(inEnum).Empty() {
+		t.Fatal("concrete enum instance should be derivable")
+	}
+	sk := condition.Parameterize(inEnum).Skeleton
+	if got := e.Check(sk); !got.Empty() {
+		t.Fatalf("Check(enum skeleton) = %v, want empty", got)
+	}
+	// And the sensitivity analysis flags exactly the bindings that made
+	// the concrete instance differ from the skeleton.
+	sens := e.Sensitivity()
+	if !sens.Constrained("style", condition.OpEq, condition.String("sedan")) {
+		t.Error("style = sedan should be constrained")
+	}
+	if sens.Constrained("price", condition.OpLt, condition.Int(100)) {
+		t.Error("price < $p position should be unconstrained")
+	}
+}
+
+func TestPlaceholderKindMatchesParam(t *testing.T) {
+	tests := []struct {
+		k    PlaceholderKind
+		elem condition.Kind
+		want bool
+	}{
+		{AnyValue, condition.KindString, true},
+		{StringValue, condition.KindString, true},
+		{StringValue, condition.KindInt, false},
+		{IntValue, condition.KindInt, true},
+		{IntValue, condition.KindFloat, false},
+		{FloatValue, condition.KindFloat, true},
+		{NumericValue, condition.KindInt, true},
+		{NumericValue, condition.KindFloat, true},
+		{NumericValue, condition.KindString, false},
+	}
+	for _, tc := range tests {
+		p := condition.Param(0, tc.elem)
+		if got := Placeholder("v", tc.k).Matches(p); got != tc.want {
+			t.Errorf("%s placeholder matches param:%s = %v, want %v", tc.k, tc.elem, got, tc.want)
+		}
+	}
+	// Literal and enum patterns never accept a param, even of the right kind.
+	if LiteralPattern(condition.Int(5)).Matches(condition.Param(0, condition.KindInt)) {
+		t.Error("literal pattern accepted a param")
+	}
+	if EnumPattern(condition.String("a")).Matches(condition.Param(0, condition.KindString)) {
+		t.Error("enum pattern accepted a param")
+	}
+}

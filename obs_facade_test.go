@@ -75,8 +75,13 @@ func TestMetricsHandlerEndToEnd(t *testing.T) {
 	}
 	body := rec.Body.String()
 	for _, want := range []string{
-		"csqp_plan_cache_hits_total 1",
-		"csqp_plan_cache_misses_total 1",
+		// Repeated constants-bearing queries land in the template tier:
+		// one skeleton planning run, then template hits.
+		"csqp_template_cache_hits_total 1",
+		"csqp_template_cache_misses_total 1",
+		"csqp_template_hit_ratio 0.5",
+		"csqp_plan_cache_hits_total 0",
+		"csqp_plan_cache_hit_ratio 0",
 		"csqp_plans_total 1",
 		`csqp_source_attempts_total{source="books"}`,
 		`csqp_source_query_seconds_count{source="books"}`,
@@ -89,9 +94,9 @@ func TestMetricsHandlerEndToEnd(t *testing.T) {
 	}
 
 	// The exported counters must agree with the legacy stats structs.
-	st := sys.CacheStats()
+	st := sys.TemplateStats()
 	if st.Hits != 1 || st.Misses != 1 {
-		t.Errorf("CacheStats = %+v, want 1 hit / 1 miss", st)
+		t.Errorf("TemplateStats = %+v, want 1 hit / 1 miss", st)
 	}
 	if sys.Metrics() == nil {
 		t.Fatal("Metrics() registry missing")
