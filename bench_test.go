@@ -619,6 +619,99 @@ func BenchmarkMaterializedUnion(b *testing.B) {
 	}
 }
 
+// profiledPairFixture builds the workload for the profiling-overhead
+// pair: the same Union/Select/Project shape as streamingUnionFixture but
+// over 2k rows, so one iteration is cheap enough to repeat hundreds of
+// times — the within-run ns/op ratio gate needs the noise amortized away,
+// not a big absolute number.
+func profiledPairFixture(b testing.TB) (plan.Plan, plan.Sources) {
+	b.Helper()
+	rel, g := workload.Cars(2000, 1)
+	src, err := source.NewLocal("", rel, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	styles := []string{"sedan", "coupe", "suv", "wagon", "convertible"}
+	inputs := make([]plan.Plan, len(styles))
+	attrs := []string{"style", "size", "make", "model", "price", "year"}
+	for i, s := range styles {
+		inputs[i] = plan.NewSourceQuery("autos",
+			condition.MustParse(`style = "`+s+`"`), attrs)
+	}
+	var p plan.Plan = &plan.Union{Inputs: inputs}
+	p = &plan.Select{Cond: condition.MustParse(`price <= 30000`), Input: p}
+	p = &plan.Project{Attrs: []string{"make", "model", "price"}, Input: p}
+	return p, plan.SourceMap{"autos": src}
+}
+
+// BenchmarkExecUnprofiled and BenchmarkExecProfiled run the identical
+// streaming Union plan with per-operator profiling off and on. Their
+// allocation numbers land in BENCH_plan.json where the benchgate compare
+// gate keeps the profiler's allocation footprint honest (+~46 allocs for
+// the whole OpStats tree today); the ns overhead itself is gated by the
+// interleaved BenchmarkExecProfilingOverhead below, and the disabled
+// path's zero-allocation contract is pinned separately by
+// TestOpStatsDisabledPathAllocs.
+func BenchmarkExecUnprofiled(b *testing.B) {
+	p, srcs := profiledPairFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.ExecuteStream(context.Background(), p, srcs, plan.StreamOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecProfiled(b *testing.B) {
+	p, srcs := profiledPairFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof := plan.NewProfile()
+		if _, err := plan.ExecuteStream(context.Background(), p, srcs, plan.StreamOptions{Profile: prof}); err != nil {
+			b.Fatal(err)
+		}
+		if prof.Snapshot().RowsOut == 0 {
+			b.Fatal("profile recorded no output rows")
+		}
+	}
+}
+
+// BenchmarkExecProfilingOverhead measures the profiled/unprofiled ns
+// ratio directly: each iteration runs BOTH paths back to back and
+// accumulates their times separately, so machine-level drift (noisy
+// neighbours, frequency scaling, GC pauses) hits both sides equally and
+// cancels out of the ratio. The "ns-ratio" metric is what CI's benchgate
+// -pair gate holds under the <=5% overhead budget — unlike comparing two
+// separately-run benchmarks, the interleaved ratio is stable enough to
+// gate tightly.
+func BenchmarkExecProfilingOverhead(b *testing.B) {
+	p, srcs := profiledPairFixture(b)
+	var unprofiled, profiled time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := plan.ExecuteStream(context.Background(), p, srcs, plan.StreamOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		unprofiled += time.Since(start)
+
+		prof := plan.NewProfile()
+		start = time.Now()
+		if _, err := plan.ExecuteStream(context.Background(), p, srcs, plan.StreamOptions{Profile: prof}); err != nil {
+			b.Fatal(err)
+		}
+		profiled += time.Since(start)
+		if prof.Snapshot().RowsOut == 0 {
+			b.Fatal("profile recorded no output rows")
+		}
+	}
+	if unprofiled > 0 {
+		b.ReportMetric(float64(profiled)/float64(unprofiled), "ns-ratio")
+	}
+}
+
 // streamingJoinSystem registers a small dealer relation and the 20k-row
 // cars relation (value-list capable, so the semijoin pushdown batches the
 // bindings) on a mediator pinned to the given engine.

@@ -15,6 +15,17 @@
 //	    across machines; the committed baseline gates on allocation
 //	    counts, which are deterministic.
 //
+//	    -pair NUM:DEN:MAX[,NUM:DEN:MAX...] additionally gates WITHIN the
+//	    new snapshot: benchmark NUM's ns/op divided by DEN's must stay at
+//	    or under MAX. Both sides of a pair come from the same run on the
+//	    same machine, so — unlike cross-snapshot ns/op — the ratio IS
+//	    portable and can be gated strictly. DEN may also name a custom
+//	    metric reported by NUM itself (b.ReportMetric unit, e.g.
+//	    "ns-ratio"); then that metric's value is gated directly against
+//	    MAX — the tightest form, since an interleaved benchmark measures
+//	    both sides of its ratio under identical machine conditions (the
+//	    execution profiler's <=5% overhead budget is gated this way).
+//
 // Warnings use the GitHub Actions `::warning::` annotation syntax so they
 // surface on the workflow summary.
 package main
@@ -53,6 +64,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON snapshots: benchgate -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that triggers a report")
 	strict := flag.Bool("strict", false, "exit nonzero on allocation regressions")
+	pairs := flag.String("pair", "", "within-snapshot ns/op ratio gates on the new snapshot: comma-separated NUM:DEN:MAX triples")
 	flag.Parse()
 
 	switch {
@@ -68,7 +80,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if regressed && *strict {
+		pairRegressed, err := runPairs(flag.Arg(1), *pairs)
+		if err != nil {
+			fatal(err)
+		}
+		if (regressed || pairRegressed) && *strict {
 			os.Exit(1)
 		}
 	default:
@@ -205,6 +221,55 @@ func runCompare(oldPath, newPath string, threshold float64) (regressed bool, err
 		if _, ok := oldM[name]; !ok {
 			fmt.Printf("new benchmark (no baseline): %s\n", name)
 		}
+	}
+	return regressed, nil
+}
+
+// runPairs enforces within-snapshot ratio gates: for each NUM:DEN:MAX
+// triple, either snapshot[NUM].NsOp / snapshot[DEN].NsOp (when DEN names
+// a benchmark) or NUM's reported DEN metric (when it names a custom
+// b.ReportMetric unit) must stay at or under MAX. All numbers come from
+// the same run, so the ratio is machine-independent and gated as a hard
+// failure (with -strict).
+func runPairs(newPath, spec string) (regressed bool, err error) {
+	if spec == "" {
+		return false, nil
+	}
+	newM, _, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	for _, triple := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(triple), ":")
+		if len(parts) != 3 {
+			return false, fmt.Errorf("bad -pair entry %q (want NUM:DEN:MAX)", triple)
+		}
+		max, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return false, fmt.Errorf("bad -pair ratio in %q: %w", triple, err)
+		}
+		num, ok := newM[parts[0]]
+		if !ok {
+			return false, fmt.Errorf("-pair benchmark %s missing from %s", parts[0], newPath)
+		}
+		var ratio float64
+		if den, ok := newM[parts[1]]; ok {
+			if den.NsOp == 0 {
+				return false, fmt.Errorf("-pair denominator %s has zero ns/op", parts[1])
+			}
+			ratio = num.NsOp / den.NsOp
+		} else if v, ok := num.Extra[parts[1]]; ok {
+			ratio = v
+		} else {
+			return false, fmt.Errorf("-pair %q: %s is neither a benchmark in %s nor a metric reported by %s", triple, parts[1], newPath, parts[0])
+		}
+		status := "ok"
+		if ratio > max {
+			regressed = true
+			status = "FAIL"
+			fmt.Printf("::warning::%s/%s ratio %.3f exceeds the %.2f budget\n", parts[0], parts[1], ratio, max)
+		}
+		fmt.Printf("pair %s / %s: ratio %.3f (budget %.2f) %s\n", parts[0], parts[1], ratio, max, status)
 	}
 	return regressed, nil
 }

@@ -8,6 +8,8 @@
 //	csqp -demo bookstore -query '(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams"' -attrs title,isbn
 //	csqp -data cars.tsv -ssdl cars.ssdl -query 'make = "BMW" ^ price < 40000' -attrs model -strategy CNF
 //	csqp -demo cars -query '...' -attrs make,model -compare
+//	csqp -demo cars -query '...' -attrs model -explain           # plan only
+//	csqp -demo cars -query '...' -attrs model -explain=analyze   # execute + profile
 //	csqp -demo bookstore -serve :8080        # serve the demo source over HTTP
 //	csqp -demo bookstore -repl               # interactive shell
 //
@@ -17,12 +19,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -48,7 +52,9 @@ func run() error {
 	attrsFlag := flag.String("attrs", "", "comma-separated requested attributes")
 	strategyName := flag.String("strategy", "GenCompact", "planning strategy")
 	compare := flag.Bool("compare", false, "compare all strategies")
-	explain := flag.Bool("explain", false, "print the plan without executing")
+	var explain explainFlag
+	flag.Var(&explain, "explain", `print the chosen plan with costs ("analyze" also executes it and prints per-operator row counts, timings and estimate errors)`)
+	jsonOut := flag.Bool("json", false, "render -explain output as JSON instead of text")
 	serve := flag.String("serve", "", "serve the source over HTTP at this address instead of querying")
 	interactive := flag.Bool("repl", false, "start an interactive shell over the loaded source")
 	size := flag.Int("size", 0, "demo dataset size (0 = default)")
@@ -151,15 +157,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *explain {
-		p, metrics, err := sys.ExplainContext(ctx, strategy, srcName, *query, attrs...)
-		if err != nil {
-			return err
+	if explain.mode != "" {
+		var e *csqp.Explanation
+		var eerr error
+		if explain.mode == "analyze" {
+			e, eerr = sys.ExplainAnalyze(ctx, strategy, srcName, *query, attrs...)
+		} else {
+			e, eerr = sys.ExplainPlan(ctx, strategy, srcName, *query, attrs...)
 		}
-		fmt.Printf("strategy: %s\nplan cost: %.2f\nplanning: %v (%d CTs, %d Check calls)\n\n%s",
-			strategy, sys.Cost(p), metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls, sys.AnnotatePlan(p))
+		if e == nil {
+			printTrace(tr)
+			return eerr
+		}
+		if eerr != nil {
+			// A partial EXPLAIN ANALYZE still explains what survived.
+			fmt.Fprintln(os.Stderr, "warning:", eerr)
+		}
+		if *jsonOut {
+			raw, err := json.MarshalIndent(e, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Print(e)
+		}
 		if *stats {
-			printStats(sys, metrics)
+			printStats(sys, nil)
 		}
 		printTrace(tr)
 		return waitMetrics(*metricsAddr)
@@ -172,6 +196,9 @@ func run() error {
 	if err != nil {
 		var pe *csqp.PartialError
 		if res == nil || !errors.As(err, &pe) {
+			// The trace shows which source attempt killed the query, so
+			// print it on the failure path too.
+			printTrace(tr)
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "warning: partial answer — dropped sources %v: %v\n",
@@ -213,6 +240,30 @@ func printStats(sys *csqp.System, m *csqp.Metrics) {
 	}
 }
 
+// explainFlag parses -explain: it behaves as a boolean (-explain means
+// static EXPLAIN) but also accepts a mode (-explain=analyze executes the
+// plan and profiles it).
+type explainFlag struct{ mode string } // "", "plan" or "analyze"
+
+func (f *explainFlag) String() string { return f.mode }
+
+func (f *explainFlag) Set(v string) error {
+	switch strings.ToLower(v) {
+	case "", "true", "plan":
+		f.mode = "plan"
+	case "analyze", "analyse":
+		f.mode = "analyze"
+	case "false":
+		f.mode = ""
+	default:
+		return fmt.Errorf("unknown explain mode %q (want plan or analyze)", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -explain (no value) select static EXPLAIN.
+func (f *explainFlag) IsBoolFlag() bool { return true }
+
 // printTrace renders the recorded span tree, if tracing was on.
 func printTrace(tr *csqp.Tracer) {
 	if tr == nil {
@@ -221,16 +272,24 @@ func printTrace(tr *csqp.Tracer) {
 	fmt.Printf("\ntrace:\n%s", tr.Tree())
 }
 
-// serveMetrics exposes the system's telemetry registry over HTTP in the
-// background, failing fast if the address cannot be bound.
+// serveMetrics exposes the system's telemetry registry — and the Go
+// runtime profiler under /debug/pprof/ — over HTTP in the background,
+// failing fast if the address cannot be bound.
 func serveMetrics(sys *csqp.System, addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "metrics: serving at http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "metrics: serving at http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 	go func() {
-		if err := http.Serve(ln, sys.MetricsHandler()); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 		}
 	}()

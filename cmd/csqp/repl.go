@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/obs"
@@ -53,7 +54,9 @@ func (r *repl) command(line string) {
   SELECT a, b FROM src WHERE <cond>   run a target query
   \sources                            list registered sources
   \strategy [name]                    show or set the planning strategy
-  \explain <select statement>         show the plan without executing
+  \explain <select statement>         show the plan, costs and fingerprint without executing
+  \explain analyze <select statement> execute and show per-operator rows, timings and estimate errors
+  \recent [n]                         show the flight recorder's last n queries (default all)
   \compare <select statement>         run every strategy and compare
   \trace <select statement>           run the query and print its span tree
   \cache                              show template, plan-cache and source-cache statistics
@@ -79,19 +82,69 @@ func (r *repl) command(line string) {
 		fmt.Fprintln(r.out, "strategy set to", s)
 	case `\explain`:
 		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		analyze := false
+		if len(fields) > 1 {
+			if m := strings.ToLower(fields[1]); m == "analyze" || m == "analyse" {
+				analyze = true
+				rest = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+			}
+		}
 		sel, err := csqp.ParseSelect(rest)
 		if err != nil {
 			fmt.Fprintln(r.out, "error:", err)
 			return
 		}
-		p, metrics, err := r.sys.Explain(r.strategy, sel.Source, sel.Cond.Key(), sel.Attrs...)
-		if err != nil {
+		var e *csqp.Explanation
+		if analyze {
+			e, err = r.sys.ExplainAnalyze(context.Background(), r.strategy, sel.Source, sel.Cond.Key(), sel.Attrs...)
+		} else {
+			e, err = r.sys.ExplainPlan(context.Background(), r.strategy, sel.Source, sel.Cond.Key(), sel.Attrs...)
+		}
+		if e == nil {
 			fmt.Fprintln(r.out, "error:", err)
 			return
 		}
-		fmt.Fprintf(r.out, "planning: %v, %d CTs, %d Check calls\n",
-			metrics.Duration.Round(1000), metrics.CTs, metrics.CheckCalls)
-		fmt.Fprint(r.out, r.sys.AnnotatePlan(p))
+		if err != nil {
+			fmt.Fprintln(r.out, "warning:", err)
+		}
+		fmt.Fprint(r.out, e)
+	case `\recent`:
+		recent := r.sys.Recent()
+		if len(recent) == 0 {
+			fmt.Fprintln(r.out, "no recorded queries yet")
+			return
+		}
+		if len(fields) > 1 {
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintln(r.out, `usage: \recent [n]`)
+				return
+			}
+			if n < len(recent) {
+				recent = recent[:n]
+			}
+		}
+		for _, q := range recent {
+			cond := q.Cond
+			if len(cond) > 40 {
+				cond = cond[:37] + "..."
+			}
+			marks := ""
+			if q.Cached {
+				marks += " cached"
+			}
+			if q.Template {
+				marks += " template"
+			}
+			if q.Partial {
+				marks += " PARTIAL"
+			}
+			if q.Err != "" {
+				marks += " ERR:" + q.Err
+			}
+			fmt.Fprintf(r.out, "  #%-4d %s  %-10s %-40s %5d rows  %-12s fp=%s%s\n",
+				q.Seq, q.Time.Format("15:04:05.000"), q.Source, cond, q.Rows, q.Duration.Round(time.Microsecond), q.Fingerprint, marks)
+		}
 	case `\compare`:
 		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 		sel, err := csqp.ParseSelect(rest)
@@ -174,8 +227,15 @@ func (r *repl) queryCtx(ctx context.Context, stmt string) {
 		res, err = r.sys.QueryCond(ctx, r.strategy, sel.Source, sel.Cond, sel.Attrs)
 	}
 	if err != nil {
-		fmt.Fprintln(r.out, "error:", err)
-		return
+		var pe *csqp.PartialError
+		if res == nil || !errors.As(err, &pe) {
+			fmt.Fprintln(r.out, "error:", err)
+			return
+		}
+		// A degraded Union still carries the surviving partitions' rows;
+		// show them rather than discarding the partial answer.
+		fmt.Fprintf(r.out, "warning: partial answer — dropped sources %v: %v\n",
+			pe.DroppedSources(), err)
 	}
 	res.Answer.Sort()
 	names := res.Answer.Schema().Names()

@@ -78,7 +78,17 @@ type (
 	MetricsRegistry = obs.Registry
 	// StreamingMode selects the execution engine (see Options.Streaming).
 	StreamingMode = mediator.StreamingMode
+	// ExecProfile is the per-operator runtime statistics tree of one
+	// executed query (see Result.Profile and ExplainAnalyze).
+	ExecProfile = plan.ExecProfile
+	// QueryRecord is one entry of the system's flight recorder (see
+	// Recent and Options.RecorderSize).
+	QueryRecord = mediator.QueryRecord
 )
+
+// FormatProfile renders an execution profile as an indented tree, one
+// operator per line with its row counts, timings and estimate ratios.
+func FormatProfile(p *ExecProfile) string { return plan.FormatProfile(p) }
 
 // Streaming-mode values for Options.Streaming.
 const (
@@ -246,8 +256,18 @@ type Options struct {
 	SourceCacheRows int
 	// Logger receives the system's structured event stream: partial-answer
 	// degradations, breaker state transitions, retry decisions, swallowed
-	// errors. Nil keeps events silent (the default).
+	// errors, and slow-query reports. Nil keeps events silent (the
+	// default).
 	Logger *slog.Logger
+	// SlowQueryThreshold is the duration above which an executed query is
+	// reported on the Logger with its plan fingerprint and profile summary
+	// (0 = mediator.DefaultSlowQueryThreshold, 500ms; negative disables).
+	SlowQueryThreshold time.Duration
+	// RecorderSize bounds the flight recorder: the last N executed
+	// queries' records — plan fingerprint, duration, row counts and
+	// execution profile — kept in a ring for Recent (0 =
+	// mediator.DefaultRecorderSize, 64).
+	RecorderSize int
 }
 
 // System is a mediator with its sources, estimator and cost model.
@@ -289,6 +309,8 @@ func NewSystem(opts ...Options) *System {
 		o.SourceCacheTTL = opts[0].SourceCacheTTL
 		o.SourceCacheRows = opts[0].SourceCacheRows
 		o.Logger = opts[0].Logger
+		o.SlowQueryThreshold = opts[0].SlowQueryThreshold
+		o.RecorderSize = opts[0].RecorderSize
 	}
 	rels := make(map[string]*relation.Relation)
 	est := cost.NewRegistry()
@@ -299,6 +321,8 @@ func NewSystem(opts ...Options) *System {
 	med.AllowPartial = o.PartialAnswers
 	med.SetObs(reg)
 	med.SetLogger(o.Logger)
+	med.SlowQueryThreshold = o.SlowQueryThreshold
+	med.SetRecorderSize(o.RecorderSize)
 	return &System{
 		med:      med,
 		rels:     rels,
@@ -437,6 +461,12 @@ type Result struct {
 	EstimatedTransfer float64
 	// Metrics reports planner effort.
 	Metrics *Metrics
+	// Profile is the executed plan's per-operator runtime statistics,
+	// annotated with the cost model's estimates (nil for results that
+	// did not execute).
+	Profile *ExecProfile
+	// Duration is the query's total wall time (planning + execution).
+	Duration time.Duration
 }
 
 // Query plans (with the system's default strategy) and executes the target
@@ -619,5 +649,7 @@ func (s *System) wrapResult(res *mediator.Result) *Result {
 		Cost:              s.med.Model().PlanCost(res.Plan),
 		EstimatedTransfer: transfer,
 		Metrics:           res.Metrics,
+		Profile:           res.Profile,
+		Duration:          res.Duration,
 	}
 }

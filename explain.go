@@ -1,0 +1,174 @@
+package csqp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Explanation is the introspectable form of one query: the chosen plan
+// with the cost model's annotations, where the plan came from (fresh
+// planning, the exact cache, or a bound template), and — after
+// ExplainAnalyze — the executed per-operator profile with actual row
+// counts and wall times against the model's estimates. It marshals to
+// JSON directly; String renders the human form `cmd/csqp -explain`
+// prints.
+type Explanation struct {
+	// Strategy, Source, Cond and Attrs restate the target query.
+	Strategy string   `json:"strategy"`
+	Source   string   `json:"source"`
+	Cond     string   `json:"cond"`
+	Attrs    []string `json:"attrs,omitempty"`
+	// Fingerprint is the query's shape identity — the same value the
+	// flight recorder and the slow-query log report, and the key the
+	// template tier caches plans under.
+	Fingerprint string `json:"fingerprint"`
+	// Plan is the fixed plan the mediator chose.
+	Plan Plan `json:"-"`
+	// PlanText is the plan tree annotated with per-node costs and
+	// cardinality estimates.
+	PlanText string `json:"plan"`
+	// Cost is the plan's total model cost; EstimatedTransfer the
+	// estimated tuples its source queries extract.
+	Cost              float64 `json:"cost"`
+	EstimatedTransfer float64 `json:"estimated_transfer"`
+	// Cached/Template/Coalesced report plan provenance: served from the
+	// exact cache, bound from a parameterized template, or waited on
+	// another caller's in-flight planning.
+	Cached    bool `json:"cached,omitempty"`
+	Template  bool `json:"template,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// PlanningTime is the planner's wall time (zero on cache hits).
+	PlanningTime time.Duration `json:"planning_ns"`
+
+	// Analyzed marks an EXPLAIN ANALYZE: the plan was executed and the
+	// fields below are populated.
+	Analyzed bool `json:"analyzed,omitempty"`
+	// Rows is the executed answer's cardinality.
+	Rows int `json:"rows,omitempty"`
+	// Duration covers planning plus execution.
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Partial marks a degraded Union answer (see Options.PartialAnswers).
+	Partial bool `json:"partial,omitempty"`
+	// Profile is the executed per-operator statistics tree, annotated
+	// with the cost model's estimates.
+	Profile *ExecProfile `json:"profile,omitempty"`
+}
+
+// String renders the explanation as text: a header, the annotated plan
+// and — when analyzed — the executed profile tree.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	mode := "EXPLAIN"
+	if e.Analyzed {
+		mode = "EXPLAIN ANALYZE"
+	}
+	fmt.Fprintf(&sb, "%s %s over %s (%s)\n", mode, e.Cond, e.Source, e.Strategy)
+	fmt.Fprintf(&sb, "fingerprint: %s", e.Fingerprint)
+	switch {
+	case e.Cached && e.Template:
+		sb.WriteString("  [template hit]")
+	case e.Cached:
+		sb.WriteString("  [plan cache hit]")
+	case e.Template:
+		sb.WriteString("  [template planned]")
+	}
+	if e.Coalesced {
+		sb.WriteString("  [coalesced]")
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "cost: %.2f  est transfer: %.1f tuples  planning: %s\n",
+		e.Cost, e.EstimatedTransfer, e.PlanningTime)
+	sb.WriteString(e.PlanText)
+	if e.Analyzed {
+		fmt.Fprintf(&sb, "executed: %d rows in %s", e.Rows, e.Duration)
+		if e.Partial {
+			sb.WriteString("  (PARTIAL: some union branches were dropped)")
+		}
+		sb.WriteByte('\n')
+		sb.WriteString(FormatProfile(e.Profile))
+	}
+	return sb.String()
+}
+
+// ExplainPlan plans the query without executing it and reports the
+// chosen plan, its costs and its provenance. Equivalent to SQL EXPLAIN.
+func (s *System) ExplainPlan(ctx context.Context, strategy Strategy, src, cond string, attrs ...string) (*Explanation, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := strategy.planner()
+	if err != nil {
+		return nil, err
+	}
+	p, met, err := s.med.Plan(ctx, pl, src, c, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return s.explanation(strategy, src, c, attrs, p, met), nil
+}
+
+// ExplainAnalyze plans AND executes the query, reporting the chosen plan
+// alongside the executed per-operator profile: actual row counts, chunk
+// counts, buffered-row peaks, wall times and source round trips, each
+// against the cost model's estimate. Equivalent to SQL EXPLAIN ANALYZE.
+// With Options.PartialAnswers set, a degraded answer still explains
+// (Partial is set) and the degradation error is returned alongside it.
+func (s *System) ExplainAnalyze(ctx context.Context, strategy Strategy, src, cond string, attrs ...string) (*Explanation, error) {
+	c, err := condition.Parse(cond)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := strategy.planner()
+	if err != nil {
+		return nil, err
+	}
+	res, aerr := s.med.Answer(ctx, pl, src, c, attrs)
+	if res == nil {
+		return nil, aerr
+	}
+	e := s.explanation(strategy, src, c, attrs, res.Plan, res.Metrics)
+	e.Analyzed = true
+	e.Duration = res.Duration
+	e.Profile = res.Profile
+	if res.Relation != nil {
+		e.Rows = res.Relation.Len()
+		e.Partial = aerr != nil
+	}
+	return e, aerr
+}
+
+// explanation assembles the static portion shared by both EXPLAIN forms.
+func (s *System) explanation(strategy Strategy, src string, c Condition, attrs []string, p Plan, met *Metrics) *Explanation {
+	e := &Explanation{
+		Strategy:    strategy.String(),
+		Source:      src,
+		Cond:        c.Key(),
+		Attrs:       attrs,
+		Fingerprint: s.med.Fingerprint(strategy.String(), src, c, attrs),
+		Plan:        p,
+		PlanText:    cost.Explain(p, s.med.Model()),
+		Cost:        s.med.Model().PlanCost(p),
+	}
+	for _, q := range plan.SourceQueries(p) {
+		e.EstimatedTransfer += s.est.ResultSize(q.Source, q.Cond)
+	}
+	if met != nil {
+		e.Cached, e.Template, e.Coalesced = met.Cached, met.Template, met.Coalesced
+		e.PlanningTime = met.Duration
+	}
+	return e
+}
+
+// Recent returns the flight recorder's buffered query records, newest
+// first: the last Options.RecorderSize executed queries with their
+// fingerprints, durations, dispositions and execution profiles. The
+// recorder is always on and bounded, so this answers "what just
+// happened?" without having asked for tracing up front.
+func (s *System) Recent() []QueryRecord { return s.med.Recent() }

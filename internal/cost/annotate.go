@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/plan"
+)
+
+// This file closes the estimate→actual loop for EXPLAIN ANALYZE: after a
+// profiled execution, AnnotateProfile walks the plan and the ExecProfile
+// tree in lockstep, stamping each profile node with the cost model's
+// cardinality estimate, its model cost, and the actual-vs-estimate row
+// ratio that the feedback-driven cost work (ROADMAP item 3) will consume.
+
+// EstimateRows predicts the node's output cardinality under the model.
+// Select/Project pass their input's estimate through (the paper's model
+// only sizes source queries, so this is a deliberate upper bound), Union
+// sums, Intersect takes the smallest input, and Choice estimates its
+// minimum-cost resolution — the alternative the executors run.
+func (m Model) EstimateRows(p plan.Plan) float64 {
+	switch t := p.(type) {
+	case *plan.SourceQuery:
+		return m.Est.ResultSize(t.Source, t.Cond)
+	case *plan.Select:
+		return m.EstimateRows(t.Input)
+	case *plan.Project:
+		return m.EstimateRows(t.Input)
+	case *plan.Union:
+		sum := 0.0
+		for _, k := range t.Inputs {
+			sum += m.EstimateRows(k)
+		}
+		return sum
+	case *plan.Intersect:
+		min := math.Inf(1)
+		for _, k := range t.Inputs {
+			if e := m.EstimateRows(k); e < min {
+				min = e
+			}
+		}
+		if math.IsInf(min, 1) {
+			return 0
+		}
+		return min
+	case *plan.Choice:
+		if alt, err := m.Resolve(t); err == nil {
+			return m.EstimateRows(alt)
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AnnotateProfile stamps the profile tree with estimates from the plan
+// it executed. Choice nodes are resolved to their minimum-cost
+// alternative — the same resolution the mediator wires into both
+// executors — so the walk stays aligned with what actually ran; if a
+// profile node's recorded operator disagrees with the plan node anyway
+// (a foreign resolver picked differently), annotation stops descending
+// that subtree rather than mislabeling it. ActualVsEst is only set for
+// a positive estimate, keeping the ratio finite for JSON rendering.
+func (m Model) AnnotateProfile(p plan.Plan, prof *plan.ExecProfile) {
+	if p == nil || prof == nil {
+		return
+	}
+	if c, ok := p.(*plan.Choice); ok {
+		alt, err := m.Resolve(c)
+		if err != nil {
+			return
+		}
+		m.AnnotateProfile(alt, prof)
+		return
+	}
+	if prof.Op != "" && prof.Op != opName(p) {
+		return
+	}
+	est := m.EstimateRows(p)
+	if !math.IsInf(est, 0) && !math.IsNaN(est) {
+		prof.EstRows = est
+		if est > 0 {
+			prof.ActualVsEst = float64(prof.RowsOut) / est
+		}
+	}
+	if c := m.PlanCost(p); !math.IsInf(c, 0) && !math.IsNaN(c) {
+		prof.EstCost = c
+	}
+	switch t := p.(type) {
+	case *plan.Select:
+		if len(prof.Children) == 1 {
+			m.AnnotateProfile(t.Input, prof.Children[0])
+		}
+	case *plan.Project:
+		if len(prof.Children) == 1 {
+			m.AnnotateProfile(t.Input, prof.Children[0])
+		}
+	case *plan.Union:
+		m.annotateInputs(t.Inputs, prof)
+	case *plan.Intersect:
+		m.annotateInputs(t.Inputs, prof)
+	}
+}
+
+func (m Model) annotateInputs(inputs []plan.Plan, prof *plan.ExecProfile) {
+	if len(inputs) != len(prof.Children) {
+		return
+	}
+	for i, k := range inputs {
+		m.AnnotateProfile(k, prof.Children[i])
+	}
+}
+
+// opName maps a plan node to the operator name the executors claim in
+// OpStats; the two must stay in sync for annotation to land.
+func opName(p plan.Plan) string {
+	switch p.(type) {
+	case *plan.SourceQuery:
+		return "SourceQuery"
+	case *plan.Select:
+		return "Select"
+	case *plan.Project:
+		return "Project"
+	case *plan.Union:
+		return "Union"
+	case *plan.Intersect:
+		return "Intersect"
+	default:
+		return ""
+	}
+}

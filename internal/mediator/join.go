@@ -3,8 +3,10 @@ package mediator
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/relation"
@@ -55,6 +57,10 @@ type JoinResult struct {
 	LeftPlan, RightPlan plan.Plan
 	// Probes is the number of right-side source queries issued.
 	Probes int
+	// Profile is the join's per-operator execution profile: a HashJoin
+	// root whose children are the left and right side subtrees (nil for
+	// struct-literal mediators).
+	Profile *plan.ExecProfile
 }
 
 // AnswerJoin plans and executes the join. Both sides' conditions may be
@@ -65,6 +71,17 @@ type JoinResult struct {
 func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinSpec) (*JoinResult, error) {
 	if spec.MaxBindings <= 0 {
 		spec.MaxBindings = 64
+	}
+	start := time.Now()
+	// Join profile shape: HashJoin root, left subtree child 0, right
+	// subtree child 1 (the right child stays empty for the degenerate
+	// no-bindings case, which issues no right-side work).
+	var prof, lprof, rprof *plan.OpStats
+	if m.rec != nil {
+		prof = plan.NewProfile()
+		prof.SetOp("HashJoin", spec.LeftAttr+"="+spec.RightAttr)
+		lprof = prof.Child()
+		rprof = prof.Child()
 	}
 	leftReg, ok := m.sources[spec.Left]
 	if !ok {
@@ -87,7 +104,7 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
-	left, err := plan.ExecuteParallel(ctx, leftPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
+	left, err := plan.ExecuteParallel(ctx, leftPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice, Profile: lprof})
 	if err != nil {
 		return nil, fmt.Errorf("mediator: join left side: %w", err)
 	}
@@ -106,7 +123,11 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		if err != nil {
 			return nil, err
 		}
-		return &JoinResult{Relation: empty, Strategy: "semijoin", LeftPlan: leftRes.Plan}, nil
+		prof.AddIn(left.Len())
+		prof.AddWall(time.Since(start))
+		res := &JoinResult{Relation: empty, Strategy: "semijoin", LeftPlan: leftRes.Plan, Profile: prof.Snapshot()}
+		m.recordJoin(ctx, spec, res, time.Since(start), nil)
+		return res, nil
 	}
 
 	// Candidate 1: semijoin pushdown.
@@ -147,18 +168,18 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		// semijoin planning), so right tuples only probe — the right
 		// answer is never held as a relation or hash table.
 		stats := &plan.StreamStats{}
-		rightIt, serr := plan.NewStream(rightPlan, m, plan.StreamOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice, Stats: stats})
+		rightIt, serr := plan.NewStream(rightPlan, m, plan.StreamOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice, Stats: stats, Profile: rprof})
 		if serr != nil {
 			return nil, fmt.Errorf("mediator: join right side: %w", serr)
 		}
-		joined, err = symmetricHashJoin(ctx, plan.NewRelationIterator(left, 0), rightIt, spec, stats)
+		joined, err = symmetricHashJoin(ctx, plan.NewRelationIterator(left, 0), rightIt, spec, stats, prof)
 		m.metrics.rowsStreamed.Add(stats.RowsStreamed())
 		m.metrics.peakRows.Set(float64(stats.PeakRows()))
 		if err != nil {
 			return nil, fmt.Errorf("mediator: join right side: %w", err)
 		}
 	} else {
-		right, rerr := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice})
+		right, rerr := plan.ExecuteParallel(ctx, rightPlan, m, plan.ExecOptions{Workers: m.Workers, ChoiceResolver: m.resolveChoice, Profile: rprof})
 		if rerr != nil {
 			return nil, fmt.Errorf("mediator: join right side: %w", rerr)
 		}
@@ -166,14 +187,47 @@ func (m *Mediator) AnswerJoin(ctx context.Context, p planner.Planner, spec JoinS
 		if err != nil {
 			return nil, err
 		}
+		prof.AddIn(left.Len() + right.Len())
+		prof.AddOut(joined.Len())
+		if joined.Len() > 0 {
+			prof.AddChunk()
+		}
+		prof.AddBuffered(left.Len() + right.Len())
+		prof.AddWall(time.Since(start))
 	}
-	return &JoinResult{
+	res := &JoinResult{
 		Relation:  joined,
 		Strategy:  strategy,
 		LeftPlan:  leftRes.Plan,
 		RightPlan: rightPlan,
 		Probes:    len(plan.SourceQueries(rightPlan)),
-	}, nil
+		Profile:   prof.Snapshot(),
+	}
+	m.recordJoin(ctx, spec, res, time.Since(start), nil)
+	return res, nil
+}
+
+// recordJoin admits a completed join into the flight recorder.
+func (m *Mediator) recordJoin(ctx context.Context, spec JoinSpec, res *JoinResult, dur time.Duration, err error) {
+	if m.rec == nil {
+		return
+	}
+	rec := QueryRecord{
+		Strategy: "join/" + res.Strategy,
+		Source:   spec.Left + "⋈" + spec.Right,
+		Cond:     spec.LeftAttr + "=" + spec.RightAttr,
+		Attrs:    spec.Attrs,
+		Duration: dur,
+		Profile:  res.Profile,
+		TraceID:  obs.TracerFrom(ctx).ID(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if res.Relation != nil {
+		rec.Rows = res.Relation.Len()
+	}
+	m.record(rec)
 }
 
 // semijoinCond builds RightCond ∧ (RightAttr = v1 ∨ ... ∨ RightAttr = vn).

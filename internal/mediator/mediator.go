@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/condition"
 	"repro/internal/cost"
@@ -63,6 +64,13 @@ type Mediator struct {
 	// Streaming selects the execution engine: the streaming iterator
 	// engine (default) or the materialized executor. See StreamingMode.
 	Streaming StreamingMode
+	// SlowQueryThreshold triggers the flight recorder's slow-query log
+	// event (0 = DefaultSlowQueryThreshold, negative = disabled).
+	SlowQueryThreshold time.Duration
+
+	// rec is the always-on flight recorder; nil only for mediators built
+	// as struct literals (tests), which simply don't record.
+	rec *flightRecorder
 }
 
 // StreamingMode selects how the mediator executes fixed plans.
@@ -99,6 +107,7 @@ type mediatorMetrics struct {
 	checkMisses    *obs.Counter
 	plans          *obs.Counter
 	planSeconds    *obs.Histogram
+	querySeconds   *obs.Histogram
 	partialAnswers *obs.Counter
 	rowsStreamed   *obs.Counter
 	peakRows       *obs.Gauge
@@ -106,7 +115,12 @@ type mediatorMetrics struct {
 
 // New builds a mediator with the given cost model.
 func New(model cost.Model) *Mediator {
-	return &Mediator{sources: make(map[string]*registered), model: model, log: obs.NopLogger()}
+	return &Mediator{
+		sources: make(map[string]*registered),
+		model:   model,
+		log:     obs.NopLogger(),
+		rec:     newFlightRecorder(0),
+	}
 }
 
 // SetObs points the mediator's telemetry at reg: plan-cache activity,
@@ -120,6 +134,7 @@ func (m *Mediator) SetObs(reg *obs.Registry) {
 		checkMisses:    reg.Counter("csqp_check_memo_misses_total"),
 		plans:          reg.Counter("csqp_plans_total"),
 		planSeconds:    reg.Histogram("csqp_planning_seconds", nil),
+		querySeconds:   reg.Histogram("csqp_query_duration_seconds", nil),
 		partialAnswers: reg.Counter("csqp_partial_answers_total"),
 		rowsStreamed:   reg.Counter("csqp_exec_rows_streamed"),
 		peakRows:       reg.Gauge("csqp_exec_peak_rows"),
@@ -294,18 +309,37 @@ func (m *Mediator) planOnce(ctx context.Context, p planner.Planner, source strin
 // together with the *plan.PartialError (use errors.As to detect it); all
 // other errors come with a nil Result.
 func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string, cond condition.Node, attrs []string) (*Result, error) {
+	start := time.Now()
+	rec := QueryRecord{Strategy: p.Name(), Source: source, Cond: cond.Key(), Attrs: attrs, TraceID: obs.TracerFrom(ctx).ID()}
+	if m.rec != nil {
+		rec.Fingerprint = fingerprint(p.Name(), source, cond, attrs)
+	}
 	ctx, sp := obs.Start(ctx, "mediator.answer")
 	fixed, metrics, err := m.Plan(ctx, p, source, cond, attrs)
 	if err != nil {
 		sp.EndErr(err)
+		rec.Duration, rec.Err = time.Since(start), err.Error()
+		m.record(rec)
 		return nil, err
 	}
-	rel, err := m.execute(ctx, fixed)
+	if metrics != nil {
+		rec.Cached, rec.Template = metrics.Cached, metrics.Template
+	}
+	rel, prof, err := m.execute(ctx, fixed)
 	sp.EndErr(err)
+	rec.Duration, rec.Profile = time.Since(start), prof
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if rel != nil {
+		rec.Rows = rel.Len()
+		rec.Partial = err != nil
+	}
+	m.record(rec)
 	if err != nil && rel == nil {
 		return nil, err
 	}
-	return &Result{Plan: fixed, Metrics: metrics, Relation: rel}, err
+	return &Result{Plan: fixed, Metrics: metrics, Relation: rel, Profile: prof, Duration: rec.Duration}, err
 }
 
 // execute runs a fixed plan under the mediator's execution settings —
@@ -313,9 +347,16 @@ func (m *Mediator) Answer(ctx context.Context, p planner.Planner, source string,
 // when streaming is off (see StreamingMode; both engines share the same
 // answer and partial-error contract). For a partial answer it returns
 // both a relation and the *plan.PartialError, records the degradation in
-// the registry and emits a structured event.
-func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, error) {
+// the registry and emits a structured event. Every execution is profiled
+// into the returned ExecProfile (annotated with the cost model's
+// estimates) when the mediator has a flight recorder; the overhead is
+// gated at ≤5% by benchgate, which is what buys always-on introspection.
+func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Relation, *plan.ExecProfile, error) {
 	ctx, sp := obs.Start(ctx, "plan.execute")
+	var prof *plan.OpStats
+	if m.rec != nil {
+		prof = plan.NewProfile()
+	}
 	var rel *relation.Relation
 	var err error
 	if m.streamingEnabled() {
@@ -325,6 +366,7 @@ func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Rela
 			AllowPartial:   m.AllowPartial,
 			ChoiceResolver: m.resolveChoice,
 			Stats:          stats,
+			Profile:        prof,
 		})
 		m.metrics.rowsStreamed.Add(stats.RowsStreamed())
 		m.metrics.peakRows.Set(float64(stats.PeakRows()))
@@ -334,8 +376,15 @@ func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Rela
 			sp.SetInt("peak_rows", stats.PeakRows())
 		}
 	} else {
-		rel, err = plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{Workers: m.Workers, AllowPartial: m.AllowPartial, ChoiceResolver: m.resolveChoice})
+		rel, err = plan.ExecuteParallel(ctx, fixed, m, plan.ExecOptions{
+			Workers:        m.Workers,
+			AllowPartial:   m.AllowPartial,
+			ChoiceResolver: m.resolveChoice,
+			Profile:        prof,
+		})
 	}
+	ep := prof.Snapshot()
+	m.model.AnnotateProfile(fixed, ep)
 	sp.EndErr(err)
 	if err != nil {
 		var pe *plan.PartialError
@@ -349,11 +398,11 @@ func (m *Mediator) execute(ctx context.Context, fixed plan.Plan) (*relation.Rela
 			if sp != nil {
 				sp.SetAttr("partial", "true")
 			}
-			return rel, err
+			return rel, ep, err
 		}
-		return nil, err
+		return nil, ep, err
 	}
-	return rel, nil
+	return rel, ep, nil
 }
 
 // resolveChoice is the plan.ChoiceResolver the mediator installs for
@@ -372,6 +421,11 @@ type Result struct {
 	Metrics *planner.Metrics
 	// Relation is the answer.
 	Relation *relation.Relation
+	// Profile is the per-operator execution profile, annotated with the
+	// cost model's estimates (nil for struct-literal mediators).
+	Profile *plan.ExecProfile
+	// Duration covers planning plus execution.
+	Duration time.Duration
 }
 
 // Lookup implements plan.Sources for execution.

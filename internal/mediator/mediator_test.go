@@ -264,7 +264,7 @@ func TestExecuteResolvesChoiceByCost(t *testing.T) {
 		), []string{"model"})
 	choice := &plan.Choice{Alternatives: []plan.Plan{alt("Toyota"), cheap}}
 
-	rel, err := med.execute(context.Background(), choice)
+	rel, _, err := med.execute(context.Background(), choice)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,8 +3,11 @@ package mediator
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/condition"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 )
@@ -52,11 +55,24 @@ func (m *Mediator) AnswerUnion(ctx context.Context, p planner.Planner, sources [
 	} else {
 		combined = &plan.Union{Inputs: plans}
 	}
-	rel, err := m.execute(ctx, combined)
+	start := time.Now()
+	rel, prof, err := m.execute(ctx, combined)
+	dur := metrics.Duration + time.Since(start)
+	rec := QueryRecord{Strategy: p.Name(), Source: strings.Join(sources, "+"), Cond: cond.Key(), Attrs: attrs, Duration: dur, Profile: prof, TraceID: obs.TracerFrom(ctx).ID()}
+	if m.rec != nil {
+		rec.Fingerprint = fingerprint(p.Name(), rec.Source, cond, attrs)
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if rel != nil {
+		rec.Rows, rec.Partial = rel.Len(), err != nil
+	}
+	m.record(rec)
 	if err != nil && rel == nil {
 		return nil, err
 	}
-	return &Result{Plan: combined, Metrics: &metrics, Relation: rel}, err
+	return &Result{Plan: combined, Metrics: &metrics, Relation: rel, Profile: prof, Duration: dur}, err
 }
 
 // AnswerCheapest answers the target query from whichever of the named
@@ -84,9 +100,22 @@ func (m *Mediator) AnswerCheapest(ctx context.Context, p planner.Planner, source
 	if bestPlan == nil {
 		return nil, "", fmt.Errorf("mediator: no replica can answer: %w", planner.ErrInfeasible)
 	}
-	rel, err := m.execute(ctx, bestPlan)
+	start := time.Now()
+	rel, prof, err := m.execute(ctx, bestPlan)
+	dur := time.Since(start)
+	rec := QueryRecord{Strategy: p.Name(), Source: bestSource, Cond: cond.Key(), Attrs: attrs, Duration: dur, Profile: prof, TraceID: obs.TracerFrom(ctx).ID()}
+	if m.rec != nil {
+		rec.Fingerprint = fingerprint(p.Name(), bestSource, cond, attrs)
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if rel != nil {
+		rec.Rows, rec.Partial = rel.Len(), err != nil
+	}
+	m.record(rec)
 	if err != nil && rel == nil {
 		return nil, "", err
 	}
-	return &Result{Plan: bestPlan, Metrics: bestMetrics, Relation: rel}, bestSource, err
+	return &Result{Plan: bestPlan, Metrics: bestMetrics, Relation: rel, Profile: prof, Duration: dur}, bestSource, err
 }

@@ -1,0 +1,180 @@
+package mediator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+)
+
+// The flight recorder keeps the last N query profiles in a fixed ring so
+// "what just happened?" is answerable after the fact — from the REPL
+// (\recent), the facade (System.Recent) or a debugger — without having
+// asked for tracing up front. It is always on: the ring is bounded, the
+// record is built from data the profiled execution already collected,
+// and queries slower than the threshold additionally emit a structured
+// slow-query event carrying the plan fingerprint and trace id.
+
+// DefaultRecorderSize bounds the flight-recorder ring when
+// Mediator.SetRecorderSize was never called.
+const DefaultRecorderSize = 64
+
+// DefaultSlowQueryThreshold triggers the slow-query log when
+// Mediator.SlowQueryThreshold is zero. Negative disables the log.
+const DefaultSlowQueryThreshold = 500 * time.Millisecond
+
+// QueryRecord is one completed query as the flight recorder saw it.
+type QueryRecord struct {
+	// Seq numbers records in admission order (process-wide per mediator).
+	Seq int64 `json:"seq"`
+	// Time is when the query finished.
+	Time time.Time `json:"time"`
+	// Strategy, Source, Cond and Attrs restate the target query.
+	Strategy string   `json:"strategy"`
+	Source   string   `json:"source"`
+	Cond     string   `json:"cond"`
+	Attrs    []string `json:"attrs,omitempty"`
+	// Fingerprint identifies the query's *shape*: an FNV-64a hash of
+	// (strategy, source, parameterized skeleton key, attrs) — the same
+	// skeleton key the template tier caches plans under, so every
+	// constant-binding of one prepared shape shares a fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Duration covers planning plus execution.
+	Duration time.Duration `json:"duration_ns"`
+	// Rows is the answer cardinality (surviving rows for a partial).
+	Rows int `json:"rows"`
+	// Partial, Cached and Template record the query's disposition.
+	Partial  bool `json:"partial,omitempty"`
+	Cached   bool `json:"cached,omitempty"`
+	Template bool `json:"template,omitempty"`
+	// Err is the terminal error, "" on success (partial answers record
+	// the degradation error here too).
+	Err string `json:"err,omitempty"`
+	// TraceID links to the obs span tree that observed this query (0 when
+	// the query ran untraced).
+	TraceID int64 `json:"trace_id,omitempty"`
+	// Profile is the per-operator execution profile (nil when execution
+	// never started, e.g. planning failed).
+	Profile *plan.ExecProfile `json:"profile,omitempty"`
+}
+
+// flightRecorder is a fixed-size ring of QueryRecords.
+type flightRecorder struct {
+	mu   sync.Mutex
+	ring []QueryRecord
+	next int
+	seq  int64
+}
+
+func newFlightRecorder(size int) *flightRecorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &flightRecorder{ring: make([]QueryRecord, 0, size)}
+}
+
+// add admits a record, assigning its sequence number, and reports it.
+func (r *flightRecorder) add(rec QueryRecord) QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	rec.Seq = r.seq
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+	} else {
+		r.ring[r.next] = rec
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	return rec
+}
+
+// recent returns the buffered records, newest first.
+func (r *flightRecorder) recent() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryRecord, 0, len(r.ring))
+	// The ring is ordered oldest→newest starting at next (once full).
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		out = append(out, r.ring[(r.next+i)%len(r.ring)])
+	}
+	return out
+}
+
+// fingerprint hashes the query's shape identity. Built on the template
+// tier's skeleton key so EXPLAIN output, slow-query log lines and
+// template-cache entries all speak about the same shape.
+func fingerprint(strategy, source string, cond condition.Node, attrs []string) string {
+	pz := condition.Parameterize(cond)
+	h := fnv.New64a()
+	h.Write([]byte(buildKey(strategy, source, pz.Skeleton.Key(), attrs)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint returns the shape fingerprint the flight recorder and
+// slow-query log use for the target query SP(cond, attrs, source) under
+// the named strategy, so EXPLAIN output can be matched against recorded
+// and logged queries.
+func (m *Mediator) Fingerprint(strategy, source string, cond condition.Node, attrs []string) string {
+	return fingerprint(strategy, source, cond, attrs)
+}
+
+// SetRecorderSize resizes the flight-recorder ring (discarding buffered
+// records); n <= 0 restores DefaultRecorderSize. Call before serving.
+func (m *Mediator) SetRecorderSize(n int) { m.rec = newFlightRecorder(n) }
+
+// Recent returns the flight recorder's buffered query records, newest
+// first. Mediators constructed as struct literals (no recorder) return
+// nil.
+func (m *Mediator) Recent() []QueryRecord {
+	if m.rec == nil {
+		return nil
+	}
+	return m.rec.recent()
+}
+
+// slowThreshold resolves the effective slow-query threshold.
+func (m *Mediator) slowThreshold() time.Duration {
+	if m.SlowQueryThreshold != 0 {
+		return m.SlowQueryThreshold
+	}
+	return DefaultSlowQueryThreshold
+}
+
+// record admits one completed query into the flight recorder, feeds the
+// duration histograms and emits the slow-query event when warranted.
+// No-op for struct-literal mediators without a recorder.
+func (m *Mediator) record(rec QueryRecord) {
+	if m.rec == nil {
+		return
+	}
+	rec.Time = time.Now()
+	rec = m.rec.add(rec)
+	m.metrics.querySeconds.Observe(rec.Duration.Seconds())
+	if rec.Profile != nil && m.obsReg != nil {
+		rec.Profile.Walk(func(p *plan.ExecProfile) {
+			if p.Op == "" {
+				return
+			}
+			m.obsReg.Histogram("csqp_exec_operator_seconds", nil, "op", p.Op).Observe(p.Wall().Seconds())
+			m.obsReg.Counter("csqp_exec_operator_rows_total", "op", p.Op).Add(p.RowsOut)
+		})
+	}
+	if thr := m.slowThreshold(); thr > 0 && rec.Duration >= thr {
+		m.logger().Warn("slow query",
+			"fingerprint", rec.Fingerprint,
+			"strategy", rec.Strategy,
+			"source", rec.Source,
+			"cond", rec.Cond,
+			"duration", rec.Duration,
+			"rows", rec.Rows,
+			"partial", rec.Partial,
+			"cached", rec.Cached,
+			"template", rec.Template,
+			"trace_id", rec.TraceID,
+			"round_trips", rec.Profile.TotalRoundTrips(),
+		)
+	}
+}

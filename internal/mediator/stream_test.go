@@ -63,6 +63,10 @@ func TestStreamingJoinMatchesMaterialized(t *testing.T) {
 // Joins fail closed: the rows that made it through must be discarded, and
 // no *plan.PartialError may surface.
 func TestStreamingJoinRightMidStreamFaultFailsClosed(t *testing.T) {
+	// The assertion is about the streaming join specifically; pin the
+	// engine so the CSQP_STREAMING=0 matrix leg can't flip it over to the
+	// materialized path (the env var overrides even StreamingOn).
+	t.Setenv("CSQP_STREAMING", "1")
 	med, _, _ := joinFixtureWrapped(t, func(name string, q plan.Querier) plan.Querier {
 		if name == "cars" {
 			return source.NewFlaky(q).FailAfterRows(1)
@@ -117,6 +121,9 @@ func TestStreamingModeEnvOverride(t *testing.T) {
 // counters: a streamed query must bump csqp_exec_rows_streamed and leave
 // a peak-rows gauge behind.
 func TestStreamingMetricsRecorded(t *testing.T) {
+	// Streaming counters only move on the streaming engine; pin it so the
+	// CSQP_STREAMING=0 matrix leg doesn't force the materialized path.
+	t.Setenv("CSQP_STREAMING", "1")
 	med, _, _ := joinFixture(t)
 	med.Streaming = StreamingOn
 	reg := obs.NewRegistry()

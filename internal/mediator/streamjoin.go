@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/condition"
 	"repro/internal/plan"
@@ -34,8 +35,12 @@ import (
 // leftAttr = rightAttr with hashJoin's output schema (left columns, then
 // right columns not already named), deduplicated. Both iterators are
 // closed. stats, when non-nil, receives buffered-row accounting for the
-// hash tables.
-func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec JoinSpec, stats *plan.StreamStats) (*relation.Relation, error) {
+// hash tables; prof, when non-nil, receives the join operator's
+// per-operator counters (both are nil-safe).
+func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec JoinSpec, stats *plan.StreamStats, prof *plan.OpStats) (*relation.Relation, error) {
+	prof.SetOp("HashJoin", spec.LeftAttr+"="+spec.RightAttr)
+	start := time.Now()
+	defer func() { prof.AddWall(time.Since(start)) }()
 	defer left.Close()
 	defer right.Close()
 
@@ -50,6 +55,7 @@ func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec Join
 	r := &side{it: right, attr: spec.RightAttr, table: make(map[string][]relation.Tuple)}
 	defer func() {
 		stats.Buffered(-(l.rows + r.rows))
+		prof.AddBuffered(-(l.rows + r.rows))
 	}()
 
 	var out *relation.Relation
@@ -80,6 +86,7 @@ func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec Join
 	// meet future partners, so they skip insertion — the memory win.
 	step := func(s, other *side, emitLR bool) error {
 		chunk, err := s.it.Next(ctx)
+		prof.AddIn(len(chunk))
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				s.done = true
@@ -97,6 +104,7 @@ func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec Join
 				s.table[k] = append(s.table[k], t)
 				s.rows++
 				stats.Buffered(1)
+				prof.AddBuffered(1)
 			}
 			for _, o := range other.table[k] {
 				var eerr error
@@ -142,10 +150,21 @@ func symmetricHashJoin(ctx context.Context, left, right plan.Iterator, spec Join
 		}
 		out = relation.New(schema)
 	}
+	var res *relation.Relation
 	if len(spec.Attrs) == 0 {
-		return out.Distinct(), nil
+		res = out.Distinct()
+	} else {
+		var err error
+		res, err = out.Project(spec.Attrs)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return out.Project(spec.Attrs)
+	prof.AddOut(res.Len())
+	if res.Len() > 0 {
+		prof.AddChunk()
+	}
+	return res, nil
 }
 
 // joinSchema builds the join output schema: left columns, then right

@@ -83,10 +83,18 @@ func (g *Gauge) Value() float64 {
 }
 
 // DefaultLatencyBuckets are the fixed histogram bounds used for query
-// latencies, in seconds: 100µs up to 10s.
+// latencies, in seconds: a 1-2.5-5 log scale from 1µs to 10s. The range
+// starts at microseconds because the fast path really is that fast — a
+// template hit plans in ~12µs while a cold plan takes ~6ms, and a linear
+// scale starting at 100µs collapsed them into one bucket.
 var DefaultLatencyBuckets = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	0.000001, 0.0000025, 0.000005,
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
 }
 
 // Histogram is a fixed-bucket distribution. Observations are counted into

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +22,7 @@ const DefaultSpanLimit = 4096
 // are safe for concurrent use — parallel plan branches record spans from
 // their own goroutines.
 type Tracer struct {
+	id      int64
 	mu      sync.Mutex
 	spans   []*Span
 	limit   int
@@ -28,13 +30,25 @@ type Tracer struct {
 	dropped int
 }
 
+// traceSeq hands each Tracer a process-unique trace id, so log events
+// (e.g. the slow-query flight recorder) can point back at a span tree.
+var traceSeq atomic.Int64
+
 // NewTracer returns a tracer buffering at most limit spans
 // (DefaultSpanLimit when limit <= 0).
 func NewTracer(limit int) *Tracer {
 	if limit <= 0 {
 		limit = DefaultSpanLimit
 	}
-	return &Tracer{limit: limit}
+	return &Tracer{id: traceSeq.Add(1), limit: limit}
+}
+
+// ID returns the tracer's process-unique trace id (0 for a nil tracer).
+func (t *Tracer) ID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
 }
 
 // Span is one timed region of a traced operation. The zero of *Span is

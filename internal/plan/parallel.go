@@ -6,9 +6,18 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 )
+
+// profAt indexes a (possibly absent) slice of branch profile slots.
+func profAt(profs []*OpStats, i int) *OpStats {
+	if profs == nil {
+		return nil
+	}
+	return profs[i]
+}
 
 // ExecOptions configure ExecuteParallel.
 type ExecOptions struct {
@@ -26,6 +35,10 @@ type ExecOptions struct {
 	// plan. The mediator wires its cost model's minimum-cost resolution
 	// here; nil falls back to the first alternative (see ResolveChoice).
 	ChoiceResolver ChoiceResolver
+	// Profile, when non-nil, is the root of a per-operator ExecProfile
+	// collector tree (see NewProfile); Snapshot it after execution. Nil
+	// adds zero allocations.
+	Profile *OpStats
 }
 
 // ExecuteParallel runs the plan like Execute, but evaluates the branches
@@ -44,7 +57,7 @@ type ExecOptions struct {
 // The first failing branch of a fail-closed n-ary node cancels its
 // sibling branches' contexts.
 func ExecuteParallel(ctx context.Context, p Plan, srcs Sources, opts ExecOptions) (*relation.Relation, error) {
-	if opts.Workers <= 1 && !opts.AllowPartial && opts.ChoiceResolver == nil {
+	if opts.Workers <= 1 && !opts.AllowPartial && opts.ChoiceResolver == nil && opts.Profile == nil {
 		return Execute(ctx, p, srcs)
 	}
 	spawn := opts.Workers - 1
@@ -52,7 +65,7 @@ func ExecuteParallel(ctx context.Context, p Plan, srcs Sources, opts ExecOptions
 		spawn = 0
 	}
 	ex := &parallelExec{srcs: srcs, tokens: make(chan struct{}, spawn), partial: opts.AllowPartial, resolve: opts.ChoiceResolver}
-	return ex.run(ctx, p)
+	return ex.run(ctx, p, opts.Profile)
 }
 
 type parallelExec struct {
@@ -72,7 +85,20 @@ func asPartial(rel *relation.Relation, err error) (*PartialError, bool) {
 	return nil, false
 }
 
-func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, error) {
+// run evaluates one plan node, attributing counters to prof (nil = no
+// profiling, zero extra work). Wall time is inclusive of children, as in
+// the streaming engine and textbook EXPLAIN ANALYZE output.
+func (e *parallelExec) run(ctx context.Context, p Plan, prof *OpStats) (*relation.Relation, error) {
+	if prof == nil {
+		return e.runNode(ctx, p, nil)
+	}
+	start := time.Now()
+	rel, err := e.runNode(ctx, p, prof)
+	prof.AddWall(time.Since(start))
+	return rel, err
+}
+
+func (e *parallelExec) runNode(ctx context.Context, p Plan, prof *OpStats) (*relation.Relation, error) {
 	switch t := p.(type) {
 	case *SourceQuery:
 		q, ok := e.srcs.Lookup(t.Source)
@@ -82,15 +108,19 @@ func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		prof.claim("SourceQuery", t.Source)
+		prof.AddRoundTrips(1)
+		ctx = WithOpStats(ctx, prof)
 		res, err := querySource(ctx, q, t)
 		if err != nil {
 			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
 		}
+		e.recordNode(prof, res.Len(), res)
 		return res, nil
 	case *Select:
 		// Selecting from a partial input stays sound: σ of a subset is a
 		// subset of σ of the whole. The PartialError rides along.
-		in, err := e.run(ctx, t.Input)
+		in, err := e.run(ctx, t.Input, prof.Child())
 		pe, partial := asPartial(in, err)
 		if err != nil && !partial {
 			return nil, err
@@ -99,12 +129,14 @@ func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, err
 		if serr != nil {
 			return nil, fmt.Errorf("plan: mediator select: %w", serr)
 		}
+		prof.claim("Select", t.Cond.Key())
+		e.recordNode(prof, in.Len(), out)
 		if partial {
 			return out, pe
 		}
 		return out, nil
 	case *Project:
-		in, err := e.run(ctx, t.Input)
+		in, err := e.run(ctx, t.Input, prof.Child())
 		pe, partial := asPartial(in, err)
 		if err != nil && !partial {
 			return nil, err
@@ -113,26 +145,50 @@ func (e *parallelExec) run(ctx context.Context, p Plan) (*relation.Relation, err
 		if perr != nil {
 			return nil, fmt.Errorf("plan: mediator project: %w", perr)
 		}
+		prof.claim("Project", strings.Join(t.Attrs, ","))
+		e.recordNode(prof, in.Len(), out)
 		if partial {
 			return out, pe
 		}
 		return out, nil
 	case *Union:
-		return e.runNary(ctx, t.Inputs, true)
+		prof.claim("Union", "")
+		return e.runNary(ctx, t.Inputs, true, prof)
 	case *Intersect:
-		return e.runNary(ctx, t.Inputs, false)
+		prof.claim("Intersect", "")
+		return e.runNary(ctx, t.Inputs, false, prof)
 	case *Choice:
 		alt, err := ResolveChoice(t, e.resolve)
 		if err != nil {
 			return nil, err
 		}
-		return e.run(ctx, alt)
+		// Pass the slot through unclaimed — the resolved alternative is
+		// what executes, and the outer run already times this subtree.
+		return e.runNode(ctx, alt, prof)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}
 }
 
-func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (*relation.Relation, error) {
+// recordNode charges a materialized operator's input/output sizes. The
+// whole output lives in memory at once, so it doubles as the node's
+// peak-buffered figure.
+func (e *parallelExec) recordNode(prof *OpStats, rowsIn int, out *relation.Relation) {
+	if prof == nil {
+		return
+	}
+	prof.AddIn(rowsIn)
+	if out == nil {
+		return
+	}
+	prof.AddOut(out.Len())
+	if out.Len() > 0 {
+		prof.AddChunk()
+	}
+	prof.AddBuffered(out.Len())
+}
+
+func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool, prof *OpStats) (*relation.Relation, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("plan: empty n-ary node")
 	}
@@ -143,6 +199,16 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 	failClosed := !union || !e.partial
 	branchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Child profile slots are created here, in plan order, so concurrent
+	// branch completion cannot scramble the profile tree's shape.
+	var bprofs []*OpStats
+	if prof != nil {
+		bprofs = make([]*OpStats, len(inputs))
+		for i := range inputs {
+			bprofs[i] = prof.Child()
+		}
+	}
 
 	results := make([]*relation.Relation, len(inputs))
 	errs := make([]error, len(inputs))
@@ -161,7 +227,7 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-e.tokens }()
-				results[i], errs[i] = e.run(branchCtx, inputs[i])
+				results[i], errs[i] = e.run(branchCtx, inputs[i], profAt(bprofs, i))
 				if errs[i] != nil && failClosed {
 					cancel()
 				}
@@ -171,13 +237,23 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 		}
 	}
 	for _, i := range inline {
-		results[i], errs[i] = e.run(branchCtx, inputs[i])
+		results[i], errs[i] = e.run(branchCtx, inputs[i], profAt(bprofs, i))
 		if errs[i] != nil && failClosed {
 			cancel()
 			break
 		}
 	}
 	wg.Wait()
+
+	if prof != nil {
+		for i, res := range results {
+			// A failed branch contributed nothing; a kept partial branch's
+			// surviving rows did flow in.
+			if res != nil && (errs[i] == nil || !failClosed) {
+				prof.AddIn(res.Len())
+			}
+		}
+	}
 
 	if failClosed {
 		if err := firstRealError(errs); err != nil {
@@ -199,7 +275,12 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 		if union {
 			combine = (*relation.Relation).Union
 		}
-		return combineBranches(results, combine)
+		out, err := combineBranches(results, combine)
+		if err != nil {
+			return nil, err
+		}
+		e.recordNode(prof, 0, out)
+		return out, nil
 	}
 
 	// Union in partial mode: combine what succeeded, record what was
@@ -226,7 +307,9 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool) (
 	if err != nil {
 		return nil, err
 	}
+	e.recordNode(prof, 0, acc)
 	if len(dropped) > 0 {
+		prof.Note("partial")
 		return acc, &PartialError{Dropped: dropped}
 	}
 	return acc, nil

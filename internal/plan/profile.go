@@ -1,0 +1,319 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// OpStats collects per-operator runtime counters for one node of an
+// executing plan. Like StreamStats, every method is safe on a nil
+// receiver so executors thread a possibly-nil pointer through
+// unconditionally and the disabled path costs zero allocations — the
+// same contract the obs spans honour.
+//
+// One OpStats is created per plan operator at build time; the tree of
+// children mirrors the plan shape (Choice nodes are transparent: the
+// resolved alternative claims the Choice's own slot, matching what
+// actually executed). Counters use atomics because streaming branches
+// of Union/Intersect run on worker goroutines.
+type OpStats struct {
+	claimed    atomic.Bool
+	op         string
+	label      string
+	rowsIn     atomic.Int64
+	rowsOut    atomic.Int64
+	chunks     atomic.Int64
+	wallNanos  atomic.Int64
+	cur        atomic.Int64
+	peak       atomic.Int64
+	roundTrips atomic.Int64
+
+	mu    sync.Mutex
+	notes []string
+	kids  []*OpStats
+}
+
+// NewProfile returns an unclaimed root collector. Pass it via
+// StreamOptions.Profile or ExecOptions.Profile and call Snapshot once
+// execution finishes.
+func NewProfile() *OpStats { return &OpStats{} }
+
+// claim names the operator occupying this slot. The first caller wins:
+// Choice nodes pass their slot through to the resolved alternative
+// unclaimed, so whichever concrete operator runs is the one recorded.
+func (o *OpStats) claim(op, label string) {
+	if o == nil {
+		return
+	}
+	if o.claimed.CompareAndSwap(false, true) {
+		o.op, o.label = op, label
+	}
+}
+
+// SetOp claims the operator name from outside the package (the
+// mediator's hash join lives in internal/mediator).
+func (o *OpStats) SetOp(op, label string) { o.claim(op, label) }
+
+// Child appends a new child slot in plan order and returns it. Callers
+// must create children deterministically (one per plan input, in input
+// order) before handing them to worker goroutines.
+func (o *OpStats) Child() *OpStats {
+	if o == nil {
+		return nil
+	}
+	k := &OpStats{}
+	o.mu.Lock()
+	o.kids = append(o.kids, k)
+	o.mu.Unlock()
+	return k
+}
+
+// AddIn records n tuples received from inputs (or from a source).
+func (o *OpStats) AddIn(n int) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.rowsIn.Add(int64(n))
+}
+
+// AddOut records n tuples emitted downstream.
+func (o *OpStats) AddOut(n int) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.rowsOut.Add(int64(n))
+}
+
+// AddChunk records one emitted chunk.
+func (o *OpStats) AddChunk() {
+	if o == nil {
+		return
+	}
+	o.chunks.Add(1)
+}
+
+// AddWall accumulates wall time attributed to this operator. Streaming
+// executors charge each Next call inclusively (children's time is part
+// of the parent's, as in textbook EXPLAIN ANALYZE output).
+func (o *OpStats) AddWall(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.wallNanos.Add(int64(d))
+}
+
+// AddBuffered adjusts the operator's live buffered-row count by delta
+// and maintains the high-water mark, mirroring StreamStats.Buffered.
+func (o *OpStats) AddBuffered(delta int) {
+	if o == nil || delta == 0 {
+		return
+	}
+	cur := o.cur.Add(int64(delta))
+	for {
+		p := o.peak.Load()
+		if cur <= p || o.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// AddRoundTrips records n remote source round trips.
+func (o *OpStats) AddRoundTrips(n int) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.roundTrips.Add(int64(n))
+}
+
+// Note attaches a free-form disposition marker ("cache hit",
+// "breaker=open", "bridged", ...). Duplicates are dropped so retry
+// loops don't spam the profile.
+func (o *OpStats) Note(s string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, n := range o.notes {
+		if n == s {
+			return
+		}
+	}
+	o.notes = append(o.notes, s)
+}
+
+// endNext is the common epilogue for an instrumented Next call: charge
+// the elapsed wall time and, when a chunk was produced, count it.
+func (o *OpStats) endNext(start time.Time, chunk []relation.Tuple) {
+	if o == nil {
+		return
+	}
+	o.wallNanos.Add(int64(time.Since(start)))
+	if len(chunk) > 0 {
+		o.rowsOut.Add(int64(len(chunk)))
+		o.chunks.Add(1)
+	}
+}
+
+// Snapshot freezes the collector tree into an ExecProfile. Safe to call
+// after execution completes; a nil receiver yields nil.
+func (o *OpStats) Snapshot() *ExecProfile {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	notes := append([]string(nil), o.notes...)
+	kids := append([]*OpStats(nil), o.kids...)
+	o.mu.Unlock()
+	p := &ExecProfile{
+		Op:         o.op,
+		Label:      o.label,
+		RowsIn:     o.rowsIn.Load(),
+		RowsOut:    o.rowsOut.Load(),
+		Chunks:     o.chunks.Load(),
+		PeakRows:   o.peak.Load(),
+		WallNanos:  o.wallNanos.Load(),
+		RoundTrips: o.roundTrips.Load(),
+		Notes:      notes,
+	}
+	for _, k := range kids {
+		p.Children = append(p.Children, k.Snapshot())
+	}
+	return p
+}
+
+// ExecProfile is the frozen, JSON-renderable form of an executed
+// query's per-operator statistics. The tree mirrors the plan shape.
+// EstRows/EstCost/ActualVsEst are filled in by the cost model's
+// AnnotateProfile after execution; ActualVsEst is RowsOut/EstRows and
+// stays 0 (omitted) when the estimate was zero, keeping the value
+// finite for encoding/json.
+type ExecProfile struct {
+	Op          string         `json:"op"`
+	Label       string         `json:"label,omitempty"`
+	RowsIn      int64          `json:"rows_in"`
+	RowsOut     int64          `json:"rows_out"`
+	Chunks      int64          `json:"chunks"`
+	PeakRows    int64          `json:"peak_rows,omitempty"`
+	WallNanos   int64          `json:"wall_ns"`
+	RoundTrips  int64          `json:"round_trips,omitempty"`
+	Notes       []string       `json:"notes,omitempty"`
+	EstRows     float64        `json:"est_rows,omitempty"`
+	EstCost     float64        `json:"est_cost,omitempty"`
+	ActualVsEst float64        `json:"actual_vs_est,omitempty"`
+	Children    []*ExecProfile `json:"children,omitempty"`
+}
+
+// Wall returns the operator's accumulated wall time.
+func (p *ExecProfile) Wall() time.Duration { return time.Duration(p.WallNanos) }
+
+// TotalRoundTrips sums source round trips across the whole tree.
+func (p *ExecProfile) TotalRoundTrips() int64 {
+	if p == nil {
+		return 0
+	}
+	n := p.RoundTrips
+	for _, c := range p.Children {
+		n += c.TotalRoundTrips()
+	}
+	return n
+}
+
+// Walk visits every node of the profile tree, parents before children.
+func (p *ExecProfile) Walk(fn func(*ExecProfile)) {
+	if p == nil {
+		return
+	}
+	fn(p)
+	for _, c := range p.Children {
+		c.Walk(fn)
+	}
+}
+
+// FormatProfile renders the profile tree as indented text, one
+// operator per line, in the style of the obs span tree:
+//
+//	Union                         rows out=40 in=60 chunks=3 wall=1.2ms
+//	  SourceQuery[books]          rows out=30 chunks=2 wall=800µs trips=1
+func FormatProfile(p *ExecProfile) string {
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	formatProfile(&sb, p, 0)
+	return sb.String()
+}
+
+func formatProfile(sb *strings.Builder, p *ExecProfile, depth int) {
+	indent := strings.Repeat("  ", depth)
+	name := p.Op
+	if name == "" {
+		name = "?"
+	}
+	if p.Label != "" {
+		name += "[" + p.Label + "]"
+	}
+	fmt.Fprintf(sb, "%s%-*s rows out=%d in=%d chunks=%d wall=%s",
+		indent, 40-len(indent), name, p.RowsOut, p.RowsIn, p.Chunks, formatProfDur(p.Wall()))
+	if p.PeakRows > 0 {
+		fmt.Fprintf(sb, " peak=%d", p.PeakRows)
+	}
+	if p.RoundTrips > 0 {
+		fmt.Fprintf(sb, " trips=%d", p.RoundTrips)
+	}
+	if p.EstRows > 0 {
+		fmt.Fprintf(sb, " est=%.0f (×%.2f)", p.EstRows, p.ActualVsEst)
+	}
+	if p.EstCost > 0 {
+		fmt.Fprintf(sb, " cost=%.2f", p.EstCost)
+	}
+	for _, n := range p.Notes {
+		fmt.Fprintf(sb, " [%s]", n)
+	}
+	sb.WriteByte('\n')
+	for _, c := range p.Children {
+		formatProfile(sb, c, depth+1)
+	}
+}
+
+// formatProfDur rounds like the obs tree renderer: enough precision to
+// tell a 12µs template hit from a 6ms cold plan, no noise beyond it.
+func formatProfDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// opStatsKey carries the current operator's OpStats in a context so
+// source-layer decorators (resilient breaker, answer cache) can attach
+// disposition notes to the scan that triggered them.
+type opStatsKey struct{}
+
+// WithOpStats returns a context carrying o. A nil o returns ctx
+// unchanged so the disabled path allocates nothing.
+func WithOpStats(ctx context.Context, o *OpStats) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, opStatsKey{}, o)
+}
+
+// OpStatsFrom returns the OpStats carried by ctx, or nil. All OpStats
+// methods accept nil, so callers use the result unconditionally.
+func OpStatsFrom(ctx context.Context) *OpStats {
+	o, _ := ctx.Value(opStatsKey{}).(*OpStats)
+	return o
+}

@@ -1,0 +1,254 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/relation"
+)
+
+func TestOpStatsNilSafe(t *testing.T) {
+	var o *OpStats
+	// Every method must be a no-op on nil so executors thread a possibly
+	// nil pointer through unconditionally.
+	o.claim("X", "")
+	o.SetOp("X", "")
+	o.AddIn(3)
+	o.AddOut(3)
+	o.AddChunk()
+	o.AddWall(time.Second)
+	o.AddBuffered(5)
+	o.AddRoundTrips(1)
+	o.Note("hi")
+	o.endNext(time.Now(), nil)
+	if o.Child() != nil {
+		t.Error("nil.Child() should be nil")
+	}
+	if o.Snapshot() != nil {
+		t.Error("nil.Snapshot() should be nil")
+	}
+	if WithOpStats(context.Background(), nil) != context.Background() {
+		t.Error("WithOpStats(ctx, nil) should return ctx unchanged")
+	}
+}
+
+// TestOpStatsDisabledPathAllocs pins the contract the benchgate overhead
+// gate depends on: with profiling disabled (nil OpStats) the per-chunk
+// hot path allocates nothing.
+func TestOpStatsDisabledPathAllocs(t *testing.T) {
+	var o *OpStats
+	ctx := context.Background()
+	chunk := make([]relation.Tuple, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		o.AddIn(len(chunk))
+		o.AddOut(len(chunk))
+		o.AddChunk()
+		o.AddBuffered(len(chunk))
+		o.endNext(time.Time{}, chunk)
+		_ = WithOpStats(ctx, o)
+		_ = OpStatsFrom(ctx)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-path allocs = %v, want 0", allocs)
+	}
+}
+
+func TestOpStatsClaimFirstWins(t *testing.T) {
+	o := NewProfile()
+	o.claim("Union", "")
+	o.claim("Select", "x=1") // a later claim must not overwrite
+	p := o.Snapshot()
+	if p.Op != "Union" || p.Label != "" {
+		t.Errorf("snapshot op = %s[%s], want Union", p.Op, p.Label)
+	}
+}
+
+func TestOpStatsCountersAndPeak(t *testing.T) {
+	o := NewProfile()
+	o.claim("SourceQuery", "cars")
+	o.AddIn(10)
+	o.AddOut(7)
+	o.AddChunk()
+	o.AddWall(3 * time.Millisecond)
+	o.AddRoundTrips(2)
+	o.AddBuffered(5)
+	o.AddBuffered(3) // peak 8
+	o.AddBuffered(-6)
+	o.AddBuffered(2) // back to 4, peak stays 8
+	o.Note("bridged")
+	o.Note("bridged") // dedup
+	k := o.Child()
+	k.claim("Select", "price<10")
+	k.AddOut(4)
+
+	p := o.Snapshot()
+	if p.RowsIn != 10 || p.RowsOut != 7 || p.Chunks != 1 {
+		t.Errorf("counters = in %d out %d chunks %d", p.RowsIn, p.RowsOut, p.Chunks)
+	}
+	if p.PeakRows != 8 {
+		t.Errorf("peak = %d, want 8", p.PeakRows)
+	}
+	if p.Wall() != 3*time.Millisecond {
+		t.Errorf("wall = %s", p.Wall())
+	}
+	if p.RoundTrips != 2 || p.TotalRoundTrips() != 2 {
+		t.Errorf("round trips = %d total %d", p.RoundTrips, p.TotalRoundTrips())
+	}
+	if len(p.Notes) != 1 || p.Notes[0] != "bridged" {
+		t.Errorf("notes = %v, want deduped [bridged]", p.Notes)
+	}
+	if len(p.Children) != 1 || p.Children[0].Op != "Select" || p.Children[0].RowsOut != 4 {
+		t.Errorf("children = %+v", p.Children)
+	}
+}
+
+func TestOpStatsEndNext(t *testing.T) {
+	o := NewProfile()
+	chunk := make([]relation.Tuple, 3)
+	o.endNext(time.Now().Add(-time.Millisecond), chunk)
+	o.endNext(time.Now(), nil) // EOF-style call: wall only
+	p := o.Snapshot()
+	if p.RowsOut != 3 || p.Chunks != 1 {
+		t.Errorf("endNext out=%d chunks=%d, want 3/1", p.RowsOut, p.Chunks)
+	}
+	if p.Wall() < time.Millisecond {
+		t.Errorf("wall = %s, want >= 1ms", p.Wall())
+	}
+}
+
+func TestOpStatsContext(t *testing.T) {
+	o := NewProfile()
+	ctx := WithOpStats(context.Background(), o)
+	if OpStatsFrom(ctx) != o {
+		t.Error("OpStatsFrom should round-trip the collector")
+	}
+	if OpStatsFrom(context.Background()) != nil {
+		t.Error("bare context should carry no OpStats")
+	}
+}
+
+func TestExecProfileWalkAndJSON(t *testing.T) {
+	p := &ExecProfile{
+		Op: "Union", RowsIn: 5, RowsOut: 3, Chunks: 1, WallNanos: 1000,
+		EstRows: 4, ActualVsEst: 0.75,
+		Children: []*ExecProfile{
+			{Op: "SourceQuery", Label: "a", RowsOut: 2, RoundTrips: 1},
+			{Op: "SourceQuery", Label: "b", RowsOut: 3, RoundTrips: 2, Notes: []string{"answer-cache-hit"}},
+		},
+	}
+	var ops []string
+	p.Walk(func(n *ExecProfile) { ops = append(ops, n.Op) })
+	if len(ops) != 3 || ops[0] != "Union" {
+		t.Errorf("walk order = %v", ops)
+	}
+	if p.TotalRoundTrips() != 3 {
+		t.Errorf("total trips = %d, want 3", p.TotalRoundTrips())
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExecProfile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != "Union" || len(back.Children) != 2 || back.Children[1].Notes[0] != "answer-cache-hit" {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+	var nilP *ExecProfile
+	nilP.Walk(func(*ExecProfile) { t.Error("nil Walk should not visit") })
+	if nilP.TotalRoundTrips() != 0 {
+		t.Error("nil TotalRoundTrips should be 0")
+	}
+}
+
+func TestFormatProfile(t *testing.T) {
+	if FormatProfile(nil) != "" {
+		t.Error("nil profile should format empty")
+	}
+	p := &ExecProfile{
+		Op: "Union", RowsIn: 60, RowsOut: 40, Chunks: 3,
+		WallNanos: int64(1200 * time.Microsecond), EstRows: 50, ActualVsEst: 0.8, EstCost: 12.5,
+		Children: []*ExecProfile{{
+			Op: "SourceQuery", Label: "books", RowsOut: 30, Chunks: 2,
+			WallNanos: int64(800 * time.Microsecond), RoundTrips: 1,
+			PeakRows: 30, Notes: []string{"bridged"},
+		}},
+	}
+	out := FormatProfile(p)
+	for _, want := range []string{
+		"Union", "rows out=40 in=60 chunks=3",
+		"est=50 (×0.80)", "cost=12.50",
+		"  SourceQuery[books]", "trips=1", "peak=30", "[bridged]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatProfile missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("lines = %d, want 2", lines)
+	}
+}
+
+func TestFormatProfDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.5s"},
+		{6*time.Millisecond + 123*time.Microsecond, "6.12ms"},
+		{12*time.Microsecond + 340*time.Nanosecond, "12.3µs"},
+		{800 * time.Nanosecond, "800ns"},
+	}
+	for _, c := range cases {
+		if got := formatProfDur(c.d); got != c.want {
+			t.Errorf("formatProfDur(%s) = %s, want %s", c.d, got, c.want)
+		}
+	}
+}
+
+// TestStreamProfileTree drives the streaming engine with a profile
+// attached and checks the tree mirrors the plan and the row accounting
+// is consistent.
+func TestStreamProfileTree(t *testing.T) {
+	srcs := testSources(t)
+	p := &Union{Inputs: []Plan{
+		NewSourceQuery("R", condition.MustParse(`make = "BMW"`), []string{"model"}),
+		NewSP(condition.MustParse(`color = "red"`), []string{"model"},
+			NewSourceQuery("R", condition.MustParse(`make = "Toyota"`), []string{"model", "color"})),
+	}}
+	prof := NewProfile()
+	res, err := ExecuteStream(context.Background(), p, srcs, StreamOptions{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := prof.Snapshot()
+	if ep.Op != "Union" {
+		t.Fatalf("root op = %s, want Union", ep.Op)
+	}
+	if int(ep.RowsOut) != res.Len() {
+		t.Errorf("root rows out = %d, answer = %d", ep.RowsOut, res.Len())
+	}
+	if len(ep.Children) != 2 {
+		t.Fatalf("union children = %d, want 2", len(ep.Children))
+	}
+	var in int64
+	for _, c := range ep.Children {
+		in += c.RowsOut
+	}
+	if ep.RowsIn != in {
+		t.Errorf("union rows in = %d, sum of children out = %d", ep.RowsIn, in)
+	}
+	// NewSP builds Project(Select(...)), so the union's second child is
+	// the projection with the selection beneath it.
+	if ep.Children[1].Op != "Project" {
+		t.Errorf("second child op = %s, want Project", ep.Children[1].Op)
+	}
+	if len(ep.Children[1].Children) != 1 || ep.Children[1].Children[0].Op != "Select" {
+		t.Errorf("projection child = %+v, want Select", ep.Children[1].Children)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/condition"
 	"repro/internal/obs"
@@ -60,6 +61,11 @@ type StreamOptions struct {
 	// Stats, when non-nil, receives rows-streamed and peak-buffered-rows
 	// accounting for the execution.
 	Stats *StreamStats
+	// Profile, when non-nil, is the root of a per-operator ExecProfile
+	// collector tree (see NewProfile). Each operator built for the plan
+	// claims a node; Snapshot it after the stream is drained. Nil keeps
+	// the instrumented path at zero extra allocations.
+	Profile *OpStats
 }
 
 // ExecuteStream runs the plan with the streaming engine and collects the
@@ -94,7 +100,7 @@ func NewStream(p Plan, srcs Sources, opts StreamOptions) (Iterator, error) {
 		chunk:   chunk,
 		stats:   opts.Stats,
 	}
-	return e.build(p)
+	return e.build(p, opts.Profile)
 }
 
 // streamExec carries the per-execution state every operator shares.
@@ -108,59 +114,70 @@ type streamExec struct {
 }
 
 // build compiles one plan node (and its subtree) into an iterator.
-func (e *streamExec) build(p Plan) (Iterator, error) {
+// prof is the (possibly nil) OpStats slot for this node; Choice nodes
+// pass it through unclaimed so the resolved alternative records under
+// the slot the Choice occupied, keeping the profile tree aligned with
+// what actually executed.
+func (e *streamExec) build(p Plan, prof *OpStats) (Iterator, error) {
 	switch t := p.(type) {
 	case *SourceQuery:
 		q, ok := e.srcs.Lookup(t.Source)
 		if !ok {
 			return nil, fmt.Errorf("plan: unknown source %q", t.Source)
 		}
-		return &sourceIter{e: e, q: q, sq: t}, nil
+		prof.claim("SourceQuery", t.Source)
+		return &sourceIter{e: e, q: q, sq: t, prof: prof}, nil
 	case *Select:
-		in, err := e.build(t.Input)
+		in, err := e.build(t.Input, prof.Child())
 		if err != nil {
 			return nil, err
 		}
-		return &selectIter{e: e, cond: t.Cond, in: in}, nil
+		prof.claim("Select", t.Cond.Key())
+		return &selectIter{e: e, cond: t.Cond, in: in, prof: prof}, nil
 	case *Project:
-		in, err := e.build(t.Input)
+		in, err := e.build(t.Input, prof.Child())
 		if err != nil {
 			return nil, err
 		}
-		return &projectIter{e: e, attrs: t.Attrs, in: in}, nil
+		prof.claim("Project", strings.Join(t.Attrs, ","))
+		return &projectIter{e: e, attrs: t.Attrs, in: in, prof: prof}, nil
 	case *Union:
 		if len(t.Inputs) == 0 {
 			return nil, fmt.Errorf("plan: empty n-ary node")
 		}
-		ins, err := e.buildAll(t.Inputs)
+		ins, err := e.buildAll(t.Inputs, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &unionIter{e: e, node: t, inputs: ins}, nil
+		prof.claim("Union", "")
+		return &unionIter{e: e, node: t, inputs: ins, prof: prof}, nil
 	case *Intersect:
 		if len(t.Inputs) == 0 {
 			return nil, fmt.Errorf("plan: empty n-ary node")
 		}
-		ins, err := e.buildAll(t.Inputs)
+		ins, err := e.buildAll(t.Inputs, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &intersectIter{e: e, node: t, inputs: ins}, nil
+		prof.claim("Intersect", "")
+		return &intersectIter{e: e, node: t, inputs: ins, prof: prof}, nil
 	case *Choice:
 		alt, err := ResolveChoice(t, e.resolve)
 		if err != nil {
 			return nil, err
 		}
-		return e.build(alt)
+		return e.build(alt, prof)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", p)
 	}
 }
 
-func (e *streamExec) buildAll(ps []Plan) ([]Iterator, error) {
+// buildAll compiles n-ary inputs, creating one child profile slot per
+// input in plan order (build is sequential, so child order is stable).
+func (e *streamExec) buildAll(ps []Plan, prof *OpStats) ([]Iterator, error) {
 	out := make([]Iterator, len(ps))
 	for i, p := range ps {
-		it, err := e.build(p)
+		it, err := e.build(p, prof.Child())
 		if err != nil {
 			for _, b := range out[:i] {
 				b.Close()
@@ -197,9 +214,10 @@ func streamKey(t relation.Tuple, names []string) string {
 // answer is fetched on the first Next, charged to the peak-rows gauge for
 // its lifetime, and re-chunked.
 type sourceIter struct {
-	e  *streamExec
-	q  Querier
-	sq *SourceQuery
+	e    *streamExec
+	q    Querier
+	sq   *SourceQuery
+	prof *OpStats
 
 	started bool
 	stream  Iterator           // native streaming path
@@ -224,7 +242,12 @@ func (it *sourceIter) Schema() *relation.Schema {
 // open performs the source query (or opens the source stream).
 func (it *sourceIter) open(ctx context.Context) error {
 	it.started = true
+	it.prof.AddRoundTrips(1)
+	// Let source-layer decorators (breaker, answer cache) note their
+	// disposition on this scan's profile node.
+	ctx = WithOpStats(ctx, it.prof)
 	if sq, ok := it.q.(StreamQuerier); ok {
+		it.prof.Note("streamed")
 		sctx, sp := obs.Start(ctx, "exec.source")
 		inner, err := sq.QueryStream(sctx, it.sq.Cond, it.sq.Attrs)
 		if err != nil {
@@ -234,12 +257,15 @@ func (it *sourceIter) open(ctx context.Context) error {
 		it.stream, it.sp = inner, sp
 		return nil
 	}
+	it.prof.Note("bridged")
 	res, err := querySource(ctx, it.q, it.sq)
 	if err != nil {
 		return fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
 	}
 	it.rel = res
 	it.e.stats.buffered(res.Len())
+	it.prof.AddIn(res.Len())
+	it.prof.AddBuffered(res.Len())
 	return nil
 }
 
@@ -258,6 +284,16 @@ func (it *sourceIter) endSpan(sp *obs.Span, err error) {
 }
 
 func (it *sourceIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if it.prof == nil {
+		return it.next(ctx)
+	}
+	start := time.Now()
+	chunk, err := it.next(ctx)
+	it.prof.endNext(start, chunk)
+	return chunk, err
+}
+
+func (it *sourceIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	if !it.started {
 		if err := it.open(ctx); err != nil {
 			return nil, err
@@ -266,6 +302,7 @@ func (it *sourceIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 	if it.stream != nil {
 		chunk, err := it.stream.Next(ctx)
 		it.rows += int64(len(chunk))
+		it.prof.AddIn(len(chunk))
 		if err != nil {
 			it.endSpan(it.sp, err)
 			it.sp = nil
@@ -301,11 +338,20 @@ func (it *sourceIter) whole(ctx context.Context) (*relation.Relation, bool, erro
 		return nil, false, nil
 	}
 	it.started, it.closed = true, true
+	start := time.Now()
+	it.prof.AddRoundTrips(1)
+	ctx = WithOpStats(ctx, it.prof)
 	res, err := querySource(ctx, it.q, it.sq)
+	it.prof.AddWall(time.Since(start))
 	if err != nil {
 		return nil, true, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
 	}
 	it.e.stats.streamed(res.Len())
+	it.prof.AddIn(res.Len())
+	it.prof.AddOut(res.Len())
+	if res.Len() > 0 {
+		it.prof.AddChunk()
+	}
 	return res, true, nil
 }
 
@@ -316,6 +362,7 @@ func (it *sourceIter) Close() error {
 	it.closed = true
 	if it.rel != nil {
 		it.e.stats.buffered(-it.rel.Len())
+		it.prof.AddBuffered(-it.rel.Len())
 		it.pos = it.rel.Len()
 	}
 	if it.stream != nil {
@@ -336,13 +383,25 @@ type selectIter struct {
 	e    *streamExec
 	cond condition.Node
 	in   Iterator
+	prof *OpStats
 }
 
 func (it *selectIter) Schema() *relation.Schema { return it.in.Schema() }
 
 func (it *selectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if it.prof == nil {
+		return it.next(ctx)
+	}
+	start := time.Now()
+	chunk, err := it.next(ctx)
+	it.prof.endNext(start, chunk)
+	return chunk, err
+}
+
+func (it *selectIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	for {
 		chunk, err := it.in.Next(ctx)
+		it.prof.AddIn(len(chunk))
 		if err != nil {
 			return nil, err
 		}
@@ -372,6 +431,7 @@ type projectIter struct {
 	e     *streamExec
 	attrs []string
 	in    Iterator
+	prof  *OpStats
 
 	ps   *relation.Schema
 	seen map[string]struct{}
@@ -389,11 +449,22 @@ func (it *projectIter) Schema() *relation.Schema {
 }
 
 func (it *projectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if it.prof == nil {
+		return it.next(ctx)
+	}
+	start := time.Now()
+	chunk, err := it.next(ctx)
+	it.prof.endNext(start, chunk)
+	return chunk, err
+}
+
+func (it *projectIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	if it.done {
 		return nil, io.EOF
 	}
 	for {
 		chunk, err := it.in.Next(ctx)
+		it.prof.AddIn(len(chunk))
 		if err != nil {
 			// Derive the projected schema even on an empty stream so
 			// Collect can build the (empty) result relation.
@@ -428,6 +499,7 @@ func (it *projectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 			}
 			it.seen[k] = struct{}{}
 			it.e.stats.buffered(1)
+			it.prof.AddBuffered(1)
 			out = append(out, pt)
 		}
 		if len(out) > 0 {
@@ -440,6 +512,7 @@ func (it *projectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 func (it *projectIter) Close() error {
 	if it.seen != nil {
 		it.e.stats.buffered(-len(it.seen))
+		it.prof.AddBuffered(-len(it.seen))
 		it.seen = nil
 	}
 	it.done = true

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -67,6 +68,7 @@ type unionIter struct {
 	e      *streamExec
 	node   *Union
 	inputs []Iterator
+	prof   *OpStats
 
 	started  bool
 	bctx     context.Context
@@ -170,6 +172,16 @@ func (u *unionIter) align(t relation.Tuple) (relation.Tuple, error) {
 }
 
 func (u *unionIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if u.prof == nil {
+		return u.next(ctx)
+	}
+	start := time.Now()
+	chunk, err := u.next(ctx)
+	u.prof.endNext(start, chunk)
+	return chunk, err
+}
+
+func (u *unionIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	if u.done {
 		return nil, u.finalErr
 	}
@@ -197,6 +209,7 @@ func (u *unionIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 			msg = <-br.ch
 		}
 		if msg.err == nil {
+			u.prof.AddIn(len(msg.chunk))
 			if u.canonical == nil {
 				u.setCanonical(msg.chunk[0].Schema())
 			}
@@ -211,6 +224,7 @@ func (u *unionIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 				}
 				u.seen[k] = struct{}{}
 				u.e.stats.buffered(1)
+				u.prof.AddBuffered(1)
 				buf = append(buf, at)
 			}
 			u.rr++ // move on so slow branches don't starve the rest
@@ -258,6 +272,7 @@ func (u *unionIter) finish() error {
 	case u.survivors == 0 && !u.emitted:
 		u.finalErr = fmt.Errorf("plan: all %d union branches failed: %w", len(u.inputs), firstRealError(u.errs))
 	default:
+		u.prof.Note("partial")
 		u.finalErr = &PartialError{Dropped: u.dropped}
 	}
 	return u.finalErr
@@ -320,6 +335,7 @@ func (u *unionIter) Close() error {
 		in.Close()
 	}
 	u.e.stats.buffered(-len(u.seen))
+	u.prof.AddBuffered(-len(u.seen))
 	u.seen = nil
 	u.done = true
 	if u.finalErr == nil {
@@ -335,6 +351,7 @@ type intersectIter struct {
 	e      *streamExec
 	node   *Intersect
 	inputs []Iterator
+	prof   *OpStats
 
 	names []string // sorted output attributes, for order-insensitive keys
 
@@ -360,13 +377,15 @@ func (x *intersectIter) Schema() *relation.Schema {
 	return x.schema
 }
 
-// drainKeys consumes a build-side iterator into a key set. A partial
-// terminal is returned as a plain error: intersect fails closed.
-func drainKeys(ctx context.Context, it Iterator, names []string) (map[string]struct{}, *relation.Schema, error) {
+// drainKeys consumes a build-side iterator into a key set, charging the
+// rows pulled to prof's rows-in. A partial terminal is returned as a
+// plain error: intersect fails closed.
+func drainKeys(ctx context.Context, it Iterator, names []string, prof *OpStats) (map[string]struct{}, *relation.Schema, error) {
 	defer it.Close()
 	set := make(map[string]struct{})
 	for {
 		chunk, err := it.Next(ctx)
+		prof.AddIn(len(chunk))
 		for _, t := range chunk {
 			set[streamKey(t, names)] = struct{}{}
 		}
@@ -412,7 +431,7 @@ func (x *intersectIter) start(ctx context.Context) {
 			go func(it Iterator, ch chan buildRes) {
 				defer wg.Done()
 				defer func() { <-x.e.tokens }()
-				set, sch, err := drainKeys(x.bctx, it, x.names)
+				set, sch, err := drainKeys(x.bctx, it, x.names, x.prof)
 				if err == nil && len(set) == 0 {
 					x.cancel() // early-out: empty build ⇒ empty intersection
 				} else if err != nil && !errors.Is(err, context.Canceled) {
@@ -425,7 +444,7 @@ func (x *intersectIter) start(ctx context.Context) {
 		}
 	}
 	for _, i := range inline {
-		set, sch, err := drainKeys(x.bctx, x.inputs[i+1], x.names)
+		set, sch, err := drainKeys(x.bctx, x.inputs[i+1], x.names, x.prof)
 		results[i] = buildRes{set, sch, err}
 		if err == nil && len(set) == 0 {
 			x.cancel()
@@ -473,6 +492,7 @@ func (x *intersectIter) start(ctx context.Context) {
 			x.buffered += len(s)
 		}
 		x.e.stats.buffered(x.buffered)
+		x.prof.AddBuffered(x.buffered)
 		x.seen = make(map[string]struct{})
 	}
 }
@@ -487,6 +507,16 @@ func (x *intersectIter) inAllBuilds(k string) bool {
 }
 
 func (x *intersectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if x.prof == nil {
+		return x.next(ctx)
+	}
+	start := time.Now()
+	chunk, err := x.next(ctx)
+	x.prof.endNext(start, chunk)
+	return chunk, err
+}
+
+func (x *intersectIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	if !x.started {
 		x.start(ctx)
 	}
@@ -496,6 +526,7 @@ func (x *intersectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 	var buf []relation.Tuple
 	for {
 		chunk, err := x.probe.Next(x.bctx)
+		x.prof.AddIn(len(chunk))
 		if err != nil {
 			x.done = true
 			if errors.Is(err, io.EOF) {
@@ -518,6 +549,7 @@ func (x *intersectIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 			}
 			x.seen[k] = struct{}{}
 			x.e.stats.buffered(1)
+			x.prof.AddBuffered(1)
 			buf = append(buf, t)
 		}
 		if len(buf) > 0 {
@@ -539,6 +571,7 @@ func (x *intersectIter) Close() error {
 		in.Close()
 	}
 	x.e.stats.buffered(-(x.buffered + len(x.seen)))
+	x.prof.AddBuffered(-(x.buffered + len(x.seen)))
 	x.builds, x.seen = nil, nil
 	x.done = true
 	if x.finalErr == nil {

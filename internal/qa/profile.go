@@ -1,0 +1,153 @@
+package qa
+
+import (
+	"context"
+
+	"repro/internal/plan"
+)
+
+// ProfileConsistency checks the execution-profile invariants on one
+// instance: with profiling enabled, both engines must still produce the
+// oracle answer, and the collected ExecProfile must account for every
+// row —
+//
+//	(1) the root operator's rows-out equals the answer's cardinality
+//	    (answers are sets, and the profile counts delivered chunks);
+//	(2) every operator with children reports rows-in equal to the sum of
+//	    its children's rows-out: rows cross an operator boundary exactly
+//	    once, in both the streaming and the materialized engine;
+//	(3) the mediator path produces a profile on the template-cache miss
+//	    AND on the hit — a bound template must profile like a freshly
+//	    planned query.
+//
+// Like Differential, infrastructure errors come back as error and
+// assertion violations land in Report.Failures.
+func ProfileConsistency(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	p, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	feasible, uerr := classify(errP)
+	if uerr != nil {
+		rep.failf("GenCompact failed unexpectedly: %v", uerr)
+		return rep, nil
+	}
+	rep.CompactFeasible = feasible
+	if !feasible {
+		return rep, nil
+	}
+	model := inst.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+
+	// Streaming engine across execution shapes.
+	for _, shape := range []struct {
+		name    string
+		workers int
+		chunk   int
+	}{
+		{"sequential", 1, 0},
+		{"parallel", 4, 0},
+		{"chunk=1", 1, 1},
+	} {
+		prof := plan.NewProfile()
+		ans, err := plan.ExecuteStream(ctx, p, med, plan.StreamOptions{
+			Workers:        shape.workers,
+			ChunkSize:      shape.chunk,
+			ChoiceResolver: resolver,
+			Profile:        prof,
+		})
+		if err != nil {
+			rep.failf("profile streaming (%s): execution failed: %v\nplan:\n%s", shape.name, err, plan.Format(p))
+			continue
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("profile streaming (%s): profiled run diverges from oracle: got %d rows, oracle %d rows",
+				shape.name, ans.Len(), oracle.Len())
+			continue
+		}
+		checkProfile(rep, "streaming "+shape.name, prof.Snapshot(), ans.Len())
+	}
+
+	// Materialized engine, sequential and parallel.
+	for _, workers := range []int{1, 4} {
+		prof := plan.NewProfile()
+		ans, err := plan.ExecuteParallel(ctx, p, med, plan.ExecOptions{
+			Workers:        workers,
+			ChoiceResolver: resolver,
+			Profile:        prof,
+		})
+		if err != nil {
+			rep.failf("profile materialized (workers=%d): execution failed: %v\nplan:\n%s", workers, err, plan.Format(p))
+			continue
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("profile materialized (workers=%d): profiled run diverges from oracle: got %d rows, oracle %d rows",
+				workers, ans.Len(), oracle.Len())
+			continue
+		}
+		checkProfile(rep, "materialized", prof.Snapshot(), ans.Len())
+	}
+
+	// Mediator path with the plan cache on: the first Answer plans (a
+	// template/cache miss), the second binds or replays — both must carry
+	// a consistent profile.
+	cmed, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	cmed.EnableCache()
+	for _, label := range []string{"template miss", "template hit"} {
+		res, err := cmed.Answer(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+		if err != nil {
+			rep.failf("profile mediator (%s): Answer failed: %v", label, err)
+			break
+		}
+		if res.Profile == nil {
+			rep.failf("profile mediator (%s): no execution profile on result", label)
+			continue
+		}
+		if !res.Relation.Equal(oracle) {
+			rep.failf("profile mediator (%s): answer diverges from oracle: got %d rows, oracle %d rows",
+				label, res.Relation.Len(), oracle.Len())
+			continue
+		}
+		checkProfile(rep, "mediator "+label, res.Profile, res.Relation.Len())
+	}
+	return rep, nil
+}
+
+// checkProfile asserts the row-accounting invariants over one profile
+// tree: root rows-out matches the answer, and every internal operator's
+// rows-in equals the sum of its children's rows-out.
+func checkProfile(rep *Report, label string, ep *plan.ExecProfile, answerRows int) {
+	if ep == nil {
+		rep.failf("profile (%s): snapshot is nil", label)
+		return
+	}
+	if int(ep.RowsOut) != answerRows {
+		rep.failf("profile (%s): root %s rows out = %d, answer has %d rows\n%s",
+			label, ep.Op, ep.RowsOut, answerRows, plan.FormatProfile(ep))
+	}
+	ep.Walk(func(n *plan.ExecProfile) {
+		if len(n.Children) == 0 {
+			return
+		}
+		var sum int64
+		for _, c := range n.Children {
+			sum += c.RowsOut
+		}
+		if n.RowsIn != sum {
+			rep.failf("profile (%s): operator %s rows in = %d but its children emitted %d: rows crossed the boundary more or less than once\n%s",
+				label, n.Op, n.RowsIn, sum, plan.FormatProfile(ep))
+		}
+	})
+}

@@ -131,6 +131,15 @@ func TestStreamingCorpus(t *testing.T) {
 	runCorpus(t, Streaming, 2)
 }
 
+// TestExecProfileConsistency checks the execution-profile invariants:
+// profiled runs still match the oracle, the root operator's rows-out
+// equals the answer cardinality, and every operator's rows-in equals the
+// sum of its children's rows-out — across both engines, every execution
+// shape, and template-cache hits and misses.
+func TestExecProfileConsistency(t *testing.T) {
+	runCorpus(t, ProfileConsistency, 3)
+}
+
 // TestGeneratorDeterminism guards the repro contract: the same seed must
 // regenerate a byte-identical instance, or "seed N" stops being a
 // reproduction.

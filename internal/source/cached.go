@@ -198,9 +198,11 @@ func answerKey(cond condition.Node, attrs []string) string {
 // goes upstream and the rest wait for its result.
 func (c *Cached) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	key := answerKey(cond, attrs)
+	oprof := plan.OpStatsFrom(ctx) // nil-safe: notes the executing operator's profile
 	c.mu.Lock()
 	if res, ok := c.lookup(key); ok {
 		c.mu.Unlock()
+		oprof.Note("answer-cache-hit")
 		return res, nil
 	}
 	c.stats.Misses++
@@ -208,6 +210,7 @@ func (c *Cached) Query(ctx context.Context, cond condition.Node, attrs []string)
 	if f, ok := c.inflight[key]; ok {
 		c.stats.CoalescedWaits++
 		c.met.coalesced.Inc()
+		oprof.Note("coalesced")
 		c.mu.Unlock()
 		select {
 		case <-f.done:

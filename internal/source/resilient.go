@@ -74,10 +74,13 @@ type resCounters struct {
 }
 
 // resMetrics are the registry instruments (no-ops when Obs is nil).
+// retry duplicates retries under the conventional singular name
+// csqp_source_retry_total; the legacy plural stays for dashboards that
+// already scrape it.
 type resMetrics struct {
-	attempts, retries, failures, refusals, fastFails *obs.Counter
-	latency                                          *obs.Histogram
-	breaker                                          *obs.Gauge
+	attempts, retries, retry, failures, refusals, fastFails *obs.Counter
+	latency                                                 *obs.Histogram
+	breaker                                                 *obs.Gauge
 }
 
 // ResilienceOptions tune a Resilient querier. The zero value retries
@@ -163,6 +166,7 @@ func NewResilient(name string, q plan.Querier, opts ResilienceOptions) *Resilien
 	r.met = resMetrics{
 		attempts:  reg.Counter("csqp_source_attempts_total", "source", name),
 		retries:   reg.Counter("csqp_source_retries_total", "source", name),
+		retry:     reg.Counter("csqp_source_retry_total", "source", name),
 		failures:  reg.Counter("csqp_source_failures_total", "source", name),
 		refusals:  reg.Counter("csqp_source_refusals_total", "source", name),
 		fastFails: reg.Counter("csqp_source_fastfails_total", "source", name),
@@ -193,9 +197,11 @@ func (r *Resilient) Stats() ResilienceStats {
 func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
 	backoff := r.opts.BaseBackoff
 	var lastErr error
+	oprof := plan.OpStatsFrom(ctx) // nil-safe: notes the executing operator's profile
 	for attempt := 0; ; attempt++ {
 		trial, err := r.breakerAllow()
 		if err != nil {
+			oprof.Note("breaker-fastfail")
 			return nil, err
 		}
 		r.stats.attempts.Add(1)
@@ -203,6 +209,12 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		if attempt > 0 {
 			r.stats.retries.Add(1)
 			r.met.retries.Inc()
+			r.met.retry.Inc()
+			oprof.Note("retried")
+		}
+		state := r.curState()
+		if state != breakerClosed {
+			oprof.Note("breaker-" + state.String())
 		}
 
 		// The attempt runs under the span's context so the inner
@@ -214,6 +226,7 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 		if sp != nil {
 			sp.SetAttr("source", r.name)
 			sp.SetInt("attempt", int64(attempt+1))
+			sp.SetAttr("breaker", state.String())
 			sp.EndErr(err)
 		}
 		if err == nil {
@@ -231,6 +244,7 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 			}
 			r.stats.refusals.Add(1)
 			r.met.refusals.Inc()
+			oprof.Note("refused")
 			return nil, err
 		}
 		r.recordFailure(trial)
@@ -315,6 +329,13 @@ func (r *Resilient) breakerAllow() (trial bool, err error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// curState reads the breaker's current position for telemetry.
+func (r *Resilient) curState() breakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
 }
 
 // endTrial releases the half-open trial slot without recording a breaker

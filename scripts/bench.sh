@@ -19,9 +19,16 @@ pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoized
 # need 200 samples.
 streampattern='^(BenchmarkStreamingUnion|BenchmarkMaterializedUnion|BenchmarkSymmetricHashJoin|BenchmarkMaterializedJoin)$'
 
+# The profiling-overhead pair runs a small 2k-row plan (~10ms/iter).
+# BenchmarkExecProfilingOverhead interleaves the profiled and unprofiled
+# paths within each iteration and reports their ns ratio as the
+# "ns-ratio" metric, which CI gates at <=1.05 via benchgate -pair.
+profpattern='^(BenchmarkExecUnprofiled|BenchmarkExecProfiled|BenchmarkExecProfilingOverhead)$'
+
 {
 	go test -run='^$' -bench="$pattern" -benchmem -benchtime=200x .
 	go test -run='^$' -bench="$streampattern" -benchmem -benchtime=10x .
+	go test -run='^$' -bench="$profpattern" -benchmem -benchtime=100x .
 } |
 	tee /dev/stderr |
 	go run ./cmd/benchgate -emit >"$out"
