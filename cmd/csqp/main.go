@@ -28,9 +28,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
+	"repro/internal/daemon"
 	"repro/internal/relation"
 	"repro/internal/source"
 	"repro/internal/ssdl"
@@ -106,11 +109,22 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("serving source %q (%d tuples) at %s\n", src.Name(), rel.Len(), *serve)
-		fmt.Printf("endpoints: GET /describe, GET /stats, POST /query\n")
 		h := source.NewHandler(src)
 		h.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
-		return http.ListenAndServe(*serve, h)
+		// The shared hardened lifecycle: header-read timeouts against
+		// slowloris clients and a graceful drain on SIGINT/SIGTERM, the
+		// same server the daemon runs under.
+		sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return daemon.Serve(sigCtx, daemon.ServeOptions{
+			Addr:    *serve,
+			Handler: h,
+			Logger:  slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			OnListen: func(a net.Addr) {
+				fmt.Printf("serving source %q (%d tuples) at %s\n", src.Name(), rel.Len(), a)
+				fmt.Printf("endpoints: GET /describe, GET /stats, POST /query\n")
+			},
+		})
 	}
 
 	if *interactive {
@@ -153,7 +167,7 @@ func run() error {
 		return compareAll(sys, srcName, *query, attrs)
 	}
 
-	strategy, err := parseStrategy(*strategyName)
+	strategy, err := csqp.ParseStrategy(*strategyName)
 	if err != nil {
 		return err
 	}
@@ -360,25 +374,6 @@ func compareAll(sys *csqp.System, src, query string, attrs []string) error {
 		fmt.Printf("%-12s %-9s %-14d %-12.2f %-10d\n", s, "yes", len(res.SourceQueries), res.Cost, res.Answer.Len())
 	}
 	return nil
-}
-
-func parseStrategy(name string) (csqp.Strategy, error) {
-	switch strings.ToLower(name) {
-	case "gencompact":
-		return csqp.GenCompact, nil
-	case "genmodular":
-		return csqp.GenModular, nil
-	case "cnf":
-		return csqp.CNF, nil
-	case "dnf":
-		return csqp.DNF, nil
-	case "disco":
-		return csqp.Disco, nil
-	case "naive":
-		return csqp.Naive, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", name)
-	}
 }
 
 func parseStreaming(name string) (csqp.StreamingMode, error) {

@@ -21,12 +21,12 @@ func TestParseStrategy(t *testing.T) {
 		"Naive":      csqp.Naive,
 	}
 	for name, want := range tests {
-		got, err := parseStrategy(name)
+		got, err := csqp.ParseStrategy(name)
 		if err != nil || got != want {
-			t.Errorf("parseStrategy(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := parseStrategy("quantum"); err == nil {
+	if _, err := csqp.ParseStrategy("quantum"); err == nil {
 		t.Error("unknown strategy should fail")
 	}
 }

@@ -73,7 +73,7 @@ func (r *repl) command(line string) {
 			fmt.Fprintln(r.out, "strategy:", r.strategy)
 			return
 		}
-		s, err := parseStrategy(fields[1])
+		s, err := csqp.ParseStrategy(fields[1])
 		if err != nil {
 			fmt.Fprintln(r.out, "error:", err)
 			return

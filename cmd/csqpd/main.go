@@ -1,0 +1,100 @@
+// Command csqpd is the long-lived multi-tenant mediator daemon: an
+// HTTP/JSON service hosting many named federations over shared
+// infrastructure — pooled source connections, shared-capacity plan and
+// template caches partitioned per tenant, one telemetry registry — with
+// admission control, load shedding (429 + Retry-After past the
+// in-flight and queue bounds) and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	csqpd -addr :8443
+//	csqpd -addr :8443 -max-inflight 32 -max-queue 64 -queue-timeout 500ms
+//
+// API:
+//
+//	POST /v1/tenants/{t}/sources   register a source: {"base_url": "http://host:port"}
+//	                               or inline {"ssdl": "...", "data_tsv": "..."}
+//	GET  /v1/tenants/{t}/sources   list the tenant's sources
+//	POST /v1/tenants/{t}/query     {"source","cond","attrs",["strategy","deadline_ms","profile","trace"]}
+//	GET  /v1/tenants/{t}/recent    the tenant's flight-recorder records
+//	GET  /v1/tenants               tenant listing
+//	GET  /healthz, /readyz         liveness / readiness (503 while draining)
+//	GET  /metrics, /metrics.json   telemetry registry (Prometheus text / JSON)
+//	GET  /debug/pprof/             Go runtime profiler
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "csqpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8443", "listen address")
+	maxInFlight := flag.Int("max-inflight", daemon.DefaultMaxInFlight, "max concurrently executing queries")
+	maxQueue := flag.Int("max-queue", daemon.DefaultMaxQueue, "max queries queued for a slot (negative = no queue)")
+	queueTimeout := flag.Duration("queue-timeout", daemon.DefaultQueueTimeout, "max time a query may wait queued")
+	queryDeadline := flag.Duration("query-deadline", daemon.DefaultQueryDeadline, "default per-query deadline (requests may set a shorter one)")
+	drainTimeout := flag.Duration("drain-timeout", daemon.DefaultDrainTimeout, "max time to finish in-flight queries on shutdown")
+	cacheSize := flag.Int("cache-size", 0, "shared plan/template cache pool entries (0 = default 512)")
+	srcCache := flag.Int("source-cache", 0, "memoized source answers per source per tenant (0 = disabled)")
+	srcCacheTTL := flag.Duration("source-cache-ttl", 0, "staleness bound for cached source answers (0 = 1m default)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-source-query attempt timeout (0 = none)")
+	retries := flag.Int("retries", 1, "retries per failed source query (transport errors only)")
+	breaker := flag.Int("breaker", 0, "circuit-breaker failure threshold per source (0 = disabled)")
+	partial := flag.Bool("partial", false, "degrade Union plans to the branches that succeed")
+	verbose := flag.Bool("v", false, "log at info level instead of warn")
+	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	d := daemon.New(daemon.Options{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		QueueTimeout:     *queueTimeout,
+		QueryDeadline:    *queryDeadline,
+		CacheSize:        *cacheSize,
+		SourceCacheSize:  *srcCache,
+		SourceCacheTTL:   *srcCacheTTL,
+		QueryTimeout:     *timeout,
+		QueryRetries:     *retries,
+		BreakerThreshold: *breaker,
+		PartialAnswers:   *partial,
+		Logger:           log,
+	})
+	defer d.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return daemon.Serve(ctx, daemon.ServeOptions{
+		Addr:         *addr,
+		Handler:      d.Handler(),
+		DrainTimeout: *drainTimeout,
+		Pprof:        true,
+		OnDrain:      d.BeginDrain,
+		OnListen: func(a net.Addr) {
+			fmt.Printf("csqpd: listening at %s (max in-flight %d, queue %d, queue timeout %s)\n",
+				a, *maxInFlight, *maxQueue, *queueTimeout)
+		},
+		Logger: log,
+	})
+}

@@ -1,0 +1,197 @@
+// Command loadgen drives a running csqpd with an open-loop query load
+// and reports latency percentiles and the shed rate. Open-loop means
+// arrivals follow the configured rate regardless of completions — the
+// only arrival process that actually reveals overload behaviour: a
+// closed loop slows its own offered load down exactly when the server
+// struggles, hiding the queueing collapse the daemon's admission control
+// exists to bound.
+//
+// Usage:
+//
+//	loadgen -daemon http://localhost:8443 -tenant bench \
+//	        -source cars -cond 'make = "BMW" ^ price < 40000' -attrs model \
+//	        -rate 200 -duration 10s
+//
+// Exit status is 0 when every request either succeeded or was shed
+// cleanly (429); any other outcome (5xx, transport error, bad body) is
+// an error and exits 1.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+func run() error {
+	daemonURL := flag.String("daemon", "http://localhost:8443", "csqpd base URL")
+	tenant := flag.String("tenant", "bench", "tenant to drive")
+	srcName := flag.String("source", "", "source name for the query")
+	cond := flag.String("cond", "", "target-query condition")
+	attrsFlag := flag.String("attrs", "", "comma-separated requested attributes")
+	strategy := flag.String("strategy", "", "planning strategy (empty = daemon default)")
+	rate := flag.Float64("rate", 100, "offered load in queries per second (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	deadlineMS := flag.Int("deadline-ms", 0, "per-query deadline sent to the daemon (0 = daemon default)")
+	maxErrors := flag.Int("max-errors", 0, "tolerated hard errors before exit 1")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if *srcName == "" || *cond == "" || *attrsFlag == "" {
+		return fmt.Errorf("missing -source, -cond or -attrs")
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+	var attrs []string
+	for _, a := range strings.Split(*attrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			attrs = append(attrs, a)
+		}
+	}
+	body, err := json.Marshal(map[string]any{
+		"source": *srcName, "cond": *cond, "attrs": attrs,
+		"strategy": *strategy, "deadline_ms": *deadlineMS,
+	})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(*daemonURL, "/") + "/v1/tenants/" + *tenant + "/query"
+
+	// One shared transport with generous per-host connection reuse: the
+	// generator must not bottleneck on its own dialing.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 256
+	hc := &http.Client{Transport: tr}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	total := int(float64(*duration) / float64(interval))
+	results := make(chan result, total)
+	var wg sync.WaitGroup
+
+	fmt.Fprintf(os.Stderr, "loadgen: offering %.0f q/s for %s (%d requests) at %s\n",
+		*rate, *duration, total, url)
+	ticker := time.NewTicker(interval)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+			r := result{latency: time.Since(t0)}
+			if err != nil {
+				r.err = err
+				results <- r
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.status = resp.StatusCode
+			results <- r
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	close(results)
+	wall := time.Since(start)
+
+	var ok, shed, hardErr int
+	var latencies []time.Duration
+	var firstErr error
+	for r := range results {
+		switch {
+		case r.err != nil:
+			hardErr++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case r.status == http.StatusOK:
+			ok++
+			latencies = append(latencies, r.latency)
+		case r.status == http.StatusTooManyRequests:
+			shed++
+		default:
+			hardErr++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("unexpected status %d", r.status)
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	report := map[string]any{
+		"offered":    total,
+		"ok":         ok,
+		"shed":       shed,
+		"errors":     hardErr,
+		"wall_ms":    wall.Milliseconds(),
+		"throughput": float64(ok) / wall.Seconds(),
+		"shed_rate":  rateOf(shed, total),
+		"p50_ms":     pctMS(latencies, 0.50),
+		"p90_ms":     pctMS(latencies, 0.90),
+		"p99_ms":     pctMS(latencies, 0.99),
+		"max_ms":     pctMS(latencies, 1.00),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("offered %d in %s  ok %d  shed %d (%.1f%%)  errors %d\n",
+			total, wall.Round(time.Millisecond), ok, shed, 100*rateOf(shed, total), hardErr)
+		fmt.Printf("latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms  throughput %.1f q/s\n",
+			pctMS(latencies, 0.50), pctMS(latencies, 0.90), pctMS(latencies, 0.99),
+			pctMS(latencies, 1.00), float64(ok)/wall.Seconds())
+	}
+	if hardErr > *maxErrors {
+		return fmt.Errorf("%d hard errors (tolerated %d), first: %v", hardErr, *maxErrors, firstErr)
+	}
+	return nil
+}
+
+func rateOf(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// pctMS returns the p-th percentile of sorted latencies in milliseconds.
+func pctMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Microseconds()) / 1000
+}

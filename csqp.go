@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -160,6 +161,27 @@ const (
 	Naive
 )
 
+// ParseStrategy resolves a strategy by its case-insensitive name, as CLI
+// flags and wire requests carry it.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "gencompact", "":
+		return GenCompact, nil
+	case "genmodular":
+		return GenModular, nil
+	case "cnf":
+		return CNF, nil
+	case "dnf":
+		return DNF, nil
+	case "disco":
+		return Disco, nil
+	case "naive":
+		return Naive, nil
+	default:
+		return 0, fmt.Errorf("csqp: unknown strategy %q", name)
+	}
+}
+
 // String names the strategy.
 func (s Strategy) String() string {
 	switch s {
@@ -268,6 +290,12 @@ type Options struct {
 	// execution profile — kept in a ring for Recent (0 =
 	// mediator.DefaultRecorderSize, 64).
 	RecorderSize int
+	// Metrics points the system at an existing telemetry registry instead
+	// of creating its own, so many systems (a multi-tenant daemon's
+	// per-tenant federations) export through one endpoint. Same-named
+	// instruments aggregate across systems. Nil creates a fresh registry
+	// (the default).
+	Metrics *MetricsRegistry
 }
 
 // System is a mediator with its sources, estimator and cost model.
@@ -311,10 +339,14 @@ func NewSystem(opts ...Options) *System {
 		o.Logger = opts[0].Logger
 		o.SlowQueryThreshold = opts[0].SlowQueryThreshold
 		o.RecorderSize = opts[0].RecorderSize
+		o.Metrics = opts[0].Metrics
 	}
 	rels := make(map[string]*relation.Relation)
 	est := cost.NewRegistry()
-	reg := obs.NewRegistry()
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	med := mediator.New(cost.Model{K1: o.K1, K2: o.K2, PerSource: make(map[string]cost.Coef), Est: est})
 	med.Workers = o.Workers
 	med.Streaming = o.Streaming
@@ -426,8 +458,16 @@ func (s *System) AddQuerierSource(q Querier, ssdlText string) (name string, err 
 // source.Handler (or any server speaking the same protocol); the SSDL
 // description is fetched from the source itself.
 func (s *System) AddHTTPSource(baseURL string) (name string, err error) {
-	ctx := context.Background()
-	client := source.NewClient(baseURL, nil)
+	return s.AddHTTPSourceWith(context.Background(), baseURL, nil)
+}
+
+// AddHTTPSourceWith is AddHTTPSource under a caller-supplied context
+// (bounding the description/statistics fetch) and http.Client. Pass a
+// pooled client shared across sources — a long-lived mediator creating a
+// fresh connection pool per source or per query is how downstream
+// connections get exhausted.
+func (s *System) AddHTTPSourceWith(ctx context.Context, baseURL string, hc *http.Client) (name string, err error) {
+	client := source.NewClient(baseURL, hc)
 	g, err := client.Describe(ctx)
 	if err != nil {
 		return "", err
@@ -545,6 +585,28 @@ func (s *System) AnnotatePlan(p Plan) string { return cost.Explain(p, s.med.Mode
 // constants pinned by the source grammar). Both tiers are bounded LRUs
 // with request coalescing — N concurrent identical queries plan once.
 func (s *System) EnableCache() { s.med.EnableCache() }
+
+// SharedPlanCaches is a plan + template cache pool shared by several
+// systems, each under its own partition (see NewSharedPlanCaches and
+// EnableSharedCache).
+type SharedPlanCaches = mediator.SharedPlanCaches
+
+// NewSharedPlanCaches builds a cache pool for EnableSharedCache: one
+// bounded plan cache and one template cache (capacity each; 0 = default
+// 512) whose LRU budget every participating system draws from.
+func NewSharedPlanCaches(capacity int) *SharedPlanCaches {
+	return mediator.NewSharedPlanCaches(capacity)
+}
+
+// EnableSharedCache turns on plan caching backed by a shared pool instead
+// of private caches: entries are keyed under the partition (typically a
+// tenant name), so systems never see each other's plans, while the
+// memory budget and singleflight machinery are shared. Call before
+// serving queries; a multi-tenant daemon calls this once per tenant
+// system with one pool.
+func (s *System) EnableSharedCache(shared *SharedPlanCaches, partition string) {
+	s.med.EnableSharedCache(shared, partition)
+}
 
 // CacheStats reports plan-cache activity: hits, misses, LRU evictions and
 // coalesced waits (zeros when disabled).

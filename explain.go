@@ -166,6 +166,14 @@ func (s *System) explanation(strategy Strategy, src string, c Condition, attrs [
 	return e
 }
 
+// Fingerprint returns the query's shape identity — the FNV-64a hash of
+// (strategy, source, parameterized skeleton, attrs) that the flight
+// recorder, slow-query log and EXPLAIN output all report — so wire
+// responses can be matched against recorded and logged queries.
+func (s *System) Fingerprint(strategy Strategy, src string, cond Condition, attrs []string) string {
+	return s.med.Fingerprint(strategy.String(), src, cond, attrs)
+}
+
 // Recent returns the flight recorder's buffered query records, newest
 // first: the last Options.RecorderSize executed queries with their
 // fingerprints, durations, dispositions and execution profiles. The

@@ -1,0 +1,174 @@
+// Package daemon is the long-lived multi-tenant mediator service: an
+// HTTP/JSON front end hosting many named federations (one csqp.System
+// per tenant) over shared infrastructure — a pooled source transport,
+// shared-capacity plan/template caches partitioned per tenant, one
+// telemetry registry — with admission control, load shedding and
+// graceful drain. The paper's mediator is implicitly this process; the
+// CLI was only ever its one-shot shadow.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control bounds the damage of overload: at most MaxInFlight
+// queries execute, at most MaxQueue more wait, and nobody waits past the
+// queue timeout or their own deadline. Everything beyond that is shed
+// immediately with 429 + Retry-After — a fast no beats a slow maybe,
+// because a queue without a bound converts overload into unbounded
+// latency for everyone, then into memory exhaustion.
+
+// Shed reasons, also the `reason` label on csqp_daemon_shed_total.
+const (
+	shedQueueFull    = "queue_full"    // queue at capacity, rejected instantly
+	shedQueueTimeout = "queue_timeout" // waited the full queue timeout, no slot
+	shedDeadline     = "deadline"      // caller's deadline expires before a slot could help
+)
+
+// errShed is an admission rejection; Reason is one of the shed reasons.
+type errShed struct{ Reason string }
+
+func (e *errShed) Error() string { return "daemon: overloaded (" + e.Reason + ")" }
+
+// asShed extracts an admission rejection from err.
+func asShed(err error) (*errShed, bool) {
+	var s *errShed
+	return s, errors.As(err, &s)
+}
+
+// admission is the max-in-flight semaphore plus the deadline-aware
+// bounded queue in front of it.
+type admission struct {
+	sem          chan struct{} // cap = max in flight
+	queue        chan struct{} // cap = max queued waiters
+	queueTimeout time.Duration
+
+	shed     atomic.Int64
+	admitted atomic.Int64
+
+	gInflight, gQueued      *obs.Gauge
+	cAdmitted               *obs.Counter
+	cShedFull, cShedTimeout *obs.Counter
+	cShedDeadline           *obs.Counter
+}
+
+func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration, reg *obs.Registry) *admission {
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	return &admission{
+		sem:           make(chan struct{}, maxInFlight),
+		queue:         make(chan struct{}, maxQueue),
+		queueTimeout:  queueTimeout,
+		gInflight:     reg.Gauge("csqp_daemon_inflight"),
+		gQueued:       reg.Gauge("csqp_daemon_queued"),
+		cAdmitted:     reg.Counter("csqp_daemon_admitted_total"),
+		cShedFull:     reg.Counter("csqp_daemon_shed_total", "reason", shedQueueFull),
+		cShedTimeout:  reg.Counter("csqp_daemon_shed_total", "reason", shedQueueTimeout),
+		cShedDeadline: reg.Counter("csqp_daemon_shed_total", "reason", shedDeadline),
+	}
+}
+
+// acquire admits the request or rejects it. A *errShed result means the
+// caller should answer 429 with Retry-After; a context error means the
+// client is gone. The done channel is the request context's Done; dl is
+// its deadline (zero time = none).
+func (a *admission) acquire(done <-chan struct{}, dl time.Time) error {
+	// Fast path: a free execution slot.
+	select {
+	case a.sem <- struct{}{}:
+		a.admit()
+		return nil
+	default:
+	}
+	// Saturated: take a bounded queue slot or shed instantly.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return a.reject(shedQueueFull)
+	}
+	a.gQueued.Set(float64(len(a.queue)))
+	defer func() {
+		<-a.queue
+		a.gQueued.Set(float64(len(a.queue)))
+	}()
+	// Deadline-aware wait: never hold a waiter past the queue timeout,
+	// and never past the point its own deadline makes success worthless.
+	wait := a.queueTimeout
+	reason := shedQueueTimeout
+	if !dl.IsZero() {
+		if until := time.Until(dl); until < wait {
+			wait = until
+			reason = shedDeadline
+		}
+	}
+	if wait <= 0 {
+		return a.reject(shedDeadline)
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.admit()
+		return nil
+	case <-t.C:
+		return a.reject(reason)
+	case <-done:
+		// done fires both when the client hangs up and when the request
+		// context hits the query deadline; the latter races our own shed
+		// timer, so classify by the clock rather than by which channel won.
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return a.reject(shedDeadline)
+		}
+		// Client hung up while queued; not a shed, nothing to serve.
+		return fmt.Errorf("daemon: caller gone while queued: %w", errClientGone)
+	}
+}
+
+var errClientGone = errors.New("client closed request")
+
+func (a *admission) admit() {
+	a.admitted.Add(1)
+	a.cAdmitted.Inc()
+	a.gInflight.Set(float64(len(a.sem)))
+}
+
+func (a *admission) release() {
+	<-a.sem
+	a.gInflight.Set(float64(len(a.sem)))
+}
+
+func (a *admission) reject(reason string) error {
+	a.shed.Add(1)
+	switch reason {
+	case shedQueueFull:
+		a.cShedFull.Inc()
+	case shedQueueTimeout:
+		a.cShedTimeout.Inc()
+	default:
+		a.cShedDeadline.Inc()
+	}
+	return &errShed{Reason: reason}
+}
+
+// retryAfter suggests when a shed caller should try again: the queue
+// timeout rounded up to whole seconds (at least 1), the interval after
+// which today's congestion has either drained or is persistent.
+func (a *admission) retryAfter() int {
+	s := int((a.queueTimeout + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

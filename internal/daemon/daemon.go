@@ -1,0 +1,523 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/source"
+)
+
+// Defaults for Options' zero values.
+const (
+	DefaultMaxInFlight     = 64
+	DefaultMaxQueue        = 128
+	DefaultQueueTimeout    = time.Second
+	DefaultDrainTimeout    = 10 * time.Second
+	DefaultQueryDeadline   = 30 * time.Second
+	DefaultDescribeTimeout = 10 * time.Second
+)
+
+// Options configure a Daemon.
+type Options struct {
+	// MaxInFlight bounds concurrently executing queries across all tenants
+	// (0 = DefaultMaxInFlight).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond it
+	// requests shed instantly (negative = no queue; 0 = DefaultMaxQueue).
+	MaxQueue int
+	// QueueTimeout bounds how long a query may wait queued
+	// (0 = DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// QueryDeadline is the per-query execution deadline applied when the
+	// request does not carry its own (0 = DefaultQueryDeadline).
+	QueryDeadline time.Duration
+	// CacheSize bounds the shared plan/template cache pool (entries each;
+	// 0 = the mediator default, 512). All tenants draw on this budget.
+	CacheSize int
+	// SourceCacheSize enables per-source answer caching inside every
+	// tenant system, with this many entries per source (0 = disabled).
+	// Partitioning is inherent: each tenant's sources cache separately.
+	SourceCacheSize int
+	// SourceCacheTTL bounds answer staleness (see csqp.Options).
+	SourceCacheTTL time.Duration
+	// QueryTimeout/QueryRetries/BreakerThreshold configure each tenant
+	// system's source resilience layer (see csqp.Options).
+	QueryTimeout     time.Duration
+	QueryRetries     int
+	BreakerThreshold int
+	// PartialAnswers lets Union plans degrade per tenant system.
+	PartialAnswers bool
+	// Logger receives the daemon's structured events (nil = silent).
+	Logger *slog.Logger
+	// Metrics is the registry everything exports through (nil = fresh).
+	Metrics *obs.Registry
+}
+
+// Daemon hosts many named tenant federations behind one HTTP API.
+type Daemon struct {
+	opts   Options
+	log    *slog.Logger
+	reg    *obs.Registry
+	shared *csqp.SharedPlanCaches
+	pool   *source.Pool
+	adm    *admission
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	draining atomic.Bool
+
+	cRequests *obs.Counter
+	hRequest  *obs.Histogram
+}
+
+// tenant is one named federation: a csqp.System plus registration state.
+type tenant struct {
+	name string
+	sys  *csqp.System
+	mu   sync.Mutex // serializes registrations; queries are lock-free
+}
+
+// New builds a daemon. Tenants are created on first registration.
+func New(o Options) *Daemon {
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.QueryDeadline <= 0 {
+		o.QueryDeadline = DefaultQueryDeadline
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	shared := csqp.NewSharedPlanCaches(o.CacheSize)
+	shared.SetObs(o.Metrics)
+	d := &Daemon{
+		opts:      o,
+		log:       obs.LoggerOr(o.Logger),
+		reg:       o.Metrics,
+		shared:    shared,
+		pool:      source.NewPool(source.PoolOptions{Obs: o.Metrics}),
+		adm:       newAdmission(o.MaxInFlight, max(o.MaxQueue, 0), o.QueueTimeout, o.Metrics),
+		tenants:   make(map[string]*tenant),
+		cRequests: o.Metrics.Counter("csqp_daemon_requests_total"),
+		hRequest:  o.Metrics.Histogram("csqp_daemon_request_seconds", nil),
+	}
+	d.reg.Gauge("csqp_daemon_tenants").Set(0)
+	return d
+}
+
+// Metrics returns the daemon's registry (shared with every tenant
+// system).
+func (d *Daemon) Metrics() *obs.Registry { return d.reg }
+
+// ShedTotal reports how many queries admission control has shed.
+func (d *Daemon) ShedTotal() int64 { return d.adm.shed.Load() }
+
+// BeginDrain flips the daemon into draining: readiness reports 503 and
+// new queries are rejected, while in-flight ones run to completion. The
+// HTTP server's Shutdown does the connection-level draining; this makes
+// the state observable (load balancers watch /readyz).
+func (d *Daemon) BeginDrain() {
+	if d.draining.CompareAndSwap(false, true) {
+		d.log.Info("daemon: draining — readiness down, finishing in-flight queries")
+		d.reg.Gauge("csqp_daemon_draining").Set(1)
+	}
+}
+
+// Draining reports whether BeginDrain was called.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// Close releases pooled connections (call after the server has drained).
+func (d *Daemon) Close() { d.pool.CloseIdle() }
+
+// tenantNameRE validates tenant names: they become cache partitions,
+// metric labels and URL path segments, so keep them boring.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// tenant returns the named federation, creating it when create is set.
+func (d *Daemon) tenant(name string, create bool) (*tenant, error) {
+	if !tenantNameRE.MatchString(name) {
+		return nil, &apiError{http.StatusBadRequest, fmt.Sprintf("invalid tenant name %q", name)}
+	}
+	d.mu.RLock()
+	t, ok := d.tenants[name]
+	d.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	if !create {
+		return nil, &apiError{http.StatusNotFound, fmt.Sprintf("unknown tenant %q", name)}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.tenants[name]; ok {
+		return t, nil
+	}
+	sys := csqp.NewSystem(csqp.Options{
+		QueryTimeout:     d.opts.QueryTimeout,
+		QueryRetries:     d.opts.QueryRetries,
+		BreakerThreshold: d.opts.BreakerThreshold,
+		PartialAnswers:   d.opts.PartialAnswers,
+		SourceCacheSize:  d.opts.SourceCacheSize,
+		SourceCacheTTL:   d.opts.SourceCacheTTL,
+		Logger:           d.opts.Logger,
+		Metrics:          d.reg,
+	})
+	sys.EnableSharedCache(d.shared, name)
+	t = &tenant{name: name, sys: sys}
+	d.tenants[name] = t
+	d.reg.Gauge("csqp_daemon_tenants").Set(float64(len(d.tenants)))
+	d.log.Info("daemon: tenant created", "tenant", name)
+	return t, nil
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz                      liveness (always 200 while up)
+//	GET  /readyz                       readiness (503 while draining)
+//	GET  /metrics, /metrics.json       telemetry registry
+//	GET  /v1/tenants                   tenant listing
+//	POST /v1/tenants/{t}/sources       register a source into t
+//	GET  /v1/tenants/{t}/sources       list t's sources
+//	POST /v1/tenants/{t}/query         answer a query against t
+//	GET  /v1/tenants/{t}/recent        t's flight-recorder records
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if d.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /metrics", obs.NewHTTPHandler(d.reg))
+	mux.Handle("GET /metrics.json", obs.NewHTTPHandler(d.reg))
+	mux.HandleFunc("GET /v1/tenants", d.handleTenants)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/sources", d.instrument(d.handleRegister))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/sources", d.handleSources)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/query", d.instrument(d.handleQuery))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/recent", d.handleRecent)
+	return mux
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram.
+func (d *Daemon) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		d.cRequests.Inc()
+		h(w, r)
+		d.hRequest.Observe(time.Since(start).Seconds())
+	}
+}
+
+// apiError carries an HTTP status with its message.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string { return e.Msg }
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps err onto the wire: apiError as-is, everything else by
+// classification.
+func (d *Daemon) writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.Status, map[string]string{"error": ae.Msg})
+		return
+	}
+	if shed, ok := asShed(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(d.adm.retryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error":  "overloaded, retry later",
+			"reason": shed.Reason,
+		})
+		return
+	}
+	switch {
+	case errors.Is(err, errClientGone):
+		// 499-style: the client is gone; the code is moot but log-visible.
+		writeJSON(w, http.StatusRequestTimeout, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
+	case errors.Is(err, csqp.ErrInfeasible):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+	default:
+		var ref *source.RefusalError
+		if errors.As(err, &ref) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		var tr *source.TransportError
+		if errors.As(err, &tr) {
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
+// registerRequest registers one source into a tenant's federation:
+// either a remote source by base URL (the production path — description
+// and statistics are fetched from the source itself over the pooled
+// transport) or an inline relation + SSDL description (tests,
+// bootstrapping fixtures).
+type registerRequest struct {
+	BaseURL string `json:"base_url,omitempty"`
+	SSDL    string `json:"ssdl,omitempty"`
+	DataTSV string `json:"data_tsv,omitempty"`
+}
+
+type registerResponse struct {
+	Tenant  string   `json:"tenant"`
+	Source  string   `json:"source"`
+	Sources []string `json:"sources"`
+}
+
+func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		d.writeError(w, &apiError{http.StatusServiceUnavailable, "draining"})
+		return
+	}
+	var req registerRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		d.writeError(w, &apiError{http.StatusBadRequest, "bad request body: " + err.Error()})
+		return
+	}
+	t, err := d.tenant(r.PathValue("tenant"), true)
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var name string
+	switch {
+	case req.BaseURL != "" && req.SSDL == "":
+		ctx, cancel := context.WithTimeout(r.Context(), DefaultDescribeTimeout)
+		defer cancel()
+		// The pooled client is shared per base URL across tenants and
+		// queries: registration must not build a fresh connection pool.
+		name, err = t.sys.AddHTTPSourceWith(ctx, req.BaseURL, d.pool.HTTPClient())
+	case req.SSDL != "" && req.BaseURL == "":
+		rel, rerr := relation.ReadTSV(strings.NewReader(req.DataTSV))
+		if rerr != nil {
+			d.writeError(w, &apiError{http.StatusBadRequest, "bad data_tsv: " + rerr.Error()})
+			return
+		}
+		err = t.sys.AddSource(rel, req.SSDL)
+		if err == nil {
+			if g, gerr := csqp.ParseSSDL(req.SSDL); gerr == nil {
+				name = g.Source
+			}
+		}
+	default:
+		d.writeError(w, &apiError{http.StatusBadRequest, "provide exactly one of base_url or ssdl (+data_tsv)"})
+		return
+	}
+	if err != nil {
+		if strings.Contains(err.Error(), "already registered") {
+			d.writeError(w, &apiError{http.StatusConflict, err.Error()})
+			return
+		}
+		d.writeError(w, err)
+		return
+	}
+	d.log.Info("daemon: source registered", "tenant", t.name, "source", name, "base_url", req.BaseURL)
+	writeJSON(w, http.StatusCreated, registerResponse{Tenant: t.name, Source: name, Sources: t.sys.Sources()})
+}
+
+func (d *Daemon) handleSources(w http.ResponseWriter, r *http.Request) {
+	t, err := d.tenant(r.PathValue("tenant"), false)
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, registerResponse{Tenant: t.name, Sources: t.sys.Sources()})
+}
+
+func (d *Daemon) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	d.mu.RLock()
+	names := make([]string, 0, len(d.tenants))
+	for n := range d.tenants {
+		names = append(names, n)
+	}
+	d.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": names})
+}
+
+func (d *Daemon) handleRecent(w http.ResponseWriter, r *http.Request) {
+	t, err := d.tenant(r.PathValue("tenant"), false)
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": t.name, "recent": t.sys.Recent()})
+}
+
+// queryRequest is one target query on the wire.
+type queryRequest struct {
+	// Source, Cond and Attrs state the target query SP(cond, attrs, src).
+	Source string   `json:"source"`
+	Cond   string   `json:"cond"`
+	Attrs  []string `json:"attrs"`
+	// Strategy selects the planner ("" = GenCompact).
+	Strategy string `json:"strategy,omitempty"`
+	// DeadlineMS bounds the query (0 = the daemon's default deadline).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Profile includes the per-operator execution profile and the plan
+	// fingerprint in the response.
+	Profile bool `json:"profile,omitempty"`
+	// Trace records the query's span tree and returns it rendered.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// queryResponse is a completed query on the wire. Rows carry every value
+// in its text form; Columns names them in order.
+type queryResponse struct {
+	Tenant         string            `json:"tenant"`
+	Source         string            `json:"source"`
+	Strategy       string            `json:"strategy"`
+	Columns        []string          `json:"columns"`
+	Rows           [][]string        `json:"rows"`
+	RowCount       int               `json:"row_count"`
+	Cost           float64           `json:"cost"`
+	SourceQueries  int               `json:"source_queries"`
+	Cached         bool              `json:"cached,omitempty"`
+	Template       bool              `json:"template,omitempty"`
+	Partial        bool              `json:"partial,omitempty"`
+	DroppedSources []string          `json:"dropped_sources,omitempty"`
+	DurationMS     float64           `json:"duration_ms"`
+	Fingerprint    string            `json:"fingerprint,omitempty"`
+	Profile        *csqp.ExecProfile `json:"profile,omitempty"`
+	Trace          string            `json:"trace,omitempty"`
+}
+
+func (d *Daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		d.writeError(w, &apiError{http.StatusServiceUnavailable, "draining"})
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		d.writeError(w, &apiError{http.StatusBadRequest, "bad request body: " + err.Error()})
+		return
+	}
+	t, err := d.tenant(r.PathValue("tenant"), false)
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	if req.Source == "" || req.Cond == "" || len(req.Attrs) == 0 {
+		d.writeError(w, &apiError{http.StatusBadRequest, "source, cond and attrs are required"})
+		return
+	}
+	strategy, err := csqp.ParseStrategy(req.Strategy)
+	if err != nil {
+		d.writeError(w, &apiError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	cond, err := csqp.ParseCondition(req.Cond)
+	if err != nil {
+		d.writeError(w, &apiError{http.StatusBadRequest, "bad condition: " + err.Error()})
+		return
+	}
+
+	// The query's deadline exists before admission so queue waiting is
+	// deadline-aware: a request that would expire in the queue is shed
+	// now, not executed pointlessly later.
+	deadline := d.opts.QueryDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	if err := d.adm.acquire(ctx.Done(), time.Now().Add(deadline)); err != nil {
+		d.writeError(w, err)
+		return
+	}
+	defer d.adm.release()
+
+	var tr *csqp.Tracer
+	if req.Trace {
+		ctx, tr = csqp.Trace(ctx)
+	}
+	res, qerr := t.sys.QueryCond(ctx, strategy, req.Source, cond, req.Attrs)
+	if res == nil {
+		d.writeError(w, qerr)
+		return
+	}
+	resp := queryResponse{
+		Tenant:        t.name,
+		Source:        req.Source,
+		Strategy:      strategy.String(),
+		RowCount:      res.Answer.Len(),
+		Cost:          res.Cost,
+		SourceQueries: len(res.SourceQueries),
+		DurationMS:    float64(res.Duration.Microseconds()) / 1000,
+	}
+	if res.Metrics != nil {
+		resp.Cached, resp.Template = res.Metrics.Cached, res.Metrics.Template
+	}
+	if qerr != nil {
+		var pe *csqp.PartialError
+		if !errors.As(qerr, &pe) {
+			d.writeError(w, qerr)
+			return
+		}
+		resp.Partial = true
+		resp.DroppedSources = pe.DroppedSources()
+	}
+	res.Answer.Sort()
+	for _, c := range res.Answer.Schema().Columns() {
+		resp.Columns = append(resp.Columns, c.Name)
+	}
+	resp.Rows = make([][]string, 0, res.Answer.Len())
+	for _, tup := range res.Answer.Tuples() {
+		row := make([]string, len(tup.Values()))
+		for i, v := range tup.Values() {
+			row[i] = v.Text()
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	if req.Profile {
+		resp.Fingerprint = t.sys.Fingerprint(strategy, req.Source, cond, req.Attrs)
+		resp.Profile = res.Profile
+	}
+	if tr != nil {
+		resp.Trace = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,585 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// carsGrammar pushes only the make conjunct; price must be post-filtered
+// by the mediator.
+const carsGrammar = `
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model, price}
+`
+
+// carsGrammarPushdown additionally pushes price < $p down to the source.
+const carsGrammarPushdown = `
+source cars
+attrs make, model, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`
+
+const carsTSV = "make:string\tmodel:string\tprice:int\n" +
+	"BMW\t328i\t33000\n" +
+	"BMW\tM5\t99000\n" +
+	"Toyota\tCamry\t28000\n"
+
+// newCarsLocal builds the cars relation + local source for HTTP serving.
+func newCarsLocal(t *testing.T, grammar string) *source.Local {
+	t.Helper()
+	rel, err := relation.ReadTSV(strings.NewReader(carsTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewLocal("", rel, ssdl.MustParse(grammar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// gatedSource serves the cars source over HTTP but holds every /query
+// until release is closed (describe/stats answer immediately so
+// registration works). arrived receives one signal per query that
+// reached the source.
+type gatedSource struct {
+	inner   http.Handler
+	release chan struct{}
+	arrived chan struct{}
+}
+
+func newGatedSource(t *testing.T) *gatedSource {
+	return &gatedSource{
+		inner:   source.NewHandler(newCarsLocal(t, carsGrammar)),
+		release: make(chan struct{}),
+		arrived: make(chan struct{}, 64),
+	}
+}
+
+func (g *gatedSource) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/query" {
+		g.arrived <- struct{}{}
+		select {
+		case <-g.release:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// postJSONErr posts v to url and returns the response and decoded body;
+// safe off the test goroutine.
+func postJSONErr(url string, v any) (*http.Response, map[string]any, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, nil, fmt.Errorf("response %d not JSON: %s", resp.StatusCode, raw)
+		}
+	}
+	return resp, m, nil
+}
+
+// postJSON is postJSONErr that fails the test on transport errors.
+func postJSON(t *testing.T, url string, v any) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, m, err := postJSONErr(url, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, m
+}
+
+// registerInline registers an inline cars source into the tenant.
+func registerInline(t *testing.T, base, tenant, grammar string) {
+	t.Helper()
+	resp, m := postJSON(t, base+"/v1/tenants/"+tenant+"/sources",
+		map[string]string{"ssdl": grammar, "data_tsv": carsTSV})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register into %s: status %d: %v", tenant, resp.StatusCode, m)
+	}
+}
+
+var bmwQuery = map[string]any{
+	"source": "cars",
+	"cond":   `make = "BMW" ^ price < 40000`,
+	"attrs":  []string{"model"},
+}
+
+func TestDaemonRegisterAndQuery(t *testing.T) {
+	d := New(Options{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	registerInline(t, ts.URL, "acme", carsGrammar)
+
+	q := map[string]any{}
+	for k, v := range bmwQuery {
+		q[k] = v
+	}
+	q["profile"] = true
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %v", resp.StatusCode, m)
+	}
+	rows := m["rows"].([]any)
+	if len(rows) != 1 || rows[0].([]any)[0].(string) != "328i" {
+		t.Fatalf("rows = %v, want [[328i]]", rows)
+	}
+	if m["fingerprint"] == nil || m["fingerprint"].(string) == "" {
+		t.Error("profile=true should include the plan fingerprint")
+	}
+	if m["profile"] == nil {
+		t.Error("profile=true should include the execution profile")
+	}
+
+	// The repeat is a cache hit within the tenant's partition.
+	resp2, m2 := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: status %d: %v", resp2.StatusCode, m2)
+	}
+	if m2["cached"] != true {
+		t.Error("repeated query should report cached=true")
+	}
+
+	// Unknown tenant is 404; bad strategy and bad condition are 400.
+	if resp, _ := postJSON(t, ts.URL+"/v1/tenants/nobody/query", bmwQuery); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", resp.StatusCode)
+	}
+	bad := map[string]any{"source": "cars", "cond": "make =", "attrs": []string{"model"}}
+	if resp, _ := postJSON(t, ts.URL+"/v1/tenants/acme/query", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad condition: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDaemonTenantIsolation drives partition isolation end to end through
+// the HTTP API: both tenants register a source named "cars" with the same
+// query shape but different capabilities. If a cached plan crossed
+// tenants, tenant B's source would refuse the pushed-down query.
+func TestDaemonTenantIsolation(t *testing.T) {
+	d := New(Options{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	registerInline(t, ts.URL, "tenant-a", carsGrammarPushdown)
+	registerInline(t, ts.URL, "tenant-b", carsGrammar)
+
+	respA, mA := postJSON(t, ts.URL+"/v1/tenants/tenant-a/query", bmwQuery)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("tenant A: status %d: %v", respA.StatusCode, mA)
+	}
+	respB, mB := postJSON(t, ts.URL+"/v1/tenants/tenant-b/query", bmwQuery)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("tenant B (cross-tenant plan leak?): status %d: %v", respB.StatusCode, mB)
+	}
+	if mB["cached"] == true {
+		t.Error("tenant B's first query must not hit tenant A's cache partition")
+	}
+	if len(mA["rows"].([]any)) != 1 || len(mB["rows"].([]any)) != 1 {
+		t.Errorf("both tenants should answer 1 row; got %v and %v", mA["rows"], mB["rows"])
+	}
+}
+
+// startGated boots a daemon whose only tenant has one gated remote
+// source, so queries block inside execution until released.
+func startGated(t *testing.T, opts Options) (*Daemon, *httptest.Server, *gatedSource) {
+	t.Helper()
+	gate := newGatedSource(t)
+	srcServer := httptest.NewServer(gate)
+	t.Cleanup(srcServer.Close)
+
+	d := New(opts)
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/sources",
+		map[string]string{"base_url": srcServer.URL})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register remote source: status %d: %v", resp.StatusCode, m)
+	}
+	return d, ts, gate
+}
+
+func TestDaemonShedsWhenQueueFull(t *testing.T) {
+	d, ts, gate := startGated(t, Options{MaxInFlight: 1, MaxQueue: -1, QueueTimeout: 2 * time.Second})
+
+	// Occupy the single slot.
+	done := make(chan int, 1)
+	go func() {
+		resp, _, err := postJSONErr(ts.URL+"/v1/tenants/acme/query", bmwQuery)
+		if err != nil {
+			done <- 0
+			return
+		}
+		done <- resp.StatusCode
+	}()
+	<-gate.arrived
+
+	// No queue: the next query sheds instantly with 429 + Retry-After.
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon: status %d, want 429 (%v)", resp.StatusCode, m)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	if m["reason"] != shedQueueFull {
+		t.Errorf("shed reason = %v, want %s", m["reason"], shedQueueFull)
+	}
+	if d.ShedTotal() != 1 {
+		t.Errorf("ShedTotal = %d, want 1", d.ShedTotal())
+	}
+
+	close(gate.release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("occupying query: status %d, want 200", code)
+	}
+}
+
+func TestDaemonShedsOnQueueTimeout(t *testing.T) {
+	_, ts, gate := startGated(t, Options{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 60 * time.Millisecond})
+	defer close(gate.release)
+
+	go postJSONErr(ts.URL+"/v1/tenants/acme/query", bmwQuery)
+	<-gate.arrived
+
+	// The queued waiter never gets a slot within the queue timeout.
+	start := time.Now()
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued past timeout: status %d, want 429 (%v)", resp.StatusCode, m)
+	}
+	if m["reason"] != shedQueueTimeout {
+		t.Errorf("shed reason = %v, want %s", m["reason"], shedQueueTimeout)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("shed took %v; the bounded queue must not wait indefinitely", waited)
+	}
+}
+
+func TestDaemonShedsExpiredDeadlines(t *testing.T) {
+	_, ts, gate := startGated(t, Options{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second})
+	defer close(gate.release)
+
+	go postJSONErr(ts.URL+"/v1/tenants/acme/query", bmwQuery)
+	<-gate.arrived
+
+	// The caller's own deadline expires long before the queue timeout:
+	// admission must shed at the deadline, not hold the slot for 5s.
+	q := map[string]any{}
+	for k, v := range bmwQuery {
+		q[k] = v
+	}
+	q["deadline_ms"] = 50
+	start := time.Now()
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", q)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expired deadline: status %d, want 429 (%v)", resp.StatusCode, m)
+	}
+	if m["reason"] != shedDeadline {
+		t.Errorf("shed reason = %v, want %s", m["reason"], shedDeadline)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("deadline shed took %v, want ~50ms", waited)
+	}
+}
+
+func TestDaemonReadinessFlipsOnDrain(t *testing.T) {
+	d := New(Options{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	registerInline(t, ts.URL, "acme", carsGrammar)
+
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %v %v", resp.StatusCode, err)
+	}
+	d.BeginDrain()
+	if resp, _ := http.Get(ts.URL + "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays up, but new queries and registrations are refused.
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: status %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("query during drain: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeDrainCompletesInFlight runs the real server lifecycle: a query
+// is mid-execution when shutdown begins, and it must still complete with
+// its full answer — an accepted query is never lost to a drain.
+func TestServeDrainCompletesInFlight(t *testing.T) {
+	gate := newGatedSource(t)
+	srcServer := httptest.NewServer(gate)
+	defer srcServer.Close()
+
+	d := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(ctx, ServeOptions{
+			Addr:         "127.0.0.1:0",
+			Handler:      d.Handler(),
+			DrainTimeout: 5 * time.Second,
+			OnDrain:      d.BeginDrain,
+			OnListen:     func(a net.Addr) { addrc <- a },
+		})
+	}()
+	base := "http://" + (<-addrc).String()
+
+	resp, m := postJSON(t, base+"/v1/tenants/acme/sources", map[string]string{"base_url": srcServer.URL})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %v", resp.StatusCode, m)
+	}
+
+	var wg sync.WaitGroup
+	var gotCode int
+	var gotRows []any
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, m, err := postJSONErr(base+"/v1/tenants/acme/query", bmwQuery)
+		if err != nil {
+			return
+		}
+		gotCode = resp.StatusCode
+		if rows, ok := m["rows"].([]any); ok {
+			gotRows = rows
+		}
+	}()
+	<-gate.arrived
+
+	// SIGTERM arrives (ctx cancel) while the query is executing.
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let shutdown begin
+	if !d.Draining() {
+		t.Error("OnDrain should have flipped the daemon into draining")
+	}
+	close(gate.release)
+	wg.Wait()
+
+	if gotCode != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d, want 200", gotCode)
+	}
+	if len(gotRows) != 1 {
+		t.Errorf("in-flight query rows = %v, want the full 1-row answer", gotRows)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+func TestDaemonMetricsExposed(t *testing.T) {
+	d, ts, gate := startGated(t, Options{MaxInFlight: 1, MaxQueue: -1})
+	_ = d
+	close(gate.release)
+
+	if resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %v", resp.StatusCode, m)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"csqp_daemon_inflight",
+		"csqp_daemon_admitted_total",
+		"csqp_daemon_shed_total",
+		"csqp_daemon_requests_total",
+		"csqp_source_pool_clients",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestDaemonRejectsBadRegistrations(t *testing.T) {
+	d := New(Options{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		url  string
+		body map[string]string
+		want int
+	}{
+		{"both base_url and ssdl", "/v1/tenants/acme/sources",
+			map[string]string{"base_url": "http://x", "ssdl": carsGrammar}, http.StatusBadRequest},
+		{"neither", "/v1/tenants/acme/sources", map[string]string{}, http.StatusBadRequest},
+		{"bad tenant name", "/v1/tenants/.hidden/sources",
+			map[string]string{"ssdl": carsGrammar, "data_tsv": carsTSV}, http.StatusBadRequest},
+		{"bad tsv", "/v1/tenants/acme/sources",
+			map[string]string{"ssdl": carsGrammar, "data_tsv": "no-kind-header\nx"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, m := postJSON(t, ts.URL+tc.url, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d (%v)", resp.StatusCode, tc.want, m)
+			}
+		})
+	}
+
+	// Duplicate registration conflicts.
+	registerInline(t, ts.URL, "acme", carsGrammar)
+	resp, _ := postJSON(t, ts.URL+"/v1/tenants/acme/sources",
+		map[string]string{"ssdl": carsGrammar, "data_tsv": carsTSV})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate source: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestDaemonListingsAndErrorMapping(t *testing.T) {
+	d := New(Options{})
+	defer d.Close()
+	if d.Metrics() == nil {
+		t.Fatal("Metrics() must expose the shared registry")
+	}
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	registerInline(t, ts.URL, "acme", carsGrammar)
+	if resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", bmwQuery); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %v", resp.StatusCode, m)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/v1/tenants"); code != http.StatusOK || !strings.Contains(body, "acme") {
+		t.Errorf("GET /v1/tenants = %d %q, want 200 with acme", code, body)
+	}
+	if code, body := get("/v1/tenants/acme/sources"); code != http.StatusOK || !strings.Contains(body, "cars") {
+		t.Errorf("GET sources = %d %q, want 200 with cars", code, body)
+	}
+	// The flight recorder saw the query above.
+	if code, body := get("/v1/tenants/acme/recent"); code != http.StatusOK || !strings.Contains(body, "fingerprint") {
+		t.Errorf("GET recent = %d %q, want 200 with a recorded query", code, body)
+	}
+	if code, _ := get("/v1/tenants/nobody/sources"); code != http.StatusNotFound {
+		t.Errorf("GET sources for unknown tenant = %d, want 404", code)
+	}
+
+	// An unsupportable condition is the mediator's infeasible verdict: 422.
+	infeasible := map[string]any{"source": "cars", "cond": "price < 10", "attrs": []string{"model"}}
+	if resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", infeasible); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible query: status %d, want 422 (%v)", resp.StatusCode, m)
+	}
+}
+
+// TestDaemonQueryDeadlineDuringExecution covers the post-admission
+// deadline: the query is admitted immediately (free slot) but its source
+// never answers within deadline_ms, so the daemon must give up at the
+// deadline rather than hold the slot forever.
+func TestDaemonQueryDeadlineDuringExecution(t *testing.T) {
+	_, ts, gate := startGated(t, Options{MaxInFlight: 4})
+	defer close(gate.release)
+
+	q := map[string]any{}
+	for k, v := range bmwQuery {
+		q[k] = v
+	}
+	q["deadline_ms"] = 80
+	start := time.Now()
+	resp, m := postJSON(t, ts.URL+"/v1/tenants/acme/query", q)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("query against a hung source returned 200: %v", m)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("hung-source query: status %d, want 504 (or 502 if wrapped)", resp.StatusCode)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("deadline took %v to fire, want ~80ms", waited)
+	}
+}
+
+// TestDaemonConcurrentMixedTenants hammers two tenants concurrently —
+// under -race this doubles as the daemon's thread-safety check.
+func TestDaemonConcurrentMixedTenants(t *testing.T) {
+	d := New(Options{MaxInFlight: 4, MaxQueue: 64, QueueTimeout: 5 * time.Second})
+	_ = d
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	registerInline(t, ts.URL, "tenant-a", carsGrammarPushdown)
+	registerInline(t, ts.URL, "tenant-b", carsGrammar)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		tenant := "tenant-a"
+		if i%2 == 1 {
+			tenant = "tenant-b"
+		}
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			resp, m, err := postJSONErr(ts.URL+"/v1/tenants/"+tenant+"/query", bmwQuery)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: status %d: %v", tenant, resp.StatusCode, m)
+				return
+			}
+			if rows := m["rows"].([]any); len(rows) != 1 {
+				errs <- fmt.Errorf("%s: %d rows, want 1", tenant, len(rows))
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

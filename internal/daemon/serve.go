@@ -1,0 +1,105 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ServeOptions configure the hardened HTTP server lifecycle shared by
+// cmd/csqpd and cmd/csqp -serve.
+type ServeOptions struct {
+	// Addr is the listen address (host:port).
+	Addr string
+	// Handler serves the application routes.
+	Handler http.Handler
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after ctx is cancelled (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// ReadHeaderTimeout guards against slowloris clients
+	// (0 = 10 seconds).
+	ReadHeaderTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// OnDrain runs once when shutdown begins, before connection draining
+	// (the daemon flips readiness here). May be nil.
+	OnDrain func()
+	// OnListen receives the bound address once the listener is up (tests
+	// and ":0" callers learn the real port here). May be nil.
+	OnListen func(addr net.Addr)
+	// Logger receives lifecycle events (nil = silent).
+	Logger *slog.Logger
+}
+
+// Serve runs a hardened http.Server until ctx is cancelled, then drains:
+// readiness is flipped via OnDrain, in-flight requests run to completion
+// (bounded by DrainTimeout), idle connections are closed. It returns nil
+// after a clean drain, the listen error otherwise. This is the one
+// server lifecycle in the repo — the daemon and the single-source
+// `-serve` mode both run through it, so neither can regress to a bare
+// http.ListenAndServe with no timeouts and no drain.
+func Serve(ctx context.Context, o ServeOptions) error {
+	log := obs.LoggerOr(o.Logger)
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	handler := o.Handler
+	if o.Pprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", o.Handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: o.ReadHeaderTimeout,
+		// No blanket write timeout: long queries own their deadline via
+		// admission control; cutting the response mid-body helps nobody.
+	}
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	if o.OnListen != nil {
+		o.OnListen(ln.Addr())
+	}
+	log.Info("serve: listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if o.OnDrain != nil {
+		o.OnDrain()
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	log.Info("serve: draining", "timeout", o.DrainTimeout)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("serve: drain incomplete, closing", "err", err)
+		_ = srv.Close()
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("serve: drained cleanly")
+	return nil
+}

@@ -41,6 +41,11 @@ type Mediator struct {
 	obsReg    *obs.Registry
 	metrics   mediatorMetrics
 	log       *slog.Logger
+	// keyPrefix partitions cache keys when the plan/template caches are
+	// shared across mediators (see EnableSharedCache); "" for private
+	// caches. It never enters fingerprints — those identify the query's
+	// shape, not its tenant.
+	keyPrefix string
 	// ClosureLimit caps commutative-closure expansion at registration
 	// (0 = ssdl.DefaultClosureLimit).
 	ClosureLimit int
@@ -260,7 +265,7 @@ func (m *Mediator) Plan(ctx context.Context, p planner.Planner, source string, c
 			}
 		}
 	}
-	key := cacheKey(p.Name(), source, cond, attrs)
+	key := m.keyPrefix + cacheKey(p.Name(), source, cond, attrs)
 	if cached, ok := m.cache.get(key); ok {
 		return cached, &planner.Metrics{Cached: true}, nil
 	}

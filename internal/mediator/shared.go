@@ -1,0 +1,65 @@
+package mediator
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// A multi-tenant daemon hosts one mediator per tenant but should not pay
+// one plan cache per tenant: a fixed fleet-wide memory budget beats N
+// unbounded ones, and the LRU naturally shifts capacity toward the
+// tenants actually planning queries. SharedPlanCaches is that shared
+// budget — one plan cache and one template cache whose capacity every
+// participating mediator draws from, with each mediator's entries
+// partitioned under its own key prefix so a hit can never cross tenants
+// (two tenants may register different sources under the same name, so
+// cross-tenant reuse would be unsound, not just leaky).
+
+// SharedPlanCaches is a plan + template cache pair shared by several
+// mediators, each under its own partition. Safe for concurrent use.
+type SharedPlanCaches struct {
+	plans     *planCache
+	templates *templateCache
+}
+
+// NewSharedPlanCaches builds the shared pair; capacity bounds each cache
+// (0 = DefaultCacheSize). The capacity is the whole pool's, not
+// per-partition: partitions compete under LRU.
+func NewSharedPlanCaches(capacity int) *SharedPlanCaches {
+	return &SharedPlanCaches{
+		plans:     newPlanCache(capacity),
+		templates: newTemplateCache(capacity),
+	}
+}
+
+// SetObs mirrors both caches' counters into reg (call once, before the
+// mediators start serving).
+func (s *SharedPlanCaches) SetObs(reg *obs.Registry) {
+	s.plans.setObs(reg)
+	s.templates.setObs(reg)
+}
+
+// Stats reports the pool-wide counters (all partitions aggregated).
+func (s *SharedPlanCaches) Stats() (CacheStats, TemplateStats) {
+	return s.plans.snapshot(), s.templates.snapshot()
+}
+
+// partitionPrefix builds the cache-key prefix for a partition. \x01 never
+// appears in buildKey's field encoding (\x00-separated), so a partition
+// name can never collide with or extend into another partition's keys.
+func partitionPrefix(partition string) string {
+	return strings.ReplaceAll(partition, "\x01", "_") + "\x01"
+}
+
+// EnableSharedCache attaches the mediator to a shared cache pool under
+// the given partition (typically the tenant name), replacing any private
+// caches from EnableCache. Lookups and inserts are keyed under the
+// partition, so one partition's entries are invisible to every other; the
+// LRU capacity and the singleflight machinery are shared. Call before
+// serving queries.
+func (m *Mediator) EnableSharedCache(shared *SharedPlanCaches, partition string) {
+	m.cache = shared.plans
+	m.templates = shared.templates
+	m.keyPrefix = partitionPrefix(partition)
+}

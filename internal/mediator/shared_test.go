@@ -1,0 +1,152 @@
+package mediator
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// tenantFixture builds a mediator over one local source named "db" with
+// the given grammar and rows, attached to the shared cache pool under the
+// tenant's partition.
+func tenantFixture(t *testing.T, shared *SharedPlanCaches, tenant, grammar string, rows [][2]any) *Mediator {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "make", Kind: condition.KindString},
+		relation.Column{Name: "model", Kind: condition.KindString},
+		relation.Column{Name: "price", Kind: condition.KindInt},
+	)
+	r := relation.New(s)
+	for _, row := range rows {
+		if err := r.AppendValues(
+			condition.String(row[0].(string)), condition.String(row[1].(string)),
+			condition.Int(30000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := ssdl.MustParse(grammar)
+	src, err := source.NewLocal("", r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := New(cost.Model{K1: 5, K2: 1, Est: cost.NewOracleEstimator(map[string]*relation.Relation{"db": r})})
+	if err := med.Register("", src, g); err != nil {
+		t.Fatal(err)
+	}
+	med.EnableSharedCache(shared, tenant)
+	return med
+}
+
+// Tenant A's source pushes the whole conjunction down; tenant B's source
+// only evaluates make = $m, so the price conjunct must be post-filtered
+// by the mediator. Same source name, same query shape — if a cached plan
+// ever crossed partitions, tenant B would execute A's pushed-down source
+// query and be refused.
+const tenantAGrammar = `
+source db
+attrs make, model, price
+key model
+s1 -> make = $m:string ^ price < $p:int
+s2 -> make = $m:string
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`
+
+const tenantBGrammar = `
+source db
+attrs make, model, price
+key model
+s1 -> make = $m:string
+attributes :: s1 : {make, model, price}
+`
+
+func TestSharedCachePartitionIsolation(t *testing.T) {
+	for _, disableTemplates := range []bool{false, true} {
+		name := "template-tier"
+		if disableTemplates {
+			name = "exact-tier"
+		}
+		t.Run(name, func(t *testing.T) {
+			shared := NewSharedPlanCaches(64)
+			medA := tenantFixture(t, shared, "tenant-a", tenantAGrammar,
+				[][2]any{{"BMW", "328i"}, {"Toyota", "Camry"}})
+			medB := tenantFixture(t, shared, "tenant-b", tenantBGrammar,
+				[][2]any{{"BMW", "M5"}, {"BMW", "M3"}})
+			medA.DisableTemplates = disableTemplates
+			medB.DisableTemplates = disableTemplates
+
+			cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+			ctx := context.Background()
+
+			// Tenant A plans and executes; a repeat must hit A's partition.
+			resA, err := medA.Answer(ctx, core.New(), "db", cond, []string{"model"})
+			if err != nil {
+				t.Fatalf("tenant A: %v", err)
+			}
+			if resA.Relation.Len() != 1 {
+				t.Fatalf("tenant A rows = %d, want 1", resA.Relation.Len())
+			}
+			resA2, err := medA.Answer(ctx, core.New(), "db", cond, []string{"model"})
+			if err != nil {
+				t.Fatalf("tenant A repeat: %v", err)
+			}
+			if !resA2.Metrics.Cached {
+				t.Error("tenant A repeat should be served from its cache partition")
+			}
+
+			// Tenant B's identical-shape query must NOT reuse A's plan: B's
+			// grammar cannot push the price conjunct, so A's plan would be
+			// refused at execution. Correct partitioning replans for B.
+			resB, err := medB.Answer(ctx, core.New(), "db", cond, []string{"model"})
+			if err != nil {
+				t.Fatalf("tenant B (cross-partition leak?): %v", err)
+			}
+			if resB.Relation.Len() != 2 {
+				t.Errorf("tenant B rows = %d, want 2", resB.Relation.Len())
+			}
+			if resB.Metrics.Cached {
+				t.Error("tenant B's first query must not hit another partition's cache")
+			}
+
+			cs, ts := shared.Stats()
+			if disableTemplates {
+				if cs.Hits != 1 || cs.Misses != 2 {
+					t.Errorf("shared plan-cache stats = %+v, want 1 hit / 2 misses", cs)
+				}
+			} else {
+				if ts.Hits != 1 || ts.Misses != 2 {
+					t.Errorf("shared template stats = %+v, want 1 hit / 2 misses", ts)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedCacheCapacityIsPooled checks that the shared LRU budget is a
+// pool: entries from many partitions evict each other rather than each
+// partition growing unbounded.
+func TestSharedCacheCapacityIsPooled(t *testing.T) {
+	shared := NewSharedPlanCaches(4)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		med := tenantFixture(t, shared, string(rune('a'+i)), tenantAGrammar,
+			[][2]any{{"BMW", "328i"}})
+		med.DisableTemplates = true
+		if _, err := med.Answer(ctx, core.New(), "db", condition.MustParse(`make = "BMW"`), []string{"model"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := shared.plans.len(); got > 4 {
+		t.Errorf("shared plan cache holds %d entries, want <= 4", got)
+	}
+	cs, _ := shared.Stats()
+	if cs.Evictions == 0 {
+		t.Error("8 partitions into a 4-entry pool should evict")
+	}
+}

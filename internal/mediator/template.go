@@ -130,7 +130,7 @@ func templateKey(plannerName, source string, skeleton condition.Node, attrs []st
 // means the caller must fall back to the exact-key path (constrained
 // binding, infeasible skeleton, failed bind — each already counted).
 func (m *Mediator) planTemplated(ctx context.Context, p planner.Planner, source string, pz condition.Parameterized, attrs []string) (plan.Plan, *planner.Metrics, bool, error) {
-	key := templateKey(p.Name(), source, pz.Skeleton, attrs)
+	key := m.keyPrefix + templateKey(p.Name(), source, pz.Skeleton, attrs)
 	if t, ok := m.templates.core.get(key); ok {
 		return m.bindTemplate(t, pz, &planner.Metrics{Cached: true, Template: true})
 	}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/condition"
 	"repro/internal/obs"
@@ -107,14 +108,28 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// DefaultMaxResponseBytes caps how much of a /query response body the
+// client will read when SetMaxResponseBytes was never called. A
+// misbehaving (or malicious) source streaming an endless body must not be
+// able to exhaust the mediator's memory.
+const DefaultMaxResponseBytes = 64 << 20
+
 // Client queries a remote source over HTTP; it implements plan.Querier.
 // Its errors distinguish capability refusals (*RefusalError, from 4xx)
 // from transient transport failures (*TransportError, from network errors
 // and 5xx), so resilience layers know what is worth retrying.
+//
+// A Client is safe for concurrent use: Describe, Stats and Query may be
+// called from any number of goroutines (the mediator does exactly that
+// once the source is registered).
 type Client struct {
 	base string
-	name string
 	hc   *http.Client
+	// name is written by SetName and lazily by the first Describe while
+	// concurrent Queries read it for error construction, so it is atomic.
+	name atomic.Pointer[string]
+	// maxResp caps the /query response body (0 = DefaultMaxResponseBytes).
+	maxResp atomic.Int64
 }
 
 // NewClient builds a client for a source served at base (e.g.
@@ -128,7 +143,28 @@ func NewClient(base string, httpClient *http.Client) *Client {
 
 // SetName sets the source name used in the client's errors (normally the
 // grammar's source header, learned from Describe).
-func (c *Client) SetName(name string) { c.name = name }
+func (c *Client) SetName(name string) { c.name.Store(&name) }
+
+// Name returns the client's source name ("" until SetName or the first
+// successful Describe).
+func (c *Client) Name() string {
+	if p := c.name.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetMaxResponseBytes caps how many bytes of a /query response body the
+// client reads before classifying the source as misbehaving; n <= 0
+// restores DefaultMaxResponseBytes.
+func (c *Client) SetMaxResponseBytes(n int64) { c.maxResp.Store(n) }
+
+func (c *Client) maxResponseBytes() int64 {
+	if n := c.maxResp.Load(); n > 0 {
+		return n
+	}
+	return DefaultMaxResponseBytes
+}
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
@@ -138,26 +174,40 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	return c.hc.Do(req)
 }
 
+// statusError classifies a non-200 response the way resilience layers
+// need: 4xx is the source deterministically declining (*RefusalError,
+// never retried), everything else is the source or the path misbehaving
+// (*TransportError, retryable). It drains a bounded snippet of the body
+// for the message.
+func (c *Client) statusError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	snippet := strings.TrimSpace(string(msg))
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		return &RefusalError{Source: c.Name(), Msg: fmt.Sprintf("%s refused (%s): %s", op, resp.Status, snippet)}
+	}
+	return &TransportError{Source: c.Name(), Err: fmt.Errorf("%s: status %s: %s", op, resp.Status, snippet)}
+}
+
 // Describe fetches and parses the source's SSDL description.
 func (c *Client) Describe(ctx context.Context) (*ssdl.Grammar, error) {
 	resp, err := c.get(ctx, "/describe")
 	if err != nil {
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("describe: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("describe: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("source client: describe: status %s", resp.Status)
+		return nil, c.statusError("describe", resp)
 	}
 	text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("describe: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("describe: %w", err)}
 	}
 	g, err := ssdl.Parse(string(text))
 	if err != nil {
 		return nil, err
 	}
-	if c.name == "" {
-		c.name = g.Source
+	if c.Name() == "" {
+		c.SetName(g.Source)
 	}
 	return g, nil
 }
@@ -166,15 +216,15 @@ func (c *Client) Describe(ctx context.Context) (*ssdl.Grammar, error) {
 func (c *Client) Stats(ctx context.Context) (*relation.Stats, error) {
 	resp, err := c.get(ctx, "/stats")
 	if err != nil {
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("stats: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("stats: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("source client: stats: status %s", resp.Status)
+		return nil, c.statusError("stats", resp)
 	}
 	var st relation.Stats
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("stats: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("stats: %w", err)}
 	}
 	return &st, nil
 }
@@ -198,20 +248,27 @@ func (c *Client) Query(ctx context.Context, cond condition.Node, attrs []string)
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("query: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		text := fmt.Sprintf("query refused (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return nil, &RefusalError{Source: c.name, Msg: text}
-		}
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: status %s: %s", resp.Status, strings.TrimSpace(string(msg)))}
+		return nil, c.statusError("query", resp)
 	}
-	res, err := relation.ReadTSV(resp.Body)
+	// Bound the result read: a source streaming an endless body must fail
+	// the query, not OOM the mediator. One byte of slack past the cap
+	// distinguishes "exactly at the cap" from "over it".
+	maxBytes := c.maxResponseBytes()
+	lr := &io.LimitedReader{R: resp.Body, N: maxBytes + 1}
+	res, err := relation.ReadTSV(lr)
+	if lr.N <= 0 {
+		// Oversized responses are deterministic misbehavior — retrying
+		// would re-download the same flood — so classify as a refusal,
+		// which resilience layers never retry.
+		return nil, &RefusalError{Source: c.Name(),
+			Msg: fmt.Sprintf("query: response body exceeds %d-byte cap", maxBytes)}
+	}
 	if err != nil {
-		return nil, &TransportError{Source: c.name, Err: fmt.Errorf("query: reading result: %w", err)}
+		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("query: reading result: %w", err)}
 	}
 	return res, nil
 }

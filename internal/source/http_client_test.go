@@ -1,0 +1,150 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/condition"
+)
+
+// TestClientDescribeQueryRace exercises the lazy name write in Describe
+// against concurrent Query error paths (regression: Describe used to
+// write c.name unsynchronized while Query read it). Run under -race.
+func TestClientDescribeQueryRace(t *testing.T) {
+	src := carsSource(t)
+	ts := httptest.NewServer(NewHandler(src))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	cond := condition.MustParse(`color = "red"`) // unsupported: forces the error path that reads the name
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Describe(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Query(context.Background(), cond, []string{"model"})
+			var ref *RefusalError
+			if !errors.As(err, &ref) {
+				t.Errorf("unsupported query: got %v, want *RefusalError", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Name(); got != "cars" {
+		t.Errorf("Name after Describe = %q, want cars", got)
+	}
+}
+
+// TestClientQueryResponseCap bounds the /query body read: a source
+// streaming more than the cap must yield a classified, non-retryable
+// error instead of an unbounded read.
+func TestClientQueryResponseCap(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		fmt.Fprintln(w, "model:string")
+		for i := 0; i < 4096; i++ {
+			fmt.Fprintf(w, "row-%04d-%s\n", i, strings.Repeat("x", 64))
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	c.SetName("flood")
+	c.SetMaxResponseBytes(1 << 10)
+	_, err := c.Query(context.Background(), condition.MustParse(`make = "BMW"`), []string{"model"})
+	var ref *RefusalError
+	if !errors.As(err, &ref) {
+		t.Fatalf("oversized response: got %v, want *RefusalError", err)
+	}
+	if !strings.Contains(ref.Msg, "1024-byte cap") {
+		t.Errorf("error should name the cap: %v", ref)
+	}
+	if Retryable(err) {
+		t.Error("oversized response must not be retryable")
+	}
+
+	// At (or under) the cap the same response parses fine.
+	c.SetMaxResponseBytes(1 << 20)
+	res, err := c.Query(context.Background(), condition.MustParse(`make = "BMW"`), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4096 {
+		t.Errorf("rows = %d, want 4096", res.Len())
+	}
+}
+
+// TestClientStatusClassification checks every endpoint classifies non-200
+// responses: 4xx is a deterministic refusal (never retried), 5xx a
+// transient transport failure (retryable) — so source.Resilient retries a
+// 503 during registration but not a 404.
+func TestClientStatusClassification(t *testing.T) {
+	ops := []struct {
+		name string
+		call func(c *Client) error
+	}{
+		{"describe", func(c *Client) error { _, err := c.Describe(context.Background()); return err }},
+		{"stats", func(c *Client) error { _, err := c.Stats(context.Background()); return err }},
+		{"query", func(c *Client) error {
+			_, err := c.Query(context.Background(), condition.MustParse(`make = "BMW"`), []string{"model"})
+			return err
+		}},
+	}
+	cases := []struct {
+		status    int
+		refusal   bool
+		retryable bool
+	}{
+		{http.StatusBadRequest, true, false},
+		{http.StatusNotFound, true, false},
+		{http.StatusUnprocessableEntity, true, false},
+		{http.StatusInternalServerError, false, true},
+		{http.StatusBadGateway, false, true},
+		{http.StatusServiceUnavailable, false, true},
+	}
+	for _, op := range ops {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/%d", op.name, tc.status), func(t *testing.T) {
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+					http.Error(w, "synthetic failure", tc.status)
+				}))
+				defer ts.Close()
+				c := NewClient(ts.URL, nil)
+				c.SetName("down")
+				err := op.call(c)
+				if err == nil {
+					t.Fatal("expected an error")
+				}
+				var ref *RefusalError
+				var tr *TransportError
+				if gotRefusal := errors.As(err, &ref); gotRefusal != tc.refusal {
+					t.Errorf("refusal = %v, want %v (err %v)", gotRefusal, tc.refusal, err)
+				}
+				if tc.refusal == errors.As(err, &tr) {
+					t.Errorf("classification must be exactly one of refusal/transport: %v", err)
+				}
+				if got := Retryable(err); got != tc.retryable {
+					t.Errorf("Retryable = %v, want %v (err %v)", got, tc.retryable, err)
+				}
+				if !strings.Contains(err.Error(), "down") {
+					t.Errorf("error should carry the source name: %v", err)
+				}
+			})
+		}
+	}
+}

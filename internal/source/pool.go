@@ -1,0 +1,105 @@
+package source
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// A long-lived mediator talks to the same handful of sources for every
+// query it serves. Building a fresh http.Client (and so a fresh
+// transport with its own connection pool) per query — or per source
+// registration — is the classic downstream-connection-exhaustion failure
+// mode: every pool dials its own TCP connections, none are reused, and
+// the sources drown in handshakes. Pool is the fix: one tuned
+// http.Transport shared by every source client, with per-host keep-alive
+// pools doing the reuse, and one *Client per base URL so repeated
+// registrations of the same source share state (name, response cap) too.
+
+// PoolOptions tune the shared transport.
+type PoolOptions struct {
+	// MaxIdleConnsPerHost bounds the keep-alive pool per source host
+	// (0 = 32; the stdlib default of 2 throttles any real concurrency).
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost bounds total concurrent connections per source host,
+	// dials included; the excess blocks rather than stampeding the source
+	// (0 = 128).
+	MaxConnsPerHost int
+	// IdleConnTimeout closes keep-alive connections idle this long
+	// (0 = 90s).
+	IdleConnTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for a source's response
+	// headers after the request is written (0 = none; per-query contexts
+	// remain the primary deadline mechanism).
+	ResponseHeaderTimeout time.Duration
+	// Obs exports csqp_source_pool_clients (distinct base URLs served).
+	// Nil disables it.
+	Obs *obs.Registry
+}
+
+// Pool hands out per-base-URL source clients that all share one pooled
+// transport. Safe for concurrent use.
+type Pool struct {
+	hc      *http.Client
+	mu      sync.Mutex
+	clients map[string]*Client
+	gauge   *obs.Gauge
+}
+
+// NewPool builds a pool with its shared transport.
+func NewPool(o PoolOptions) *Pool {
+	if o.MaxIdleConnsPerHost <= 0 {
+		o.MaxIdleConnsPerHost = 32
+	}
+	if o.MaxConnsPerHost <= 0 {
+		o.MaxConnsPerHost = 128
+	}
+	if o.IdleConnTimeout <= 0 {
+		o.IdleConnTimeout = 90 * time.Second
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 0 // no global cap; the per-host bounds govern
+	tr.MaxIdleConnsPerHost = o.MaxIdleConnsPerHost
+	tr.MaxConnsPerHost = o.MaxConnsPerHost
+	tr.IdleConnTimeout = o.IdleConnTimeout
+	tr.ResponseHeaderTimeout = o.ResponseHeaderTimeout
+	return &Pool{
+		hc:      &http.Client{Transport: tr},
+		clients: make(map[string]*Client),
+		gauge:   o.Obs.Gauge("csqp_source_pool_clients"),
+	}
+}
+
+// HTTPClient exposes the pooled client for callers that need to speak to
+// a source outside the Client protocol.
+func (p *Pool) HTTPClient() *http.Client { return p.hc }
+
+// Client returns the pool's client for the source served at base,
+// creating it on first use. Every client shares the pool's transport, so
+// connections to the same host are reused across sources, tenants and
+// queries.
+func (p *Pool) Client(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[base]; ok {
+		return c
+	}
+	c := NewClient(base, p.hc)
+	p.clients[base] = c
+	p.gauge.Set(float64(len(p.clients)))
+	return c
+}
+
+// Len reports the number of distinct base URLs served.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clients)
+}
+
+// CloseIdle drops every idle keep-alive connection (drain/shutdown path).
+func (p *Pool) CloseIdle() { p.hc.CloseIdleConnections() }

@@ -1,0 +1,73 @@
+package source
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+)
+
+func TestPoolReusesClientsAndConnections(t *testing.T) {
+	src := carsSource(t)
+	var dials atomic.Int64
+	ts := httptest.NewUnstartedServer(NewHandler(src))
+	ts.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Obs: reg})
+	c1 := p.Client(ts.URL)
+	c2 := p.Client(ts.URL + "/") // trailing slash normalizes to the same client
+	if c1 != c2 {
+		t.Error("same base URL must share one client")
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d, want 1", p.Len())
+	}
+
+	// Sequential queries over one client must reuse the keep-alive
+	// connection rather than dialing per query.
+	cond := condition.MustParse(`make = "BMW" ^ price < 40000`)
+	for i := 0; i < 10; i++ {
+		if _, err := c1.Query(context.Background(), cond, []string{"model"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dials.Load(); got > 2 {
+		t.Errorf("10 sequential queries dialed %d connections, want <= 2", got)
+	}
+	if got := reg.Gauge("csqp_source_pool_clients").Value(); got != 1 {
+		t.Errorf("pool gauge = %v, want 1", got)
+	}
+	p.CloseIdle()
+}
+
+func TestPoolConcurrentClientLookup(t *testing.T) {
+	p := NewPool(PoolOptions{})
+	var wg sync.WaitGroup
+	clients := make([]*Client, 16)
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clients[i] = p.Client("http://shared.example:1234")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(clients); i++ {
+		if clients[i] != clients[0] {
+			t.Fatal("concurrent lookups must converge on one client")
+		}
+	}
+}

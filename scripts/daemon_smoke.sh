@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# daemon_smoke.sh — end-to-end smoke of the mediator daemon: boots csqpd
+# plus two real HTTP sources (`csqp -serve`), registers both into one
+# tenant over the wire, sanity-checks a query through each, then drives
+# an open-loop load and asserts (1) zero hard errors at a sane rate,
+# (2) nonzero load shedding once the offered load exceeds the in-flight
+# cap, (3) the shed counters are scrapeable from /metrics, and (4) a
+# SIGTERM drain exits cleanly. CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BOOKS_PORT=9301
+AUTOS_PORT=9302
+DAEMON_PORT=9300
+DAEMON="http://127.0.0.1:${DAEMON_PORT}"
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+wait_http() { # url [tries]
+  local url=$1 tries=${2:-50}
+  for _ in $(seq "$tries"); do
+    if curl -fsS -o /dev/null "$url" 2>/dev/null; then return 0; fi
+    sleep 0.2
+  done
+  echo "timeout waiting for $url" >&2
+  return 1
+}
+
+echo "== build =="
+go build -o "$BIN/csqp" ./cmd/csqp
+go build -o "$BIN/csqpd" ./cmd/csqpd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+echo "== boot two HTTP sources =="
+"$BIN/csqp" -demo bookstore -serve "127.0.0.1:${BOOKS_PORT}" &
+PIDS+=($!)
+"$BIN/csqp" -demo cars -size 60000 -serve "127.0.0.1:${AUTOS_PORT}" &
+PIDS+=($!)
+wait_http "http://127.0.0.1:${BOOKS_PORT}/describe"
+wait_http "http://127.0.0.1:${AUTOS_PORT}/describe"
+
+echo "== boot csqpd (tight admission: 2 in flight, queue 2, 200ms) =="
+"$BIN/csqpd" -addr "127.0.0.1:${DAEMON_PORT}" \
+  -max-inflight 2 -max-queue 2 -queue-timeout 200ms -v &
+DAEMON_PID=$!
+PIDS+=($DAEMON_PID)
+wait_http "$DAEMON/healthz"
+wait_http "$DAEMON/readyz"
+
+echo "== register both sources into tenant 'smoke' =="
+curl -fsS -X POST -d "{\"base_url\":\"http://127.0.0.1:${BOOKS_PORT}\"}" \
+  "$DAEMON/v1/tenants/smoke/sources" | jq -e '.source == "books"' >/dev/null
+curl -fsS -X POST -d "{\"base_url\":\"http://127.0.0.1:${AUTOS_PORT}\"}" \
+  "$DAEMON/v1/tenants/smoke/sources" | jq -e '.source == "autos"' >/dev/null
+
+echo "== query each source through the daemon =="
+curl -fsS -X POST -d '{"source":"books","cond":"author = \"Sigmund Freud\" ^ title contains \"dreams\"","attrs":["title","isbn"],"profile":true}' \
+  "$DAEMON/v1/tenants/smoke/query" \
+  | jq -e '.row_count >= 1 and .fingerprint != "" and .profile != null' >/dev/null
+curl -fsS -X POST -d '{"source":"autos","cond":"make = \"Toyota\" ^ price <= 30000","attrs":["model","price"]}' \
+  "$DAEMON/v1/tenants/smoke/query" \
+  | jq -e '.row_count >= 1' >/dev/null
+
+echo "== loadgen: sane rate must see zero errors and zero sheds =="
+"$BIN/loadgen" -daemon "$DAEMON" -tenant smoke \
+  -source books -cond 'author = "Carl Jung"' -attrs title \
+  -rate 20 -duration 3s -json | tee "$BIN/sane.json"
+jq -e '.errors == 0' "$BIN/sane.json" >/dev/null
+
+echo "== loadgen: overload must shed (429), never error =="
+"$BIN/loadgen" -daemon "$DAEMON" -tenant smoke \
+  -source autos -cond 'make = "Toyota" ^ price <= 30000' -attrs model,price,year \
+  -rate 400 -duration 3s -json | tee "$BIN/overload.json"
+jq -e '.errors == 0 and .shed > 0' "$BIN/overload.json" >/dev/null
+
+echo "== metrics expose the shed and in-flight counters =="
+curl -fsS "$DAEMON/metrics" | tee "$BIN/metrics.txt" | grep -q '^csqp_daemon_shed_total'
+grep -q '^csqp_daemon_inflight' "$BIN/metrics.txt"
+grep -q '^csqp_daemon_admitted_total' "$BIN/metrics.txt"
+grep -q '^csqp_source_pool_clients' "$BIN/metrics.txt"
+
+echo "== SIGTERM drains cleanly =="
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "csqpd exited $code after SIGTERM, want 0" >&2
+  exit 1
+fi
+curl -fsS -o /dev/null "$DAEMON/healthz" 2>/dev/null && {
+  echo "daemon still serving after drain" >&2; exit 1; }
+
+echo "daemon smoke: OK"
