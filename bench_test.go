@@ -423,6 +423,44 @@ func BenchmarkSourceCacheHit(b *testing.B) {
 	}
 }
 
+func BenchmarkPagedFetch(b *testing.B) {
+	// Cursor-loop fetch of one answer: each iteration walks every page of
+	// the matching rows through Paged.Query, so the number is the
+	// pagination overhead (cursor walk, per-page accounting, cross-page
+	// dedup) on top of a single-shot fetch of the same answer. The
+	// "pages/op" metric records how many round-trips each answer took.
+	rel, g := workload.Cars(5000, 1)
+	g.PageSize = 50
+	src, err := source.NewLocal("autos", rel, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	paged := source.NewPaged("autos", src, source.PagedOptions{Obs: reg})
+	cond := condition.MustParse(`make = "Toyota" ^ price <= 20000`)
+	attrs := []string{"make", "model", "price"}
+	if res, err := paged.Query(context.Background(), cond, attrs); err != nil {
+		b.Fatal(err)
+	} else if res.Len() <= int(g.PageSize) {
+		b.Fatalf("benchmark answer has %d rows: too small to paginate", res.Len())
+	}
+	pagesCounter := reg.Counter("csqp_source_pages_total", "source", "autos")
+	warmup := pagesCounter.Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paged.Query(context.Background(), cond, attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	pagesPerOp := float64(pagesCounter.Value()-warmup) / float64(b.N)
+	if pagesPerOp < 2 {
+		b.Fatalf("pages/op = %.1f: the benchmark is not exercising the cursor loop", pagesPerOp)
+	}
+	b.ReportMetric(pagesPerOp, "pages/op")
+}
+
 // ---- plan-template benchmarks ----
 
 // templateMediator registers the micro grammar for plan-only use (nil

@@ -61,6 +61,8 @@ func run() error {
 	serve := flag.String("serve", "", "serve the source over HTTP at this address instead of querying")
 	interactive := flag.Bool("repl", false, "start an interactive shell over the loaded source")
 	size := flag.Int("size", 0, "demo dataset size (0 = default)")
+	pageSize := flag.Int("paged", 0, "override the source's page size: hand out at most N tuples per round-trip behind a cursor (0 = keep the description's)")
+	limit := flag.Int("limit", 0, "override the source's result bound: truncate answers past N tuples, like a web form's top-k cutoff (0 = keep the description's)")
 	timeout := flag.Duration("timeout", 0, "per-source-query attempt timeout (0 = none)")
 	retries := flag.Int("retries", 0, "retries per failed source query (transport errors only)")
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole query (0 = none)")
@@ -102,6 +104,15 @@ func run() error {
 	rel, grammar, err := loadSource(*demo, *dataPath, *ssdlPath, *size)
 	if err != nil {
 		return err
+	}
+	// Bound overrides reshape the source's interface limitations without
+	// editing its description — a served source then advertises them via
+	// /describe, so a mediator registering it plans around them.
+	if *pageSize > 0 {
+		grammar.PageSize = *pageSize
+	}
+	if *limit > 0 {
+		grammar.Limit = *limit
 	}
 
 	if *serve != "" {
@@ -215,8 +226,8 @@ func run() error {
 			printTrace(tr)
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "warning: partial answer — dropped sources %v: %v\n",
-			pe.DroppedSources(), err)
+		fmt.Fprintf(os.Stderr, "warning: partial answer (%s) — dropped sources %v: %v\n",
+			strings.Join(pe.Reasons(), ","), pe.DroppedSources(), err)
 	}
 	fmt.Printf("strategy: %s\nsource queries: %d\nplan cost: %.2f\n\n%s\n",
 		strategy, len(res.SourceQueries), res.Cost, csqp.FormatPlan(res.Plan))

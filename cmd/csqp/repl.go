@@ -234,8 +234,8 @@ func (r *repl) queryCtx(ctx context.Context, stmt string) {
 		}
 		// A degraded Union still carries the surviving partitions' rows;
 		// show them rather than discarding the partial answer.
-		fmt.Fprintf(r.out, "warning: partial answer — dropped sources %v: %v\n",
-			pe.DroppedSources(), err)
+		fmt.Fprintf(r.out, "warning: partial answer (%s) — dropped sources %v: %v\n",
+			strings.Join(pe.Reasons(), ","), pe.DroppedSources(), err)
 	}
 	res.Answer.Sort()
 	names := res.Answer.Schema().Names()

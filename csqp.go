@@ -409,9 +409,47 @@ func (s *System) harden(name string, q Querier) Querier {
 
 // SetSourceCost overrides the cost constants for one source (the paper's
 // k1 and k2 "depend on the source"): k1 is the per-query overhead, k2 the
-// per-result-tuple cost.
+// per-result-tuple cost. Bound/page-size annotations recorded at
+// registration are preserved.
 func (s *System) SetSourceCost(source string, k1, k2 float64) {
-	s.med.Model().PerSource[source] = cost.Coef{K1: k1, K2: k2}
+	c := s.med.Model().PerSource[source]
+	c.K1, c.K2 = k1, k2
+	s.med.Model().PerSource[source] = c
+}
+
+// noteBounds records a grammar's result bound and page size in the cost
+// model, so planning sees that a bounded source returns at most Limit
+// tuples and a paginated one pays its fixed overhead once per page.
+func (s *System) noteBounds(name string, g *Grammar) {
+	if g == nil || (g.Limit == 0 && g.PageSize == 0) {
+		return
+	}
+	m := s.med.Model()
+	c, ok := m.PerSource[name]
+	if !ok {
+		c = cost.Coef{K1: m.K1, K2: m.K2}
+	}
+	c.Limit, c.PageSize = g.Limit, g.PageSize
+	m.PerSource[name] = c
+}
+
+// pageWrap drives a paginated source's cursor loop: when the grammar
+// declares a page size and the querier can serve pages, queries run
+// through source.Paged (page-at-a-time fetch, per-page retry, sound
+// degradation on cursor loss) before the resilience/cache layers.
+func (s *System) pageWrap(name string, q Querier, g *Grammar) Querier {
+	if g == nil || g.PageSize <= 0 {
+		return q
+	}
+	cq, ok := q.(source.CursorQuerier)
+	if !ok {
+		return q
+	}
+	return source.NewPaged(name, cq, source.PagedOptions{
+		MaxRetries: s.res.MaxRetries,
+		Obs:        s.reg,
+		Log:        s.res.Log,
+	})
 }
 
 // AddSource registers an in-memory source whose capabilities are described
@@ -431,9 +469,10 @@ func (s *System) AddSourceGrammar(rel *Relation, g *Grammar) error {
 	if err != nil {
 		return err
 	}
-	if err := s.med.Register(src.Name(), s.harden(src.Name(), src), g); err != nil {
+	if err := s.med.Register(src.Name(), s.harden(src.Name(), s.pageWrap(src.Name(), src, g)), g); err != nil {
 		return err
 	}
+	s.noteBounds(src.Name(), g)
 	s.rels[src.Name()] = rel
 	s.est.Set(src.Name(), cost.NewOracleEstimator(map[string]*relation.Relation{src.Name(): rel}))
 	return nil
@@ -448,9 +487,10 @@ func (s *System) AddQuerierSource(q Querier, ssdlText string) (name string, err 
 	if err != nil {
 		return "", err
 	}
-	if err := s.med.Register(g.Source, s.harden(g.Source, q), g); err != nil {
+	if err := s.med.Register(g.Source, s.harden(g.Source, s.pageWrap(g.Source, q, g)), g); err != nil {
 		return "", err
 	}
+	s.noteBounds(g.Source, g)
 	return g.Source, nil
 }
 
@@ -472,9 +512,10 @@ func (s *System) AddHTTPSourceWith(ctx context.Context, baseURL string, hc *http
 	if err != nil {
 		return "", err
 	}
-	if err := s.med.Register(g.Source, s.harden(g.Source, client), g); err != nil {
+	if err := s.med.Register(g.Source, s.harden(g.Source, s.pageWrap(g.Source, client, g)), g); err != nil {
 		return "", err
 	}
+	s.noteBounds(g.Source, g)
 	// Use the source's published statistics for cost estimation; fall
 	// back silently to heuristics if the source does not publish any.
 	if st, err := client.Stats(ctx); err == nil {

@@ -28,6 +28,31 @@ type Coef struct {
 	K1 float64
 	// K2 is the per-result-tuple cost.
 	K2 float64
+	// Limit is the source's result bound (0 = unbounded). A bounded
+	// interface never returns more than Limit tuples, so estimates are
+	// capped at it before the per-tuple term is charged.
+	Limit int
+	// PageSize is the source's page size (0 = single-shot). A paginated
+	// scan pays the fixed overhead K1 once PER PAGE — each page is its
+	// own round-trip — so an estimated n-row answer costs
+	// ceil(n/PageSize)·K1 + K2·n.
+	PageSize int
+}
+
+// queryCost charges one source query for an estimated est-row answer.
+func (c Coef) queryCost(est float64) float64 {
+	if c.Limit > 0 && est > float64(c.Limit) {
+		est = float64(c.Limit)
+	}
+	k1 := c.K1
+	if c.PageSize > 0 {
+		pages := math.Ceil(est / float64(c.PageSize))
+		if pages < 1 {
+			pages = 1
+		}
+		k1 = c.K1 * pages
+	}
+	return k1 + c.K2*est
 }
 
 // Model is the linear cost model with an estimator bound in. K1/K2 are
@@ -63,8 +88,7 @@ var Infeasible = math.Inf(1)
 func (m Model) PlanCost(p plan.Plan) float64 {
 	switch t := p.(type) {
 	case *plan.SourceQuery:
-		c := m.Coef(t.Source)
-		return c.K1 + c.K2*m.Est.ResultSize(t.Source, t.Cond)
+		return m.SourceQueryCost(t.Source, t.Cond)
 	case *plan.Select:
 		return m.PlanCost(t.Input)
 	case *plan.Project:
@@ -94,10 +118,11 @@ func (m Model) PlanCost(p plan.Plan) float64 {
 	}
 }
 
-// SourceQueryCost returns the model cost of one source query.
+// SourceQueryCost returns the model cost of one source query: the
+// source's fixed overhead (per page when paginated) plus the per-tuple
+// term over the (result-bound-capped) estimated answer size.
 func (m Model) SourceQueryCost(source string, cond condition.Node) float64 {
-	c := m.Coef(source)
-	return c.K1 + c.K2*m.Est.ResultSize(source, cond)
+	return m.Coef(source).queryCost(m.Est.ResultSize(source, cond))
 }
 
 // Resolve replaces every Choice node with its cheapest alternative,

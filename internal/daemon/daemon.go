@@ -418,6 +418,7 @@ type queryResponse struct {
 	Template       bool              `json:"template,omitempty"`
 	Partial        bool              `json:"partial,omitempty"`
 	DroppedSources []string          `json:"dropped_sources,omitempty"`
+	PartialReasons []string          `json:"partial_reasons,omitempty"`
 	DurationMS     float64           `json:"duration_ms"`
 	Fingerprint    string            `json:"fingerprint,omitempty"`
 	Profile        *csqp.ExecProfile `json:"profile,omitempty"`
@@ -499,6 +500,10 @@ func (d *Daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Partial = true
 		resp.DroppedSources = pe.DroppedSources()
+		// WHY the answer is partial matters to the client: "truncated"
+		// means the rows present are a sound prefix of a bounded source's
+		// answer, "source-failed" means a branch is missing entirely.
+		resp.PartialReasons = pe.Reasons()
 	}
 	res.Answer.Sort()
 	for _, c := range res.Answer.Schema().Columns() {

@@ -113,7 +113,18 @@ func (e *parallelExec) runNode(ctx context.Context, p Plan, prof *OpStats) (*rel
 		ctx = WithOpStats(ctx, prof)
 		res, err := querySource(ctx, q, t)
 		if err != nil {
-			return nil, fmt.Errorf("plan: source %s: %w", t.Source, err)
+			werr := fmt.Errorf("plan: source %s: %w", t.Source, err)
+			if e.partial && res != nil && IsTruncated(err) {
+				// A result-bounded source returned its top-k rows and
+				// reported overflow: the rows are sound, only completeness
+				// is lost. Degrade to a partial answer instead of failing.
+				prof.Note("truncated")
+				e.recordNode(prof, res.Len(), res)
+				return res, &PartialError{Dropped: []DroppedBranch{{
+					Sources: []string{t.Source}, Err: werr, Reason: ReasonTruncated,
+				}}}
+			}
+			return nil, werr
 		}
 		e.recordNode(prof, res.Len(), res)
 		return res, nil
@@ -297,7 +308,7 @@ func (e *parallelExec) runNary(ctx context.Context, inputs []Plan, union bool, p
 			keep = append(keep, results[i])
 			dropped = append(dropped, pe.Dropped...)
 		default:
-			dropped = append(dropped, DroppedBranch{Sources: branchSources(inputs[i]), Err: err})
+			dropped = append(dropped, DroppedBranch{Sources: branchSources(inputs[i]), Err: err, Reason: reasonFor(err)})
 		}
 	}
 	if len(keep) == 0 {

@@ -1,10 +1,23 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/strset"
+)
+
+// Dropped-branch reasons. A partial answer is partial either because a
+// branch's source failed outright (its rows are missing entirely) or
+// because a result-bounded source truncated its answer (the rows it did
+// return are kept; only the overflow is missing).
+const (
+	// ReasonSourceFailed marks a branch dropped by a source failure.
+	ReasonSourceFailed = "source-failed"
+	// ReasonTruncated marks a branch degraded by a result bound: the
+	// source returned its top-k rows and reported more matched.
+	ReasonTruncated = "truncated"
 )
 
 // DroppedBranch records one Union branch that failed and was excluded
@@ -14,6 +27,65 @@ type DroppedBranch struct {
 	Sources []string
 	// Err is the failure that dropped the branch.
 	Err error
+	// Reason classifies the drop: ReasonTruncated when a result-bounded
+	// source cut the branch short (partial rows kept), ReasonSourceFailed
+	// otherwise. Empty is read as ReasonSourceFailed for compatibility
+	// with hand-built values.
+	Reason string
+}
+
+// reason returns the branch's classification, defaulting to
+// ReasonSourceFailed.
+func (d DroppedBranch) reason() string {
+	if d.Reason != "" {
+		return d.Reason
+	}
+	return ReasonSourceFailed
+}
+
+// TruncatedError reports that a result-bounded source cut its answer at
+// its declared limit: more tuples matched the condition than the
+// interface may return. It travels ALONGSIDE a non-nil relation holding
+// the rows that were returned — those rows are sound; only completeness
+// is lost. Executors fold it into a *PartialError with ReasonTruncated
+// when partial answers are allowed, and fail closed otherwise. Callers
+// detect it with errors.As.
+type TruncatedError struct {
+	// Source is the bounded source.
+	Source string
+	// Limit is where the answer was cut: the source's declared result
+	// bound, or — for a paginated scan that died mid-cursor — the number
+	// of rows recovered before the cursor was lost.
+	Limit int
+	// Cause is the underlying failure for cursor-loss truncation (nil for
+	// an ordinary result-bound cut). Exposed to errors.Is/As via Unwrap.
+	Cause error
+}
+
+// Error implements error.
+func (e *TruncatedError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("source %s truncated its answer at %d row(s): %v", e.Source, e.Limit, e.Cause)
+	}
+	return fmt.Sprintf("source %s truncated its answer at its result bound of %d row(s)", e.Source, e.Limit)
+}
+
+// Unwrap exposes the truncation's underlying cause, if any.
+func (e *TruncatedError) Unwrap() error { return e.Cause }
+
+// reasonFor classifies a branch error for DroppedBranch.Reason.
+func reasonFor(err error) string {
+	if IsTruncated(err) {
+		return ReasonTruncated
+	}
+	return ReasonSourceFailed
+}
+
+// IsTruncated reports whether err carries a *TruncatedError anywhere in
+// its chain.
+func IsTruncated(err error) bool {
+	var te *TruncatedError
+	return errors.As(err, &te)
 }
 
 // PartialError reports that execution degraded a Union: the returned
@@ -31,9 +103,21 @@ func (e *PartialError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: partial answer: dropped %d union branch(es):", len(e.Dropped))
 	for _, d := range e.Dropped {
-		fmt.Fprintf(&b, " [%s: %v]", strings.Join(d.Sources, ","), d.Err)
+		fmt.Fprintf(&b, " [%s (%s): %v]", strings.Join(d.Sources, ","), d.reason(), d.Err)
 	}
 	return b.String()
+}
+
+// Reasons returns the sorted, deduplicated drop reasons across the
+// partial answer's branches — e.g. ["source-failed"], ["truncated"] or
+// both. REPL/CLI/daemon reporting uses it to say WHY an answer is
+// partial, not just that it is.
+func (e *PartialError) Reasons() []string {
+	s := strset.New()
+	for _, d := range e.Dropped {
+		s.Add(d.reason())
+	}
+	return s.Sorted()
 }
 
 // DroppedSources returns the sorted, deduplicated source names that were

@@ -223,9 +223,24 @@ type sourceIter struct {
 	stream  Iterator           // native streaming path
 	rel     *relation.Relation // bridged path
 	pos     int
+	pending error     // terminal error to deliver after draining rel (truncation)
 	sp      *obs.Span // open exec.source span for the streaming path
 	rows    int64
 	closed  bool
+}
+
+// truncated folds a result-bound truncation into the iterator contract:
+// a *PartialError terminal when partials are allowed (the rows already
+// emitted are sound), a plain failure otherwise.
+func (it *sourceIter) truncated(err error) error {
+	it.prof.Note("truncated")
+	werr := fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+	if !it.e.partial {
+		return werr
+	}
+	return &PartialError{Dropped: []DroppedBranch{{
+		Sources: []string{it.sq.Source}, Err: werr, Reason: ReasonTruncated,
+	}}}
 }
 
 func (it *sourceIter) Schema() *relation.Schema {
@@ -260,7 +275,12 @@ func (it *sourceIter) open(ctx context.Context) error {
 	it.prof.Note("bridged")
 	res, err := querySource(ctx, it.q, it.sq)
 	if err != nil {
-		return fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		// A truncated answer still carries its sound top-k rows; when
+		// partials are allowed, drain them and end in a *PartialError.
+		if !it.e.partial || res == nil || !IsTruncated(err) {
+			return fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		}
+		it.pending = it.truncated(err)
 	}
 	it.rel = res
 	it.e.stats.buffered(res.Len())
@@ -309,6 +329,9 @@ func (it *sourceIter) next(ctx context.Context) ([]relation.Tuple, error) {
 			if errors.Is(err, io.EOF) {
 				return nil, io.EOF
 			}
+			if IsTruncated(err) {
+				return nil, it.truncated(err)
+			}
 			return nil, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
 		}
 		it.e.stats.streamed(len(chunk))
@@ -316,6 +339,11 @@ func (it *sourceIter) next(ctx context.Context) ([]relation.Tuple, error) {
 	}
 	ts := it.rel.Tuples()
 	if it.pos >= len(ts) {
+		if it.pending != nil {
+			err := it.pending
+			it.pending = nil
+			return nil, err
+		}
 		return nil, io.EOF
 	}
 	end := it.pos + it.e.chunk
@@ -343,8 +371,12 @@ func (it *sourceIter) whole(ctx context.Context) (*relation.Relation, bool, erro
 	ctx = WithOpStats(ctx, it.prof)
 	res, err := querySource(ctx, it.q, it.sq)
 	it.prof.AddWall(time.Since(start))
+	var terminal error
 	if err != nil {
-		return nil, true, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		if !it.e.partial || res == nil || !IsTruncated(err) {
+			return nil, true, fmt.Errorf("plan: source %s: %w", it.sq.Source, err)
+		}
+		terminal = it.truncated(err)
 	}
 	it.e.stats.streamed(res.Len())
 	it.prof.AddIn(res.Len())
@@ -352,7 +384,7 @@ func (it *sourceIter) whole(ctx context.Context) (*relation.Relation, bool, erro
 	if res.Len() > 0 {
 		it.prof.AddChunk()
 	}
-	return res, true, nil
+	return res, true, terminal
 }
 
 func (it *sourceIter) Close() error {

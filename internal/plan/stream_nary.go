@@ -253,7 +253,7 @@ func (u *unionIter) next(ctx context.Context) ([]relation.Tuple, error) {
 			u.dropped = append(u.dropped, pe.Dropped...)
 		case u.e.partial:
 			u.errs[bi] = err
-			u.dropped = append(u.dropped, DroppedBranch{Sources: branchSources(u.node.Inputs[bi]), Err: err})
+			u.dropped = append(u.dropped, DroppedBranch{Sources: branchSources(u.node.Inputs[bi]), Err: err, Reason: reasonFor(err)})
 		default:
 			u.errs[bi] = err
 			return nil, u.failClosed()

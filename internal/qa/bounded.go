@@ -1,0 +1,416 @@
+package qa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/source"
+	"repro/internal/ssdl"
+)
+
+// Bounded checks the result-bound, binding-pattern and pagination
+// invariants on one instance by deriving annotated variants of its
+// grammar and re-running the full plan/execute pipeline on each:
+//
+//	(1) provably complete: a result bound the whole relation fits inside
+//	    can never truncate, so every executed answer must equal the
+//	    full-relation oracle with NO error — the bounded interface is
+//	    indistinguishable from an unbounded one;
+//	(2) sound partial: a bound of 1 row may cut source answers short.
+//	    With partials allowed the answer must be a subset of the oracle
+//	    annotated with a *plan.PartialError whose reasons include
+//	    "truncated"; with partials rejected the execution must either
+//	    equal the oracle exactly or fail closed — a short answer
+//	    presented as complete is the one forbidden outcome;
+//	(3) binding patterns: requiring an attribute the target condition
+//	    never binds with an equality makes every source query
+//	    unsupported, so planning must report ErrInfeasible; requiring an
+//	    attribute the condition does bind keeps any feasible plan's
+//	    answer equal to the oracle;
+//	(4) pagination: a paged source driven through source.Paged must be
+//	    answer-invariant — cursor-loop fetch is an implementation detail,
+//	    not a semantics change;
+//	(5) mid-cursor faults: a transient page failure is retried and the
+//	    scan recovers the exact oracle answer; a persistent one degrades
+//	    to a sound partial answer tagged "truncated" or fails closed,
+//	    never to a short answer labeled complete.
+//
+// Like Differential, infrastructure errors come back as error and
+// assertion violations land in Report.Failures.
+func Bounded(ctx context.Context, inst *Instance) (*Report, error) {
+	rep := &Report{Instance: inst}
+
+	oracle, err := inst.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	rep.OracleRows = oracle.Len()
+
+	// The variants reuse the base instance's plan feasibility: bounds and
+	// page sizes never change Supports, so planning once against the
+	// unannotated grammar tells us whether there is anything to execute.
+	med, err := inst.NewMediator(nil)
+	if err != nil {
+		return nil, err
+	}
+	p, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+	feasible, uerr := classify(errP)
+	if uerr != nil {
+		rep.failf("GenCompact failed unexpectedly: %v", uerr)
+		return rep, nil
+	}
+	rep.CompactFeasible = feasible
+
+	if feasible {
+		checkBoundCovers(ctx, rep, inst, p, oracle)
+		checkBoundTruncates(ctx, rep, inst, p, oracle)
+		checkPaged(ctx, rep, inst, p, oracle)
+		checkPagedFaults(ctx, rep, inst, p, oracle)
+	}
+	if err := checkRequiredBinding(ctx, rep, inst, oracle); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// withGrammar derives a variant instance whose grammar is a mutated
+// clone; everything else (relation, condition, oracle) is shared.
+func withGrammar(inst *Instance, mutate func(*ssdl.Grammar)) *Instance {
+	v := *inst
+	v.Grammar = inst.Grammar.Clone()
+	mutate(v.Grammar)
+	return &v
+}
+
+// checkBoundCovers asserts invariant (1): limit > |R| provably covers
+// every source answer, so both engines must produce the oracle answer
+// with no error at all.
+func checkBoundCovers(ctx context.Context, rep *Report, inst *Instance, p plan.Plan, oracle *relation.Relation) {
+	v := withGrammar(inst, func(g *ssdl.Grammar) { g.Limit = inst.Rel.Len() + 1 })
+	med, err := v.NewMediator(nil)
+	if err != nil {
+		rep.failf("bound-covers: building mediator: %v", err)
+		return
+	}
+	ans, err := plan.Execute(ctx, p, med)
+	if err != nil {
+		rep.failf("bound-covers (limit %d > %d rows): execution reported an error for a provably complete answer: %v",
+			v.Grammar.Limit, inst.Rel.Len(), err)
+		return
+	}
+	if !ans.Equal(oracle) {
+		rep.failf("bound-covers (limit %d): answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+			v.Grammar.Limit, ans.Len(), oracle.Len(), plan.Format(p))
+	}
+	model := v.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+	sans, serr := plan.ExecuteStream(ctx, p, med, plan.StreamOptions{Workers: 1, ChoiceResolver: resolver})
+	if serr != nil {
+		rep.failf("bound-covers (limit %d): streaming execution reported an error for a provably complete answer: %v",
+			v.Grammar.Limit, serr)
+		return
+	}
+	if !sans.Equal(oracle) {
+		rep.failf("bound-covers (limit %d): streaming answer diverges from oracle: got %d rows, oracle %d rows",
+			v.Grammar.Limit, sans.Len(), oracle.Len())
+	}
+}
+
+// checkDegraded asserts the sound-partial contract on one execution
+// outcome: no error means the exact oracle answer (never a silently
+// short one), a *plan.PartialError means a sound subset tagged
+// "truncated", any other error means fail-closed with no relation.
+func checkDegraded(rep *Report, label string, ans *relation.Relation, err error, oracle *relation.Relation, wantPartialTag bool) {
+	var pe *plan.PartialError
+	switch {
+	case err == nil:
+		if !ans.Equal(oracle) {
+			rep.failf("%s: no error reported but answer diverges from oracle: got %d rows, oracle %d rows — a truncated answer was presented as complete",
+				label, ans.Len(), oracle.Len())
+		}
+	case errors.As(err, &pe):
+		if ans == nil {
+			rep.failf("%s: partial answer has nil relation: %v", label, err)
+			return
+		}
+		if len(pe.Dropped) == 0 {
+			rep.failf("%s: PartialError with no dropped branches: %v", label, err)
+		}
+		if wantPartialTag && !slices.Contains(pe.Reasons(), plan.ReasonTruncated) {
+			rep.failf("%s: PartialError reasons %v do not include %q: %v", label, pe.Reasons(), plan.ReasonTruncated, err)
+		}
+		sub, serr := subsetOf(ans, oracle)
+		if serr != nil {
+			rep.failf("%s: partial answer not comparable to oracle: %v", label, serr)
+		} else if !sub {
+			rep.failf("%s: partial answer is NOT a subset of the oracle answer (%d rows vs oracle %d): unsound degradation",
+				label, ans.Len(), oracle.Len())
+		}
+	default:
+		if ans != nil {
+			rep.failf("%s: fail-closed error carries a non-nil relation (%d rows): %v", label, ans.Len(), err)
+		}
+	}
+}
+
+// checkBoundTruncates asserts invariant (2): a 1-row bound degrades
+// soundly in partial mode and never yields a short answer labeled
+// complete in fail-closed mode.
+func checkBoundTruncates(ctx context.Context, rep *Report, inst *Instance, p plan.Plan, oracle *relation.Relation) {
+	v := withGrammar(inst, func(g *ssdl.Grammar) { g.Limit = 1 })
+	med, err := v.NewMediator(nil)
+	if err != nil {
+		rep.failf("tight-bound: building mediator: %v", err)
+		return
+	}
+	model := v.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+
+	ans, err := plan.ExecuteParallel(ctx, p, med, plan.ExecOptions{Workers: 2, AllowPartial: true})
+	checkDegraded(rep, "tight-bound (limit 1, partial)", ans, err, oracle, true)
+
+	sans, serr := plan.ExecuteStream(ctx, p, med, plan.StreamOptions{Workers: 1, AllowPartial: true, ChoiceResolver: resolver})
+	checkDegraded(rep, "tight-bound (limit 1, streaming partial)", sans, serr, oracle, true)
+
+	cans, cerr := plan.Execute(ctx, p, med)
+	switch {
+	case cerr == nil:
+		if !cans.Equal(oracle) {
+			rep.failf("tight-bound (limit 1, fail-closed): answer diverges from oracle with no error: got %d rows, oracle %d rows — a truncated answer was presented as complete",
+				cans.Len(), oracle.Len())
+		}
+	case errors.As(cerr, new(*plan.PartialError)):
+		rep.failf("tight-bound (limit 1, fail-closed): a *plan.PartialError leaked without AllowPartial: %v", cerr)
+	default:
+		if cans != nil {
+			rep.failf("tight-bound (limit 1, fail-closed): error carries a non-nil relation (%d rows): %v", cans.Len(), cerr)
+		}
+	}
+}
+
+// eqAttrs collects the attributes the condition binds with an equality
+// atom anywhere in its tree.
+func eqAttrs(n condition.Node, out map[string]bool) {
+	switch t := n.(type) {
+	case *condition.Atomic:
+		if t.Op == condition.OpEq {
+			out[t.Attr] = true
+		}
+	case *condition.And:
+		for _, k := range t.Kids {
+			eqAttrs(k, out)
+		}
+	case *condition.Or:
+		for _, k := range t.Kids {
+			eqAttrs(k, out)
+		}
+	}
+}
+
+// checkRequiredBinding asserts invariant (3) for both directions of the
+// binding-pattern gate.
+func checkRequiredBinding(ctx context.Context, rep *Report, inst *Instance, oracle *relation.Relation) error {
+	bound := make(map[string]bool)
+	eqAttrs(inst.Cond, bound)
+
+	// Unsatisfiable: an attribute the condition never equality-binds can
+	// never be supplied, so the query must be infeasible — no rewrite can
+	// invent an equality atom on an attribute the condition does not
+	// constrain.
+	var unbound string
+	for _, a := range inst.Grammar.Schema {
+		if !bound[a] {
+			unbound = a
+			break
+		}
+	}
+	if unbound != "" {
+		v := withGrammar(inst, func(g *ssdl.Grammar) { g.Required = []string{unbound} })
+		med, err := v.NewMediator(nil)
+		if err != nil {
+			return err
+		}
+		_, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+		feasible, uerr := classify(errP)
+		if uerr != nil {
+			rep.failf("required-unbound (%s): planner failed unexpectedly: %v", unbound, uerr)
+		} else if feasible {
+			rep.failf("required-unbound: planner found a plan although required attribute %q is never equality-bound by the condition %s",
+				unbound, inst.Cond.Key())
+		}
+	}
+
+	// Satisfiable: requiring an attribute the condition does bind may or
+	// may not stay feasible (the grammar's forms decide), but any plan
+	// that exists must still compute the oracle answer.
+	for _, a := range inst.Grammar.Schema {
+		if !bound[a] {
+			continue
+		}
+		v := withGrammar(inst, func(g *ssdl.Grammar) { g.Required = []string{a} })
+		med, err := v.NewMediator(nil)
+		if err != nil {
+			return err
+		}
+		p, _, errP := med.Plan(ctx, Compact(), inst.Source(), inst.Cond, inst.Attrs)
+		feasible, uerr := classify(errP)
+		if uerr != nil {
+			rep.failf("required-bound (%s): planner failed unexpectedly: %v", a, uerr)
+			break
+		}
+		if !feasible {
+			break // a legitimate capability "no"; nothing to execute
+		}
+		ans, err := plan.Execute(ctx, p, med)
+		if err != nil {
+			rep.failf("required-bound (%s): plan failed to execute: %v\nplan:\n%s", a, err, plan.Format(p))
+			break
+		}
+		if !ans.Equal(oracle) {
+			rep.failf("required-bound (%s): answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+				a, ans.Len(), oracle.Len(), plan.Format(p))
+		}
+		break
+	}
+	return nil
+}
+
+// pagedSource builds the instance's source as a paginated scan: a Local
+// with the page-size annotation, driven through source.Paged.
+func pagedSource(inst *Instance, pageSize int, wrap func(*source.Local) source.CursorQuerier, opts source.PagedOptions) (*Instance, *source.Paged, error) {
+	v := withGrammar(inst, func(g *ssdl.Grammar) { g.PageSize = pageSize })
+	local, err := source.NewLocal(v.Source(), v.Rel, v.Grammar)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qa: building source: %w", err)
+	}
+	var cq source.CursorQuerier = local
+	if wrap != nil {
+		cq = wrap(local)
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	}
+	return v, source.NewPaged(v.Source(), cq, opts), nil
+}
+
+// checkPaged asserts invariant (4): pagination is answer-invariant in
+// both engines.
+func checkPaged(ctx context.Context, rep *Report, inst *Instance, p plan.Plan, oracle *relation.Relation) {
+	v, paged, err := pagedSource(inst, 2, nil, source.PagedOptions{})
+	if err != nil {
+		rep.failf("paged: %v", err)
+		return
+	}
+	med, err := v.NewMediator(paged)
+	if err != nil {
+		rep.failf("paged: building mediator: %v", err)
+		return
+	}
+	ans, err := plan.Execute(ctx, p, med)
+	if err != nil {
+		rep.failf("paged (page size 2): execution failed: %v\nplan:\n%s", err, plan.Format(p))
+		return
+	}
+	if !ans.Equal(oracle) {
+		rep.failf("paged (page size 2): answer diverges from oracle: got %d rows, oracle %d rows\nplan:\n%s",
+			ans.Len(), oracle.Len(), plan.Format(p))
+	}
+	model := v.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+	sans, serr := plan.ExecuteStream(ctx, p, med, plan.StreamOptions{Workers: 1, ChoiceResolver: resolver})
+	if serr != nil {
+		rep.failf("paged (page size 2): streaming execution failed: %v", serr)
+		return
+	}
+	if !sans.Equal(oracle) {
+		rep.failf("paged (page size 2): streaming answer diverges from oracle: got %d rows, oracle %d rows",
+			sans.Len(), oracle.Len())
+	}
+}
+
+// flakyCursor injects page-level faults: fetches of any page past the
+// first fail with a retryable transport error until the budget is spent
+// (-1 = unlimited). First pages always succeed, so a scan always has
+// sound rows in hand when its cursor dies.
+type flakyCursor struct {
+	inner *source.Local
+
+	mu    sync.Mutex
+	fails int
+}
+
+func (f *flakyCursor) QueryPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error) {
+	if cursor != "" {
+		f.mu.Lock()
+		inject := f.fails != 0
+		if f.fails > 0 {
+			f.fails--
+		}
+		f.mu.Unlock()
+		if inject {
+			return nil, "", &source.TransportError{Source: f.inner.Name(), Err: source.ErrInjected}
+		}
+	}
+	return f.inner.QueryPage(ctx, cond, attrs, cursor)
+}
+
+// checkPagedFaults asserts invariant (5): transient mid-cursor faults
+// recover exactly; persistent ones degrade soundly.
+func checkPagedFaults(ctx context.Context, rep *Report, inst *Instance, p plan.Plan, oracle *relation.Relation) {
+	// Transient: one injected page failure, per-page retry enabled. The
+	// retry must recover the page and the answer must be exact — the
+	// fault is invisible.
+	v, paged, err := pagedSource(inst, 2,
+		func(l *source.Local) source.CursorQuerier { return &flakyCursor{inner: l, fails: 1} },
+		source.PagedOptions{MaxRetries: 2})
+	if err != nil {
+		rep.failf("paged-fault: %v", err)
+		return
+	}
+	med, err := v.NewMediator(paged)
+	if err != nil {
+		rep.failf("paged-fault: building mediator: %v", err)
+		return
+	}
+	ans, err := plan.Execute(ctx, p, med)
+	if err != nil {
+		rep.failf("paged-fault (transient): execution failed although the page retry should recover: %v\nplan:\n%s",
+			err, plan.Format(p))
+	} else if !ans.Equal(oracle) {
+		rep.failf("paged-fault (transient): answer diverges from oracle after page retry: got %d rows, oracle %d rows",
+			ans.Len(), oracle.Len())
+	}
+
+	// Persistent: every non-first page fails for good. The scan keeps its
+	// first page and must degrade to a sound partial tagged "truncated"
+	// (or fail closed / be complete within one page) — never to a short
+	// answer presented as complete.
+	pv, ppaged, err := pagedSource(inst, 2,
+		func(l *source.Local) source.CursorQuerier { return &flakyCursor{inner: l, fails: -1} },
+		source.PagedOptions{MaxRetries: 1})
+	if err != nil {
+		rep.failf("paged-fault: %v", err)
+		return
+	}
+	pmed, err := pv.NewMediator(ppaged)
+	if err != nil {
+		rep.failf("paged-fault: building mediator: %v", err)
+		return
+	}
+	pans, perr := plan.ExecuteParallel(ctx, p, pmed, plan.ExecOptions{Workers: 2, AllowPartial: true})
+	checkDegraded(rep, "paged-fault (persistent, partial)", pans, perr, oracle, true)
+
+	model := pv.Model()
+	resolver := func(c *plan.Choice) (plan.Plan, error) { return model.Resolve(c) }
+	// A fresh source: the previous execution consumed no fault budget
+	// state (fails is unlimited), but streams must not share cursors.
+	sans, serr := plan.ExecuteStream(ctx, p, pmed, plan.StreamOptions{Workers: 1, AllowPartial: true, ChoiceResolver: resolver})
+	checkDegraded(rep, "paged-fault (persistent, streaming partial)", sans, serr, oracle, true)
+}

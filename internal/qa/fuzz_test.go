@@ -29,6 +29,7 @@ func FuzzDifferentialPlan(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		fuzzCheck(t, Differential, seed)
+		fuzzCheck(t, Bounded, seed)
 	})
 }
 
@@ -50,6 +51,7 @@ func FuzzMetamorphic(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		fuzzCheck(t, Metamorphic, seed)
 		fuzzCheck(t, FaultTolerance, seed)
+		fuzzCheck(t, Bounded, seed)
 	})
 }
 

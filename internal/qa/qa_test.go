@@ -131,6 +131,17 @@ func TestStreamingCorpus(t *testing.T) {
 	runCorpus(t, Streaming, 2)
 }
 
+// TestBoundedCorpus checks the bounded-interface invariants: a result
+// bound the answer fits inside is provably complete (oracle equality, no
+// error); a tighter bound degrades to a sound partial tagged "truncated"
+// or fails closed, never a short answer labeled complete; a required
+// binding the condition cannot satisfy is infeasible; pagination — with
+// and without mid-cursor faults — never changes answers beyond sound,
+// tagged degradation.
+func TestBoundedCorpus(t *testing.T) {
+	runCorpus(t, Bounded, 3)
+}
+
 // TestExecProfileConsistency checks the execution-profile invariants:
 // profiled runs still match the oracle, the root operator's rows-out
 // equals the answer cardinality, and every operator's rows-in equals the

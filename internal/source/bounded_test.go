@@ -1,0 +1,429 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/ssdl"
+)
+
+// boundedLocal builds an n-row source over (a, b) whose grammar accepts
+// `a < $v` and optionally declares a result bound and a page size.
+func boundedLocal(t *testing.T, n, limit, pageSize int) *Local {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("source nums\nattrs a, b\nkey a\n")
+	if limit > 0 {
+		fmt.Fprintf(&sb, "limit %d\n", limit)
+	}
+	if pageSize > 0 {
+		fmt.Fprintf(&sb, "paged %d\n", pageSize)
+	}
+	sb.WriteString("s1 -> a < $v:int\nattributes :: s1 : {a, b}\n")
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "a", Kind: condition.KindInt},
+		relation.Column{Name: "b", Kind: condition.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		if err := r.AppendValues(condition.Int(int64(i)), condition.Int(int64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewLocal("", r, ssdl.MustParse(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// instantPaged removes real time from PagedOptions: sleeps return
+// immediately and jitter is identity.
+func instantPaged(opts PagedOptions) PagedOptions {
+	opts.Sleep = func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	opts.Jitter = func(d time.Duration) time.Duration { return d }
+	return opts
+}
+
+func wantTruncated(t *testing.T, err error, limit int) *plan.TruncatedError {
+	t.Helper()
+	var te *plan.TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *plan.TruncatedError", err)
+	}
+	if te.Limit != limit {
+		t.Errorf("TruncatedError.Limit = %d, want %d", te.Limit, limit)
+	}
+	return te
+}
+
+func TestLocalLimitTruncates(t *testing.T) {
+	src := boundedLocal(t, 5, 2, 0)
+	cond := mustCond(t, `a < 10`)
+
+	res, err := src.Query(context.Background(), cond, []string{"a", "b"})
+	wantTruncated(t, err, 2)
+	if res == nil || res.Len() != 2 {
+		t.Fatalf("truncated answer has %v rows, want the top 2", res)
+	}
+
+	// The streaming path must deliver the same sound prefix and then
+	// surface the truncation as the terminal error, not as io.EOF.
+	it, err := src.QueryStream(context.Background(), cond, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, serr := drainStream(t, it)
+	wantTruncated(t, serr, 2)
+	if !streamed.Equal(res) {
+		t.Errorf("streamed prefix differs from materialized prefix:\n%v\nvs\n%v", streamed, res)
+	}
+}
+
+func TestLocalLimitCovers(t *testing.T) {
+	// The matching rows fit exactly inside the bound, so the answer is
+	// provably complete: no error, full result.
+	src := boundedLocal(t, 5, 2, 0)
+	res, err := src.Query(context.Background(), mustCond(t, `a < 2`), []string{"a"})
+	if err != nil {
+		t.Fatalf("answer within the bound must be complete, got %v", err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("len = %d, want 2", res.Len())
+	}
+}
+
+func TestLocalQueryPage(t *testing.T) {
+	src := boundedLocal(t, 5, 0, 2)
+	cond := mustCond(t, `a < 10`)
+	ctx := context.Background()
+
+	var total int
+	cursor := ""
+	wantLens := []int{2, 2, 1}
+	for i := 0; ; i++ {
+		page, next, err := src.QueryPage(ctx, cond, []string{"a"}, cursor)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if i >= len(wantLens) || page.Len() != wantLens[i] {
+			t.Fatalf("page %d has %d rows, want %v", i, page.Len(), wantLens)
+		}
+		total += page.Len()
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if total != 5 {
+		t.Errorf("pages delivered %d rows, want 5", total)
+	}
+	// Each page is one round-trip in the books.
+	if acc := src.Accounting(); acc.Queries != 3 {
+		t.Errorf("accounting.Queries = %d, want 3 (one per page)", acc.Queries)
+	}
+
+	// A cursor the source never issued is a deterministic refusal, not a
+	// silent empty page.
+	for _, bad := range []string{"xyz", "-1", "99"} {
+		var re *RefusalError
+		if _, _, err := src.QueryPage(ctx, cond, []string{"a"}, bad); !errors.As(err, &re) {
+			t.Errorf("cursor %q: err = %v, want *RefusalError", bad, err)
+		}
+	}
+}
+
+// truncQuerier answers every query with the same rows plus a truncation
+// report, like a bounded source whose answer never fits.
+type truncQuerier struct {
+	countQuerier
+}
+
+func (q *truncQuerier) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	res, err := q.countQuerier.Query(ctx, cond, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return res, &plan.TruncatedError{Source: "s", Limit: res.Len()}
+}
+
+// TestCachedNeverStoresTruncatedAnswer is the satellite regression: a
+// truncated answer must pass through the cache — rows and error — but
+// never be memoized under the NormKey, where a later equivalent request
+// (possibly after the bound is lifted) would replay it as complete.
+func TestCachedNeverStoresTruncatedAnswer(t *testing.T) {
+	inner := &truncQuerier{countQuerier{rel: relOfLen(t, 2)}}
+	c := NewCached("s", inner, CacheOptions{})
+	cond := mustCond(t, `a = 1 and b = 2`)
+
+	res, err := c.Query(context.Background(), cond, []string{"a"})
+	wantTruncated(t, err, 2)
+	if res == nil || res.Len() != 2 {
+		t.Fatalf("truncated rows did not pass through the cache: %v", res)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("cache stored a truncated answer: %+v", st)
+	}
+
+	// The same query — and its commuted NormKey twin — must go upstream
+	// again rather than hit a poisoned entry.
+	if _, err := c.Query(context.Background(), mustCond(t, `b = 2 and a = 1`), []string{"a"}); !plan.IsTruncated(err) {
+		t.Fatalf("second query err = %v, want truncation from upstream", err)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 (no cache hit on a truncated answer)", got)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Errorf("cache stats after replay = %+v, want no hits, no entries", st)
+	}
+}
+
+func TestResilientTruncationNoRetry(t *testing.T) {
+	// A truncated answer with rows is a deterministic success: retrying
+	// cannot buy more rows, so the wrapper must pass it through on the
+	// first attempt and not count it against the breaker.
+	inner := &truncQuerier{countQuerier{rel: relOfLen(t, 2)}}
+	var ft fakeTime
+	opts := ResilienceOptions{MaxRetries: 3, BreakerThreshold: 2}
+	ft.apply(&opts)
+	r := NewResilient("s", inner, opts)
+
+	res, err := r.Query(context.Background(), mustCond(t, `a = 1`), []string{"a"})
+	wantTruncated(t, err, 2)
+	if res == nil || res.Len() != 2 {
+		t.Fatalf("rows did not pass through: %v", res)
+	}
+	if st := r.Stats(); st.Attempts != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Errorf("stats = %+v, want one clean attempt", st)
+	}
+}
+
+// pageRecorder wraps a CursorQuerier, counting fetches per cursor and
+// optionally failing one chosen cursor a budgeted number of times with a
+// retryable transport error (-1 = forever).
+type pageRecorder struct {
+	inner      CursorQuerier
+	mu         sync.Mutex
+	calls      map[string]int
+	failCursor string
+	failLeft   int
+}
+
+func (r *pageRecorder) QueryPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error) {
+	r.mu.Lock()
+	if r.calls == nil {
+		r.calls = make(map[string]int)
+	}
+	r.calls[cursor]++
+	fail := cursor == r.failCursor && r.failLeft != 0
+	if fail && r.failLeft > 0 {
+		r.failLeft--
+	}
+	r.mu.Unlock()
+	if fail {
+		return nil, "", &TransportError{Source: "nums", Err: ErrInjected}
+	}
+	return r.inner.QueryPage(ctx, cond, attrs, cursor)
+}
+
+func (r *pageRecorder) callsFor(cursor string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls[cursor]
+}
+
+func TestPagedAccumulatesPages(t *testing.T) {
+	reg := obs.NewRegistry()
+	src := boundedLocal(t, 5, 0, 2)
+	p := NewPaged("nums", src, instantPaged(PagedOptions{Obs: reg}))
+
+	res, err := p.Query(context.Background(), mustCond(t, `a < 10`), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("accumulated %d rows, want all 5", res.Len())
+	}
+	if got := reg.Counter("csqp_source_pages_total", "source", "nums").Value(); got != 3 {
+		t.Errorf("csqp_source_pages_total = %d, want 3", got)
+	}
+	if got := reg.Counter("csqp_source_truncated_total", "source", "nums").Value(); got != 0 {
+		t.Errorf("csqp_source_truncated_total = %d, want 0", got)
+	}
+}
+
+func TestPagedRetriesPageNotScan(t *testing.T) {
+	// The second page fails once. The wrapper must re-fetch THAT page —
+	// not restart from the first — and still deliver the full answer.
+	reg := obs.NewRegistry()
+	rec := &pageRecorder{inner: boundedLocal(t, 5, 0, 2), failCursor: "2", failLeft: 1}
+	p := NewPaged("nums", rec, instantPaged(PagedOptions{MaxRetries: 2, Obs: reg}))
+
+	res, err := p.Query(context.Background(), mustCond(t, `a < 10`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("got %d rows, want 5", res.Len())
+	}
+	if got := rec.callsFor(""); got != 1 {
+		t.Errorf("first page fetched %d times, want 1 (the scan must not restart)", got)
+	}
+	if got := rec.callsFor("2"); got != 2 {
+		t.Errorf("failing page fetched %d times, want 2 (fail + retry)", got)
+	}
+	if got := reg.Counter("csqp_source_page_retries_total", "source", "nums").Value(); got != 1 {
+		t.Errorf("csqp_source_page_retries_total = %d, want 1", got)
+	}
+}
+
+func TestPagedCursorLossDegrades(t *testing.T) {
+	// The cursor dies for good mid-scan: the rows already fetched come
+	// back as a sound partial tagged truncated — never a short answer
+	// labeled complete, never nothing.
+	reg := obs.NewRegistry()
+	rec := &pageRecorder{inner: boundedLocal(t, 5, 0, 2), failCursor: "2", failLeft: -1}
+	p := NewPaged("nums", rec, instantPaged(PagedOptions{MaxRetries: 1, Obs: reg}))
+
+	res, err := p.Query(context.Background(), mustCond(t, `a < 10`), []string{"a"})
+	te := wantTruncated(t, err, 2)
+	if !errors.Is(te.Cause, ErrInjected) {
+		t.Errorf("TruncatedError.Cause = %v, want the page fault", te.Cause)
+	}
+	if res == nil || res.Len() != 2 {
+		t.Fatalf("kept %v, want the 2 rows fetched before the cursor died", res)
+	}
+	if got := reg.Counter("csqp_source_truncated_total", "source", "nums").Value(); got != 1 {
+		t.Errorf("csqp_source_truncated_total = %d, want 1", got)
+	}
+
+	// A first page that never arrives leaves nothing sound to keep: the
+	// scan fails plainly, with no relation and no truncation tag.
+	rec2 := &pageRecorder{inner: boundedLocal(t, 5, 0, 2), failCursor: "", failLeft: -1}
+	p2 := NewPaged("nums", rec2, instantPaged(PagedOptions{MaxRetries: 1}))
+	res2, err2 := p2.Query(context.Background(), mustCond(t, `a < 10`), []string{"a"})
+	if res2 != nil || !errors.Is(err2, ErrInjected) {
+		t.Errorf("first-page failure returned (%v, %v), want (nil, the fault)", res2, err2)
+	}
+}
+
+func TestPagedStreamChunkPerPage(t *testing.T) {
+	// The streaming path feeds one chunk per page, so downstream
+	// operators consume page 1 while later pages are still unfetched.
+	src := boundedLocal(t, 5, 0, 2)
+	p := NewPaged("nums", src, instantPaged(PagedOptions{}))
+	it, err := p.QueryStream(context.Background(), mustCond(t, `a < 10`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	var lens []int
+	for {
+		chunk, nerr := it.Next(context.Background())
+		if len(chunk) > 0 {
+			lens = append(lens, len(chunk))
+		}
+		if nerr != nil {
+			if !errors.Is(nerr, io.EOF) {
+				t.Fatal(nerr)
+			}
+			break
+		}
+	}
+	want := []int{2, 2, 1}
+	if len(lens) != len(want) {
+		t.Fatalf("chunk lengths %v, want %v", lens, want)
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("chunk lengths %v, want %v", lens, want)
+		}
+	}
+}
+
+func TestPagedStreamCursorLoss(t *testing.T) {
+	// Mid-stream cursor death after rows were emitted must end the
+	// stream with a truncation error, not io.EOF.
+	rec := &pageRecorder{inner: boundedLocal(t, 5, 0, 2), failCursor: "2", failLeft: -1}
+	p := NewPaged("nums", rec, instantPaged(PagedOptions{MaxRetries: 1}))
+	it, err := p.QueryStream(context.Background(), mustCond(t, `a < 10`), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, serr := drainStream(t, it)
+	wantTruncated(t, serr, 2)
+	if res.Len() != 2 {
+		t.Errorf("streamed %d rows before the fault, want 2", res.Len())
+	}
+}
+
+func TestHTTPTruncationHeader(t *testing.T) {
+	// A truncated answer must survive the wire: the handler annotates a
+	// 200 with X-Csqp-Truncated and the client reconstructs the
+	// *plan.TruncatedError alongside the rows.
+	src := boundedLocal(t, 5, 2, 0)
+	server := httptest.NewServer(NewHandler(src))
+	defer server.Close()
+	client := NewClient(server.URL, nil)
+
+	res, err := client.Query(context.Background(), mustCond(t, `a < 10`), []string{"a", "b"})
+	wantTruncated(t, err, 2)
+	if res == nil || res.Len() != 2 {
+		t.Fatalf("rows lost on the wire: %v", res)
+	}
+
+	// An answer inside the bound crosses the wire clean.
+	if _, err := client.Query(context.Background(), mustCond(t, `a < 2`), []string{"a"}); err != nil {
+		t.Errorf("complete answer came back with %v", err)
+	}
+}
+
+func TestHTTPQueryPageCursorLoop(t *testing.T) {
+	src := boundedLocal(t, 5, 0, 2)
+	server := httptest.NewServer(NewHandler(src))
+	defer server.Close()
+	client := NewClient(server.URL, nil)
+	ctx := context.Background()
+	cond := mustCond(t, `a < 10`)
+
+	// Walk the cursor loop by hand over real HTTP.
+	var total, pages int
+	cursor := ""
+	for {
+		page, next, err := client.QueryPage(ctx, cond, []string{"a"}, cursor)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		total += page.Len()
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if total != 5 || pages != 3 {
+		t.Errorf("cursor walk fetched %d rows over %d pages, want 5 over 3", total, pages)
+	}
+
+	// And let Paged drive the same client: the full pipeline a mediator
+	// uses for a remote paginated source.
+	p := NewPaged("nums", client, instantPaged(PagedOptions{}))
+	res, err := p.Query(ctx, cond, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("paged client accumulated %d rows, want 5", res.Len())
+	}
+}

@@ -215,6 +215,11 @@ func (c *Cached) Query(ctx context.Context, cond condition.Node, attrs []string)
 		select {
 		case <-f.done:
 			if f.err != nil {
+				// A truncated answer travels as rows + *plan.TruncatedError;
+				// waiters get the same sound rows the leader got.
+				if f.res != nil && plan.IsTruncated(f.err) {
+					return f.res.Clone(), f.err
+				}
 				return nil, f.err
 			}
 			// The leader's answer; clone for the same isolation a cache
@@ -240,11 +245,18 @@ func (c *Cached) Query(ctx context.Context, cond condition.Node, attrs []string)
 	// Errors and refusals are never cached: a refusal is a deterministic
 	// capability "no" that must keep flowing from the source's
 	// description, and transient errors should be retried by the next
-	// request, not replayed.
+	// request, not replayed. Truncated answers (rows + *plan.TruncatedError)
+	// are ALSO never cached — the key does not encode the source's result
+	// bound, so a stored top-k answer would be replayed as if complete for
+	// any later equivalent request — but their sound rows still flow
+	// through to the caller (and to coalesced waiters).
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(f.done)
 	if err != nil {
+		if res != nil && plan.IsTruncated(err) {
+			return res.Clone(), err
+		}
 		return nil, err
 	}
 	return res.Clone(), nil

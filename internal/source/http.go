@@ -4,16 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/condition"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/ssdl"
 )
@@ -26,14 +29,35 @@ import (
 //	GET  /stats               -> per-attribute statistics (JSON)
 //	POST /query {cond, attrs} -> TSV result, or 422 for unsupported queries
 //
+// Result-bounded and paginated interfaces extend the protocol with two
+// response headers and one optional request field:
+//
+//   - a response whose answer was cut at the source's result bound
+//     carries "X-CSQP-Truncated: <limit>" next to the (sound, top-k) TSV
+//     body — truncation is an annotated 200, never a silent short answer;
+//   - a request carrying a "cursor" field asks for ONE page
+//     ("" = first page); the response's "X-CSQP-Next-Cursor" header holds
+//     the cursor for the next page, absent on the last one.
+//
 // Publishing statistics next to the capability description is this
 // repository's stand-in for the per-source cost knowledge the paper's
 // mediator is assumed to have (its k1/k2 "depend on the source").
 
-// queryRequest is the wire format of a source query.
+// Wire headers for result-bounded/paginated answers.
+const (
+	// truncatedHeader carries the source's result bound when the answer
+	// was cut at it.
+	truncatedHeader = "X-Csqp-Truncated"
+	// nextCursorHeader carries the cursor of the next page.
+	nextCursorHeader = "X-Csqp-Next-Cursor"
+)
+
+// queryRequest is the wire format of a source query. A non-nil Cursor
+// requests a single page of the answer ("" = first page).
 type queryRequest struct {
-	Cond  string   `json:"cond"`
-	Attrs []string `json:"attrs"`
+	Cond   string   `json:"cond"`
+	Attrs  []string `json:"attrs"`
+	Cursor *string  `json:"cursor,omitempty"`
 }
 
 // Handler serves the source over HTTP.
@@ -92,12 +116,30 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The request context cancels the query when the client hangs up.
-	res, err := h.src.Query(r.Context(), cond, req.Attrs)
+	var (
+		res  *relation.Relation
+		next string
+	)
+	if req.Cursor != nil {
+		res, next, err = h.src.QueryPage(r.Context(), cond, req.Attrs, *req.Cursor)
+	} else {
+		res, err = h.src.Query(r.Context(), cond, req.Attrs)
+	}
 	if err != nil {
-		// Unsupported queries are the source refusing, not a transport
-		// error.
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
+		var te *plan.TruncatedError
+		if !(errors.As(err, &te) && res != nil) {
+			// Unsupported queries are the source refusing, not a transport
+			// error.
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		// A result-bound cut is an annotated success, not a failure: the
+		// top-k rows in the body are sound, and the header says the answer
+		// stops there.
+		w.Header().Set(truncatedHeader, strconv.Itoa(te.Limit))
+	}
+	if next != "" {
+		w.Header().Set(nextCursorHeader, next)
 	}
 	w.Header().Set("Content-Type", "text/tab-separated-values")
 	if err := relation.WriteTSV(w, res); err != nil {
@@ -230,15 +272,32 @@ func (c *Client) Stats(ctx context.Context) (*relation.Stats, error) {
 }
 
 // Query implements plan.Querier over the wire. The context bounds the
-// whole round-trip: cancelling it aborts the in-flight request.
+// whole round-trip: cancelling it aborts the in-flight request. A
+// result-bounded source's cut answer comes back as its sound top-k rows
+// alongside a *plan.TruncatedError reconstructed from the response
+// header.
 func (c *Client) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
-	body, err := json.Marshal(queryRequest{Cond: cond.Key(), Attrs: attrs})
+	res, _, err := c.doQuery(ctx, queryRequest{Cond: cond.Key(), Attrs: attrs})
+	return res, err
+}
+
+// QueryPage implements CursorQuerier over the wire: it fetches one page
+// of SP(cond, attrs, R). Cursor "" asks for the first page; the returned
+// cursor resumes the scan and is "" on the last page.
+func (c *Client) QueryPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error) {
+	return c.doQuery(ctx, queryRequest{Cond: cond.Key(), Attrs: attrs, Cursor: &cursor})
+}
+
+// doQuery runs one POST /query round-trip and decodes body plus the
+// pagination/truncation headers.
+func (c *Client) doQuery(ctx context.Context, qr queryRequest) (*relation.Relation, string, error) {
+	body, err := json.Marshal(qr)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
@@ -246,13 +305,13 @@ func (c *Client) Query(ctx context.Context, cond condition.Node, attrs []string)
 		// Surface plain cancellation/deadline (the http client wraps them
 		// in a *url.Error); everything else is transport.
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
+			return nil, "", ctxErr
 		}
-		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("query: %w", err)}
+		return nil, "", &TransportError{Source: c.Name(), Err: fmt.Errorf("query: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, c.statusError("query", resp)
+		return nil, "", c.statusError("query", resp)
 	}
 	// Bound the result read: a source streaming an endless body must fail
 	// the query, not OOM the mediator. One byte of slack past the cap
@@ -264,11 +323,21 @@ func (c *Client) Query(ctx context.Context, cond condition.Node, attrs []string)
 		// Oversized responses are deterministic misbehavior — retrying
 		// would re-download the same flood — so classify as a refusal,
 		// which resilience layers never retry.
-		return nil, &RefusalError{Source: c.Name(),
+		return nil, "", &RefusalError{Source: c.Name(),
 			Msg: fmt.Sprintf("query: response body exceeds %d-byte cap", maxBytes)}
 	}
 	if err != nil {
-		return nil, &TransportError{Source: c.Name(), Err: fmt.Errorf("query: reading result: %w", err)}
+		return nil, "", &TransportError{Source: c.Name(), Err: fmt.Errorf("query: reading result: %w", err)}
 	}
-	return res, nil
+	next := resp.Header.Get(nextCursorHeader)
+	if hdr := resp.Header.Get(truncatedHeader); hdr != "" {
+		lim, perr := strconv.Atoi(hdr)
+		if perr != nil || lim <= 0 {
+			// A malformed header still marks the answer incomplete; fall
+			// back to the rows actually received as the cut point.
+			lim = res.Len()
+		}
+		return res, next, &plan.TruncatedError{Source: c.Name(), Limit: lim}
+	}
+	return res, next, nil
 }

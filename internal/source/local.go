@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
 	"repro/internal/condition"
@@ -106,6 +107,40 @@ func (s *Local) Query(ctx context.Context, cond condition.Node, attrs []string) 
 		s.mu.Unlock()
 		return nil, &RefusalError{Source: s.name, Msg: fmt.Sprintf("unsupported query SP(%s; %v)", cond.Key(), attrs)}
 	}
+	res, terr, err := s.answer(cond, attrs)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.acc.Queries++
+	s.acc.Tuples += res.Len()
+	s.mu.Unlock()
+	return res, terr
+}
+
+// head returns a relation holding the first n tuples of res (in the
+// relation's deterministic tuple order).
+func head(res *relation.Relation, n int) (*relation.Relation, error) {
+	return window(res, 0, n)
+}
+
+// window returns a relation holding res's tuples [off, end) in the
+// relation's deterministic tuple order.
+func window(res *relation.Relation, off, end int) (*relation.Relation, error) {
+	out := relation.New(res.Schema())
+	for _, t := range res.Tuples()[off:end] {
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// answer evaluates SP(cond, attrs, R) with the result bound applied but
+// WITHOUT booking any accounting: the callers (Query, QueryPage) settle
+// accounting for the rows they actually serve. The second return is the
+// *plan.TruncatedError when the bound cut the answer, nil otherwise.
+func (s *Local) answer(cond condition.Node, attrs []string) (*relation.Relation, error, error) {
 	var sel *relation.Relation
 	var err error
 	if condition.IsTrue(cond) {
@@ -113,18 +148,78 @@ func (s *Local) Query(ctx context.Context, cond condition.Node, attrs []string) 
 	} else {
 		sel, err = s.rel.Select(cond)
 		if err != nil {
-			return nil, fmt.Errorf("source %s: %w", s.name, err)
+			return nil, nil, fmt.Errorf("source %s: %w", s.name, err)
 		}
 	}
 	res, err := sel.Project(attrs)
 	if err != nil {
-		return nil, fmt.Errorf("source %s: %w", s.name, err)
+		return nil, nil, fmt.Errorf("source %s: %w", s.name, err)
+	}
+	var terr error
+	if lim := s.Grammar().Limit; lim > 0 && res.Len() > lim {
+		// Result-bounded interface: serve the top-k rows and report the
+		// overflow honestly instead of silently presenting a short answer
+		// as complete. When the answer fits inside the bound the source
+		// KNOWS it is complete, so no error is reported (the provably-
+		// complete case).
+		res, err = head(res, lim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("source %s: %w", s.name, err)
+		}
+		terr = &plan.TruncatedError{Source: s.name, Limit: lim}
+	}
+	return res, terr, nil
+}
+
+// QueryPage implements CursorQuerier: it serves ONE page of the (result-
+// bound-capped) answer. The cursor is a decimal offset into the answer's
+// deterministic tuple order ("" = first page); the returned cursor
+// resumes the scan and is "" on the last page. A malformed or out-of-
+// range cursor is a deterministic *RefusalError — retrying it cannot
+// help. Truncation at the result bound is reported on the final page
+// only, alongside that page's rows. Each page books one query in the
+// accounting: a page is a full source round-trip paying its own k1.
+func (s *Local) QueryPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	if !s.checker.Supports(cond, strset.New(attrs...)) {
+		s.mu.Lock()
+		s.acc.Rejected++
+		s.mu.Unlock()
+		return nil, "", &RefusalError{Source: s.name, Msg: fmt.Sprintf("unsupported query SP(%s; %v)", cond.Key(), attrs)}
+	}
+	res, terr, err := s.answer(cond, attrs)
+	if err != nil {
+		return nil, "", err
+	}
+	off := 0
+	if cursor != "" {
+		off, err = strconv.Atoi(cursor)
+		if err != nil || off < 0 || off > res.Len() {
+			return nil, "", &RefusalError{Source: s.name, Msg: fmt.Sprintf("bad cursor %q", cursor)}
+		}
+	}
+	end := res.Len()
+	if ps := s.Grammar().PageSize; ps > 0 && off+ps < end {
+		end = off + ps
+	}
+	page, err := window(res, off, end)
+	if err != nil {
+		return nil, "", fmt.Errorf("source %s: %w", s.name, err)
+	}
+	next := ""
+	if end < res.Len() {
+		next = strconv.Itoa(end)
 	}
 	s.mu.Lock()
 	s.acc.Queries++
-	s.acc.Tuples += res.Len()
+	s.acc.Tuples += page.Len()
 	s.mu.Unlock()
-	return res, nil
+	if next == "" && terr != nil {
+		return page, "", terr
+	}
+	return page, next, nil
 }
 
 // QueryStream implements plan.StreamQuerier: the same SP(cond, attrs, R)
@@ -148,7 +243,7 @@ func (s *Local) QueryStream(ctx context.Context, cond condition.Node, attrs []st
 	if err != nil {
 		return nil, fmt.Errorf("source %s: %w", s.name, err)
 	}
-	it := &localIter{src: s, cond: cond, ps: ps, chunk: plan.DefaultChunkSize, seen: make(map[string]struct{})}
+	it := &localIter{src: s, cond: cond, ps: ps, chunk: plan.DefaultChunkSize, seen: make(map[string]struct{}), limit: s.Grammar().Limit}
 	if !condition.IsTrue(cond) {
 		it.candidates, it.useCand = s.rel.Probe(cond)
 	}
@@ -168,6 +263,8 @@ type localIter struct {
 	chunk      int
 	seen       map[string]struct{}
 	emitted    int
+	limit      int  // result bound (0 = unbounded)
+	trunc      bool // a match beyond the bound was found
 	done       bool
 }
 
@@ -192,6 +289,11 @@ func (it *localIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 	}
 	if it.done {
 		return nil, io.EOF
+	}
+	if it.trunc {
+		lim := it.limit
+		it.settle()
+		return nil, &plan.TruncatedError{Source: it.src.name, Limit: lim}
 	}
 	tuples := it.src.rel.Tuples()
 	limit := len(tuples)
@@ -218,12 +320,23 @@ func (it *localIter) Next(ctx context.Context) ([]relation.Tuple, error) {
 		if _, dup := it.seen[k]; dup {
 			continue
 		}
+		if it.limit > 0 && it.emitted+len(out) >= it.limit {
+			// A distinct match beyond the result bound: the stream is
+			// truncated. Deliver what the chunk holds, then report.
+			it.trunc = true
+			break
+		}
 		it.seen[k] = struct{}{}
 		out = append(out, pt)
 	}
 	it.emitted += len(out)
 	if len(out) > 0 {
 		return out, nil
+	}
+	if it.trunc {
+		lim := it.limit
+		it.settle()
+		return nil, &plan.TruncatedError{Source: it.src.name, Limit: lim}
 	}
 	it.settle()
 	return nil, io.EOF

@@ -1,0 +1,312 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// A paginated Internet source hands out its answer one page at a time
+// behind an opaque cursor — the "next" link of a web form. CursorQuerier
+// is that interface: QueryPage fetches ONE page of SP(cond, attrs, R).
+// Cursor "" asks for the first page; the returned cursor resumes the
+// scan and is "" on the last page. A page may arrive alongside a
+// *plan.TruncatedError when the source's result bound cut the overall
+// answer — the rows are still sound.
+type CursorQuerier interface {
+	QueryPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error)
+}
+
+// PagedOptions tune a Paged querier.
+type PagedOptions struct {
+	// MaxRetries is the number of re-attempts after a PAGE fails
+	// (0 = fail the page on its first error). Retrying the page rather
+	// than the whole scan is the point: rows already fetched are kept.
+	MaxRetries int
+	// BaseBackoff is the delay before a page's first retry; it doubles
+	// each retry (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 2s).
+	MaxBackoff time.Duration
+
+	// Obs receives csqp_source_pages_total, csqp_source_page_retries_total
+	// and csqp_source_truncated_total counters labeled by source. Nil
+	// disables them.
+	Obs *obs.Registry
+	// Log receives structured events for page retries and cursor-loss
+	// degradation. Nil silences them.
+	Log *slog.Logger
+
+	// Sleep waits between page retries; tests inject an instant sleep.
+	// Nil uses a real context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Jitter perturbs a backoff delay; tests inject identity. Nil draws
+	// uniformly from [d/2, d).
+	Jitter func(d time.Duration) time.Duration
+}
+
+// Paged drives a CursorQuerier's cursor loop so the rest of the mediator
+// can keep speaking plan.Querier / plan.StreamQuerier. Query accumulates
+// every page into one answer; QueryStream feeds pages into the streaming
+// engine chunk by chunk, so downstream operators start consuming while
+// later pages are still in flight.
+//
+// Fault handling is per page: a transient page failure is retried with
+// backoff WITHOUT restarting the scan. A cursor that dies for good after
+// rows have been fetched degrades to a sound partial answer — the rows
+// so far travel alongside a *plan.TruncatedError whose Cause is the
+// page failure — never to a short answer presented as complete. A first
+// page that never arrives is a plain failure (there is nothing sound to
+// keep).
+type Paged struct {
+	name  string
+	inner CursorQuerier
+	opts  PagedOptions
+	log   *slog.Logger
+	met   pagedMetrics
+}
+
+// pagedMetrics are the registry instruments (no-ops when Obs is nil).
+type pagedMetrics struct {
+	pages, retries, truncated *obs.Counter
+}
+
+// NewPaged wraps a cursor querier. The name labels errors, metrics and
+// log events; use the source's registered name.
+func NewPaged(name string, inner CursorQuerier, opts PagedOptions) *Paged {
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	if opts.Jitter == nil {
+		opts.Jitter = halfJitter
+	}
+	p := &Paged{name: name, inner: inner, opts: opts, log: obs.LoggerOr(opts.Log)}
+	reg := opts.Obs // nil-safe: nil registry yields no-op instruments
+	p.met = pagedMetrics{
+		pages:     reg.Counter("csqp_source_pages_total", "source", name),
+		retries:   reg.Counter("csqp_source_page_retries_total", "source", name),
+		truncated: reg.Counter("csqp_source_truncated_total", "source", name),
+	}
+	return p
+}
+
+// Name returns the wrapped source's name.
+func (p *Paged) Name() string { return p.name }
+
+// fetchPage fetches one page with the per-page retry policy applied. A
+// page arriving alongside a truncation report counts as a success —
+// retrying cannot buy more rows past a deterministic bound.
+func (p *Paged) fetchPage(ctx context.Context, cond condition.Node, attrs []string, cursor string) (*relation.Relation, string, error) {
+	oprof := plan.OpStatsFrom(ctx) // nil-safe: notes the executing operator's profile
+	backoff := p.opts.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		page, next, err := p.inner.QueryPage(ctx, cond, attrs, cursor)
+		if err == nil || (page != nil && plan.IsTruncated(err)) {
+			p.met.pages.Inc()
+			return page, next, err
+		}
+		// Deterministic "no" — a capability refusal or a rejected cursor —
+		// is returned immediately, like Resilient does.
+		if !Retryable(err) || ctx.Err() != nil || attempt >= p.opts.MaxRetries {
+			return nil, "", err
+		}
+		p.met.retries.Inc()
+		oprof.Note("page-retried")
+		p.log.Debug("retrying source page",
+			"source", p.name, "cursor", cursor, "attempt", attempt+1, "err", err)
+		if serr := p.opts.Sleep(ctx, p.opts.Jitter(backoff)); serr != nil {
+			return nil, "", err
+		}
+		backoff *= 2
+		if backoff > p.opts.MaxBackoff {
+			backoff = p.opts.MaxBackoff
+		}
+	}
+}
+
+// Query implements plan.Querier by walking the cursor to the end and
+// accumulating pages into one relation (set semantics: duplicate tuples
+// across sloppily-cut pages collapse).
+func (p *Paged) Query(ctx context.Context, cond condition.Node, attrs []string) (*relation.Relation, error) {
+	oprof := plan.OpStatsFrom(ctx)
+	var (
+		acc    *relation.Relation
+		seen   = make(map[string]struct{})
+		cursor string
+		pages  int
+	)
+	for {
+		page, next, err := p.fetchPage(ctx, cond, attrs, cursor)
+		if err != nil && (page == nil || !plan.IsTruncated(err)) {
+			if pages == 0 || acc == nil || acc.Len() == 0 {
+				// Nothing sound recovered: a plain failure.
+				return nil, err
+			}
+			// The cursor died mid-scan after rows were fetched: degrade to
+			// a sound partial answer instead of losing them — or worse,
+			// presenting them as complete.
+			p.met.truncated.Inc()
+			oprof.Note(fmt.Sprintf("paged:%d", pages))
+			p.log.Warn("cursor lost mid-scan; degrading to sound partial answer",
+				"source", p.name, "pages", pages, "rows", acc.Len(), "err", err)
+			return acc, &plan.TruncatedError{Source: p.name, Limit: acc.Len(), Cause: err}
+		}
+		pages++
+		if acc == nil {
+			acc = relation.New(page.Schema())
+		}
+		for _, t := range page.Tuples() {
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if aerr := acc.Append(t); aerr != nil {
+				return nil, fmt.Errorf("source %s: %w", p.name, aerr)
+			}
+		}
+		if err != nil {
+			// The source reported its result bound cut the answer; the
+			// accumulated rows are its sound top-k.
+			p.met.truncated.Inc()
+			oprof.Note(fmt.Sprintf("paged:%d", pages))
+			return acc, err
+		}
+		if next == "" {
+			oprof.Note(fmt.Sprintf("paged:%d", pages))
+			return acc, nil
+		}
+		cursor = next
+	}
+}
+
+// QueryStream implements plan.StreamQuerier: each page becomes one chunk
+// of the stream, fetched lazily as the consumer pulls. The first page is
+// fetched eagerly — the iterator needs its schema, and capability
+// refusals must surface at open time like every other source's.
+func (p *Paged) QueryStream(ctx context.Context, cond condition.Node, attrs []string) (plan.Iterator, error) {
+	page, next, err := p.fetchPage(ctx, cond, attrs, "")
+	if err != nil && (page == nil || !plan.IsTruncated(err)) {
+		return nil, err
+	}
+	it := &pagedIter{
+		p:      p,
+		cond:   cond,
+		attrs:  attrs,
+		schema: page.Schema(),
+		seen:   make(map[string]struct{}),
+		cursor: next,
+		pages:  1,
+	}
+	it.buf = it.dedup(page.Tuples())
+	if err != nil {
+		// Truncation reported on the first page: deliver its rows, then
+		// the terminal report.
+		it.terr = err
+		it.cursor = ""
+	}
+	return it, nil
+}
+
+// pagedIter streams a paginated scan page-by-page.
+type pagedIter struct {
+	p         *Paged
+	cond      condition.Node
+	attrs     []string
+	schema    *relation.Schema
+	seen      map[string]struct{}
+	buf       []relation.Tuple
+	cursor    string
+	terr      error // pending terminal truncation report
+	pages     int
+	delivered int
+	done      bool
+}
+
+func (it *pagedIter) Schema() *relation.Schema { return it.schema }
+
+// dedup drops tuples already streamed (set semantics across pages).
+func (it *pagedIter) dedup(ts []relation.Tuple) []relation.Tuple {
+	out := ts[:0:len(ts)]
+	for _, t := range ts {
+		k := t.Key()
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// finish ends the stream and books the page-count note exactly once.
+func (it *pagedIter) finish(ctx context.Context) {
+	it.done = true
+	it.seen = nil
+	plan.OpStatsFrom(ctx).Note(fmt.Sprintf("paged:%d", it.pages))
+}
+
+func (it *pagedIter) Next(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if it.done {
+		return nil, io.EOF
+	}
+	for {
+		if len(it.buf) > 0 {
+			out := it.buf
+			it.buf = nil
+			it.delivered += len(out)
+			return out, nil
+		}
+		if it.terr != nil {
+			it.p.met.truncated.Inc()
+			err := it.terr
+			it.finish(ctx)
+			return nil, err
+		}
+		if it.cursor == "" {
+			it.finish(ctx)
+			return nil, io.EOF
+		}
+		page, next, err := it.p.fetchPage(ctx, it.cond, it.attrs, it.cursor)
+		if err != nil && (page == nil || !plan.IsTruncated(err)) {
+			// Cursor lost mid-stream. The rows already delivered are sound
+			// and cannot be recalled, so the stream must NOT end cleanly —
+			// report truncation at the delivered row count.
+			it.p.met.truncated.Inc()
+			it.p.log.Warn("cursor lost mid-stream; degrading to sound partial answer",
+				"source", it.p.name, "pages", it.pages, "rows", it.delivered, "err", err)
+			terr := &plan.TruncatedError{Source: it.p.name, Limit: it.delivered, Cause: err}
+			it.finish(ctx)
+			return nil, terr
+		}
+		it.pages++
+		it.buf = it.dedup(page.Tuples())
+		it.cursor = next
+		if err != nil {
+			it.terr = err
+			it.cursor = ""
+		}
+	}
+}
+
+func (it *pagedIter) Close() error {
+	it.done = true
+	it.seen = nil
+	return nil
+}

@@ -233,6 +233,15 @@ func (r *Resilient) Query(ctx context.Context, cond condition.Node, attrs []stri
 			r.recordSuccess()
 			return res, nil
 		}
+		if res != nil && plan.IsTruncated(err) {
+			// A truncated answer is a HEALTHY response from a result-
+			// bounded source: the source answered with its top-k rows and
+			// honestly reported overflow. Retrying cannot buy more rows —
+			// the bound is deterministic — and counting it as a failure
+			// would poison the breaker. Pass rows and error through.
+			r.recordSuccess()
+			return res, err
+		}
 		var refusal *RefusalError
 		if errors.As(err, &refusal) {
 			// Deterministic "no": not a health signal, never retried. A

@@ -1,0 +1,232 @@
+package ssdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/strset"
+)
+
+const boundedExample = `
+source S
+attrs make, model, price
+key model
+limit 10
+paged 5
+require make
+
+s1 -> make = $m
+s2 -> make = $m ^ price < $p:num
+attributes :: s1 : {make, model, price}
+attributes :: s2 : {make, model, price}
+`
+
+func TestParseBoundAnnotations(t *testing.T) {
+	g := MustParse(boundedExample)
+	if g.Limit != 10 {
+		t.Errorf("Limit = %d, want 10", g.Limit)
+	}
+	if g.PageSize != 5 {
+		t.Errorf("PageSize = %d, want 5", g.PageSize)
+	}
+	if len(g.Required) != 1 || g.Required[0] != "make" {
+		t.Errorf("Required = %v, want [make]", g.Required)
+	}
+
+	// String must render the annotations so a /describe round-trip
+	// preserves them.
+	text := g.String()
+	for _, want := range []string{"limit 10", "paged 5", "require make"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing String(): %v", err)
+	}
+	if back.Limit != g.Limit || back.PageSize != g.PageSize || len(back.Required) != len(g.Required) {
+		t.Errorf("round trip lost annotations: limit %d paged %d require %v", back.Limit, back.PageSize, back.Required)
+	}
+
+	// Clone and CommutativeClosure must carry the annotations too.
+	cl := g.Clone()
+	if cl.Limit != 10 || cl.PageSize != 5 || len(cl.Required) != 1 {
+		t.Errorf("Clone lost annotations: %+v", cl)
+	}
+	cc := CommutativeClosure(g, 0)
+	if cc.Limit != 10 || cc.PageSize != 5 || len(cc.Required) != 1 {
+		t.Errorf("CommutativeClosure lost annotations")
+	}
+}
+
+// TestParseBoundErrors drives every malformed bound/binding header
+// through Parse and asserts the error carries the line position and a
+// precise message.
+func TestParseBoundErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // all substrings must appear in the error
+	}{
+		{
+			name: "limit zero",
+			src:  "source S\nattrs a\nlimit 0\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+			want: []string{"ssdl: line 3:", "limit 0: bound must be at least 1"},
+		},
+		{
+			name: "limit not a number",
+			src:  "source S\nattrs a\nlimit ten\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+			want: []string{"ssdl: line 3:", `limit wants a positive integer, got "ten"`},
+		},
+		{
+			name: "paged negative",
+			src:  "source S\nattrs a\n\npaged -2\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+			want: []string{"ssdl: line 4:", "paged -2: bound must be at least 1"},
+		},
+		{
+			name: "require without attributes",
+			src:  "source S\nattrs a\nrequire ,\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+			want: []string{"ssdl: line 3:", "require line names no attributes"},
+		},
+		{
+			name: "required attribute not in schema",
+			src:  "source S\nattrs a\nrequire b\ns1 -> a = $v\nattributes :: s1 : {a}\n",
+			want: []string{`required attribute "b" not in schema`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("Parse accepted a malformed description")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestLintBoundWarnings drives the bound/binding lints through a table of
+// suspicious-but-legal grammars.
+func TestLintBoundWarnings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "required attribute never equality-bound",
+			src: `
+source S
+attrs a, b
+require b
+s1 -> a = $v ^ b < $w:num
+attributes :: s1 : {a, b}
+`,
+			want: `required attribute "b" is never bound by an equality atom`,
+		},
+		{
+			name: "paged without key",
+			src: `
+source S
+attrs a
+paged 5
+s1 -> a = $v
+attributes :: s1 : {a}
+`,
+			want: "paged 5 declared without a key attribute",
+		},
+		{
+			name: "limit tighter than page size",
+			src: `
+source S
+attrs a
+key a
+limit 3
+paged 10
+s1 -> a = $v
+attributes :: s1 : {a}
+`,
+			want: "limit 3 is smaller than page size 10",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			found := false
+			warnings := Lint(MustParse(tc.src))
+			for _, w := range warnings {
+				if strings.Contains(w, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("warnings %v missing %q", warnings, tc.want)
+			}
+		})
+	}
+
+	// The clean bounded grammar must not warn.
+	if w := Lint(MustParse(boundedExample)); len(w) != 0 {
+		t.Errorf("clean bounded grammar warned: %v", w)
+	}
+}
+
+// TestCheckRequiredBinding exercises the binding-pattern gate: a query is
+// supported only when every required attribute is bound by an equality —
+// on every branch of a disjunction, since an Or answers rows from all
+// branches. The grammar's rules accept every tested shape, so any refusal
+// below is the gate's doing, not the condition language's.
+func TestCheckRequiredBinding(t *testing.T) {
+	gated := MustParse(`
+source S
+attrs a, b
+require a
+r1 -> a = $v | a != $v | b < $w:num | a = $v _ b < $w:num | a = $v _ a = $v | dl
+dl -> true
+attributes :: r1 : {a, b}
+attributes :: dl : {a, b}
+`)
+	open := gated.Clone()
+	open.Required = nil
+
+	c, oc := NewChecker(gated), NewChecker(open)
+	attrs := strset.New("a", "b")
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`a = 1`, true},
+		{`b < 5`, false},         // required `a` unbound
+		{`a != 1`, false},        // inequality does not bind
+		{`a = 1 _ b < 5`, false}, // one Or branch leaves `a` unbound
+		{`a = 1 _ a = 2`, true},  // every Or branch binds
+	}
+	for _, tc := range cases {
+		cond, err := condition.Parse(tc.cond)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.cond, err)
+		}
+		if got := c.Supports(cond, attrs); got != tc.want {
+			t.Errorf("Supports(%s) = %v, want %v", tc.cond, got, tc.want)
+		}
+		// Sanity: with the requirement lifted the grammar itself accepts
+		// every tested shape, so the verdicts above are the gate's.
+		if !oc.Supports(cond, attrs) {
+			t.Errorf("ungated grammar does not support %s; the gate is not isolated", tc.cond)
+		}
+	}
+
+	// The download query binds nothing, so a grammar with a required
+	// attribute can never be downloadable.
+	if !c.Downloadable().Empty() {
+		t.Error("grammar with a required attribute reports a downloadable export set")
+	}
+	if oc.Downloadable().Empty() {
+		t.Error("ungated grammar lost its download rule")
+	}
+}

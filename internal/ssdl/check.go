@@ -88,6 +88,15 @@ func (c *Checker) Check(cond condition.Node) strset.Set {
 	}
 	c.tokens.Add(int64(len(toks)))
 
+	// Binding-pattern gate: a source with required input attributes only
+	// answers conditions that bind every one of them by equality. The
+	// verdict is a function of the condition alone, so it folds into the
+	// memoized value; in particular the download query `true` binds
+	// nothing and is refused outright when anything is required.
+	if !attrs.Empty() && !bindsRequired(canon, c.g.Required) {
+		attrs = strset.New()
+	}
+
 	sh.mu.Lock()
 	if prev, raced := sh.m[key]; raced {
 		// Another goroutine parsed the same condition first; keep one
@@ -98,6 +107,44 @@ func (c *Checker) Check(cond condition.Node) strset.Set {
 	}
 	sh.mu.Unlock()
 	return attrs
+}
+
+// bindsRequired reports whether the condition binds every required
+// attribute. An attribute is bound when evaluating the condition pins it
+// to concrete value(s): an equality atom binds its attribute, a
+// conjunction binds what any child binds, and a disjunction binds only
+// what EVERY branch binds (a tuple may satisfy either branch, so an
+// attribute bound in just one branch is unconstrained in the other).
+func bindsRequired(cond condition.Node, required []string) bool {
+	for _, a := range required {
+		if !bindsAttr(cond, a) {
+			return false
+		}
+	}
+	return true
+}
+
+func bindsAttr(cond condition.Node, attr string) bool {
+	switch n := cond.(type) {
+	case *condition.Atomic:
+		return n.Attr == attr && n.Op == condition.OpEq
+	case *condition.And:
+		for _, k := range n.Kids {
+			if bindsAttr(k, attr) {
+				return true
+			}
+		}
+		return false
+	case *condition.Or:
+		for _, k := range n.Kids {
+			if !bindsAttr(k, attr) {
+				return false
+			}
+		}
+		return len(n.Kids) > 0
+	default: // Truth and anything unknown bind nothing.
+		return false
+	}
 }
 
 // Sensitivity returns the grammar's value-position sensitivity analysis,

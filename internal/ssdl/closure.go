@@ -32,6 +32,9 @@ func CommutativeClosure(g *Grammar, limit int) *Grammar {
 	out := NewGrammar(g.Source)
 	out.Schema = append([]string(nil), g.Schema...)
 	out.Key = g.Key
+	out.Limit = g.Limit
+	out.PageSize = g.PageSize
+	out.Required = append([]string(nil), g.Required...)
 	seen := make(map[string]bool)
 	addRule := func(lhs string, rhs []Symbol) {
 		r := Rule{LHS: lhs, RHS: rhs}

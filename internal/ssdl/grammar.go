@@ -112,6 +112,21 @@ type Grammar struct {
 	// exported attributes.
 	CondAttrs map[string]strset.Set
 
+	// Limit is the source's result bound from a `limit k` line: the
+	// source returns at most k matching tuples per query and reports
+	// truncation when more matched. 0 means unbounded.
+	Limit int
+	// PageSize is the source's page size from a `paged k` line: the
+	// source serves answers k tuples at a time behind a cursor. 0 means
+	// unpaged (whole answer in one response).
+	PageSize int
+	// Required lists attributes that MUST be bound by an equality atom
+	// in every supported condition (`require a, b` — the binding-pattern
+	// / access-limitation annotation). A query that cannot bind them all
+	// is unsupported regardless of what the rules derive; in particular
+	// a non-empty Required forbids the download query SP(true, A, R).
+	Required []string
+
 	rulesByLHS map[string][]int
 	// indexed is the rule count rulesByLHS was built for; a mismatch
 	// means Rules was edited directly (exported field) and the index must
@@ -206,6 +221,17 @@ func (g *Grammar) Validate() error {
 	if g.Key != "" && len(g.Schema) > 0 && !schema.Has(g.Key) {
 		return fmt.Errorf("ssdl: key %q not in schema", g.Key)
 	}
+	if g.Limit < 0 {
+		return fmt.Errorf("ssdl: negative result bound limit %d", g.Limit)
+	}
+	if g.PageSize < 0 {
+		return fmt.Errorf("ssdl: negative page size %d", g.PageSize)
+	}
+	for _, a := range g.Required {
+		if len(g.Schema) > 0 && !schema.Has(a) {
+			return fmt.Errorf("ssdl: required attribute %q not in schema %v", a, g.Schema)
+		}
+	}
 	for _, r := range g.Rules {
 		for _, sym := range r.RHS {
 			if sym.Kind == SymNonTerm && len(byLHS[sym.Name]) == 0 {
@@ -225,6 +251,9 @@ func (g *Grammar) Clone() *Grammar {
 	out := NewGrammar(g.Source)
 	out.Schema = append([]string(nil), g.Schema...)
 	out.Key = g.Key
+	out.Limit = g.Limit
+	out.PageSize = g.PageSize
+	out.Required = append([]string(nil), g.Required...)
 	for _, r := range g.Rules {
 		rhs := append([]Symbol(nil), r.RHS...)
 		if err := out.AddRule(r.LHS, rhs); err != nil {
@@ -249,6 +278,15 @@ func (g *Grammar) String() string {
 	}
 	if g.Key != "" {
 		fmt.Fprintf(&sb, "key %s\n", g.Key)
+	}
+	if g.Limit > 0 {
+		fmt.Fprintf(&sb, "limit %d\n", g.Limit)
+	}
+	if g.PageSize > 0 {
+		fmt.Fprintf(&sb, "paged %d\n", g.PageSize)
+	}
+	if len(g.Required) > 0 {
+		fmt.Fprintf(&sb, "require %s\n", strings.Join(g.Required, ", "))
 	}
 	for _, r := range g.Rules {
 		fmt.Fprintln(&sb, r.String())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/condition"
 	"repro/internal/strset"
 )
 
@@ -23,7 +24,10 @@ import (
 //     alternative is fully wrapped in parentheses can never match, because
 //     linearization emits no outer parentheses at the top level;
 //   - empty export sets: a condition nonterminal exporting no attributes
-//     can never support any projection.
+//     can never support any projection;
+//   - unbindable required attributes: a `require a` with no equality atom
+//     on `a` anywhere in the rules refuses every query;
+//   - paged without a key, and a result bound tighter than the page size.
 func Lint(g *Grammar) []string {
 	var warnings []string
 	byLHS := g.byLHS()
@@ -114,6 +118,35 @@ func Lint(g *Grammar) []string {
 		if g.CondAttrs[nt].Empty() {
 			warnings = append(warnings, fmt.Sprintf("condition nonterminal %q exports no attributes; no projection can ever be supported through it", nt))
 		}
+	}
+
+	// Required attributes the grammar can never bind: if no rule carries
+	// an equality atom on the attribute, every condition the grammar
+	// derives fails the binding gate and the source answers nothing.
+	for _, req := range g.Required {
+		bound := false
+		for _, r := range g.Rules {
+			for _, sym := range r.RHS {
+				if sym.Kind == SymAtom && sym.Atom.Attr == req && sym.Atom.Op == condition.OpEq {
+					bound = true
+				}
+			}
+		}
+		if !bound {
+			warnings = append(warnings, fmt.Sprintf("required attribute %q is never bound by an equality atom in any rule; every query will be refused", req))
+		}
+	}
+
+	// Pagination needs a stable total order for the cursor to be
+	// restartable; without a declared key the source cannot promise one.
+	if g.PageSize > 0 && g.Key == "" {
+		warnings = append(warnings, fmt.Sprintf("paged %d declared without a key attribute; cursors need a key-ordered scan to restart reliably", g.PageSize))
+	}
+
+	// A result bound tighter than the page size means the scan always
+	// ends inside the first page; pagination buys nothing.
+	if g.Limit > 0 && g.PageSize > 0 && g.Limit < g.PageSize {
+		warnings = append(warnings, fmt.Sprintf("limit %d is smaller than page size %d; every answer fits in the first page", g.Limit, g.PageSize))
 	}
 	return warnings
 }

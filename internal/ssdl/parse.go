@@ -3,6 +3,7 @@ package ssdl
 import (
 	"bufio"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/condition"
@@ -35,6 +36,16 @@ import (
 //
 // Nonterminals given an `attributes ::` association form the set S of
 // condition nonterminals; the implicit start rule is s -> s1 | ... | sm.
+//
+// Three optional header lines describe interface limitations beyond the
+// paper's condition grammar:
+//
+//	limit 10        # result bound: at most 10 matching tuples per query
+//	paged 25        # answers are served 25 tuples per page behind a cursor
+//	require make    # binding pattern: `make` must be bound by an equality
+//
+// `limit`/`paged` want a positive integer; `require` wants one or more
+// schema attributes.
 func Parse(src string) (*Grammar, error) {
 	g := NewGrammar("")
 	sc := bufio.NewScanner(strings.NewReader(src))
@@ -89,6 +100,33 @@ func parseLine(g *Grammar, line string) error {
 	case strings.HasPrefix(line, "key "):
 		g.Key = strings.TrimSpace(strings.TrimPrefix(line, "key "))
 		return nil
+	case strings.HasPrefix(line, "limit "):
+		n, err := parseBound(strings.TrimPrefix(line, "limit "), "limit")
+		if err != nil {
+			return err
+		}
+		g.Limit = n
+		return nil
+	case strings.HasPrefix(line, "paged "):
+		n, err := parseBound(strings.TrimPrefix(line, "paged "), "paged")
+		if err != nil {
+			return err
+		}
+		g.PageSize = n
+		return nil
+	case strings.HasPrefix(line, "require "):
+		var attrs []string
+		for _, a := range strings.Split(strings.TrimPrefix(line, "require "), ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				attrs = append(attrs, a)
+			}
+		}
+		if len(attrs) == 0 {
+			return fmt.Errorf("require line names no attributes")
+		}
+		g.Required = append(g.Required, attrs...)
+		return nil
 	case strings.HasPrefix(line, "attributes"):
 		return parseAttributes(g, line)
 	case strings.Contains(line, "->"):
@@ -96,6 +134,21 @@ func parseLine(g *Grammar, line string) error {
 	default:
 		return fmt.Errorf("unrecognized line %q", line)
 	}
+}
+
+// parseBound parses the positive integer operand of a `limit k` /
+// `paged k` line. Zero is rejected explicitly: `limit 0` would declare a
+// source that answers nothing, which is always an authoring mistake.
+func parseBound(s, keyword string) (int, error) {
+	s = strings.TrimSpace(s)
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s wants a positive integer, got %q", keyword, s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("%s %d: bound must be at least 1", keyword, n)
+	}
+	return n, nil
 }
 
 // parseAttributes handles `attributes :: s1 : {a, b, c}`.

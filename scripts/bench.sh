@@ -11,7 +11,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_plan.json}"
 
-pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkIPGSection4Traced|BenchmarkEPGSection4|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder|BenchmarkSourceCacheHit|BenchmarkTemplateHit|BenchmarkParameterize|BenchmarkQAHarness)$'
+pattern='^(BenchmarkCheckSupported|BenchmarkCheckMemoized|BenchmarkCheckMemoizedParallel|BenchmarkCheckLongChain|BenchmarkIPGSection4|BenchmarkIPGSection4Traced|BenchmarkEPGSection4|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkCanonicalize|BenchmarkNormKey|BenchmarkDistributiveClosure|BenchmarkCommutativeClosure|BenchmarkFixReorder|BenchmarkSourceCacheHit|BenchmarkPagedFetch|BenchmarkTemplateHit|BenchmarkParameterize|BenchmarkQAHarness)$'
 
 # The streaming-vs-materialized execution benchmarks run whole 20k-row
 # plans per iteration (~100-250ms each), so they get a smaller iteration

@@ -40,7 +40,10 @@ go build -o "$BIN/loadgen" ./cmd/loadgen
 echo "== boot two HTTP sources =="
 "$BIN/csqp" -demo bookstore -serve "127.0.0.1:${BOOKS_PORT}" &
 PIDS+=($!)
-"$BIN/csqp" -demo cars -size 60000 -serve "127.0.0.1:${AUTOS_PORT}" &
+# The autos source is paginated: it hands out at most 500 tuples per
+# round-trip behind a cursor, so the daemon's registered client must walk
+# the cursor loop to answer (asserted against /metrics below).
+"$BIN/csqp" -demo cars -size 60000 -paged 500 -serve "127.0.0.1:${AUTOS_PORT}" &
 PIDS+=($!)
 wait_http "http://127.0.0.1:${BOOKS_PORT}/describe"
 wait_http "http://127.0.0.1:${AUTOS_PORT}/describe"
@@ -80,10 +83,20 @@ echo "== loadgen: overload must shed (429), never error =="
 jq -e '.errors == 0 and .shed > 0' "$BIN/overload.json" >/dev/null
 
 echo "== metrics expose the shed and in-flight counters =="
-curl -fsS "$DAEMON/metrics" | tee "$BIN/metrics.txt" | grep -q '^csqp_daemon_shed_total'
+# Fetch to a file first: grep -q closes its pipe on the first match,
+# which under pipefail turns a healthy scrape into a SIGPIPE failure.
+curl -fsS "$DAEMON/metrics" > "$BIN/metrics.txt"
+grep -q '^csqp_daemon_shed_total' "$BIN/metrics.txt"
 grep -q '^csqp_daemon_inflight' "$BIN/metrics.txt"
 grep -q '^csqp_daemon_admitted_total' "$BIN/metrics.txt"
 grep -q '^csqp_source_pool_clients' "$BIN/metrics.txt"
+
+echo "== the paged autos source was answered through the cursor loop =="
+pages=$(awk '/^csqp_source_pages_total\{source="autos"\}/ { print int($2) }' "$BIN/metrics.txt")
+if [ -z "$pages" ] || [ "$pages" -le 1 ]; then
+  echo "csqp_source_pages_total{source=\"autos\"} = ${pages:-absent}, want > 1" >&2
+  exit 1
+fi
 
 echo "== SIGTERM drains cleanly =="
 kill -TERM "$DAEMON_PID"
